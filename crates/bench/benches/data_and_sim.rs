@@ -1,0 +1,83 @@
+//! Criterion benches of dataset generation and the edge-device simulators —
+//! the non-NN substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::{generate, Family, GeneratorConfig};
+use edgesim::pipeline::{simulate, ServingConfig};
+use edgesim::{Device, DeviceModel};
+use models::lenet::build_lenet;
+use tensor::random::rng_from_seed;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_generation");
+    g.sample_size(10);
+    for family in Family::ALL {
+        g.throughput(Throughput::Elements(256));
+        g.bench_with_input(
+            BenchmarkId::new("generate256", family.name()),
+            &family,
+            |b, &f| {
+                b.iter(|| generate(&GeneratorConfig::new(f, 256, 7)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_device_pricing(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let net = build_lenet(&mut rng);
+    let specs = net.specs();
+    let mut g = c.benchmark_group("device_pricing");
+    g.sample_size(60);
+    for dev in Device::ALL {
+        let model = DeviceModel::preset(dev);
+        g.bench_with_input(BenchmarkId::new("price_lenet", dev.name()), &model, |b, m| {
+            b.iter(|| m.price_specs(&specs).total_ms);
+        });
+    }
+    g.finish();
+}
+
+fn bench_serving_sim(c: &mut Criterion) {
+    let device = DeviceModel::raspberry_pi4();
+    let mut g = c.benchmark_group("serving_sim");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("fifo_10k_requests", |b| {
+        b.iter(|| {
+            simulate(
+                &device,
+                &ServingConfig {
+                    arrival_rate_hz: 150.0,
+                    easy_service_ms: 2.0,
+                    hard_service_ms: 13.0,
+                    easy_fraction: 0.8,
+                    requests: 10_000,
+                    seed: 3,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_stratified_subset(c: &mut Criterion) {
+    let data = generate(&GeneratorConfig::new(Family::FmnistLike, 2000, 9));
+    let mut g = c.benchmark_group("dataset_ops");
+    g.sample_size(30);
+    g.bench_function("stratified_ratio_half_of_2000", |b| {
+        let mut rng = rng_from_seed(4);
+        b.iter(|| data.stratified_ratio(0.5, &mut rng));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_device_pricing,
+    bench_serving_sim,
+    bench_stratified_subset
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benches of the tensor substrate's hot kernels — the loops that
+//! carry essentially all of the workspace's FLOPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensor::conv::{im2col, Conv2dGeom};
+use tensor::matmul::{matmul_bt_into, matmul_into};
+use tensor::ops::softmax_slice;
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 784, 128), (64, 1152, 96)] {
+        let mut rng = rng_from_seed(1);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        g.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("ikj", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| {
+                bch.iter(|| matmul_into(a.data(), b.data(), &mut out, m, k, n));
+            },
+        );
+        let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("bt", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| {
+                bch.iter(|| matmul_bt_into(a.data(), bt.data(), &mut out, m, k, n));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut g = c.benchmark_group("im2col");
+    g.sample_size(30);
+    // The two geometries the LeNet stack actually runs.
+    let geoms = [
+        (
+            "conv1-28x28-s2",
+            Conv2dGeom {
+                in_channels: 1,
+                in_h: 28,
+                in_w: 28,
+                k_h: 5,
+                k_w: 5,
+                stride: 2,
+                pad: 0,
+            },
+        ),
+        (
+            "conv2-12x12",
+            Conv2dGeom {
+                in_channels: 8,
+                in_h: 12,
+                in_w: 12,
+                k_h: 5,
+                k_w: 5,
+                stride: 1,
+                pad: 0,
+            },
+        ),
+    ];
+    for (name, geom) in geoms {
+        let mut rng = rng_from_seed(2);
+        let img = Tensor::rand_uniform(
+            &[geom.in_channels * geom.in_h * geom.in_w],
+            0.0,
+            1.0,
+            &mut rng,
+        );
+        let mut patches = vec![0.0f32; geom.patch_rows() * geom.patch_cols()];
+        g.bench_function(name, |bch| {
+            bch.iter(|| im2col(img.data(), &geom, &mut patches));
+        });
+    }
+    g.finish();
+}
+
+fn bench_softmax_entropy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmax");
+    g.sample_size(50);
+    for &n in &[10usize, 784] {
+        let mut rng = rng_from_seed(3);
+        let x = Tensor::rand_uniform(&[n], -5.0, 5.0, &mut rng);
+        let mut out = vec![0.0f32; n];
+        g.bench_with_input(BenchmarkId::new("softmax", n), &n, |bch, _| {
+            bch.iter(|| {
+                softmax_slice(x.data(), &mut out);
+                tensor::ops::entropy(&out)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col, bench_softmax_entropy);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches of per-image inference for every model in the paper —
+//! the *host-machine* analogue of Table II's latency column. Absolute times
+//! are this machine's, not the edge devices'; `edgesim` maps architectures
+//! to device latencies analytically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::lenet::build_lenet;
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+fn single_image(seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[1, 784], 0.0, 1.0, &mut rng)
+}
+
+fn batch(n: usize, seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng)
+}
+
+fn bench_lenet(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let mut net = build_lenet(&mut rng);
+    let x1 = single_image(1);
+    let x64 = batch(64, 2);
+    let mut g = c.benchmark_group("lenet_forward");
+    g.sample_size(30);
+    g.bench_function("per_image", |b| b.iter(|| net.predict(&x1)));
+    g.bench_function("batch64", |b| b.iter(|| net.predict(&x64)));
+    g.finish();
+}
+
+fn bench_branchynet(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let x64 = batch(64, 4);
+    let mut g = c.benchmark_group("branchynet");
+    g.sample_size(20);
+    for (label, thr) in [("all_early", f32::INFINITY), ("none_early", 0.0)] {
+        bn.set_threshold(thr);
+        g.bench_with_input(BenchmarkId::new("infer_batch64", label), &thr, |b, _| {
+            b.iter(|| bn.infer(&x64));
+        });
+    }
+    g.finish();
+}
+
+fn bench_autoencoder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("converting_autoencoder_forward");
+    g.sample_size(20);
+    for (name, cfg) in [
+        ("mnist", AutoencoderConfig::mnist()),
+        ("fmnist", AutoencoderConfig::fmnist()),
+        ("kmnist", AutoencoderConfig::kmnist()),
+    ] {
+        let mut rng = rng_from_seed(5);
+        let mut ae = ConvertingAutoencoder::new(cfg, &mut rng);
+        let x = batch(64, 6);
+        g.bench_function(name, |b| b.iter(|| ae.forward(&x)));
+    }
+    g.finish();
+}
+
+fn bench_cbnet_path(c: &mut Criterion) {
+    // The deployed CBNet path: AE forward + lightweight classifier.
+    let mut rng = rng_from_seed(7);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut lw = extract_lightweight(&bn);
+    let mut ae = ConvertingAutoencoder::new(AutoencoderConfig::mnist(), &mut rng);
+    let x64 = batch(64, 8);
+    let mut g = c.benchmark_group("cbnet_path");
+    g.sample_size(20);
+    g.bench_function("ae_plus_lightweight_batch64", |b| {
+        b.iter(|| {
+            let converted = ae.forward(&x64);
+            lw.predict(&converted).argmax_rows()
+        })
+    });
+    g.finish();
+}
+
+fn bench_subflow(c: &mut Criterion) {
+    let mut rng = rng_from_seed(9);
+    let net = build_lenet(&mut rng);
+    let sf = SubFlow::new(net);
+    let x16 = batch(16, 10);
+    let mut g = c.benchmark_group("subflow");
+    g.sample_size(15);
+    for &u in &[0.5f32, 1.0] {
+        g.bench_with_input(BenchmarkId::new("predict_batch16", format!("u{u}")), &u, |b, &u| {
+            b.iter(|| sf.predict(u, &x16));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lenet,
+    bench_branchynet,
+    bench_autoencoder,
+    bench_cbnet_path,
+    bench_subflow
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches of the training-side hot paths: one optimizer batch for
+//! each model the pipeline trains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::lenet::build_lenet;
+use nn::loss::SoftmaxCrossEntropy;
+use nn::{Adam, Optimizer};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+fn batch(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = rng_from_seed(seed);
+    let x = Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng);
+    let labels = (0..n).map(|i| i % 10).collect();
+    (x, labels)
+}
+
+fn bench_lenet_step(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let mut net = build_lenet(&mut rng);
+    let mut opt = Adam::with_defaults(1e-3);
+    let (x, labels) = batch(64, 1);
+    let mut g = c.benchmark_group("train_step");
+    g.sample_size(15);
+    g.bench_function("lenet_batch64", |b| {
+        b.iter(|| {
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let (_, grad) = SoftmaxCrossEntropy.loss(&logits, &labels);
+            net.backward(&grad);
+            let mut pg = net.params_and_grads();
+            opt.step(&mut pg);
+        })
+    });
+    g.finish();
+}
+
+fn bench_branchynet_step(c: &mut Criterion) {
+    let mut rng = rng_from_seed(2);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut opt = Adam::with_defaults(1e-3);
+    let (x, labels) = batch(64, 3);
+    let mut g = c.benchmark_group("train_step");
+    g.sample_size(15);
+    g.bench_function("branchynet_joint_batch64", |b| {
+        b.iter(|| {
+            let _ = bn.train_batch(&x, &labels);
+            let mut pg = bn.params_and_grads();
+            opt.step(&mut pg);
+        })
+    });
+    g.finish();
+}
+
+fn bench_autoencoder_step(c: &mut Criterion) {
+    let mut rng = rng_from_seed(4);
+    let mut ae = ConvertingAutoencoder::new(AutoencoderConfig::mnist(), &mut rng);
+    let mut opt = Adam::with_defaults(1e-3);
+    let (x, _) = batch(64, 5);
+    let (t, _) = batch(64, 6);
+    let mut g = c.benchmark_group("train_step");
+    g.sample_size(10);
+    g.bench_function("autoencoder_mnist_batch64", |b| {
+        b.iter(|| {
+            let _ = ae.train_batch(&x, &t);
+            let mut pg = ae.params_and_grads();
+            opt.step(&mut pg);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lenet_step,
+    bench_branchynet_step,
+    bench_autoencoder_step
+);
+criterion_main!(benches);

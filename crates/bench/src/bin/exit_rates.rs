@@ -1,0 +1,19 @@
+//! Regenerate §IV-D statistics: early-exit rates per dataset and the
+//! autoencoder's share of CBNet latency.
+
+use bench::{banner, scale_from_env};
+use cbnet::experiments::exit_rates;
+
+fn main() {
+    banner("§IV-D", "early-exit rates and AE latency share");
+    let rows = exit_rates::run(&scale_from_env());
+    print!("{}", exit_rates::render(&rows));
+    println!(
+        "\nshape check: {}",
+        if exit_rates::shape_holds(&rows) {
+            "PASS (exit rate falls as hard fraction rises)"
+        } else {
+            "FAIL"
+        }
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig. 3: BranchyNet speedup over LeNet vs hard-image fraction
+//! (Raspberry Pi 4).
+
+use bench::{banner, scale_from_env};
+use cbnet::experiments::fig3;
+
+fn main() {
+    banner("Fig. 3", "BranchyNet speedup over LeNet vs hard fraction (RPi 4)");
+    let points = fig3::run(&scale_from_env());
+    print!("{}", fig3::render(&points));
+    println!(
+        "\nshape check: {}",
+        if fig3::shape_holds(&points) {
+            "PASS (speedup falls as hard fraction rises)"
+        } else {
+            "FAIL"
+        }
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerate Fig. 5: CBNet vs LeNet / BranchyNet / AdaDeep / SubFlow —
+//! latency and accuracy, MNIST on Raspberry Pi 4.
+
+use bench::{banner, scale_from_env};
+use cbnet::experiments::fig5;
+
+fn main() {
+    banner("Fig. 5", "five-model latency/accuracy comparison (MNIST, RPi 4)");
+    let scale = scale_from_env();
+    let results = fig5::run(&scale);
+    print!("{}", fig5::render(&results));
+    match fig5::shape_holds(&results) {
+        Ok(()) => println!("\nshape check: PASS (CBNet fastest of all five models)"),
+        Err(e) => println!("\nshape check: FAIL — {e}"),
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerate Fig. 6: scalability analysis — MNIST on all three devices.
+
+use bench::{banner, scale_from_env};
+use cbnet::experiments::scalability;
+use datasets::Family;
+
+fn main() {
+    banner("Fig. 6", "scalability: total inference time & accuracy vs dataset ratio (MNIST)");
+    let curves = scalability::run(Family::MnistLike, &scale_from_env());
+    for c in &curves {
+        println!("{}", scalability::render(c));
+        println!(
+            "shape check ({}): {}\n",
+            c.device,
+            if scalability::gap_widens(c) {
+                "PASS (BranchyNet−CBNet gap widens with ratio)"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+}

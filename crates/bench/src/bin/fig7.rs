@@ -1,0 +1,22 @@
+//! Regenerate Fig. 7: scalability analysis — FMNIST on all three devices.
+
+use bench::{banner, scale_from_env};
+use cbnet::experiments::scalability;
+use datasets::Family;
+
+fn main() {
+    banner("Fig. 7", "scalability: total inference time & accuracy vs dataset ratio (FMNIST)");
+    let curves = scalability::run(Family::FmnistLike, &scale_from_env());
+    for c in &curves {
+        println!("{}", scalability::render(c));
+        println!(
+            "shape check ({}): {}\n",
+            c.device,
+            if scalability::gap_widens(c) {
+                "PASS (BranchyNet−CBNet gap widens with ratio)"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+}

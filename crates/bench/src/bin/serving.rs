@@ -1,0 +1,42 @@
+//! Extension experiment: request-serving simulation — how the easy/hard mix
+//! turns into queueing delay on a Raspberry Pi 4.
+
+use edgesim::pipeline::{simulate, ServingConfig};
+use edgesim::DeviceModel;
+
+fn main() {
+    println!("=== Serving simulation (extension) — BranchyNet vs CBNet under load, RPi 4 ===\n");
+    let device = DeviceModel::raspberry_pi4();
+    println!("arrival  model       easy%   mean(ms)  p95(ms)   p99(ms)   util    energy(J)");
+    println!("---------------------------------------------------------------------------");
+    for &rate in &[50.0, 150.0, 300.0] {
+        // BranchyNet: bimodal service (easy path vs full path), MNIST-like
+        // (95% easy) and KMNIST-like (63% easy) mixes.
+        for (label, easy_frac, easy_ms, hard_ms) in [
+            ("BranchyNet/MNIST", 0.95, 2.1, 13.4),
+            ("BranchyNet/KMNIST", 0.63, 2.1, 13.4),
+            ("CBNet (any)", 1.0, 2.4, 2.4),
+        ] {
+            let cfg = ServingConfig {
+                arrival_rate_hz: rate,
+                easy_service_ms: easy_ms,
+                hard_service_ms: hard_ms,
+                easy_fraction: easy_frac,
+                requests: 20_000,
+                seed: 11,
+            };
+            let r = simulate(&device, &cfg);
+            println!(
+                "{rate:>6.0}  {label:<18} {:>4.0}%  {:>8.2}  {:>8.2}  {:>8.2}  {:>5.2}  {:>9.2}",
+                easy_frac * 100.0,
+                r.mean_sojourn_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.utilization,
+                r.energy_j
+            );
+        }
+    }
+    println!("\nCBNet's input-independent service time keeps tails flat where early-exit");
+    println!("variance builds queues — the serving-level corollary of the paper's Fig. 3.");
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table I: converting-autoencoder architectures per dataset.
+
+fn main() {
+    println!("=== Table I — converting autoencoder architecture per dataset ===\n");
+    print!("{}", cbnet::experiments::table1::render());
+    println!("\n(Output row activation as published; the deployed default is sigmoid — see DESIGN.md §4.)");
+}

@@ -1,0 +1,16 @@
+//! Regenerate Table II: latency, energy savings and accuracy for
+//! LeNet / BranchyNet / CBNet across datasets and devices.
+
+use bench::{banner, scale_from_env};
+use cbnet::experiments::table2;
+
+fn main() {
+    banner("Table II", "latency / energy / accuracy across datasets and devices");
+    let scale = scale_from_env();
+    let blocks = table2::run(&scale);
+    print!("{}", table2::render(&blocks));
+    match table2::shape_holds(&blocks) {
+        Ok(()) => println!("\nshape check: PASS (CBNet fastest everywhere; latency dataset-independent; savings ≥ BranchyNet)"),
+        Err(e) => println!("\nshape check: FAIL — {e}"),
+    }
+}

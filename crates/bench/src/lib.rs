@@ -1,0 +1,58 @@
+//! # bench — harness binaries and Criterion benches
+//!
+//! One binary per table/figure of the paper (`cargo run -p bench --release
+//! --bin <name>`):
+//!
+//! | binary       | regenerates                                        |
+//! |--------------|----------------------------------------------------|
+//! | `table1`     | Table I — converting-AE architectures              |
+//! | `table2`     | Table II — latency / energy / accuracy             |
+//! | `fig3`       | Fig. 3 — BranchyNet speedup vs hard fraction       |
+//! | `fig5`       | Fig. 5 — five-model comparison (MNIST, RPi 4)      |
+//! | `fig6`       | Fig. 6 — scalability, MNIST × 3 devices            |
+//! | `fig7`       | Fig. 7 — scalability, FMNIST × 3 devices           |
+//! | `fig8`       | Fig. 8 — scalability, KMNIST × 3 devices           |
+//! | `exit_rates` | §IV-D — exit rates + AE latency share              |
+//! | `ablations`  | DESIGN.md §4 — design-choice ablations             |
+//! | `serving`    | extension — queueing simulation under load         |
+//!
+//! Scale control: set `CBNET_SCALE=small` for a fast smoke run (seconds) or
+//! leave unset for the full-scale run the committed EXPERIMENTS.md numbers
+//! come from.
+
+use cbnet::experiments::ExperimentScale;
+
+/// Resolve the experiment scale from the `CBNET_SCALE` environment variable.
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("CBNET_SCALE").as_deref() {
+        Ok("small") => ExperimentScale::small(),
+        _ => ExperimentScale::full(),
+    }
+}
+
+/// Print a standard experiment banner.
+pub fn banner(name: &str, what: &str) {
+    println!("=== {name} — {what} ===");
+    let s = scale_from_env();
+    println!(
+        "scale: {} train / {} test samples, {} epochs (CBNET_SCALE={})\n",
+        s.n_train,
+        s.n_test,
+        s.epochs,
+        std::env::var("CBNET_SCALE").unwrap_or_else(|_| "full".into())
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // Only valid when the var is unset in the test environment; guard.
+        if std::env::var("CBNET_SCALE").is_err() {
+            let s = scale_from_env();
+            assert_eq!(s.n_train, ExperimentScale::full().n_train);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Model evaluation: latency, accuracy and energy on simulated devices.
+//!
+//! Latency semantics follow the paper exactly (§IV-C, §IV-D):
+//!
+//! * **LeNet** — every image pays the full network.
+//! * **BranchyNet** — every image pays trunk + branch; images that miss the
+//!   exit additionally pay the tail. The mixture uses the *measured* exit
+//!   decisions of the trained network on the evaluation set, not an assumed
+//!   rate.
+//! * **CBNet** — every image pays autoencoder + lightweight DNN ("the
+//!   inference latency of CBNet is the sum of the execution time spent in
+//!   the autoencoder and the lightweight DNN classifier").
+
+use edgesim::{Device, DeviceModel, EnergyReport};
+use models::branchynet::{BranchyNet, ExitDecision};
+use models::metrics::{accuracy, ExitStats};
+use nn::Network;
+
+use crate::pipeline::CbnetModel;
+use datasets::Dataset;
+
+/// An evaluation scenario: one dataset on one device.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Device model to price latency/energy on.
+    pub device: Device,
+}
+
+/// One row of Table II: a model evaluated on a dataset + device.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model display name.
+    pub model: String,
+    /// Mean per-image latency, milliseconds.
+    pub latency_ms: f64,
+    /// Classification accuracy on the evaluation set, percent.
+    pub accuracy_pct: f32,
+    /// Per-image energy, joules.
+    pub energy_j: f64,
+    /// Early-exit rate where applicable (BranchyNet), else `None`.
+    pub exit_rate: Option<f32>,
+}
+
+impl ModelReport {
+    /// Energy saving relative to a baseline report, percent.
+    pub fn energy_savings_vs(&self, baseline: &ModelReport) -> f64 {
+        edgesim::savings_percent(baseline.energy_j, self.energy_j)
+    }
+
+    /// Speedup of this model relative to a (slower) baseline.
+    pub fn speedup_vs(&self, baseline: &ModelReport) -> f64 {
+        baseline.latency_ms / self.latency_ms
+    }
+}
+
+/// Evaluate a plain sequential classifier (LeNet, AdaDeep output, …).
+pub fn evaluate_classifier(
+    name: &str,
+    net: &mut Network,
+    data: &Dataset,
+    device: &DeviceModel,
+) -> ModelReport {
+    let latency = device.price_network(net).total_ms;
+    let preds = net.predict(&data.images).argmax_rows();
+    let acc = accuracy(&preds, &data.labels) * 100.0;
+    let energy = EnergyReport::from_latency(device, latency).energy_j;
+    ModelReport {
+        model: name.to_string(),
+        latency_ms: latency,
+        accuracy_pct: acc,
+        energy_j: energy,
+        exit_rate: None,
+    }
+}
+
+/// Evaluate a trained BranchyNet with measured exit decisions.
+pub fn evaluate_branchynet(
+    net: &mut BranchyNet,
+    data: &Dataset,
+    device: &DeviceModel,
+) -> ModelReport {
+    let outputs = net.infer(&data.images);
+    let stats = ExitStats::from_outputs(&outputs);
+    let preds: Vec<usize> = outputs.iter().map(|o| o.prediction).collect();
+    let acc = accuracy(&preds, &data.labels) * 100.0;
+
+    let (trunk, branch, tail) = net.stages();
+    let easy_ms = device.price_network(trunk).total_ms + device.price_network(branch).total_ms;
+    let tail_ms = device.price_network(tail).total_ms;
+    // Mean latency over the set, per-sample exact: every sample pays the
+    // easy path; Main-exit samples additionally pay the tail.
+    let mut total = 0.0f64;
+    for o in &outputs {
+        total += easy_ms + device.exit_sync_ms;
+        if o.exit == ExitDecision::Main {
+            total += tail_ms;
+        }
+    }
+    let latency = total / outputs.len().max(1) as f64;
+    let energy = EnergyReport::from_latency(device, latency).energy_j;
+    ModelReport {
+        model: "BranchyNet".to_string(),
+        latency_ms: latency,
+        accuracy_pct: acc,
+        energy_j: energy,
+        exit_rate: Some(stats.early_rate()),
+    }
+}
+
+/// Evaluate a CBNet model (autoencoder + lightweight classifier).
+pub fn evaluate_cbnet(model: &mut CbnetModel, data: &Dataset, device: &DeviceModel) -> ModelReport {
+    let ae_ms = device.price_specs(&model.autoencoder.specs()).total_ms;
+    let lw_ms = device.price_network(&model.lightweight).total_ms;
+    let latency = ae_ms + lw_ms;
+    let preds = model.predict(&data.images);
+    let acc = accuracy(&preds, &data.labels) * 100.0;
+    let energy = EnergyReport::from_latency(device, latency).energy_j;
+    ModelReport {
+        model: "CBNet".to_string(),
+        latency_ms: latency,
+        accuracy_pct: acc,
+        energy_j: energy,
+        exit_rate: None,
+    }
+}
+
+/// The autoencoder's share of CBNet latency — the paper reports "up to 25%"
+/// (§IV-D).
+pub fn autoencoder_latency_fraction(model: &CbnetModel, device: &DeviceModel) -> f64 {
+    let ae_ms = device.price_specs(&model.autoencoder.specs()).total_ms;
+    let lw_ms = device.price_network(&model.lightweight).total_ms;
+    ae_ms / (ae_ms + lw_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{generate_pair, Family};
+    use models::branchynet::BranchyNetConfig;
+    use models::lenet::build_lenet;
+    use tensor::random::rng_from_seed;
+
+    #[test]
+    fn classifier_report_fields() {
+        let mut rng = rng_from_seed(0);
+        let mut net = build_lenet(&mut rng);
+        let split = generate_pair(Family::MnistLike, 10, 50, 3);
+        let device = DeviceModel::raspberry_pi4();
+        let r = evaluate_classifier("LeNet", &mut net, &split.test, &device);
+        assert_eq!(r.model, "LeNet");
+        assert!(r.latency_ms > 10.0 && r.latency_ms < 16.0);
+        assert!((0.0..=100.0).contains(&r.accuracy_pct));
+        assert!(r.energy_j > 0.0);
+        assert!(r.exit_rate.is_none());
+    }
+
+    #[test]
+    fn branchynet_latency_between_easy_and_full_path() {
+        let mut rng = rng_from_seed(1);
+        let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let split = generate_pair(Family::MnistLike, 10, 40, 5);
+        let device = DeviceModel::raspberry_pi4();
+
+        bn.set_threshold(f32::INFINITY); // all early
+        let all_early = evaluate_branchynet(&mut bn, &split.test, &device);
+        assert_eq!(all_early.exit_rate, Some(1.0));
+
+        bn.set_threshold(0.0); // none early
+        let none_early = evaluate_branchynet(&mut bn, &split.test, &device);
+        assert_eq!(none_early.exit_rate, Some(0.0));
+
+        assert!(
+            none_early.latency_ms > all_early.latency_ms * 3.0,
+            "full path {} should dwarf easy path {}",
+            none_early.latency_ms,
+            all_early.latency_ms
+        );
+    }
+
+    #[test]
+    fn speedup_and_savings_relations() {
+        let a = ModelReport {
+            model: "fast".into(),
+            latency_ms: 2.0,
+            accuracy_pct: 90.0,
+            energy_j: 0.01,
+            exit_rate: None,
+        };
+        let b = ModelReport {
+            model: "slow".into(),
+            latency_ms: 10.0,
+            accuracy_pct: 90.0,
+            energy_j: 0.05,
+            exit_rate: None,
+        };
+        assert!((a.speedup_vs(&b) - 5.0).abs() < 1e-9);
+        assert!((a.energy_savings_vs(&b) - 80.0).abs() < 1e-9);
+    }
+}

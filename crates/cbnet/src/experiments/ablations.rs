@@ -1,0 +1,213 @@
+//! DESIGN.md §4 ablations of the design choices the paper leaves implicit.
+//!
+//! 1. AE output activation: Sigmoid (our default) vs the literal Table I
+//!    Softmax vs Linear.
+//! 2. L1 activity-regularisation coefficient.
+//! 3. Target-selection policy (random / nearest / class-mean easy image).
+//! 4. Entropy-threshold sweep around the paper's per-dataset values.
+//! 5. BranchyNet joint-loss weights.
+
+use models::autoencoder::{
+    AutoencoderConfig, ConvertingAutoencoder, OutputActivation, TargetPolicy,
+};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::metrics::{accuracy, ExitStats};
+use models::training::{train_autoencoder, train_branchynet, TrainConfig};
+
+use crate::experiments::{ExperimentScale, TrainedFamily};
+use crate::table::TextTable;
+
+/// One ablation outcome: a labelled configuration with its end-to-end CBNet
+/// accuracy (and reconstruction loss where meaningful).
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// End-to-end CBNet accuracy on the test set, percent.
+    pub accuracy_pct: f32,
+    /// Final AE training loss (NaN when not applicable).
+    pub final_loss: f32,
+}
+
+fn retrain_ae_and_score(
+    tf: &mut TrainedFamily,
+    ae_config: AutoencoderConfig,
+    train_cfg: &TrainConfig,
+    label: &str,
+) -> AblationRow {
+    let easy_mask =
+        models::training::robust_easy_mask(&mut tf.artifacts.branchynet, &tf.split.train);
+    let mut rng = tensor::random::rng_from_seed(train_cfg.seed ^ 0xAB1A);
+    let mut ae = ConvertingAutoencoder::new(ae_config, &mut rng);
+    let report = train_autoencoder(&mut ae, &tf.split.train, &easy_mask, train_cfg);
+    // Swap the AE into the deployed model, score, and restore.
+    let converted = ae.forward(&tf.split.test.images);
+    let preds = tf
+        .artifacts
+        .cbnet
+        .lightweight
+        .predict(&converted)
+        .argmax_rows();
+    let acc = accuracy(&preds, &tf.split.test.labels) * 100.0;
+    AblationRow {
+        config: label.to_string(),
+        accuracy_pct: acc,
+        final_loss: report.final_loss(),
+    }
+}
+
+/// Ablation 1: output activation.
+pub fn output_activation(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Vec<AblationRow> {
+    let train_cfg = scale.train_config();
+    [
+        (OutputActivation::Sigmoid, "sigmoid (default)"),
+        (OutputActivation::Softmax, "softmax (Table I literal)"),
+        (OutputActivation::Linear, "linear"),
+    ]
+    .into_iter()
+    .map(|(act, label)| {
+        let mut cfg = AutoencoderConfig::for_family(tf.family);
+        cfg.output_activation = act;
+        retrain_ae_and_score(tf, cfg, &train_cfg, label)
+    })
+    .collect()
+}
+
+/// Ablation 2: L1 activity-regularisation coefficient.
+pub fn l1_lambda(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Vec<AblationRow> {
+    let train_cfg = scale.train_config();
+    [(0.0, "λ = 0"), (1e-7, "λ = 1e-7 (paper)"), (1e-3, "λ = 1e-3")]
+        .into_iter()
+        .map(|(lambda, label)| {
+            let mut cfg = AutoencoderConfig::for_family(tf.family);
+            cfg.l1_lambda = lambda;
+            retrain_ae_and_score(tf, cfg, &train_cfg, label)
+        })
+        .collect()
+}
+
+/// Ablation 3: target-selection policy.
+pub fn target_policy(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Vec<AblationRow> {
+    let train_cfg = scale.train_config();
+    [
+        (TargetPolicy::RandomEasy, "random easy (paper)"),
+        (TargetPolicy::NearestEasy, "nearest easy"),
+        (TargetPolicy::ClassMeanEasy, "class-mean easy"),
+    ]
+    .into_iter()
+    .map(|(policy, label)| {
+        let mut cfg = AutoencoderConfig::for_family(tf.family);
+        cfg.target_policy = policy;
+        retrain_ae_and_score(tf, cfg, &train_cfg, label)
+    })
+    .collect()
+}
+
+/// One point of the threshold sweep (ablation 4).
+#[derive(Debug, Clone)]
+pub struct ThresholdPoint {
+    /// Entropy threshold.
+    pub threshold: f32,
+    /// Early-exit rate at this threshold, percent.
+    pub exit_rate_pct: f64,
+    /// BranchyNet accuracy at this threshold, percent.
+    pub accuracy_pct: f32,
+}
+
+/// Ablation 4: sweep the entropy threshold on the already-trained
+/// BranchyNet (no retraining needed — the threshold is an inference knob).
+pub fn threshold_sweep(tf: &mut TrainedFamily, thresholds: &[f32]) -> Vec<ThresholdPoint> {
+    let original = tf.artifacts.branchynet.config().entropy_threshold;
+    let mut out = Vec::with_capacity(thresholds.len());
+    for &t in thresholds {
+        tf.artifacts.branchynet.set_threshold(t);
+        let outputs = tf.artifacts.branchynet.infer(&tf.split.test.images);
+        let stats = ExitStats::from_outputs(&outputs);
+        let preds: Vec<usize> = outputs.iter().map(|o| o.prediction).collect();
+        out.push(ThresholdPoint {
+            threshold: t,
+            exit_rate_pct: stats.early_rate() as f64 * 100.0,
+            accuracy_pct: accuracy(&preds, &tf.split.test.labels) * 100.0,
+        });
+    }
+    tf.artifacts.branchynet.set_threshold(original);
+    out
+}
+
+/// Ablation 5: BranchyNet joint-loss weights — trains fresh networks.
+pub fn joint_weights(tf: &TrainedFamily, scale: &ExperimentScale) -> Vec<AblationRow> {
+    let train_cfg = scale.train_config();
+    [
+        ((1.0f32, 1.0f32), "w = (1.0, 1.0) (default)"),
+        ((1.0, 0.3), "w = (1.0, 0.3)"),
+        ((0.3, 1.0), "w = (0.3, 1.0)"),
+    ]
+    .into_iter()
+    .map(|((w1, w2), label)| {
+        let mut rng = tensor::random::rng_from_seed(scale.seed ^ 0x10_1717);
+        let mut bn = BranchyNet::new(
+            BranchyNetConfig {
+                entropy_threshold: tf.family.branchynet_threshold(),
+                weight_exit1: w1,
+                weight_exit2: w2,
+            },
+            &mut rng,
+        );
+        let report = train_branchynet(&mut bn, &tf.split.train, &train_cfg);
+        let preds = bn.predict(&tf.split.test.images);
+        AblationRow {
+            config: label.to_string(),
+            accuracy_pct: accuracy(&preds, &tf.split.test.labels) * 100.0,
+            final_loss: report.final_loss(),
+        }
+    })
+    .collect()
+}
+
+/// Render ablation rows as text.
+pub fn render(title: &str, rows: &[AblationRow]) -> String {
+    let mut t = TextTable::new(&["Config", "CBNet accuracy (%)", "Final loss"]);
+    for r in rows {
+        t.row(&[
+            r.config.clone(),
+            format!("{:.2}", r.accuracy_pct),
+            format!("{:.5}", r.final_loss),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Render a threshold sweep as text.
+pub fn render_thresholds(points: &[ThresholdPoint]) -> String {
+    let mut t = TextTable::new(&["Threshold", "Exit rate (%)", "Accuracy (%)"]);
+    for p in points {
+        t.row(&[
+            format!("{:.3}", p.threshold),
+            format!("{:.2}", p.exit_rate_pct),
+            format!("{:.2}", p.accuracy_pct),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats() {
+        let rows = vec![AblationRow {
+            config: "sigmoid".into(),
+            accuracy_pct: 98.5,
+            final_loss: 0.0123,
+        }];
+        let s = render("Ablation: output activation", &rows);
+        assert!(s.contains("sigmoid") && s.contains("98.50"));
+        let pts = vec![ThresholdPoint {
+            threshold: 0.05,
+            exit_rate_pct: 94.9,
+            accuracy_pct: 99.0,
+        }];
+        assert!(render_thresholds(&pts).contains("0.050"));
+    }
+}

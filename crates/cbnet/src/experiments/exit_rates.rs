@@ -1,0 +1,119 @@
+//! §IV-D's quoted statistics: per-dataset early-exit rates (94.88% MNIST /
+//! 76.91% FMNIST / 63.08% KMNIST in the paper) and the autoencoder's share
+//! of CBNet latency ("up to 25%").
+
+use edgesim::{Device, DeviceModel};
+use models::metrics::ExitStats;
+
+use crate::evaluation::autoencoder_latency_fraction;
+use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::table::{fmt_pct, TextTable};
+use datasets::Family;
+
+/// One dataset's exit/latency-decomposition statistics.
+#[derive(Debug, Clone)]
+pub struct ExitRateRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Early-exit rate on the test set, percent.
+    pub exit_rate_pct: f64,
+    /// Generator hard fraction, percent (ground truth the exit rate should
+    /// anticorrelate with).
+    pub hard_pct: f64,
+    /// Autoencoder share of CBNet latency per device, percent.
+    pub ae_fraction_pct: [f64; 3],
+}
+
+/// Compute the row for an already-trained family.
+pub fn row_for(tf: &mut TrainedFamily) -> ExitRateRow {
+    let outputs = tf.artifacts.branchynet.infer(&tf.split.test.images);
+    let stats = ExitStats::from_outputs(&outputs);
+    let mut ae_fraction_pct = [0.0f64; 3];
+    for (i, d) in Device::ALL.iter().enumerate() {
+        let model = DeviceModel::preset(*d);
+        ae_fraction_pct[i] =
+            autoencoder_latency_fraction(&tf.artifacts.cbnet, &model) * 100.0;
+    }
+    ExitRateRow {
+        dataset: tf.family.name().to_string(),
+        exit_rate_pct: stats.early_rate() as f64 * 100.0,
+        hard_pct: tf.split.test.hard_fraction() as f64 * 100.0,
+        ae_fraction_pct,
+    }
+}
+
+/// Train all families and compute the full report.
+pub fn run(scale: &ExperimentScale) -> Vec<ExitRateRow> {
+    Family::ALL
+        .iter()
+        .map(|f| {
+            let mut tf = prepare_family(*f, scale);
+            row_for(&mut tf)
+        })
+        .collect()
+}
+
+/// Render as text.
+pub fn render(rows: &[ExitRateRow]) -> String {
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Early-exit rate (%)",
+        "Hard samples (%)",
+        "AE share RPi4 (%)",
+        "AE share GCI (%)",
+        "AE share GPU (%)",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.dataset.clone(),
+            fmt_pct(r.exit_rate_pct),
+            fmt_pct(r.hard_pct),
+            fmt_pct(r.ae_fraction_pct[0]),
+            fmt_pct(r.ae_fraction_pct[1]),
+            fmt_pct(r.ae_fraction_pct[2]),
+        ]);
+    }
+    t.render()
+}
+
+/// Shape: exit rate falls as hard fraction rises across datasets.
+pub fn shape_holds(rows: &[ExitRateRow]) -> bool {
+    let mut sorted = rows.to_vec();
+    sorted.sort_by(|a, b| a.hard_pct.partial_cmp(&b.hard_pct).unwrap());
+    sorted
+        .windows(2)
+        .all(|w| w[0].exit_rate_pct >= w[1].exit_rate_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_detects_anticorrelation() {
+        let mk = |d: &str, e: f64, h: f64| ExitRateRow {
+            dataset: d.into(),
+            exit_rate_pct: e,
+            hard_pct: h,
+            ae_fraction_pct: [20.0, 22.0, 24.0],
+        };
+        assert!(shape_holds(&[
+            mk("MNIST", 94.9, 5.0),
+            mk("FMNIST", 76.9, 23.0),
+            mk("KMNIST", 63.1, 37.0)
+        ]));
+        assert!(!shape_holds(&[mk("A", 50.0, 5.0), mk("B", 90.0, 23.0)]));
+    }
+
+    #[test]
+    fn render_includes_columns() {
+        let rows = vec![ExitRateRow {
+            dataset: "MNIST".into(),
+            exit_rate_pct: 94.88,
+            hard_pct: 5.0,
+            ae_fraction_pct: [21.0, 23.0, 30.0],
+        }];
+        let s = render(&rows);
+        assert!(s.contains("94.88") && s.contains("AE share"));
+    }
+}

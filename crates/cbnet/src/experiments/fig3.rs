@@ -1,0 +1,109 @@
+//! Fig. 3: BranchyNet's speedup over LeNet shrinks as the hard-image
+//! fraction grows.
+//!
+//! The paper plots two bars (MNIST 5.5×@5% hard, FMNIST 1.7×@23% hard) on a
+//! Raspberry Pi 4. This driver reproduces the plot's data series for all
+//! three families — speedup from the *measured* exit rate of the trained
+//! BranchyNet, hard fraction from the generator's ground truth.
+
+use edgesim::DeviceModel;
+
+use crate::evaluation::{evaluate_branchynet, evaluate_classifier};
+use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::table::{fmt_pct, TextTable};
+use datasets::Family;
+
+/// One bar of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Point {
+    /// Dataset family name.
+    pub dataset: String,
+    /// BranchyNet speedup over LeNet (inference latency ratio, RPi 4).
+    pub speedup: f64,
+    /// Percentage of hard samples in the dataset (generator ground truth).
+    pub hard_pct: f64,
+    /// Measured early-exit rate of the trained network on the test set.
+    pub exit_rate_pct: f64,
+}
+
+/// Compute Fig. 3 for one already-trained family.
+pub fn point_for(tf: &mut TrainedFamily, device: &DeviceModel) -> Fig3Point {
+    let test = tf.split.test.clone();
+    let lenet = evaluate_classifier("LeNet", &mut tf.lenet, &test, device);
+    let branchy = evaluate_branchynet(&mut tf.artifacts.branchynet, &test, device);
+    Fig3Point {
+        dataset: tf.family.name().to_string(),
+        speedup: branchy.speedup_vs(&lenet),
+        hard_pct: test.hard_fraction() as f64 * 100.0,
+        exit_rate_pct: branchy.exit_rate.unwrap_or(0.0) as f64 * 100.0,
+    }
+}
+
+/// Train and compute the full figure (all families, RPi 4).
+pub fn run(scale: &ExperimentScale) -> Vec<Fig3Point> {
+    let device = DeviceModel::raspberry_pi4();
+    Family::ALL
+        .iter()
+        .map(|f| {
+            let mut tf = prepare_family(*f, scale);
+            point_for(&mut tf, &device)
+        })
+        .collect()
+}
+
+/// Render the figure's data series as text.
+pub fn render(points: &[Fig3Point]) -> String {
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "BranchyNet speedup over LeNet (×)",
+        "Hard samples (%)",
+        "Early-exit rate (%)",
+    ]);
+    for p in points {
+        t.row(&[
+            p.dataset.clone(),
+            format!("{:.2}", p.speedup),
+            fmt_pct(p.hard_pct),
+            fmt_pct(p.exit_rate_pct),
+        ]);
+    }
+    t.render()
+}
+
+/// The figure's qualitative claim: speedup falls as hard fraction rises.
+pub fn shape_holds(points: &[Fig3Point]) -> bool {
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.hard_pct.partial_cmp(&b.hard_pct).unwrap());
+    sorted.windows(2).all(|w| w[0].speedup >= w[1].speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_check_detects_ordering() {
+        let mk = |d: &str, s: f64, h: f64| Fig3Point {
+            dataset: d.into(),
+            speedup: s,
+            hard_pct: h,
+            exit_rate_pct: 100.0 - h,
+        };
+        let good = vec![mk("a", 5.5, 5.0), mk("b", 1.7, 23.0)];
+        assert!(shape_holds(&good));
+        let bad = vec![mk("a", 1.0, 5.0), mk("b", 3.0, 23.0)];
+        assert!(!shape_holds(&bad));
+    }
+
+    #[test]
+    fn render_includes_every_dataset() {
+        let points = vec![Fig3Point {
+            dataset: "MNIST".into(),
+            speedup: 5.5,
+            hard_pct: 5.0,
+            exit_rate_pct: 94.9,
+        }];
+        let s = render(&points);
+        assert!(s.contains("MNIST") && s.contains("5.50"));
+    }
+}

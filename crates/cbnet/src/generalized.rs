@@ -1,0 +1,237 @@
+//! The generalized CBNet pipeline — the paper's §V future work, implemented.
+//!
+//! §V: "Our future goal is also to generalize our approach, eliminating the
+//! dependency on BranchyNet for easy-hard classification … Our ongoing work
+//! shows promising initial results in extending the applicability of
+//! converting autoencoders to non-early-exiting DNNs."
+//!
+//! This pipeline needs no early-exit network at any stage:
+//!
+//! 1. train an arbitrary backbone (here: any `Network` builder — LeNet,
+//!    the residual backbone, …);
+//! 2. build the lightweight classifier with §III-B's general recipe:
+//!    truncate the backbone after `k` layers, append a fresh head, fine-tune;
+//! 3. label easy/hard by the *lightweight classifier's own confidence*
+//!    (softmax entropy below a tuned threshold and prediction correct ⇒
+//!    easy) — no branches involved;
+//! 4. train the converting autoencoder on those labels exactly as before;
+//! 5. deploy AE → lightweight.
+
+use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
+use models::lightweight::truncate_backbone;
+use models::training::{train_autoencoder, train_classifier, TrainConfig, TrainReport};
+use nn::Network;
+use tensor::ops::{entropy, softmax_slice};
+
+use crate::pipeline::CbnetModel;
+use datasets::{Dataset, Family, NUM_CLASSES};
+
+/// Configuration of the generalized pipeline.
+#[derive(Debug, Clone)]
+pub struct GeneralizedConfig {
+    /// Dataset family (sets the Table I autoencoder architecture).
+    pub family: Family,
+    /// How many backbone layers the lightweight classifier keeps.
+    pub truncate_at: usize,
+    /// Fraction of most-confident correct samples labelled easy.
+    pub easy_quantile: f32,
+    /// Backbone / head / AE training budget.
+    pub train: TrainConfig,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl GeneralizedConfig {
+    /// Sensible defaults: keep the first two layers (the stem), label the
+    /// most-confident 70% easy.
+    pub fn new(family: Family) -> Self {
+        GeneralizedConfig {
+            family,
+            truncate_at: 2,
+            easy_quantile: 0.7,
+            train: TrainConfig::default(),
+            seed: 0x6E4E,
+        }
+    }
+}
+
+/// Everything the generalized pipeline produces.
+pub struct GeneralizedArtifacts {
+    /// The trained full backbone (accuracy reference).
+    pub backbone: Network,
+    /// The assembled CBNet (AE + truncated-backbone classifier).
+    pub cbnet: CbnetModel,
+    /// Fraction of training samples labelled easy.
+    pub train_easy_rate: f32,
+    /// AE training telemetry.
+    pub ae_report: TrainReport,
+}
+
+/// Label easy/hard by the classifier's own confidence: a sample is easy iff
+/// the classifier is correct AND its softmax entropy falls in the
+/// lowest-`quantile` of correct samples. Guarantees ≥1 easy per class by
+/// promoting each class's lowest-entropy sample.
+pub fn confidence_easy_mask(
+    classifier: &mut Network,
+    data: &Dataset,
+    quantile: f32,
+) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0,1]");
+    let logits = classifier.predict(&data.images);
+    let classes = logits.dims()[1];
+    let mut probs = vec![0.0f32; classes];
+    let mut entropies = Vec::with_capacity(data.len());
+    let mut correct = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let row = logits.row_slice(i);
+        softmax_slice(row, &mut probs);
+        entropies.push(entropy(&probs));
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(k, _)| k)
+            .unwrap_or(0);
+        correct.push(pred == data.labels[i]);
+    }
+    // Entropy cutoff at the requested quantile of correct samples.
+    let mut correct_entropies: Vec<f32> = (0..data.len())
+        .filter(|&i| correct[i])
+        .map(|i| entropies[i])
+        .collect();
+    correct_entropies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let cutoff = if correct_entropies.is_empty() {
+        0.0
+    } else {
+        let idx = ((correct_entropies.len() - 1) as f32 * quantile) as usize;
+        correct_entropies[idx]
+    };
+    let mut easy: Vec<bool> = (0..data.len())
+        .map(|i| correct[i] && entropies[i] <= cutoff)
+        .collect();
+    // Per-class guarantee.
+    for class in 0..NUM_CLASSES {
+        let members = data.class_indices(class);
+        if members.is_empty() || members.iter().any(|&i| easy[i]) {
+            continue;
+        }
+        if let Some(&best) = members
+            .iter()
+            .min_by(|&&a, &&b| entropies[a].partial_cmp(&entropies[b]).unwrap())
+        {
+            easy[best] = true;
+        }
+    }
+    easy
+}
+
+/// Run the generalized pipeline over any backbone builder.
+pub fn train_generalized(
+    train: &Dataset,
+    build_backbone: impl FnOnce(&mut rand::rngs::StdRng) -> Network,
+    cfg: &GeneralizedConfig,
+) -> GeneralizedArtifacts {
+    let mut rng = tensor::random::rng_from_seed(cfg.seed);
+
+    // 1. Backbone.
+    let mut backbone = build_backbone(&mut rng);
+    let _ = train_classifier(&mut backbone, train, &cfg.train);
+
+    // 2. Truncated lightweight classifier, fine-tuned.
+    let mut lightweight = truncate_backbone(&backbone, cfg.truncate_at, NUM_CLASSES, &mut rng);
+    let _ = train_classifier(&mut lightweight, train, &cfg.train);
+
+    // 3. Confidence-based easy/hard labels — no early-exit network anywhere.
+    let easy_mask = confidence_easy_mask(&mut lightweight, train, cfg.easy_quantile);
+    let train_easy_rate =
+        easy_mask.iter().filter(|&&e| e).count() as f32 / easy_mask.len().max(1) as f32;
+
+    // 4. Converting autoencoder on those labels.
+    let mut autoencoder =
+        ConvertingAutoencoder::new(AutoencoderConfig::for_family(cfg.family), &mut rng);
+    let ae_report = train_autoencoder(&mut autoencoder, train, &easy_mask, &cfg.train);
+
+    GeneralizedArtifacts {
+        backbone,
+        cbnet: CbnetModel {
+            autoencoder,
+            lightweight,
+        },
+        train_easy_rate,
+        ae_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::generate_pair;
+    use models::metrics::accuracy;
+    use models::resnet::build_resnet_mini;
+
+    #[test]
+    fn generalized_pipeline_on_residual_backbone() {
+        let split = generate_pair(Family::MnistLike, 1200, 300, 31);
+        let cfg = GeneralizedConfig {
+            train: TrainConfig {
+                epochs: 3,
+                batch_size: 64,
+                learning_rate: 2e-3,
+                seed: 5,
+            },
+            ..GeneralizedConfig::new(Family::MnistLike)
+        };
+        let mut arts = train_generalized(&split.train, |rng| build_resnet_mini(rng), &cfg);
+
+        assert!(arts.train_easy_rate > 0.2 && arts.train_easy_rate < 0.95);
+        assert!(arts.ae_report.roughly_converging());
+
+        let backbone_acc = accuracy(
+            &arts.backbone.predict(&split.test.images).argmax_rows(),
+            &split.test.labels,
+        );
+        let cbnet_acc = accuracy(&arts.cbnet.predict(&split.test.images), &split.test.labels);
+        assert!(backbone_acc > 0.6, "backbone accuracy {backbone_acc}");
+        assert!(cbnet_acc > 0.5, "generalized CBNet accuracy {cbnet_acc}");
+
+        // The deployed path is cheaper than the backbone despite the AE.
+        assert!(
+            arts.cbnet.lightweight.flops_per_sample() < arts.backbone.flops_per_sample(),
+            "lightweight must be cheaper than the backbone"
+        );
+    }
+
+    #[test]
+    fn confidence_mask_respects_quantile_and_class_coverage() {
+        let split = generate_pair(Family::FmnistLike, 600, 100, 9);
+        let mut rng = tensor::random::rng_from_seed(2);
+        let mut net = models::lenet::build_lenet(&mut rng);
+        let _ = train_classifier(
+            &mut net,
+            &split.train,
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let mask = confidence_easy_mask(&mut net, &split.train, 0.5);
+        let rate = mask.iter().filter(|&&e| e).count() as f32 / mask.len() as f32;
+        assert!(rate > 0.1 && rate < 0.9, "easy rate {rate}");
+        for class in 0..NUM_CLASSES {
+            let members = split.train.class_indices(class);
+            assert!(
+                members.iter().any(|&i| mask[i]),
+                "class {class} lacks easy examples"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        let split = generate_pair(Family::MnistLike, 20, 10, 1);
+        let mut rng = tensor::random::rng_from_seed(0);
+        let mut net = models::lenet::build_lenet(&mut rng);
+        let _ = confidence_easy_mask(&mut net, &split.train, 1.5);
+    }
+}

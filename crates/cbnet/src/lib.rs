@@ -1,0 +1,30 @@
+//! # cbnet — the CBNet framework (the paper's contribution)
+//!
+//! CBNet couples a **converting autoencoder** with a **lightweight DNN**
+//! (Fig. 2): the autoencoder transforms any input — easy or hard — into an
+//! easy image of the same class; the lightweight classifier (BranchyNet's
+//! truncated early-exit path) then classifies it cheaply. Inference latency
+//! is the sum of the two stages and is *input-independent*, which is exactly
+//! what lets CBNet keep its speed on hard-image-heavy datasets where
+//! early-exit DNNs collapse (Fig. 3).
+//!
+//! This crate provides:
+//!
+//! * [`pipeline`] — the end-to-end training pipeline (Fig. 4): train
+//!   BranchyNet jointly → label the training set easy/hard by exit → train
+//!   the converting autoencoder on hard→easy targets → extract the
+//!   lightweight classifier → assemble a [`pipeline::CbnetModel`];
+//! * [`evaluation`] — latency/accuracy/energy evaluation of every model
+//!   (LeNet, BranchyNet, CBNet, AdaDeep, SubFlow) on every device model;
+//! * [`experiments`] — one driver per table/figure of the paper (Table I/II,
+//!   Fig. 3/5/6–8, §IV-D exit rates) plus the DESIGN.md §4 ablations;
+//! * [`table`] — plain-text table / CSV rendering for the harness binaries.
+
+pub mod evaluation;
+pub mod generalized;
+pub mod experiments;
+pub mod pipeline;
+pub mod table;
+
+pub use evaluation::{ModelReport, Scenario};
+pub use pipeline::{CbnetModel, PipelineArtifacts, PipelineConfig};

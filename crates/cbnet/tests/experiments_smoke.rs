@@ -1,0 +1,124 @@
+//! Smoke tests of every experiment driver at small scale: each must run to
+//! completion, produce structurally valid rows, and render.
+//!
+//! The *shape* assertions (who wins, how trends bend) are exercised at full
+//! scale by the harness binaries and recorded in EXPERIMENTS.md; small-scale
+//! training is too noisy to pin shapes here, so these tests check structure
+//! and sanity only.
+
+use cbnet::experiments::{
+    ablations, exit_rates, fig3, fig5, scalability, table1, table2, prepare_family,
+    ExperimentScale,
+};
+use datasets::Family;
+use edgesim::DeviceModel;
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        n_train: 400,
+        n_test: 150,
+        epochs: 1,
+        seed: 77,
+    }
+}
+
+#[test]
+fn table1_is_static_and_correct() {
+    let rows = table1::rows();
+    assert_eq!(rows.len(), 5);
+    let rendered = table1::render();
+    assert!(rendered.contains("FullyConnected1"));
+}
+
+#[test]
+fn fig3_driver_produces_all_families() {
+    let mut tf = prepare_family(Family::MnistLike, &tiny());
+    let device = DeviceModel::raspberry_pi4();
+    let p = fig3::point_for(&mut tf, &device);
+    assert_eq!(p.dataset, "MNIST");
+    assert!(p.speedup > 0.0 && p.speedup.is_finite());
+    assert!((0.0..=100.0).contains(&p.hard_pct));
+    assert!((0.0..=100.0).contains(&p.exit_rate_pct));
+    assert!(fig3::render(&[p]).contains("MNIST"));
+}
+
+#[test]
+fn table2_driver_produces_valid_block() {
+    let mut tf = prepare_family(Family::FmnistLike, &tiny());
+    let block = table2::block_for(&mut tf);
+    assert_eq!(block.rows.len(), 3);
+    assert_eq!(block.rows[0].model, "LeNet");
+    for row in &block.rows {
+        for d in 0..3 {
+            assert!(row.latency_ms[d] > 0.0 && row.latency_ms[d].is_finite());
+        }
+        assert!((0.0..=100.0).contains(&row.accuracy_pct));
+    }
+    // LeNet row has no savings; others do.
+    assert!(block.rows[0].energy_savings_pct.iter().all(|s| s.is_none()));
+    assert!(block.rows[2].energy_savings_pct.iter().all(|s| s.is_some()));
+    assert!(table2::render(&[block]).contains("CBNet"));
+}
+
+#[test]
+fn fig5_driver_produces_five_models() {
+    let scale = tiny();
+    let mut tf = prepare_family(Family::MnistLike, &scale);
+    let r = fig5::results_for(&mut tf, &scale);
+    let names: Vec<&str> = r.reports.iter().map(|m| m.model.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["LeNet", "BranchyNet", "AdaDeep", "SubFlow", "CBNet"]
+    );
+    assert!(r.reports.iter().all(|m| m.latency_ms > 0.0));
+}
+
+#[test]
+fn scalability_driver_sweeps_all_ratios() {
+    let mut tf = prepare_family(Family::MnistLike, &tiny());
+    let device = DeviceModel::gci_cpu();
+    let curve = scalability::curve_for(&mut tf, &device, 3);
+    assert_eq!(curve.points.len(), 10);
+    // Total time grows with the ratio (more images).
+    let first = &curve.points[0];
+    let last = &curve.points[9];
+    assert!(last.n_images > first.n_images);
+    assert!(last.cbnet_total_s > first.cbnet_total_s);
+    assert!(last.branchy_total_s > first.branchy_total_s);
+    assert!(scalability::render(&curve).contains("GCI"));
+}
+
+#[test]
+fn exit_rates_driver_reports_fractions() {
+    let mut tf = prepare_family(Family::KmnistLike, &tiny());
+    let row = exit_rates::row_for(&mut tf);
+    assert_eq!(row.dataset, "KMNIST");
+    assert!((0.0..=100.0).contains(&row.exit_rate_pct));
+    assert!(row.ae_fraction_pct.iter().all(|&f| (0.0..=100.0).contains(&f)));
+}
+
+#[test]
+fn threshold_sweep_is_monotone_in_exit_rate() {
+    let mut tf = prepare_family(Family::MnistLike, &tiny());
+    let pts = ablations::threshold_sweep(&mut tf, &[0.01, 0.1, 0.5, 1.5]);
+    assert_eq!(pts.len(), 4);
+    for w in pts.windows(2) {
+        assert!(
+            w[1].exit_rate_pct >= w[0].exit_rate_pct,
+            "exit rate must grow with threshold: {pts:?}"
+        );
+    }
+}
+
+#[test]
+fn ablation_drivers_run() {
+    let scale = tiny();
+    let mut tf = prepare_family(Family::MnistLike, &scale);
+    let rows = ablations::output_activation(&mut tf, &scale);
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r.final_loss.is_finite()));
+    let rows = ablations::target_policy(&mut tf, &scale);
+    assert_eq!(rows.len(), 3);
+    let rows = ablations::l1_lambda(&mut tf, &scale);
+    assert_eq!(rows.len(), 3);
+}

@@ -1,0 +1,263 @@
+//! The [`Dataset`] container and sampling utilities.
+
+use rand::Rng;
+use tensor::Tensor;
+
+use crate::family::Family;
+use crate::{IMAGE_PIXELS, NUM_CLASSES};
+
+/// A labelled image dataset.
+///
+/// Images are a `(n, 784)` tensor with pixel values in `[0, 1]`; labels are
+/// class indices. `gen_hard` records *generation-time* hardness (which
+/// samples were built with heavy corruption). Note this is ground truth about
+/// the generator — the CBNet pipeline never reads it for training; it labels
+/// easy/hard operationally via BranchyNet exits (Fig. 4 of the paper), and
+/// `gen_hard` is used only to validate that the two notions correlate.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `(n, 784)` pixel tensor.
+    pub images: Tensor,
+    /// Class label per image.
+    pub labels: Vec<usize>,
+    /// Generation-time hardness flag per image.
+    pub gen_hard: Vec<bool>,
+    /// The family this dataset was generated from, when known.
+    pub family: Option<Family>,
+}
+
+/// A train/test pair.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Build a dataset from parts.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or labels are out of range.
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        gen_hard: Vec<bool>,
+        family: Option<Family>,
+    ) -> Self {
+        assert_eq!(images.rank(), 2, "images must be (n, pixels)");
+        assert_eq!(images.dims()[1], IMAGE_PIXELS, "images must be 28×28");
+        assert_eq!(images.dims()[0], labels.len(), "label count mismatch");
+        assert_eq!(labels.len(), gen_hard.len(), "hardness count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < NUM_CLASSES),
+            "label out of range"
+        );
+        Dataset {
+            images,
+            labels,
+            gen_hard,
+            family,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Fraction of generation-time hard samples.
+    pub fn hard_fraction(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.gen_hard.iter().filter(|&&h| h).count() as f32 / self.len() as f32
+    }
+
+    /// One image as a `(1, 784)` tensor.
+    pub fn image(&self, i: usize) -> Tensor {
+        Tensor::from_vec(self.images.row_slice(i).to_vec(), &[1, IMAGE_PIXELS])
+    }
+
+    /// Select samples by index (copies).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            images: self.images.gather_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            gen_hard: indices.iter().map(|&i| self.gen_hard[i]).collect(),
+            family: self.family,
+        }
+    }
+
+    /// Take the first `n` samples.
+    pub fn take(&self, n: usize) -> Dataset {
+        let idx: Vec<usize> = (0..n.min(self.len())).collect();
+        self.subset(&idx)
+    }
+
+    /// A stratified subset of `ratio · len()` samples that preserves the
+    /// hard/easy mix — the sampling the paper's scalability analysis uses
+    /// ("We ensured that the proportion of hard test images used in each
+    /// experiment remained roughly the same", §IV-F).
+    pub fn stratified_ratio(&self, ratio: f32, rng: &mut impl Rng) -> Dataset {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+        let hard_idx: Vec<usize> = (0..self.len()).filter(|&i| self.gen_hard[i]).collect();
+        let easy_idx: Vec<usize> = (0..self.len()).filter(|&i| !self.gen_hard[i]).collect();
+        let take_hard = (hard_idx.len() as f32 * ratio).round() as usize;
+        let take_easy = (easy_idx.len() as f32 * ratio).round() as usize;
+        let mut chosen = Vec::with_capacity(take_hard + take_easy);
+        let h = tensor::random::sample_indices(hard_idx.len(), take_hard.min(hard_idx.len()), rng);
+        chosen.extend(h.into_iter().map(|k| hard_idx[k]));
+        let e = tensor::random::sample_indices(easy_idx.len(), take_easy.min(easy_idx.len()), rng);
+        chosen.extend(e.into_iter().map(|k| easy_idx[k]));
+        tensor::random::shuffle(&mut chosen, rng);
+        self.subset(&chosen)
+    }
+
+    /// Iterate over mini-batches of at most `batch` samples, in order.
+    pub fn batches(&self, batch: usize) -> impl Iterator<Item = (Tensor, &[usize])> + '_ {
+        assert!(batch > 0, "batch size must be positive");
+        let n = self.len();
+        (0..n.div_ceil(batch)).map(move |b| {
+            let lo = b * batch;
+            let hi = ((b + 1) * batch).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            (self.images.gather_rows(&idx), &self.labels[lo..hi])
+        })
+    }
+
+    /// A shuffled index permutation for one training epoch.
+    pub fn epoch_order(&self, rng: &mut impl Rng) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        tensor::random::shuffle(&mut order, rng);
+        order
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> [usize; NUM_CLASSES] {
+        let mut counts = [0usize; NUM_CLASSES];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Indices of all samples of one class.
+    pub fn class_indices(&self, class: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+
+    fn toy(n: usize, hard_every: usize) -> Dataset {
+        let images = Tensor::zeros(&[n, IMAGE_PIXELS]);
+        let labels: Vec<usize> = (0..n).map(|i| i % NUM_CLASSES).collect();
+        let hard: Vec<bool> = (0..n).map(|i| hard_every != 0 && i % hard_every == 0).collect();
+        Dataset::new(images, labels, hard, None)
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let d = toy(50, 5);
+        assert_eq!(d.len(), 50);
+        assert!(!d.is_empty());
+        assert_eq!(d.hard_fraction(), 0.2);
+        assert_eq!(d.class_counts(), [5; NUM_CLASSES]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_rejected() {
+        let _ = Dataset::new(Tensor::zeros(&[3, IMAGE_PIXELS]), vec![0, 1], vec![false; 3], None);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let mut d = toy(10, 0);
+        d.images.data_mut()[3 * IMAGE_PIXELS] = 9.0; // mark sample 3
+        let s = d.subset(&[3, 7]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.images.data()[0], 9.0);
+        assert_eq!(s.labels, vec![3, 7]);
+    }
+
+    #[test]
+    fn take_clamps() {
+        let d = toy(5, 0);
+        assert_eq!(d.take(3).len(), 3);
+        assert_eq!(d.take(99).len(), 5);
+    }
+
+    #[test]
+    fn stratified_ratio_preserves_hard_fraction() {
+        let d = toy(1000, 4); // 25% hard
+        let mut rng = rng_from_seed(0);
+        for ratio in [0.1, 0.3, 0.5, 0.9] {
+            let s = d.stratified_ratio(ratio, &mut rng);
+            let expect_n = (1000.0 * ratio) as usize;
+            assert!(
+                (s.len() as i64 - expect_n as i64).unsigned_abs() <= 2,
+                "size {} vs {expect_n}",
+                s.len()
+            );
+            assert!(
+                (s.hard_fraction() - 0.25).abs() < 0.02,
+                "hard fraction drifted to {}",
+                s.hard_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_ratio_full_is_whole_set() {
+        let d = toy(100, 3);
+        let mut rng = rng_from_seed(1);
+        let s = d.stratified_ratio(1.0, &mut rng);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn batches_cover_everything_in_order() {
+        let d = toy(25, 0);
+        let batches: Vec<_> = d.batches(10).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.dims(), &[10, IMAGE_PIXELS]);
+        assert_eq!(batches[2].0.dims(), &[5, IMAGE_PIXELS]);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(batches[1].1[0], 10 % NUM_CLASSES);
+    }
+
+    #[test]
+    fn epoch_order_is_permutation() {
+        let d = toy(30, 0);
+        let mut rng = rng_from_seed(2);
+        let mut order = d.epoch_order(&mut rng);
+        order.sort_unstable();
+        assert_eq!(order, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn class_indices_match_labels() {
+        let d = toy(20, 0);
+        let idx = d.class_indices(3);
+        assert_eq!(idx, vec![3, 13]);
+    }
+
+    #[test]
+    fn image_extracts_single_row() {
+        let d = toy(4, 0);
+        let img = d.image(2);
+        assert_eq!(img.dims(), &[1, IMAGE_PIXELS]);
+    }
+}

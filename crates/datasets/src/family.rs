@@ -1,0 +1,100 @@
+//! Dataset families mirroring the paper's three benchmarks.
+
+/// The three dataset families of the paper's evaluation (§IV-B.2).
+///
+/// Each family pairs a glyph style with the hard-image fraction the paper
+/// reports for its real counterpart, and with the BranchyNet confidence
+/// threshold the paper tuned for it (§IV-B.1: 0.05 MNIST, 0.5 FMNIST,
+/// 0.025 KMNIST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Handwritten-digit-like glyphs; few hard samples (≈5%).
+    MnistLike,
+    /// Clothing-silhouette-like filled glyphs; ≈23% hard samples.
+    FmnistLike,
+    /// Cursive-script-like multi-stroke glyphs; ≈37% hard samples.
+    KmnistLike,
+}
+
+impl Family {
+    /// All families, in the paper's presentation order.
+    pub const ALL: [Family; 3] = [Family::MnistLike, Family::FmnistLike, Family::KmnistLike];
+
+    /// Default hard-image fraction, following the paper's measurements:
+    /// 5% of MNIST is hard (§III-A.1), 23% of FMNIST (§III-A.1), and
+    /// KMNIST's 63.08% early-exit rate (§IV-D) implies ≈37% hard.
+    pub fn default_hard_fraction(&self) -> f32 {
+        match self {
+            Family::MnistLike => 0.05,
+            Family::FmnistLike => 0.23,
+            Family::KmnistLike => 0.37,
+        }
+    }
+
+    /// BranchyNet entropy-threshold tuned per dataset in the paper
+    /// (§IV-B.1). Entropy below the threshold takes the early exit.
+    pub fn branchynet_threshold(&self) -> f32 {
+        match self {
+            Family::MnistLike => 0.05,
+            Family::FmnistLike => 0.5,
+            Family::KmnistLike => 0.025,
+        }
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::MnistLike => "MNIST",
+            Family::FmnistLike => "FMNIST",
+            Family::KmnistLike => "KMNIST",
+        }
+    }
+
+    /// Stable seed offset so different families never share streams.
+    pub fn seed_offset(&self) -> u64 {
+        match self {
+            Family::MnistLike => 0x10_000,
+            Family::FmnistLike => 0x20_000,
+            Family::KmnistLike => 0x30_000,
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_fractions_match_paper() {
+        assert_eq!(Family::MnistLike.default_hard_fraction(), 0.05);
+        assert_eq!(Family::FmnistLike.default_hard_fraction(), 0.23);
+        assert_eq!(Family::KmnistLike.default_hard_fraction(), 0.37);
+    }
+
+    #[test]
+    fn thresholds_match_paper_section_4b() {
+        assert_eq!(Family::MnistLike.branchynet_threshold(), 0.05);
+        assert_eq!(Family::FmnistLike.branchynet_threshold(), 0.5);
+        assert_eq!(Family::KmnistLike.branchynet_threshold(), 0.025);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Family::MnistLike.to_string(), "MNIST");
+        assert_eq!(Family::ALL.len(), 3);
+    }
+
+    #[test]
+    fn seed_offsets_are_distinct() {
+        let mut offs: Vec<u64> = Family::ALL.iter().map(|f| f.seed_offset()).collect();
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), 3);
+    }
+}

@@ -1,0 +1,619 @@
+//! Procedural glyph prototypes and the rasterizer.
+//!
+//! Each of the ten classes in each [`crate::Family`] is defined by a small
+//! set of vector primitives in the unit square. Rasterisation applies an
+//! affine transform (rotation about the centre, isotropic scale, translation)
+//! to the primitives and renders with a soft-edged coverage function, so
+//! geometric augmentation happens in vector space with no resampling
+//! artefacts.
+
+use crate::{IMAGE_PIXELS, IMAGE_SIDE};
+use crate::family::Family;
+
+/// A 2-D point in unit coordinates.
+pub type P = (f32, f32);
+
+/// Vector drawing primitives.
+#[derive(Debug, Clone)]
+pub enum Primitive {
+    /// Stroked segment from `a` to `b` with the given half-width.
+    Line {
+        /// Start point.
+        a: P,
+        /// End point.
+        b: P,
+        /// Stroke half-width in unit coordinates.
+        width: f32,
+    },
+    /// Stroked elliptical arc (angles in radians, counter-clockwise).
+    Arc {
+        /// Centre.
+        center: P,
+        /// Horizontal radius.
+        rx: f32,
+        /// Vertical radius.
+        ry: f32,
+        /// Start angle.
+        a0: f32,
+        /// End angle (may exceed 2π for full ellipses).
+        a1: f32,
+        /// Stroke half-width.
+        width: f32,
+    },
+    /// Filled triangle.
+    Tri {
+        /// Vertices.
+        v: [P; 3],
+    },
+}
+
+/// Affine pose applied to a glyph before rasterising.
+#[derive(Debug, Clone, Copy)]
+pub struct Pose {
+    /// Rotation about (0.5, 0.5), radians.
+    pub rotation: f32,
+    /// Isotropic scale about (0.5, 0.5).
+    pub scale: f32,
+    /// Translation in unit coordinates.
+    pub dx: f32,
+    /// Translation in unit coordinates.
+    pub dy: f32,
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose {
+            rotation: 0.0,
+            scale: 1.0,
+            dx: 0.0,
+            dy: 0.0,
+        }
+    }
+}
+
+impl Pose {
+    /// Apply the pose to a point.
+    #[inline]
+    pub fn apply(&self, p: P) -> P {
+        let (cx, cy) = (0.5, 0.5);
+        let (x, y) = (p.0 - cx, p.1 - cy);
+        let (s, c) = self.rotation.sin_cos();
+        let xr = (x * c - y * s) * self.scale;
+        let yr = (x * s + y * c) * self.scale;
+        (xr + cx + self.dx, yr + cy + self.dy)
+    }
+}
+
+/// Squared distance from point `p` to segment `ab`.
+#[inline]
+fn dist2_to_segment(p: P, a: P, b: P) -> f32 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 <= 1e-12 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    (px - cx) * (px - cx) + (py - cy) * (py - cy)
+}
+
+/// Signed area helper for point-in-triangle.
+#[inline]
+fn cross(o: P, a: P, b: P) -> f32 {
+    (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+}
+
+#[inline]
+fn in_triangle(p: P, v: &[P; 3]) -> bool {
+    let d0 = cross(v[0], v[1], p);
+    let d1 = cross(v[1], v[2], p);
+    let d2 = cross(v[2], v[0], p);
+    let has_neg = d0 < 0.0 || d1 < 0.0 || d2 < 0.0;
+    let has_pos = d0 > 0.0 || d1 > 0.0 || d2 > 0.0;
+    !(has_neg && has_pos)
+}
+
+/// Number of polyline segments used to approximate an arc.
+const ARC_SEGMENTS: usize = 24;
+
+/// Rasterise a glyph under a pose into a 28×28 buffer (values in `[0, 1]`).
+pub fn rasterize(prims: &[Primitive], pose: &Pose, out: &mut [f32]) {
+    assert_eq!(out.len(), IMAGE_PIXELS);
+    out.fill(0.0);
+
+    // Pre-transform all primitives into screen-space polylines / triangles.
+    let mut segs: Vec<(P, P, f32)> = Vec::new();
+    let mut tris: Vec<[P; 3]> = Vec::new();
+    for prim in prims {
+        match prim {
+            Primitive::Line { a, b, width } => {
+                segs.push((pose.apply(*a), pose.apply(*b), *width * pose.scale));
+            }
+            Primitive::Arc {
+                center,
+                rx,
+                ry,
+                a0,
+                a1,
+                width,
+            } => {
+                let mut prev: Option<P> = None;
+                for i in 0..=ARC_SEGMENTS {
+                    let t = *a0 + (*a1 - *a0) * (i as f32 / ARC_SEGMENTS as f32);
+                    let p = (center.0 + rx * t.cos(), center.1 + ry * t.sin());
+                    let tp = pose.apply(p);
+                    if let Some(pr) = prev {
+                        segs.push((pr, tp, *width * pose.scale));
+                    }
+                    prev = Some(tp);
+                }
+            }
+            Primitive::Tri { v } => {
+                tris.push([pose.apply(v[0]), pose.apply(v[1]), pose.apply(v[2])]);
+            }
+        }
+    }
+
+    let inv = 1.0 / IMAGE_SIDE as f32;
+    for py in 0..IMAGE_SIDE {
+        for px in 0..IMAGE_SIDE {
+            let p = ((px as f32 + 0.5) * inv, (py as f32 + 0.5) * inv);
+            let mut v: f32 = 0.0;
+            for (a, b, w) in &segs {
+                let d2 = dist2_to_segment(p, *a, *b);
+                // Soft edge: full intensity within w, linear falloff over one
+                // pixel beyond.
+                let d = d2.sqrt();
+                let edge = inv; // one pixel
+                let c = if d <= *w {
+                    1.0
+                } else if d <= *w + edge {
+                    1.0 - (d - *w) / edge
+                } else {
+                    0.0
+                };
+                v = v.max(c);
+            }
+            if v < 1.0 {
+                for t in &tris {
+                    if in_triangle(p, t) {
+                        v = 1.0;
+                        break;
+                    }
+                }
+            }
+            out[py * IMAGE_SIDE + px] = v;
+        }
+    }
+}
+
+/// Convenience: filled axis-aligned rectangle as two triangles.
+fn rect(x0: f32, y0: f32, x1: f32, y1: f32) -> [Primitive; 2] {
+    [
+        Primitive::Tri {
+            v: [(x0, y0), (x1, y0), (x1, y1)],
+        },
+        Primitive::Tri {
+            v: [(x0, y0), (x1, y1), (x0, y1)],
+        },
+    ]
+}
+
+const W: f32 = 0.035; // default stroke half-width
+
+/// The ten digit-like prototypes (MNIST-like family).
+fn mnist_prototype(class: usize) -> Vec<Primitive> {
+    use std::f32::consts::PI;
+    let line = |a: P, b: P| Primitive::Line { a, b, width: W };
+    match class {
+        0 => vec![Primitive::Arc {
+            center: (0.5, 0.5),
+            rx: 0.22,
+            ry: 0.32,
+            a0: 0.0,
+            a1: 2.0 * PI,
+            width: W,
+        }],
+        1 => vec![line((0.5, 0.18), (0.5, 0.82)), line((0.38, 0.30), (0.5, 0.18))],
+        2 => vec![
+            Primitive::Arc {
+                center: (0.5, 0.34),
+                rx: 0.20,
+                ry: 0.16,
+                a0: -PI,
+                a1: 0.35 * PI,
+                width: W,
+            },
+            line((0.64, 0.42), (0.32, 0.80)),
+            line((0.32, 0.80), (0.70, 0.80)),
+        ],
+        3 => vec![
+            Primitive::Arc {
+                center: (0.48, 0.34),
+                rx: 0.18,
+                ry: 0.15,
+                a0: -0.9 * PI,
+                a1: 0.5 * PI,
+                width: W,
+            },
+            Primitive::Arc {
+                center: (0.48, 0.64),
+                rx: 0.20,
+                ry: 0.17,
+                a0: -0.5 * PI,
+                a1: 0.9 * PI,
+                width: W,
+            },
+        ],
+        4 => vec![
+            line((0.62, 0.18), (0.62, 0.82)),
+            line((0.62, 0.18), (0.32, 0.58)),
+            line((0.32, 0.58), (0.74, 0.58)),
+        ],
+        5 => vec![
+            line((0.66, 0.20), (0.36, 0.20)),
+            line((0.36, 0.20), (0.36, 0.48)),
+            Primitive::Arc {
+                center: (0.50, 0.62),
+                rx: 0.19,
+                ry: 0.18,
+                a0: -0.55 * PI,
+                a1: 0.8 * PI,
+                width: W,
+            },
+        ],
+        6 => vec![
+            Primitive::Arc {
+                center: (0.5, 0.62),
+                rx: 0.18,
+                ry: 0.17,
+                a0: 0.0,
+                a1: 2.0 * PI,
+                width: W,
+            },
+            line((0.40, 0.52), (0.58, 0.18)),
+        ],
+        7 => vec![
+            line((0.32, 0.20), (0.70, 0.20)),
+            line((0.70, 0.20), (0.44, 0.82)),
+        ],
+        8 => vec![
+            Primitive::Arc {
+                center: (0.5, 0.34),
+                rx: 0.15,
+                ry: 0.14,
+                a0: 0.0,
+                a1: 2.0 * PI,
+                width: W,
+            },
+            Primitive::Arc {
+                center: (0.5, 0.66),
+                rx: 0.18,
+                ry: 0.16,
+                a0: 0.0,
+                a1: 2.0 * PI,
+                width: W,
+            },
+        ],
+        9 => vec![
+            Primitive::Arc {
+                center: (0.5, 0.38),
+                rx: 0.18,
+                ry: 0.17,
+                a0: 0.0,
+                a1: 2.0 * PI,
+                width: W,
+            },
+            line((0.62, 0.48), (0.54, 0.82)),
+        ],
+        _ => panic!("class out of range"),
+    }
+}
+
+/// The ten clothing-silhouette-like prototypes (FMNIST-like family).
+fn fmnist_prototype(class: usize) -> Vec<Primitive> {
+    let mut v = Vec::new();
+    match class {
+        // T-shirt: torso + short sleeves
+        0 => {
+            v.extend(rect(0.35, 0.30, 0.65, 0.78));
+            v.extend(rect(0.20, 0.30, 0.35, 0.45));
+            v.extend(rect(0.65, 0.30, 0.80, 0.45));
+        }
+        // Trouser: two legs
+        1 => {
+            v.extend(rect(0.36, 0.20, 0.64, 0.40));
+            v.extend(rect(0.36, 0.40, 0.47, 0.84));
+            v.extend(rect(0.53, 0.40, 0.64, 0.84));
+        }
+        // Pullover: torso + long sleeves
+        2 => {
+            v.extend(rect(0.34, 0.28, 0.66, 0.80));
+            v.extend(rect(0.16, 0.28, 0.34, 0.72));
+            v.extend(rect(0.66, 0.28, 0.84, 0.72));
+        }
+        // Dress: fitted top flaring to hem
+        3 => {
+            v.extend(rect(0.40, 0.22, 0.60, 0.45));
+            v.push(Primitive::Tri {
+                v: [(0.40, 0.45), (0.60, 0.45), (0.74, 0.84)],
+            });
+            v.push(Primitive::Tri {
+                v: [(0.40, 0.45), (0.74, 0.84), (0.26, 0.84)],
+            });
+        }
+        // Coat: long torso, long sleeves, open front line
+        4 => {
+            v.extend(rect(0.32, 0.24, 0.68, 0.86));
+            v.extend(rect(0.15, 0.24, 0.32, 0.80));
+            v.extend(rect(0.68, 0.24, 0.85, 0.80));
+            v.push(Primitive::Line {
+                a: (0.5, 0.24),
+                b: (0.5, 0.86),
+                width: 0.012,
+            });
+        }
+        // Sandal: sole + straps
+        5 => {
+            v.extend(rect(0.22, 0.62, 0.78, 0.72));
+            v.push(Primitive::Line {
+                a: (0.30, 0.62),
+                b: (0.48, 0.40),
+                width: W,
+            });
+            v.push(Primitive::Line {
+                a: (0.64, 0.62),
+                b: (0.48, 0.40),
+                width: W,
+            });
+        }
+        // Shirt: narrow torso, sleeves, collar
+        6 => {
+            v.extend(rect(0.38, 0.28, 0.62, 0.80));
+            v.extend(rect(0.24, 0.28, 0.38, 0.55));
+            v.extend(rect(0.62, 0.28, 0.76, 0.55));
+            v.push(Primitive::Line {
+                a: (0.44, 0.28),
+                b: (0.56, 0.28),
+                width: 0.02,
+            });
+        }
+        // Sneaker: low profile with toe rise
+        7 => {
+            v.extend(rect(0.20, 0.58, 0.80, 0.74));
+            v.push(Primitive::Tri {
+                v: [(0.20, 0.58), (0.44, 0.44), (0.44, 0.58)],
+            });
+        }
+        // Bag: body + handle arc
+        8 => {
+            v.extend(rect(0.28, 0.46, 0.72, 0.80));
+            v.push(Primitive::Arc {
+                center: (0.5, 0.46),
+                rx: 0.14,
+                ry: 0.14,
+                a0: std::f32::consts::PI,
+                a1: 2.0 * std::f32::consts::PI,
+                width: W,
+            });
+        }
+        // Ankle boot: tall shaft + foot
+        9 => {
+            v.extend(rect(0.38, 0.30, 0.60, 0.70));
+            v.extend(rect(0.38, 0.58, 0.80, 0.74));
+        }
+        _ => panic!("class out of range"),
+    }
+    v
+}
+
+/// The ten cursive-script-like prototypes (KMNIST-like family).
+///
+/// Built from overlapping arcs and hooked strokes; deliberately more
+/// inter-class-confusable than the other families, matching KMNIST's higher
+/// intrinsic difficulty.
+fn kmnist_prototype(class: usize) -> Vec<Primitive> {
+    use std::f32::consts::PI;
+    let line = |a: P, b: P| Primitive::Line { a, b, width: W };
+    let arc = |center: P, rx: f32, ry: f32, a0: f32, a1: f32| Primitive::Arc {
+        center,
+        rx,
+        ry,
+        a0,
+        a1,
+        width: W,
+    };
+    match class {
+        0 => vec![
+            arc((0.45, 0.40), 0.18, 0.14, 0.2 * PI, 1.6 * PI),
+            line((0.40, 0.55), (0.62, 0.82)),
+            line((0.62, 0.30), (0.58, 0.50)),
+        ],
+        1 => vec![
+            line((0.34, 0.24), (0.64, 0.24)),
+            arc((0.50, 0.58), 0.16, 0.22, -0.5 * PI, 0.9 * PI),
+            line((0.36, 0.70), (0.30, 0.84)),
+        ],
+        2 => vec![
+            arc((0.42, 0.36), 0.14, 0.12, -PI, 0.5 * PI),
+            arc((0.56, 0.64), 0.16, 0.16, -0.5 * PI, PI),
+            line((0.34, 0.50), (0.68, 0.44)),
+        ],
+        3 => vec![
+            line((0.50, 0.18), (0.50, 0.50)),
+            arc((0.48, 0.64), 0.19, 0.15, -0.8 * PI, 0.8 * PI),
+            line((0.32, 0.34), (0.68, 0.30)),
+        ],
+        4 => vec![
+            line((0.36, 0.22), (0.36, 0.78)),
+            arc((0.54, 0.48), 0.17, 0.20, -0.6 * PI, 0.6 * PI),
+            line((0.54, 0.70), (0.70, 0.84)),
+        ],
+        5 => vec![
+            arc((0.50, 0.34), 0.17, 0.13, -PI, 0.3 * PI),
+            line((0.50, 0.44), (0.42, 0.66)),
+            arc((0.52, 0.72), 0.14, 0.11, -0.9 * PI, 0.9 * PI),
+        ],
+        6 => vec![
+            line((0.30, 0.30), (0.70, 0.26)),
+            line((0.50, 0.26), (0.44, 0.84)),
+            arc((0.58, 0.60), 0.13, 0.13, -0.4 * PI, PI),
+        ],
+        7 => vec![
+            arc((0.46, 0.50), 0.22, 0.28, 0.4 * PI, 1.7 * PI),
+            line((0.60, 0.34), (0.74, 0.22)),
+        ],
+        8 => vec![
+            line((0.32, 0.24), (0.32, 0.80)),
+            line((0.32, 0.52), (0.66, 0.36)),
+            arc((0.62, 0.62), 0.15, 0.17, -0.5 * PI, PI),
+        ],
+        9 => vec![
+            arc((0.50, 0.40), 0.20, 0.16, 0.0, 1.5 * PI),
+            arc((0.50, 0.68), 0.12, 0.10, -PI, PI),
+        ],
+        _ => panic!("class out of range"),
+    }
+}
+
+/// The prototype primitives for one class of one family.
+pub fn prototype(family: Family, class: usize) -> Vec<Primitive> {
+    assert!(class < crate::NUM_CLASSES, "class {class} out of range");
+    match family {
+        Family::MnistLike => mnist_prototype(class),
+        Family::FmnistLike => fmnist_prototype(class),
+        Family::KmnistLike => kmnist_prototype(class),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_prototypes_render_nonempty() {
+        let mut buf = vec![0.0f32; IMAGE_PIXELS];
+        for family in Family::ALL {
+            for class in 0..crate::NUM_CLASSES {
+                let prims = prototype(family, class);
+                rasterize(&prims, &Pose::default(), &mut buf);
+                let ink: f32 = buf.iter().sum();
+                assert!(
+                    ink > 5.0,
+                    "{family} class {class} renders almost nothing (ink {ink})"
+                );
+                assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn prototypes_are_pairwise_distinct() {
+        // Within a family, every pair of classes must differ substantially —
+        // otherwise the classification task is ill-posed.
+        let mut bufs = vec![vec![0.0f32; IMAGE_PIXELS]; crate::NUM_CLASSES];
+        for family in Family::ALL {
+            for (class, buf) in bufs.iter_mut().enumerate() {
+                rasterize(&prototype(family, class), &Pose::default(), buf);
+            }
+            for i in 0..crate::NUM_CLASSES {
+                for j in (i + 1)..crate::NUM_CLASSES {
+                    let d: f32 = bufs[i]
+                        .iter()
+                        .zip(&bufs[j])
+                        .map(|(a, b)| (a - b).abs())
+                        .sum();
+                    assert!(
+                        d > 10.0,
+                        "{family} classes {i} and {j} are too similar (L1 {d})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pose_identity_is_noop() {
+        let p = Pose::default();
+        let pt = (0.3, 0.7);
+        let out = p.apply(pt);
+        assert!((out.0 - 0.3).abs() < 1e-6 && (out.1 - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pose_rotation_moves_off_center_points() {
+        let p = Pose {
+            rotation: std::f32::consts::FRAC_PI_2,
+            ..Pose::default()
+        };
+        let out = p.apply((0.7, 0.5)); // 90° about centre → (0.5, 0.7)
+        assert!((out.0 - 0.5).abs() < 1e-5 && (out.1 - 0.7).abs() < 1e-5);
+        // Centre is a fixed point.
+        let c = p.apply((0.5, 0.5));
+        assert!((c.0 - 0.5).abs() < 1e-6 && (c.1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotated_render_differs_from_upright() {
+        let prims = prototype(Family::MnistLike, 7);
+        let mut a = vec![0.0f32; IMAGE_PIXELS];
+        let mut b = vec![0.0f32; IMAGE_PIXELS];
+        rasterize(&prims, &Pose::default(), &mut a);
+        rasterize(
+            &prims,
+            &Pose {
+                rotation: 0.6,
+                ..Pose::default()
+            },
+            &mut b,
+        );
+        let d: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(d > 3.0, "rotation changed nothing (d={d})");
+    }
+
+    #[test]
+    fn scale_shrinks_ink_extent() {
+        let prims = prototype(Family::FmnistLike, 4);
+        let mut full = vec![0.0f32; IMAGE_PIXELS];
+        let mut small = vec![0.0f32; IMAGE_PIXELS];
+        rasterize(&prims, &Pose::default(), &mut full);
+        rasterize(
+            &prims,
+            &Pose {
+                scale: 0.5,
+                ..Pose::default()
+            },
+            &mut small,
+        );
+        let ink_full: f32 = full.iter().sum();
+        let ink_small: f32 = small.iter().sum();
+        assert!(ink_small < ink_full, "{ink_small} !< {ink_full}");
+    }
+
+    #[test]
+    fn triangle_containment() {
+        let t = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)];
+        assert!(in_triangle((0.2, 0.2), &t));
+        assert!(!in_triangle((0.8, 0.8), &t));
+        assert!(in_triangle((0.0, 0.0), &t)); // vertex counts as inside
+    }
+
+    #[test]
+    fn segment_distance() {
+        assert_eq!(dist2_to_segment((0.0, 1.0), (0.0, 0.0), (2.0, 0.0)), 1.0);
+        // Beyond the endpoint, distance is to the endpoint.
+        assert_eq!(dist2_to_segment((3.0, 0.0), (0.0, 0.0), (2.0, 0.0)), 1.0);
+        // Degenerate segment.
+        assert_eq!(dist2_to_segment((1.0, 0.0), (0.0, 0.0), (0.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_out_of_range_panics() {
+        let _ = prototype(Family::MnistLike, 10);
+    }
+}

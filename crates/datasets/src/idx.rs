@@ -1,0 +1,203 @@
+//! IDX-format loader (the MNIST family's native file format).
+//!
+//! When real `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` files are
+//! available on disk, this module loads them into a [`Dataset`] so every
+//! experiment in the workspace can run against the genuine benchmark instead
+//! of the procedural substitute. The format is the classic big-endian IDX:
+//!
+//! ```text
+//! images: u32 magic=0x00000803, u32 count, u32 rows, u32 cols, then bytes
+//! labels: u32 magic=0x00000801, u32 count, then bytes
+//! ```
+
+use std::io::Read;
+use std::path::Path;
+
+use tensor::{Tensor, TensorError};
+
+use crate::dataset::Dataset;
+use crate::{IMAGE_PIXELS, IMAGE_SIDE};
+
+/// Magic number for rank-3 (image) IDX files.
+pub const IMAGES_MAGIC: u32 = 0x0000_0803;
+/// Magic number for rank-1 (label) IDX files.
+pub const LABELS_MAGIC: u32 = 0x0000_0801;
+
+fn read_u32_be(bytes: &[u8], off: usize) -> Result<u32, TensorError> {
+    bytes
+        .get(off..off + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| TensorError::Deserialize("IDX truncated".into()))
+}
+
+/// Parse an IDX image file into a `(n, 784)` tensor scaled to `[0, 1]`.
+pub fn parse_images(bytes: &[u8]) -> Result<Tensor, TensorError> {
+    let magic = read_u32_be(bytes, 0)?;
+    if magic != IMAGES_MAGIC {
+        return Err(TensorError::Deserialize(format!(
+            "bad image magic {magic:#x}"
+        )));
+    }
+    let n = read_u32_be(bytes, 4)? as usize;
+    let rows = read_u32_be(bytes, 8)? as usize;
+    let cols = read_u32_be(bytes, 12)? as usize;
+    if rows != IMAGE_SIDE || cols != IMAGE_SIDE {
+        return Err(TensorError::Deserialize(format!(
+            "expected 28×28 images, got {rows}×{cols}"
+        )));
+    }
+    let body = &bytes[16..];
+    if body.len() < n * IMAGE_PIXELS {
+        return Err(TensorError::Deserialize("image body truncated".into()));
+    }
+    let data: Vec<f32> = body[..n * IMAGE_PIXELS]
+        .iter()
+        .map(|&b| b as f32 / 255.0)
+        .collect();
+    Tensor::try_from_vec(data, &[n, IMAGE_PIXELS])
+}
+
+/// Parse an IDX label file into class indices.
+pub fn parse_labels(bytes: &[u8]) -> Result<Vec<usize>, TensorError> {
+    let magic = read_u32_be(bytes, 0)?;
+    if magic != LABELS_MAGIC {
+        return Err(TensorError::Deserialize(format!(
+            "bad label magic {magic:#x}"
+        )));
+    }
+    let n = read_u32_be(bytes, 4)? as usize;
+    let body = &bytes[8..];
+    if body.len() < n {
+        return Err(TensorError::Deserialize("label body truncated".into()));
+    }
+    let labels: Vec<usize> = body[..n].iter().map(|&b| b as usize).collect();
+    if labels.iter().any(|&l| l >= crate::NUM_CLASSES) {
+        return Err(TensorError::Deserialize("label out of range".into()));
+    }
+    Ok(labels)
+}
+
+/// Load a dataset from a pair of IDX files on disk.
+///
+/// Hardness flags are initialised to `false`: with real data, hardness is an
+/// operational property determined by the BranchyNet exit statistics, not a
+/// generation-time attribute.
+pub fn load(images_path: &Path, labels_path: &Path) -> Result<Dataset, TensorError> {
+    let read_all = |p: &Path| -> Result<Vec<u8>, TensorError> {
+        let mut f = std::fs::File::open(p)
+            .map_err(|e| TensorError::Deserialize(format!("open {}: {e}", p.display())))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)
+            .map_err(|e| TensorError::Deserialize(format!("read {}: {e}", p.display())))?;
+        Ok(buf)
+    };
+    let images = parse_images(&read_all(images_path)?)?;
+    let labels = parse_labels(&read_all(labels_path)?)?;
+    if images.dims()[0] != labels.len() {
+        return Err(TensorError::Deserialize(
+            "image/label count mismatch".into(),
+        ));
+    }
+    let n = labels.len();
+    Ok(Dataset::new(images, labels, vec![false; n], None))
+}
+
+/// Serialize a dataset back to IDX bytes (images file). Used by tests and by
+/// tools that export generated data for external inspection.
+pub fn to_idx_images(ds: &Dataset) -> Vec<u8> {
+    let n = ds.len();
+    let mut out = Vec::with_capacity(16 + n * IMAGE_PIXELS);
+    out.extend_from_slice(&IMAGES_MAGIC.to_be_bytes());
+    out.extend_from_slice(&(n as u32).to_be_bytes());
+    out.extend_from_slice(&(IMAGE_SIDE as u32).to_be_bytes());
+    out.extend_from_slice(&(IMAGE_SIDE as u32).to_be_bytes());
+    for &v in ds.images.data() {
+        out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+    }
+    out
+}
+
+/// Serialize labels to IDX bytes.
+pub fn to_idx_labels(ds: &Dataset) -> Vec<u8> {
+    let n = ds.len();
+    let mut out = Vec::with_capacity(8 + n);
+    out.extend_from_slice(&LABELS_MAGIC.to_be_bytes());
+    out.extend_from_slice(&(n as u32).to_be_bytes());
+    for &l in &ds.labels {
+        out.push(l as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::Family;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_through_idx_bytes() {
+        let ds = generate(&GeneratorConfig::new(Family::MnistLike, 12, 3));
+        let img_bytes = to_idx_images(&ds);
+        let lbl_bytes = to_idx_labels(&ds);
+        let images = parse_images(&img_bytes).unwrap();
+        let labels = parse_labels(&lbl_bytes).unwrap();
+        assert_eq!(images.dims(), &[12, IMAGE_PIXELS]);
+        assert_eq!(labels, ds.labels);
+        // Quantisation to u8 loses at most 1/510 per pixel.
+        assert!(images.max_abs_diff(&ds.images) <= 0.5 / 255.0 + 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = to_idx_images(&generate(&GeneratorConfig::new(Family::MnistLike, 1, 0)));
+        b[3] = 0x99;
+        assert!(parse_images(&b).is_err());
+        let mut l = to_idx_labels(&generate(&GeneratorConfig::new(Family::MnistLike, 1, 0)));
+        l[3] = 0x99;
+        assert!(parse_labels(&l).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let ds = generate(&GeneratorConfig::new(Family::MnistLike, 4, 1));
+        let b = to_idx_images(&ds);
+        assert!(parse_images(&b[..b.len() - 10]).is_err());
+        assert!(parse_images(&b[..10]).is_err());
+        let l = to_idx_labels(&ds);
+        assert!(parse_labels(&l[..l.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_image_size() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&IMAGES_MAGIC.to_be_bytes());
+        b.extend_from_slice(&1u32.to_be_bytes());
+        b.extend_from_slice(&14u32.to_be_bytes());
+        b.extend_from_slice(&14u32.to_be_bytes());
+        b.extend(std::iter::repeat(0u8).take(196));
+        assert!(parse_images(&b).is_err());
+    }
+
+    #[test]
+    fn load_from_disk_roundtrip() {
+        let ds = generate(&GeneratorConfig::new(Family::KmnistLike, 8, 9));
+        let dir = std::env::temp_dir().join("cbnet_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ip = dir.join("images-idx3-ubyte");
+        let lp = dir.join("labels-idx1-ubyte");
+        std::fs::write(&ip, to_idx_images(&ds)).unwrap();
+        std::fs::write(&lp, to_idx_labels(&ds)).unwrap();
+        let loaded = load(&ip, &lp).unwrap();
+        assert_eq!(loaded.len(), 8);
+        assert_eq!(loaded.labels, ds.labels);
+        assert!(loaded.gen_hard.iter().all(|&h| !h));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let r = load(Path::new("/nonexistent/a"), Path::new("/nonexistent/b"));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # datasets — image-classification data for the CBNet reproduction
+//!
+//! The paper evaluates on MNIST, Fashion-MNIST and Kuzushiji-MNIST. Those
+//! downloads are not available in this offline environment, so this crate
+//! provides a **procedural substitute**: three families of 28×28 grayscale
+//! glyph datasets whose single load-bearing property — the fraction of
+//! *hard* images — is an explicit knob.
+//!
+//! Why this preserves the paper's phenomena: every effect the paper measures
+//! (Fig. 3's collapsing BranchyNet speedup, Table II's dataset-dependent
+//! latency, Figs. 6–8's scalability gap) is driven by how many inputs are too
+//! hard to take the early exit. Our generators produce exactly that
+//! distribution: each class has a canonical *prototype* glyph; easy samples
+//! are lightly jittered prototypes, hard samples are heavily transformed
+//! (rotated, scaled, blurred, occluded, noised) — mirroring the paper's
+//! description of hard inputs as "low-resolution or blurry images to complex
+//! images that are dissimilar to other images belonging to the same class".
+//! Default hard fractions follow the paper's measurements: ≈5% (MNIST),
+//! ≈23% (FMNIST), ≈37% (KMNIST) (§III-A.1, §IV-D).
+//!
+//! When real IDX files are present on disk (e.g. a genuine MNIST download),
+//! [`idx`] loads them instead — the rest of the workspace is agnostic.
+
+pub mod dataset;
+pub mod family;
+pub mod generator;
+pub mod glyphs;
+pub mod idx;
+pub mod transforms;
+
+pub use dataset::{Dataset, Split};
+pub use family::Family;
+pub use generator::{generate, generate_pair, GeneratorConfig};
+
+/// Image side length used throughout (28×28, like the MNIST family).
+pub const IMAGE_SIDE: usize = 28;
+/// Flattened image size.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of classes in every family (10, like the MNIST family).
+pub const NUM_CLASSES: usize = 10;

@@ -1,0 +1,217 @@
+//! Image-space corruption transforms used to produce *hard* samples.
+//!
+//! The paper characterises hard inputs as "low-resolution or blurry images to
+//! complex images that are dissimilar to other images belonging to the same
+//! class" (§I). The generator combines the geometric pose jitter from
+//! [`crate::glyphs`] with the pixel-space corruptions here.
+
+use rand::Rng;
+
+use crate::{IMAGE_PIXELS, IMAGE_SIDE};
+
+/// Add i.i.d. Gaussian noise with standard deviation `sigma`, clamping to
+/// `[0, 1]`.
+pub fn add_noise(img: &mut [f32], sigma: f32, rng: &mut impl Rng) {
+    debug_assert_eq!(img.len(), IMAGE_PIXELS);
+    for v in img.iter_mut() {
+        let (z, _) = tensor::random::box_muller(rng);
+        *v = (*v + sigma * z).clamp(0.0, 1.0);
+    }
+}
+
+/// One pass of 3×3 binomial blur (≈ Gaussian σ≈0.85); `passes` repeats
+/// approximate a wider Gaussian.
+pub fn blur(img: &mut [f32], passes: usize) {
+    debug_assert_eq!(img.len(), IMAGE_PIXELS);
+    let mut tmp = vec![0.0f32; IMAGE_PIXELS];
+    for _ in 0..passes {
+        for y in 0..IMAGE_SIDE {
+            for x in 0..IMAGE_SIDE {
+                let mut acc = 0.0f32;
+                let mut wsum = 0.0f32;
+                for dy in -1i32..=1 {
+                    let yy = y as i32 + dy;
+                    if yy < 0 || yy >= IMAGE_SIDE as i32 {
+                        continue;
+                    }
+                    for dx in -1i32..=1 {
+                        let xx = x as i32 + dx;
+                        if xx < 0 || xx >= IMAGE_SIDE as i32 {
+                            continue;
+                        }
+                        // Binomial weights 1-2-1 ⊗ 1-2-1.
+                        let w = ((2 - dx.abs()) * (2 - dy.abs())) as f32;
+                        acc += w * img[yy as usize * IMAGE_SIDE + xx as usize];
+                        wsum += w;
+                    }
+                }
+                tmp[y * IMAGE_SIDE + x] = acc / wsum;
+            }
+        }
+        img.copy_from_slice(&tmp);
+    }
+}
+
+/// Zero out a random axis-aligned rectangle covering roughly
+/// `frac` of the image area.
+pub fn occlude(img: &mut [f32], frac: f32, rng: &mut impl Rng) {
+    debug_assert_eq!(img.len(), IMAGE_PIXELS);
+    let side = ((IMAGE_PIXELS as f32 * frac).sqrt() as usize).clamp(1, IMAGE_SIDE);
+    let x0 = rng.gen_range(0..=(IMAGE_SIDE - side));
+    let y0 = rng.gen_range(0..=(IMAGE_SIDE - side));
+    for y in y0..y0 + side {
+        for x in x0..x0 + side {
+            img[y * IMAGE_SIDE + x] = 0.0;
+        }
+    }
+}
+
+/// Random contrast/brightness jitter: `v ← clamp(a·v + b)`.
+pub fn jitter_contrast(img: &mut [f32], rng: &mut impl Rng) {
+    let a = rng.gen_range(0.6..1.0);
+    let b = rng.gen_range(-0.08..0.08);
+    for v in img.iter_mut() {
+        *v = (a * *v + b).clamp(0.0, 1.0);
+    }
+}
+
+/// Salt-and-pepper corruption of a fraction of pixels.
+pub fn salt_pepper(img: &mut [f32], frac: f32, rng: &mut impl Rng) {
+    debug_assert_eq!(img.len(), IMAGE_PIXELS);
+    let n = (IMAGE_PIXELS as f32 * frac) as usize;
+    for _ in 0..n {
+        let i = rng.gen_range(0..IMAGE_PIXELS);
+        img[i] = if rng.gen::<bool>() { 1.0 } else { 0.0 };
+    }
+}
+
+/// Downsample to `IMAGE_SIDE/2` and bilinearly upsample back — the paper's
+/// "low-resolution" hard-image mode.
+pub fn degrade_resolution(img: &mut [f32]) {
+    const HALF: usize = IMAGE_SIDE / 2;
+    let mut small = [0.0f32; HALF * HALF];
+    for y in 0..HALF {
+        for x in 0..HALF {
+            let mut acc = 0.0;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    acc += img[(y * 2 + dy) * IMAGE_SIDE + (x * 2 + dx)];
+                }
+            }
+            small[y * HALF + x] = acc / 4.0;
+        }
+    }
+    for y in 0..IMAGE_SIDE {
+        for x in 0..IMAGE_SIDE {
+            // Bilinear sample of the half-res image.
+            let fy = (y as f32 + 0.5) / 2.0 - 0.5;
+            let fx = (x as f32 + 0.5) / 2.0 - 0.5;
+            let y0 = fy.floor().clamp(0.0, (HALF - 1) as f32) as usize;
+            let x0 = fx.floor().clamp(0.0, (HALF - 1) as f32) as usize;
+            let y1 = (y0 + 1).min(HALF - 1);
+            let x1 = (x0 + 1).min(HALF - 1);
+            let ty = (fy - y0 as f32).clamp(0.0, 1.0);
+            let tx = (fx - x0 as f32).clamp(0.0, 1.0);
+            let v = small[y0 * HALF + x0] * (1.0 - ty) * (1.0 - tx)
+                + small[y0 * HALF + x1] * (1.0 - ty) * tx
+                + small[y1 * HALF + x0] * ty * (1.0 - tx)
+                + small[y1 * HALF + x1] * ty * tx;
+            img[y * IMAGE_SIDE + x] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+
+    fn test_image() -> Vec<f32> {
+        // A bright square in the middle.
+        let mut img = vec![0.0f32; IMAGE_PIXELS];
+        for y in 10..18 {
+            for x in 10..18 {
+                img[y * IMAGE_SIDE + x] = 1.0;
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn noise_stays_in_range_and_changes_pixels() {
+        let mut rng = rng_from_seed(1);
+        let mut img = test_image();
+        let orig = img.clone();
+        add_noise(&mut img, 0.2, &mut rng);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_ne!(img, orig);
+    }
+
+    #[test]
+    fn blur_preserves_range_and_spreads_ink() {
+        let mut img = test_image();
+        let center_before = img[14 * IMAGE_SIDE + 14];
+        let outside_before = img[8 * IMAGE_SIDE + 14];
+        blur(&mut img, 3);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(img[14 * IMAGE_SIDE + 14] <= center_before);
+        assert!(img[8 * IMAGE_SIDE + 14] >= outside_before);
+        // Some ink must have leaked past the original square boundary.
+        assert!(img[9 * IMAGE_SIDE + 14] > 0.0);
+    }
+
+    #[test]
+    fn blur_zero_passes_is_identity() {
+        let mut img = test_image();
+        let orig = img.clone();
+        blur(&mut img, 0);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn occlusion_zeroes_a_block() {
+        let mut rng = rng_from_seed(2);
+        let mut img = vec![1.0f32; IMAGE_PIXELS];
+        occlude(&mut img, 0.25, &mut rng);
+        let zeros = img.iter().filter(|&&v| v == 0.0).count();
+        // A 14×14 block.
+        assert_eq!(zeros, 196);
+    }
+
+    #[test]
+    fn contrast_jitter_bounded() {
+        let mut rng = rng_from_seed(3);
+        let mut img = test_image();
+        jitter_contrast(&mut img, &mut rng);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn salt_pepper_sets_extremes() {
+        let mut rng = rng_from_seed(4);
+        let mut img = vec![0.5f32; IMAGE_PIXELS];
+        salt_pepper(&mut img, 0.1, &mut rng);
+        let extremes = img.iter().filter(|&&v| v == 0.0 || v == 1.0).count();
+        assert!(extremes > 30, "only {extremes} extreme pixels");
+        assert!(img.iter().filter(|&&v| v == 0.5).count() > IMAGE_PIXELS / 2);
+    }
+
+    #[test]
+    fn resolution_degradation_blurs_edges() {
+        let mut img = test_image();
+        degrade_resolution(&mut img);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // The hard edge at x=10 must now be soft: the pixel just outside
+        // receives some intensity.
+        assert!(img[14 * IMAGE_SIDE + 9] > 0.0);
+    }
+
+    #[test]
+    fn transforms_are_seed_deterministic() {
+        let mut a = test_image();
+        let mut b = test_image();
+        add_noise(&mut a, 0.1, &mut rng_from_seed(9));
+        add_noise(&mut b, 0.1, &mut rng_from_seed(9));
+        assert_eq!(a, b);
+    }
+}

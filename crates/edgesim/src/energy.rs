@@ -1,0 +1,95 @@
+//! Energy accounting: `E = P · Δt` (§IV-C).
+
+use crate::device::{Device, DeviceModel};
+use crate::power::PowerModel;
+
+/// Energy in joules for a latency in milliseconds at a power draw in watts.
+pub fn energy_joules(power_watts: f64, latency_ms: f64) -> f64 {
+    assert!(latency_ms >= 0.0, "latency must be non-negative");
+    power_watts * latency_ms / 1000.0
+}
+
+/// Percentage energy saving of `candidate` relative to `baseline`
+/// (positive = candidate uses less).
+pub fn savings_percent(baseline_j: f64, candidate_j: f64) -> f64 {
+    assert!(baseline_j > 0.0, "baseline energy must be positive");
+    (1.0 - candidate_j / baseline_j) * 100.0
+}
+
+/// Latency + power + energy for one model on one device — one cell of the
+/// paper's Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyReport {
+    /// Which device.
+    pub device: Device,
+    /// Mean per-image latency, milliseconds.
+    pub latency_ms: f64,
+    /// Power draw during inference, watts.
+    pub power_watts: f64,
+    /// Per-image energy, joules.
+    pub energy_j: f64,
+}
+
+impl EnergyReport {
+    /// Build a report from a device model and a per-image latency.
+    pub fn from_latency(model: &DeviceModel, latency_ms: f64) -> Self {
+        let power = PowerModel::for_device(model.device).watts(model.inference_utilization);
+        EnergyReport {
+            device: model.device,
+            latency_ms,
+            power_watts: power,
+            energy_j: energy_joules(power, latency_ms),
+        }
+    }
+
+    /// Energy saving of this report versus a baseline report, percent.
+    pub fn savings_vs(&self, baseline: &EnergyReport) -> f64 {
+        savings_percent(baseline.energy_j, self.energy_j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        assert_eq!(energy_joules(10.0, 1000.0), 10.0);
+        assert_eq!(energy_joules(5.0, 100.0), 0.5);
+        assert_eq!(energy_joules(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn savings_percent_basics() {
+        assert_eq!(savings_percent(10.0, 5.0), 50.0);
+        assert_eq!(savings_percent(10.0, 10.0), 0.0);
+        assert!(savings_percent(10.0, 12.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn savings_rejects_zero_baseline() {
+        let _ = savings_percent(0.0, 1.0);
+    }
+
+    #[test]
+    fn report_pulls_power_from_device_model() {
+        let m = DeviceModel::raspberry_pi4();
+        let r = EnergyReport::from_latency(&m, 12.735);
+        // P = 2.7 + 3.7·0.85 = 5.845 W
+        assert!((r.power_watts - 5.845).abs() < 1e-6);
+        assert!((r.energy_j - 5.845 * 12.735 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_vs_baseline_shape() {
+        // With near-constant power, savings track the latency ratio — the
+        // paper's §IV-E observation for the CPU devices.
+        let m = DeviceModel::raspberry_pi4();
+        let lenet = EnergyReport::from_latency(&m, 12.735);
+        let cbnet = EnergyReport::from_latency(&m, 2.4);
+        let s = cbnet.savings_vs(&lenet);
+        assert!((s - (1.0 - 2.4 / 12.735) * 100.0).abs() < 1e-9);
+        assert!(s > 80.0, "CBNet RPi savings {s:.1}% should be >80%");
+    }
+}

@@ -1,0 +1,41 @@
+//! # edgesim — analytical edge-device latency, power and energy models
+//!
+//! The paper's evaluation runs on three physical platforms: a Raspberry Pi 4
+//! (Chameleon CHI@Edge), a Google Cloud N1 instance (2 vCPU), and the same
+//! instance with an Nvidia Tesla K80. None of those are available here, so
+//! this crate substitutes **calibrated analytical models**:
+//!
+//! * [`device`] — per-layer latency: `dispatch + flops / throughput(kind)`,
+//!   with separate effective throughputs for convolution and dense layers
+//!   (the paper's Keras stack runs small-image convolutions orders of
+//!   magnitude less efficiently than BLAS GEMMs — that asymmetry is exactly
+//!   why a 1M-parameter dense autoencoder can cost less than a 50k-parameter
+//!   CNN, the fact CBNet exploits). Presets are calibrated to the paper's
+//!   measured LeNet per-image latencies (12.735 ms RPi / 1.322 ms GCI /
+//!   0.266 ms K80, Table II).
+//! * [`power`] — the paper's own power models, implemented verbatim:
+//!   Eq. (1) for the GCI (n/N scaling, β = 0.75, Haswell 40 W idle / 180 W
+//!   peak) and Eq. (2) (PowerPi, 2.7 W idle / 6.4 W peak, β = 1) for the
+//!   Raspberry Pi; constant measured averages for the GPU case (§IV-E:
+//!   17.7 W CPU, 79 W GPU).
+//! * [`energy`] — `E = P · Δt` accounting and savings-vs-baseline helpers.
+//! * [`pipeline`] — a discrete-event serving simulator (arrivals, a
+//!   single-device queue, tail-latency percentiles): an extension beyond the
+//!   paper's batch experiments that shows how exit-rate variance turns into
+//!   queueing delay.
+//!
+//! Because the paper reports *relative* speedups and savings, anchoring the
+//! baseline latency and applying the same per-layer accounting to every
+//! model preserves every comparison the paper makes while staying honest
+//! about absolute numbers (see DESIGN.md §1).
+
+pub mod device;
+pub mod energy;
+pub mod partition;
+pub mod pipeline;
+pub mod power;
+
+pub use device::{Device, DeviceModel, LatencyBreakdown};
+pub use energy::{energy_joules, savings_percent, EnergyReport};
+pub use partition::{best_split, Uplink};
+pub use power::PowerModel;

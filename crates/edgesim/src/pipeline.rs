@@ -1,0 +1,242 @@
+//! Discrete-event serving simulator.
+//!
+//! The paper evaluates batch inference (total time over a test set). Real
+//! edge deployments serve a *stream* of requests, where early-exit variance
+//! has a second-order effect the batch numbers hide: hard images hold the
+//! device busy 5–10× longer than easy ones, so bursts of hard inputs build
+//! queues. This module — an extension beyond the paper, flagged as such in
+//! DESIGN.md — simulates a single-device FIFO server under Poisson arrivals
+//! with a two-point service-time distribution (easy/hard), and reports
+//! sojourn-time percentiles and energy (busy power while serving, idle power
+//! otherwise).
+//!
+//! The simulator is deterministic given its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::device::DeviceModel;
+use crate::power::PowerModel;
+
+/// Workload + service parameters for one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Mean arrival rate, requests per second (Poisson process).
+    pub arrival_rate_hz: f64,
+    /// Service time of an easy request, milliseconds.
+    pub easy_service_ms: f64,
+    /// Service time of a hard request, milliseconds.
+    pub hard_service_ms: f64,
+    /// Probability a request is easy (the early-exit rate).
+    pub easy_fraction: f64,
+    /// Number of requests to simulate.
+    pub requests: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Aggregate results of one serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Mean sojourn (queue + service) time, ms.
+    pub mean_sojourn_ms: f64,
+    /// Median sojourn, ms.
+    pub p50_ms: f64,
+    /// 95th percentile sojourn, ms.
+    pub p95_ms: f64,
+    /// 99th percentile sojourn, ms.
+    pub p99_ms: f64,
+    /// Fraction of wall-clock time the server was busy.
+    pub utilization: f64,
+    /// Total simulated wall-clock time, ms.
+    pub makespan_ms: f64,
+    /// Total energy over the run, joules (busy + idle power integrated).
+    pub energy_j: f64,
+}
+
+/// Run the single-server FIFO simulation.
+///
+/// # Panics
+/// Panics on non-positive rates/times, `easy_fraction ∉ [0,1]`, or zero
+/// requests.
+pub fn simulate(device: &DeviceModel, cfg: &ServingConfig) -> ServingReport {
+    assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
+    assert!(
+        cfg.easy_service_ms > 0.0 && cfg.hard_service_ms > 0.0,
+        "service times must be positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.easy_fraction),
+        "easy fraction must be in [0, 1]"
+    );
+    assert!(cfg.requests > 0, "need at least one request");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mean_interarrival_ms = 1000.0 / cfg.arrival_rate_hz;
+
+    let mut arrival = 0.0f64; // arrival time of the current request
+    let mut server_free_at = 0.0f64;
+    let mut busy_ms = 0.0f64;
+    let mut sojourns: Vec<f64> = Vec::with_capacity(cfg.requests);
+
+    for _ in 0..cfg.requests {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        arrival += -mean_interarrival_ms * u.ln();
+        let service = if rng.gen::<f64>() < cfg.easy_fraction {
+            cfg.easy_service_ms
+        } else {
+            cfg.hard_service_ms
+        };
+        let start = arrival.max(server_free_at);
+        let finish = start + service;
+        sojourns.push(finish - arrival);
+        busy_ms += service;
+        server_free_at = finish;
+    }
+
+    let makespan = server_free_at;
+    sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        let idx = ((sojourns.len() as f64 - 1.0) * p).round() as usize;
+        sojourns[idx]
+    };
+    let mean = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+
+    let power = PowerModel::for_device(device.device);
+    let busy_w = power.watts(device.inference_utilization);
+    let idle_w = power.idle_watts();
+    let idle_ms = (makespan - busy_ms).max(0.0);
+    let energy_j = (busy_w * busy_ms + idle_w * idle_ms) / 1000.0;
+
+    ServingReport {
+        mean_sojourn_ms: mean,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        utilization: (busy_ms / makespan).min(1.0),
+        makespan_ms: makespan,
+        energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+
+    fn base_cfg() -> ServingConfig {
+        ServingConfig {
+            arrival_rate_hz: 50.0,
+            easy_service_ms: 2.0,
+            hard_service_ms: 13.0,
+            easy_fraction: 0.95,
+            requests: 5_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let d = DeviceModel::raspberry_pi4();
+        let a = simulate(&d, &base_cfg());
+        let b = simulate(&d, &base_cfg());
+        assert_eq!(a.mean_sojourn_ms, b.mean_sojourn_ms);
+        assert_eq!(a.p99_ms, b.p99_ms);
+    }
+
+    #[test]
+    fn sojourn_at_least_service_time() {
+        let d = DeviceModel::raspberry_pi4();
+        let r = simulate(&d, &base_cfg());
+        assert!(r.p50_ms >= 2.0 - 1e-9);
+        assert!(r.mean_sojourn_ms >= 2.0);
+        assert!(r.p99_ms >= r.p95_ms && r.p95_ms >= r.p50_ms);
+    }
+
+    #[test]
+    fn light_load_has_no_queueing() {
+        let d = DeviceModel::raspberry_pi4();
+        let cfg = ServingConfig {
+            arrival_rate_hz: 1.0, // mean gap 1000 ms ≫ service
+            ..base_cfg()
+        };
+        let r = simulate(&d, &cfg);
+        // Essentially every request is served immediately.
+        assert!(r.p50_ms <= 13.0 + 1e-9);
+        assert!(r.utilization < 0.05, "utilization {}", r.utilization);
+    }
+
+    #[test]
+    fn hard_fraction_increases_tail_latency() {
+        // The serving-level consequence of the paper's Fig. 3: more hard
+        // images ⇒ longer busy periods ⇒ heavier tails.
+        let d = DeviceModel::raspberry_pi4();
+        let mostly_easy = simulate(
+            &d,
+            &ServingConfig {
+                easy_fraction: 0.95,
+                ..base_cfg()
+            },
+        );
+        let mostly_hard = simulate(
+            &d,
+            &ServingConfig {
+                easy_fraction: 0.60,
+                ..base_cfg()
+            },
+        );
+        assert!(
+            mostly_hard.p95_ms > mostly_easy.p95_ms,
+            "hard-heavy p95 {} should exceed easy-heavy p95 {}",
+            mostly_hard.p95_ms,
+            mostly_easy.p95_ms
+        );
+        assert!(mostly_hard.utilization > mostly_easy.utilization);
+    }
+
+    #[test]
+    fn overload_grows_queues() {
+        let d = DeviceModel::raspberry_pi4();
+        // Offered load ρ = λ·E[S] ≈ 200/s · 2.55 ms ≈ 0.51 vs 400/s ≈ 1.02.
+        let stable = simulate(
+            &d,
+            &ServingConfig {
+                arrival_rate_hz: 200.0,
+                ..base_cfg()
+            },
+        );
+        let overloaded = simulate(
+            &d,
+            &ServingConfig {
+                arrival_rate_hz: 400.0,
+                ..base_cfg()
+            },
+        );
+        assert!(overloaded.mean_sojourn_ms > 2.0 * stable.mean_sojourn_ms);
+        assert!(overloaded.utilization > 0.95);
+    }
+
+    #[test]
+    fn energy_accounts_busy_and_idle() {
+        let d = DeviceModel::raspberry_pi4();
+        let r = simulate(&d, &base_cfg());
+        // Bounds: everything at idle power vs everything at busy power.
+        let lo = 2.7 * r.makespan_ms / 1000.0;
+        let hi = 5.845 * r.makespan_ms / 1000.0;
+        assert!(r.energy_j >= lo && r.energy_j <= hi, "energy {}", r.energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn rejects_bad_rate() {
+        let d = DeviceModel::raspberry_pi4();
+        let _ = simulate(
+            &d,
+            &ServingConfig {
+                arrival_rate_hz: 0.0,
+                ..base_cfg()
+            },
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper's power-consumption models, implemented verbatim (§IV-C).
+
+use crate::device::Device;
+
+/// Eq. (1): Google Cloud instance CPU power.
+///
+/// `P = (n/N) · (Pidle + (Ppeak − Pidle) · u^β)` with the paper's constants:
+/// n = 2 allocated vCPUs, N = 18 host cores, Haswell Pidle = 40 W,
+/// Ppeak = 180 W, β = 0.75.
+pub const GCI_VCPUS: f64 = 2.0;
+/// Host physical cores (N in Eq. 1).
+pub const GCI_HOST_CORES: f64 = 18.0;
+/// Haswell idle power (W), from Wang et al. \[33\].
+pub const GCI_P_IDLE: f64 = 40.0;
+/// Haswell peak power (W), from Wang et al. \[33\].
+pub const GCI_P_PEAK: f64 = 180.0;
+/// Eq. (1) exponent.
+pub const GCI_BETA: f64 = 0.75;
+
+/// Eq. (2): Raspberry Pi 4 power (PowerPi \[16\]), β = 1.
+pub const RPI_P_IDLE: f64 = 2.7;
+/// Raspberry Pi 4 peak power (W).
+pub const RPI_P_PEAK: f64 = 6.4;
+
+/// Average GPU power measured via nvidia-smi in the paper (§IV-E).
+pub const GPU_AVG_POWER: f64 = 79.0;
+/// Average CPU power alongside the GPU (§IV-E).
+pub const GPU_HOST_CPU_POWER: f64 = 17.7;
+
+/// A device's power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerModel {
+    /// Eq. (2), PowerPi.
+    RaspberryPi4,
+    /// Eq. (1), vCPU-scaled Haswell.
+    GciCpu,
+    /// Constant measured averages (GPU + host CPU).
+    GciGpu,
+}
+
+impl PowerModel {
+    /// The model for a device.
+    pub fn for_device(device: Device) -> Self {
+        match device {
+            Device::RaspberryPi4 => PowerModel::RaspberryPi4,
+            Device::GciCpu => PowerModel::GciCpu,
+            Device::GciGpu => PowerModel::GciGpu,
+        }
+    }
+
+    /// Power draw in watts at CPU utilization `u ∈ [0, 1]`.
+    ///
+    /// For the GPU model, `u` is ignored: the paper reports constant
+    /// averages (79 W GPU + 17.7 W CPU) across models and datasets.
+    ///
+    /// # Panics
+    /// Panics unless `u ∈ [0, 1]`.
+    pub fn watts(&self, u: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&u), "utilization must be in [0, 1]");
+        match self {
+            PowerModel::RaspberryPi4 => RPI_P_IDLE + (RPI_P_PEAK - RPI_P_IDLE) * u,
+            PowerModel::GciCpu => {
+                (GCI_VCPUS / GCI_HOST_CORES) * (GCI_P_IDLE + (GCI_P_PEAK - GCI_P_IDLE) * u.powf(GCI_BETA))
+            }
+            PowerModel::GciGpu => GPU_AVG_POWER + GPU_HOST_CPU_POWER,
+        }
+    }
+
+    /// Idle power draw in watts.
+    pub fn idle_watts(&self) -> f64 {
+        match self {
+            PowerModel::RaspberryPi4 => RPI_P_IDLE,
+            PowerModel::GciCpu => (GCI_VCPUS / GCI_HOST_CORES) * GCI_P_IDLE,
+            // nvidia-smi reports nonzero idle draw; the paper folds it into
+            // the averages, so idle ≈ host CPU idle share.
+            PowerModel::GciGpu => (GCI_VCPUS / GCI_HOST_CORES) * GCI_P_IDLE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpi_power_endpoints() {
+        let m = PowerModel::RaspberryPi4;
+        assert_eq!(m.watts(0.0), 2.7);
+        assert_eq!(m.watts(1.0), 6.4);
+        // β = 1 ⇒ linear midpoint.
+        assert!((m.watts(0.5) - 4.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gci_power_matches_equation_one() {
+        let m = PowerModel::GciCpu;
+        // u = 0: (2/18)·40 = 4.444…
+        assert!((m.watts(0.0) - 40.0 * 2.0 / 18.0).abs() < 1e-9);
+        // u = 1: (2/18)·180 = 20
+        assert!((m.watts(1.0) - 20.0).abs() < 1e-9);
+        // β = 0.75 concavity: watts(0.5) above the linear midpoint.
+        let linear_mid = (m.watts(0.0) + m.watts(1.0)) / 2.0;
+        assert!(m.watts(0.5) > linear_mid);
+    }
+
+    #[test]
+    fn gci_utilization_081_reproduces_paper_mean_power() {
+        // §IV-E: "the average CPU power consumption is 17.7 Watts".
+        let m = PowerModel::GciCpu;
+        let p = m.watts(0.81);
+        assert!((p - 17.7).abs() < 0.3, "GCI power at u=0.81 is {p:.2} W");
+    }
+
+    #[test]
+    fn gpu_power_is_constant_measured_average() {
+        let m = PowerModel::GciGpu;
+        assert_eq!(m.watts(0.2), 96.7);
+        assert_eq!(m.watts(0.9), 96.7);
+        // §IV-E calls the 79 W GPU draw "six times higher" than the 17.7 W
+        // CPU draw; the actual ratio of the paper's own constants is ≈4.5×.
+        // We reproduce the constants, not the prose arithmetic.
+        assert!(GPU_AVG_POWER / GPU_HOST_CPU_POWER > 4.0);
+    }
+
+    #[test]
+    fn power_is_monotone_in_utilization() {
+        for m in [PowerModel::RaspberryPi4, PowerModel::GciCpu] {
+            let mut prev = 0.0;
+            for i in 0..=10 {
+                let p = m.watts(i as f64 / 10.0);
+                assert!(p >= prev);
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn idle_below_active() {
+        for d in Device::ALL {
+            let m = PowerModel::for_device(d);
+            assert!(m.idle_watts() <= m.watts(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_bad_utilization() {
+        let _ = PowerModel::RaspberryPi4.watts(1.5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the device, power and queueing models.
+
+use proptest::prelude::*;
+use edgesim::pipeline::{simulate, ServingConfig};
+use edgesim::{Device, DeviceModel, PowerModel};
+use nn::{ActivationKind, LayerSpec};
+
+fn arbitrary_specs() -> impl Strategy<Value = Vec<LayerSpec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..512, 1usize..512)
+                .prop_map(|(i, o)| LayerSpec::Dense { in_dim: i, out_dim: o }),
+            (1usize..64).prop_map(|d| LayerSpec::Activation {
+                kind: ActivationKind::Relu,
+                dim: d
+            }),
+            (1usize..8, 2usize..8).prop_map(|(c, s)| LayerSpec::MaxPool2 {
+                channels: c,
+                in_h: s * 2,
+                in_w: s * 2,
+                window: 2
+            }),
+        ],
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn latency_is_positive_and_additive(specs in arbitrary_specs()) {
+        for dev in Device::ALL {
+            let m = DeviceModel::preset(dev);
+            let b = m.price_specs(&specs);
+            prop_assert!(b.total_ms > 0.0);
+            let sum: f64 = b.per_layer_ms.iter().map(|(_, t)| t).sum();
+            prop_assert!((sum - b.total_ms).abs() < 1e-9);
+            // Adding a layer never reduces latency.
+            let mut bigger = specs.clone();
+            bigger.push(LayerSpec::Dense { in_dim: 8, out_dim: 8 });
+            prop_assert!(m.price_specs(&bigger).total_ms > b.total_ms);
+        }
+    }
+
+    #[test]
+    fn device_ordering_holds_for_any_architecture(specs in arbitrary_specs()) {
+        // RPi is the slowest platform for every architecture in our presets.
+        let rpi = DeviceModel::raspberry_pi4().price_specs(&specs).total_ms;
+        let gci = DeviceModel::gci_cpu().price_specs(&specs).total_ms;
+        prop_assert!(rpi > gci, "rpi {rpi} !> gci {gci}");
+    }
+
+    #[test]
+    fn mixture_bounded_by_endpoints(easy in 0.01f64..10.0, tail in 0.01f64..10.0, rate in 0.0f64..1.0) {
+        let m = DeviceModel::raspberry_pi4();
+        let v = m.early_exit_mixture_ms(easy, tail, rate);
+        prop_assert!(v >= easy - 1e-12);
+        prop_assert!(v <= easy + tail + 1e-12);
+    }
+
+    #[test]
+    fn power_within_idle_peak_envelope(u in 0.0f64..1.0) {
+        for dev in Device::ALL {
+            let p = PowerModel::for_device(dev);
+            let w = p.watts(u);
+            prop_assert!(w >= p.idle_watts() - 1e-9, "{dev}: {w} below idle");
+            prop_assert!(w <= p.watts(1.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_latency(lat in 0.1f64..100.0) {
+        let m = DeviceModel::gci_cpu();
+        let r1 = edgesim::EnergyReport::from_latency(&m, lat);
+        let r2 = edgesim::EnergyReport::from_latency(&m, 2.0 * lat);
+        prop_assert!((r2.energy_j - 2.0 * r1.energy_j).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queueing_mean_at_least_service_mean(
+        rate in 10.0f64..200.0, easy_frac in 0.0f64..1.0, seed in 0u64..500
+    ) {
+        let m = DeviceModel::raspberry_pi4();
+        let cfg = ServingConfig {
+            arrival_rate_hz: rate,
+            easy_service_ms: 2.0,
+            hard_service_ms: 13.0,
+            easy_fraction: easy_frac,
+            requests: 2_000,
+            seed,
+        };
+        let r = simulate(&m, &cfg);
+        let mean_service = 2.0 * easy_frac + 13.0 * (1.0 - easy_frac);
+        // Sojourn ≥ service on average; allow sampling slack on the mix.
+        prop_assert!(r.mean_sojourn_ms >= mean_service * 0.8,
+            "mean sojourn {} below service mean {mean_service}", r.mean_sojourn_ms);
+        prop_assert!(r.utilization <= 1.0 + 1e-9);
+        prop_assert!(r.p99_ms >= r.p50_ms);
+        prop_assert!(r.energy_j > 0.0);
+    }
+
+    #[test]
+    fn faster_service_reduces_sojourn(rate in 20.0f64..100.0, seed in 0u64..500) {
+        let m = DeviceModel::raspberry_pi4();
+        let base = ServingConfig {
+            arrival_rate_hz: rate,
+            easy_service_ms: 4.0,
+            hard_service_ms: 4.0,
+            easy_fraction: 1.0,
+            requests: 3_000,
+            seed,
+        };
+        let slow = simulate(&m, &base);
+        let fast = simulate(&m, &ServingConfig { easy_service_ms: 2.0, hard_service_ms: 2.0, ..base });
+        prop_assert!(fast.mean_sojourn_ms < slow.mean_sojourn_ms);
+    }
+}

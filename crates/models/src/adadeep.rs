@@ -1,0 +1,247 @@
+//! AdaDeep-style usage-driven DNN compression search \[27\].
+//!
+//! AdaDeep "automatically selects the most suitable combination of
+//! compression techniques and the corresponding compression hyperparameters
+//! for a given DNN" under a performance/resource objective. This module
+//! reproduces that behaviour over the LeNet family: the search space is the
+//! cross product of conv-channel scaling and FC-width scaling (the two
+//! compression knobs that apply to a LeNet-sized model); every candidate is
+//! trained for a short budget and scored by a usage-driven objective that
+//! trades accuracy against inference cost.
+//!
+//! The paper uses AdaDeep purely as a latency/accuracy comparator on MNIST
+//! (Fig. 5); this implementation reproduces its qualitative position —
+//! cheaper than LeNet, costlier and less accurate than CBNet.
+
+use nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::lenet::{build_lenet_scaled, LENET_CONV_CHANNELS};
+use crate::metrics::accuracy;
+use crate::training::{train_classifier, TrainConfig};
+use datasets::Dataset;
+
+/// One point in the compression search space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Conv channel widths.
+    pub conv_channels: [usize; 3],
+    /// Hidden FC width.
+    pub fc_width: usize,
+}
+
+impl Candidate {
+    /// The uncompressed baseline.
+    pub fn baseline() -> Self {
+        Candidate {
+            conv_channels: LENET_CONV_CHANNELS,
+            fc_width: 84,
+        }
+    }
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaDeepConfig {
+    /// Weight of the (normalised) cost term in the objective; larger values
+    /// push the search toward smaller models. AdaDeep's µ-controller
+    /// balances exactly this trade-off.
+    pub cost_weight: f32,
+    /// Training budget per candidate.
+    pub train: TrainConfig,
+    /// Seed for candidate initialisation.
+    pub seed: u64,
+}
+
+impl Default for AdaDeepConfig {
+    fn default() -> Self {
+        AdaDeepConfig {
+            cost_weight: 0.3,
+            train: TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// One scored candidate from the search log.
+#[derive(Debug, Clone)]
+pub struct SearchEntry {
+    /// The candidate architecture.
+    pub candidate: Candidate,
+    /// Held-out accuracy after the training budget.
+    pub accuracy: f32,
+    /// Forward FLOPs per sample.
+    pub flops: u64,
+    /// Objective value (higher is better).
+    pub score: f32,
+}
+
+/// Result of an AdaDeep search: the selected network plus the full log.
+pub struct AdaDeepResult {
+    /// The trained winning network.
+    pub network: Network,
+    /// The winning candidate description.
+    pub selected: Candidate,
+    /// Every candidate evaluated, in evaluation order.
+    pub log: Vec<SearchEntry>,
+}
+
+/// The default candidate grid: channel scales {1, 0.75, 0.5} × FC scales
+/// {1, 0.5, 0.25}, mirroring AdaDeep's layer-wise compression levels.
+pub fn default_candidates() -> Vec<Candidate> {
+    let conv_scales = [1.0f32, 0.75, 0.5];
+    let fc_scales = [1.0f32, 0.5, 0.25];
+    let mut out = Vec::new();
+    for &cs in &conv_scales {
+        for &fs in &fc_scales {
+            let scale = |w: usize, s: f32| ((w as f32 * s).round() as usize).max(1);
+            out.push(Candidate {
+                conv_channels: [
+                    scale(LENET_CONV_CHANNELS[0], cs),
+                    scale(LENET_CONV_CHANNELS[1], cs),
+                    scale(LENET_CONV_CHANNELS[2], cs),
+                ],
+                fc_width: scale(84, fs),
+            });
+        }
+    }
+    out
+}
+
+/// Run the compression search: train each candidate briefly, score it by
+/// `accuracy − cost_weight · flops/baseline_flops`, return the best.
+pub fn search(
+    candidates: &[Candidate],
+    train_data: &Dataset,
+    eval_data: &Dataset,
+    cfg: &AdaDeepConfig,
+) -> AdaDeepResult {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let baseline_flops = {
+        let c = Candidate::baseline();
+        build_lenet_scaled(c.conv_channels, c.fc_width, &mut rng).flops_per_sample() as f32
+    };
+    let mut log = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f32, usize, Network)> = None;
+    for (i, cand) in candidates.iter().enumerate() {
+        let mut net = build_lenet_scaled(cand.conv_channels, cand.fc_width, &mut rng);
+        let _ = train_classifier(&mut net, train_data, &cfg.train);
+        let preds = net.predict(&eval_data.images).argmax_rows();
+        let acc = accuracy(&preds, &eval_data.labels);
+        let flops = net.flops_per_sample();
+        let score = acc - cfg.cost_weight * (flops as f32 / baseline_flops);
+        log.push(SearchEntry {
+            candidate: *cand,
+            accuracy: acc,
+            flops,
+            score,
+        });
+        let better = match &best {
+            None => true,
+            Some((bs, _, _)) => score > *bs,
+        };
+        if better {
+            best = Some((score, i, net));
+        }
+    }
+    let (_, idx, network) = best.unwrap();
+    AdaDeepResult {
+        network,
+        selected: candidates[idx],
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{generate, Family, GeneratorConfig};
+
+    #[test]
+    fn candidate_grid_is_nine_points() {
+        let c = default_candidates();
+        assert_eq!(c.len(), 9);
+        assert!(c.contains(&Candidate::baseline()));
+        // All candidate widths positive.
+        assert!(c
+            .iter()
+            .all(|c| c.conv_channels.iter().all(|&w| w > 0) && c.fc_width > 0));
+    }
+
+    #[test]
+    fn search_picks_highest_score_and_logs_all() {
+        let train = generate(&GeneratorConfig::new(Family::MnistLike, 150, 1));
+        let test = generate(&GeneratorConfig::new(Family::MnistLike, 80, 2));
+        // Two candidates only, tiny budget: keep the test fast.
+        let candidates = vec![
+            Candidate {
+                conv_channels: [2, 4, 8],
+                fc_width: 24,
+            },
+            Candidate {
+                conv_channels: [3, 6, 12],
+                fc_width: 42,
+            },
+        ];
+        let cfg = AdaDeepConfig {
+            cost_weight: 0.3,
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                learning_rate: 2e-3,
+                seed: 3,
+            },
+            seed: 4,
+        };
+        let result = search(&candidates, &train, &test, &cfg);
+        assert_eq!(result.log.len(), 2);
+        let best_score = result
+            .log
+            .iter()
+            .map(|e| e.score)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let selected_entry = result
+            .log
+            .iter()
+            .find(|e| e.candidate == result.selected)
+            .unwrap();
+        assert_eq!(selected_entry.score, best_score);
+        // The returned network matches the selected candidate's cost.
+        assert_eq!(result.network.flops_per_sample(), selected_entry.flops);
+    }
+
+    #[test]
+    fn cost_weight_zero_prefers_accuracy() {
+        // With no cost pressure, score == accuracy.
+        let train = generate(&GeneratorConfig::new(Family::MnistLike, 100, 5));
+        let test = generate(&GeneratorConfig::new(Family::MnistLike, 60, 6));
+        let candidates = vec![Candidate {
+            conv_channels: [2, 4, 8],
+            fc_width: 16,
+        }];
+        let cfg = AdaDeepConfig {
+            cost_weight: 0.0,
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                learning_rate: 2e-3,
+                seed: 1,
+            },
+            seed: 2,
+        };
+        let r = search(&candidates, &train, &test, &cfg);
+        assert!((r.log[0].score - r.log[0].accuracy).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let d = generate(&GeneratorConfig::new(Family::MnistLike, 10, 0));
+        let _ = search(&[], &d, &d, &AdaDeepConfig::default());
+    }
+}

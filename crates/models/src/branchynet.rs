@@ -1,0 +1,523 @@
+//! BranchyNet-LeNet \[31\]: early-exit DNN with entropy-thresholded exits.
+//!
+//! The network is decomposed into three sequential stages:
+//!
+//! ```text
+//!              ┌─ branch (conv 3×3 + fc)  → exit-1 logits
+//! x → trunk ───┤
+//!              └─ tail (conv2..fc2)       → exit-2 (main) logits
+//! ```
+//!
+//! * `trunk` = conv1 + relu + pool (shared, from [`crate::lenet`]),
+//! * `branch` = one convolution + one fully connected layer, per §IV-B.1
+//!   ("one early-exit branch consisting of one convolutional layer and one
+//!   fully-connected layer after the first convolutional layer"),
+//! * `tail` = the remainder of the LeNet main network.
+//!
+//! At inference, a sample whose exit-1 softmax entropy falls below the
+//! confidence threshold leaves with the branch prediction and never touches
+//! the tail — that is the entire source of BranchyNet's speedup, and of its
+//! collapse on hard-image-heavy datasets (the paper's Fig. 3).
+//!
+//! Training is joint: `L = w₁·CE(exit1) + w₂·CE(exit2)` with gradients from
+//! both exits summed through the shared trunk (§II-B).
+
+use nn::loss::SoftmaxCrossEntropy;
+use nn::{Activation, ActivationKind, Conv2d, Dense, MaxPool2, Network};
+use rand::Rng;
+use tensor::conv::Conv2dGeom;
+use tensor::ops::{entropy, softmax_slice};
+use tensor::Tensor;
+
+use crate::lenet::{tail_stage, trunk_stage, LENET_CLASSES};
+
+/// Configuration for BranchyNet construction and training.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchyNetConfig {
+    /// Entropy threshold below which a sample exits early. The paper tunes
+    /// this per dataset (0.05 MNIST / 0.5 FMNIST / 0.025 KMNIST, §IV-B.1).
+    pub entropy_threshold: f32,
+    /// Joint-loss weight of the early exit.
+    pub weight_exit1: f32,
+    /// Joint-loss weight of the main (final) exit.
+    pub weight_exit2: f32,
+}
+
+impl Default for BranchyNetConfig {
+    fn default() -> Self {
+        BranchyNetConfig {
+            entropy_threshold: 0.05,
+            weight_exit1: 1.0,
+            weight_exit2: 1.0,
+        }
+    }
+}
+
+/// Where a sample left the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitDecision {
+    /// Exited at the early branch (an *easy* sample in the paper's terms).
+    Early,
+    /// Continued through the full main network (a *hard* sample).
+    Main,
+}
+
+/// Per-sample inference outcome.
+#[derive(Debug, Clone)]
+pub struct BranchyOutput {
+    /// Predicted class.
+    pub prediction: usize,
+    /// Which exit produced the prediction.
+    pub exit: ExitDecision,
+    /// Softmax entropy at the early exit (the confidence measure).
+    pub exit1_entropy: f32,
+}
+
+/// BranchyNet-LeNet: trunk + early-exit branch + main tail.
+pub struct BranchyNet {
+    trunk: Network,
+    branch: Network,
+    tail: Network,
+    config: BranchyNetConfig,
+}
+
+/// Build the early-exit branch: pool + conv(8→6, 3×3) + ReLU + fc(96→10).
+///
+/// One convolutional layer and one fully-connected layer, per §IV-B.1; the
+/// leading 2×2 pool keeps the branch an order of magnitude cheaper than the
+/// main-network tail, which is what gives the early exit its speedup.
+fn branch_stage(rng: &mut impl Rng) -> Network {
+    let g = Conv2dGeom {
+        in_channels: 8,
+        in_h: 6,
+        in_w: 6,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 0,
+    };
+    Network::new()
+        .push(MaxPool2::new(8, 12, 12, 2))
+        .push(Conv2d::new(g, 6, rng))
+        .push(Activation::new(ActivationKind::Relu, 6 * 4 * 4))
+        .push(Dense::new(96, LENET_CLASSES, rng))
+}
+
+impl BranchyNet {
+    /// New BranchyNet with fresh weights.
+    pub fn new(config: BranchyNetConfig, rng: &mut impl Rng) -> Self {
+        BranchyNet {
+            trunk: trunk_stage(rng),
+            branch: branch_stage(rng),
+            tail: tail_stage(rng),
+            config,
+        }
+    }
+
+    /// Assemble from pre-trained stages (deserialisation).
+    pub fn from_stages(
+        trunk: Network,
+        branch: Network,
+        tail: Network,
+        config: BranchyNetConfig,
+    ) -> Self {
+        assert_eq!(trunk.out_dim(), branch.in_dim(), "trunk/branch mismatch");
+        assert_eq!(trunk.out_dim(), tail.in_dim(), "trunk/tail mismatch");
+        assert_eq!(branch.out_dim(), LENET_CLASSES);
+        assert_eq!(tail.out_dim(), LENET_CLASSES);
+        BranchyNet {
+            trunk,
+            branch,
+            tail,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BranchyNetConfig {
+        &self.config
+    }
+
+    /// Replace the entropy threshold (threshold sweeps).
+    pub fn set_threshold(&mut self, t: f32) {
+        self.config.entropy_threshold = t;
+    }
+
+    /// Borrow the stages (used by the lightweight-DNN extractor).
+    pub fn stages(&self) -> (&Network, &Network, &Network) {
+        (&self.trunk, &self.branch, &self.tail)
+    }
+
+    /// Total parameter count across stages.
+    pub fn param_count(&self) -> usize {
+        self.trunk.param_count() + self.branch.param_count() + self.tail.param_count()
+    }
+
+    /// One joint training step on a batch; returns `(loss1, loss2)`.
+    ///
+    /// Gradients from both exits flow into the shared trunk; the caller owns
+    /// the optimizer step via [`BranchyNet::params_and_grads`].
+    pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f32) {
+        self.zero_grads();
+        let h = self.trunk.forward(x, true);
+        let logits1 = self.branch.forward(&h, true);
+        let logits2 = self.tail.forward(&h, true);
+        let (l1, mut g1) = SoftmaxCrossEntropy.loss(&logits1, labels);
+        let (l2, mut g2) = SoftmaxCrossEntropy.loss(&logits2, labels);
+        g1.scale_in_place(self.config.weight_exit1);
+        g2.scale_in_place(self.config.weight_exit2);
+        let gh1 = self.branch.backward(&g1);
+        let gh2 = self.tail.backward(&g2);
+        let gh = gh1.add(&gh2);
+        let _ = self.trunk.backward(&gh);
+        (l1, l2)
+    }
+
+    /// Flattened `(param, grad)` list across all three stages, stable order.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        let mut v = self.trunk.params_and_grads();
+        v.extend(self.branch.params_and_grads());
+        v.extend(self.tail.params_and_grads());
+        v
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grads(&mut self) {
+        self.trunk.zero_grads();
+        self.branch.zero_grads();
+        self.tail.zero_grads();
+    }
+
+    /// Early-exit inference for a batch.
+    ///
+    /// Computes the trunk and branch for every sample, then runs the tail
+    /// only for the samples whose exit-1 entropy is at or above the
+    /// threshold — mirroring the deployed execution model, so latency
+    /// accounting can charge the tail only for non-exiting samples.
+    pub fn infer(&mut self, x: &Tensor) -> Vec<BranchyOutput> {
+        let n = x.dims()[0];
+        let h = self.trunk.predict(x);
+        let logits1 = self.branch.predict(&h);
+        let classes = LENET_CLASSES;
+        let mut out: Vec<BranchyOutput> = Vec::with_capacity(n);
+        let mut hard_rows: Vec<usize> = Vec::new();
+        let mut probs = vec![0.0f32; classes];
+        for s in 0..n {
+            let row = &logits1.data()[s * classes..(s + 1) * classes];
+            softmax_slice(row, &mut probs);
+            let ent = entropy(&probs);
+            if ent < self.config.entropy_threshold {
+                let pred = argmax(row);
+                out.push(BranchyOutput {
+                    prediction: pred,
+                    exit: ExitDecision::Early,
+                    exit1_entropy: ent,
+                });
+            } else {
+                hard_rows.push(s);
+                out.push(BranchyOutput {
+                    prediction: usize::MAX, // filled below
+                    exit: ExitDecision::Main,
+                    exit1_entropy: ent,
+                });
+            }
+        }
+        if !hard_rows.is_empty() {
+            let h_hard = h.gather_rows(&hard_rows);
+            let logits2 = self.tail.predict(&h_hard);
+            for (k, &s) in hard_rows.iter().enumerate() {
+                let row = &logits2.data()[k * classes..(k + 1) * classes];
+                out[s].prediction = argmax(row);
+            }
+        }
+        out
+    }
+
+    /// Predicted classes only.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.infer(x).into_iter().map(|o| o.prediction).collect()
+    }
+
+    /// Compute both exits for every sample regardless of the threshold:
+    /// `(branch_prediction, main_prediction, exit1_entropy)` per sample.
+    ///
+    /// This is the primitive behind threshold tuning — with both predictions
+    /// and the entropy in hand, the accuracy/exit-rate trade-off at *any*
+    /// threshold is a pure table lookup, no re-inference needed.
+    pub fn infer_full(&mut self, x: &Tensor) -> Vec<(usize, usize, f32)> {
+        let n = x.dims()[0];
+        let h = self.trunk.predict(x);
+        let logits1 = self.branch.predict(&h);
+        let logits2 = self.tail.predict(&h);
+        let classes = LENET_CLASSES;
+        let mut probs = vec![0.0f32; classes];
+        let mut out = Vec::with_capacity(n);
+        for s in 0..n {
+            let row1 = &logits1.data()[s * classes..(s + 1) * classes];
+            let row2 = &logits2.data()[s * classes..(s + 1) * classes];
+            softmax_slice(row1, &mut probs);
+            out.push((argmax(row1), argmax(row2), entropy(&probs)));
+        }
+        out
+    }
+
+    /// Tune the entropy threshold the way the paper did (§IV-B.1:
+    /// "thresholds were tuned to achieve the maximum performance for
+    /// BranchyNet"): pick the largest threshold — the highest exit rate —
+    /// whose accuracy stays within `tolerance` of the no-exit accuracy.
+    ///
+    /// Returns the chosen threshold and sets it on the network.
+    pub fn tune_threshold(&mut self, x: &Tensor, labels: &[usize], tolerance: f32) -> f32 {
+        assert_eq!(x.dims()[0], labels.len(), "label count mismatch");
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        let full = self.infer_full(x);
+        let n = labels.len().max(1) as f32;
+        let acc_at = |t: f32| -> f32 {
+            full.iter()
+                .zip(labels)
+                .filter(|((bp, mp, ent), &l)| if *ent < t { *bp == l } else { *mp == l })
+                .count() as f32
+                / n
+        };
+        let acc_full = acc_at(0.0);
+        // Candidate thresholds: the observed entropies themselves (plus a
+        // catch-all upper bound) — every achievable trade-off point.
+        let mut candidates: Vec<f32> = full.iter().map(|&(_, _, e)| e + 1e-6).collect();
+        candidates.push(f32::INFINITY);
+        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut best = 0.0f32;
+        for &t in &candidates {
+            if acc_at(t) + 1e-9 >= acc_full - tolerance {
+                best = best.max(t);
+            }
+        }
+        // Guard against degenerate all-exit thresholds when the branch is
+        // genuinely as good as the main net: cap at a finite value above the
+        // largest observed entropy.
+        if !best.is_finite() {
+            let max_ent = full.iter().map(|&(_, _, e)| e).fold(0.0f32, f32::max);
+            best = max_ent + 0.01;
+        }
+        self.set_threshold(best);
+        best
+    }
+
+    /// Label every sample easy (`true`) or hard (`false` ⇒ hard) by whether
+    /// it takes the early exit — the paper's Fig. 4 labelling procedure that
+    /// feeds converting-autoencoder training.
+    pub fn easy_mask(&mut self, x: &Tensor) -> Vec<bool> {
+        self.infer(x)
+            .into_iter()
+            .map(|o| o.exit == ExitDecision::Early)
+            .collect()
+    }
+
+    /// Serialize all three stages.
+    pub fn save(&self) -> bytes::Bytes {
+        let mut buf = bytes::BytesMut::new();
+        use bytes::BufMut;
+        buf.put_slice(b"BNET");
+        buf.put_f32_le(self.config.entropy_threshold);
+        buf.put_f32_le(self.config.weight_exit1);
+        buf.put_f32_le(self.config.weight_exit2);
+        for stage in [&self.trunk, &self.branch, &self.tail] {
+            let b = stage.save();
+            buf.put_u64_le(b.len() as u64);
+            buf.put_slice(&b);
+        }
+        buf.freeze()
+    }
+
+    /// Load a checkpoint written by [`BranchyNet::save`].
+    pub fn load(mut buf: impl bytes::Buf) -> Result<BranchyNet, tensor::TensorError> {
+        use tensor::TensorError;
+        let err = |m: &str| TensorError::Deserialize(m.into());
+        if buf.remaining() < 16 {
+            return Err(err("checkpoint too short"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"BNET" {
+            return Err(err("bad BranchyNet magic"));
+        }
+        let config = BranchyNetConfig {
+            entropy_threshold: buf.get_f32_le(),
+            weight_exit1: buf.get_f32_le(),
+            weight_exit2: buf.get_f32_le(),
+        };
+        let mut stages = Vec::with_capacity(3);
+        for _ in 0..3 {
+            if buf.remaining() < 8 {
+                return Err(err("truncated stage"));
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(err("truncated stage body"));
+            }
+            let body = buf.copy_to_bytes(len);
+            stages.push(Network::load(body)?);
+        }
+        let tail = stages.pop().unwrap();
+        let branch = stages.pop().unwrap();
+        let trunk = stages.pop().unwrap();
+        Ok(BranchyNet::from_stages(trunk, branch, tail, config))
+    }
+}
+
+#[inline]
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut bestv = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > bestv {
+            bestv = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+
+    fn tiny_batch(rng: &mut impl Rng, n: usize) -> (Tensor, Vec<usize>) {
+        let x = Tensor::rand_uniform(&[n, 784], 0.0, 1.0, rng);
+        let labels = (0..n).map(|i| i % LENET_CLASSES).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn stage_shapes_agree() {
+        let mut rng = rng_from_seed(0);
+        let b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let (trunk, branch, tail) = b.stages();
+        assert_eq!(trunk.out_dim(), 1152);
+        assert_eq!(branch.in_dim(), 1152);
+        assert_eq!(branch.out_dim(), 10);
+        assert_eq!(tail.in_dim(), 1152);
+        assert_eq!(tail.out_dim(), 10);
+    }
+
+    #[test]
+    fn branch_is_one_conv_one_fc() {
+        let mut rng = rng_from_seed(1);
+        let b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let specs = b.stages().1.specs();
+        let convs = specs
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::Conv2d { .. }))
+            .count();
+        let denses = specs
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::Dense { .. }))
+            .count();
+        assert_eq!(convs, 1, "paper: branch has one convolutional layer");
+        assert_eq!(denses, 1, "paper: branch has one fully-connected layer");
+    }
+
+    #[test]
+    fn infer_fills_all_predictions() {
+        let mut rng = rng_from_seed(2);
+        let mut b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let (x, _) = tiny_batch(&mut rng, 8);
+        let out = b.infer(&x);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|o| o.prediction < LENET_CLASSES));
+        assert!(out.iter().all(|o| o.exit1_entropy.is_finite()));
+    }
+
+    #[test]
+    fn threshold_extremes_route_everything() {
+        let mut rng = rng_from_seed(3);
+        let mut b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let (x, _) = tiny_batch(&mut rng, 6);
+        // Threshold = ∞ ⇒ all early.
+        b.set_threshold(f32::INFINITY);
+        assert!(b
+            .infer(&x)
+            .iter()
+            .all(|o| o.exit == ExitDecision::Early));
+        // Threshold = 0 ⇒ none early (entropy is non-negative).
+        b.set_threshold(0.0);
+        assert!(b.infer(&x).iter().all(|o| o.exit == ExitDecision::Main));
+    }
+
+    #[test]
+    fn easy_mask_matches_exits() {
+        let mut rng = rng_from_seed(4);
+        let mut b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let (x, _) = tiny_batch(&mut rng, 5);
+        b.set_threshold(1.0);
+        let mask = b.easy_mask(&x);
+        let exits = b.infer(&x);
+        for (m, o) in mask.iter().zip(&exits) {
+            assert_eq!(*m, o.exit == ExitDecision::Early);
+        }
+    }
+
+    #[test]
+    fn joint_training_reduces_both_losses() {
+        let mut rng = rng_from_seed(5);
+        let mut b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        // Tiny separable problem: 20 samples of 2 distinct patterns.
+        let mut x = Tensor::zeros(&[20, 784]);
+        let mut labels = vec![0usize; 20];
+        for s in 0..20 {
+            let class = s % 2;
+            labels[s] = class;
+            for p in 0..784 {
+                x.data_mut()[s * 784 + p] = if (p / 28 + class * 7) % 14 < 7 { 0.9 } else { 0.1 };
+            }
+        }
+        let mut opt = nn::Adam::with_defaults(0.002);
+        use nn::Optimizer;
+        let (l1_first, l2_first) = b.train_batch(&x, &labels);
+        {
+            let mut pg = b.params_and_grads();
+            opt.step(&mut pg);
+        }
+        let mut l1_last = l1_first;
+        let mut l2_last = l2_first;
+        for _ in 0..30 {
+            let (l1, l2) = b.train_batch(&x, &labels);
+            let mut pg = b.params_and_grads();
+            opt.step(&mut pg);
+            l1_last = l1;
+            l2_last = l2;
+        }
+        assert!(
+            l1_last < l1_first * 0.8,
+            "exit-1 loss did not drop: {l1_first} → {l1_last}"
+        );
+        assert!(
+            l2_last < l2_first * 0.8,
+            "exit-2 loss did not drop: {l2_first} → {l2_last}"
+        );
+    }
+
+    #[test]
+    fn save_load_preserves_inference() {
+        let mut rng = rng_from_seed(6);
+        let mut b = BranchyNet::new(
+            BranchyNetConfig {
+                entropy_threshold: 0.7,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let (x, _) = tiny_batch(&mut rng, 4);
+        let before: Vec<usize> = b.predict(&x);
+        let saved = b.save();
+        let mut loaded = BranchyNet::load(saved).unwrap();
+        assert_eq!(loaded.config().entropy_threshold, 0.7);
+        assert_eq!(loaded.predict(&x), before);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(BranchyNet::load(&b"XXXX0000000000000000"[..]).is_err());
+        assert!(BranchyNet::load(&b"BN"[..]).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Extensions implementing the paper's stated future work (§V):
+//!
+//! * "Our future goal is also to generalize our approach, **eliminating the
+//!   dependency on BranchyNet for easy-hard classification**" —
+//!   [`HardnessPredictor`]: a tiny standalone network trained on the exit
+//!   labels that predicts hardness directly from pixels, so deployment never
+//!   needs the early-exit machinery.
+//! * "… **while removing the decoder block**" — [`EncoderClassifier`]: a
+//!   classification head trained directly on the converting encoder's
+//!   bottleneck code, so inference runs encoder → head with no 784-wide
+//!   reconstruction.
+//! * "extending the applicability of converting autoencoders to
+//!   **non-early-exiting DNNs**" — see [`crate::lightweight::truncate_backbone`],
+//!   which builds a lightweight classifier from the first `k` layers of any
+//!   backbone.
+
+use nn::loss::SoftmaxCrossEntropy;
+use nn::{Activation, ActivationKind, Adam, Dense, Network, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::autoencoder::ConvertingAutoencoder;
+use crate::training::TrainConfig;
+use datasets::Dataset;
+
+/// A standalone easy/hard predictor (2-class MLP over pixels).
+///
+/// Trained on BranchyNet's exit labels once, it replaces the early-exit
+/// network at deployment: `hard(x)` costs two small dense layers instead of
+/// a trunk + branch forward pass.
+pub struct HardnessPredictor {
+    net: Network,
+}
+
+impl HardnessPredictor {
+    /// Build with a hidden width (64 is plenty for 28×28 glyphs).
+    pub fn new(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let net = Network::new()
+            .push(Dense::new(input, hidden, rng))
+            .push(Activation::new(ActivationKind::Relu, hidden))
+            .push(Dense::new(hidden, 2, rng));
+        HardnessPredictor { net }
+    }
+
+    /// Train on `(images, easy_mask)` — the same Fig. 4 labels the
+    /// autoencoder uses. Returns the final epoch's mean loss.
+    pub fn train(&mut self, data: &Dataset, easy_mask: &[bool], cfg: &TrainConfig) -> f32 {
+        assert_eq!(data.len(), easy_mask.len(), "mask length mismatch");
+        let labels: Vec<usize> = easy_mask.iter().map(|&e| usize::from(!e)).collect();
+        let mut opt = Adam::with_defaults(cfg.learning_rate);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4A8D);
+        let mut last = f32::NAN;
+        for _ in 0..cfg.epochs {
+            let order = data.epoch_order(&mut rng);
+            let mut sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let x = data.images.gather_rows(chunk);
+                let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                self.net.zero_grads();
+                let logits = self.net.forward(&x, true);
+                let (l, g) = SoftmaxCrossEntropy.loss(&logits, &y);
+                self.net.backward(&g);
+                let mut pg = self.net.params_and_grads();
+                opt.step(&mut pg);
+                sum += l as f64;
+                batches += 1;
+            }
+            last = (sum / batches.max(1) as f64) as f32;
+        }
+        last
+    }
+
+    /// Predict hardness for a batch: `true` = hard.
+    pub fn predict_hard(&mut self, x: &Tensor) -> Vec<bool> {
+        self.net
+            .predict(x)
+            .argmax_rows()
+            .into_iter()
+            .map(|c| c == 1)
+            .collect()
+    }
+
+    /// Agreement with a reference mask (`true` = easy), in `[0, 1]`.
+    pub fn agreement(&mut self, x: &Tensor, easy_mask: &[bool]) -> f32 {
+        let hard = self.predict_hard(x);
+        assert_eq!(hard.len(), easy_mask.len());
+        let agree = hard
+            .iter()
+            .zip(easy_mask)
+            .filter(|(h, e)| **h != **e)
+            .count();
+        agree as f32 / hard.len().max(1) as f32
+    }
+
+    /// Forward FLOPs per sample.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.net.flops_per_sample()
+    }
+}
+
+/// A decoder-free classifier: encoder bottleneck → dense softmax head.
+///
+/// Uses the *trained* converting encoder as a frozen feature extractor and
+/// trains only the head, mirroring §V's "removing the decoder block".
+pub struct EncoderClassifier {
+    head: Network,
+}
+
+impl EncoderClassifier {
+    /// New head over a bottleneck of width `code_dim`: one hidden ReLU
+    /// layer then softmax logits — enough capacity to unfold codes from the
+    /// linear bottleneck.
+    pub fn new(code_dim: usize, classes: usize, rng: &mut impl Rng) -> Self {
+        let hidden = (code_dim * 2).max(32);
+        let head = Network::new()
+            .push(Dense::new(code_dim, hidden, rng))
+            .push(Activation::new(ActivationKind::Relu, hidden))
+            .push(Dense::new(hidden, classes, rng));
+        EncoderClassifier { head }
+    }
+
+    /// Train the head on encoder codes (encoder frozen). Returns final loss.
+    pub fn train(
+        &mut self,
+        encoder: &mut ConvertingAutoencoder,
+        data: &Dataset,
+        cfg: &TrainConfig,
+    ) -> f32 {
+        let codes = encoder.encode(&data.images);
+        let mut opt = Adam::with_defaults(cfg.learning_rate);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xEC0D);
+        let mut last = f32::NAN;
+        for _ in 0..cfg.epochs {
+            let order = data.epoch_order(&mut rng);
+            let mut sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let x = codes.gather_rows(chunk);
+                let y: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+                self.head.zero_grads();
+                let logits = self.head.forward(&x, true);
+                let (l, g) = SoftmaxCrossEntropy.loss(&logits, &y);
+                self.head.backward(&g);
+                let mut pg = self.head.params_and_grads();
+                opt.step(&mut pg);
+                sum += l as f64;
+                batches += 1;
+            }
+            last = (sum / batches.max(1) as f64) as f32;
+        }
+        last
+    }
+
+    /// Classify a batch: encode then head — no decoder, no reconstruction.
+    pub fn predict(&mut self, encoder: &mut ConvertingAutoencoder, x: &Tensor) -> Vec<usize> {
+        let codes = encoder.encode(x);
+        self.head.predict(&codes).argmax_rows()
+    }
+
+    /// FLOPs of the decoder-free path (encoder + head) per sample.
+    pub fn flops_per_sample(&self, encoder: &ConvertingAutoencoder) -> u64 {
+        // Encoder cost = total minus the decoder's final wide layer; using
+        // specs keeps this exact.
+        let enc: u64 = encoder
+            .specs()
+            .iter()
+            .take(6) // three Dense+Activation pairs = the encoder
+            .map(|s| s.flops_per_sample())
+            .sum();
+        enc + self.head.flops_per_sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::AutoencoderConfig;
+    use datasets::{generate, Family, GeneratorConfig};
+    use tensor::random::rng_from_seed;
+
+    #[test]
+    fn hardness_predictor_learns_generated_hardness() {
+        // Train against the generator's ground-truth hardness: heavy
+        // corruption is visually detectable, so a small MLP must beat 70%.
+        let data = generate(&GeneratorConfig {
+            family: Family::MnistLike,
+            n: 800,
+            hard_fraction: Some(0.5),
+            seed: 3,
+        });
+        let easy: Vec<bool> = data.gen_hard.iter().map(|&h| !h).collect();
+        let mut rng = rng_from_seed(1);
+        let mut hp = HardnessPredictor::new(784, 64, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            seed: 2,
+        };
+        let loss = hp.train(&data, &easy, &cfg);
+        assert!(loss.is_finite());
+        let acc = hp.agreement(&data.images, &easy);
+        assert!(acc > 0.7, "hardness agreement only {acc}");
+    }
+
+    #[test]
+    fn hardness_predictor_is_cheap() {
+        let mut rng = rng_from_seed(2);
+        let hp = HardnessPredictor::new(784, 64, &mut rng);
+        let lenet = crate::lenet::build_lenet(&mut rng);
+        assert!(hp.flops_per_sample() * 3 < lenet.flops_per_sample());
+    }
+
+    #[test]
+    fn encoder_classifier_trains_without_decoder() {
+        let data = generate(&GeneratorConfig::new(Family::MnistLike, 600, 5));
+        let mut rng = rng_from_seed(3);
+        // A smaller AE keeps the test quick; architecture shape is the same.
+        let cfg_ae = AutoencoderConfig {
+            hidden: vec![
+                crate::autoencoder::HiddenLayer {
+                    width: 128,
+                    activation: nn::ActivationKind::Relu,
+                },
+                crate::autoencoder::HiddenLayer {
+                    width: 64,
+                    activation: nn::ActivationKind::Relu,
+                },
+                crate::autoencoder::HiddenLayer {
+                    width: 32,
+                    activation: nn::ActivationKind::Linear,
+                },
+            ],
+            ..AutoencoderConfig::mnist()
+        };
+        let mut ae = ConvertingAutoencoder::new(cfg_ae, &mut rng);
+        // Identity-ish AE training so codes carry class information.
+        let easy = vec![true; data.len()];
+        let tcfg = TrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            seed: 4,
+        };
+        let _ = crate::training::train_autoencoder(&mut ae, &data, &easy, &tcfg);
+
+        let mut ec = EncoderClassifier::new(ae.bottleneck_dim(), 10, &mut rng);
+        let _ = ec.train(&mut ae, &data, &tcfg);
+        let preds = ec.predict(&mut ae, &data.images);
+        let acc = crate::metrics::accuracy(&preds, &data.labels);
+        assert!(acc > 0.5, "encoder-classifier train accuracy only {acc}");
+
+        // Decoder-free path must be cheaper than the full AE + lightweight.
+        let full = ae.flops_per_sample();
+        assert!(ec.flops_per_sample(&ae) < full);
+    }
+}

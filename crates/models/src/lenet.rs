@@ -1,0 +1,260 @@
+//! The baseline LeNet classifier.
+//!
+//! The paper's baseline is "BranchyNet-LeNet … three convolutional layers and
+//! two fully-connected layers in the main network" (§IV-B.1); the standalone
+//! LeNet baseline of Table II is that same main network without the branch.
+//!
+//! Layer widths here are chosen so the *cost structure* matches the paper's
+//! measurements: the first convolution (the trunk shared with the early-exit
+//! branch) is a stride-2 layer carrying ≈11% of the network's FLOPs, and the
+//! second convolution dominates. That reproduces the paper's headline ratio —
+//! a BranchyNet easy path ≈5–7× cheaper than the full network (Fig. 3's 5.5×
+//! MNIST speedup, Table II's 6.8× CBNet-vs-LeNet) — which no equal-width
+//! LeNet can exhibit. See DESIGN.md §1 for the calibration rationale.
+
+use nn::{Activation, ActivationKind, Conv2d, Dense, MaxPool2, Network};
+use rand::Rng;
+use tensor::conv::Conv2dGeom;
+
+/// Output classes.
+pub const LENET_CLASSES: usize = 10;
+
+/// Channel widths of the three conv stages.
+pub const LENET_CONV_CHANNELS: [usize; 3] = [8, 16, 32];
+
+/// Hidden fully-connected width.
+pub const LENET_FC_WIDTH: usize = 84;
+
+/// Build the LeNet baseline for 28×28×1 inputs.
+///
+/// Architecture (shapes per sample):
+///
+/// ```text
+/// input 1×28×28
+/// conv1 5×5 s2 →  8×12×12   relu            (the shared trunk)
+/// conv2 5×5    → 16× 8× 8   relu  pool2 → 16×4×4
+/// conv3 3×3    → 32× 2× 2   relu
+/// fc1   128 → 84            relu
+/// fc2   84 → 10 (logits)
+/// ```
+///
+/// The first stage (conv1 + relu) is exactly the *trunk* shared with
+/// BranchyNet's early-exit branch; see [`crate::branchynet`].
+pub fn build_lenet(rng: &mut impl Rng) -> Network {
+    let mut net = trunk_stage(rng);
+    for layer in tail_stage(rng).into_layers() {
+        net.push_boxed(layer);
+    }
+    net
+}
+
+/// The shared first stage: conv1 (1→8, 5×5, stride 2) + ReLU.
+/// Output: 8×12×12 = 1152 features.
+pub fn trunk_stage(rng: &mut impl Rng) -> Network {
+    let g1 = Conv2dGeom {
+        in_channels: 1,
+        in_h: 28,
+        in_w: 28,
+        k_h: 5,
+        k_w: 5,
+        stride: 2,
+        pad: 0,
+    };
+    Network::new()
+        .push(Conv2d::new(g1, LENET_CONV_CHANNELS[0], rng))
+        .push(Activation::new(ActivationKind::Relu, 8 * 12 * 12))
+}
+
+/// The remainder of the main network after the shared stage:
+/// conv2 + pool + conv3 + both fully connected layers. Input: 8×12×12.
+pub fn tail_stage(rng: &mut impl Rng) -> Network {
+    let g2 = Conv2dGeom {
+        in_channels: 8,
+        in_h: 12,
+        in_w: 12,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let g3 = Conv2dGeom {
+        in_channels: 16,
+        in_h: 4,
+        in_w: 4,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 0,
+    };
+    Network::new()
+        .push(Conv2d::new(g2, LENET_CONV_CHANNELS[1], rng))
+        .push(Activation::new(ActivationKind::Relu, 16 * 8 * 8))
+        .push(MaxPool2::new(16, 8, 8, 2))
+        .push(Conv2d::new(g3, LENET_CONV_CHANNELS[2], rng))
+        .push(Activation::new(ActivationKind::Relu, 32 * 2 * 2))
+        .push(Dense::new(128, LENET_FC_WIDTH, rng))
+        .push(Activation::new(ActivationKind::Relu, LENET_FC_WIDTH))
+        .push(Dense::new(LENET_FC_WIDTH, LENET_CLASSES, rng))
+}
+
+/// Build a width-scaled LeNet variant: conv channels and the hidden FC width
+/// are free parameters. Used by the AdaDeep-style compression search, which
+/// explores this family of architectures.
+///
+/// # Panics
+/// Panics if any width is zero.
+pub fn build_lenet_scaled(
+    conv_channels: [usize; 3],
+    fc_width: usize,
+    rng: &mut impl Rng,
+) -> Network {
+    assert!(
+        conv_channels.iter().all(|&c| c > 0) && fc_width > 0,
+        "widths must be positive"
+    );
+    let [c1, c2, c3] = conv_channels;
+    let g1 = Conv2dGeom {
+        in_channels: 1,
+        in_h: 28,
+        in_w: 28,
+        k_h: 5,
+        k_w: 5,
+        stride: 2,
+        pad: 0,
+    };
+    let g2 = Conv2dGeom {
+        in_channels: c1,
+        in_h: 12,
+        in_w: 12,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let g3 = Conv2dGeom {
+        in_channels: c2,
+        in_h: 4,
+        in_w: 4,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 0,
+    };
+    Network::new()
+        .push(Conv2d::new(g1, c1, rng))
+        .push(Activation::new(ActivationKind::Relu, c1 * 12 * 12))
+        .push(Conv2d::new(g2, c2, rng))
+        .push(Activation::new(ActivationKind::Relu, c2 * 8 * 8))
+        .push(MaxPool2::new(c2, 8, 8, 2))
+        .push(Conv2d::new(g3, c3, rng))
+        .push(Activation::new(ActivationKind::Relu, c3 * 2 * 2))
+        .push(Dense::new(c3 * 4, fc_width, rng))
+        .push(Activation::new(ActivationKind::Relu, fc_width))
+        .push(Dense::new(fc_width, LENET_CLASSES, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+    use tensor::Tensor;
+
+    #[test]
+    fn lenet_shape_chain() {
+        let mut rng = rng_from_seed(0);
+        let mut net = build_lenet(&mut rng);
+        assert_eq!(net.in_dim(), 784);
+        assert_eq!(net.out_dim(), LENET_CLASSES);
+        let x = Tensor::zeros(&[2, 784]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn lenet_is_trunk_plus_tail() {
+        let mut rng = rng_from_seed(1);
+        let full = build_lenet(&mut rng);
+        let mut rng2 = rng_from_seed(2);
+        let trunk = trunk_stage(&mut rng2);
+        let tail = tail_stage(&mut rng2);
+        assert_eq!(full.depth(), trunk.depth() + tail.depth());
+        assert_eq!(trunk.out_dim(), tail.in_dim());
+        assert_eq!(trunk.out_dim(), 1152);
+    }
+
+    #[test]
+    fn lenet_has_three_convs_two_dense() {
+        let mut rng = rng_from_seed(3);
+        let net = build_lenet(&mut rng);
+        let specs = net.specs();
+        let convs = specs
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::Conv2d { .. }))
+            .count();
+        let denses = specs
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::Dense { .. }))
+            .count();
+        assert_eq!(convs, 3, "paper: three convolutional layers");
+        assert_eq!(denses, 2, "paper: two fully-connected layers");
+    }
+
+    #[test]
+    fn lenet_param_count_is_stable() {
+        let mut rng = rng_from_seed(4);
+        let net = build_lenet(&mut rng);
+        // conv1: 8·25+8, conv2: 16·200+16, conv3: 32·144+32,
+        // fc1: 84·128+84, fc2: 10·84+10
+        let expect =
+            (8 * 25 + 8) + (16 * 200 + 16) + (32 * 144 + 32) + (84 * 128 + 84) + (10 * 84 + 10);
+        assert_eq!(net.param_count(), expect);
+    }
+
+    #[test]
+    fn trunk_is_small_fraction_of_total_cost() {
+        // The calibration property everything downstream relies on: the
+        // shared trunk must carry well under 15% of LeNet's FLOPs, or the
+        // paper's 5.5× early-exit speedup shape is unreachable.
+        let mut rng = rng_from_seed(9);
+        let trunk = trunk_stage(&mut rng);
+        let full = build_lenet(&mut rng_from_seed(9));
+        let frac = trunk.flops_per_sample() as f64 / full.flops_per_sample() as f64;
+        assert!(frac < 0.15, "trunk fraction {frac:.3} too large");
+        assert!(frac > 0.02, "trunk fraction {frac:.3} implausibly small");
+    }
+
+    #[test]
+    fn forward_is_finite() {
+        let mut rng = rng_from_seed(5);
+        let mut net = build_lenet(&mut rng);
+        let x = Tensor::rand_uniform(&[4, 784], 0.0, 1.0, &mut rng);
+        assert!(net.forward(&x, false).all_finite());
+    }
+
+    #[test]
+    fn scaled_lenet_default_widths_match_baseline() {
+        let mut rng = rng_from_seed(6);
+        let scaled = build_lenet_scaled(LENET_CONV_CHANNELS, LENET_FC_WIDTH, &mut rng);
+        let mut rng = rng_from_seed(6);
+        let base = build_lenet(&mut rng);
+        assert_eq!(scaled.specs(), base.specs());
+    }
+
+    #[test]
+    fn scaled_lenet_halved_is_cheaper_and_runs() {
+        let mut rng = rng_from_seed(7);
+        let mut small = build_lenet_scaled([4, 8, 16], 42, &mut rng);
+        let mut rng2 = rng_from_seed(7);
+        let base = build_lenet(&mut rng2);
+        assert!(small.flops_per_sample() < base.flops_per_sample());
+        let x = Tensor::zeros(&[2, 784]);
+        assert_eq!(small.forward(&x, false).dims(), &[2, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_lenet_rejects_zero_width() {
+        let mut rng = rng_from_seed(8);
+        let _ = build_lenet_scaled([0, 5, 10], 84, &mut rng);
+    }
+}

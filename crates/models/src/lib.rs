@@ -1,0 +1,34 @@
+//! # models — every network the paper trains or compares against
+//!
+//! * [`lenet`] — the baseline LeNet classifier \[21\] (three conv + two FC,
+//!   matching the BranchyNet-LeNet main network of §IV-B.1),
+//! * [`branchynet`] — BranchyNet-LeNet \[31\]: the main network plus one
+//!   early-exit branch after the first convolution, entropy-thresholded
+//!   exits, and joint two-exit training,
+//! * [`autoencoder`] — the paper's contribution: the **converting
+//!   autoencoder** (Table I architectures for all three datasets),
+//! * [`lightweight`] — the lightweight classifier obtained by truncating
+//!   BranchyNet at its early exit (§III-B: 2 conv + 1 FC),
+//! * [`adadeep`] — an AdaDeep-style \[27\] usage-driven compression search
+//!   (comparator for Fig. 5),
+//! * [`subflow`] — a SubFlow-style \[22\] dynamic induced-subgraph executor
+//!   (comparator for Fig. 5),
+//! * [`training`] — shared training loops (Adam, mini-batches, seeded),
+//! * [`metrics`] — accuracy / confusion-matrix / exit-statistics helpers.
+
+pub mod adadeep;
+pub mod extensions;
+pub mod autoencoder;
+pub mod branchynet;
+pub mod lenet;
+pub mod lightweight;
+pub mod metrics;
+pub mod resnet;
+pub mod subflow;
+pub mod training;
+
+pub use autoencoder::{AutoencoderConfig, ConvertingAutoencoder, OutputActivation, TargetPolicy};
+pub use branchynet::{BranchyNet, BranchyNetConfig, ExitDecision};
+pub use lenet::{build_lenet, LENET_CLASSES};
+pub use lightweight::extract_lightweight;
+pub use metrics::{accuracy, confusion_matrix, ExitStats};

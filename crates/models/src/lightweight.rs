@@ -1,0 +1,132 @@
+//! Lightweight-DNN extraction.
+//!
+//! §III-B: "the DNN is obtained by truncating the early-exit branch of
+//! BranchyNet … The lightweight DNN consists of 2 convolutional layers and 1
+//! fully connected layer." In this implementation that is the trained trunk
+//! (conv1 + relu + pool) concatenated with the trained branch
+//! (conv + relu + fc) — both copied out of a [`BranchyNet`].
+//!
+//! The same section sketches a generalisation to non-BranchyNet DNNs: take
+//! layers 1..k of any backbone and append a suitable output layer.
+//! [`truncate_backbone`] implements that extension (the paper's §V future
+//! work: "extending the applicability of converting autoencoders to
+//! non-early-exiting DNNs").
+
+use nn::{Dense, Network};
+use rand::Rng;
+
+use crate::branchynet::BranchyNet;
+
+/// Extract the lightweight classifier from a trained BranchyNet:
+/// trunk ⧺ branch, weights copied.
+pub fn extract_lightweight(net: &BranchyNet) -> Network {
+    let (trunk, branch, _) = net.stages();
+    Network::concat(trunk.duplicate(), branch.duplicate())
+}
+
+/// Truncate a generic backbone after `k` layers and append a fresh dense
+/// classification head (paper §III-B's general recipe for non-BranchyNet
+/// DNNs).
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the backbone depth.
+pub fn truncate_backbone(
+    backbone: &Network,
+    k: usize,
+    classes: usize,
+    rng: &mut impl Rng,
+) -> Network {
+    assert!(k > 0 && k <= backbone.depth(), "k must be in 1..=depth");
+    let mut layers = backbone.duplicate().into_layers();
+    layers.truncate(k);
+    let mut net = Network::new();
+    let mut width = 0;
+    for layer in layers {
+        width = layer.out_dim();
+        net.push_boxed(layer);
+    }
+    net.push_boxed(Box::new(Dense::new(width, classes, rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branchynet::BranchyNetConfig;
+    use crate::lenet::build_lenet;
+    use tensor::random::rng_from_seed;
+    use tensor::Tensor;
+
+    #[test]
+    fn lightweight_is_two_convs_one_fc() {
+        let mut rng = rng_from_seed(0);
+        let b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let lw = extract_lightweight(&b);
+        let specs = lw.specs();
+        let convs = specs
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::Conv2d { .. }))
+            .count();
+        let denses = specs
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::Dense { .. }))
+            .count();
+        assert_eq!(convs, 2, "paper: 2 convolutional layers");
+        assert_eq!(denses, 1, "paper: 1 fully connected layer");
+        assert_eq!(lw.in_dim(), 784);
+        assert_eq!(lw.out_dim(), 10);
+    }
+
+    #[test]
+    fn lightweight_matches_branch_path_exactly() {
+        // For any input, lightweight(x) == branch(trunk(x)) with the shared
+        // trained weights.
+        let mut rng = rng_from_seed(1);
+        let b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let x = Tensor::rand_uniform(&[3, 784], 0.0, 1.0, &mut rng);
+        let mut lw = extract_lightweight(&b);
+        let via_lw = lw.predict(&x);
+        // Recompute via the stages by saving/loading them mutably.
+        let (trunk, branch, _) = b.stages();
+        let mut trunk2 = trunk.duplicate();
+        let mut branch2 = branch.duplicate();
+        let via_stages = branch2.predict(&trunk2.predict(&x));
+        assert!(via_lw.allclose(&via_stages, 1e-6));
+    }
+
+    #[test]
+    fn lightweight_is_cheaper_than_lenet() {
+        let mut rng = rng_from_seed(2);
+        let b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let lw = extract_lightweight(&b);
+        let lenet = build_lenet(&mut rng);
+        assert!(
+            lw.flops_per_sample() < lenet.flops_per_sample(),
+            "lightweight {} !< lenet {}",
+            lw.flops_per_sample(),
+            lenet.flops_per_sample()
+        );
+    }
+
+    #[test]
+    fn truncate_backbone_shapes() {
+        let mut rng = rng_from_seed(3);
+        let lenet = build_lenet(&mut rng);
+        // Keep the first conv stage (3 layers) + new head.
+        let t = truncate_backbone(&lenet, 3, 10, &mut rng);
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.in_dim(), 784);
+        assert_eq!(t.out_dim(), 10);
+        let mut t = t;
+        let x = Tensor::rand_uniform(&[2, 784], 0.0, 1.0, &mut rng);
+        assert_eq!(t.predict(&x).dims(), &[2, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn truncate_rejects_zero() {
+        let mut rng = rng_from_seed(4);
+        let lenet = build_lenet(&mut rng);
+        let _ = truncate_backbone(&lenet, 0, 10, &mut rng);
+    }
+}

@@ -1,0 +1,139 @@
+//! Classification and exit-statistics metrics.
+
+use crate::branchynet::{BranchyOutput, ExitDecision};
+
+/// Fraction of predictions equal to labels.
+///
+/// # Panics
+/// Panics on length mismatch; returns 0 for empty inputs.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / predictions.len() as f32
+}
+
+/// `classes × classes` confusion matrix; rows = true class, cols = predicted.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < classes && l < classes, "class index out of range");
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Aggregate statistics over a batch of BranchyNet inference outcomes —
+/// this regenerates the paper's §IV-D early-exit-rate numbers (94.88% MNIST,
+/// 76.91% FMNIST, 63.08% KMNIST).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitStats {
+    /// Samples that took the early exit.
+    pub early: usize,
+    /// Samples that ran the full main network.
+    pub main: usize,
+    /// Mean exit-1 entropy over all samples.
+    pub mean_entropy: f32,
+}
+
+impl ExitStats {
+    /// Compute from per-sample outputs.
+    pub fn from_outputs(outputs: &[BranchyOutput]) -> Self {
+        let early = outputs
+            .iter()
+            .filter(|o| o.exit == ExitDecision::Early)
+            .count();
+        let main = outputs.len() - early;
+        let mean_entropy = if outputs.is_empty() {
+            0.0
+        } else {
+            outputs.iter().map(|o| o.exit1_entropy).sum::<f32>() / outputs.len() as f32
+        };
+        ExitStats {
+            early,
+            main,
+            mean_entropy,
+        }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.early + self.main
+    }
+
+    /// Early-exit rate in `[0, 1]`.
+    pub fn early_rate(&self) -> f32 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.early as f32 / self.total() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(exit: ExitDecision, ent: f32) -> BranchyOutput {
+        BranchyOutput {
+            prediction: 0,
+            exit,
+            exit1_entropy: ent,
+        }
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[5], &[5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_checked() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m[0][0], 2); // true 0, predicted 0
+        assert_eq!(m[0][1], 1); // true 0, predicted 1
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+        // Row sums = class supports.
+        assert_eq!(m[0].iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn exit_stats_rates() {
+        let outputs = vec![
+            out(ExitDecision::Early, 0.1),
+            out(ExitDecision::Early, 0.2),
+            out(ExitDecision::Main, 0.9),
+            out(ExitDecision::Main, 1.1),
+        ];
+        let s = ExitStats::from_outputs(&outputs);
+        assert_eq!(s.early, 2);
+        assert_eq!(s.main, 2);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.early_rate(), 0.5);
+        assert!((s.mean_entropy - 0.575).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exit_stats_empty() {
+        let s = ExitStats::from_outputs(&[]);
+        assert_eq!(s.early_rate(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! A compact residual backbone for 28×28 inputs — the paper's §V direction
+//! ("more complex datasets and DNN architectures such as AlexNet \[20\] and
+//! ResNet \[10\]"), sized for this workspace's procedural datasets.
+//!
+//! ```text
+//! input 1×28×28
+//! conv 5×5 s2 → 8×12×12   relu          (stem — same shape as LeNet's trunk)
+//! residual block (8×12×12)
+//! maxpool2 → 8×6×6
+//! residual block (8×6×6)
+//! fc 288 → 64  relu
+//! fc 64 → 10
+//! ```
+//!
+//! Because the stem matches the LeNet trunk geometry, the general recipe of
+//! §III-B (`truncate_backbone`) applies unchanged: truncating after the stem
+//! (or the first block) plus a fresh head yields a lightweight classifier
+//! for CBNet on a *non-early-exit* backbone.
+
+use nn::{Activation, ActivationKind, Conv2d, Dense, MaxPool2, Network, ResidualConv};
+use rand::Rng;
+use tensor::conv::Conv2dGeom;
+
+use crate::lenet::LENET_CLASSES;
+
+/// Build the residual backbone.
+pub fn build_resnet_mini(rng: &mut impl Rng) -> Network {
+    let stem = Conv2dGeom {
+        in_channels: 1,
+        in_h: 28,
+        in_w: 28,
+        k_h: 5,
+        k_w: 5,
+        stride: 2,
+        pad: 0,
+    };
+    Network::new()
+        .push(Conv2d::new(stem, 8, rng))
+        .push(Activation::new(ActivationKind::Relu, 8 * 12 * 12))
+        .push(ResidualConv::new(8, 12, rng))
+        .push(MaxPool2::new(8, 12, 12, 2))
+        .push(ResidualConv::new(8, 6, rng))
+        .push(Dense::new(8 * 36, 64, rng))
+        .push(Activation::new(ActivationKind::Relu, 64))
+        .push(Dense::new(64, LENET_CLASSES, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lightweight::truncate_backbone;
+    use crate::metrics::accuracy;
+    use crate::training::{train_classifier, TrainConfig};
+    use datasets::{generate_pair, Family};
+    use tensor::random::rng_from_seed;
+    use tensor::Tensor;
+
+    #[test]
+    fn shape_chain_and_spec() {
+        let mut rng = rng_from_seed(0);
+        let mut net = build_resnet_mini(&mut rng);
+        assert_eq!(net.in_dim(), 784);
+        assert_eq!(net.out_dim(), 10);
+        let x = Tensor::zeros(&[2, 784]);
+        assert_eq!(net.forward(&x, false).dims(), &[2, 10]);
+        let residuals = net
+            .specs()
+            .iter()
+            .filter(|s| matches!(s, nn::LayerSpec::ResidualConv { .. }))
+            .count();
+        assert_eq!(residuals, 2);
+    }
+
+    #[test]
+    fn trains_above_chance_quickly() {
+        let split = generate_pair(Family::MnistLike, 600, 200, 7);
+        let mut rng = rng_from_seed(1);
+        let mut net = build_resnet_mini(&mut rng);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 50,
+            learning_rate: 2e-3,
+            seed: 2,
+        };
+        let report = train_classifier(&mut net, &split.train, &cfg);
+        assert!(report.roughly_converging(), "{:?}", report.epoch_losses);
+        let preds = net.predict(&split.test.images).argmax_rows();
+        let acc = accuracy(&preds, &split.test.labels);
+        assert!(acc > 0.5, "resnet-mini accuracy {acc}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_including_residual_blocks() {
+        let mut rng = rng_from_seed(3);
+        let mut net = build_resnet_mini(&mut rng);
+        let x = Tensor::rand_uniform(&[2, 784], 0.0, 1.0, &mut rng);
+        let y = net.predict(&x);
+        let mut reloaded = Network::load(net.save()).unwrap();
+        assert!(reloaded.predict(&x).allclose(&y, 1e-6));
+    }
+
+    #[test]
+    fn truncation_recipe_applies_to_non_early_exit_backbone() {
+        // §III-B's general recipe on a residual backbone: keep the stem +
+        // first block (4 layers), append a fresh head.
+        let mut rng = rng_from_seed(4);
+        let backbone = build_resnet_mini(&mut rng);
+        let mut lw = truncate_backbone(&backbone, 4, 10, &mut rng);
+        assert_eq!(lw.in_dim(), 784);
+        assert_eq!(lw.out_dim(), 10);
+        assert!(lw.flops_per_sample() < backbone.flops_per_sample());
+        let x = Tensor::rand_uniform(&[2, 784], 0.0, 1.0, &mut rng);
+        assert!(lw.predict(&x).all_finite());
+    }
+}

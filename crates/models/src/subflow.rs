@@ -1,0 +1,268 @@
+//! SubFlow-style dynamic induced-subgraph execution \[22\].
+//!
+//! SubFlow meets a time budget by executing only a subgraph of the DNN: a
+//! utilization factor `u ∈ (0, 1]` selects the most important fraction of
+//! units in every parameterised layer; the rest are masked out at runtime.
+//! Importance is static (weight-magnitude based), so subgraph construction
+//! is cheap and can change per inference window — the property that makes
+//! SubFlow "dynamic".
+//!
+//! This is the Fig. 5 comparator: at u = 1 it is exactly the backbone; as u
+//! shrinks, effective latency (FLOPs) falls roughly quadratically while
+//! accuracy degrades — which is why the paper finds it slower than CBNet at
+//! matched accuracy.
+//!
+//! Unit importance is derived uniformly from each parameterised layer's
+//! weight matrix: every `Dense` and `Conv2d` in this workspace stores weights
+//! as `(out_units, fan_in)`, so row L2 norms rank output units/channels.
+
+use nn::{Layer, Network};
+use tensor::Tensor;
+
+/// A SubFlow executor wrapping a trained backbone.
+pub struct SubFlow {
+    backbone: Network,
+    /// Per layer: output-unit indices sorted by descending importance
+    /// (empty for parameterless layers).
+    importance: Vec<Vec<usize>>,
+}
+
+/// Row-L2 importance ranking of a `(out, fan_in)` weight matrix.
+fn rank_units(weights: &Tensor) -> Vec<usize> {
+    let (out, k) = (weights.dims()[0], weights.dims()[1]);
+    let mut scored: Vec<(usize, f32)> = (0..out)
+        .map(|o| {
+            let row = &weights.data()[o * k..(o + 1) * k];
+            (o, row.iter().map(|v| v * v).sum::<f32>())
+        })
+        .collect();
+    // Stable, total order even in the presence of ties.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+fn layer_importance(layer: &dyn Layer) -> Vec<usize> {
+    let params = layer.params();
+    match params.first() {
+        Some(w) if w.rank() == 2 => rank_units(w),
+        _ => Vec::new(),
+    }
+}
+
+impl SubFlow {
+    /// Wrap a trained backbone, precomputing unit importance.
+    pub fn new(backbone: Network) -> Self {
+        let importance = backbone
+            .layers()
+            .iter()
+            .map(|l| layer_importance(l.as_ref()))
+            .collect();
+        SubFlow {
+            backbone,
+            importance,
+        }
+    }
+
+    /// Borrow the backbone.
+    pub fn backbone(&self) -> &Network {
+        &self.backbone
+    }
+
+    /// Construct the induced subgraph for utilization `u`: a copy of the
+    /// backbone with the least-important output units of every parameterised
+    /// layer (except the final classifier, which must keep all classes)
+    /// zero-masked.
+    ///
+    /// # Panics
+    /// Panics unless `0 < u ≤ 1`.
+    pub fn subnetwork(&self, u: f32) -> Network {
+        assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1]");
+        let mut net = self.backbone.duplicate();
+        let last_param = self.last_param_index();
+        for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            if i == last_param || self.importance[i].is_empty() {
+                continue;
+            }
+            let order = &self.importance[i];
+            let keep = ((order.len() as f32 * u).ceil() as usize).clamp(1, order.len());
+            mask_output_units(layer.as_mut(), &order[keep..]);
+        }
+        net
+    }
+
+    /// Effective FLOPs per sample of the induced subgraph — the quantity the
+    /// device cost model prices. Masked units do no work in a real SubFlow
+    /// runtime (sparse execution), so a layer's cost scales with the active
+    /// fraction of its outputs *and* of its inputs (the previous
+    /// parameterised layer's active outputs).
+    pub fn effective_flops(&self, u: f32) -> u64 {
+        assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1]");
+        let last_param = self.last_param_index();
+        let mut in_frac = 1.0f64;
+        let mut total = 0.0f64;
+        for (i, layer) in self.backbone.layers().iter().enumerate() {
+            let flops = layer.flops_per_sample() as f64;
+            if self.importance[i].is_empty() {
+                // Activation / pooling cost follows its live inputs.
+                total += flops * in_frac;
+            } else {
+                let out_frac = if i == last_param {
+                    1.0
+                } else {
+                    let n = self.importance[i].len();
+                    ((n as f32 * u).ceil() as usize).clamp(1, n) as f64 / n as f64
+                };
+                total += flops * in_frac * out_frac;
+                in_frac = out_frac;
+            }
+        }
+        total.round() as u64
+    }
+
+    /// Predict classes at the given utilization.
+    pub fn predict(&self, u: f32, x: &Tensor) -> Vec<usize> {
+        let mut net = self.subnetwork(u);
+        net.predict(x).argmax_rows()
+    }
+
+    /// Per-layer effective FLOPs at utilization `u`, aligned with
+    /// `backbone().specs()`. Device cost models price SubFlow execution from
+    /// this (per-layer dispatch still applies — the subgraph executes every
+    /// layer, just on fewer units).
+    pub fn effective_layer_flops(&self, u: f32) -> Vec<u64> {
+        assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1]");
+        let last_param = self.last_param_index();
+        let mut in_frac = 1.0f64;
+        let mut out = Vec::with_capacity(self.backbone.depth());
+        for (i, layer) in self.backbone.layers().iter().enumerate() {
+            let flops = layer.flops_per_sample() as f64;
+            if self.importance[i].is_empty() {
+                out.push((flops * in_frac).round() as u64);
+            } else {
+                let out_frac = if i == last_param {
+                    1.0
+                } else {
+                    let n = self.importance[i].len();
+                    ((n as f32 * u).ceil() as usize).clamp(1, n) as f64 / n as f64
+                };
+                out.push((flops * in_frac * out_frac).round() as u64);
+                in_frac = out_frac;
+            }
+        }
+        out
+    }
+
+    fn last_param_index(&self) -> usize {
+        (0..self.backbone.depth())
+            .rev()
+            .find(|&i| !self.importance[i].is_empty())
+            .unwrap_or(0)
+    }
+}
+
+/// Zero the weight rows and bias entries of the given output units.
+fn mask_output_units(layer: &mut dyn Layer, dropped: &[usize]) {
+    let mut pg = layer.params_and_grads();
+    if pg.len() < 2 {
+        return;
+    }
+    let k = pg[0].0.dims()[1];
+    for &o in dropped {
+        pg[0].0.data_mut()[o * k..(o + 1) * k].fill(0.0);
+    }
+    for &o in dropped {
+        pg[1].0.data_mut()[o] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lenet::build_lenet;
+    use tensor::random::rng_from_seed;
+
+    fn backbone() -> Network {
+        let mut rng = rng_from_seed(0);
+        build_lenet(&mut rng)
+    }
+
+    #[test]
+    fn full_utilization_is_identity() {
+        let net = backbone();
+        let mut rng = rng_from_seed(1);
+        let x = Tensor::rand_uniform(&[3, 784], 0.0, 1.0, &mut rng);
+        let mut reference = net.duplicate();
+        let expect = reference.predict(&x);
+        let sf = SubFlow::new(net);
+        let mut sub = sf.subnetwork(1.0);
+        let got = sub.predict(&x);
+        assert!(got.allclose(&expect, 1e-6));
+        assert_eq!(sf.effective_flops(1.0), sf.backbone().flops_per_sample());
+    }
+
+    #[test]
+    fn masking_zeroes_least_important_rows() {
+        let sf = SubFlow::new(backbone());
+        let sub = sf.subnetwork(0.5);
+        // The first conv (8 channels) must have ceil(8·0.5)=4 live rows.
+        let w = sub.layers()[0].params()[0];
+        let k = w.dims()[1];
+        let live = (0..w.dims()[0])
+            .filter(|&o| w.data()[o * k..(o + 1) * k].iter().any(|&v| v != 0.0))
+            .count();
+        assert_eq!(live, 4);
+    }
+
+    #[test]
+    fn classifier_head_never_masked() {
+        let sf = SubFlow::new(backbone());
+        let sub = sf.subnetwork(0.2);
+        let head = sub.layers().last().unwrap();
+        let w = head.params()[0];
+        let k = w.dims()[1];
+        // Every class row must retain some nonzero weight.
+        for o in 0..w.dims()[0] {
+            assert!(
+                w.data()[o * k..(o + 1) * k].iter().any(|&v| v != 0.0),
+                "class row {o} was masked"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_flops_monotone_in_u() {
+        let sf = SubFlow::new(backbone());
+        let f25 = sf.effective_flops(0.25);
+        let f50 = sf.effective_flops(0.5);
+        let f100 = sf.effective_flops(1.0);
+        assert!(f25 < f50 && f50 < f100, "{f25} {f50} {f100}");
+        // Roughly quadratic shrinkage in the interior layers: u=0.5 should
+        // cost well under 60% of full.
+        assert!((f50 as f64) < 0.6 * f100 as f64, "f50={f50}, f100={f100}");
+    }
+
+    #[test]
+    fn predictions_stay_in_class_range() {
+        let sf = SubFlow::new(backbone());
+        let mut rng = rng_from_seed(2);
+        let x = Tensor::rand_uniform(&[4, 784], 0.0, 1.0, &mut rng);
+        for u in [0.25, 0.5, 0.75, 1.0] {
+            let preds = sf.predict(u, &x);
+            assert_eq!(preds.len(), 4);
+            assert!(preds.iter().all(|&p| p < 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_zero_utilization() {
+        let sf = SubFlow::new(backbone());
+        let _ = sf.subnetwork(0.0);
+    }
+
+    #[test]
+    fn rank_units_orders_by_magnitude() {
+        let w = Tensor::from_vec(vec![0.1, 0.1, 3.0, 3.0, 1.0, 1.0], &[3, 2]);
+        assert_eq!(rank_units(&w), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Shared training loops and target assembly.
+//!
+//! Everything here is deterministic given its seed. Training uses Adam —
+//! "Each autoencoder uses the Adam optimizer \[18\] to update the neural
+//! network weights" (§III-A.3); classifiers use the same.
+
+use nn::loss::SoftmaxCrossEntropy;
+use nn::{Adam, Network, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::autoencoder::{ConvertingAutoencoder, TargetPolicy};
+use crate::branchynet::BranchyNet;
+use datasets::Dataset;
+
+/// Training hyperparameters shared by all models.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for shuffling (and target selection in AE training).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    }
+
+    /// True when the loss sequence is non-increasing within tolerance —
+    /// loose sanity signal used by integration tests.
+    pub fn roughly_converging(&self) -> bool {
+        if self.epoch_losses.len() < 2 {
+            return true;
+        }
+        self.final_loss() <= self.epoch_losses[0] * 1.05
+    }
+}
+
+/// Train a classifier network with softmax cross-entropy.
+pub fn train_classifier(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
+    let mut opt = Adam::with_defaults(cfg.learning_rate);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let order = data.epoch_order(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let x = data.images.gather_rows(chunk);
+            let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let (l, g) = SoftmaxCrossEntropy.loss(&logits, &labels);
+            net.backward(&g);
+            let mut pg = net.params_and_grads();
+            opt.step(&mut pg);
+            loss_sum += l as f64;
+            batches += 1;
+        }
+        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+    }
+    TrainReport { epoch_losses }
+}
+
+/// Train a BranchyNet jointly on both exits.
+pub fn train_branchynet(net: &mut BranchyNet, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
+    let mut opt = Adam::with_defaults(cfg.learning_rate);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let order = data.epoch_order(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let x = data.images.gather_rows(chunk);
+            let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+            let (l1, l2) = net.train_batch(&x, &labels);
+            let mut pg = net.params_and_grads();
+            opt.step(&mut pg);
+            loss_sum += (l1 + l2) as f64;
+            batches += 1;
+        }
+        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+    }
+    TrainReport { epoch_losses }
+}
+
+/// Assemble the easy-image regression targets for converting-AE training
+/// (see [`crate::autoencoder::build_targets`] for the public entry point).
+pub fn build_conversion_targets(
+    images: &Tensor,
+    labels: &[usize],
+    easy_mask: &[bool],
+    policy: TargetPolicy,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let n = labels.len();
+    assert_eq!(images.dims()[0], n, "image/label count mismatch");
+    assert_eq!(easy_mask.len(), n, "easy-mask length mismatch");
+    let classes = 1 + labels.iter().copied().max().unwrap_or(0);
+    let pixels = images.dims()[1];
+
+    // Bucket easy sample indices per class.
+    let mut easy_by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for i in 0..n {
+        if easy_mask[i] {
+            easy_by_class[labels[i]].push(i);
+        }
+    }
+    for (c, bucket) in easy_by_class.iter().enumerate() {
+        if labels.contains(&c) {
+            assert!(
+                !bucket.is_empty(),
+                "class {c} has no easy examples; lower the exit threshold or add data"
+            );
+        }
+    }
+
+    // Precompute class means if needed.
+    let class_means: Vec<Vec<f32>> = if policy == TargetPolicy::ClassMeanEasy {
+        easy_by_class
+            .iter()
+            .map(|bucket| {
+                let mut mean = vec![0.0f32; pixels];
+                for &i in bucket {
+                    for (m, &v) in mean.iter_mut().zip(images.row_slice(i)) {
+                        *m += v;
+                    }
+                }
+                if !bucket.is_empty() {
+                    let inv = 1.0 / bucket.len() as f32;
+                    for m in mean.iter_mut() {
+                        *m *= inv;
+                    }
+                }
+                mean
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut target = Tensor::zeros(&[n, pixels]);
+    for i in 0..n {
+        let class = labels[i];
+        let bucket = &easy_by_class[class];
+        let row = match policy {
+            TargetPolicy::RandomEasy => {
+                let pick = bucket[rng.gen_range(0..bucket.len())];
+                images.row_slice(pick).to_vec()
+            }
+            TargetPolicy::NearestEasy => {
+                let x = images.row_slice(i);
+                let mut best = bucket[0];
+                let mut best_d = f32::INFINITY;
+                for &j in bucket {
+                    if j == i {
+                        // An easy image is its own nearest easy target.
+                        best = j;
+                        break;
+                    }
+                    let d: f32 = x
+                        .iter()
+                        .zip(images.row_slice(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                images.row_slice(best).to_vec()
+            }
+            TargetPolicy::ClassMeanEasy => class_means[class].clone(),
+        };
+        target.data_mut()[i * pixels..(i + 1) * pixels].copy_from_slice(&row);
+    }
+    target
+}
+
+/// Label a dataset easy/hard via BranchyNet exits (Fig. 4), guaranteeing at
+/// least one easy example per class.
+///
+/// The paper's target-selection step implicitly requires each class to have
+/// easy representatives; when the tuned threshold yields none for a class,
+/// we apply the paper's own remedy — a lower effective threshold — locally,
+/// promoting that class's lowest-entropy samples (5%, at least one).
+pub fn robust_easy_mask(branchynet: &mut BranchyNet, data: &Dataset) -> Vec<bool> {
+    let outputs = branchynet.infer(&data.images);
+    let mut easy: Vec<bool> = outputs
+        .iter()
+        .map(|o| o.exit == crate::branchynet::ExitDecision::Early)
+        .collect();
+    for class in 0..datasets::NUM_CLASSES {
+        let members = data.class_indices(class);
+        if members.is_empty() || members.iter().any(|&i| easy[i]) {
+            continue;
+        }
+        let mut by_entropy = members.clone();
+        by_entropy.sort_by(|&a, &b| {
+            outputs[a]
+                .exit1_entropy
+                .partial_cmp(&outputs[b].exit1_entropy)
+                .unwrap()
+        });
+        let promote = (members.len() / 20).max(1);
+        for &i in by_entropy.iter().take(promote) {
+            easy[i] = true;
+        }
+    }
+    easy
+}
+
+/// Train a converting autoencoder from BranchyNet-labelled data (Fig. 4).
+///
+/// `easy_mask` comes from [`BranchyNet::easy_mask`] over the training set.
+pub fn train_autoencoder(
+    ae: &mut ConvertingAutoencoder,
+    data: &Dataset,
+    easy_mask: &[bool],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut opt = Adam::with_defaults(cfg.learning_rate);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xAE);
+    let policy = ae.config().target_policy;
+    // Fresh targets each epoch for the random policy — more target diversity,
+    // same expectation.
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let targets =
+            build_conversion_targets(&data.images, &data.labels, easy_mask, policy, &mut rng);
+        let order = data.epoch_order(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let x = data.images.gather_rows(chunk);
+            let t = targets.gather_rows(chunk);
+            let l = ae.train_batch(&x, &t);
+            let mut pg = ae.params_and_grads();
+            opt.step(&mut pg);
+            loss_sum += l as f64;
+            batches += 1;
+        }
+        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+    }
+    TrainReport { epoch_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{generate, Family, GeneratorConfig};
+    use tensor::random::rng_from_seed;
+
+    fn tiny_data(n: usize) -> Dataset {
+        generate(&GeneratorConfig::new(Family::MnistLike, n, 42))
+    }
+
+    #[test]
+    fn classifier_training_reduces_loss() {
+        let data = tiny_data(200);
+        let mut rng = rng_from_seed(0);
+        let mut net = crate::lenet::build_lenet(&mut rng);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            learning_rate: 2e-3,
+            seed: 1,
+        };
+        let report = train_classifier(&mut net, &data, &cfg);
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.final_loss() < report.epoch_losses[0],
+            "loss {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn targets_random_easy_same_class() {
+        let data = tiny_data(60);
+        // Mark every third sample easy.
+        let easy: Vec<bool> = (0..60).map(|i| i % 3 == 0).collect();
+        let mut rng = rng_from_seed(7);
+        let t = build_conversion_targets(
+            &data.images,
+            &data.labels,
+            &easy,
+            TargetPolicy::RandomEasy,
+            &mut rng,
+        );
+        assert_eq!(t.dims(), data.images.dims());
+        // Every target row must equal SOME easy row of the same class.
+        for i in 0..60 {
+            let class = data.labels[i];
+            let trow = t.row_slice(i);
+            let found = (0..60).any(|j| {
+                easy[j] && data.labels[j] == class && data.images.row_slice(j) == trow
+            });
+            assert!(found, "target of sample {i} is not an easy same-class image");
+        }
+    }
+
+    #[test]
+    fn targets_nearest_easy_is_self_for_easy_samples() {
+        let data = tiny_data(30);
+        let easy = vec![true; 30];
+        let mut rng = rng_from_seed(8);
+        let t = build_conversion_targets(
+            &data.images,
+            &data.labels,
+            &easy,
+            TargetPolicy::NearestEasy,
+            &mut rng,
+        );
+        for i in 0..30 {
+            assert_eq!(t.row_slice(i), data.images.row_slice(i));
+        }
+    }
+
+    #[test]
+    fn targets_class_mean_shared_within_class() {
+        let data = tiny_data(40);
+        let easy = vec![true; 40];
+        let mut rng = rng_from_seed(9);
+        let t = build_conversion_targets(
+            &data.images,
+            &data.labels,
+            &easy,
+            TargetPolicy::ClassMeanEasy,
+            &mut rng,
+        );
+        // Two samples of the same class share the identical mean target.
+        let idx = data.class_indices(4);
+        assert!(idx.len() >= 2);
+        assert_eq!(t.row_slice(idx[0]), t.row_slice(idx[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no easy examples")]
+    fn targets_require_easy_examples_per_class() {
+        let data = tiny_data(20);
+        let easy = vec![false; 20];
+        let mut rng = rng_from_seed(10);
+        let _ = build_conversion_targets(
+            &data.images,
+            &data.labels,
+            &easy,
+            TargetPolicy::RandomEasy,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn autoencoder_training_runs_and_converges_roughly() {
+        let data = tiny_data(100);
+        let mut rng = rng_from_seed(11);
+        let cfg_ae = crate::autoencoder::AutoencoderConfig {
+            hidden: vec![
+                crate::autoencoder::HiddenLayer {
+                    width: 128,
+                    activation: nn::ActivationKind::Relu,
+                },
+                crate::autoencoder::HiddenLayer {
+                    width: 64,
+                    activation: nn::ActivationKind::Relu,
+                },
+                crate::autoencoder::HiddenLayer {
+                    width: 32,
+                    activation: nn::ActivationKind::Linear,
+                },
+            ],
+            ..crate::autoencoder::AutoencoderConfig::mnist()
+        };
+        let mut ae = ConvertingAutoencoder::new(cfg_ae, &mut rng);
+        // Easy in alternating blocks of ten so every class (labels are i%10)
+        // has easy representatives.
+        let easy: Vec<bool> = (0..100).map(|i| (i / 10) % 2 == 0).collect();
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 25,
+            learning_rate: 2e-3,
+            seed: 3,
+        };
+        let report = train_autoencoder(&mut ae, &data, &easy, &cfg);
+        assert!(report.roughly_converging(), "{:?}", report.epoch_losses);
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let data = tiny_data(80);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 20,
+            learning_rate: 1e-3,
+            seed: 5,
+        };
+        let mut rng_a = rng_from_seed(1);
+        let mut net_a = crate::lenet::build_lenet(&mut rng_a);
+        let ra = train_classifier(&mut net_a, &data, &cfg);
+        let mut rng_b = rng_from_seed(1);
+        let mut net_b = crate::lenet::build_lenet(&mut rng_b);
+        let rb = train_classifier(&mut net_b, &data, &cfg);
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+    }
+}

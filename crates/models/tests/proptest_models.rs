@@ -1,0 +1,123 @@
+//! Property-based tests over the model zoo: exit-decision monotonicity,
+//! SubFlow subgraph invariants, lightweight-extraction equivalence, and
+//! checkpoint robustness under corruption (failure injection).
+
+use proptest::prelude::*;
+use models::branchynet::{BranchyNet, BranchyNetConfig, ExitDecision};
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+fn fresh_branchynet(seed: u64) -> BranchyNet {
+    let mut rng = rng_from_seed(seed);
+    BranchyNet::new(BranchyNetConfig::default(), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn exit_count_is_monotone_in_threshold(seed in 0u64..200) {
+        // Raising the entropy threshold can only let MORE samples exit.
+        let mut bn = fresh_branchynet(seed);
+        let mut rng = rng_from_seed(seed ^ 0xF);
+        let x = Tensor::rand_uniform(&[12, 784], 0.0, 1.0, &mut rng);
+        let mut prev = 0usize;
+        for &t in &[0.0f32, 0.2, 0.5, 1.0, 2.0, f32::INFINITY] {
+            bn.set_threshold(t);
+            let early = bn
+                .infer(&x)
+                .iter()
+                .filter(|o| o.exit == ExitDecision::Early)
+                .count();
+            prop_assert!(early >= prev, "exits fell from {prev} to {early} at t={t}");
+            prev = early;
+        }
+        prop_assert_eq!(prev, 12, "threshold ∞ must exit everything");
+    }
+
+    #[test]
+    fn predictions_independent_of_threshold_for_decided_exit(seed in 0u64..200) {
+        // A sample that exits early at threshold t keeps the same prediction
+        // at any higher threshold (the branch logits don't change).
+        let mut bn = fresh_branchynet(seed);
+        let mut rng = rng_from_seed(seed ^ 0x2F);
+        let x = Tensor::rand_uniform(&[8, 784], 0.0, 1.0, &mut rng);
+        bn.set_threshold(0.7);
+        let at_07 = bn.infer(&x);
+        bn.set_threshold(f32::INFINITY);
+        let at_inf = bn.infer(&x);
+        for (a, b) in at_07.iter().zip(&at_inf) {
+            if a.exit == ExitDecision::Early {
+                prop_assert_eq!(a.prediction, b.prediction);
+            }
+        }
+    }
+
+    #[test]
+    fn lightweight_equals_trunk_branch_composition(seed in 0u64..200) {
+        let bn = fresh_branchynet(seed);
+        let mut lw = extract_lightweight(&bn);
+        let (trunk, branch, _) = bn.stages();
+        let mut t2 = trunk.duplicate();
+        let mut b2 = branch.duplicate();
+        let mut rng = rng_from_seed(seed ^ 0x3F);
+        let x = Tensor::rand_uniform(&[4, 784], 0.0, 1.0, &mut rng);
+        let via_lw = lw.predict(&x);
+        let via_stages = b2.predict(&t2.predict(&x));
+        prop_assert!(via_lw.allclose(&via_stages, 1e-5));
+    }
+
+    #[test]
+    fn subflow_flops_monotone_and_bounded(seed in 0u64..200, u1 in 0.1f32..0.9) {
+        let mut rng = rng_from_seed(seed);
+        let net = models::lenet::build_lenet(&mut rng);
+        let full = net.flops_per_sample();
+        let sf = SubFlow::new(net);
+        let u2 = (u1 + 0.1).min(1.0);
+        let f1 = sf.effective_flops(u1);
+        let f2 = sf.effective_flops(u2);
+        prop_assert!(f1 <= f2, "effective flops not monotone: {f1} > {f2}");
+        prop_assert!(f2 <= full, "subgraph flops exceed the full network");
+        prop_assert!(f1 > 0);
+    }
+
+    #[test]
+    fn subflow_masked_net_has_same_shape_io(seed in 0u64..200, u in 0.1f32..1.0) {
+        let mut rng = rng_from_seed(seed);
+        let net = models::lenet::build_lenet(&mut rng);
+        let sf = SubFlow::new(net);
+        let mut sub = sf.subnetwork(u);
+        let x = Tensor::rand_uniform(&[2, 784], 0.0, 1.0, &mut rng);
+        let y = sub.predict(&x);
+        prop_assert_eq!(y.dims(), &[2, 10]);
+        prop_assert!(y.all_finite());
+    }
+
+    #[test]
+    fn branchynet_checkpoint_survives_roundtrip(seed in 0u64..200) {
+        let mut bn = fresh_branchynet(seed);
+        let mut rng = rng_from_seed(seed ^ 0x4F);
+        let x = Tensor::rand_uniform(&[3, 784], 0.0, 1.0, &mut rng);
+        let before = bn.predict(&x);
+        let mut reloaded = BranchyNet::load(bn.save()).unwrap();
+        prop_assert_eq!(reloaded.predict(&x), before);
+    }
+
+    #[test]
+    fn corrupted_checkpoints_error_not_panic(seed in 0u64..100, cut in 1usize..64) {
+        // Failure injection: truncating or byte-flipping a checkpoint must
+        // produce Err, never a panic or a silently wrong model.
+        let bn = fresh_branchynet(seed);
+        let bytes = bn.save();
+        // Truncation at an arbitrary point.
+        let cut = cut.min(bytes.len() - 1);
+        let truncated = bytes.slice(..cut);
+        prop_assert!(BranchyNet::load(truncated).is_err());
+        // Magic corruption.
+        let mut corrupt = bytes.to_vec();
+        corrupt[0] ^= 0xFF;
+        prop_assert!(BranchyNet::load(&corrupt[..]).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Elementwise activation layers.
+
+use tensor::ops::softmax_slice;
+use tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::spec::LayerSpec;
+
+/// The nonlinearities used across the paper's models (Table I uses `relu`,
+/// `linear`, and `softmax`; sigmoid is the conventional autoencoder output we
+/// default to — see DESIGN.md §4 ablation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// max(0, x)
+    Relu,
+    /// 1/(1+e^(−x))
+    Sigmoid,
+    /// tanh(x)
+    Tanh,
+    /// Identity (the paper's "linear" rows in Table I).
+    Linear,
+    /// Row-wise softmax (the paper's Table I output rows).
+    Softmax,
+}
+
+impl ActivationKind {
+    /// Serialisation tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ActivationKind::Relu => 0,
+            ActivationKind::Sigmoid => 1,
+            ActivationKind::Tanh => 2,
+            ActivationKind::Linear => 3,
+            ActivationKind::Softmax => 4,
+        }
+    }
+
+    /// Inverse of [`ActivationKind::tag`].
+    pub fn from_tag(t: u8) -> Option<Self> {
+        Some(match t {
+            0 => ActivationKind::Relu,
+            1 => ActivationKind::Sigmoid,
+            2 => ActivationKind::Tanh,
+            3 => ActivationKind::Linear,
+            4 => ActivationKind::Softmax,
+            _ => return None,
+        })
+    }
+
+    /// Parse the lowercase names used in configuration (matches the paper's
+    /// Table I vocabulary).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "relu" => ActivationKind::Relu,
+            "sigmoid" => ActivationKind::Sigmoid,
+            "tanh" => ActivationKind::Tanh,
+            "linear" => ActivationKind::Linear,
+            "softmax" => ActivationKind::Softmax,
+            _ => return None,
+        })
+    }
+}
+
+/// An activation layer applying one [`ActivationKind`] elementwise
+/// (row-wise for softmax).
+pub struct Activation {
+    kind: ActivationKind,
+    dim: usize,
+    /// Cached forward *output* — every supported activation has a backward
+    /// expressible in terms of its output, which saves caching the input.
+    cached_output: Option<Tensor>,
+}
+
+impl Activation {
+    /// New activation layer over `dim` features.
+    pub fn new(kind: ActivationKind, dim: usize) -> Self {
+        Activation {
+            kind,
+            dim,
+            cached_output: None,
+        }
+    }
+
+    /// The layer's activation kind.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Sigmoid => "sigmoid",
+            ActivationKind::Tanh => "tanh",
+            ActivationKind::Linear => "linear",
+            ActivationKind::Softmax => "softmax",
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        debug_assert_eq!(input.dims()[1], self.dim, "activation width mismatch");
+        let out = match self.kind {
+            ActivationKind::Relu => input.map(|v| v.max(0.0)),
+            ActivationKind::Sigmoid => input.map(|v| 1.0 / (1.0 + (-v).exp())),
+            ActivationKind::Tanh => input.map(f32::tanh),
+            ActivationKind::Linear => input.clone(),
+            ActivationKind::Softmax => {
+                let cols = input.dims()[1];
+                let mut out = Tensor::zeros(input.dims());
+                for (orow, irow) in out
+                    .data_mut()
+                    .chunks_exact_mut(cols)
+                    .zip(input.data().chunks_exact(cols))
+                {
+                    softmax_slice(irow, orow);
+                }
+                out
+            }
+        };
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        debug_assert_eq!(grad_out.dims(), y.dims());
+        match self.kind {
+            ActivationKind::Relu => grad_out.zip(y, |g, yv| if yv > 0.0 { g } else { 0.0 }),
+            ActivationKind::Sigmoid => grad_out.zip(y, |g, yv| g * yv * (1.0 - yv)),
+            ActivationKind::Tanh => grad_out.zip(y, |g, yv| g * (1.0 - yv * yv)),
+            ActivationKind::Linear => grad_out.clone(),
+            ActivationKind::Softmax => {
+                // Full Jacobian product per row:
+                // dx_i = y_i (g_i − Σ_j g_j y_j)
+                let cols = y.dims()[1];
+                let mut dx = Tensor::zeros(y.dims());
+                for ((dxrow, grow), yrow) in dx
+                    .data_mut()
+                    .chunks_exact_mut(cols)
+                    .zip(grad_out.data().chunks_exact(cols))
+                    .zip(y.data().chunks_exact(cols))
+                {
+                    let dot: f32 = grow.iter().zip(yrow).map(|(&g, &yv)| g * yv).sum();
+                    for ((d, &g), &yv) in dxrow.iter_mut().zip(grow).zip(yrow) {
+                        *d = yv * (g - dot);
+                    }
+                }
+                dx
+            }
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // One transcendental ≈ a handful of FLOPs; the cost model charges a
+        // uniform per-element constant. Softmax pays for exp + normalise.
+        match self.kind {
+            ActivationKind::Linear => 0,
+            ActivationKind::Relu => self.dim as u64,
+            ActivationKind::Sigmoid | ActivationKind::Tanh => 4 * self.dim as u64,
+            ActivationKind::Softmax => 6 * self.dim as u64,
+        }
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Activation {
+            kind: self.kind,
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(v: &[f32], cols: usize) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len() / cols, cols])
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut a = Activation::new(ActivationKind::Relu, 3);
+        let x = batch(&[-1.0, 0.0, 2.0], 3);
+        let y = a.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let dx = a.backward(&batch(&[1.0, 1.0, 1.0], 3));
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_forward_midpoint_and_grad() {
+        let mut a = Activation::new(ActivationKind::Sigmoid, 1);
+        let y = a.forward(&batch(&[0.0], 1), true);
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let dx = a.backward(&batch(&[1.0], 1));
+        assert!((dx.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_forward_and_grad() {
+        let mut a = Activation::new(ActivationKind::Tanh, 1);
+        let y = a.forward(&batch(&[0.5], 1), true);
+        assert!((y.data()[0] - 0.5f32.tanh()).abs() < 1e-6);
+        let dx = a.backward(&batch(&[1.0], 1));
+        let expect = 1.0 - 0.5f32.tanh().powi(2);
+        assert!((dx.data()[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_is_identity_both_ways() {
+        let mut a = Activation::new(ActivationKind::Linear, 2);
+        let x = batch(&[3.0, -4.0], 2);
+        assert_eq!(a.forward(&x, true), x);
+        let g = batch(&[1.5, 2.5], 2);
+        assert_eq!(a.backward(&g), g);
+        assert_eq!(a.flops_per_sample(), 0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut a = Activation::new(ActivationKind::Softmax, 3);
+        let y = a.forward(&batch(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], 3), true);
+        for row in y.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let mut a = Activation::new(ActivationKind::Softmax, 3);
+        let x = batch(&[0.2, -0.5, 0.9], 3);
+        // Loss: weighted sum of outputs.
+        let w = [0.3f32, -1.1, 0.7];
+        let _ = a.forward(&x, true);
+        let g = batch(&w, 3);
+        let dx = a.backward(&g);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut ap = Activation::new(ActivationKind::Softmax, 3);
+            let yp = ap.forward(&xp, true);
+            let ym = ap.forward(&xm, true);
+            let lp: f32 = yp.data().iter().zip(&w).map(|(&y, &wv)| y * wv).sum();
+            let lm: f32 = ym.data().iter().zip(&w).map(|(&y, &wv)| y * wv).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - numeric).abs() < 1e-3,
+                "softmax grad {} vs numeric {numeric}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for k in [
+            ActivationKind::Relu,
+            ActivationKind::Sigmoid,
+            ActivationKind::Tanh,
+            ActivationKind::Linear,
+            ActivationKind::Softmax,
+        ] {
+            assert_eq!(ActivationKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(ActivationKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn parse_matches_table1_vocabulary() {
+        assert_eq!(ActivationKind::parse("relu"), Some(ActivationKind::Relu));
+        assert_eq!(ActivationKind::parse("linear"), Some(ActivationKind::Linear));
+        assert_eq!(
+            ActivationKind::parse("softmax"),
+            Some(ActivationKind::Softmax)
+        );
+        assert_eq!(ActivationKind::parse("gelu"), None);
+    }
+}

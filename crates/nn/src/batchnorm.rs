@@ -1,0 +1,261 @@
+//! 1-D batch normalisation.
+//!
+//! Needed for the paper's §V future-work backbones (AlexNet/ResNet-style
+//! networks train poorly at depth without normalisation). Standard
+//! formulation: per-feature statistics over the batch at train time, running
+//! averages at inference, learnable scale/shift.
+
+use tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::spec::LayerSpec;
+
+/// Batch normalisation over `(batch, features)` tensors.
+pub struct BatchNorm1d {
+    dim: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor, // learnable scale
+    beta: Tensor,  // learnable shift
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    // Cached forward state for backward.
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Option<Tensor>,
+}
+
+impl BatchNorm1d {
+    /// New batch-norm layer (γ = 1, β = 0, running stats at N(0, 1)).
+    pub fn new(dim: usize) -> Self {
+        BatchNorm1d {
+            dim,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[dim]),
+            beta: Tensor::zeros(&[dim]),
+            grad_gamma: Tensor::zeros(&[dim]),
+            grad_beta: Tensor::zeros(&[dim]),
+            running_mean: Tensor::zeros(&[dim]),
+            running_var: Tensor::ones(&[dim]),
+            cached_xhat: None,
+            cached_inv_std: None,
+        }
+    }
+
+    /// Running mean (inference statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance (inference statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn name(&self) -> &'static str {
+        "batchnorm1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        debug_assert_eq!(input.dims()[1], self.dim);
+        let cols = self.dim;
+        let (mean, var) = if train {
+            let mean = input.mean_cols();
+            let var = input.var_cols();
+            // Update running statistics.
+            for i in 0..cols {
+                let rm = &mut self.running_mean.data_mut()[i];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean.data()[i];
+            }
+            for i in 0..cols {
+                let rv = &mut self.running_var.data_mut()[i];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var.data()[i];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f32> = var
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
+        let mut xhat = input.clone();
+        for row in xhat.data_mut().chunks_exact_mut(cols) {
+            for ((x, &m), &is) in row.iter_mut().zip(mean.data()).zip(&inv_std) {
+                *x = (*x - m) * is;
+            }
+        }
+        let mut out = xhat.clone();
+        for row in out.data_mut().chunks_exact_mut(cols) {
+            for ((y, &g), &b) in row
+                .iter_mut()
+                .zip(self.gamma.data())
+                .zip(self.beta.data())
+            {
+                *y = *y * g + b;
+            }
+        }
+        if train {
+            self.cached_xhat = Some(xhat);
+            self.cached_inv_std = Some(Tensor::from_vec(inv_std, &[cols]));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self
+            .cached_xhat
+            .as_ref()
+            .expect("backward called before train-mode forward");
+        let inv_std = self.cached_inv_std.as_ref().unwrap();
+        let cols = self.dim;
+        let n = grad_out.dims()[0] as f32;
+
+        // dγ = Σ g·x̂ ; dβ = Σ g (per column).
+        let dgamma = grad_out.mul(xhat).sum_rows();
+        let dbeta = grad_out.sum_rows();
+        self.grad_gamma.add_assign(&dgamma);
+        self.grad_beta.add_assign(&dbeta);
+
+        // dx = (γ·inv_std / n) · (n·g − Σg − x̂·Σ(g·x̂))
+        let mut dx = Tensor::zeros(grad_out.dims());
+        for ((dxrow, grow), xrow) in dx
+            .data_mut()
+            .chunks_exact_mut(cols)
+            .zip(grad_out.data().chunks_exact(cols))
+            .zip(xhat.data().chunks_exact(cols))
+        {
+            for j in 0..cols {
+                let g = grow[j];
+                dxrow[j] = (self.gamma.data()[j] * inv_std.data()[j] / n)
+                    * (n * g - dbeta.data()[j] - xrow[j] * dgamma.data()[j]);
+            }
+        }
+        dx
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.gamma, &mut self.grad_gamma),
+            (&mut self.beta, &mut self.grad_beta),
+        ]
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+
+    fn in_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        4 * self.dim as u64
+    }
+
+    fn spec(&self) -> LayerSpec {
+        // Serialized via the Activation record shape is wrong; BatchNorm has
+        // its own spec variant.
+        LayerSpec::BatchNorm1d { dim: self.dim }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+
+    #[test]
+    fn train_forward_standardises_batch() {
+        let mut bn = BatchNorm1d::new(3);
+        let mut rng = rng_from_seed(0);
+        let x = Tensor::rand_uniform(&[64, 3], -5.0, 5.0, &mut rng);
+        let y = bn.forward(&x, true);
+        let mean = y.mean_cols();
+        let var = y.var_cols();
+        assert!(mean.data().iter().all(|v| v.abs() < 1e-4), "{mean}");
+        assert!(var.data().iter().all(|v| (v - 1.0).abs() < 1e-3), "{var}");
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(2);
+        let mut rng = rng_from_seed(1);
+        // Feed several batches with mean ≈ 3 so running stats move there.
+        for _ in 0..200 {
+            let x = Tensor::rand_normal(&[32, 2], 3.0, 1.0, &mut rng);
+            let _ = bn.forward(&x, true);
+        }
+        assert!((bn.running_mean().data()[0] - 3.0).abs() < 0.3);
+        // Inference on a constant-3 batch should produce ≈ 0 output.
+        let x = Tensor::full(&[4, 2], 3.0);
+        let y = bn.forward(&x, false);
+        assert!(y.data().iter().all(|v| v.abs() < 0.5), "{y}");
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut bn = BatchNorm1d::new(2);
+        let mut rng = rng_from_seed(2);
+        let x = Tensor::rand_uniform(&[5, 2], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[5, 2], -1.0, 1.0, &mut rng);
+        bn.zero_grads();
+        let _ = bn.forward(&x, true);
+        let dx = bn.backward(&w);
+        let eps = 1e-3;
+        for elem in [0usize, 3, 9] {
+            let mut xp = x.clone();
+            xp.data_mut()[elem] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[elem] -= eps;
+            let lp: f32 = bn
+                .forward(&xp, true)
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(y, wv)| y * wv)
+                .sum();
+            let lm: f32 = bn
+                .forward(&xm, true)
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(y, wv)| y * wv)
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.data()[elem] - numeric).abs() < 0.02 * numeric.abs().max(1.0),
+                "dx[{elem}] {} vs numeric {numeric}",
+                dx.data()[elem]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_are_trainable() {
+        let mut bn = BatchNorm1d::new(2);
+        assert_eq!(bn.param_count(), 4);
+        let mut rng = rng_from_seed(3);
+        let x = Tensor::rand_uniform(&[8, 2], -1.0, 1.0, &mut rng);
+        bn.zero_grads();
+        let y = bn.forward(&x, true);
+        let _ = bn.backward(&Tensor::ones(y.dims()));
+        let pg = bn.params_and_grads();
+        // dβ = Σ g = batch size per column.
+        assert!(pg[1].1.data().iter().all(|&v| (v - 8.0).abs() < 1e-4));
+    }
+}

@@ -1,0 +1,422 @@
+//! 2-D convolution layer (im2col-lowered, batch-parallel).
+
+use rand::Rng;
+use tensor::conv::{col2im, im2col, Conv2dGeom};
+use tensor::matmul::{matmul_at_into, matmul_bt_into, matmul_into};
+use tensor::Tensor;
+
+use crate::init::glorot_uniform;
+use crate::layer::Layer;
+use crate::spec::LayerSpec;
+
+/// A 2-D convolution over NCHW volumes flattened into batch rows.
+///
+/// Weights are stored as `(out_channels, in_channels·k_h·k_w)` — exactly the
+/// left operand of the im2col matrix product. Each batch row is interpreted
+/// as a contiguous CHW volume matching `geom`.
+///
+/// The forward pass parallelises across samples with scoped threads; each
+/// worker owns a thread-local im2col buffer, so there is no shared mutable
+/// state. The backward pass reduces per-thread weight-gradient partials.
+pub struct Conv2d {
+    geom: Conv2dGeom,
+    out_channels: usize,
+    weights: Tensor, // (out_ch, K) with K = in_ch·k_h·k_w
+    bias: Tensor,    // (out_ch)
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// New convolution with Glorot-uniform kernels and zero bias.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (see [`Conv2dGeom::validate`]).
+    pub fn new(geom: Conv2dGeom, out_channels: usize, rng: &mut impl Rng) -> Self {
+        geom.validate().expect("invalid conv geometry");
+        assert!(out_channels > 0, "out_channels must be positive");
+        let k = geom.patch_cols();
+        let fan_in = k;
+        let fan_out = out_channels * geom.k_h * geom.k_w;
+        Conv2d {
+            weights: glorot_uniform(&[out_channels, k], fan_in, fan_out, rng),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_w: Tensor::zeros(&[out_channels, k]),
+            grad_b: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+            geom,
+            out_channels,
+        }
+    }
+
+    /// Construct from explicit parameters (deserialisation, tests).
+    pub fn from_params(geom: Conv2dGeom, out_channels: usize, weights: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weights.dims(), &[out_channels, geom.patch_cols()]);
+        assert_eq!(bias.dims(), &[out_channels]);
+        Conv2d {
+            grad_w: Tensor::zeros(weights.dims()),
+            grad_b: Tensor::zeros(bias.dims()),
+            cached_input: None,
+            geom,
+            out_channels,
+            weights,
+            bias,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &Conv2dGeom {
+        &self.geom
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Immutable weight view `(out_ch, in_ch·k_h·k_w)`.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable weight access (pruning / masking baselines).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    fn in_features(&self) -> usize {
+        self.geom.in_channels * self.geom.in_h * self.geom.in_w
+    }
+
+    fn out_features(&self) -> usize {
+        self.out_channels * self.geom.patch_rows()
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        debug_assert_eq!(input.rank(), 2);
+        debug_assert_eq!(input.dims()[1], self.in_features(), "conv input mismatch");
+        let n = input.dims()[0];
+        let p = self.geom.patch_rows();
+        let k = self.geom.patch_cols();
+        let o = self.out_channels;
+        let out_w = self.out_features();
+        let mut out = Tensor::zeros(&[n, out_w]);
+
+        let geom = self.geom;
+        let weights = self.weights.data();
+        let bias = self.bias.data();
+        let in_data = input.data();
+        let in_f = self.in_features();
+
+        tensor::parallel::par_chunks_mut(out.data_mut(), out_w, |start, chunk| {
+            debug_assert_eq!(start % out_w, 0);
+            let s0 = start / out_w;
+            let mut patches = vec![0.0f32; p * k];
+            for (si, orow) in chunk.chunks_exact_mut(out_w).enumerate() {
+                let s = s0 + si;
+                im2col(&in_data[s * in_f..(s + 1) * in_f], &geom, &mut patches);
+                // orow as (O × P) = W (O×K) · patchesᵀ (K×P)
+                matmul_bt_into(weights, &patches, orow, o, k, p);
+                for (ch, seg) in orow.chunks_exact_mut(p).enumerate() {
+                    let b = bias[ch];
+                    for v in seg {
+                        *v += b;
+                    }
+                }
+            }
+        });
+
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let n = input.dims()[0];
+        let p = self.geom.patch_rows();
+        let k = self.geom.patch_cols();
+        let o = self.out_channels;
+        let in_f = self.in_features();
+        let out_f = self.out_features();
+        debug_assert_eq!(grad_out.dims(), &[n, out_f]);
+
+        let geom = self.geom;
+        let weights = self.weights.data();
+        let in_data = input.data();
+        let go_data = grad_out.data();
+
+        let mut grad_input = Tensor::zeros(&[n, in_f]);
+
+        // Parallel across samples. Each worker accumulates private dW/db
+        // partials which are reduced after the scope joins — the pattern from
+        // the workspace guides: disjoint &mut chunks, no shared mutable state.
+        let threads = tensor::parallel::max_threads().min(n.max(1)).max(1);
+        let chunk_rows = n.div_ceil(threads);
+        let mut partials: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            let gi_data = grad_input.data_mut();
+            for (ci, gi_chunk) in gi_data.chunks_mut(chunk_rows * in_f).enumerate() {
+                let s0 = ci * chunk_rows;
+                handles.push(scope.spawn(move |_| {
+                    let mut dw_local = vec![0.0f32; o * k];
+                    let mut db_local = vec![0.0f32; o];
+                    let mut patches = vec![0.0f32; p * k];
+                    let mut dw_tmp = vec![0.0f32; o * k];
+                    let mut dpatches = vec![0.0f32; p * k];
+                    for (si, gi_row) in gi_chunk.chunks_exact_mut(in_f).enumerate() {
+                        let s = s0 + si;
+                        let g = &go_data[s * out_f..(s + 1) * out_f]; // (O×P)
+                        im2col(&in_data[s * in_f..(s + 1) * in_f], &geom, &mut patches);
+                        // dW += G(O×P)·patches(P×K)
+                        matmul_into(g, &patches, &mut dw_tmp, o, p, k);
+                        for (a, &b) in dw_local.iter_mut().zip(&dw_tmp) {
+                            *a += b;
+                        }
+                        // db += per-channel sums of G
+                        for (ch, seg) in g.chunks_exact(p).enumerate() {
+                            db_local[ch] += seg.iter().sum::<f32>();
+                        }
+                        // dPatches = Gᵀ(P×O)·W(O×K)
+                        matmul_at_into(g, weights, &mut dpatches, p, o, k);
+                        // dX = col2im(dPatches)
+                        gi_row.fill(0.0);
+                        col2im(&dpatches, &geom, gi_row);
+                    }
+                    (dw_local, db_local)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("conv backward worker panicked"));
+            }
+        })
+        .expect("conv backward scope failed");
+
+        for (dw_local, db_local) in partials {
+            for (a, &b) in self.grad_w.data_mut().iter_mut().zip(&dw_local) {
+                *a += b;
+            }
+            for (a, &b) in self.grad_b.data_mut().iter_mut().zip(&db_local) {
+                *a += b;
+            }
+        }
+        grad_input
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weights, &mut self.grad_w),
+            (&mut self.bias, &mut self.grad_b),
+        ]
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn in_dim(&self) -> usize {
+        self.in_features()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_features()
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // im2col matmul: O·P·K multiply-adds, plus bias adds.
+        let p = self.geom.patch_rows() as u64;
+        let k = self.geom.patch_cols() as u64;
+        let o = self.out_channels as u64;
+        2 * o * p * k + o * p
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Conv2d {
+            geom: self.geom,
+            out_channels: self.out_channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+
+    fn small_geom() -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn forward_known_values_identity_kernel() {
+        // A 1×1 kernel with weight 1 reproduces the input per channel.
+        let geom = Conv2dGeom {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            k_h: 1,
+            k_w: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let w = Tensor::ones(&[1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let mut conv = Conv2d::from_params(geom, 1, w, b);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 9]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn forward_sum_kernel() {
+        // 3×3 all-ones kernel on a 4×4 all-ones image: every output is 9.
+        let geom = small_geom();
+        let w = Tensor::ones(&[1, 9]);
+        let b = Tensor::zeros(&[1]);
+        let mut conv = Conv2d::from_params(geom, 1, w, b);
+        let x = Tensor::ones(&[1, 16]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 4]); // 2×2 output
+        assert!(y.data().iter().all(|&v| (v - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let geom = small_geom();
+        let w = Tensor::zeros(&[2, 9]);
+        let b = Tensor::from_slice(&[1.5, -2.5]);
+        let mut conv = Conv2d::from_params(geom, 2, w, b);
+        let x = Tensor::ones(&[1, 16]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 8]);
+        assert!(y.data()[..4].iter().all(|&v| v == 1.5));
+        assert!(y.data()[4..].iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let geom = Conv2dGeom {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut rng = rng_from_seed(77);
+        let mut conv = Conv2d::new(geom, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 50], -1.0, 1.0, &mut rng);
+
+        // L = sum(conv(x)); analytic gradients:
+        conv.zero_grads();
+        let y = conv.forward(&x, true);
+        let g = Tensor::ones(y.dims());
+        let dx = conv.backward(&g);
+
+        let eps = 1e-2;
+        // Check a scattering of weight elements.
+        for elem in [0usize, 7, 20, 53] {
+            let base_plus = {
+                conv.weights.data_mut()[elem] += eps;
+                let s = conv.forward(&x, true).sum();
+                conv.weights.data_mut()[elem] -= eps;
+                s
+            };
+            let base_minus = {
+                conv.weights.data_mut()[elem] -= eps;
+                let s = conv.forward(&x, true).sum();
+                conv.weights.data_mut()[elem] += eps;
+                s
+            };
+            let numeric = (base_plus - base_minus) / (2.0 * eps);
+            let analytic = conv.grad_w.data()[elem];
+            assert!(
+                (analytic - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+                "dW[{elem}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // And a couple of input elements.
+        for elem in [0usize, 23, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[elem] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[elem] -= eps;
+            let sp = conv.forward(&xp, true).sum();
+            let sm = conv.forward(&xm, true).sum();
+            let numeric = (sp - sm) / (2.0 * eps);
+            let analytic = dx.data()[elem];
+            assert!(
+                (analytic - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+                "dX[{elem}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        // dL/db_ch with L = sum(y) equals the number of output positions.
+        let geom = small_geom();
+        let mut rng = rng_from_seed(5);
+        let mut conv = Conv2d::new(geom, 2, &mut rng);
+        let x = Tensor::rand_uniform(&[3, 16], -1.0, 1.0, &mut rng);
+        conv.zero_grads();
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&Tensor::ones(y.dims()));
+        // 3 samples × 4 positions each = 12 per channel.
+        assert!(conv.grad_b.data().iter().all(|&v| (v - 12.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn multi_sample_forward_is_per_sample() {
+        // Batch forward must equal stacking two single-sample forwards.
+        let geom = small_geom();
+        let mut rng = rng_from_seed(9);
+        let mut conv = Conv2d::new(geom, 2, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 16], -1.0, 1.0, &mut rng);
+        let both = conv.forward(&x, false);
+        let first = conv.forward(&Tensor::from_vec(x.row_slice(0).to_vec(), &[1, 16]), false);
+        let second = conv.forward(&Tensor::from_vec(x.row_slice(1).to_vec(), &[1, 16]), false);
+        assert!(Tensor::from_vec(both.row_slice(0).to_vec(), &[1, 8]).allclose(&first, 1e-5));
+        assert!(Tensor::from_vec(both.row_slice(1).to_vec(), &[1, 8]).allclose(&second, 1e-5));
+    }
+
+    #[test]
+    fn flops_and_spec() {
+        let geom = small_geom();
+        let mut rng = rng_from_seed(1);
+        let conv = Conv2d::new(geom, 4, &mut rng);
+        // P = 4 positions, K = 9, O = 4 → 2·4·4·9 + 4·4
+        assert_eq!(conv.flops_per_sample(), 2 * 4 * 4 * 9 + 16);
+        assert_eq!(conv.in_dim(), 16);
+        assert_eq!(conv.out_dim(), 16);
+        match conv.spec() {
+            LayerSpec::Conv2d { out_channels, .. } => assert_eq!(out_channels, 4),
+            other => panic!("wrong spec {other:?}"),
+        }
+    }
+}

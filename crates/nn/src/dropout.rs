@@ -1,0 +1,153 @@
+//! Inverted dropout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::spec::LayerSpec;
+
+/// Inverted dropout: at train time each unit is zeroed with probability `p`
+/// and survivors are scaled by `1/(1−p)`; at inference the layer is the
+/// identity. The layer owns a seeded RNG so training runs are reproducible.
+pub struct Dropout {
+    p: f32,
+    dim: usize,
+    rng: StdRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// New dropout layer.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, dim: usize, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            dim,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        debug_assert_eq!(input.dims()[1], self.dim);
+        if !train || self.p == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, input.dims());
+        let out = input.mul(&mask);
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        0 // inference-time identity: contributes nothing to deployed cost
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Dropout {
+            p: self.p,
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 4, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn train_zeroes_about_p_fraction() {
+        let mut d = Dropout::new(0.3, 1000, 42);
+        let x = Tensor::ones(&[10, 1000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.len() as f32;
+        assert!((frac - 0.3).abs() < 0.05, "zero fraction {frac}");
+        // Survivors are scaled so the expectation is preserved.
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 8, 7);
+        let x = Tensor::ones(&[1, 8]);
+        let y = d.forward(&x, true);
+        let dx = d.backward(&Tensor::ones(&[1, 8]));
+        // Where forward output is zero, the gradient must be zero too.
+        for (yv, dv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv == 0.0, *dv == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_never_drops() {
+        let mut d = Dropout::new(0.0, 16, 1);
+        let x = Tensor::ones(&[2, 16]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn p_one_rejected() {
+        let _ = Dropout::new(1.0, 4, 0);
+    }
+
+    #[test]
+    fn seeded_mask_is_reproducible() {
+        let mut a = Dropout::new(0.5, 32, 99);
+        let mut b = Dropout::new(0.5, 32, 99);
+        let x = Tensor::ones(&[1, 32]);
+        assert_eq!(a.forward(&x, true), b.forward(&x, true));
+    }
+}

@@ -1,0 +1,79 @@
+//! The [`Layer`] trait: the contract every network building block satisfies.
+
+use crate::spec::LayerSpec;
+use tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Conventions:
+///
+/// * `forward` takes a rank-2 batch `(n, in_features)` and returns
+///   `(n, out_features)`. Layers cache whatever their backward pass needs
+///   (inputs, masks, pre-activations); callers must pair each `backward`
+///   with the immediately preceding `forward`.
+/// * `backward` consumes `dL/d(output)` with the same shape as the last
+///   forward output, accumulates parameter gradients internally, and returns
+///   `dL/d(input)`.
+/// * Parameter gradients accumulate across calls until [`Layer::zero_grads`]
+///   — this is what lets BranchyNet's joint loss sum gradients from two
+///   exits through shared layers.
+/// * `train` distinguishes training-time behaviour (dropout) from inference.
+pub trait Layer: Send + Sync {
+    /// Human-readable layer kind, e.g. `"dense"`.
+    fn name(&self) -> &'static str;
+
+    /// Forward pass over a batch.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass; returns gradient with respect to the layer input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable (parameter, gradient) pairs for the optimizer. Empty for
+    /// parameterless layers.
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    /// Immutable views of the parameters (serialisation, inspection).
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Reset accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Number of input features expected per sample.
+    fn in_dim(&self) -> usize;
+
+    /// Number of output features produced per sample.
+    fn out_dim(&self) -> usize;
+
+    /// Forward FLOPs per sample (multiply and add counted separately).
+    ///
+    /// The `edgesim` crate turns these into device latencies; keeping the
+    /// count next to the kernel that generates it keeps the two honest.
+    fn flops_per_sample(&self) -> u64;
+
+    /// Structural description for serialisation and the device cost model.
+    fn spec(&self) -> LayerSpec;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use tensor::random::rng_from_seed;
+
+    #[test]
+    fn param_count_default_sums_params() {
+        let mut rng = rng_from_seed(0);
+        let d = Dense::new(3, 2, &mut rng);
+        // weights 2×3 + bias 2
+        assert_eq!(d.param_count(), 8);
+    }
+}

@@ -1,0 +1,52 @@
+//! # nn — from-scratch neural-network training stack
+//!
+//! Everything the CBNet reproduction trains — LeNet, BranchyNet-LeNet, the
+//! converting autoencoder, the lightweight classifier, and the AdaDeep /
+//! SubFlow comparators — is built from the pieces in this crate:
+//!
+//! * [`layer::Layer`] — the layer contract (forward, backward, parameter
+//!   access, FLOP accounting),
+//! * concrete layers: [`dense::Dense`], [`conv2d::Conv2d`],
+//!   [`pool::MaxPool2`], [`activation::Activation`], [`dropout::Dropout`],
+//! * [`network::Network`] — a sequential container with save/load,
+//! * losses: [`loss::MseLoss`], [`loss::SoftmaxCrossEntropy`],
+//!   [`loss::ActivityL1`] (the paper's encoder activity regulariser),
+//! * optimizers: [`optim::Sgd`], [`optim::Momentum`], [`optim::Adam`]
+//!   (the paper trains every model with Adam \[18\]),
+//! * initialisation: [`init`] (Glorot/He, seeded).
+//!
+//! Batches are rank-2 tensors `(batch, features)`; convolutional layers carry
+//! their own NCHW geometry and interpret each row as a CHW volume. There is
+//! no tape autograd — layers cache what their own backward pass needs, and
+//! [`network::Network::backward`] walks the stack in reverse. For networks
+//! with branches (BranchyNet), the `models` crate composes several
+//! `Network`s and routes gradients between them explicitly.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv2d;
+pub mod dense;
+pub mod dropout;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod pool;
+pub mod residual;
+pub mod schedule;
+pub mod spec;
+
+pub use activation::{Activation, ActivationKind};
+pub use batchnorm::BatchNorm1d;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use layer::Layer;
+pub use loss::{ActivityL1, Loss, MseLoss, SoftmaxCrossEntropy};
+pub use network::Network;
+pub use optim::{Adam, Momentum, Optimizer, Sgd};
+pub use pool::MaxPool2;
+pub use residual::ResidualConv;
+pub use schedule::{clip_global_norm, CosineAnnealing, LrSchedule, StepDecay};
+pub use spec::{CostKind, LayerSpec};

@@ -1,0 +1,265 @@
+//! Loss functions.
+//!
+//! * [`MseLoss`] — mean squared error, the converting autoencoder's
+//!   reconstruction loss (§III-A.2 of the paper).
+//! * [`SoftmaxCrossEntropy`] — fused softmax + cross-entropy for the
+//!   classifiers (LeNet, BranchyNet exits, the lightweight DNN).
+//! * [`ActivityL1`] — L1 activity regularisation on the encoder output, the
+//!   paper's "activity regularizer … L1 penalty with a coefficient of 10e-8"
+//!   (§III-A.3).
+//!
+//! Every loss returns `(scalar_loss, grad_wrt_input)` so training loops stay
+//! uniform. Loss values are means over the batch; gradients carry the same
+//! normalisation.
+
+use tensor::ops::softmax_slice;
+use tensor::Tensor;
+
+/// A loss over tensor-valued targets.
+pub trait Loss {
+    /// Compute the scalar loss and its gradient with respect to `pred`.
+    fn loss(&self, pred: &Tensor, target: &Tensor) -> (f32, Tensor);
+}
+
+/// Mean squared error: `L = mean((pred − target)²)`.
+///
+/// The mean runs over *all* elements (batch × features), matching Keras's
+/// `mse` which the paper's autoencoder used.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn loss(&self, pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+        assert_eq!(pred.dims(), target.dims(), "MSE shape mismatch");
+        let n = pred.len() as f32;
+        let diff = pred.sub(target);
+        let loss = diff.map(|v| v * v).sum() / n;
+        let grad = diff.scale(2.0 / n);
+        (loss, grad)
+    }
+}
+
+/// Fused softmax + cross-entropy over integer class labels.
+///
+/// Operating on logits keeps the backward pass the numerically exact
+/// `softmax(x) − onehot(y)` instead of chaining a softmax layer with a log
+/// loss. Loss is the mean negative log-likelihood over the batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Loss and gradient with respect to the logits.
+    ///
+    /// # Panics
+    /// Panics if `labels.len()` differs from the batch size or a label is out
+    /// of range.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let (probs, loss) = self.forward_probs(logits, labels);
+        let n = labels.len();
+        let classes = logits.dims()[1];
+        let mut grad = probs;
+        let scale = 1.0 / n as f32;
+        for (s, &label) in labels.iter().enumerate() {
+            let row = &mut grad.data_mut()[s * classes..(s + 1) * classes];
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= scale;
+            }
+        }
+        (loss, grad)
+    }
+
+    /// Softmax probabilities and the scalar loss (no gradient).
+    pub fn forward_probs(&self, logits: &Tensor, labels: &[usize]) -> (Tensor, f32) {
+        assert_eq!(logits.rank(), 2, "logits must be a batch");
+        let n = logits.dims()[0];
+        let classes = logits.dims()[1];
+        assert_eq!(labels.len(), n, "label count must equal batch size");
+        let mut probs = Tensor::zeros(logits.dims());
+        let mut nll = 0.0f64;
+        for (s, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range");
+            let lrow = &logits.data()[s * classes..(s + 1) * classes];
+            let prow = &mut probs.data_mut()[s * classes..(s + 1) * classes];
+            softmax_slice(lrow, prow);
+            nll -= (prow[label].max(1e-12) as f64).ln();
+        }
+        (probs, (nll / n as f64) as f32)
+    }
+}
+
+/// L1 activity regulariser: `L = λ · Σ |a|` over a layer's activations.
+///
+/// The paper applies this to the encoder's output layer ("adds penalties to
+/// the reconstruction loss function in proportion to the magnitude of the
+/// activations in the output of the Encoder layer", §III-A.3) with
+/// λ = 10e-8 = 1e-7.
+#[derive(Debug, Clone, Copy)]
+pub struct ActivityL1 {
+    /// Penalty coefficient λ.
+    pub lambda: f32,
+}
+
+impl ActivityL1 {
+    /// The paper's coefficient ("10e-8", i.e. 1e-7).
+    pub const PAPER_LAMBDA: f32 = 1e-7;
+
+    /// New regulariser with coefficient λ.
+    pub fn new(lambda: f32) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        ActivityL1 { lambda }
+    }
+
+    /// Penalty value and its gradient with respect to the activations.
+    pub fn penalty(&self, activations: &Tensor) -> (f32, Tensor) {
+        let loss = self.lambda * activations.l1_norm();
+        // Subgradient 0 at the kink (f32::signum(0.0) is +1, which we do not
+        // want).
+        let grad = activations.map(|v| {
+            if v == 0.0 {
+                0.0
+            } else {
+                self.lambda * v.signum()
+            }
+        });
+        (loss, grad)
+    }
+}
+
+impl Default for ActivityL1 {
+    fn default() -> Self {
+        ActivityL1::new(Self::PAPER_LAMBDA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let p = Tensor::from_slice(&[1.0, 2.0]).reshape(&[1, 2]).unwrap();
+        let (l, g) = MseLoss.loss(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let (l, g) = MseLoss.loss(&p, &t);
+        assert!((l - 2.5).abs() < 1e-6); // (1+4)/2
+        assert_eq!(g.data(), &[1.0, 2.0]); // 2·diff/2
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.0], &[2, 2]);
+        let t = Tensor::from_vec(vec![0.0, 1.0, -1.0, 0.5], &[2, 2]);
+        let (_, g) = MseLoss.loss(&p, &t);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let (lp, _) = MseLoss.loss(&pp, &t);
+            let (lm, _) = MseLoss.loss(&pm, &t);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((g.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0], &[1, 3]);
+        let (l, _) = SoftmaxCrossEntropy.loss(&logits, &[0]);
+        assert!(l < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_classes() {
+        let logits = Tensor::zeros(&[1, 10]);
+        let (l, _) = SoftmaxCrossEntropy.loss(&logits, &[3]);
+        assert!((l - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[1, 3]);
+        let (probs, _) = SoftmaxCrossEntropy.forward_probs(&logits, &[1]);
+        let (_, grad) = SoftmaxCrossEntropy.loss(&logits, &[1]);
+        let expect = [probs.data()[0], probs.data()[1] - 1.0, probs.data()[2]];
+        for (g, e) in grad.data().iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -1.0, 2.0, 0.0, 0.0, 0.0], &[2, 3]);
+        let (_, grad) = SoftmaxCrossEntropy.loss(&logits, &[2, 0]);
+        for row in grad.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.9, 1.5], &[2, 2]);
+        let labels = [1usize, 0];
+        let (_, grad) = SoftmaxCrossEntropy.loss(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (vp, _) = SoftmaxCrossEntropy.loss(&lp, &labels);
+            let (vm, _) = SoftmaxCrossEntropy.loss(&lm, &labels);
+            let numeric = (vp - vm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "grad[{i}] {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn cross_entropy_rejects_label_count_mismatch() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let _ = SoftmaxCrossEntropy.loss(&logits, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = SoftmaxCrossEntropy.loss(&logits, &[3]);
+    }
+
+    #[test]
+    fn activity_l1_penalty_and_grad() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.0], &[1, 3]);
+        let reg = ActivityL1::new(0.1);
+        let (l, g) = reg.penalty(&a);
+        assert!((l - 0.3).abs() < 1e-6);
+        assert_eq!(g.data(), &[0.1, -0.1, 0.0]);
+    }
+
+    #[test]
+    fn activity_l1_paper_default() {
+        let reg = ActivityL1::default();
+        assert_eq!(reg.lambda, 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn activity_l1_rejects_negative_lambda() {
+        let _ = ActivityL1::new(-1.0);
+    }
+}

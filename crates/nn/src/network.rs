@@ -1,0 +1,508 @@
+//! Sequential network container with checkpoint serialisation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tensor::conv::Conv2dGeom;
+use tensor::{Tensor, TensorError};
+
+use crate::activation::{Activation, ActivationKind};
+use crate::conv2d::Conv2d;
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::layer::Layer;
+use crate::pool::MaxPool2;
+use crate::spec::LayerSpec;
+
+/// A sequential stack of layers.
+///
+/// `Network` is the unit of composition for every model in this workspace:
+/// plain models are one `Network`; BranchyNet is a *trunk* network plus a
+/// *branch* network plus a *tail* network glued together by the `models`
+/// crate, which routes gradients between them through the public
+/// `forward`/`backward` API.
+#[derive(Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    ///
+    /// # Panics
+    /// Panics if the layer's input width does not match the previous layer's
+    /// output width.
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.push_boxed(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        if let Some(prev) = self.layers.last() {
+            assert_eq!(
+                prev.out_dim(),
+                layer.in_dim(),
+                "layer width mismatch: {} outputs {}, {} expects {}",
+                prev.name(),
+                prev.out_dim(),
+                layer.name(),
+                layer.in_dim()
+            );
+        }
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Expected input width (0 for an empty network).
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_dim())
+    }
+
+    /// Output width (0 for an empty network).
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_dim())
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass through all layers (reverse order); returns the
+    /// gradient with respect to the network input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Inference-mode forward.
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        self.forward(input, false)
+    }
+
+    /// Flattened `(param, grad)` list across layers, in a stable order.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .collect()
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops_per_sample()).sum()
+    }
+
+    /// Structural description of every layer.
+    pub fn specs(&self) -> Vec<LayerSpec> {
+        self.layers.iter().map(|l| l.spec()).collect()
+    }
+
+    /// Borrow the layer stack (inspection; used by pruning baselines).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Borrow the layer stack immutably.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Consume the network, yielding its layers (used to stitch stages
+    /// together, e.g. trunk + branch → lightweight DNN).
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
+    /// Concatenate two networks (width-checked).
+    pub fn concat(front: Network, back: Network) -> Network {
+        let mut net = front;
+        for layer in back.into_layers() {
+            net.push_boxed(layer);
+        }
+        net
+    }
+
+    /// A deep copy of this network via the serialisation roundtrip.
+    ///
+    /// `Layer` objects are not `Clone` (trait objects); the checkpoint
+    /// format is the canonical way to duplicate a trained stack.
+    pub fn duplicate(&self) -> Network {
+        Network::load(self.save()).expect("self-roundtrip cannot fail")
+    }
+
+    // ------------------------------------------------------- serialisation
+
+    /// Serialize architecture + parameters into a byte buffer.
+    ///
+    /// Format: magic `NNW1`, layer count, then per layer a spec record
+    /// followed by its length-prefixed parameter tensors.
+    pub fn save(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"NNW1");
+        buf.put_u32_le(self.layers.len() as u32);
+        for layer in &self.layers {
+            let spec = layer.spec();
+            buf.put_u8(spec.tag());
+            match spec {
+                LayerSpec::Dense { in_dim, out_dim } => {
+                    buf.put_u32_le(in_dim as u32);
+                    buf.put_u32_le(out_dim as u32);
+                }
+                LayerSpec::Conv2d { geom, out_channels } => {
+                    for v in [
+                        geom.in_channels,
+                        geom.in_h,
+                        geom.in_w,
+                        geom.k_h,
+                        geom.k_w,
+                        geom.stride,
+                        geom.pad,
+                        out_channels,
+                    ] {
+                        buf.put_u32_le(v as u32);
+                    }
+                }
+                LayerSpec::MaxPool2 {
+                    channels,
+                    in_h,
+                    in_w,
+                    window,
+                } => {
+                    for v in [channels, in_h, in_w, window] {
+                        buf.put_u32_le(v as u32);
+                    }
+                }
+                LayerSpec::Activation { kind, dim } => {
+                    buf.put_u8(kind.tag());
+                    buf.put_u32_le(dim as u32);
+                }
+                LayerSpec::Dropout { p, dim } => {
+                    buf.put_f32_le(p);
+                    buf.put_u32_le(dim as u32);
+                }
+                LayerSpec::BatchNorm1d { dim } => {
+                    buf.put_u32_le(dim as u32);
+                }
+                LayerSpec::ResidualConv { channels, side } => {
+                    buf.put_u32_le(channels as u32);
+                    buf.put_u32_le(side as u32);
+                }
+            }
+            let params = layer.params();
+            buf.put_u32_le(params.len() as u32);
+            for p in params {
+                tensor::serialize::put_tensor(&mut buf, p);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Reconstruct a network saved by [`Network::save`].
+    pub fn load(mut buf: impl Buf) -> Result<Network, TensorError> {
+        let err = |m: &str| TensorError::Deserialize(m.to_string());
+        if buf.remaining() < 8 {
+            return Err(err("checkpoint too short"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"NNW1" {
+            return Err(err("bad checkpoint magic"));
+        }
+        let n_layers = buf.get_u32_le() as usize;
+        if n_layers > 10_000 {
+            return Err(err("implausible layer count"));
+        }
+        let mut net = Network::new();
+        for _ in 0..n_layers {
+            if buf.remaining() < 1 {
+                return Err(err("truncated layer record"));
+            }
+            let tag = buf.get_u8();
+            let get_u32 = |buf: &mut dyn Buf| -> Result<usize, TensorError> {
+                if buf.remaining() < 4 {
+                    return Err(TensorError::Deserialize("truncated field".into()));
+                }
+                Ok(buf.get_u32_le() as usize)
+            };
+            let layer: Box<dyn Layer> = match tag {
+                1 => {
+                    let _in_dim = get_u32(&mut buf)?;
+                    let _out_dim = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 2 {
+                        return Err(err("dense expects 2 params"));
+                    }
+                    let w = tensor::serialize::get_tensor(&mut buf)?;
+                    let b = tensor::serialize::get_tensor(&mut buf)?;
+                    Box::new(Dense::from_params(w, b))
+                }
+                2 => {
+                    let geom = Conv2dGeom {
+                        in_channels: get_u32(&mut buf)?,
+                        in_h: get_u32(&mut buf)?,
+                        in_w: get_u32(&mut buf)?,
+                        k_h: get_u32(&mut buf)?,
+                        k_w: get_u32(&mut buf)?,
+                        stride: get_u32(&mut buf)?,
+                        pad: get_u32(&mut buf)?,
+                    };
+                    let out_channels = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 2 {
+                        return Err(err("conv expects 2 params"));
+                    }
+                    let w = tensor::serialize::get_tensor(&mut buf)?;
+                    let b = tensor::serialize::get_tensor(&mut buf)?;
+                    Box::new(Conv2d::from_params(geom, out_channels, w, b))
+                }
+                3 => {
+                    let channels = get_u32(&mut buf)?;
+                    let in_h = get_u32(&mut buf)?;
+                    let in_w = get_u32(&mut buf)?;
+                    let window = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 0 {
+                        return Err(err("pool expects 0 params"));
+                    }
+                    Box::new(MaxPool2::new(channels, in_h, in_w, window))
+                }
+                4 => {
+                    if buf.remaining() < 1 {
+                        return Err(err("truncated activation"));
+                    }
+                    let kind = ActivationKind::from_tag(buf.get_u8())
+                        .ok_or_else(|| err("unknown activation"))?;
+                    let dim = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 0 {
+                        return Err(err("activation expects 0 params"));
+                    }
+                    Box::new(Activation::new(kind, dim))
+                }
+                5 => {
+                    if buf.remaining() < 4 {
+                        return Err(err("truncated dropout"));
+                    }
+                    let p = buf.get_f32_le();
+                    let dim = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 0 {
+                        return Err(err("dropout expects 0 params"));
+                    }
+                    Box::new(Dropout::new(p, dim, 0))
+                }
+                6 => {
+                    let dim = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 2 {
+                        return Err(err("batchnorm expects 2 params"));
+                    }
+                    let gamma = tensor::serialize::get_tensor(&mut buf)?;
+                    let beta = tensor::serialize::get_tensor(&mut buf)?;
+                    let mut bn = crate::batchnorm::BatchNorm1d::new(dim);
+                    {
+                        let mut pg = bn.params_and_grads();
+                        *pg[0].0 = gamma;
+                        *pg[1].0 = beta;
+                    }
+                    // NOTE: running statistics are not checkpointed in the
+                    // layer-spec format; deployments that need exact
+                    // inference-mode parity should fine-tune or re-estimate
+                    // them (one pass over training data).
+                    Box::new(bn)
+                }
+                7 => {
+                    let channels = get_u32(&mut buf)?;
+                    let side = get_u32(&mut buf)?;
+                    let n_params = get_u32(&mut buf)?;
+                    if n_params != 4 {
+                        return Err(err("residual block expects 4 params"));
+                    }
+                    let g = Conv2dGeom {
+                        in_channels: channels,
+                        in_h: side,
+                        in_w: side,
+                        k_h: 3,
+                        k_w: 3,
+                        stride: 1,
+                        pad: 1,
+                    };
+                    let w1 = tensor::serialize::get_tensor(&mut buf)?;
+                    let b1 = tensor::serialize::get_tensor(&mut buf)?;
+                    let w2 = tensor::serialize::get_tensor(&mut buf)?;
+                    let b2 = tensor::serialize::get_tensor(&mut buf)?;
+                    let c1 = Conv2d::from_params(g, channels, w1, b1);
+                    let c2 = Conv2d::from_params(g, channels, w2, b2);
+                    Box::new(crate::residual::ResidualConv::from_convs(c1, c2))
+                }
+                _ => return Err(err("unknown layer tag")),
+            };
+            net.push_boxed(layer);
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Loss, MseLoss};
+    use crate::optim::{Adam, Optimizer};
+    use tensor::random::rng_from_seed;
+
+    fn tiny_mlp(seed: u64) -> Network {
+        let mut rng = rng_from_seed(seed);
+        Network::new()
+            .push(Dense::new(2, 8, &mut rng))
+            .push(Activation::new(ActivationKind::Tanh, 8))
+            .push(Dense::new(8, 1, &mut rng))
+    }
+
+    #[test]
+    fn forward_shape_chains() {
+        let mut net = tiny_mlp(0);
+        let x = Tensor::zeros(&[4, 2]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.dims(), &[4, 1]);
+        assert_eq!(net.in_dim(), 2);
+        assert_eq!(net.out_dim(), 1);
+        assert_eq!(net.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_rejects_width_mismatch() {
+        let mut rng = rng_from_seed(0);
+        let _ = Network::new()
+            .push(Dense::new(2, 8, &mut rng))
+            .push(Dense::new(4, 1, &mut rng));
+    }
+
+    #[test]
+    fn trains_xor_to_low_loss() {
+        // The classic non-linearly-separable sanity problem: if the full
+        // stack (dense → tanh → dense, MSE, Adam) can drive XOR loss to ~0,
+        // forward, backward and the optimizer are wired correctly.
+        let mut net = tiny_mlp(42);
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
+        let t = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4, 1]);
+        let mut opt = Adam::with_defaults(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            net.zero_grads();
+            let y = net.forward(&x, true);
+            let (l, g) = MseLoss.loss(&y, &t);
+            net.backward(&g);
+            let mut pg = net.params_and_grads();
+            opt.step(&mut pg);
+            final_loss = l;
+        }
+        assert!(final_loss < 0.01, "XOR loss stayed at {final_loss}");
+        let y = net.predict(&x);
+        assert!(y.data()[0] < 0.3 && y.data()[3] < 0.3);
+        assert!(y.data()[1] > 0.7 && y.data()[2] > 0.7);
+    }
+
+    #[test]
+    fn param_count_and_flops_sum_layers() {
+        let net = tiny_mlp(1);
+        assert_eq!(net.param_count(), (2 * 8 + 8) + (8 * 1 + 1));
+        assert_eq!(
+            net.flops_per_sample(),
+            (2 * 2 * 8 + 8) as u64 + 4 * 8 + (2 * 8 + 1) as u64
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let mut rng = rng_from_seed(3);
+        let mut net = Network::new()
+            .push(Conv2d::new(
+                Conv2dGeom {
+                    in_channels: 1,
+                    in_h: 6,
+                    in_w: 6,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 0,
+                },
+                2,
+                &mut rng,
+            ))
+            .push(Activation::new(ActivationKind::Relu, 32))
+            .push(MaxPool2::new(2, 4, 4, 2))
+            .push(Dropout::new(0.2, 8, 9))
+            .push(Dense::new(8, 3, &mut rng));
+        let x = Tensor::rand_uniform(&[2, 36], 0.0, 1.0, &mut rng);
+        let y = net.predict(&x);
+
+        let saved = net.save();
+        let mut loaded = Network::load(saved).unwrap();
+        let y2 = loaded.predict(&x);
+        assert!(y.allclose(&y2, 1e-6), "roundtrip changed predictions");
+        assert_eq!(loaded.specs(), net.specs());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Network::load(&b"GARBAGE!"[..]).is_err());
+        assert!(Network::load(&b"NN"[..]).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"NNW1");
+        buf.put_u32_le(1);
+        buf.put_u8(77); // unknown tag
+        assert!(Network::load(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Network::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        assert_eq!(net.forward(&x, false), x);
+        assert_eq!(net.backward(&x), x);
+        assert_eq!(net.param_count(), 0);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn specs_describe_architecture() {
+        let net = tiny_mlp(5);
+        let specs = net.specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].describe(), "Dense(2→8)");
+    }
+}

@@ -1,0 +1,274 @@
+//! First-order optimizers.
+//!
+//! The paper trains every model with Adam \[18\]; SGD and momentum are provided
+//! as ablation baselines. Optimizers operate on the flattened
+//! `(param, grad)` list a [`crate::Network`] (or any composite of networks)
+//! exposes, keyed positionally — per-parameter state vectors are created
+//! lazily on first `step` and must thereafter see the same parameter list
+//! order, which `Network` guarantees.
+
+use tensor::Tensor;
+
+/// An optimizer updating parameters in place from accumulated gradients.
+pub trait Optimizer {
+    /// Apply one update step. `params` is the positional list of
+    /// `(parameter, gradient)` pairs; gradients are *not* zeroed here.
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        for (p, g) in params.iter_mut() {
+            p.axpy(-self.lr, g);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum: `v ← μv + g; θ ← θ − lr·v`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    mu: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Momentum {
+    /// New momentum optimizer with coefficient `mu` (typically 0.9).
+    pub fn new(lr: f32, mu: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&mu), "momentum must be in [0,1)");
+        Momentum {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed shape between steps"
+        );
+        for ((p, g), v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            v.scale_in_place(self.mu);
+            v.add_assign(g);
+            p.axpy(-self.lr, v);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba \[18\]) with bias correction — the paper's optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with explicit hyperparameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adam with the standard defaults (β₁=0.9, β₂=0.999, ε=1e-8) — the
+    /// Keras configuration the paper used.
+    pub fn with_defaults(lr: f32) -> Self {
+        Adam::new(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+            self.v = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter list changed shape between steps"
+        );
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let lr = self.lr;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            let pd = p.data_mut();
+            let gd = g.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            for i in 0..pd.len() {
+                md[i] = b1 * md[i] + (1.0 - b1) * gd[i];
+                vd[i] = b2 * vd[i] + (1.0 - b2) * gd[i] * gd[i];
+                let mhat = md[i] / b1t;
+                let vhat = vd[i] / b2t;
+                pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(θ) = (θ − 3)² from θ=0; every optimizer must converge.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut theta = Tensor::from_slice(&[0.0]);
+        let mut grad = Tensor::from_slice(&[0.0]);
+        for _ in 0..steps {
+            grad.data_mut()[0] = 2.0 * (theta.data()[0] - 3.0);
+            let mut pairs = vec![(&mut theta, &mut grad)];
+            opt.step(&mut pairs);
+        }
+        theta.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let theta = run_quadratic(&mut opt, 200);
+        assert!((theta - 3.0).abs() < 1e-3, "theta {theta}");
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let mut opt = Momentum::new(0.05, 0.9);
+        let theta = run_quadratic(&mut opt, 300);
+        assert!((theta - 3.0).abs() < 1e-2, "theta {theta}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::with_defaults(0.1);
+        let theta = run_quadratic(&mut opt, 500);
+        assert!((theta - 3.0).abs() < 1e-2, "theta {theta}");
+    }
+
+    #[test]
+    fn adam_first_step_has_unit_scale() {
+        // With bias correction, the first Adam step is ≈ lr · sign(g).
+        let mut opt = Adam::with_defaults(0.01);
+        let mut theta = Tensor::from_slice(&[0.0]);
+        let mut grad = Tensor::from_slice(&[5.0]);
+        let mut pairs = vec![(&mut theta, &mut grad)];
+        opt.step(&mut pairs);
+        assert!((theta.data()[0] + 0.01).abs() < 1e-4, "{}", theta.data()[0]);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn sgd_step_is_exactly_lr_times_grad() {
+        let mut opt = Sgd::new(0.5);
+        let mut theta = Tensor::from_slice(&[1.0, 2.0]);
+        let mut grad = Tensor::from_slice(&[2.0, -4.0]);
+        let mut pairs = vec![(&mut theta, &mut grad)];
+        opt.step(&mut pairs);
+        assert_eq!(theta.data(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed shape")]
+    fn adam_detects_param_list_change() {
+        let mut opt = Adam::with_defaults(0.1);
+        let mut a = Tensor::from_slice(&[0.0]);
+        let mut ga = Tensor::from_slice(&[1.0]);
+        {
+            let mut pairs = vec![(&mut a, &mut ga)];
+            opt.step(&mut pairs);
+        }
+        let mut b = Tensor::from_slice(&[0.0]);
+        let mut gb = Tensor::from_slice(&[1.0]);
+        let mut pairs = vec![(&mut a, &mut ga), (&mut b, &mut gb)];
+        opt.step(&mut pairs);
+    }
+}

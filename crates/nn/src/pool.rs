@@ -1,0 +1,233 @@
+//! Max-pooling layer.
+
+use tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::spec::LayerSpec;
+
+/// Square, non-overlapping max pooling (window == stride), the variant LeNet
+/// and BranchyNet-LeNet use between convolution stages.
+///
+/// Input rows are CHW volumes; output spatial dims are floor-divided by the
+/// window. The layer caches the argmax position of every pooled window so the
+/// backward pass can route gradients to exactly the winning inputs.
+pub struct MaxPool2 {
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    /// Flat input index (within a sample) of each pooled maximum, per sample.
+    cached_argmax: Option<Vec<u32>>,
+    cached_batch: usize,
+}
+
+impl MaxPool2 {
+    /// New pooling layer.
+    ///
+    /// # Panics
+    /// Panics if the window is zero or exceeds either spatial dim.
+    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        assert!(
+            window <= in_h && window <= in_w,
+            "pool window {window} exceeds input {in_h}×{in_w}"
+        );
+        MaxPool2 {
+            channels,
+            in_h,
+            in_w,
+            window,
+            cached_argmax: None,
+            cached_batch: 0,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.window
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.window
+    }
+
+    fn in_features(&self) -> usize {
+        self.channels * self.in_h * self.in_w
+    }
+
+    fn out_features(&self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn name(&self) -> &'static str {
+        "maxpool2"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        debug_assert_eq!(input.dims()[1], self.in_features(), "pool input mismatch");
+        let n = input.dims()[0];
+        let (oh, ow, w) = (self.out_h(), self.out_w(), self.window);
+        let in_f = self.in_features();
+        let out_f = self.out_features();
+        let mut out = Tensor::zeros(&[n, out_f]);
+        let mut argmax = vec![0u32; n * out_f];
+
+        for s in 0..n {
+            let x = &input.data()[s * in_f..(s + 1) * in_f];
+            let o = &mut out.data_mut()[s * out_f..(s + 1) * out_f];
+            let am = &mut argmax[s * out_f..(s + 1) * out_f];
+            for c in 0..self.channels {
+                let chan = c * self.in_h * self.in_w;
+                let ochan = c * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for ky in 0..w {
+                            let iy = oy * w + ky;
+                            let row = chan + iy * self.in_w + ox * w;
+                            for kx in 0..w {
+                                let v = x[row + kx];
+                                if v > best {
+                                    best = v;
+                                    best_i = row + kx;
+                                }
+                            }
+                        }
+                        o[ochan + oy * ow + ox] = best;
+                        am[ochan + oy * ow + ox] = best_i as u32;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some(argmax);
+        self.cached_batch = n;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("backward called before forward");
+        let n = self.cached_batch;
+        let in_f = self.in_features();
+        let out_f = self.out_features();
+        debug_assert_eq!(grad_out.dims(), &[n, out_f]);
+        let mut grad_in = Tensor::zeros(&[n, in_f]);
+        for s in 0..n {
+            let g = &grad_out.data()[s * out_f..(s + 1) * out_f];
+            let am = &argmax[s * out_f..(s + 1) * out_f];
+            let gi_base = s * in_f;
+            for (i, &src) in am.iter().enumerate() {
+                grad_in.data_mut()[gi_base + src as usize] += g[i];
+            }
+        }
+        grad_in
+    }
+
+    fn in_dim(&self) -> usize {
+        self.in_features()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_features()
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // One comparison per input element inside covered windows.
+        (self.channels * self.out_h() * self.out_w() * self.window * self.window) as u64
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MaxPool2 {
+            channels: self.channels,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            window: self.window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_window_maxima() {
+        let mut p = MaxPool2::new(1, 4, 4, 2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 2.0,   3.0, 4.0,
+            5.0, 6.0,   7.0, 8.0,
+
+            9.0, 10.0,  11.0, 12.0,
+            13.0, 14.0, 15.0, 16.0,
+        ], &[1, 16]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let mut p = MaxPool2::new(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 4]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[9.0]);
+        let dx = p.backward(&Tensor::from_vec(vec![5.0], &[1, 1]));
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn multichannel_pooling_is_independent() {
+        let mut p = MaxPool2::new(2, 2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0], &[1, 8]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[4.0, 40.0]);
+    }
+
+    #[test]
+    fn odd_input_dims_floor() {
+        let p = MaxPool2::new(1, 5, 5, 2);
+        assert_eq!(p.out_h(), 2);
+        assert_eq!(p.out_w(), 2);
+        assert_eq!(p.out_dim(), 4);
+    }
+
+    #[test]
+    fn batch_independence() {
+        let mut p = MaxPool2::new(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], &[2, 4]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[4.0, 8.0]);
+        let dx = p.backward(&Tensor::from_vec(vec![1.0, 1.0], &[2, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ties_resolve_to_first_occurrence() {
+        let mut p = MaxPool2::new(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![7.0, 7.0, 7.0, 7.0], &[1, 4]);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::from_vec(vec![1.0], &[1, 1]));
+        assert_eq!(dx.data(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input")]
+    fn oversized_window_rejected() {
+        let _ = MaxPool2::new(1, 2, 2, 3);
+    }
+
+    #[test]
+    fn spec_and_flops() {
+        let p = MaxPool2::new(5, 24, 24, 2);
+        assert_eq!(p.in_dim(), 5 * 24 * 24);
+        assert_eq!(p.out_dim(), 5 * 12 * 12);
+        assert_eq!(p.flops_per_sample(), (5 * 12 * 12 * 4) as u64);
+        assert_eq!(p.name(), "maxpool2");
+    }
+}

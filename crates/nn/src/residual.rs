@@ -1,0 +1,247 @@
+//! Residual convolution block (pre-activation-free basic block).
+//!
+//! Implements the paper's §V direction ("more complex … DNN architectures
+//! such as AlexNet and ResNet"): `y = relu(conv2(relu(conv1(x))) + x)` with
+//! two same-geometry 3×3 padded convolutions, so input and output volumes
+//! match and the skip connection is the identity.
+
+use rand::Rng;
+use tensor::conv::Conv2dGeom;
+use tensor::Tensor;
+
+use crate::conv2d::Conv2d;
+use crate::layer::Layer;
+use crate::spec::LayerSpec;
+
+/// A two-convolution residual block over a `channels × side × side` volume.
+pub struct ResidualConv {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    channels: usize,
+    side: usize,
+    cached_mid_pre: Option<Tensor>, // conv1 output, pre-relu
+    cached_out_pre: Option<Tensor>, // conv2 output + skip, pre-relu
+}
+
+fn block_geom(channels: usize, side: usize) -> Conv2dGeom {
+    Conv2dGeom {
+        in_channels: channels,
+        in_h: side,
+        in_w: side,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    }
+}
+
+impl ResidualConv {
+    /// New residual block (`channels` in == out, square `side`).
+    pub fn new(channels: usize, side: usize, rng: &mut impl Rng) -> Self {
+        let g = block_geom(channels, side);
+        ResidualConv {
+            conv1: Conv2d::new(g, channels, rng),
+            conv2: Conv2d::new(g, channels, rng),
+            channels,
+            side,
+            cached_mid_pre: None,
+            cached_out_pre: None,
+        }
+    }
+
+    /// Rebuild from checkpointed convolutions.
+    pub fn from_convs(conv1: Conv2d, conv2: Conv2d) -> Self {
+        let g = *conv1.geom();
+        assert_eq!(g.in_h, g.in_w, "residual blocks are square");
+        assert_eq!(conv1.out_channels(), g.in_channels, "channel-preserving");
+        assert_eq!(conv2.out_channels(), g.in_channels);
+        ResidualConv {
+            channels: g.in_channels,
+            side: g.in_h,
+            conv1,
+            conv2,
+            cached_mid_pre: None,
+            cached_out_pre: None,
+        }
+    }
+
+    /// Borrow both convolutions (serialisation).
+    pub fn convs(&self) -> (&Conv2d, &Conv2d) {
+        (&self.conv1, &self.conv2)
+    }
+
+    fn relu(t: &Tensor) -> Tensor {
+        t.map(|v| v.max(0.0))
+    }
+
+    fn relu_grad(pre: &Tensor, g: &Tensor) -> Tensor {
+        g.zip(pre, |gv, pv| if pv > 0.0 { gv } else { 0.0 })
+    }
+}
+
+impl Layer for ResidualConv {
+    fn name(&self) -> &'static str {
+        "residual_conv"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mid_pre = self.conv1.forward(input, train);
+        let mid = Self::relu(&mid_pre);
+        let mut out_pre = self.conv2.forward(&mid, train);
+        out_pre.add_assign(input); // the skip connection
+        let out = Self::relu(&out_pre);
+        self.cached_mid_pre = Some(mid_pre);
+        self.cached_out_pre = Some(out_pre);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out_pre = self
+            .cached_out_pre
+            .take()
+            .expect("backward called before forward");
+        let mid_pre = self.cached_mid_pre.take().unwrap();
+        // Through the output relu.
+        let g_pre = Self::relu_grad(&out_pre, grad_out);
+        // Residual path: conv2 ∘ relu ∘ conv1.
+        let g_mid = self.conv2.backward(&g_pre);
+        let g_mid_pre = Self::relu_grad(&mid_pre, &g_mid);
+        let g_res = self.conv1.backward(&g_mid_pre);
+        // Skip path adds the same upstream gradient.
+        g_res.add(&g_pre)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        let mut v = self.conv1.params_and_grads();
+        v.extend(self.conv2.params_and_grads());
+        v
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        let mut v = self.conv1.params();
+        v.extend(self.conv2.params());
+        v
+    }
+
+    fn zero_grads(&mut self) {
+        self.conv1.zero_grads();
+        self.conv2.zero_grads();
+    }
+
+    fn in_dim(&self) -> usize {
+        self.channels * self.side * self.side
+    }
+
+    fn out_dim(&self) -> usize {
+        self.in_dim()
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // Two convs + skip add + two relus.
+        self.conv1.flops_per_sample()
+            + self.conv2.flops_per_sample()
+            + 3 * self.in_dim() as u64
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::ResidualConv {
+            channels: self.channels,
+            side: self.side,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng_from_seed;
+
+    #[test]
+    fn forward_shape_is_preserved() {
+        let mut rng = rng_from_seed(0);
+        let mut block = ResidualConv::new(4, 6, &mut rng);
+        let x = Tensor::rand_uniform(&[3, 4 * 36], -1.0, 1.0, &mut rng);
+        let y = block.forward(&x, false);
+        assert_eq!(y.dims(), x.dims());
+        assert!(y.all_finite());
+        assert!(y.data().iter().all(|&v| v >= 0.0), "output is post-relu");
+    }
+
+    #[test]
+    fn zero_weights_pass_input_through_relu() {
+        // With both convs zeroed, the block reduces to relu(x).
+        let mut rng = rng_from_seed(1);
+        let mut block = ResidualConv::new(2, 4, &mut rng);
+        for (p, _) in block.params_and_grads() {
+            p.fill(0.0);
+        }
+        let x = Tensor::rand_uniform(&[1, 32], -1.0, 1.0, &mut rng);
+        let y = block.forward(&x, false);
+        let expect = x.map(|v| v.max(0.0));
+        assert!(y.allclose(&expect, 1e-6));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = rng_from_seed(2);
+        let mut block = ResidualConv::new(2, 4, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 32], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 32], -1.0, 1.0, &mut rng);
+        block.zero_grads();
+        let _ = block.forward(&x, true);
+        let dx = block.backward(&w);
+        let eps = 1e-3;
+        for elem in [0usize, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[elem] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[elem] -= eps;
+            let lp: f32 = block
+                .forward(&xp, true)
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(y, wv)| y * wv)
+                .sum();
+            let lm: f32 = block
+                .forward(&xm, true)
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(y, wv)| y * wv)
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.data()[elem] - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+                "dx[{elem}] {} vs numeric {numeric}",
+                dx.data()[elem]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_is_two_convs() {
+        let mut rng = rng_from_seed(3);
+        let block = ResidualConv::new(4, 6, &mut rng);
+        // Each conv: 4 out-ch × (4·3·3) + 4 bias.
+        let one_conv = 4 * 36 + 4;
+        assert_eq!(block.param_count(), 2 * one_conv);
+    }
+
+    #[test]
+    fn skip_connection_improves_gradient_flow() {
+        // With the skip, dL/dx has a direct component: even if both convs
+        // are zero, the input gradient equals the upstream gradient on the
+        // positive side.
+        let mut rng = rng_from_seed(4);
+        let mut block = ResidualConv::new(1, 4, &mut rng);
+        for (p, _) in block.params_and_grads() {
+            p.fill(0.0);
+        }
+        let x = Tensor::ones(&[1, 16]); // all positive ⇒ relu transparent
+        let _ = block.forward(&x, true);
+        let g = Tensor::full(&[1, 16], 2.0);
+        let dx = block.backward(&g);
+        assert!(dx.allclose(&g, 1e-6));
+    }
+}

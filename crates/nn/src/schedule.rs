@@ -1,0 +1,156 @@
+//! Learning-rate schedules and gradient hygiene utilities.
+//!
+//! The paper trains with plain Adam; these are quality-of-life extensions
+//! for the larger backbones (§V) where a decaying rate and clipped gradients
+//! noticeably stabilise training.
+
+use tensor::Tensor;
+
+/// A learning-rate schedule: maps epoch index → learning rate.
+pub trait LrSchedule {
+    /// The learning rate to use for `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub f32);
+
+impl LrSchedule for Constant {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: `lr = base · gamma^(epoch / step)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub base: f32,
+    /// Multiplicative decay applied every `step` epochs.
+    pub gamma: f32,
+    /// Epochs between decays.
+    pub step: usize,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        assert!(self.step > 0, "step must be positive");
+        self.base * self.gamma.powi((epoch / self.step) as i32)
+    }
+}
+
+/// Cosine annealing from `base` down to `floor` over `total_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealing {
+    /// Initial rate.
+    pub base: f32,
+    /// Final rate.
+    pub floor: f32,
+    /// Horizon; epochs beyond it stay at `floor`.
+    pub total_epochs: usize,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if epoch >= self.total_epochs || self.total_epochs == 0 {
+            return self.floor;
+        }
+        let t = epoch as f32 / self.total_epochs as f32;
+        self.floor + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+/// Clip the global L2 norm of a gradient set to `max_norm`; returns the
+/// pre-clip norm. No-op when the norm is already within bounds.
+pub fn clip_global_norm(params: &mut [(&mut Tensor, &mut Tensor)], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    for (_, g) in params.iter() {
+        for &v in g.data() {
+            sq += (v as f64) * (v as f64);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for (_, g) in params.iter_mut() {
+            g.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Constant(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(100), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay {
+            base: 0.1,
+            gamma: 0.5,
+            step: 2,
+        };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1), 0.1);
+        assert_eq!(s.lr_at(2), 0.05);
+        assert_eq!(s.lr_at(5), 0.025);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = CosineAnnealing {
+            base: 0.1,
+            floor: 0.001,
+            total_epochs: 10,
+        };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(10) - 0.001).abs() < 1e-6);
+        assert!((s.lr_at(999) - 0.001).abs() < 1e-6);
+        let mut prev = f32::MAX;
+        for e in 0..=10 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-6, "cosine must be non-increasing");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn clip_scales_only_when_needed() {
+        let mut p = Tensor::zeros(&[2]);
+        let mut g = Tensor::from_slice(&[3.0, 4.0]); // norm 5
+        {
+            let mut pairs = vec![(&mut p, &mut g)];
+            let norm = clip_global_norm(&mut pairs, 10.0);
+            assert_eq!(norm, 5.0);
+        }
+        assert_eq!(g.data(), &[3.0, 4.0], "within bounds: untouched");
+        {
+            let mut pairs = vec![(&mut p, &mut g)];
+            let norm = clip_global_norm(&mut pairs, 1.0);
+            assert_eq!(norm, 5.0);
+        }
+        assert!((g.l2_norm() - 1.0).abs() < 1e-6, "clipped to unit norm");
+    }
+
+    #[test]
+    fn clip_spans_multiple_tensors() {
+        let mut p1 = Tensor::zeros(&[1]);
+        let mut g1 = Tensor::from_slice(&[3.0]);
+        let mut p2 = Tensor::zeros(&[1]);
+        let mut g2 = Tensor::from_slice(&[4.0]);
+        let mut pairs = vec![(&mut p1, &mut g1), (&mut p2, &mut g2)];
+        let norm = clip_global_norm(&mut pairs, 2.5);
+        assert_eq!(norm, 5.0);
+        let total = (g1.data()[0].powi(2) + g2.data()[0].powi(2)).sqrt();
+        assert!((total - 2.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,318 @@
+//! Structural layer descriptions.
+//!
+//! A [`LayerSpec`] captures everything about a layer except its learned
+//! parameters. It serves three masters:
+//!
+//! 1. **Serialisation** — `Network::save`/`load` write specs alongside
+//!    parameter tensors so a checkpoint is self-describing.
+//! 2. **Device cost model** — `edgesim` walks a network's specs to price each
+//!    layer on a device without touching the `nn` crate's internals.
+//! 3. **Architecture reporting** — the Table I harness prints specs directly.
+
+use tensor::conv::Conv2dGeom;
+
+use crate::activation::ActivationKind;
+
+/// Throughput class of a layer for device cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// im2col-lowered convolution.
+    Conv,
+    /// Dense GEMM.
+    Dense,
+    /// Pooling, activations, dropout — memory-bound glue.
+    Other,
+}
+
+/// Everything about a layer except its weights.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// Fully connected layer.
+    Dense {
+        /// Input features.
+        in_dim: usize,
+        /// Output features.
+        out_dim: usize,
+    },
+    /// 2-D convolution (im2col-lowered).
+    Conv2d {
+        /// Window geometry (includes input channels & spatial dims).
+        geom: Conv2dGeom,
+        /// Number of output channels.
+        out_channels: usize,
+    },
+    /// 2×2-style max pooling.
+    MaxPool2 {
+        /// Channels.
+        channels: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Pool window and stride (square, non-overlapping).
+        window: usize,
+    },
+    /// Elementwise activation.
+    Activation {
+        /// Which nonlinearity.
+        kind: ActivationKind,
+        /// Feature count (in == out).
+        dim: usize,
+    },
+    /// Inverted dropout.
+    Dropout {
+        /// Drop probability.
+        p: f32,
+        /// Feature count.
+        dim: usize,
+    },
+    /// 1-D batch normalisation.
+    BatchNorm1d {
+        /// Feature count.
+        dim: usize,
+    },
+    /// Residual block of two channel-preserving 3×3 convolutions.
+    ResidualConv {
+        /// Channels (in == out).
+        channels: usize,
+        /// Square spatial side.
+        side: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Compact single-line rendering, used by architecture tables.
+    pub fn describe(&self) -> String {
+        match self {
+            LayerSpec::Dense { in_dim, out_dim } => format!("Dense({in_dim}→{out_dim})"),
+            LayerSpec::Conv2d { geom, out_channels } => format!(
+                "Conv2d({}×{}×{} →{}ch, k{}×{}, s{}, p{})",
+                geom.in_channels,
+                geom.in_h,
+                geom.in_w,
+                out_channels,
+                geom.k_h,
+                geom.k_w,
+                geom.stride,
+                geom.pad
+            ),
+            LayerSpec::MaxPool2 {
+                channels,
+                in_h,
+                in_w,
+                window,
+            } => format!("MaxPool{window}({channels}×{in_h}×{in_w})"),
+            LayerSpec::Activation { kind, dim } => format!("{kind:?}({dim})"),
+            LayerSpec::Dropout { p, dim } => format!("Dropout(p={p}, {dim})"),
+            LayerSpec::BatchNorm1d { dim } => format!("BatchNorm1d({dim})"),
+            LayerSpec::ResidualConv { channels, side } => {
+                format!("ResidualConv({channels}×{side}×{side})")
+            }
+        }
+    }
+
+    /// Forward FLOPs per sample implied by the spec.
+    ///
+    /// Must agree with the corresponding layer's
+    /// [`crate::Layer::flops_per_sample`] — a unit test pins the two
+    /// together. This is what lets the `edgesim` device model price an
+    /// architecture from its spec list alone.
+    pub fn flops_per_sample(&self) -> u64 {
+        match self {
+            LayerSpec::Dense { in_dim, out_dim } => (2 * in_dim * out_dim + out_dim) as u64,
+            LayerSpec::Conv2d { geom, out_channels } => {
+                let p = geom.patch_rows() as u64;
+                let k = geom.patch_cols() as u64;
+                let o = *out_channels as u64;
+                2 * o * p * k + o * p
+            }
+            LayerSpec::MaxPool2 {
+                channels,
+                in_h,
+                in_w,
+                window,
+            } => (channels * (in_h / window) * (in_w / window) * window * window) as u64,
+            LayerSpec::Activation { kind, dim } => match kind {
+                ActivationKind::Linear => 0,
+                ActivationKind::Relu => *dim as u64,
+                ActivationKind::Sigmoid | ActivationKind::Tanh => 4 * *dim as u64,
+                ActivationKind::Softmax => 6 * *dim as u64,
+            },
+            LayerSpec::Dropout { .. } => 0,
+            LayerSpec::BatchNorm1d { dim } => 4 * *dim as u64,
+            LayerSpec::ResidualConv { channels, side } => {
+                // Two 3×3 padded convs (P = side², K = channels·9) + skip
+                // add + two relus; matches ResidualConv::flops_per_sample.
+                let p = (side * side) as u64;
+                let k = (channels * 9) as u64;
+                let o = *channels as u64;
+                2 * (2 * o * p * k + o * p) + 3 * o * p
+            }
+        }
+    }
+
+    /// Output features per sample — the activation volume that crosses the
+    /// network if a partitioned execution splits *after* this layer.
+    pub fn out_features(&self) -> usize {
+        match self {
+            LayerSpec::Dense { out_dim, .. } => *out_dim,
+            LayerSpec::Conv2d { geom, out_channels } => out_channels * geom.patch_rows(),
+            LayerSpec::MaxPool2 {
+                channels,
+                in_h,
+                in_w,
+                window,
+            } => channels * (in_h / window) * (in_w / window),
+            LayerSpec::Activation { dim, .. } => *dim,
+            LayerSpec::Dropout { dim, .. } => *dim,
+            LayerSpec::BatchNorm1d { dim } => *dim,
+            LayerSpec::ResidualConv { channels, side } => channels * side * side,
+        }
+    }
+
+    /// Throughput class used by device cost models: convolutions and dense
+    /// GEMMs run at very different effective FLOP rates on the paper's
+    /// software stack (small-image conv is dispatch/im2col-bound; dense
+    /// layers hit optimized BLAS).
+    pub fn cost_kind(&self) -> CostKind {
+        match self {
+            LayerSpec::Conv2d { .. } | LayerSpec::ResidualConv { .. } => CostKind::Conv,
+            LayerSpec::Dense { .. } => CostKind::Dense,
+            _ => CostKind::Other,
+        }
+    }
+
+    /// Serialisation tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            LayerSpec::Dense { .. } => 1,
+            LayerSpec::Conv2d { .. } => 2,
+            LayerSpec::MaxPool2 { .. } => 3,
+            LayerSpec::Activation { .. } => 4,
+            LayerSpec::Dropout { .. } => 5,
+            LayerSpec::BatchNorm1d { .. } => 6,
+            LayerSpec::ResidualConv { .. } => 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_formats() {
+        let d = LayerSpec::Dense {
+            in_dim: 784,
+            out_dim: 512,
+        };
+        assert_eq!(d.describe(), "Dense(784→512)");
+
+        let c = LayerSpec::Conv2d {
+            geom: Conv2dGeom {
+                in_channels: 1,
+                in_h: 28,
+                in_w: 28,
+                k_h: 5,
+                k_w: 5,
+                stride: 1,
+                pad: 0,
+            },
+            out_channels: 5,
+        };
+        assert!(c.describe().contains("Conv2d"));
+        assert!(c.describe().contains("5ch"));
+    }
+
+    #[test]
+    fn spec_flops_agree_with_layers() {
+        use crate::layer::Layer;
+        use tensor::random::rng_from_seed;
+        let mut rng = rng_from_seed(0);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(crate::Dense::new(784, 512, &mut rng)),
+            Box::new(crate::Conv2d::new(
+                Conv2dGeom {
+                    in_channels: 1,
+                    in_h: 28,
+                    in_w: 28,
+                    k_h: 5,
+                    k_w: 5,
+                    stride: 2,
+                    pad: 0,
+                },
+                8,
+                &mut rng,
+            )),
+            Box::new(crate::MaxPool2::new(16, 8, 8, 2)),
+            Box::new(crate::Activation::new(ActivationKind::Relu, 100)),
+            Box::new(crate::Activation::new(ActivationKind::Softmax, 10)),
+            Box::new(crate::Dropout::new(0.5, 64, 0)),
+            Box::new(crate::batchnorm::BatchNorm1d::new(32)),
+            Box::new(crate::residual::ResidualConv::new(4, 6, &mut rng)),
+        ];
+        for layer in &layers {
+            assert_eq!(
+                layer.spec().flops_per_sample(),
+                layer.flops_per_sample(),
+                "spec/layer FLOPs diverged for {}",
+                layer.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_kinds() {
+        assert_eq!(
+            LayerSpec::Dense {
+                in_dim: 1,
+                out_dim: 1
+            }
+            .cost_kind(),
+            CostKind::Dense
+        );
+        assert_eq!(
+            LayerSpec::Dropout { p: 0.1, dim: 2 }.cost_kind(),
+            CostKind::Other
+        );
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let specs = [
+            LayerSpec::Dense {
+                in_dim: 1,
+                out_dim: 1,
+            },
+            LayerSpec::Conv2d {
+                geom: Conv2dGeom {
+                    in_channels: 1,
+                    in_h: 2,
+                    in_w: 2,
+                    k_h: 1,
+                    k_w: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                out_channels: 1,
+            },
+            LayerSpec::MaxPool2 {
+                channels: 1,
+                in_h: 2,
+                in_w: 2,
+                window: 2,
+            },
+            LayerSpec::Activation {
+                kind: ActivationKind::Relu,
+                dim: 4,
+            },
+            LayerSpec::Dropout { p: 0.5, dim: 4 },
+            LayerSpec::BatchNorm1d { dim: 4 },
+            LayerSpec::ResidualConv { channels: 1, side: 2 },
+        ];
+        let mut tags: Vec<u8> = specs.iter().map(|s| s.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), specs.len());
+    }
+}

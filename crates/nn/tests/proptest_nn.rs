@@ -1,0 +1,174 @@
+//! Property-based tests for the training stack: gradient correctness by
+//! finite differences over random layer configurations, optimizer
+//! invariants, and checkpoint roundtrips.
+
+use proptest::prelude::*;
+use nn::loss::{Loss, MseLoss, SoftmaxCrossEntropy};
+use nn::{Activation, ActivationKind, Adam, Dense, Layer, MaxPool2, Network, Optimizer, Sgd};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+/// Central-difference check of dL/d(input) for L = Σ w_i · y_i with random
+/// weights w, through an arbitrary layer.
+fn input_grad_check(layer: &mut dyn Layer, input: &Tensor, seed: u64) -> (f32, f32) {
+    let mut rng = rng_from_seed(seed);
+    let out = layer.forward(input, true);
+    let w = Tensor::rand_uniform(out.dims(), -1.0, 1.0, &mut rng);
+    layer.zero_grads();
+    let _ = layer.forward(input, true);
+    let dx = layer.backward(&w);
+    // Probe a random input element.
+    let elem = (seed as usize) % input.len();
+    let eps = 1e-2;
+    let mut xp = input.clone();
+    xp.data_mut()[elem] += eps;
+    let mut xm = input.clone();
+    xm.data_mut()[elem] -= eps;
+    let lp: f32 = layer
+        .forward(&xp, true)
+        .data()
+        .iter()
+        .zip(w.data())
+        .map(|(y, wv)| y * wv)
+        .sum();
+    let lm: f32 = layer
+        .forward(&xm, true)
+        .data()
+        .iter()
+        .zip(w.data())
+        .map(|(y, wv)| y * wv)
+        .sum();
+    (dx.data()[elem], (lp - lm) / (2.0 * eps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_input_gradients_are_correct(
+        in_dim in 1usize..12, out_dim in 1usize..12, batch in 1usize..4, seed in 0u64..500
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut layer = Dense::new(in_dim, out_dim, &mut rng);
+        let x = Tensor::rand_uniform(&[batch, in_dim], -1.0, 1.0, &mut rng);
+        let (analytic, numeric) = input_grad_check(&mut layer, &x, seed);
+        prop_assert!(
+            (analytic - numeric).abs() < 0.02 * numeric.abs().max(1.0),
+            "dense grad {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn activation_gradients_are_correct(
+        kind_idx in 0usize..4, dim in 1usize..16, seed in 0u64..500
+    ) {
+        // Relu excluded at the kink; inputs kept away from 0 to avoid it.
+        let kind = [ActivationKind::Relu, ActivationKind::Sigmoid,
+                    ActivationKind::Tanh, ActivationKind::Softmax][kind_idx];
+        let mut rng = rng_from_seed(seed);
+        let mut layer = Activation::new(kind, dim);
+        let mut x = Tensor::rand_uniform(&[2, dim], 0.1, 1.0, &mut rng);
+        if seed % 2 == 0 {
+            x.scale_in_place(-1.0);
+            x = x.add_scalar(-0.05); // strictly negative branch for relu
+        }
+        let (analytic, numeric) = input_grad_check(&mut layer, &x, seed);
+        prop_assert!(
+            (analytic - numeric).abs() < 0.02 * numeric.abs().max(1.0),
+            "{kind:?} grad {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn maxpool_gradient_is_subgradient(
+        ch in 1usize..3, side in 2usize..5, seed in 0u64..500
+    ) {
+        let h = side * 2;
+        let mut rng = rng_from_seed(seed);
+        let mut layer = MaxPool2::new(ch, h, h, 2);
+        let x = Tensor::rand_uniform(&[1, ch * h * h], -1.0, 1.0, &mut rng);
+        let (analytic, numeric) = input_grad_check(&mut layer, &x, seed);
+        prop_assert!(
+            (analytic - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+            "pool grad {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn mse_gradient_descends(seed in 0u64..500, dim in 1usize..8) {
+        // One SGD step along the MSE gradient must not increase the loss.
+        let mut rng = rng_from_seed(seed);
+        let pred = Tensor::rand_uniform(&[1, dim], -1.0, 1.0, &mut rng);
+        let target = Tensor::rand_uniform(&[1, dim], -1.0, 1.0, &mut rng);
+        let (l0, g) = MseLoss.loss(&pred, &target);
+        let stepped = pred.sub(&g.scale(0.1));
+        let (l1, _) = MseLoss.loss(&stepped, &target);
+        prop_assert!(l1 <= l0 + 1e-6, "loss increased: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_descends(seed in 0u64..500, classes in 2usize..8) {
+        let mut rng = rng_from_seed(seed);
+        let logits = Tensor::rand_uniform(&[1, classes], -2.0, 2.0, &mut rng);
+        let label = (seed as usize) % classes;
+        let (l0, g) = SoftmaxCrossEntropy.loss(&logits, &[label]);
+        let stepped = logits.sub(&g.scale(0.5));
+        let (l1, _) = SoftmaxCrossEntropy.loss(&stepped, &[label]);
+        prop_assert!(l1 <= l0 + 1e-6, "CE loss increased: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn network_checkpoint_roundtrip(
+        hidden in 1usize..32, seed in 0u64..500
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut net = Network::new()
+            .push(Dense::new(6, hidden, &mut rng))
+            .push(Activation::new(ActivationKind::Tanh, hidden))
+            .push(Dense::new(hidden, 3, &mut rng));
+        let x = Tensor::rand_uniform(&[2, 6], -1.0, 1.0, &mut rng);
+        let y = net.predict(&x);
+        let mut reloaded = Network::load(net.save()).unwrap();
+        prop_assert!(reloaded.predict(&x).allclose(&y, 1e-6));
+    }
+
+    #[test]
+    fn sgd_reduces_quadratic(lr in 0.01f32..0.4, start in -5.0f32..5.0) {
+        // f(θ) = (θ − c)², any lr < 1 must strictly reduce |θ − c|.
+        let c = 1.5f32;
+        let mut theta = Tensor::from_slice(&[start]);
+        let mut grad = Tensor::from_slice(&[2.0 * (start - c)]);
+        let mut opt = Sgd::new(lr);
+        let before = (start - c).abs();
+        let mut pairs = vec![(&mut theta, &mut grad)];
+        opt.step(&mut pairs);
+        let after = (theta.data()[0] - c).abs();
+        prop_assert!(after <= before + 1e-6);
+    }
+
+    #[test]
+    fn adam_steps_are_bounded_by_lr(lr in 0.001f32..0.1, g0 in -100.0f32..100.0) {
+        // Adam's bias-corrected first step has magnitude ≤ ~lr regardless of
+        // gradient scale — the property that makes it robust to loss scale.
+        prop_assume!(g0.abs() > 1e-3);
+        let mut theta = Tensor::from_slice(&[0.0]);
+        let mut grad = Tensor::from_slice(&[g0]);
+        let mut opt = Adam::with_defaults(lr);
+        let mut pairs = vec![(&mut theta, &mut grad)];
+        opt.step(&mut pairs);
+        prop_assert!(theta.data()[0].abs() <= lr * 1.01);
+    }
+
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..500) {
+        let mut rng = rng_from_seed(seed);
+        let mut net = Network::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Activation::new(ActivationKind::Relu, 8))
+            .push(Dense::new(8, 2, &mut rng));
+        let x = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let a = net.predict(&x);
+        let b = net.predict(&x);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! Axis-wise reductions and statistics for rank-2 batch tensors.
+//!
+//! Batch-normalisation and per-feature standardisation need column
+//! statistics over `(batch, features)` tensors; these kernels keep the
+//! column loops unit-stride by accumulating row-wise.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Per-column mean of a rank-2 tensor → 1-D tensor of length `cols`.
+    ///
+    /// # Panics
+    /// Panics if rank ≠ 2 or the tensor has zero rows.
+    pub fn mean_cols(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "mean_cols requires rank-2 tensor");
+        let rows = self.dims()[0];
+        assert!(rows > 0, "mean over zero rows is undefined");
+        let mut m = self.sum_rows();
+        m.scale_in_place(1.0 / rows as f32);
+        m
+    }
+
+    /// Per-column (biased) variance of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if rank ≠ 2 or the tensor has zero rows.
+    pub fn var_cols(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "var_cols requires rank-2 tensor");
+        let rows = self.dims()[0];
+        assert!(rows > 0, "variance over zero rows is undefined");
+        let cols = self.dims()[1];
+        let mean = self.mean_cols();
+        let mut acc = vec![0.0f64; cols];
+        for row in self.data().chunks_exact(cols) {
+            for ((a, &v), &m) in acc.iter_mut().zip(row).zip(mean.data()) {
+                let d = (v - m) as f64;
+                *a += d * d;
+            }
+        }
+        let inv = 1.0 / rows as f64;
+        Tensor::from_vec(acc.into_iter().map(|v| (v * inv) as f32).collect(), &[cols])
+    }
+
+    /// Per-column maximum of a rank-2 tensor.
+    pub fn max_cols(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "max_cols requires rank-2 tensor");
+        let cols = self.dims()[1];
+        let mut out = vec![f32::NEG_INFINITY; cols];
+        for row in self.data().chunks_exact(cols) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                if v > *o {
+                    *o = v;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Per-row sum of a rank-2 tensor → 1-D tensor of length `rows`.
+    pub fn sum_cols(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_cols requires rank-2 tensor");
+        let cols = self.dims()[1];
+        let out: Vec<f32> = self
+            .data()
+            .chunks_exact(cols)
+            .map(|row| row.iter().map(|&v| v as f64).sum::<f64>() as f32)
+            .collect();
+        Tensor::from_vec(out, &[self.dims()[0]])
+    }
+
+    /// Standardise columns in place: `x ← (x − μ) / sqrt(σ² + eps)` with the
+    /// given per-column statistics.
+    ///
+    /// # Panics
+    /// Debug-panics on width mismatch.
+    pub fn standardize_cols_in_place(&mut self, mean: &Tensor, var: &Tensor, eps: f32) {
+        debug_assert_eq!(self.rank(), 2);
+        let cols = self.dims()[1];
+        debug_assert_eq!(mean.len(), cols);
+        debug_assert_eq!(var.len(), cols);
+        let inv_std: Vec<f32> = var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        for row in self.data_mut().chunks_exact_mut(cols) {
+            for ((x, &m), &is) in row.iter_mut().zip(mean.data()).zip(&inv_std) {
+                *x = (*x - m) * is;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Tensor {
+        Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2])
+    }
+
+    #[test]
+    fn mean_cols_matches_manual() {
+        assert_eq!(m().mean_cols().data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn var_cols_matches_manual() {
+        // Column 0: {1,3,5} mean 3, var (4+0+4)/3.
+        let v = m().var_cols();
+        assert!((v.data()[0] - 8.0 / 3.0).abs() < 1e-6);
+        assert!((v.data()[1] - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_and_sum_cols() {
+        assert_eq!(m().max_cols().data(), &[5.0, 6.0]);
+        assert_eq!(m().sum_cols().data(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn standardize_yields_zero_mean_unit_var() {
+        let mut t = m();
+        let mean = t.mean_cols();
+        let var = t.var_cols();
+        t.standardize_cols_in_place(&mean, &var, 1e-8);
+        let new_mean = t.mean_cols();
+        let new_var = t.var_cols();
+        assert!(new_mean.data().iter().all(|v| v.abs() < 1e-5));
+        assert!(new_var.data().iter().all(|v| (v - 1.0).abs() < 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn mean_rejects_empty() {
+        let _ = Tensor::zeros(&[0, 3]).mean_cols();
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+///
+/// Most hot-path kernels (`matmul`, elementwise ops) assert shape agreement
+/// with `debug_assert!` and document their requirements instead of returning
+/// `Result`, because a shape mismatch there is a programming bug, not a
+/// recoverable condition. `TensorError` is used on API boundaries where the
+/// input originates outside the library (deserialisation, reshape requests,
+/// user-provided buffers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the requested shape does not match
+    /// the length of the provided buffer.
+    ElementCountMismatch {
+        /// Elements expected from the shape product.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that must agree (e.g. elementwise operands) differ.
+    ShapeMismatch {
+        /// Left-hand side shape.
+        lhs: Vec<usize>,
+        /// Right-hand side shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A serialized byte stream was malformed.
+    Deserialize(String),
+    /// Generic invalid-argument error with context.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ElementCountMismatch { expected, actual } => write!(
+                f,
+                "element count mismatch: shape requires {expected} elements, got {actual}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::Deserialize(msg) => write!(f, "deserialize error: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ElementCountMismatch {
+            expected: 6,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("6"));
+        assert!(e.to_string().contains("4"));
+
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert!(e.to_string().contains("axis 5"));
+
+        let e = TensorError::Deserialize("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+
+        let e = TensorError::InvalidArgument("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&TensorError::InvalidArgument("x".into()));
+    }
+}

@@ -1,0 +1,314 @@
+//! Cache-blocked matrix multiplication kernels.
+//!
+//! Dense layers and im2col-lowered convolutions reduce the entire training
+//! stack to these kernels, so they carry nearly all of the workspace's FLOPs.
+//! The implementation follows the classic ikj loop order (B's row reused
+//! across the inner loop, unit-stride writes into C), with the M dimension
+//! parallelised across scoped threads when the problem is large enough to
+//! amortise thread spawn.
+
+use crate::parallel::par_chunks_mut;
+use crate::Tensor;
+
+/// Minimum number of output elements before the parallel path engages.
+/// Below this, thread-spawn overhead dominates; the constant was chosen so
+/// LeNet-scale per-image inference always stays on the single-threaded path
+/// while batched training matrices go parallel.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C = A · B` for row-major `A (m×k)` and `B (k×n)`, writing into `c`.
+///
+/// `c` must have length `m·n` and is fully overwritten.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k, "A dimensions mismatch");
+    debug_assert_eq!(b.len(), k * n, "B dimensions mismatch");
+    debug_assert_eq!(c.len(), m * n, "C dimensions mismatch");
+    if m * n >= PAR_THRESHOLD && crate::parallel::max_threads() > 1 {
+        par_chunks_mut(c, n, |start_elem, chunk| {
+            debug_assert_eq!(start_elem % n, 0, "chunks must align to rows");
+            let row0 = start_elem / n;
+            let rows = chunk.len() / n;
+            matmul_rows(a, b, chunk, row0, rows, k, n);
+        });
+    } else {
+        matmul_rows(a, b, c, 0, m, k, n);
+    }
+}
+
+/// Serial ikj kernel over rows `[row0, row0+rows)` of the output.
+#[inline]
+fn matmul_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    c.fill(0.0);
+    for i in 0..rows {
+        let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue; // sparse rows appear after ReLU; skipping is a cheap win
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` for row-major `A (m×k)` and `B (n×k)`, writing into `c`.
+///
+/// Both operands are traversed along contiguous rows, so no transpose copy is
+/// needed. This is the natural kernel for the dense-layer forward pass with
+/// weights stored as `(out, in)`.
+pub fn matmul_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let body = |row0: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / n;
+        for i in 0..rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+            for j in 0..n {
+                let b_row = &b[j * k..j * k + k];
+                chunk[i * n + j] = dot(a_row, b_row);
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD && crate::parallel::max_threads() > 1 {
+        par_chunks_mut(c, n, |start_elem, chunk| body(start_elem / n, chunk));
+    } else {
+        body(0, c);
+    }
+}
+
+/// `C = Aᵀ · B` for row-major `A (k×m)` and `B (k×n)`, writing into `c`.
+///
+/// Used by dense-layer weight gradients (`dW = Xᵀ · dY`). Implemented as an
+/// accumulating rank-1 update sweep, which keeps both operand accesses
+/// unit-stride.
+pub fn matmul_at_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_v) in a_row.iter().enumerate() {
+            if a_v == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_v * b_v;
+            }
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// Written with a 4-lane manual unroll that LLVM reliably turns into SIMD.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let ai = &a[i * 4..i * 4 + 4];
+        let bi = &b[i * 4..i * 4 + 4];
+        acc[0] += ai[0] * bi[0];
+        acc[1] += ai[1] * bi[1];
+        acc[2] += ai[2] * bi[2];
+        acc[3] += ai[3] * bi[3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Matrix-vector product `y = A·x` for row-major `A (m×n)`.
+pub fn matvec_into(a: &[f32], x: &[f32], y: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), m);
+    for (i, y_v) in y.iter_mut().enumerate() {
+        *y_v = dot(&a[i * n..(i + 1) * n], x);
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Panics
+    /// Panics unless `self` is `(m×k)` and `rhs` is `(k×n)`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dimensions must agree");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `self · rhsᵀ` where `rhs` is `(n×k)`.
+    pub fn matmul_bt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(rhs.rank(), 2);
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul_bt inner dimensions must agree");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_bt_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `selfᵀ · rhs` where `self` is `(k×m)` and `rhs` is `(k×n)`.
+    pub fn matmul_at(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(rhs.rank(), 2);
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul_at inner dimensions must agree");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_at_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive triple loop used as the test oracle.
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        // Tiny xorshift so the test does not depend on `rand` internals.
+        let mut s = seed.max(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 1000) as f32 / 500.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_odd_sizes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (64, 32, 48)] {
+            let a = rand_vec(m * k, 42);
+            let b = rand_vec(k * n, 7);
+            let mut c = vec![0.0; m * n];
+            matmul_into(&a, &b, &mut c, m, k, n);
+            let expect = naive(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // 128×128 crosses PAR_THRESHOLD so the scoped-thread path runs.
+        let (m, k, n) = (128, 40, 128);
+        let a = rand_vec(m * k, 3);
+        let b = rand_vec(k * n, 11);
+        let mut c = vec![0.0; m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(rand_vec(6 * 4, 5), &[6, 4]);
+        let b = Tensor::from_vec(rand_vec(3 * 4, 9), &[3, 4]);
+        let via_bt = a.matmul_bt(&b);
+        let via_t = a.matmul(&b.transpose());
+        assert!(via_bt.allclose(&via_t, 1e-4));
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Tensor::from_vec(rand_vec(4 * 6, 5), &[4, 6]);
+        let b = Tensor::from_vec(rand_vec(4 * 3, 9), &[4, 3]);
+        let via_at = a.matmul_at(&b);
+        let via_t = a.transpose().matmul(&b);
+        assert!(via_at.allclose(&via_t, 1e-4));
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for len in 0..10 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b = vec![2.0; len];
+            let expect: f32 = a.iter().sum::<f32>() * 2.0;
+            assert_eq!(dot(&a, &b), expect);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = rand_vec(5 * 7, 21);
+        let x = rand_vec(7, 33);
+        let mut y = vec![0.0; 5];
+        matvec_into(&a, &x, &mut y, 5, 7);
+        let expect = naive(&a, &x, 5, 7, 1);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn zero_rows_in_a_are_skipped_correctly() {
+        // Exercises the `a_ip == 0.0` fast path.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[0.0, 0.0, 13.0, 16.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Scoped-thread data parallelism helpers.
+//!
+//! We deliberately do not depend on `rayon` (it is not in the approved
+//! dependency set for this reproduction); instead, the two parallel patterns
+//! the workspace actually needs — "split a `&mut [T]` into disjoint chunks and
+//! process each on its own thread" and "map an index range in parallel and
+//! collect" — are implemented directly over `crossbeam::scope`. Each worker
+//! receives a disjoint chunk, so data-race freedom is enforced by the borrow
+//! checker, exactly as the Rust Atomics & Locks guidance prescribes.
+//!
+//! Threading is governed by [`max_threads`], which honours the
+//! `TENSOR_NUM_THREADS` environment variable and otherwise uses available
+//! parallelism. Single-threaded fallbacks avoid the scope overhead entirely,
+//! which matters on the 1-core CI hosts this reproduction targets.
+
+use std::sync::OnceLock;
+
+/// The number of worker threads parallel helpers may use.
+///
+/// Resolution order: `TENSOR_NUM_THREADS` env var (if parseable and ≥ 1),
+/// then [`std::thread::available_parallelism`], then 1. Cached after first
+/// call.
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Ok(s) = std::env::var("TENSOR_NUM_THREADS") {
+            if let Ok(n) = s.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Process disjoint chunks of `data` in parallel.
+///
+/// Splits `data` into at most [`max_threads`] chunks of at least
+/// `min_chunk_len` elements and calls `f(chunk_start_index, chunk)` on each,
+/// possibly on different threads. Falls back to a single in-thread call when
+/// only one chunk is warranted.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], min_chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let threads = max_threads()
+        .min(len.div_ceil(min_chunk_len.max(1)))
+        .max(1);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            s.spawn(move |_| fr(start, head));
+            start += take;
+            rest = tail;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Parallel map over an index range, collecting results in order.
+///
+/// `f(i)` is invoked once for every `i ∈ [0, n)`. Results land in a `Vec`
+/// ordered by index regardless of which thread computed them.
+pub fn par_map_indexed<T, F>(n: usize, min_chunk_len: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    par_chunks_mut(&mut out, min_chunk_len, |start, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + k);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn max_threads_is_at_least_one() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 10_000];
+        par_chunks_mut(&mut data, 64, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v += (start + k) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice_is_noop() {
+        let mut data: Vec<u8> = vec![];
+        par_chunks_mut(&mut data, 1, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_single_call() {
+        let calls = AtomicUsize::new(0);
+        let mut data = vec![1u8; 3];
+        par_chunks_mut(&mut data, 100, |_, chunk| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(chunk.len(), 3);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn par_map_indexed_is_ordered() {
+        let out = par_map_indexed(1000, 16, |i| i * 2);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_zero_len() {
+        let out: Vec<usize> = par_map_indexed(0, 1, |i| i);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Seeded random tensor construction.
+//!
+//! All stochastic behaviour in the workspace flows through explicitly seeded
+//! [`rand::rngs::StdRng`] instances so that every experiment, test and bench
+//! is reproducible bit-for-bit on one machine.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Tensor;
+
+/// Construct a `StdRng` from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+impl Tensor {
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = crate::Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Gaussian samples with the given mean and standard deviation.
+    ///
+    /// Uses Box–Muller directly so we do not depend on `rand_distr`.
+    pub fn rand_normal(dims: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = crate::Shape::new(dims);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(rng);
+            data.push(mean + std * z0);
+            if data.len() < n {
+                data.push(mean + std * z1);
+            }
+        }
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Bernoulli 0/1 mask with probability `p` of a 1.
+    pub fn rand_bernoulli(dims: &[usize], p: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = crate::Shape::new(dims);
+        let data = (0..shape.len())
+            .map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+}
+
+/// One Box–Muller draw: two independent standard normals.
+#[inline]
+pub fn box_muller(rng: &mut impl Rng) -> (f32, f32) {
+    // Guard against u1 == 0, which would take ln(0).
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Sample `k` distinct indices from `[0, n)` without replacement
+/// (partial Fisher–Yates).
+pub fn sample_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Shuffle a slice in place (Fisher–Yates).
+pub fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// A categorical sampler over explicit (unnormalised) weights.
+///
+/// Used by dataset generation to pick glyph classes and hardness transforms
+/// with configured frequencies.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f32>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if the weights are empty or sum to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "Categorical needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        Categorical { cumulative }
+    }
+
+    /// Draw one index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u = rng.gen_range(0.0..total);
+        // Binary search for the first cumulative weight > u.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+impl Distribution<usize> for Categorical {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        let ta = Tensor::rand_uniform(&[16], 0.0, 1.0, &mut a);
+        let tb = Tensor::rand_uniform(&[16], 0.0, 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rng_from_seed(1);
+        let t = Tensor::rand_uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rng_from_seed(2);
+        let t = Tensor::rand_normal(&[20_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_odd_element_count() {
+        let mut rng = rng_from_seed(3);
+        let t = Tensor::rand_normal(&[7], 0.0, 1.0, &mut rng);
+        assert_eq!(t.len(), 7);
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn bernoulli_density() {
+        let mut rng = rng_from_seed(4);
+        let t = Tensor::rand_bernoulli(&[10_000], 0.3, &mut rng);
+        let frac = t.sum() / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "frac {frac}");
+        assert!(t.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = rng_from_seed(5);
+        let idx = sample_indices(100, 30, &mut rng);
+        assert_eq!(idx.len(), 30);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "indices must be distinct");
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_all_indices_is_permutation() {
+        let mut rng = rng_from_seed(6);
+        let mut idx = sample_indices(10, 10, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = rng_from_seed(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn categorical_frequencies_track_weights() {
+        let mut rng = rng_from_seed(9);
+        let c = Categorical::new(&[1.0, 3.0]);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        let frac1 = counts[1] as f32 / 10_000.0;
+        assert!((frac1 - 0.75).abs() < 0.03, "frac {frac1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_empty() {
+        let _ = Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn categorical_rejects_all_zero() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Compact binary serialisation for tensors.
+//!
+//! Format (little-endian throughout):
+//!
+//! ```text
+//! magic  : 4 bytes  = b"TSR1"
+//! rank   : u32
+//! dims   : rank × u64
+//! data   : len × f32
+//! ```
+//!
+//! Built over the `bytes` crate rather than serde so model checkpoints stay a
+//! few megabytes of raw floats with no text-format overhead, and so the
+//! on-disk format is fully specified in one screen of code.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Tensor, TensorError};
+
+/// Magic prefix identifying a serialized tensor.
+pub const MAGIC: &[u8; 4] = b"TSR1";
+
+impl Tensor {
+    /// Serialize into a byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + 4 + 8 * self.rank() + 4 * self.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.rank() as u32);
+        for &d in self.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in self.data() {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from a byte buffer produced by [`Tensor::to_bytes`].
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Tensor, TensorError> {
+        let err = |m: &str| TensorError::Deserialize(m.to_string());
+        if buf.remaining() < 8 {
+            return Err(err("buffer too short for header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(err("bad magic"));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if rank > 16 {
+            return Err(err("implausible rank"));
+        }
+        if buf.remaining() < rank * 8 {
+            return Err(err("buffer too short for dims"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let d = buf.get_u64_le();
+            if d > u64::from(u32::MAX) {
+                return Err(err("implausible dimension"));
+            }
+            dims.push(d as usize);
+        }
+        let len: usize = dims.iter().product();
+        if buf.remaining() < len * 4 {
+            return Err(err("buffer too short for data"));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        Tensor::try_from_vec(data, &dims)
+    }
+}
+
+/// Write a length-prefixed tensor into an existing buffer (for multi-tensor
+/// checkpoint files).
+pub fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    let b = t.to_bytes();
+    buf.put_u64_le(b.len() as u64);
+    buf.put_slice(&b);
+}
+
+/// Read a length-prefixed tensor written by [`put_tensor`].
+pub fn get_tensor(buf: &mut impl Buf) -> Result<Tensor, TensorError> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Deserialize(
+            "buffer too short for length prefix".into(),
+        ));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len {
+        return Err(TensorError::Deserialize(
+            "buffer too short for tensor body".into(),
+        ));
+    }
+    let body = buf.copy_to_bytes(len);
+    Tensor::from_bytes(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        for dims in [vec![], vec![5], vec![2, 3], vec![2, 3, 4], vec![1, 1, 1, 1]] {
+            let n: usize = dims.iter().product();
+            let t = Tensor::from_vec((0..n.max(1)).map(|i| i as f32 * 0.5).collect(), &dims);
+            let rt = Tensor::from_bytes(t.to_bytes()).unwrap();
+            assert_eq!(rt, t, "roundtrip failed for {dims:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_special_values() {
+        let t = Tensor::from_slice(&[0.0, -0.0, 1.5e-30, f32::MAX, f32::MIN_POSITIVE]);
+        let rt = Tensor::from_bytes(t.to_bytes()).unwrap();
+        assert_eq!(rt.data(), t.data());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"NOPE");
+        b.put_u32_le(0);
+        assert!(Tensor::from_bytes(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_buffers() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let full = t.to_bytes();
+        for cut in [0, 3, 7, full.len() - 1] {
+            let sliced = full.slice(..cut);
+            assert!(
+                Tensor::from_bytes(sliced).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_implausible_rank() {
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u32_le(999);
+        assert!(Tensor::from_bytes(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn length_prefixed_stream_roundtrip() {
+        let t1 = Tensor::from_slice(&[1.0, 2.0]);
+        let t2 = Tensor::eye(3);
+        let mut buf = BytesMut::new();
+        put_tensor(&mut buf, &t1);
+        put_tensor(&mut buf, &t2);
+        let mut stream = buf.freeze();
+        assert_eq!(get_tensor(&mut stream).unwrap(), t1);
+        assert_eq!(get_tensor(&mut stream).unwrap(), t2);
+        assert!(get_tensor(&mut stream).is_err(), "stream exhausted");
+    }
+}

@@ -1,0 +1,212 @@
+//! Shape and stride bookkeeping for dense row-major tensors.
+
+use crate::TensorError;
+
+/// A tensor shape: the extent of each axis, row-major (C order).
+///
+/// `Shape` is deliberately a thin wrapper over `Vec<usize>` — tensors in this
+/// workspace are rank ≤ 4 (NCHW activations), so a small-vec optimisation is
+/// not worth the complexity. All derived quantities (element count, strides)
+/// are computed on demand; they are O(rank) and never appear in hot loops.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape contains zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of one axis.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// `strides()[i]` is the distance between consecutive indices along axis
+    /// `i`. The last axis always has stride 1 (contiguous).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    /// Panics (debug) if `index` rank mismatches or any coordinate is out of
+    /// bounds.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        let mut off = 0;
+        for (i, (&ix, &st)) in index.iter().zip(strides.iter()).enumerate() {
+            debug_assert!(ix < self.0[i], "index {ix} out of bounds on axis {i}");
+            off += ix * st;
+        }
+        off
+    }
+
+    /// Validate that `len` elements fill this shape exactly.
+    pub fn check_len(&self, len: usize) -> Result<(), TensorError> {
+        if self.len() == len {
+            Ok(())
+        } else {
+            Err(TensorError::ElementCountMismatch {
+                expected: self.len(),
+                actual: len,
+            })
+        }
+    }
+
+    /// Shape with one axis removed (used by axis reductions).
+    pub fn without_axis(&self, axis: usize) -> Result<Shape, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut d = self.0.clone();
+        d.remove(axis);
+        Ok(Shape(d))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(d: Vec<usize>) -> Self {
+        Shape(d)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_extent_axis_is_empty() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_row_major_layout() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn check_len_accepts_exact() {
+        assert!(Shape::new(&[2, 3]).check_len(6).is_ok());
+    }
+
+    #[test]
+    fn check_len_rejects_mismatch() {
+        let err = Shape::new(&[2, 3]).check_len(5).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::ElementCountMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn without_axis_removes_dim() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.without_axis(1).unwrap(), Shape::new(&[2, 4]));
+        assert!(s.without_axis(3).is_err());
+    }
+
+    #[test]
+    fn display_renders_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2×3)");
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Shape = vec![1, 2].into();
+        assert_eq!(s.dims(), &[1, 2]);
+        let s: Shape = (&[3usize, 4][..]).into();
+        assert_eq!(s.dims(), &[3, 4]);
+    }
+}

@@ -1,0 +1,408 @@
+//! The [`Tensor`] type: contiguous row-major `f32` storage plus a [`Shape`].
+
+use crate::{Shape, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// This is the single numeric container used by the whole workspace. It is
+/// intentionally simple: owning `Vec<f32>` storage, no views or lazy
+/// broadcasting. Networks at LeNet scale spend their time inside `matmul` /
+/// `im2col`, so structural cleverness buys nothing; simplicity keeps every
+/// kernel auditable.
+///
+/// Cloning a `Tensor` deep-copies its buffer; training code reuses buffers
+/// explicitly where it matters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Build a tensor from an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the shape's element count. Use
+    /// [`Tensor::try_from_vec`] for a fallible version.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        Self::try_from_vec(data, dims).expect("element count must match shape")
+    }
+
+    /// Fallible [`Tensor::from_vec`].
+    pub fn try_from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        shape.check_len(data.len())?;
+        Ok(Tensor { data, shape })
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor {
+            data: vec![v],
+            shape: Shape::new(&[]),
+        }
+    }
+
+    /// A 1-D tensor from a slice.
+    pub fn from_slice(v: &[f32]) -> Self {
+        Tensor {
+            data: v.to_vec(),
+            shape: Shape::new(&[v.len()]),
+        }
+    }
+
+    /// Linearly spaced values in `[start, end)` with `n` points (1-D).
+    pub fn linspace(start: f32, end: f32, n: usize) -> Self {
+        if n == 0 {
+            return Tensor::zeros(&[0]);
+        }
+        let step = if n > 1 {
+            (end - start) / (n as f32)
+        } else {
+            0.0
+        };
+        let data: Vec<f32> = (0..n).map(|i| start + step * i as f32).collect();
+        Tensor::from_vec(data, &[n])
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The underlying buffer, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Axis extents as a slice (shorthand for `shape().dims()`).
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of axes).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    /// Debug-panics on rank/bounds violation.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Set the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], v: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = v;
+    }
+
+    // --------------------------------------------------------- reshaping
+
+    /// Reinterpret the buffer under a new shape with the same element count.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::new(dims);
+        shape.check_len(self.data.len())?;
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// In-place reshape (no copy).
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<(), TensorError> {
+        let shape = Shape::new(dims);
+        shape.check_len(self.data.len())?;
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Flatten to 1-D (copy).
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(&[self.data.len()]),
+        }
+    }
+
+    /// Matrix transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if rank ≠ 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires rank-2 tensor");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[c, r]);
+        // Blocked transpose: better locality than the naive loop for the
+        // matrices that show up in dense-layer backward passes.
+        const B: usize = 32;
+        for i0 in (0..r).step_by(B) {
+            for j0 in (0..c).step_by(B) {
+                let imax = (i0 + B).min(r);
+                let jmax = (j0 + B).min(c);
+                for i in i0..imax {
+                    let row = i * c;
+                    for j in j0..jmax {
+                        out.data[j * r + i] = self.data[row + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Extract row `i` of a rank-2 tensor as a 1-D tensor.
+    ///
+    /// # Panics
+    /// Panics if rank ≠ 2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "row() requires rank-2 tensor");
+        let c = self.shape.dim(1);
+        assert!(i < self.shape.dim(0), "row index out of bounds");
+        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+    }
+
+    /// Borrow row `i` of a rank-2 tensor as a slice (no copy).
+    #[inline]
+    pub fn row_slice(&self, i: usize) -> &[f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape.dim(1);
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Stack 1-D tensors of equal length into a rank-2 tensor (rows).
+    ///
+    /// # Panics
+    /// Panics if the slice is empty or lengths differ.
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows needs at least one row");
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for r in rows {
+            assert_eq!(r.len(), c, "stack_rows: all rows must have equal length");
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(data, &[rows.len(), c])
+    }
+
+    /// Select a batch of rows by index from a rank-2 tensor.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.rank(), 2, "gather_rows requires rank-2 tensor");
+        let c = self.shape.dim(1);
+        let mut data = Vec::with_capacity(indices.len() * c);
+        for &i in indices {
+            data.extend_from_slice(self.row_slice(i));
+        }
+        Tensor::from_vec(data, &[indices.len(), c])
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        let n = self.data.len().min(8);
+        for (i, v) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(&[4]);
+        assert!(o.data().iter().all(|&v| v == 1.0));
+        let f = Tensor::full(&[2], 3.5);
+        assert_eq!(f.data(), &[3.5, 3.5]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]), 1.0);
+        assert_eq!(i.at(&[1, 1]), 1.0);
+        assert_eq!(i.at(&[0, 1]), 0.0);
+        assert_eq!(i.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::try_from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn from_vec_panics_on_mismatch() {
+        let _ = Tensor::from_vec(vec![1.0], &[2]);
+    }
+
+    #[test]
+    fn scalar_and_slice() {
+        let s = Tensor::scalar(2.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.data(), &[2.5]);
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(v.dims(), &[2]);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let l = Tensor::linspace(0.0, 1.0, 4);
+        assert_eq!(l.data(), &[0.0, 0.25, 0.5, 0.75]);
+        assert_eq!(Tensor::linspace(0.0, 1.0, 0).len(), 0);
+        assert_eq!(Tensor::linspace(5.0, 9.0, 1).data(), &[5.0]);
+    }
+
+    #[test]
+    fn at_and_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 7.0);
+        assert_eq!(t.at(&[1, 0]), 7.0);
+        assert_eq!(t.data(), &[0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = t.reshape(&[4]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[4]);
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn reshape_in_place_no_copy() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.reshape_in_place(&[3, 2]).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert!(t.reshape_in_place(&[7]).is_err());
+    }
+
+    #[test]
+    fn transpose_small() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = t.transpose();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution_on_larger_matrix() {
+        let n = 67; // deliberately not a multiple of the block size
+        let m = 45;
+        let t = Tensor::from_vec((0..n * m).map(|i| i as f32).collect(), &[n, m]);
+        assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn rows_and_gather() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        assert_eq!(t.row(1).data(), &[3.0, 4.0]);
+        assert_eq!(t.row_slice(2), &[5.0, 6.0]);
+        let g = t.gather_rows(&[2, 0]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0]);
+        assert_eq!(g.dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let m = Tensor::stack_rows(&rows);
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[16]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn flatten_copies() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert_eq!(t.flatten().dims(), &[4]);
+    }
+}

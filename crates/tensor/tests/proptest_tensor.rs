@@ -1,0 +1,144 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These pin down the algebraic identities the `nn` crate silently relies on:
+//! matmul bilinearity and associativity with the identity, transpose
+//! involution, im2col/col2im adjointness, softmax simplex membership, and
+//! serialisation roundtrips — over randomly generated shapes and contents.
+
+use proptest::prelude::*;
+use tensor::conv::{col2im, im2col, Conv2dGeom};
+use tensor::ops::{entropy, softmax_slice};
+use tensor::Tensor;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Keep magnitudes moderate so accumulated FP error stays analysable.
+    (-100.0f32..100.0).prop_map(|v| (v * 100.0).round() / 100.0)
+}
+
+fn tensor_with_len(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(finite_f32(), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_roundtrip(dims in proptest::collection::vec(1usize..6, 0..4)) {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.25 - 3.0).collect();
+        let t = Tensor::from_vec(data, &dims);
+        let rt = Tensor::from_bytes(t.to_bytes()).unwrap();
+        prop_assert_eq!(rt, t);
+    }
+
+    #[test]
+    fn transpose_involution(r in 1usize..40, c in 1usize..40) {
+        let t = Tensor::from_vec((0..r * c).map(|i| i as f32).collect(), &[r, c]);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(n in 1usize..12, data in proptest::collection::vec(finite_f32(), 144)) {
+        let a = Tensor::from_vec(data[..n * n].to_vec(), &[n, n]);
+        let i = Tensor::eye(n);
+        prop_assert!(a.matmul(&i).allclose(&a, 1e-4));
+        prop_assert!(i.matmul(&a).allclose(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000
+    ) {
+        let mut rng = tensor::random::rng_from_seed(seed);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b1 = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let b2 = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b1.add(&b2));
+        let rhs = a.matmul(&b1).add(&a.matmul(&b2));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000
+    ) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let mut rng = tensor::random::rng_from_seed(seed);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn axpy_equals_scale_add(len in 1usize..64, alpha in finite_f32(), seed in 0u64..1000) {
+        let mut rng = tensor::random::rng_from_seed(seed);
+        let a = Tensor::rand_uniform(&[len], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[len], -1.0, 1.0, &mut rng);
+        let mut via_axpy = a.clone();
+        via_axpy.axpy(alpha, &b);
+        let via_ops = a.add(&b.scale(alpha));
+        prop_assert!(via_axpy.allclose(&via_ops, 1e-3));
+    }
+
+    #[test]
+    fn softmax_is_on_simplex(logits in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+        let mut out = vec![0.0; logits.len()];
+        softmax_slice(&logits, &mut out);
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_entropy_bounded(logits in proptest::collection::vec(-10.0f32..10.0, 2..16)) {
+        let mut out = vec![0.0; logits.len()];
+        softmax_slice(&logits, &mut out);
+        let h = entropy(&out);
+        prop_assert!(h >= -1e-6, "entropy must be non-negative, got {h}");
+        let hmax = (logits.len() as f32).ln();
+        prop_assert!(h <= hmax + 1e-4, "entropy {h} exceeds ln(n) {hmax}");
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000
+    ) {
+        let g = Conv2dGeom { in_channels: c, in_h: h, in_w: w, k_h: k, k_w: k, stride, pad };
+        prop_assume!(g.validate().is_ok());
+        let mut rng = tensor::random::rng_from_seed(seed);
+        let n_in = c * h * w;
+        let n_cols = g.patch_rows() * g.patch_cols();
+        let x = Tensor::rand_uniform(&[n_in], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform(&[n_cols], -1.0, 1.0, &mut rng);
+
+        let mut ax = vec![0.0; n_cols];
+        im2col(x.data(), &g, &mut ax);
+        let lhs: f32 = ax.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+
+        let mut aty = vec![0.0; n_in];
+        col2im(y.data(), &g, &mut aty);
+        let rhs: f32 = x.data().iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn sum_rows_matches_total(r in 1usize..10, c in 1usize..10, data in tensor_with_len(100)) {
+        let t = Tensor::from_vec(data[..r * c].to_vec(), &[r, c]);
+        let per_col = t.sum_rows();
+        prop_assert!((per_col.sum() - t.sum()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gather_rows_picks_correct_rows(r in 1usize..8, c in 1usize..8) {
+        let t = Tensor::from_vec((0..r * c).map(|i| i as f32).collect(), &[r, c]);
+        let idx: Vec<usize> = (0..r).rev().collect();
+        let g = t.gather_rows(&idx);
+        for (out_row, &src_row) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row_slice(out_row), t.row_slice(src_row));
+        }
+    }
+}

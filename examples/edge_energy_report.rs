@@ -1,0 +1,52 @@
+//! Edge energy report: price one trained CBNet on all three of the paper's
+//! device models and print a per-layer latency/energy decomposition —
+//! the paper's Table II plus the per-layer detail it doesn't show.
+//!
+//! Run with: `cargo run --release --example edge_energy_report`
+
+use cbnet_repro::prelude::*;
+use edgesim::EnergyReport;
+
+fn main() {
+    println!("Edge energy report — KMNIST-like (hardest mix: 37% hard)\n");
+
+    let split = datasets::generate_pair(Family::KmnistLike, 2500, 500, 3);
+    let cfg = PipelineConfig::for_family(Family::KmnistLike).quick(4);
+    let mut arts = cbnet::pipeline::train_pipeline(&split.train, &cfg);
+
+    for dev in Device::ALL {
+        let device = DeviceModel::preset(dev);
+        let cbnet_r = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+        let branchy_r =
+            cbnet::evaluation::evaluate_branchynet(&mut arts.branchynet, &split.test, &device);
+        let power = PowerModel::for_device(dev).watts(device.inference_utilization);
+
+        println!("=== {dev} (power during inference: {power:.2} W) ===");
+        println!(
+            "CBNet:      {:>8.3} ms/image   {:>8.4} mJ/image   accuracy {:.2}%",
+            cbnet_r.latency_ms,
+            cbnet_r.energy_j * 1000.0,
+            cbnet_r.accuracy_pct
+        );
+        println!(
+            "BranchyNet: {:>8.3} ms/image   {:>8.4} mJ/image   exit rate {:.1}%",
+            branchy_r.latency_ms,
+            branchy_r.energy_j * 1000.0,
+            branchy_r.exit_rate.unwrap_or(0.0) * 100.0
+        );
+
+        // Per-layer decomposition of the CBNet path (AE then classifier).
+        let ae = device.price_specs(&arts.cbnet.autoencoder.specs());
+        let lw = device.price_network(&arts.cbnet.lightweight);
+        println!("\nCBNet per-layer latency (autoencoder then lightweight DNN):");
+        for (desc, ms) in ae.per_layer_ms.iter().chain(lw.per_layer_ms.iter()) {
+            let e = EnergyReport::from_latency(&device, *ms);
+            println!("  {:<42} {:>8.4} ms  {:>9.5} mJ", desc, ms, e.energy_j * 1000.0);
+        }
+        println!(
+            "  {:<42} {:>8.4} ms\n",
+            "TOTAL",
+            ae.total_ms + lw.total_ms
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Hard-image gallery: visualise what the converting autoencoder does.
+//!
+//! Trains a small CBNet on FMNIST-like data (23% hard images), then renders
+//! ASCII-art triptychs — hard input, converted output, and an easy reference
+//! of the same class — for a handful of hard test images. This is the
+//! paper's Fig. 1/Fig. 2 intuition made inspectable.
+//!
+//! Run with: `cargo run --release --example hard_image_gallery`
+
+use cbnet_repro::prelude::*;
+use datasets::{IMAGE_PIXELS, IMAGE_SIDE};
+
+/// Render one 28×28 image as ASCII (rows of intensity glyphs).
+fn ascii(img: &[f32]) -> Vec<String> {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    (0..IMAGE_SIDE)
+        .map(|y| {
+            (0..IMAGE_SIDE)
+                .map(|x| {
+                    let v = img[y * IMAGE_SIDE + x].clamp(0.0, 1.0);
+                    RAMP[(v * (RAMP.len() - 1) as f32).round() as usize] as char
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Converting-autoencoder gallery — FMNIST-like (23% hard)\n");
+
+    let split = datasets::generate_pair(Family::FmnistLike, 2500, 400, 11);
+    let cfg = PipelineConfig::for_family(Family::FmnistLike).quick(4);
+    let mut arts = cbnet::pipeline::train_pipeline(&split.train, &cfg);
+
+    // Find hard test images the trained BranchyNet routes to the main exit.
+    let outputs = arts.branchynet.infer(&split.test.images);
+    let hard_idx: Vec<usize> = (0..split.test.len())
+        .filter(|&i| outputs[i].exit == models::branchynet::ExitDecision::Main)
+        .take(3)
+        .collect();
+    if hard_idx.is_empty() {
+        println!("no hard images at the tuned threshold — rerun with another seed");
+        return;
+    }
+
+    let converted = arts.cbnet.convert(&split.test.images);
+    for &i in &hard_idx {
+        let class = split.test.labels[i];
+        // An easy reference image of the same class.
+        let easy_ref = (0..split.test.len()).find(|&j| {
+            split.test.labels[j] == class
+                && outputs[j].exit == models::branchynet::ExitDecision::Early
+        });
+        println!(
+            "sample #{i} (class {class}, exit-1 entropy {:.3}):",
+            outputs[i].exit1_entropy
+        );
+        let input = ascii(&split.test.images.row_slice(i)[..IMAGE_PIXELS]);
+        let output = ascii(&converted.row_slice(i)[..IMAGE_PIXELS]);
+        let reference = easy_ref.map(|j| ascii(&split.test.images.row_slice(j)[..IMAGE_PIXELS]));
+        println!(
+            "{:<30}  {:<30}  {}",
+            "hard input", "converted (AE output)", "easy reference"
+        );
+        for y in 0..IMAGE_SIDE {
+            let r = reference
+                .as_ref()
+                .map(|r| r[y].as_str())
+                .unwrap_or("(none)");
+            println!("{:<30}  {:<30}  {}", input[y], output[y], r);
+        }
+        let pred = arts.cbnet.predict(&split.test.image(i));
+        println!(
+            "CBNet prediction: {} ({})\n",
+            pred[0],
+            if pred[0] == class { "correct" } else { "wrong" }
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: train a CBNet end-to-end on a small MNIST-like dataset and
+//! compare it with LeNet and BranchyNet on a simulated Raspberry Pi 4.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cbnet_repro::prelude::*;
+
+fn main() {
+    println!("CBNet quickstart — small MNIST-like run\n");
+
+    // 1. Data: procedural MNIST-like glyphs, ~5% hard images (paper §III-A).
+    let split = datasets::generate_pair(Family::MnistLike, 2000, 500, 42);
+    println!(
+        "generated {} train / {} test images ({:.1}% hard)",
+        split.train.len(),
+        split.test.len(),
+        split.test.hard_fraction() * 100.0
+    );
+
+    // 2. The full pipeline (paper Fig. 4): BranchyNet → easy/hard labels →
+    //    converting autoencoder → lightweight DNN.
+    let cfg = PipelineConfig::for_family(Family::MnistLike).quick(4);
+    let mut arts = cbnet::pipeline::train_pipeline(&split.train, &cfg);
+    println!(
+        "pipeline trained: {:.1}% of training images labelled easy, tuned threshold = {:.3}\n",
+        arts.train_easy_rate * 100.0,
+        arts.branchynet.config().entropy_threshold
+    );
+
+    // 3. A LeNet baseline for comparison.
+    let mut rng = tensor::random::rng_from_seed(7);
+    let mut lenet = build_lenet(&mut rng);
+    let train_cfg = models::training::TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
+    let _ = models::training::train_classifier(&mut lenet, &split.train, &train_cfg);
+
+    // 4. Evaluate all three on the simulated Raspberry Pi 4.
+    let device = DeviceModel::raspberry_pi4();
+    let lenet_r = cbnet::evaluation::evaluate_classifier("LeNet", &mut lenet, &split.test, &device);
+    let branchy_r =
+        cbnet::evaluation::evaluate_branchynet(&mut arts.branchynet, &split.test, &device);
+    let cbnet_r = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+
+    println!("model       latency(ms)  accuracy(%)  energy(mJ)");
+    println!("--------------------------------------------------");
+    for r in [&lenet_r, &branchy_r, &cbnet_r] {
+        println!(
+            "{:<11} {:>10.3}  {:>10.2}  {:>9.3}",
+            r.model,
+            r.latency_ms,
+            r.accuracy_pct,
+            r.energy_j * 1000.0
+        );
+    }
+    println!(
+        "\nCBNet speedup over LeNet: {:.2}×; energy savings: {:.0}%",
+        cbnet_r.speedup_vs(&lenet_r),
+        cbnet_r.energy_savings_vs(&lenet_r)
+    );
+}

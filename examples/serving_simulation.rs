@@ -1,0 +1,77 @@
+//! Serving simulation: drive the discrete-event queueing simulator with
+//! service times taken from a *real trained* BranchyNet and CBNet, instead
+//! of the hand-picked constants the `serving` bench binary uses.
+//!
+//! Shows the deployment-level consequence of input-dependent latency: the
+//! early-exit model's p99 explodes under load on hard-image-heavy traffic
+//! while CBNet's stays flat.
+//!
+//! Run with: `cargo run --release --example serving_simulation`
+
+use cbnet_repro::prelude::*;
+use edgesim::pipeline::{simulate, ServingConfig};
+
+fn main() {
+    println!("Serving simulation with measured service times — FMNIST-like\n");
+
+    let split = datasets::generate_pair(Family::FmnistLike, 2500, 500, 5);
+    let cfg = PipelineConfig::for_family(Family::FmnistLike).quick(4);
+    let mut arts = cbnet::pipeline::train_pipeline(&split.train, &cfg);
+
+    let device = DeviceModel::raspberry_pi4();
+
+    // Measure the real operating point of the trained models.
+    let branchy_r =
+        cbnet::evaluation::evaluate_branchynet(&mut arts.branchynet, &split.test, &device);
+    let cbnet_r = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+    let exit_rate = branchy_r.exit_rate.unwrap_or(0.0) as f64;
+
+    let (trunk, branch, tail) = arts.branchynet.stages();
+    let easy_ms = device.price_network(trunk).total_ms
+        + device.price_network(branch).total_ms
+        + device.exit_sync_ms;
+    let hard_ms = easy_ms + device.price_network(tail).total_ms;
+
+    println!(
+        "trained BranchyNet: exit rate {:.1}%, easy path {:.2} ms, hard path {:.2} ms",
+        exit_rate * 100.0,
+        easy_ms,
+        hard_ms
+    );
+    println!("trained CBNet: constant {:.2} ms/request\n", cbnet_r.latency_ms);
+
+    println!("arrival(Hz)  model       mean(ms)   p95(ms)   p99(ms)   utilization");
+    println!("--------------------------------------------------------------------");
+    for &rate in &[40.0, 120.0, 240.0] {
+        let bn = simulate(
+            &device,
+            &ServingConfig {
+                arrival_rate_hz: rate,
+                easy_service_ms: easy_ms,
+                hard_service_ms: hard_ms,
+                easy_fraction: exit_rate,
+                requests: 20_000,
+                seed: 99,
+            },
+        );
+        let cb = simulate(
+            &device,
+            &ServingConfig {
+                arrival_rate_hz: rate,
+                easy_service_ms: cbnet_r.latency_ms,
+                hard_service_ms: cbnet_r.latency_ms,
+                easy_fraction: 1.0,
+                requests: 20_000,
+                seed: 99,
+            },
+        );
+        println!(
+            "{rate:>10.0}  BranchyNet  {:>8.2}  {:>8.2}  {:>8.2}  {:>6.2}",
+            bn.mean_sojourn_ms, bn.p95_ms, bn.p99_ms, bn.utilization
+        );
+        println!(
+            "{rate:>10.0}  CBNet       {:>8.2}  {:>8.2}  {:>8.2}  {:>6.2}",
+            cb.mean_sojourn_ms, cb.p95_ms, cb.p99_ms, cb.utilization
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # cbnet-repro — reproduction suite for CBNet (IPDPS 2024)
+//!
+//! *A Converting Autoencoder Toward Low-latency and Energy-efficient DNN
+//! Inference at the Edge* — Mahmud, Kang, Desai, Lama, Prasad (UTSA).
+//!
+//! This crate re-exports the whole workspace behind one façade:
+//!
+//! * [`tensor`] — dense tensors, blocked matmul, im2col, scoped-thread
+//!   parallel kernels;
+//! * [`nn`] — from-scratch layers / losses / optimizers / serialisation;
+//! * [`datasets`] — procedural MNIST/FMNIST/KMNIST-like data with a
+//!   controllable hard-image fraction, plus an IDX loader;
+//! * [`models`] — LeNet, BranchyNet-LeNet, the converting autoencoder
+//!   (Table I), the lightweight classifier, AdaDeep/SubFlow comparators;
+//! * [`edgesim`] — calibrated Raspberry Pi 4 / GCI / K80 latency, power
+//!   (Eq. 1 & 2) and energy models, and a serving simulator;
+//! * [`cbnet`] — the training pipeline (Fig. 4), the deployable
+//!   [`cbnet::CbnetModel`], and one experiment driver per table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cbnet_repro::prelude::*;
+//!
+//! // Generate a small MNIST-like dataset and train the full pipeline.
+//! let split = datasets::generate_pair(Family::MnistLike, 400, 100, 7);
+//! let cfg = PipelineConfig::for_family(Family::MnistLike).quick(1);
+//! let mut arts = cbnet::pipeline::train_pipeline(&split.train, &cfg);
+//!
+//! // Classify with CBNet: autoencode → lightweight DNN.
+//! let preds = arts.cbnet.predict(&split.test.images);
+//! assert_eq!(preds.len(), split.test.len());
+//!
+//! // Price it on a simulated Raspberry Pi 4.
+//! let device = DeviceModel::raspberry_pi4();
+//! let report = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+//! assert!(report.latency_ms > 0.0);
+//! ```
+
+pub use cbnet;
+pub use datasets;
+pub use edgesim;
+pub use models;
+pub use nn;
+pub use tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cbnet::{self, CbnetModel, PipelineConfig};
+    pub use datasets::{self, Dataset, Family};
+    pub use edgesim::{Device, DeviceModel, PowerModel};
+    pub use models::{
+        accuracy, build_lenet, AutoencoderConfig, BranchyNet, BranchyNetConfig,
+        ConvertingAutoencoder,
+    };
+    pub use nn::{Adam, Network, Optimizer};
+    pub use tensor::Tensor;
+}

@@ -1,0 +1,201 @@
+//! Cross-crate integration: the full CBNet pipeline on every dataset family,
+//! checked against the paper's qualitative claims.
+//!
+//! These tests train real (small) networks, so they share one trained state
+//! per family via `OnceLock` rather than retraining per assertion.
+
+use std::sync::OnceLock;
+
+use cbnet::evaluation::{evaluate_branchynet, evaluate_cbnet, evaluate_classifier};
+use cbnet::pipeline::{train_pipeline, PipelineArtifacts, PipelineConfig};
+use cbnet_repro::prelude::*;
+use datasets::Split;
+use edgesim::DeviceModel;
+use models::training::{train_classifier, TrainConfig};
+
+struct FamilyState {
+    split: Split,
+    arts: PipelineArtifacts,
+    lenet: Network,
+}
+
+fn state(family: Family) -> &'static FamilyState {
+    static MNIST: OnceLock<FamilyState> = OnceLock::new();
+    static FMNIST: OnceLock<FamilyState> = OnceLock::new();
+    static KMNIST: OnceLock<FamilyState> = OnceLock::new();
+    let cell = match family {
+        Family::MnistLike => &MNIST,
+        Family::FmnistLike => &FMNIST,
+        Family::KmnistLike => &KMNIST,
+    };
+    cell.get_or_init(|| {
+        let split = datasets::generate_pair(family, 3500, 600, 1234);
+        let cfg = PipelineConfig::for_family(family).quick(5);
+        let arts = train_pipeline(&split.train, &cfg);
+        let mut rng = tensor::random::rng_from_seed(55);
+        let mut lenet = build_lenet(&mut rng);
+        let _ = train_classifier(
+            &mut lenet,
+            &split.train,
+            &TrainConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+        );
+        FamilyState { split, arts, lenet }
+    })
+}
+
+/// Work around the shared-state borrow: clone what each test mutates.
+fn fresh(family: Family) -> (Split, BranchyNet, CbnetModel, Network) {
+    let s = state(family);
+    let bn = BranchyNet::load(s.arts.branchynet.save()).unwrap();
+    let cb = CbnetModel {
+        autoencoder: ConvertingAutoencoder::load(s.arts.cbnet.autoencoder.save()).unwrap(),
+        lightweight: Network::load(s.arts.cbnet.lightweight.save()).unwrap(),
+    };
+    let lenet = Network::load(s.lenet.save()).unwrap();
+    (s.split.clone(), bn, cb, lenet)
+}
+
+#[test]
+fn all_families_reach_usable_accuracy() {
+    for family in Family::ALL {
+        let (split, mut bn, mut cb, mut lenet) = fresh(family);
+        let lenet_acc = accuracy(&lenet.predict(&split.test.images).argmax_rows(), &split.test.labels);
+        let bn_acc = accuracy(&bn.predict(&split.test.images), &split.test.labels);
+        let cb_acc = accuracy(&cb.predict(&split.test.images), &split.test.labels);
+        assert!(lenet_acc > 0.6, "{family}: LeNet accuracy {lenet_acc}");
+        assert!(bn_acc > 0.6, "{family}: BranchyNet accuracy {bn_acc}");
+        assert!(cb_acc > 0.6, "{family}: CBNet accuracy {cb_acc}");
+        // CBNet must stay within a few points of BranchyNet (paper: "similar
+        // or higher accuracy").
+        assert!(
+            cb_acc > bn_acc - 0.08,
+            "{family}: CBNet accuracy {cb_acc} fell too far below BranchyNet {bn_acc}"
+        );
+    }
+}
+
+#[test]
+fn exit_rates_fall_with_hard_fraction() {
+    // The §IV-D ordering: MNIST ≥ FMNIST ≥ KMNIST exit rates.
+    let mut rates = Vec::new();
+    for family in Family::ALL {
+        let (split, mut bn, _, _) = fresh(family);
+        let outputs = bn.infer(&split.test.images);
+        let stats = models::ExitStats::from_outputs(&outputs);
+        rates.push((family, stats.early_rate()));
+    }
+    assert!(
+        rates[0].1 > rates[1].1 && rates[1].1 > rates[2].1,
+        "exit rates not ordered: {rates:?}"
+    );
+}
+
+#[test]
+fn cbnet_latency_is_dataset_independent() {
+    let device = DeviceModel::raspberry_pi4();
+    let mut latencies = Vec::new();
+    for family in Family::ALL {
+        let (split, _, mut cb, _) = fresh(family);
+        let r = evaluate_cbnet(&mut cb, &split.test, &device);
+        latencies.push(r.latency_ms);
+    }
+    let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
+    let min = latencies.iter().cloned().fold(f64::MAX, f64::min);
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    assert!(
+        (max - min) / mean < 0.15,
+        "CBNet latency varies across datasets: {latencies:?}"
+    );
+}
+
+#[test]
+fn branchynet_latency_grows_with_hard_fraction() {
+    let device = DeviceModel::raspberry_pi4();
+    let mut latencies = Vec::new();
+    for family in Family::ALL {
+        let (split, mut bn, _, _) = fresh(family);
+        let r = evaluate_branchynet(&mut bn, &split.test, &device);
+        latencies.push(r.latency_ms);
+    }
+    assert!(
+        latencies[0] < latencies[1] && latencies[1] < latencies[2],
+        "BranchyNet latency not ordered by dataset difficulty: {latencies:?}"
+    );
+}
+
+#[test]
+fn cbnet_beats_lenet_everywhere() {
+    for family in Family::ALL {
+        for dev in edgesim::Device::ALL {
+            let device = DeviceModel::preset(dev);
+            let (split, _, mut cb, mut lenet) = fresh(family);
+            let lr = evaluate_classifier("LeNet", &mut lenet, &split.test, &device);
+            let cr = evaluate_cbnet(&mut cb, &split.test, &device);
+            assert!(
+                cr.speedup_vs(&lr) > 2.0,
+                "{family}/{dev}: CBNet speedup only {:.2}×",
+                cr.speedup_vs(&lr)
+            );
+            assert!(
+                cr.energy_savings_vs(&lr) > 50.0,
+                "{family}/{dev}: CBNet energy savings only {:.0}%",
+                cr.energy_savings_vs(&lr)
+            );
+        }
+    }
+}
+
+#[test]
+fn converted_images_look_easy_to_branchynet() {
+    // The core mechanism: converting hard images must move them toward the
+    // easy regime — mean exit-1 entropy drops substantially and some now
+    // clear the (tight, tuned) exit threshold. Full threshold-crossing is
+    // not required: the classifier accuracy tests above already show class
+    // identity is preserved, which is what CBNet's latency story needs.
+    let (split, mut bn, mut cb, _) = fresh(Family::KmnistLike);
+    let outputs = bn.infer(&split.test.images);
+    let hard_idx: Vec<usize> = (0..split.test.len())
+        .filter(|&i| outputs[i].exit == models::branchynet::ExitDecision::Main)
+        .collect();
+    assert!(
+        hard_idx.len() >= 20,
+        "need a meaningful hard subset, got {}",
+        hard_idx.len()
+    );
+    let hard_images = split.test.images.gather_rows(&hard_idx);
+    let converted = cb.convert(&hard_images);
+    let before = bn.infer(&hard_images);
+    let after = bn.infer(&converted);
+    let mean_ent = |outs: &[models::branchynet::BranchyOutput]| {
+        outs.iter().map(|o| o.exit1_entropy).sum::<f32>() / outs.len() as f32
+    };
+    let (eb, ea) = (mean_ent(&before), mean_ent(&after));
+    assert!(
+        ea < 0.85 * eb,
+        "conversion did not reduce exit entropy enough: {eb:.3} -> {ea:.3}"
+    );
+    let exit_after = models::ExitStats::from_outputs(&after).early_rate();
+    assert!(
+        exit_after > 0.05,
+        "no converted hard image clears the exit threshold ({exit_after:.2})"
+    );
+}
+
+#[test]
+fn autoencoder_share_stays_moderate_on_cpu_devices() {
+    // §IV-D: the AE contributes "up to 25%" of CBNet latency. Our CPU device
+    // models reproduce that; the GPU model is dispatch-bound and higher.
+    let (_, _, cb, _) = fresh(Family::MnistLike);
+    for dev in [edgesim::Device::RaspberryPi4, edgesim::Device::GciCpu] {
+        let device = DeviceModel::preset(dev);
+        let frac = cbnet::evaluation::autoencoder_latency_fraction(&cb, &device);
+        assert!(
+            frac < 0.30,
+            "{dev}: AE fraction {frac:.2} exceeds the paper's ≈25% regime"
+        );
+        assert!(frac > 0.05, "{dev}: AE fraction {frac:.2} implausibly small");
+    }
+}
