@@ -32,9 +32,13 @@ fn bench_device_pricing(c: &mut Criterion) {
     g.sample_size(60);
     for dev in Device::ALL {
         let model = DeviceModel::preset(dev);
-        g.bench_with_input(BenchmarkId::new("price_lenet", dev.name()), &model, |b, m| {
-            b.iter(|| m.price_specs(&specs).total_ms);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("price_lenet", dev.name()),
+            &model,
+            |b, m| {
+                b.iter(|| m.price_specs(&specs).total_ms);
+            },
+        );
     }
     g.finish();
 }
@@ -50,9 +54,7 @@ fn bench_serving_sim(c: &mut Criterion) {
                 &device,
                 &ServingConfig {
                     arrival_rate_hz: 150.0,
-                    easy_service_ms: 2.0,
-                    hard_service_ms: 13.0,
-                    easy_fraction: 0.8,
+                    profile: edgesim::CostProfile::bimodal(2.0, 13.0, 0.8),
                     requests: 10_000,
                     seed: 3,
                 },

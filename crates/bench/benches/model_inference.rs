@@ -91,9 +91,13 @@ fn bench_subflow(c: &mut Criterion) {
     let mut g = c.benchmark_group("subflow");
     g.sample_size(15);
     for &u in &[0.5f32, 1.0] {
-        g.bench_with_input(BenchmarkId::new("predict_batch16", format!("u{u}")), &u, |b, &u| {
-            b.iter(|| sf.predict(u, &x16));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("predict_batch16", format!("u{u}")),
+            &u,
+            |b, &u| {
+                b.iter(|| sf.predict(u, &x16));
+            },
+        );
     }
     g.finish();
 }

@@ -2,27 +2,41 @@
 //! entropy-threshold sweep, joint-loss weights.
 
 use bench::{banner, scale_from_env};
-use cbnet::experiments::{ablations, prepare_family};
+use cbnet::experiments::ablations;
+use cbnet::registry::ModelRegistry;
 use datasets::Family;
 
 fn main() {
     banner("Ablations", "design-choice ablations (MNIST-like)");
     let scale = scale_from_env();
-    let mut tf = prepare_family(Family::MnistLike, &scale);
+    let mut reg = ModelRegistry::train(Family::MnistLike, &scale);
+    let tf = reg.trained_mut();
 
-    let rows = ablations::output_activation(&mut tf, &scale);
-    println!("{}", ablations::render("Ablation 1: AE output activation", &rows));
+    let rows = ablations::output_activation(tf, &scale);
+    println!(
+        "{}",
+        ablations::render("Ablation 1: AE output activation", &rows)
+    );
 
-    let rows = ablations::l1_lambda(&mut tf, &scale);
-    println!("{}", ablations::render("Ablation 2: L1 activity coefficient", &rows));
+    let rows = ablations::l1_lambda(tf, &scale);
+    println!(
+        "{}",
+        ablations::render("Ablation 2: L1 activity coefficient", &rows)
+    );
 
-    let rows = ablations::target_policy(&mut tf, &scale);
-    println!("{}", ablations::render("Ablation 3: target-selection policy", &rows));
+    let rows = ablations::target_policy(tf, &scale);
+    println!(
+        "{}",
+        ablations::render("Ablation 3: target-selection policy", &rows)
+    );
 
     println!("Ablation 4: entropy-threshold sweep");
-    let pts = ablations::threshold_sweep(&mut tf, &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0]);
+    let pts = ablations::threshold_sweep(tf, &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0]);
     println!("{}", ablations::render_thresholds(&pts));
 
-    let rows = ablations::joint_weights(&tf, &scale);
-    println!("{}", ablations::render("Ablation 5: BranchyNet joint-loss weights", &rows));
+    let rows = ablations::joint_weights(tf, &scale);
+    println!(
+        "{}",
+        ablations::render("Ablation 5: BranchyNet joint-loss weights", &rows)
+    );
 }

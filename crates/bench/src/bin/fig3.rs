@@ -5,7 +5,10 @@ use bench::{banner, scale_from_env};
 use cbnet::experiments::fig3;
 
 fn main() {
-    banner("Fig. 3", "BranchyNet speedup over LeNet vs hard fraction (RPi 4)");
+    banner(
+        "Fig. 3",
+        "BranchyNet speedup over LeNet vs hard fraction (RPi 4)",
+    );
     let points = fig3::run(&scale_from_env());
     print!("{}", fig3::render(&points));
     println!(

@@ -5,7 +5,10 @@ use bench::{banner, scale_from_env};
 use cbnet::experiments::fig5;
 
 fn main() {
-    banner("Fig. 5", "five-model latency/accuracy comparison (MNIST, RPi 4)");
+    banner(
+        "Fig. 5",
+        "five-model latency/accuracy comparison (MNIST, RPi 4)",
+    );
     let scale = scale_from_env();
     let results = fig5::run(&scale);
     print!("{}", fig5::render(&results));

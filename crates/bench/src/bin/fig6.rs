@@ -5,7 +5,10 @@ use cbnet::experiments::scalability;
 use datasets::Family;
 
 fn main() {
-    banner("Fig. 6", "scalability: total inference time & accuracy vs dataset ratio (MNIST)");
+    banner(
+        "Fig. 6",
+        "scalability: total inference time & accuracy vs dataset ratio (MNIST)",
+    );
     let curves = scalability::run(Family::MnistLike, &scale_from_env());
     for c in &curves {
         println!("{}", scalability::render(c));

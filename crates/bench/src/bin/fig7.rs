@@ -5,7 +5,10 @@ use cbnet::experiments::scalability;
 use datasets::Family;
 
 fn main() {
-    banner("Fig. 7", "scalability: total inference time & accuracy vs dataset ratio (FMNIST)");
+    banner(
+        "Fig. 7",
+        "scalability: total inference time & accuracy vs dataset ratio (FMNIST)",
+    );
     let curves = scalability::run(Family::FmnistLike, &scale_from_env());
     for c in &curves {
         println!("{}", scalability::render(c));

@@ -5,7 +5,10 @@ use cbnet::experiments::scalability;
 use datasets::Family;
 
 fn main() {
-    banner("Fig. 8", "scalability: total inference time & accuracy vs dataset ratio (KMNIST)");
+    banner(
+        "Fig. 8",
+        "scalability: total inference time & accuracy vs dataset ratio (KMNIST)",
+    );
     let curves = scalability::run(Family::KmnistLike, &scale_from_env());
     for c in &curves {
         println!("{}", scalability::render(c));

@@ -3,17 +3,22 @@
 //! confidence-based (BranchyNet-free) easy/hard labelling.
 
 use bench::{banner, scale_from_env};
-use cbnet::evaluation::{evaluate_cbnet, evaluate_classifier};
 use cbnet::generalized::{train_generalized, GeneralizedConfig};
 use datasets::{generate_pair, Family};
-use edgesim::{Device, DeviceModel};
+use edgesim::Device;
 use models::resnet::build_resnet_mini;
+use runtime::{evaluate, ClassifierModel, Scenario};
 
 fn main() {
-    banner("§V generalized", "CBNet over a residual backbone, no BranchyNet anywhere");
+    banner(
+        "§V generalized",
+        "CBNet over a residual backbone, no BranchyNet anywhere",
+    );
     let scale = scale_from_env();
 
-    println!("dataset  device          backbone(ms)  CBNet-G(ms)  speedup  backbone acc%  CBNet-G acc%");
+    println!(
+        "dataset  device          backbone(ms)  CBNet-G(ms)  speedup  backbone acc%  CBNet-G acc%"
+    );
     println!("--------------------------------------------------------------------------------------------");
     for family in Family::ALL {
         let split = generate_pair(family, scale.n_train, scale.n_test, scale.seed);
@@ -22,11 +27,12 @@ fn main() {
             seed: scale.seed ^ 0x6E4E,
             ..GeneralizedConfig::new(family)
         };
-        let mut arts = train_generalized(&split.train, |rng| build_resnet_mini(rng), &cfg);
+        let mut arts = train_generalized(&split.train, build_resnet_mini, &cfg);
         for dev in Device::ALL {
-            let device = DeviceModel::preset(dev);
-            let b = evaluate_classifier("ResNet-mini", &mut arts.backbone, &split.test, &device);
-            let c = evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+            let scenario = Scenario::new(family, dev);
+            let mut backbone = ClassifierModel::new("ResNet-mini", &mut arts.backbone);
+            let b = evaluate(&mut backbone, &split.test, &scenario);
+            let c = evaluate(&mut arts.cbnet, &split.test, &scenario);
             println!(
                 "{:<7}  {:<14} {:>12.3}  {:>11.3}  {:>6.2}×  {:>12.2}  {:>11.2}",
                 family.name(),

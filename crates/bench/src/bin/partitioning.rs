@@ -36,9 +36,21 @@ fn main() {
     println!("CBNet fully on-device: {cbnet_ms:.3} ms/image (network-independent)\n");
 
     let links = [
-        ("ideal LAN (1 ms, 100 MB/s)", Uplink { latency_ms: 1.0, bandwidth_mbps: 100.0 }),
+        (
+            "ideal LAN (1 ms, 100 MB/s)",
+            Uplink {
+                latency_ms: 1.0,
+                bandwidth_mbps: 100.0,
+            },
+        ),
         ("WiFi (5 ms, 10 MB/s)", Uplink::wifi()),
-        ("good LTE (25 ms, 2 MB/s)", Uplink { latency_ms: 25.0, bandwidth_mbps: 2.0 }),
+        (
+            "good LTE (25 ms, 2 MB/s)",
+            Uplink {
+                latency_ms: 25.0,
+                bandwidth_mbps: 2.0,
+            },
+        ),
         ("congested cellular (60 ms, 0.5 MB/s)", Uplink::cellular()),
     ];
 

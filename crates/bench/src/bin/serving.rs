@@ -1,42 +1,122 @@
-//! Extension experiment: request-serving simulation — how the easy/hard mix
-//! turns into queueing delay on a Raspberry Pi 4.
+//! Serving scenario matrix (extension): model × dataset family × device ×
+//! offered load, with every service-time distribution taken from
+//! `InferenceModel::cost_profile()` of the *trained* networks — no
+//! hand-picked latency constants anywhere.
+//!
+//! For each family the registry trains the shared models once; each model is
+//! then run on the evaluation set to measure its operating point (the
+//! BranchyNet exit rate), priced on each device, and pushed through the
+//! discrete-event FIFO simulator at arrival rates anchored to the LeNet
+//! baseline's capacity on that device (offered loads 0.5 / 0.8 / 0.95 of
+//! `1000 / mean_service_ms`). CBNet's input-independent profile keeps its
+//! tails flat where BranchyNet's early-exit variance builds queues — the
+//! serving-level corollary of the paper's Fig. 3.
+//!
+//! Output: an aligned table on stdout plus the same rows as CSV (between
+//! `--- CSV ---` markers) so the matrix can feed downstream tooling.
 
+use bench::{banner, scale_from_env};
+use cbnet::registry::{ModelKind, ModelRegistry};
+use cbnet::table::TextTable;
+use datasets::Family;
 use edgesim::pipeline::{simulate, ServingConfig};
-use edgesim::DeviceModel;
+use edgesim::{CostProfile, Device, DeviceModel};
+
+/// Offered loads swept per device, as fractions of the LeNet baseline's
+/// service capacity.
+const LOADS: [f64; 3] = [0.5, 0.8, 0.95];
+/// Requests simulated per cell.
+const REQUESTS: usize = 20_000;
 
 fn main() {
-    println!("=== Serving simulation (extension) — BranchyNet vs CBNet under load, RPi 4 ===\n");
-    let device = DeviceModel::raspberry_pi4();
-    println!("arrival  model       easy%   mean(ms)  p95(ms)   p99(ms)   util    energy(J)");
-    println!("---------------------------------------------------------------------------");
-    for &rate in &[50.0, 150.0, 300.0] {
-        // BranchyNet: bimodal service (easy path vs full path), MNIST-like
-        // (95% easy) and KMNIST-like (63% easy) mixes.
-        for (label, easy_frac, easy_ms, hard_ms) in [
-            ("BranchyNet/MNIST", 0.95, 2.1, 13.4),
-            ("BranchyNet/KMNIST", 0.63, 2.1, 13.4),
-            ("CBNet (any)", 1.0, 2.4, 2.4),
-        ] {
-            let cfg = ServingConfig {
-                arrival_rate_hz: rate,
-                easy_service_ms: easy_ms,
-                hard_service_ms: hard_ms,
-                easy_fraction: easy_frac,
-                requests: 20_000,
-                seed: 11,
-            };
-            let r = simulate(&device, &cfg);
-            println!(
-                "{rate:>6.0}  {label:<18} {:>4.0}%  {:>8.2}  {:>8.2}  {:>8.2}  {:>5.2}  {:>9.2}",
-                easy_frac * 100.0,
-                r.mean_sojourn_ms,
-                r.p95_ms,
-                r.p99_ms,
-                r.utilization,
-                r.energy_j
-            );
+    banner(
+        "Serving matrix",
+        "model × family × device × load, priced from trained cost profiles",
+    );
+    let scale = scale_from_env();
+
+    let mut table = TextTable::new(&[
+        "Family",
+        "Device",
+        "Model",
+        "easy%",
+        "E[S] (ms)",
+        "arrivals/s",
+        "load",
+        "mean (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "util",
+        "energy (J)",
+    ]);
+
+    for family in Family::ALL {
+        let mut reg = ModelRegistry::train(family, &scale);
+        let test = reg.split().test.clone();
+
+        // Collect per-device profiles; only the early-exit model needs a
+        // prediction pass first (its mixture weight is the exit rate
+        // measured on the evaluation set — constant-profile models are
+        // priced from their layer specs alone).
+        let mut priced: Vec<(ModelKind, Vec<CostProfile>)> = Vec::new();
+        for kind in ModelKind::CORE {
+            let mut model = reg.model(kind);
+            if kind == ModelKind::BranchyNet {
+                let _ = model.predict_batch(&test.images);
+            }
+            let profiles: Vec<CostProfile> = Device::ALL
+                .iter()
+                .map(|&d| model.cost_profile(&DeviceModel::preset(d)))
+                .collect();
+            priced.push((kind, profiles));
+        }
+
+        for (di, &device) in Device::ALL.iter().enumerate() {
+            let device_model = DeviceModel::preset(device);
+            // Arrival rates anchored to the baseline's capacity on this
+            // device, identical for every model: same traffic, different
+            // serving behaviour.
+            let lenet_mean = priced
+                .iter()
+                .find(|(k, _)| *k == ModelKind::LeNet)
+                .map(|(_, p)| p[di].mean_ms())
+                .expect("LeNet is in CORE");
+            for &load in &LOADS {
+                let rate_hz = load * 1000.0 / lenet_mean;
+                for (kind, profiles) in &priced {
+                    let profile = profiles[di];
+                    let r = simulate(
+                        &device_model,
+                        &ServingConfig {
+                            arrival_rate_hz: rate_hz,
+                            profile,
+                            requests: REQUESTS,
+                            seed: 11,
+                        },
+                    );
+                    table.row(&[
+                        family.name().to_string(),
+                        device.name().to_string(),
+                        kind.name().to_string(),
+                        format!("{:.0}", profile.easy_fraction() * 100.0),
+                        format!("{:.3}", profile.mean_ms()),
+                        format!("{rate_hz:.0}"),
+                        format!("{:.2}", profile.offered_load(rate_hz)),
+                        format!("{:.2}", r.mean_sojourn_ms),
+                        format!("{:.2}", r.p95_ms),
+                        format!("{:.2}", r.p99_ms),
+                        format!("{:.2}", r.utilization),
+                        format!("{:.2}", r.energy_j),
+                    ]);
+                }
+            }
         }
     }
+
+    print!("{}", table.render());
     println!("\nCBNet's input-independent service time keeps tails flat where early-exit");
     println!("variance builds queues — the serving-level corollary of the paper's Fig. 3.");
+    println!("\n--- CSV ---");
+    print!("{}", table.to_csv());
+    println!("--- END CSV ---");
 }

@@ -5,7 +5,10 @@ use bench::{banner, scale_from_env};
 use cbnet::experiments::table2;
 
 fn main() {
-    banner("Table II", "latency / energy / accuracy across datasets and devices");
+    banner(
+        "Table II",
+        "latency / energy / accuracy across datasets and devices",
+    );
     let scale = scale_from_env();
     let blocks = table2::run(&scale);
     print!("{}", table2::render(&blocks));

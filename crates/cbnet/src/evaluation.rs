@@ -1,127 +1,66 @@
-//! Model evaluation: latency, accuracy and energy on simulated devices.
+//! Model evaluation — now a thin compatibility layer over the unified
+//! [`runtime`] API.
 //!
-//! Latency semantics follow the paper exactly (§IV-C, §IV-D):
+//! The per-model `evaluate_*` free functions this module used to implement
+//! are deprecated: every model (LeNet, BranchyNet, CBNet, AdaDeep, SubFlow)
+//! implements [`runtime::InferenceModel`], and the single generic
+//! [`runtime::evaluate`] path reproduces each legacy function's exact
+//! latency/accuracy/energy semantics (see `tests/trait_conformance.rs` at
+//! the workspace root, which pins the equivalence):
 //!
-//! * **LeNet** — every image pays the full network.
-//! * **BranchyNet** — every image pays trunk + branch; images that miss the
-//!   exit additionally pay the tail. The mixture uses the *measured* exit
-//!   decisions of the trained network on the evaluation set, not an assumed
-//!   rate.
-//! * **CBNet** — every image pays autoencoder + lightweight DNN ("the
+//! * **LeNet / AdaDeep** — constant cost: every image pays the full network.
+//! * **BranchyNet** — bimodal cost: every image pays trunk + branch + the
+//!   exit-decision sync; the measured non-exiting fraction additionally pays
+//!   the tail.
+//! * **CBNet** — constant cost: autoencoder + lightweight DNN ("the
 //!   inference latency of CBNet is the sum of the execution time spent in
 //!   the autoencoder and the lightweight DNN classifier").
 
-use edgesim::{Device, DeviceModel, EnergyReport};
-use models::branchynet::{BranchyNet, ExitDecision};
-use models::metrics::{accuracy, ExitStats};
+use edgesim::DeviceModel;
+use models::branchynet::BranchyNet;
 use nn::Network;
 
 use crate::pipeline::CbnetModel;
 use datasets::Dataset;
+use runtime::{evaluate_on, BranchyNetModel, ClassifierModel};
 
-/// An evaluation scenario: one dataset on one device.
-#[derive(Debug, Clone, Copy)]
-pub struct Scenario {
-    /// Device model to price latency/energy on.
-    pub device: Device,
-}
+pub use runtime::{evaluate, ModelReport, Scenario};
 
-/// One row of Table II: a model evaluated on a dataset + device.
-#[derive(Debug, Clone)]
-pub struct ModelReport {
-    /// Model display name.
-    pub model: String,
-    /// Mean per-image latency, milliseconds.
-    pub latency_ms: f64,
-    /// Classification accuracy on the evaluation set, percent.
-    pub accuracy_pct: f32,
-    /// Per-image energy, joules.
-    pub energy_j: f64,
-    /// Early-exit rate where applicable (BranchyNet), else `None`.
-    pub exit_rate: Option<f32>,
-}
-
-impl ModelReport {
-    /// Energy saving relative to a baseline report, percent.
-    pub fn energy_savings_vs(&self, baseline: &ModelReport) -> f64 {
-        edgesim::savings_percent(baseline.energy_j, self.energy_j)
-    }
-
-    /// Speedup of this model relative to a (slower) baseline.
-    pub fn speedup_vs(&self, baseline: &ModelReport) -> f64 {
-        baseline.latency_ms / self.latency_ms
-    }
+fn label_for(data: &Dataset, device: &DeviceModel) -> String {
+    let family = data.family.map(|f| f.name()).unwrap_or("unknown");
+    format!("{family} @ {}", device.device.name())
 }
 
 /// Evaluate a plain sequential classifier (LeNet, AdaDeep output, …).
+#[deprecated(note = "wrap the network in `runtime::ClassifierModel` and call `runtime::evaluate`")]
 pub fn evaluate_classifier(
     name: &str,
     net: &mut Network,
     data: &Dataset,
     device: &DeviceModel,
 ) -> ModelReport {
-    let latency = device.price_network(net).total_ms;
-    let preds = net.predict(&data.images).argmax_rows();
-    let acc = accuracy(&preds, &data.labels) * 100.0;
-    let energy = EnergyReport::from_latency(device, latency).energy_j;
-    ModelReport {
-        model: name.to_string(),
-        latency_ms: latency,
-        accuracy_pct: acc,
-        energy_j: energy,
-        exit_rate: None,
-    }
+    let label = label_for(data, device);
+    let mut model = ClassifierModel::new(name, net);
+    evaluate_on(&mut model, data, device, &label)
 }
 
 /// Evaluate a trained BranchyNet with measured exit decisions.
+#[deprecated(note = "wrap the network in `runtime::BranchyNetModel` and call `runtime::evaluate`")]
 pub fn evaluate_branchynet(
     net: &mut BranchyNet,
     data: &Dataset,
     device: &DeviceModel,
 ) -> ModelReport {
-    let outputs = net.infer(&data.images);
-    let stats = ExitStats::from_outputs(&outputs);
-    let preds: Vec<usize> = outputs.iter().map(|o| o.prediction).collect();
-    let acc = accuracy(&preds, &data.labels) * 100.0;
-
-    let (trunk, branch, tail) = net.stages();
-    let easy_ms = device.price_network(trunk).total_ms + device.price_network(branch).total_ms;
-    let tail_ms = device.price_network(tail).total_ms;
-    // Mean latency over the set, per-sample exact: every sample pays the
-    // easy path; Main-exit samples additionally pay the tail.
-    let mut total = 0.0f64;
-    for o in &outputs {
-        total += easy_ms + device.exit_sync_ms;
-        if o.exit == ExitDecision::Main {
-            total += tail_ms;
-        }
-    }
-    let latency = total / outputs.len().max(1) as f64;
-    let energy = EnergyReport::from_latency(device, latency).energy_j;
-    ModelReport {
-        model: "BranchyNet".to_string(),
-        latency_ms: latency,
-        accuracy_pct: acc,
-        energy_j: energy,
-        exit_rate: Some(stats.early_rate()),
-    }
+    let label = label_for(data, device);
+    let mut model = BranchyNetModel::new(net);
+    evaluate_on(&mut model, data, device, &label)
 }
 
 /// Evaluate a CBNet model (autoencoder + lightweight classifier).
+#[deprecated(note = "`CbnetModel` implements `runtime::InferenceModel`; call `runtime::evaluate`")]
 pub fn evaluate_cbnet(model: &mut CbnetModel, data: &Dataset, device: &DeviceModel) -> ModelReport {
-    let ae_ms = device.price_specs(&model.autoencoder.specs()).total_ms;
-    let lw_ms = device.price_network(&model.lightweight).total_ms;
-    let latency = ae_ms + lw_ms;
-    let preds = model.predict(&data.images);
-    let acc = accuracy(&preds, &data.labels) * 100.0;
-    let energy = EnergyReport::from_latency(device, latency).energy_j;
-    ModelReport {
-        model: "CBNet".to_string(),
-        latency_ms: latency,
-        accuracy_pct: acc,
-        energy_j: energy,
-        exit_rate: None,
-    }
+    let label = label_for(data, device);
+    evaluate_on(model, data, device, &label)
 }
 
 /// The autoencoder's share of CBNet latency — the paper reports "up to 25%"
@@ -133,6 +72,7 @@ pub fn autoencoder_latency_fraction(model: &CbnetModel, device: &DeviceModel) ->
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use datasets::{generate_pair, Family};
@@ -148,6 +88,7 @@ mod tests {
         let device = DeviceModel::raspberry_pi4();
         let r = evaluate_classifier("LeNet", &mut net, &split.test, &device);
         assert_eq!(r.model, "LeNet");
+        assert_eq!(r.scenario, "MNIST @ Raspberry Pi 4");
         assert!(r.latency_ms > 10.0 && r.latency_ms < 16.0);
         assert!((0.0..=100.0).contains(&r.accuracy_pct));
         assert!(r.energy_j > 0.0);
@@ -178,22 +119,22 @@ mod tests {
     }
 
     #[test]
-    fn speedup_and_savings_relations() {
-        let a = ModelReport {
-            model: "fast".into(),
-            latency_ms: 2.0,
-            accuracy_pct: 90.0,
-            energy_j: 0.01,
-            exit_rate: None,
+    fn cbnet_latency_is_ae_plus_lightweight() {
+        use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
+        use models::lightweight::extract_lightweight;
+        let mut rng = rng_from_seed(2);
+        let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let mut cb = CbnetModel {
+            autoencoder: ConvertingAutoencoder::new(AutoencoderConfig::mnist(), &mut rng),
+            lightweight: extract_lightweight(&bn),
         };
-        let b = ModelReport {
-            model: "slow".into(),
-            latency_ms: 10.0,
-            accuracy_pct: 90.0,
-            energy_j: 0.05,
-            exit_rate: None,
-        };
-        assert!((a.speedup_vs(&b) - 5.0).abs() < 1e-9);
-        assert!((a.energy_savings_vs(&b) - 80.0).abs() < 1e-9);
+        let split = generate_pair(Family::MnistLike, 10, 20, 7);
+        let device = DeviceModel::raspberry_pi4();
+        let r = evaluate_cbnet(&mut cb, &split.test, &device);
+        let expect = device.price_specs(&cb.autoencoder.specs()).total_ms
+            + device.price_network(&cb.lightweight).total_ms;
+        assert!((r.latency_ms - expect).abs() < 1e-12);
+        let frac = autoencoder_latency_fraction(&cb, &device);
+        assert!(frac > 0.0 && frac < 1.0);
     }
 }

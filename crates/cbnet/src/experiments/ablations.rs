@@ -76,14 +76,18 @@ pub fn output_activation(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Vec
 /// Ablation 2: L1 activity-regularisation coefficient.
 pub fn l1_lambda(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Vec<AblationRow> {
     let train_cfg = scale.train_config();
-    [(0.0, "λ = 0"), (1e-7, "λ = 1e-7 (paper)"), (1e-3, "λ = 1e-3")]
-        .into_iter()
-        .map(|(lambda, label)| {
-            let mut cfg = AutoencoderConfig::for_family(tf.family);
-            cfg.l1_lambda = lambda;
-            retrain_ae_and_score(tf, cfg, &train_cfg, label)
-        })
-        .collect()
+    [
+        (0.0, "λ = 0"),
+        (1e-7, "λ = 1e-7 (paper)"),
+        (1e-3, "λ = 1e-3"),
+    ]
+    .into_iter()
+    .map(|(lambda, label)| {
+        let mut cfg = AutoencoderConfig::for_family(tf.family);
+        cfg.l1_lambda = lambda;
+        retrain_ae_and_score(tf, cfg, &train_cfg, label)
+    })
+    .collect()
 }
 
 /// Ablation 3: target-selection policy.

@@ -6,7 +6,8 @@ use edgesim::{Device, DeviceModel};
 use models::metrics::ExitStats;
 
 use crate::evaluation::autoencoder_latency_fraction;
-use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::experiments::ExperimentScale;
+use crate::registry::ModelRegistry;
 use crate::table::{fmt_pct, TextTable};
 use datasets::Family;
 
@@ -25,14 +26,14 @@ pub struct ExitRateRow {
 }
 
 /// Compute the row for an already-trained family.
-pub fn row_for(tf: &mut TrainedFamily) -> ExitRateRow {
+pub fn row_for(reg: &mut ModelRegistry) -> ExitRateRow {
+    let tf = reg.trained_mut();
     let outputs = tf.artifacts.branchynet.infer(&tf.split.test.images);
     let stats = ExitStats::from_outputs(&outputs);
     let mut ae_fraction_pct = [0.0f64; 3];
     for (i, d) in Device::ALL.iter().enumerate() {
         let model = DeviceModel::preset(*d);
-        ae_fraction_pct[i] =
-            autoencoder_latency_fraction(&tf.artifacts.cbnet, &model) * 100.0;
+        ae_fraction_pct[i] = autoencoder_latency_fraction(&tf.artifacts.cbnet, &model) * 100.0;
     }
     ExitRateRow {
         dataset: tf.family.name().to_string(),
@@ -47,8 +48,8 @@ pub fn run(scale: &ExperimentScale) -> Vec<ExitRateRow> {
     Family::ALL
         .iter()
         .map(|f| {
-            let mut tf = prepare_family(*f, scale);
-            row_for(&mut tf)
+            let mut reg = ModelRegistry::train(*f, scale);
+            row_for(&mut reg)
         })
         .collect()
 }

@@ -6,10 +6,11 @@
 //! three families — speedup from the *measured* exit rate of the trained
 //! BranchyNet, hard fraction from the generator's ground truth.
 
-use edgesim::DeviceModel;
+use edgesim::Device;
+use runtime::Scenario;
 
-use crate::evaluation::{evaluate_branchynet, evaluate_classifier};
-use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::experiments::ExperimentScale;
+use crate::registry::{ModelKind, ModelRegistry};
 use crate::table::{fmt_pct, TextTable};
 use datasets::Family;
 
@@ -27,12 +28,13 @@ pub struct Fig3Point {
 }
 
 /// Compute Fig. 3 for one already-trained family.
-pub fn point_for(tf: &mut TrainedFamily, device: &DeviceModel) -> Fig3Point {
-    let test = tf.split.test.clone();
-    let lenet = evaluate_classifier("LeNet", &mut tf.lenet, &test, device);
-    let branchy = evaluate_branchynet(&mut tf.artifacts.branchynet, &test, device);
+pub fn point_for(reg: &mut ModelRegistry, device: Device) -> Fig3Point {
+    let test = reg.split().test.clone();
+    let scenario = Scenario::new(reg.family(), device);
+    let lenet = reg.evaluate(ModelKind::LeNet, &test, &scenario);
+    let branchy = reg.evaluate(ModelKind::BranchyNet, &test, &scenario);
     Fig3Point {
-        dataset: tf.family.name().to_string(),
+        dataset: reg.family().name().to_string(),
         speedup: branchy.speedup_vs(&lenet),
         hard_pct: test.hard_fraction() as f64 * 100.0,
         exit_rate_pct: branchy.exit_rate.unwrap_or(0.0) as f64 * 100.0,
@@ -41,12 +43,11 @@ pub fn point_for(tf: &mut TrainedFamily, device: &DeviceModel) -> Fig3Point {
 
 /// Train and compute the full figure (all families, RPi 4).
 pub fn run(scale: &ExperimentScale) -> Vec<Fig3Point> {
-    let device = DeviceModel::raspberry_pi4();
     Family::ALL
         .iter()
         .map(|f| {
-            let mut tf = prepare_family(*f, scale);
-            point_for(&mut tf, &device)
+            let mut reg = ModelRegistry::train(*f, scale);
+            point_for(&mut reg, Device::RaspberryPi4)
         })
         .collect()
 }

@@ -1,20 +1,15 @@
 //! Fig. 5: CBNet versus LeNet, BranchyNet, AdaDeep and SubFlow on MNIST,
 //! Raspberry Pi 4 — inference latency and accuracy.
 
-use edgesim::DeviceModel;
-use models::adadeep::{default_candidates, search, AdaDeepConfig};
-use models::metrics::accuracy;
-use models::subflow::SubFlow;
+use edgesim::Device;
+use runtime::{ModelReport, Scenario};
 
-use crate::evaluation::{evaluate_branchynet, evaluate_cbnet, evaluate_classifier, ModelReport};
-use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::experiments::ExperimentScale;
+use crate::registry::{ModelKind, ModelRegistry};
 use crate::table::{fmt_ms, fmt_pct, TextTable};
 use datasets::Family;
 
-/// SubFlow utilization used for the comparison. The paper runs SubFlow at a
-/// budget that roughly matches full-network accuracy; 0.75 reproduces its
-/// Fig. 5 position (slower than CBNet, below-LeNet accuracy).
-pub const SUBFLOW_UTILIZATION: f32 = 0.75;
+pub use crate::registry::SUBFLOW_UTILIZATION;
 
 /// The five bars of Fig. 5.
 #[derive(Debug, Clone)]
@@ -23,50 +18,21 @@ pub struct Fig5Results {
     pub reports: Vec<ModelReport>,
 }
 
-/// Evaluate all five models for an already-trained family.
-pub fn results_for(tf: &mut TrainedFamily, scale: &ExperimentScale) -> Fig5Results {
-    let device = DeviceModel::raspberry_pi4();
-    let test = tf.split.test.clone();
-
-    let lenet = evaluate_classifier("LeNet", &mut tf.lenet, &test, &device);
-    let branchy = evaluate_branchynet(&mut tf.artifacts.branchynet, &test, &device);
-    let cbnet = evaluate_cbnet(&mut tf.artifacts.cbnet, &test, &device);
-
-    // AdaDeep: usage-driven compression search over the LeNet family.
-    let ada_cfg = AdaDeepConfig {
-        cost_weight: 0.3,
-        train: scale.train_config(),
-        seed: scale.seed ^ 0xADA,
-    };
-    let ada = search(&default_candidates(), &tf.split.train, &test, &ada_cfg);
-    let mut ada_net = ada.network;
-    let adadeep = evaluate_classifier("AdaDeep", &mut ada_net, &test, &device);
-
-    // SubFlow: induced subgraph of the trained LeNet.
-    let sf = SubFlow::new(tf.lenet.duplicate());
-    let preds = sf.predict(SUBFLOW_UTILIZATION, &test.images);
-    let sf_acc = accuracy(&preds, &test.labels) * 100.0;
-    let specs = sf.backbone().specs();
-    let eff = sf.effective_layer_flops(SUBFLOW_UTILIZATION);
-    let sf_latency = device.price_specs_with_flops(&specs, &eff).total_ms;
-    let sf_energy = edgesim::EnergyReport::from_latency(&device, sf_latency).energy_j;
-    let subflow = ModelReport {
-        model: "SubFlow".to_string(),
-        latency_ms: sf_latency,
-        accuracy_pct: sf_acc,
-        energy_j: sf_energy,
-        exit_rate: None,
-    };
-
+/// Evaluate all five models for an already-trained family — one declarative
+/// pass over [`ModelKind::ALL`] (the registry trains AdaDeep/SubFlow lazily
+/// on first request).
+pub fn results_for(reg: &mut ModelRegistry) -> Fig5Results {
+    let test = reg.split().test.clone();
+    let scenario = Scenario::new(reg.family(), Device::RaspberryPi4);
     Fig5Results {
-        reports: vec![lenet, branchy, adadeep, subflow, cbnet],
+        reports: reg.evaluate_all(&ModelKind::ALL, &test, &scenario),
     }
 }
 
 /// Train on MNIST-like data and produce the figure.
 pub fn run(scale: &ExperimentScale) -> Fig5Results {
-    let mut tf = prepare_family(Family::MnistLike, scale);
-    results_for(&mut tf, scale)
+    let mut reg = ModelRegistry::train(Family::MnistLike, scale);
+    results_for(&mut reg)
 }
 
 /// Render the figure's data as text.
@@ -111,6 +77,7 @@ mod tests {
     fn report(name: &str, lat: f64) -> ModelReport {
         ModelReport {
             model: name.into(),
+            scenario: "MNIST @ Raspberry Pi 4".into(),
             latency_ms: lat,
             accuracy_pct: 95.0,
             energy_j: 0.01,
@@ -135,9 +102,13 @@ mod tests {
     #[test]
     fn shape_rejects_slow_cbnet() {
         let r = Fig5Results {
-            reports: vec![report("LeNet", 1.0), report("BranchyNet", 1.0),
-                          report("AdaDeep", 1.0), report("SubFlow", 1.0),
-                          report("CBNet", 5.0)],
+            reports: vec![
+                report("LeNet", 1.0),
+                report("BranchyNet", 1.0),
+                report("AdaDeep", 1.0),
+                report("SubFlow", 1.0),
+                report("CBNet", 5.0),
+            ],
         };
         assert!(shape_holds(&r).is_err());
     }

@@ -6,10 +6,11 @@
 //! (§IV-F: "We ensured that the proportion of hard test images used in each
 //! experiment remained roughly the same").
 
-use edgesim::{Device, DeviceModel};
+use edgesim::Device;
+use runtime::Scenario;
 
-use crate::evaluation::{evaluate_branchynet, evaluate_cbnet};
-use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::experiments::ExperimentScale;
+use crate::registry::{ModelKind, ModelRegistry};
 use crate::table::TextTable;
 use datasets::Family;
 
@@ -46,14 +47,15 @@ pub struct ScalabilityCurve {
 
 /// Compute the scalability curve on one device for an already-trained
 /// family.
-pub fn curve_for(tf: &mut TrainedFamily, device: &DeviceModel, seed: u64) -> ScalabilityCurve {
+pub fn curve_for(reg: &mut ModelRegistry, device: Device, seed: u64) -> ScalabilityCurve {
     let mut rng = tensor::random::rng_from_seed(seed);
+    let scenario = Scenario::new(reg.family(), device);
     let mut points = Vec::with_capacity(RATIOS.len());
     for &ratio in &RATIOS {
-        let subset = tf.split.test.stratified_ratio(ratio, &mut rng);
+        let subset = reg.split().test.stratified_ratio(ratio, &mut rng);
         let n = subset.len();
-        let branchy = evaluate_branchynet(&mut tf.artifacts.branchynet, &subset, device);
-        let cbnet = evaluate_cbnet(&mut tf.artifacts.cbnet, &subset, device);
+        let branchy = reg.evaluate(ModelKind::BranchyNet, &subset, &scenario);
+        let cbnet = reg.evaluate(ModelKind::Cbnet, &subset, &scenario);
         points.push(ScalePoint {
             ratio,
             n_images: n,
@@ -64,8 +66,8 @@ pub fn curve_for(tf: &mut TrainedFamily, device: &DeviceModel, seed: u64) -> Sca
         });
     }
     ScalabilityCurve {
-        dataset: tf.family.name().to_string(),
-        device: device.device.name().to_string(),
+        dataset: reg.family().name().to_string(),
+        device: device.name().to_string(),
         points,
     }
 }
@@ -73,10 +75,10 @@ pub fn curve_for(tf: &mut TrainedFamily, device: &DeviceModel, seed: u64) -> Sca
 /// Train one family and sweep all three devices — one full figure
 /// (Fig. 6 = MNIST, Fig. 7 = FMNIST, Fig. 8 = KMNIST).
 pub fn run(family: Family, scale: &ExperimentScale) -> Vec<ScalabilityCurve> {
-    let mut tf = prepare_family(family, scale);
+    let mut reg = ModelRegistry::train(family, scale);
     Device::ALL
         .iter()
-        .map(|d| curve_for(&mut tf, &DeviceModel::preset(*d), scale.seed ^ 0x5CA1E))
+        .map(|&d| curve_for(&mut reg, d, scale.seed ^ 0x5CA1E))
         .collect()
 }
 

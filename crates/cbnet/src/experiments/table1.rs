@@ -61,9 +61,7 @@ pub fn rows() -> Vec<Table1Row> {
 
 /// Render Table I as text.
 pub fn render() -> String {
-    let mut t = TextTable::new(&[
-        "layer", "MNIST", "act", "FMNIST", "act", "KMNIST", "act",
-    ]);
+    let mut t = TextTable::new(&["layer", "MNIST", "act", "FMNIST", "act", "KMNIST", "act"]);
     for r in rows() {
         let mut cells = vec![r.layer.clone()];
         for (w, a) in &r.entries {
@@ -104,7 +102,10 @@ mod tests {
         );
         assert!(r[3].entries.iter().all(|&(_, a)| a == "linear"));
         // Output row: 784 Softmax (as published).
-        assert!(r[4].entries.iter().all(|&(w, a)| w == 784 && a == "Softmax"));
+        assert!(r[4]
+            .entries
+            .iter()
+            .all(|&(w, a)| w == 784 && a == "Softmax"));
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Table II: latency, energy savings and accuracy of LeNet, BranchyNet and
 //! CBNet across the three datasets and three devices.
 
-use edgesim::{Device, DeviceModel};
+use edgesim::Device;
+use runtime::{ModelReport, Scenario};
 
-use crate::evaluation::{evaluate_branchynet, evaluate_cbnet, evaluate_classifier, ModelReport};
-use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+use crate::experiments::ExperimentScale;
+use crate::registry::{ModelKind, ModelRegistry};
 use crate::table::{fmt_ms, fmt_pct, TextTable};
 use datasets::Family;
 
@@ -33,46 +34,46 @@ pub struct Table2Row {
 }
 
 /// Evaluate one trained family into a Table II block.
-pub fn block_for(tf: &mut TrainedFamily) -> Table2Block {
-    let test = tf.split.test.clone();
-    let devices: Vec<DeviceModel> = Device::ALL.iter().map(|d| DeviceModel::preset(*d)).collect();
+///
+/// Every model goes through the registry's generic `evaluate()` path — the
+/// declarative [`ModelKind::CORE`] list replaces the old per-model dispatch.
+pub fn block_for(reg: &mut ModelRegistry) -> Table2Block {
+    let test = reg.split().test.clone();
 
-    // Reports per device for each model.
-    let mut lenet_reports: Vec<ModelReport> = Vec::new();
-    let mut branchy_reports: Vec<ModelReport> = Vec::new();
-    let mut cbnet_reports: Vec<ModelReport> = Vec::new();
-    for dev in &devices {
-        lenet_reports.push(evaluate_classifier("LeNet", &mut tf.lenet, &test, dev));
-        branchy_reports.push(evaluate_branchynet(&mut tf.artifacts.branchynet, &test, dev));
-        cbnet_reports.push(evaluate_cbnet(&mut tf.artifacts.cbnet, &test, dev));
-    }
+    // Per device, the CORE model reports in order [LeNet, BranchyNet, CBNet].
+    let per_device: Vec<Vec<ModelReport>> = Device::ALL
+        .iter()
+        .map(|&dev| {
+            let scenario = Scenario::new(reg.family(), dev);
+            reg.evaluate_all(&ModelKind::CORE, &test, &scenario)
+        })
+        .collect();
 
-    let to_row = |name: &str, reports: &[ModelReport], baseline: &[ModelReport]| Table2Row {
-        model: name.to_string(),
-        latency_ms: [
-            reports[0].latency_ms,
-            reports[1].latency_ms,
-            reports[2].latency_ms,
-        ],
-        energy_savings_pct: if name == "LeNet" {
-            [None, None, None]
-        } else {
-            [
-                Some(reports[0].energy_savings_vs(&baseline[0])),
-                Some(reports[1].energy_savings_vs(&baseline[1])),
-                Some(reports[2].energy_savings_vs(&baseline[2])),
-            ]
-        },
-        accuracy_pct: reports[0].accuracy_pct,
+    let to_row = |m: usize| {
+        let name = ModelKind::CORE[m].name();
+        Table2Row {
+            model: name.to_string(),
+            latency_ms: [
+                per_device[0][m].latency_ms,
+                per_device[1][m].latency_ms,
+                per_device[2][m].latency_ms,
+            ],
+            energy_savings_pct: if m == 0 {
+                [None, None, None] // the LeNet row is its own baseline
+            } else {
+                [
+                    Some(per_device[0][m].energy_savings_vs(&per_device[0][0])),
+                    Some(per_device[1][m].energy_savings_vs(&per_device[1][0])),
+                    Some(per_device[2][m].energy_savings_vs(&per_device[2][0])),
+                ]
+            },
+            accuracy_pct: per_device[0][m].accuracy_pct,
+        }
     };
 
     Table2Block {
-        dataset: tf.family.name().to_string(),
-        rows: vec![
-            to_row("LeNet", &lenet_reports, &lenet_reports),
-            to_row("BranchyNet", &branchy_reports, &lenet_reports),
-            to_row("CBNet", &cbnet_reports, &lenet_reports),
-        ],
+        dataset: reg.family().name().to_string(),
+        rows: (0..ModelKind::CORE.len()).map(to_row).collect(),
     }
 }
 
@@ -81,8 +82,8 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table2Block> {
     Family::ALL
         .iter()
         .map(|f| {
-            let mut tf = prepare_family(*f, scale);
-            block_for(&mut tf)
+            let mut reg = ModelRegistry::train(*f, scale);
+            block_for(&mut reg)
         })
         .collect()
 }

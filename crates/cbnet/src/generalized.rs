@@ -71,11 +71,7 @@ pub struct GeneralizedArtifacts {
 /// the classifier is correct AND its softmax entropy falls in the
 /// lowest-`quantile` of correct samples. Guarantees ≥1 easy per class by
 /// promoting each class's lowest-entropy sample.
-pub fn confidence_easy_mask(
-    classifier: &mut Network,
-    data: &Dataset,
-    quantile: f32,
-) -> Vec<bool> {
+pub fn confidence_easy_mask(classifier: &mut Network, data: &Dataset, quantile: f32) -> Vec<bool> {
     assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0,1]");
     let logits = classifier.predict(&data.images);
     let classes = logits.dims()[1];
@@ -181,7 +177,7 @@ mod tests {
             },
             ..GeneralizedConfig::new(Family::MnistLike)
         };
-        let mut arts = train_generalized(&split.train, |rng| build_resnet_mini(rng), &cfg);
+        let mut arts = train_generalized(&split.train, build_resnet_mini, &cfg);
 
         assert!(arts.train_easy_rate > 0.2 && arts.train_easy_rate < 0.95);
         assert!(arts.ae_report.roughly_converging());

@@ -13,18 +13,25 @@
 //! * [`pipeline`] — the end-to-end training pipeline (Fig. 4): train
 //!   BranchyNet jointly → label the training set easy/hard by exit → train
 //!   the converting autoencoder on hard→easy targets → extract the
-//!   lightweight classifier → assemble a [`pipeline::CbnetModel`];
-//! * [`evaluation`] — latency/accuracy/energy evaluation of every model
-//!   (LeNet, BranchyNet, CBNet, AdaDeep, SubFlow) on every device model;
+//!   lightweight classifier → assemble a [`pipeline::CbnetModel`] (which
+//!   implements [`runtime::InferenceModel`]);
+//! * [`registry`] — [`registry::ModelRegistry`]: build/train any comparator
+//!   (LeNet, BranchyNet, CBNet, AdaDeep, SubFlow) by [`registry::ModelKind`]
+//!   and evaluate it through the unified [`runtime::evaluate`] path;
+//! * [`evaluation`] — deprecated per-model wrappers kept for compatibility,
+//!   plus the autoencoder latency-share helper;
 //! * [`experiments`] — one driver per table/figure of the paper (Table I/II,
-//!   Fig. 3/5/6–8, §IV-D exit rates) plus the DESIGN.md §4 ablations;
+//!   Fig. 3/5/6–8, §IV-D exit rates) plus the DESIGN.md §4 ablations, all
+//!   iterating declarative model lists over the registry;
 //! * [`table`] — plain-text table / CSV rendering for the harness binaries.
 
 pub mod evaluation;
-pub mod generalized;
 pub mod experiments;
+pub mod generalized;
 pub mod pipeline;
+pub mod registry;
 pub mod table;
 
-pub use evaluation::{ModelReport, Scenario};
 pub use pipeline::{CbnetModel, PipelineArtifacts, PipelineConfig};
+pub use registry::{ModelKind, ModelRegistry};
+pub use runtime::{InferenceModel, ModelReport, Scenario};

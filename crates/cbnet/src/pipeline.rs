@@ -101,6 +101,25 @@ impl CbnetModel {
     }
 }
 
+impl runtime::InferenceModel for CbnetModel {
+    fn name(&self) -> &str {
+        "CBNet"
+    }
+
+    fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
+        self.predict(x)
+    }
+
+    /// CBNet's latency is input-independent: every request pays the
+    /// autoencoder plus the lightweight DNN, regardless of how hard the
+    /// image is — the property the whole paper is built on.
+    fn cost_profile(&self, device: &edgesim::DeviceModel) -> edgesim::CostProfile {
+        let ae_ms = device.price_specs(&self.autoencoder.specs()).total_ms;
+        let lw_ms = device.price_network(&self.lightweight).total_ms;
+        edgesim::CostProfile::constant(ae_ms + lw_ms)
+    }
+}
+
 /// Everything the pipeline produces — kept so experiments can evaluate each
 /// piece (the trained BranchyNet *is* the Table II comparator).
 pub struct PipelineArtifacts {
@@ -202,17 +221,13 @@ mod tests {
         let converted = arts.cbnet.convert(&test.images);
         assert_eq!(converted.dims(), test.images.dims());
         assert!(converted.all_finite());
-        assert!(converted
-            .data()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(converted.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
 
         // CBNet per-sample cost: AE + lightweight, both positive.
         assert!(arts.cbnet.flops_per_sample() > 0);
         assert_eq!(
             arts.cbnet.flops_per_sample(),
-            arts.cbnet.autoencoder.flops_per_sample()
-                + arts.cbnet.lightweight.flops_per_sample()
+            arts.cbnet.autoencoder.flops_per_sample() + arts.cbnet.lightweight.flops_per_sample()
         );
     }
 

@@ -7,11 +7,12 @@
 //! and sanity only.
 
 use cbnet::experiments::{
-    ablations, exit_rates, fig3, fig5, scalability, table1, table2, prepare_family,
-    ExperimentScale,
+    ablations, exit_rates, fig3, fig5, scalability, table1, table2, ExperimentScale,
 };
+use cbnet::registry::{ModelKind, ModelRegistry};
 use datasets::Family;
-use edgesim::DeviceModel;
+use edgesim::Device;
+use runtime::Scenario;
 
 fn tiny() -> ExperimentScale {
     ExperimentScale {
@@ -32,9 +33,8 @@ fn table1_is_static_and_correct() {
 
 #[test]
 fn fig3_driver_produces_all_families() {
-    let mut tf = prepare_family(Family::MnistLike, &tiny());
-    let device = DeviceModel::raspberry_pi4();
-    let p = fig3::point_for(&mut tf, &device);
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny());
+    let p = fig3::point_for(&mut reg, Device::RaspberryPi4);
     assert_eq!(p.dataset, "MNIST");
     assert!(p.speedup > 0.0 && p.speedup.is_finite());
     assert!((0.0..=100.0).contains(&p.hard_pct));
@@ -44,8 +44,8 @@ fn fig3_driver_produces_all_families() {
 
 #[test]
 fn table2_driver_produces_valid_block() {
-    let mut tf = prepare_family(Family::FmnistLike, &tiny());
-    let block = table2::block_for(&mut tf);
+    let mut reg = ModelRegistry::train(Family::FmnistLike, &tiny());
+    let block = table2::block_for(&mut reg);
     assert_eq!(block.rows.len(), 3);
     assert_eq!(block.rows[0].model, "LeNet");
     for row in &block.rows {
@@ -62,22 +62,44 @@ fn table2_driver_produces_valid_block() {
 
 #[test]
 fn fig5_driver_produces_five_models() {
-    let scale = tiny();
-    let mut tf = prepare_family(Family::MnistLike, &scale);
-    let r = fig5::results_for(&mut tf, &scale);
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny());
+    let r = fig5::results_for(&mut reg);
     let names: Vec<&str> = r.reports.iter().map(|m| m.model.as_str()).collect();
     assert_eq!(
         names,
         vec!["LeNet", "BranchyNet", "AdaDeep", "SubFlow", "CBNet"]
     );
     assert!(r.reports.iter().all(|m| m.latency_ms > 0.0));
+    assert!(r
+        .reports
+        .iter()
+        .all(|m| m.scenario == "MNIST @ Raspberry Pi 4"));
+}
+
+#[test]
+fn registry_evaluates_every_kind_by_name() {
+    // The build-any-comparator-by-name path: parse → build/train → evaluate
+    // through the one generic path.
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny());
+    let test = reg.split().test.clone();
+    let scenario = Scenario::new(reg.family(), Device::GciCpu);
+    for name in ["LeNet", "branchynet", "AdaDeep", "subflow", "cbnet"] {
+        let kind = ModelKind::parse(name).expect("known model name");
+        let r = reg.evaluate(kind, &test, &scenario);
+        assert_eq!(r.model, kind.name());
+        assert_eq!(r.scenario, "MNIST @ GCI w/o GPU");
+        assert!(r.latency_ms > 0.0 && r.latency_ms.is_finite());
+        assert!((0.0..=100.0).contains(&r.accuracy_pct));
+        assert!(r.energy_j > 0.0);
+        // Only the early-exit model reports an exit rate.
+        assert_eq!(r.exit_rate.is_some(), kind == ModelKind::BranchyNet);
+    }
 }
 
 #[test]
 fn scalability_driver_sweeps_all_ratios() {
-    let mut tf = prepare_family(Family::MnistLike, &tiny());
-    let device = DeviceModel::gci_cpu();
-    let curve = scalability::curve_for(&mut tf, &device, 3);
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny());
+    let curve = scalability::curve_for(&mut reg, Device::GciCpu, 3);
     assert_eq!(curve.points.len(), 10);
     // Total time grows with the ratio (more images).
     let first = &curve.points[0];
@@ -90,17 +112,20 @@ fn scalability_driver_sweeps_all_ratios() {
 
 #[test]
 fn exit_rates_driver_reports_fractions() {
-    let mut tf = prepare_family(Family::KmnistLike, &tiny());
-    let row = exit_rates::row_for(&mut tf);
+    let mut reg = ModelRegistry::train(Family::KmnistLike, &tiny());
+    let row = exit_rates::row_for(&mut reg);
     assert_eq!(row.dataset, "KMNIST");
     assert!((0.0..=100.0).contains(&row.exit_rate_pct));
-    assert!(row.ae_fraction_pct.iter().all(|&f| (0.0..=100.0).contains(&f)));
+    assert!(row
+        .ae_fraction_pct
+        .iter()
+        .all(|&f| (0.0..=100.0).contains(&f)));
 }
 
 #[test]
 fn threshold_sweep_is_monotone_in_exit_rate() {
-    let mut tf = prepare_family(Family::MnistLike, &tiny());
-    let pts = ablations::threshold_sweep(&mut tf, &[0.01, 0.1, 0.5, 1.5]);
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny());
+    let pts = ablations::threshold_sweep(reg.trained_mut(), &[0.01, 0.1, 0.5, 1.5]);
     assert_eq!(pts.len(), 4);
     for w in pts.windows(2) {
         assert!(
@@ -113,12 +138,13 @@ fn threshold_sweep_is_monotone_in_exit_rate() {
 #[test]
 fn ablation_drivers_run() {
     let scale = tiny();
-    let mut tf = prepare_family(Family::MnistLike, &scale);
-    let rows = ablations::output_activation(&mut tf, &scale);
+    let mut reg = ModelRegistry::train(Family::MnistLike, &scale);
+    let tf = reg.trained_mut();
+    let rows = ablations::output_activation(tf, &scale);
     assert_eq!(rows.len(), 3);
     assert!(rows.iter().all(|r| r.final_loss.is_finite()));
-    let rows = ablations::target_policy(&mut tf, &scale);
+    let rows = ablations::target_policy(tf, &scale);
     assert_eq!(rows.len(), 3);
-    let rows = ablations::l1_lambda(&mut tf, &scale);
+    let rows = ablations::l1_lambda(tf, &scale);
     assert_eq!(rows.len(), 3);
 }

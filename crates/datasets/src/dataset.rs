@@ -150,7 +150,9 @@ impl Dataset {
 
     /// Indices of all samples of one class.
     pub fn class_indices(&self, class: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+        (0..self.len())
+            .filter(|&i| self.labels[i] == class)
+            .collect()
     }
 }
 
@@ -162,7 +164,9 @@ mod tests {
     fn toy(n: usize, hard_every: usize) -> Dataset {
         let images = Tensor::zeros(&[n, IMAGE_PIXELS]);
         let labels: Vec<usize> = (0..n).map(|i| i % NUM_CLASSES).collect();
-        let hard: Vec<bool> = (0..n).map(|i| hard_every != 0 && i % hard_every == 0).collect();
+        let hard: Vec<bool> = (0..n)
+            .map(|i| hard_every != 0 && i % hard_every == 0)
+            .collect();
         Dataset::new(images, labels, hard, None)
     }
 
@@ -178,7 +182,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "label count")]
     fn mismatched_labels_rejected() {
-        let _ = Dataset::new(Tensor::zeros(&[3, IMAGE_PIXELS]), vec![0, 1], vec![false; 3], None);
+        let _ = Dataset::new(
+            Tensor::zeros(&[3, IMAGE_PIXELS]),
+            vec![0, 1],
+            vec![false; 3],
+            None,
+        );
     }
 
     #[test]

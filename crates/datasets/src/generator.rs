@@ -44,8 +44,7 @@ impl GeneratorConfig {
 /// Per-sample RNG: independent deterministic stream per (seed, index).
 fn sample_rng(master: u64, index: usize) -> StdRng {
     // SplitMix-style mixing keeps streams uncorrelated across indices.
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))
@@ -141,7 +140,11 @@ pub fn generate(cfg: &GeneratorConfig) -> Dataset {
 /// Generate a train/test pair with disjoint sample streams.
 pub fn generate_pair(family: Family, n_train: usize, n_test: usize, seed: u64) -> Split {
     let train = generate(&GeneratorConfig::new(family, n_train, seed));
-    let test = generate(&GeneratorConfig::new(family, n_test, seed.wrapping_add(0xDEAD_BEEF)));
+    let test = generate(&GeneratorConfig::new(
+        family,
+        n_test,
+        seed.wrapping_add(0xDEAD_BEEF),
+    ));
     Split { train, test }
 }
 
@@ -188,7 +191,11 @@ mod tests {
             seed: 11,
         };
         let d = generate(&cfg);
-        assert!((d.hard_fraction() - 0.4).abs() < 0.04, "{}", d.hard_fraction());
+        assert!(
+            (d.hard_fraction() - 0.4).abs() < 0.04,
+            "{}",
+            d.hard_fraction()
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! geometric augmentation happens in vector space with no resampling
 //! artefacts.
 
-use crate::{IMAGE_PIXELS, IMAGE_SIDE};
 use crate::family::Family;
+use crate::{IMAGE_PIXELS, IMAGE_SIDE};
 
 /// A 2-D point in unit coordinates.
 pub type P = (f32, f32);
@@ -218,7 +218,10 @@ fn mnist_prototype(class: usize) -> Vec<Primitive> {
             a1: 2.0 * PI,
             width: W,
         }],
-        1 => vec![line((0.5, 0.18), (0.5, 0.82)), line((0.38, 0.30), (0.5, 0.18))],
+        1 => vec![
+            line((0.5, 0.18), (0.5, 0.82)),
+            line((0.38, 0.30), (0.5, 0.18)),
+        ],
         2 => vec![
             Primitive::Arc {
                 center: (0.5, 0.34),

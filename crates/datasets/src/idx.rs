@@ -175,7 +175,7 @@ mod tests {
         b.extend_from_slice(&1u32.to_be_bytes());
         b.extend_from_slice(&14u32.to_be_bytes());
         b.extend_from_slice(&14u32.to_be_bytes());
-        b.extend(std::iter::repeat(0u8).take(196));
+        b.extend(std::iter::repeat_n(0u8, 196));
         assert!(parse_images(&b).is_err());
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for dataset generation and sampling invariants.
 
-use proptest::prelude::*;
 use datasets::{generate, Family, GeneratorConfig, IMAGE_PIXELS, NUM_CLASSES};
+use proptest::prelude::*;
 use tensor::random::rng_from_seed;
 
 fn family_from(idx: usize) -> Family {

@@ -1,0 +1,211 @@
+//! Per-request service-time distributions.
+//!
+//! A [`CostProfile`] is *the* currency between trained models and the serving
+//! layer: every `InferenceModel` prices itself on a device as a profile, and
+//! the discrete-event simulator ([`crate::pipeline`]) draws per-request
+//! service times from it. Two shapes cover every model in the paper:
+//!
+//! * [`CostProfile::Constant`] — input-independent latency. LeNet, CBNet,
+//!   AdaDeep and SubFlow pay the same cost for every image (the property the
+//!   paper's Table II/Fig. 5 comparisons hinge on for CBNet).
+//! * [`CostProfile::Bimodal`] — early-exit latency. A BranchyNet request is
+//!   *easy* with the measured exit probability (paying trunk + branch), or
+//!   *hard* (additionally paying the tail). The mixture weight comes from the
+//!   trained network's measured exit rate, not an assumed one.
+
+/// A per-request service-time distribution on one device, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostProfile {
+    /// Every request takes exactly `service_ms`.
+    Constant {
+        /// Per-request service time, ms.
+        service_ms: f64,
+    },
+    /// A two-point easy/hard mixture (early-exit execution).
+    Bimodal {
+        /// Service time of an easy (early-exiting) request, ms.
+        easy_ms: f64,
+        /// Service time of a hard (full-path) request, ms.
+        hard_ms: f64,
+        /// Probability a request is easy (the measured exit rate).
+        easy_fraction: f64,
+    },
+}
+
+impl CostProfile {
+    /// An input-independent profile.
+    ///
+    /// # Panics
+    /// Panics unless `service_ms > 0`.
+    pub fn constant(service_ms: f64) -> Self {
+        let p = CostProfile::Constant { service_ms };
+        p.assert_valid();
+        p
+    }
+
+    /// An easy/hard mixture profile.
+    ///
+    /// # Panics
+    /// Panics unless both times are positive and `easy_fraction ∈ [0, 1]`.
+    pub fn bimodal(easy_ms: f64, hard_ms: f64, easy_fraction: f64) -> Self {
+        let p = CostProfile::Bimodal {
+            easy_ms,
+            hard_ms,
+            easy_fraction,
+        };
+        p.assert_valid();
+        p
+    }
+
+    /// Validate invariants (service times positive and finite, mixture
+    /// weight in `[0, 1]`).
+    ///
+    /// # Panics
+    /// Panics on violation — the serving simulator calls this up front so a
+    /// hand-constructed profile fails loudly rather than corrupting a run.
+    pub fn assert_valid(&self) {
+        match *self {
+            CostProfile::Constant { service_ms } => {
+                assert!(
+                    service_ms > 0.0 && service_ms.is_finite(),
+                    "service times must be positive and finite"
+                );
+            }
+            CostProfile::Bimodal {
+                easy_ms,
+                hard_ms,
+                easy_fraction,
+            } => {
+                assert!(
+                    easy_ms > 0.0 && easy_ms.is_finite() && hard_ms > 0.0 && hard_ms.is_finite(),
+                    "service times must be positive and finite"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&easy_fraction),
+                    "easy fraction must be in [0, 1]"
+                );
+            }
+        }
+    }
+
+    /// Mean service time, ms.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            CostProfile::Constant { service_ms } => service_ms,
+            CostProfile::Bimodal {
+                easy_ms,
+                hard_ms,
+                easy_fraction,
+            } => easy_fraction * easy_ms + (1.0 - easy_fraction) * hard_ms,
+        }
+    }
+
+    /// Smallest possible service time, ms.
+    pub fn min_ms(&self) -> f64 {
+        match *self {
+            CostProfile::Constant { service_ms } => service_ms,
+            CostProfile::Bimodal {
+                easy_ms, hard_ms, ..
+            } => easy_ms.min(hard_ms),
+        }
+    }
+
+    /// Largest possible service time, ms.
+    pub fn max_ms(&self) -> f64 {
+        match *self {
+            CostProfile::Constant { service_ms } => service_ms,
+            CostProfile::Bimodal {
+                easy_ms, hard_ms, ..
+            } => easy_ms.max(hard_ms),
+        }
+    }
+
+    /// Probability a request takes the cheap path (1 for constant profiles).
+    pub fn easy_fraction(&self) -> f64 {
+        match *self {
+            CostProfile::Constant { .. } => 1.0,
+            CostProfile::Bimodal { easy_fraction, .. } => easy_fraction,
+        }
+    }
+
+    /// Draw one service time from the distribution via a uniform variate
+    /// `u ∈ [0, 1)` (inverse-CDF sampling; callers own the RNG).
+    ///
+    /// # Panics
+    /// Panics unless `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> f64 {
+        assert!((0.0..1.0).contains(&u), "uniform variate must be in [0, 1)");
+        match *self {
+            CostProfile::Constant { service_ms } => service_ms,
+            CostProfile::Bimodal {
+                easy_ms,
+                hard_ms,
+                easy_fraction,
+            } => {
+                if u < easy_fraction {
+                    easy_ms
+                } else {
+                    hard_ms
+                }
+            }
+        }
+    }
+
+    /// The offered-load utilization `ρ = λ · E[S]` this profile implies at an
+    /// arrival rate (requests/s). `ρ ≥ 1` means the queue is unstable.
+    pub fn offered_load(&self, arrival_rate_hz: f64) -> f64 {
+        arrival_rate_hz * self.mean_ms() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_stats() {
+        let p = CostProfile::constant(2.4);
+        assert_eq!(p.mean_ms(), 2.4);
+        assert_eq!(p.min_ms(), 2.4);
+        assert_eq!(p.max_ms(), 2.4);
+        assert_eq!(p.easy_fraction(), 1.0);
+        assert_eq!(p.sample(0.0), 2.4);
+        assert_eq!(p.sample(0.999), 2.4);
+    }
+
+    #[test]
+    fn bimodal_profile_stats() {
+        let p = CostProfile::bimodal(2.0, 12.0, 0.75);
+        assert!((p.mean_ms() - (0.75 * 2.0 + 0.25 * 12.0)).abs() < 1e-12);
+        assert_eq!(p.min_ms(), 2.0);
+        assert_eq!(p.max_ms(), 12.0);
+        assert_eq!(p.easy_fraction(), 0.75);
+        assert_eq!(p.sample(0.5), 2.0);
+        assert_eq!(p.sample(0.75), 12.0);
+        assert_eq!(p.sample(0.9), 12.0);
+    }
+
+    #[test]
+    fn offered_load_is_rate_times_mean() {
+        let p = CostProfile::constant(5.0);
+        assert!((p.offered_load(100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_service() {
+        let _ = CostProfile::constant(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "easy fraction")]
+    fn rejects_bad_fraction() {
+        let _ = CostProfile::bimodal(1.0, 2.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform variate")]
+    fn rejects_bad_variate() {
+        let _ = CostProfile::constant(1.0).sample(1.0);
+    }
+}

@@ -111,8 +111,8 @@ impl DeviceModel {
         DeviceModel {
             device: Device::RaspberryPi4,
             dispatch_ms: 0.02,
-            conv_flops_per_ms: 40_519.0,        // ≈40.5 MFLOP/s effective
-            dense_flops_per_ms: 6.0e6,          // ≈6 GFLOP/s (NEON BLAS)
+            conv_flops_per_ms: 40_519.0, // ≈40.5 MFLOP/s effective
+            dense_flops_per_ms: 6.0e6,   // ≈6 GFLOP/s (NEON BLAS)
             other_flops_per_ms: 1.0e5,
             inference_utilization: 0.85,
             exit_sync_ms: 0.05,
@@ -125,8 +125,8 @@ impl DeviceModel {
         DeviceModel {
             device: Device::GciCpu,
             dispatch_ms: 0.002,
-            conv_flops_per_ms: 390_100.0,       // ≈390 MFLOP/s effective
-            dense_flops_per_ms: 4.124e7,        // ≈41 GFLOP/s (AVX2 BLAS)
+            conv_flops_per_ms: 390_100.0, // ≈390 MFLOP/s effective
+            dense_flops_per_ms: 4.124e7,  // ≈41 GFLOP/s (AVX2 BLAS)
             other_flops_per_ms: 1.0e6,
             inference_utilization: 0.81, // reproduces the paper's 17.7 W mean
             exit_sync_ms: 0.01,
@@ -140,8 +140,8 @@ impl DeviceModel {
         DeviceModel {
             device: Device::GciGpu,
             dispatch_ms: 0.004,
-            conv_flops_per_ms: 2.245e6,         // ≈2.2 GFLOP/s effective
-            dense_flops_per_ms: 1.198e8,        // ≈120 GFLOP/s
+            conv_flops_per_ms: 2.245e6,  // ≈2.2 GFLOP/s effective
+            dense_flops_per_ms: 1.198e8, // ≈120 GFLOP/s
             other_flops_per_ms: 1.0e7,
             inference_utilization: 0.81,
             exit_sync_ms: 0.045,

@@ -29,12 +29,14 @@
 //! model preserves every comparison the paper makes while staying honest
 //! about absolute numbers (see DESIGN.md §1).
 
+pub mod cost;
 pub mod device;
 pub mod energy;
 pub mod partition;
 pub mod pipeline;
 pub mod power;
 
+pub use cost::CostProfile;
 pub use device::{Device, DeviceModel, LatencyBreakdown};
 pub use energy::{energy_joules, savings_percent, EnergyReport};
 pub use partition::{best_split, Uplink};

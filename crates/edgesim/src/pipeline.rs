@@ -6,15 +6,20 @@
 //! device busy 5–10× longer than easy ones, so bursts of hard inputs build
 //! queues. This module — an extension beyond the paper, flagged as such in
 //! DESIGN.md — simulates a single-device FIFO server under Poisson arrivals
-//! with a two-point service-time distribution (easy/hard), and reports
+//! with per-request service times drawn from a [`CostProfile`], and reports
 //! sojourn-time percentiles and energy (busy power while serving, idle power
 //! otherwise).
+//!
+//! The profile is the bridge to the model layer: `InferenceModel::
+//! cost_profile()` prices a *trained* network on a device, and that exact
+//! distribution drives the queue — no hand-picked service constants.
 //!
 //! The simulator is deterministic given its seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cost::CostProfile;
 use crate::device::DeviceModel;
 use crate::power::PowerModel;
 
@@ -23,12 +28,10 @@ use crate::power::PowerModel;
 pub struct ServingConfig {
     /// Mean arrival rate, requests per second (Poisson process).
     pub arrival_rate_hz: f64,
-    /// Service time of an easy request, milliseconds.
-    pub easy_service_ms: f64,
-    /// Service time of a hard request, milliseconds.
-    pub hard_service_ms: f64,
-    /// Probability a request is easy (the early-exit rate).
-    pub easy_fraction: f64,
+    /// Per-request service-time distribution (from a model's
+    /// `cost_profile()` on the simulated device, or hand-built for what-if
+    /// studies).
+    pub profile: CostProfile,
     /// Number of requests to simulate.
     pub requests: usize,
     /// RNG seed.
@@ -57,18 +60,11 @@ pub struct ServingReport {
 /// Run the single-server FIFO simulation.
 ///
 /// # Panics
-/// Panics on non-positive rates/times, `easy_fraction ∉ [0,1]`, or zero
-/// requests.
+/// Panics on a non-positive arrival rate, an invalid profile (see
+/// [`CostProfile::assert_valid`]), or zero requests.
 pub fn simulate(device: &DeviceModel, cfg: &ServingConfig) -> ServingReport {
     assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
-    assert!(
-        cfg.easy_service_ms > 0.0 && cfg.hard_service_ms > 0.0,
-        "service times must be positive"
-    );
-    assert!(
-        (0.0..=1.0).contains(&cfg.easy_fraction),
-        "easy fraction must be in [0, 1]"
-    );
+    cfg.profile.assert_valid();
     assert!(cfg.requests > 0, "need at least one request");
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -83,11 +79,7 @@ pub fn simulate(device: &DeviceModel, cfg: &ServingConfig) -> ServingReport {
         // Exponential inter-arrival via inverse CDF.
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         arrival += -mean_interarrival_ms * u.ln();
-        let service = if rng.gen::<f64>() < cfg.easy_fraction {
-            cfg.easy_service_ms
-        } else {
-            cfg.hard_service_ms
-        };
+        let service = cfg.profile.sample(rng.gen::<f64>());
         let start = arrival.max(server_free_at);
         let finish = start + service;
         sojourns.push(finish - arrival);
@@ -128,9 +120,7 @@ mod tests {
     fn base_cfg() -> ServingConfig {
         ServingConfig {
             arrival_rate_hz: 50.0,
-            easy_service_ms: 2.0,
-            hard_service_ms: 13.0,
-            easy_fraction: 0.95,
+            profile: CostProfile::bimodal(2.0, 13.0, 0.95),
             requests: 5_000,
             seed: 7,
         }
@@ -175,14 +165,14 @@ mod tests {
         let mostly_easy = simulate(
             &d,
             &ServingConfig {
-                easy_fraction: 0.95,
+                profile: CostProfile::bimodal(2.0, 13.0, 0.95),
                 ..base_cfg()
             },
         );
         let mostly_hard = simulate(
             &d,
             &ServingConfig {
-                easy_fraction: 0.60,
+                profile: CostProfile::bimodal(2.0, 13.0, 0.60),
                 ..base_cfg()
             },
         );
@@ -193,6 +183,28 @@ mod tests {
             mostly_easy.p95_ms
         );
         assert!(mostly_hard.utilization > mostly_easy.utilization);
+    }
+
+    #[test]
+    fn constant_profile_has_no_service_variance() {
+        // A CBNet-style constant profile: every sojourn is queueing + the
+        // same service time, so at light load all percentiles collapse.
+        let d = DeviceModel::raspberry_pi4();
+        let r = simulate(
+            &d,
+            &ServingConfig {
+                arrival_rate_hz: 5.0,
+                profile: CostProfile::constant(2.4),
+                requests: 5_000,
+                seed: 3,
+            },
+        );
+        assert!((r.p50_ms - 2.4).abs() < 1e-9);
+        assert!(
+            r.p99_ms < 2.4 * 3.0,
+            "p99 {} should stay near service",
+            r.p99_ms
+        );
     }
 
     #[test]
@@ -224,7 +236,11 @@ mod tests {
         // Bounds: everything at idle power vs everything at busy power.
         let lo = 2.7 * r.makespan_ms / 1000.0;
         let hi = 5.845 * r.makespan_ms / 1000.0;
-        assert!(r.energy_j >= lo && r.energy_j <= hi, "energy {}", r.energy_j);
+        assert!(
+            r.energy_j >= lo && r.energy_j <= hi,
+            "energy {}",
+            r.energy_j
+        );
     }
 
     #[test]
@@ -235,6 +251,19 @@ mod tests {
             &d,
             &ServingConfig {
                 arrival_rate_hz: 0.0,
+                ..base_cfg()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_invalid_profile() {
+        let d = DeviceModel::raspberry_pi4();
+        let _ = simulate(
+            &d,
+            &ServingConfig {
+                profile: CostProfile::Constant { service_ms: -1.0 },
                 ..base_cfg()
             },
         );

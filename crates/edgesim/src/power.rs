@@ -60,7 +60,8 @@ impl PowerModel {
         match self {
             PowerModel::RaspberryPi4 => RPI_P_IDLE + (RPI_P_PEAK - RPI_P_IDLE) * u,
             PowerModel::GciCpu => {
-                (GCI_VCPUS / GCI_HOST_CORES) * (GCI_P_IDLE + (GCI_P_PEAK - GCI_P_IDLE) * u.powf(GCI_BETA))
+                (GCI_VCPUS / GCI_HOST_CORES)
+                    * (GCI_P_IDLE + (GCI_P_PEAK - GCI_P_IDLE) * u.powf(GCI_BETA))
             }
             PowerModel::GciGpu => GPU_AVG_POWER + GPU_HOST_CPU_POWER,
         }
@@ -119,7 +120,8 @@ mod tests {
         // §IV-E calls the 79 W GPU draw "six times higher" than the 17.7 W
         // CPU draw; the actual ratio of the paper's own constants is ≈4.5×.
         // We reproduce the constants, not the prose arithmetic.
-        assert!(GPU_AVG_POWER / GPU_HOST_CPU_POWER > 4.0);
+        let ratio = GPU_AVG_POWER / GPU_HOST_CPU_POWER;
+        assert!(ratio > 4.0, "ratio {ratio}");
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! Property-based tests for the device, power and queueing models.
 
-use proptest::prelude::*;
 use edgesim::pipeline::{simulate, ServingConfig};
-use edgesim::{Device, DeviceModel, PowerModel};
+use edgesim::{CostProfile, Device, DeviceModel, PowerModel};
 use nn::{ActivationKind, LayerSpec};
+use proptest::prelude::*;
 
 fn arbitrary_specs() -> impl Strategy<Value = Vec<LayerSpec>> {
     proptest::collection::vec(
         prop_oneof![
-            (1usize..512, 1usize..512)
-                .prop_map(|(i, o)| LayerSpec::Dense { in_dim: i, out_dim: o }),
+            (1usize..512, 1usize..512).prop_map(|(i, o)| LayerSpec::Dense {
+                in_dim: i,
+                out_dim: o
+            }),
             (1usize..64).prop_map(|d| LayerSpec::Activation {
                 kind: ActivationKind::Relu,
                 dim: d
@@ -82,19 +84,17 @@ proptest! {
         rate in 10.0f64..200.0, easy_frac in 0.0f64..1.0, seed in 0u64..500
     ) {
         let m = DeviceModel::raspberry_pi4();
+        let profile = CostProfile::bimodal(2.0, 13.0, easy_frac);
         let cfg = ServingConfig {
             arrival_rate_hz: rate,
-            easy_service_ms: 2.0,
-            hard_service_ms: 13.0,
-            easy_fraction: easy_frac,
+            profile,
             requests: 2_000,
             seed,
         };
         let r = simulate(&m, &cfg);
-        let mean_service = 2.0 * easy_frac + 13.0 * (1.0 - easy_frac);
         // Sojourn ≥ service on average; allow sampling slack on the mix.
-        prop_assert!(r.mean_sojourn_ms >= mean_service * 0.8,
-            "mean sojourn {} below service mean {mean_service}", r.mean_sojourn_ms);
+        prop_assert!(r.mean_sojourn_ms >= profile.mean_ms() * 0.8,
+            "mean sojourn {} below service mean {}", r.mean_sojourn_ms, profile.mean_ms());
         prop_assert!(r.utilization <= 1.0 + 1e-9);
         prop_assert!(r.p99_ms >= r.p50_ms);
         prop_assert!(r.energy_j > 0.0);
@@ -105,14 +105,45 @@ proptest! {
         let m = DeviceModel::raspberry_pi4();
         let base = ServingConfig {
             arrival_rate_hz: rate,
-            easy_service_ms: 4.0,
-            hard_service_ms: 4.0,
-            easy_fraction: 1.0,
+            profile: CostProfile::constant(4.0),
             requests: 3_000,
             seed,
         };
         let slow = simulate(&m, &base);
-        let fast = simulate(&m, &ServingConfig { easy_service_ms: 2.0, hard_service_ms: 2.0, ..base });
+        let fast = simulate(&m, &ServingConfig { profile: CostProfile::constant(2.0), ..base });
         prop_assert!(fast.mean_sojourn_ms < slow.mean_sojourn_ms);
+    }
+
+    #[test]
+    fn cost_profile_sampling_matches_configured_mixture(
+        easy in 0.5f64..5.0, extra in 0.5f64..20.0, frac in 0.0f64..1.0, seed in 0u64..500
+    ) {
+        // Empirical mean and mixture of inverse-CDF samples must track the
+        // analytic mean_ms()/easy_fraction() of the profile.
+        use rand::{Rng, SeedableRng};
+        let hard = easy + extra;
+        let p = CostProfile::bimodal(easy, hard, frac);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut easy_count = 0usize;
+        for _ in 0..n {
+            let s = p.sample(rng.gen::<f64>());
+            prop_assert!(s == easy || s == hard, "sample {s} outside support");
+            if s == easy { easy_count += 1; }
+            sum += s;
+        }
+        let mean = sum / n as f64;
+        prop_assert!((mean - p.mean_ms()).abs() < 0.15 * (hard - easy).max(0.2),
+            "empirical mean {mean} vs analytic {}", p.mean_ms());
+        let measured_frac = easy_count as f64 / n as f64;
+        prop_assert!((measured_frac - frac).abs() < 0.02,
+            "empirical easy fraction {measured_frac} vs configured {frac}");
+
+        // Constant profiles: every sample is the mean.
+        let c = CostProfile::constant(easy);
+        for _ in 0..100 {
+            prop_assert!((c.sample(rng.gen::<f64>()) - easy).abs() < 1e-12);
+        }
     }
 }

@@ -190,7 +190,10 @@ impl ConvertingAutoencoder {
         }
         let decoder = Network::new()
             .push(Dense::new(prev, config.input, rng))
-            .push(Activation::new(config.output_activation.kind(), config.input));
+            .push(Activation::new(
+                config.output_activation.kind(),
+                config.input,
+            ));
         ConvertingAutoencoder {
             encoder,
             decoder,
@@ -320,8 +323,10 @@ impl ConvertingAutoencoder {
         // Reconstruct the hidden-layer description from the encoder specs.
         let mut hidden = Vec::new();
         let mut specs = encoder.specs().into_iter();
-        while let (Some(nn::LayerSpec::Dense { out_dim, .. }), Some(nn::LayerSpec::Activation { kind, .. })) =
-            (specs.next(), specs.next())
+        while let (
+            Some(nn::LayerSpec::Dense { out_dim, .. }),
+            Some(nn::LayerSpec::Activation { kind, .. }),
+        ) = (specs.next(), specs.next())
         {
             hidden.push(HiddenLayer {
                 width: out_dim,

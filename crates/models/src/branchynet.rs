@@ -435,10 +435,7 @@ mod tests {
         let (x, _) = tiny_batch(&mut rng, 6);
         // Threshold = ∞ ⇒ all early.
         b.set_threshold(f32::INFINITY);
-        assert!(b
-            .infer(&x)
-            .iter()
-            .all(|o| o.exit == ExitDecision::Early));
+        assert!(b.infer(&x).iter().all(|o| o.exit == ExitDecision::Early));
         // Threshold = 0 ⇒ none early (entropy is non-negative).
         b.set_threshold(0.0);
         assert!(b.infer(&x).iter().all(|o| o.exit == ExitDecision::Main));
@@ -464,11 +461,15 @@ mod tests {
         // Tiny separable problem: 20 samples of 2 distinct patterns.
         let mut x = Tensor::zeros(&[20, 784]);
         let mut labels = vec![0usize; 20];
-        for s in 0..20 {
+        for (s, label) in labels.iter_mut().enumerate() {
             let class = s % 2;
-            labels[s] = class;
+            *label = class;
             for p in 0..784 {
-                x.data_mut()[s * 784 + p] = if (p / 28 + class * 7) % 14 < 7 { 0.9 } else { 0.1 };
+                x.data_mut()[s * 784 + p] = if (p / 28 + class * 7) % 14 < 7 {
+                    0.9
+                } else {
+                    0.1
+                };
             }
         }
         let mut opt = nn::Adam::with_defaults(0.002);

@@ -17,9 +17,9 @@
 //! * [`metrics`] — accuracy / confusion-matrix / exit-statistics helpers.
 
 pub mod adadeep;
-pub mod extensions;
 pub mod autoencoder;
 pub mod branchynet;
+pub mod extensions;
 pub mod lenet;
 pub mod lightweight;
 pub mod metrics;

@@ -20,7 +20,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
 }
 
 /// `classes × classes` confusion matrix; rows = true class, cols = predicted.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut m = vec![vec![0usize; classes]; classes];
     for (&p, &l) in predictions.iter().zip(labels) {

@@ -166,8 +166,7 @@ pub fn build_conversion_targets(
     };
 
     let mut target = Tensor::zeros(&[n, pixels]);
-    for i in 0..n {
-        let class = labels[i];
+    for (i, &class) in labels.iter().enumerate().take(n) {
         let bucket = &easy_by_class[class];
         let row = match policy {
             TargetPolicy::RandomEasy => {
@@ -319,10 +318,12 @@ mod tests {
         for i in 0..60 {
             let class = data.labels[i];
             let trow = t.row_slice(i);
-            let found = (0..60).any(|j| {
-                easy[j] && data.labels[j] == class && data.images.row_slice(j) == trow
-            });
-            assert!(found, "target of sample {i} is not an easy same-class image");
+            let found = (0..60)
+                .any(|j| easy[j] && data.labels[j] == class && data.images.row_slice(j) == trow);
+            assert!(
+                found,
+                "target of sample {i} is not an easy same-class image"
+            );
         }
     }
 

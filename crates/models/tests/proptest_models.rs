@@ -2,10 +2,10 @@
 //! SubFlow subgraph invariants, lightweight-extraction equivalence, and
 //! checkpoint robustness under corruption (failure injection).
 
-use proptest::prelude::*;
 use models::branchynet::{BranchyNet, BranchyNetConfig, ExitDecision};
 use models::lightweight::extract_lightweight;
 use models::subflow::SubFlow;
+use proptest::prelude::*;
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
 

@@ -284,7 +284,10 @@ mod tests {
     #[test]
     fn parse_matches_table1_vocabulary() {
         assert_eq!(ActivationKind::parse("relu"), Some(ActivationKind::Relu));
-        assert_eq!(ActivationKind::parse("linear"), Some(ActivationKind::Linear));
+        assert_eq!(
+            ActivationKind::parse("linear"),
+            Some(ActivationKind::Linear)
+        );
         assert_eq!(
             ActivationKind::parse("softmax"),
             Some(ActivationKind::Softmax)

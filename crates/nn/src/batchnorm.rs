@@ -92,11 +92,7 @@ impl Layer for BatchNorm1d {
         }
         let mut out = xhat.clone();
         for row in out.data_mut().chunks_exact_mut(cols) {
-            for ((y, &g), &b) in row
-                .iter_mut()
-                .zip(self.gamma.data())
-                .zip(self.beta.data())
-            {
+            for ((y, &g), &b) in row.iter_mut().zip(self.gamma.data()).zip(self.beta.data()) {
                 *y = *y * g + b;
             }
         }

@@ -51,7 +51,12 @@ impl Conv2d {
     }
 
     /// Construct from explicit parameters (deserialisation, tests).
-    pub fn from_params(geom: Conv2dGeom, out_channels: usize, weights: Tensor, bias: Tensor) -> Self {
+    pub fn from_params(
+        geom: Conv2dGeom,
+        out_channels: usize,
+        weights: Tensor,
+        bias: Tensor,
+    ) -> Self {
         assert_eq!(weights.dims(), &[out_channels, geom.patch_cols()]);
         assert_eq!(bias.dims(), &[out_channels]);
         Conv2d {

@@ -439,7 +439,7 @@ mod tests {
     #[test]
     fn param_count_and_flops_sum_layers() {
         let net = tiny_mlp(1);
-        assert_eq!(net.param_count(), (2 * 8 + 8) + (8 * 1 + 1));
+        assert_eq!(net.param_count(), (2 * 8 + 8) + (8 + 1));
         assert_eq!(
             net.flops_per_sample(),
             (2 * 2 * 8 + 8) as u64 + 4 * 8 + (2 * 8 + 1) as u64

@@ -76,7 +76,10 @@ impl Momentum {
 impl Optimizer for Momentum {
     fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.dims()))
+                .collect();
         }
         assert_eq!(
             self.velocity.len(),
@@ -142,8 +145,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
-            self.v = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+            self.m = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.dims()))
+                .collect();
         }
         assert_eq!(
             self.m.len(),

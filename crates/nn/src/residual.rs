@@ -138,9 +138,7 @@ impl Layer for ResidualConv {
 
     fn flops_per_sample(&self) -> u64 {
         // Two convs + skip add + two relus.
-        self.conv1.flops_per_sample()
-            + self.conv2.flops_per_sample()
-            + 3 * self.in_dim() as u64
+        self.conv1.flops_per_sample() + self.conv2.flops_per_sample() + 3 * self.in_dim() as u64
     }
 
     fn spec(&self) -> LayerSpec {

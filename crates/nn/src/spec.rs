@@ -308,7 +308,10 @@ mod tests {
             },
             LayerSpec::Dropout { p: 0.5, dim: 4 },
             LayerSpec::BatchNorm1d { dim: 4 },
-            LayerSpec::ResidualConv { channels: 1, side: 2 },
+            LayerSpec::ResidualConv {
+                channels: 1,
+                side: 2,
+            },
         ];
         let mut tags: Vec<u8> = specs.iter().map(|s| s.tag()).collect();
         tags.sort_unstable();

@@ -1,0 +1,224 @@
+//! [`InferenceModel`] implementations for the `models` crate's networks.
+//!
+//! Each adapter borrows its network mutably for the duration of an
+//! evaluation, so the same trained weights can also be used directly (for
+//! threshold sweeps, retraining, serialisation) between evaluations. The
+//! CBNet adapter lives in the `cbnet` crate next to `CbnetModel` itself.
+
+use edgesim::{CostProfile, DeviceModel};
+use models::branchynet::BranchyNet;
+use models::metrics::ExitStats;
+use models::subflow::SubFlow;
+use nn::Network;
+use tensor::Tensor;
+
+use crate::model::InferenceModel;
+
+/// A plain sequential classifier (LeNet, an AdaDeep search winner, …):
+/// every image pays the full network, so the cost profile is constant.
+pub struct ClassifierModel<'a> {
+    name: String,
+    net: &'a mut Network,
+}
+
+impl<'a> ClassifierModel<'a> {
+    /// Wrap a trained network under a display name.
+    pub fn new(name: impl Into<String>, net: &'a mut Network) -> Self {
+        ClassifierModel {
+            name: name.into(),
+            net,
+        }
+    }
+}
+
+impl InferenceModel for ClassifierModel<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
+        self.net.predict(x).argmax_rows()
+    }
+
+    fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
+        CostProfile::constant(device.price_network(self.net).total_ms)
+    }
+}
+
+/// A trained BranchyNet: bimodal cost — every sample pays trunk + branch +
+/// the exit-decision sync; samples that miss the exit additionally pay the
+/// tail. The mixture weight is the exit rate **measured by the most recent
+/// [`predict_batch`](InferenceModel::predict_batch)** (the legacy
+/// `evaluate_branchynet` semantics); before any prediction it conservatively
+/// assumes no early exits (the all-hard upper bound).
+pub struct BranchyNetModel<'a> {
+    net: &'a mut BranchyNet,
+    measured_exit_rate: Option<f32>,
+}
+
+impl<'a> BranchyNetModel<'a> {
+    /// Wrap a trained BranchyNet.
+    pub fn new(net: &'a mut BranchyNet) -> Self {
+        BranchyNetModel {
+            net,
+            measured_exit_rate: None,
+        }
+    }
+
+    /// The exit rate measured by the most recent `predict_batch`, if any.
+    pub fn measured_exit_rate(&self) -> Option<f32> {
+        self.measured_exit_rate
+    }
+
+    /// The underlying network (threshold sweeps between evaluations).
+    pub fn network_mut(&mut self) -> &mut BranchyNet {
+        self.net
+    }
+}
+
+impl InferenceModel for BranchyNetModel<'_> {
+    fn name(&self) -> &str {
+        "BranchyNet"
+    }
+
+    fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
+        let outputs = self.net.infer(x);
+        self.measured_exit_rate = Some(ExitStats::from_outputs(&outputs).early_rate());
+        outputs.into_iter().map(|o| o.prediction).collect()
+    }
+
+    fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
+        let (trunk, branch, tail) = self.net.stages();
+        let easy_ms = device.price_network(trunk).total_ms
+            + device.price_network(branch).total_ms
+            + device.exit_sync_ms;
+        let hard_ms = easy_ms + device.price_network(tail).total_ms;
+        let easy_fraction = self.measured_exit_rate.unwrap_or(0.0) as f64;
+        CostProfile::bimodal(easy_ms, hard_ms, easy_fraction)
+    }
+
+    fn exit_rate(&self) -> Option<f32> {
+        self.measured_exit_rate
+    }
+}
+
+/// A SubFlow executor at a fixed utilization: the induced subgraph executes
+/// every layer (dispatch applies) on a fraction of the units, so the cost is
+/// constant per request, priced from the effective per-layer FLOPs.
+pub struct SubFlowModel<'a> {
+    sf: &'a SubFlow,
+    utilization: f32,
+}
+
+impl<'a> SubFlowModel<'a> {
+    /// Wrap a SubFlow executor at `utilization ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when the utilization is out of range.
+    pub fn new(sf: &'a SubFlow, utilization: f32) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        SubFlowModel { sf, utilization }
+    }
+}
+
+impl InferenceModel for SubFlowModel<'_> {
+    fn name(&self) -> &str {
+        "SubFlow"
+    }
+
+    fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
+        self.sf.predict(self.utilization, x)
+    }
+
+    fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
+        let specs = self.sf.backbone().specs();
+        let eff = self.sf.effective_layer_flops(self.utilization);
+        CostProfile::constant(device.price_specs_with_flops(&specs, &eff).total_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{evaluate, Scenario};
+    use datasets::{generate_pair, Family};
+    use edgesim::Device;
+    use models::branchynet::BranchyNetConfig;
+    use models::lenet::build_lenet;
+    use tensor::random::rng_from_seed;
+
+    #[test]
+    fn classifier_profile_is_constant_network_price() {
+        let mut rng = rng_from_seed(0);
+        let mut net = build_lenet(&mut rng);
+        let device = DeviceModel::raspberry_pi4();
+        let expect = device.price_network(&net).total_ms;
+        let model = ClassifierModel::new("LeNet", &mut net);
+        match model.cost_profile(&device) {
+            CostProfile::Constant { service_ms } => {
+                assert!((service_ms - expect).abs() < 1e-12)
+            }
+            other => panic!("expected constant profile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branchynet_profile_uses_measured_rate() {
+        let mut rng = rng_from_seed(1);
+        let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let split = generate_pair(Family::MnistLike, 10, 40, 5);
+        let device = DeviceModel::raspberry_pi4();
+
+        bn.set_threshold(f32::INFINITY); // all early
+        let mut model = BranchyNetModel::new(&mut bn);
+        assert_eq!(model.cost_profile(&device).easy_fraction(), 0.0); // unmeasured
+        let _ = model.predict_batch(&split.test.images);
+        assert_eq!(model.exit_rate(), Some(1.0));
+        let all_early = model.cost_profile(&device);
+        assert_eq!(all_early.easy_fraction(), 1.0);
+        assert!((all_early.mean_ms() - all_early.min_ms()).abs() < 1e-12);
+
+        model.network_mut().set_threshold(0.0); // none early
+        let _ = model.predict_batch(&split.test.images);
+        let none_early = model.cost_profile(&device);
+        assert_eq!(none_early.easy_fraction(), 0.0);
+        assert!(
+            none_early.mean_ms() > all_early.mean_ms() * 3.0,
+            "full path {} should dwarf easy path {}",
+            none_early.mean_ms(),
+            all_early.mean_ms()
+        );
+    }
+
+    #[test]
+    fn generic_evaluate_produces_sane_report() {
+        let mut rng = rng_from_seed(0);
+        let mut net = build_lenet(&mut rng);
+        let split = generate_pair(Family::MnistLike, 10, 50, 3);
+        let mut model = ClassifierModel::new("LeNet", &mut net);
+        let scenario = Scenario::new(Family::MnistLike, Device::RaspberryPi4);
+        let r = evaluate(&mut model, &split.test, &scenario);
+        assert_eq!(r.model, "LeNet");
+        assert_eq!(r.scenario, "MNIST @ Raspberry Pi 4");
+        assert!(r.latency_ms > 10.0 && r.latency_ms < 16.0);
+        assert!((0.0..=100.0).contains(&r.accuracy_pct));
+        assert!(r.energy_j > 0.0);
+        assert!(r.exit_rate.is_none());
+    }
+
+    #[test]
+    fn subflow_full_utilization_matches_backbone_price() {
+        let mut rng = rng_from_seed(2);
+        let net = build_lenet(&mut rng);
+        let device = DeviceModel::gci_cpu();
+        let backbone_ms = device.price_network(&net).total_ms;
+        let sf = SubFlow::new(net);
+        let full = SubFlowModel::new(&sf, 1.0);
+        assert!((full.cost_profile(&device).mean_ms() - backbone_ms).abs() < 1e-9);
+        let half = SubFlowModel::new(&sf, 0.5);
+        assert!(half.cost_profile(&device).mean_ms() < backbone_ms);
+    }
+}

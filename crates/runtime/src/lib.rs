@@ -1,0 +1,47 @@
+//! # runtime — the unified model-serving API
+//!
+//! Before this crate existed, every layer of the workspace spoke to models
+//! differently: `cbnet::evaluation` shipped one bespoke `evaluate_*` function
+//! per architecture, the experiment drivers re-dispatched per model, and the
+//! serving simulator was fed hand-picked latency constants. This crate is the
+//! single interface they all use now:
+//!
+//! * [`InferenceModel`] — the trait every comparator implements: a name, a
+//!   batch classifier, and a device-priced [`CostProfile`] (the per-request
+//!   service-time distribution the serving simulator consumes);
+//! * [`Scenario`] — *what* is being evaluated: dataset family × device, with
+//!   a display label;
+//! * [`evaluate`] — the one generic evaluation path, producing a
+//!   [`ModelReport`] with the exact latency/accuracy/energy semantics the
+//!   per-model functions used to implement separately;
+//! * [`adapters`] — [`InferenceModel`] implementations for the `models`
+//!   crate's networks ([`ClassifierModel`], [`BranchyNetModel`],
+//!   [`SubFlowModel`]). The CBNet model implements the trait in the `cbnet`
+//!   crate, next to its definition.
+//!
+//! ## Example
+//!
+//! ```
+//! use runtime::{evaluate, ClassifierModel, Scenario};
+//! use datasets::{generate_pair, Family};
+//! use edgesim::Device;
+//! use models::lenet::build_lenet;
+//!
+//! let split = generate_pair(Family::MnistLike, 50, 30, 1);
+//! let mut rng = tensor::random::rng_from_seed(0);
+//! let mut net = build_lenet(&mut rng);
+//! let mut model = ClassifierModel::new("LeNet", &mut net);
+//! let scenario = Scenario::new(Family::MnistLike, Device::RaspberryPi4);
+//! let report = evaluate(&mut model, &split.test, &scenario);
+//! assert_eq!(report.model, "LeNet");
+//! assert!(report.latency_ms > 0.0);
+//! ```
+
+pub mod adapters;
+pub mod model;
+pub mod report;
+
+pub use adapters::{BranchyNetModel, ClassifierModel, SubFlowModel};
+pub use edgesim::CostProfile;
+pub use model::InferenceModel;
+pub use report::{evaluate, evaluate_on, ModelReport, Scenario};

@@ -1,0 +1,55 @@
+//! The [`InferenceModel`] trait.
+
+use edgesim::{CostProfile, DeviceModel};
+use tensor::Tensor;
+
+/// A deployable classifier with a device-priceable serving cost.
+///
+/// Everything the paper compares — LeNet, BranchyNet, CBNet, AdaDeep,
+/// SubFlow — implements this trait, which is what lets the experiment
+/// drivers, the generic [`evaluate`](crate::evaluate) path, and the serving
+/// simulator treat all five uniformly.
+///
+/// # Contract
+///
+/// * [`predict_batch`](InferenceModel::predict_batch) classifies a
+///   `(n, pixels)` batch and returns one class index per row.
+/// * [`cost_profile`](InferenceModel::cost_profile) prices one request on a
+///   device as a service-time *distribution*. For input-independent models it
+///   is [`CostProfile::Constant`]; for early-exit models it is a
+///   [`CostProfile::Bimodal`] mixture whose weight is the **measured** exit
+///   rate of the most recent `predict_batch` — so call `predict_batch` on the
+///   evaluation set first (the generic `evaluate` does). This preserves the
+///   exact latency semantics of the legacy per-model evaluators.
+/// * [`exit_rate`](InferenceModel::exit_rate) reports that measured rate for
+///   early-exit models, `None` otherwise.
+pub trait InferenceModel {
+    /// Display name ("LeNet", "BranchyNet", "CBNet", …).
+    fn name(&self) -> &str;
+
+    /// Classify a `(n, pixels)` batch; one predicted class per row.
+    fn predict_batch(&mut self, x: &Tensor) -> Vec<usize>;
+
+    /// Per-request service-time distribution on `device`, milliseconds.
+    fn cost_profile(&self, device: &DeviceModel) -> CostProfile;
+
+    /// Measured early-exit rate where the model has one, else `None`.
+    fn exit_rate(&self) -> Option<f32> {
+        None
+    }
+}
+
+impl<M: InferenceModel + ?Sized> InferenceModel for &mut M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
+        (**self).predict_batch(x)
+    }
+    fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
+        (**self).cost_profile(device)
+    }
+    fn exit_rate(&self) -> Option<f32> {
+        (**self).exit_rate()
+    }
+}

@@ -1,0 +1,163 @@
+//! Scenarios, reports, and the one generic evaluation path.
+
+use datasets::{Dataset, Family};
+use edgesim::{Device, DeviceModel, EnergyReport};
+use models::metrics::accuracy;
+
+use crate::model::InferenceModel;
+
+/// An evaluation scenario: one dataset family on one device, with a display
+/// label for tables and CSV output.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Dataset family being evaluated.
+    pub family: Family,
+    /// Device the model is priced on.
+    pub device: Device,
+    /// Human-readable label, e.g. `"MNIST @ Raspberry Pi 4"`.
+    pub label: String,
+}
+
+impl Scenario {
+    /// A scenario with the default `"<family> @ <device>"` label.
+    pub fn new(family: Family, device: Device) -> Self {
+        Scenario {
+            family,
+            device,
+            label: format!("{} @ {}", family.name(), device.name()),
+        }
+    }
+
+    /// Replace the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The calibrated latency/power model for this scenario's device.
+    pub fn device_model(&self) -> DeviceModel {
+        DeviceModel::preset(self.device)
+    }
+
+    /// Every family × device combination, in the paper's presentation order.
+    pub fn matrix() -> Vec<Scenario> {
+        Family::ALL
+            .iter()
+            .flat_map(|f| Device::ALL.iter().map(|d| Scenario::new(*f, *d)))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// One row of Table II: a model evaluated under one scenario.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model display name.
+    pub model: String,
+    /// Scenario label this report was produced under (empty when
+    /// constructed ad hoc).
+    pub scenario: String,
+    /// Mean per-image latency, milliseconds.
+    pub latency_ms: f64,
+    /// Classification accuracy on the evaluation set, percent.
+    pub accuracy_pct: f32,
+    /// Per-image energy, joules.
+    pub energy_j: f64,
+    /// Early-exit rate where applicable (BranchyNet), else `None`.
+    pub exit_rate: Option<f32>,
+}
+
+impl ModelReport {
+    /// Energy saving relative to a baseline report, percent.
+    pub fn energy_savings_vs(&self, baseline: &ModelReport) -> f64 {
+        edgesim::savings_percent(baseline.energy_j, self.energy_j)
+    }
+
+    /// Speedup of this model relative to a (slower) baseline.
+    pub fn speedup_vs(&self, baseline: &ModelReport) -> f64 {
+        baseline.latency_ms / self.latency_ms
+    }
+}
+
+/// Evaluate any [`InferenceModel`] on a dataset under a scenario.
+///
+/// The single code path behind every table and figure: classify the set,
+/// price the model's [cost profile](InferenceModel::cost_profile) on the
+/// scenario's device (the profile reflects the measured operating point
+/// because the prediction pass runs first), and convert mean latency to
+/// energy with the device's power model.
+pub fn evaluate(
+    model: &mut dyn InferenceModel,
+    data: &Dataset,
+    scenario: &Scenario,
+) -> ModelReport {
+    evaluate_on(model, data, &scenario.device_model(), &scenario.label)
+}
+
+/// [`evaluate`] against an explicit (possibly custom-calibrated)
+/// [`DeviceModel`] rather than a preset-backed [`Scenario`].
+pub fn evaluate_on(
+    model: &mut dyn InferenceModel,
+    data: &Dataset,
+    device: &DeviceModel,
+    scenario_label: &str,
+) -> ModelReport {
+    let preds = model.predict_batch(&data.images);
+    let accuracy_pct = accuracy(&preds, &data.labels) * 100.0;
+    let profile = model.cost_profile(device);
+    let latency_ms = profile.mean_ms();
+    let energy_j = EnergyReport::from_latency(device, latency_ms).energy_j;
+    ModelReport {
+        model: model.name().to_string(),
+        scenario: scenario_label.to_string(),
+        latency_ms,
+        accuracy_pct,
+        energy_j,
+        exit_rate: model.exit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_labels_and_matrix() {
+        let s = Scenario::new(Family::MnistLike, Device::RaspberryPi4);
+        assert_eq!(s.label, "MNIST @ Raspberry Pi 4");
+        assert_eq!(s.to_string(), s.label);
+        let relabelled = s.clone().with_label("custom");
+        assert_eq!(relabelled.label, "custom");
+        let m = Scenario::matrix();
+        assert_eq!(m.len(), 9);
+        assert_eq!(m[0].family, Family::MnistLike);
+        assert_eq!(m[8].device, Device::GciGpu);
+    }
+
+    #[test]
+    fn speedup_and_savings_relations() {
+        let a = ModelReport {
+            model: "fast".into(),
+            scenario: String::new(),
+            latency_ms: 2.0,
+            accuracy_pct: 90.0,
+            energy_j: 0.01,
+            exit_rate: None,
+        };
+        let b = ModelReport {
+            model: "slow".into(),
+            scenario: String::new(),
+            latency_ms: 10.0,
+            accuracy_pct: 90.0,
+            energy_j: 0.05,
+            exit_rate: None,
+        };
+        assert!((a.speedup_vs(&b) - 5.0).abs() < 1e-9);
+        assert!((a.energy_savings_vs(&b) - 80.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline stand-in for the `crossbeam` crate's scoped threads.
+//!
+//! Only [`scope`] is provided, backed by `std::thread::scope` (which did not
+//! exist when crossbeam's API was designed — today the standard library
+//! covers this workspace's needs). Two behavioural notes:
+//!
+//! * crossbeam's `spawn` passes the scope to the child closure so it can
+//!   spawn grandchildren; this shim passes it too.
+//! * crossbeam's `scope` returns `Err` when a child panicked and was not
+//!   joined; `std::thread::scope` instead resumes the panic after joining.
+//!   Since every call site here treats a panicked child as fatal
+//!   (`.expect(...)`), the observable behaviour — abort the test/process
+//!   with the panic payload — is the same.
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle that can spawn threads borrowing from the caller's stack.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope (crossbeam
+    /// parity), letting workers spawn nested workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries the panic payload if it panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope whose threads may borrow local data; all threads are
+/// joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = [0u64; 4];
+        scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                    i
+                }));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                assert_eq!(h.join().unwrap(), i);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let v = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

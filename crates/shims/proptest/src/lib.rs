@@ -1,0 +1,232 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / mapped / union strategies,
+//! [`collection::vec`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the assertion
+//!   message) but is not minimised.
+//! * **Deterministic seeding** — each test's RNG is seeded from a hash of the
+//!   test's name, so failures reproduce exactly across runs and machines.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Size specifications accepted by [`collection::vec`].
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Things usable as a collection-size specification.
+    pub trait IntoSizeRange {
+        /// Draw a concrete size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            assert!(self.start < self.end, "empty size range");
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length comes from `size`.
+    pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: strategies, config, and assertion macros.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run the body once per generated case.
+///
+/// Supports the `#![proptest_config(...)]` inner attribute and any number of
+/// `#[test] fn name(arg in strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_args!{ ($cfg) ($(#[$meta])*) $name () $body; $($params)* }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // Done: all parameters munched into ($arg $strat) pairs.
+    ( ($cfg:expr) ($(#[$meta:meta])*) $name:ident ($(($arg:ident $strat:tt))*) $body:block; ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < cfg.cases.saturating_mul(64).max(1024),
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} of {} failed: {}", accepted, stringify!($name), msg);
+                    }
+                }
+            }
+        }
+    };
+    // Munch the final `arg in strategy` (no trailing comma).
+    ( ($cfg:expr) ($(#[$meta:meta])*) $name:ident ($($acc:tt)*) $body:block; $arg:ident in $strat:expr ) => {
+        $crate::__proptest_args!{ ($cfg) ($(#[$meta])*) $name ($($acc)* ($arg $strat)) $body; }
+    };
+    // Munch one `arg in strategy,` then recurse.
+    ( ($cfg:expr) ($(#[$meta:meta])*) $name:ident ($($acc:tt)*) $body:block; $arg:ident in $strat:expr, $($rest:tt)* ) => {
+        $crate::__proptest_args!{ ($cfg) ($(#[$meta])*) $name ($($acc)* ($arg $strat)) $body; $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; failure fails the case with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "{} (both {:?})", format!($($fmt)+), l);
+            }
+        }
+    };
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::option($strat)),+
+        ])
+    };
+}

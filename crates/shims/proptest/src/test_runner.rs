@@ -1,0 +1,77 @@
+//! Case-count configuration and per-case outcomes.
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — try another.
+    Reject(String),
+    /// An assertion failed — the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test RNG: seeded from a hash of the test name so runs
+/// reproduce bit-for-bit everywhere.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_stable_per_name() {
+        use rand::Rng;
+        let mut a = rng_for_test("foo");
+        let mut b = rng_for_test("foo");
+        let mut c = rng_for_test("bar");
+        let va: u64 = a.gen::<u64>();
+        assert_eq!(va, b.gen::<u64>());
+        assert_ne!(va, c.gen::<u64>());
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the (small) subset of `rand` 0.8's API the workspace actually uses:
+//! [`Rng`] with `gen` / `gen_range`, [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`distributions::Distribution`].
+//!
+//! `StdRng` here is SplitMix64 — a tiny, fast, statistically solid 64-bit
+//! generator (it seeds xoshiro in the real ecosystem). It is **not**
+//! cryptographic and its stream differs from the real `rand::rngs::StdRng`;
+//! everything in this workspace only needs determinism-given-seed and
+//! reasonable equidistribution, which SplitMix64 provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of a [`Standard`]-samplable type
+    /// (`f32`/`f64` in `[0, 1)`, integers over their full range, `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform sample from a range (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from their "standard" distribution.
+pub trait Standard {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random mantissa bits -> [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly samplable from half-open / inclusive ranges.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// One uniform sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_from<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_from(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_from(lo, hi, true, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from<R: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+                let u = <$t as Standard>::sample_standard(rng);
+                let v = lo + u * (hi - lo);
+                // Guard against FP rounding landing exactly on `hi` in the
+                // half-open case (harmless for inclusive ranges).
+                if v >= hi && lo < hi { lo } else { v }
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Vigna). Full 2^64 period, passes BigCrush when
+            // used as here.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the raw seed so nearby seeds give unrelated streams.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Distribution sampling (the `Distribution` trait only).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..8).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen_range(0u32..1000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let u: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..5 should appear");
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..=3);
+            assert_eq!(v, 3);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

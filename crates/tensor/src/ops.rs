@@ -147,7 +147,10 @@ impl Tensor {
 
     /// Maximum element (−∞ for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for empty tensors).
@@ -175,7 +178,12 @@ impl Tensor {
 
     /// Euclidean (L2) norm.
     pub fn l2_norm(&self) -> f32 {
-        (self.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()).sqrt() as f32
+        (self
+            .data()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>())
+        .sqrt() as f32
     }
 
     /// Sum along rows of a rank-2 tensor, producing a 1-D tensor of length

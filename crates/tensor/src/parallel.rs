@@ -50,9 +50,7 @@ where
     if len == 0 {
         return;
     }
-    let threads = max_threads()
-        .min(len.div_ceil(min_chunk_len.max(1)))
-        .max(1);
+    let threads = max_threads().min(len.div_ceil(min_chunk_len.max(1))).max(1);
     if threads == 1 {
         f(0, data);
         return;

@@ -387,7 +387,10 @@ mod tests {
 
     #[test]
     fn stack_rows_builds_matrix() {
-        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let rows = vec![
+            Tensor::from_slice(&[1.0, 2.0]),
+            Tensor::from_slice(&[3.0, 4.0]),
+        ];
         let m = Tensor::stack_rows(&rows);
         assert_eq!(m.dims(), &[2, 2]);
         assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0]);

@@ -16,9 +16,10 @@ fn main() {
 
     for dev in Device::ALL {
         let device = DeviceModel::preset(dev);
-        let cbnet_r = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
-        let branchy_r =
-            cbnet::evaluation::evaluate_branchynet(&mut arts.branchynet, &split.test, &device);
+        let scenario = Scenario::new(Family::KmnistLike, dev);
+        let cbnet_r = evaluate(&mut arts.cbnet, &split.test, &scenario);
+        let mut branchy = BranchyNetModel::new(&mut arts.branchynet);
+        let branchy_r = evaluate(&mut branchy, &split.test, &scenario);
         let power = PowerModel::for_device(dev).watts(device.inference_utilization);
 
         println!("=== {dev} (power during inference: {power:.2} W) ===");
@@ -41,12 +42,13 @@ fn main() {
         println!("\nCBNet per-layer latency (autoencoder then lightweight DNN):");
         for (desc, ms) in ae.per_layer_ms.iter().chain(lw.per_layer_ms.iter()) {
             let e = EnergyReport::from_latency(&device, *ms);
-            println!("  {:<42} {:>8.4} ms  {:>9.5} mJ", desc, ms, e.energy_j * 1000.0);
+            println!(
+                "  {:<42} {:>8.4} ms  {:>9.5} mJ",
+                desc,
+                ms,
+                e.energy_j * 1000.0
+            );
         }
-        println!(
-            "  {:<42} {:>8.4} ms\n",
-            "TOTAL",
-            ae.total_ms + lw.total_ms
-        );
+        println!("  {:<42} {:>8.4} ms\n", "TOTAL", ae.total_ms + lw.total_ms);
     }
 }

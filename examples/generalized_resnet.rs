@@ -4,7 +4,6 @@
 //!
 //! Run with: `cargo run --release --example generalized_resnet`
 
-use cbnet::evaluation::{evaluate_cbnet, evaluate_classifier};
 use cbnet::generalized::{train_generalized, GeneralizedConfig};
 use cbnet_repro::prelude::*;
 use models::resnet::build_resnet_mini;
@@ -21,16 +20,16 @@ fn main() {
         },
         ..GeneralizedConfig::new(Family::FmnistLike)
     };
-    let mut arts = train_generalized(&split.train, |rng| build_resnet_mini(rng), &cfg);
+    let mut arts = train_generalized(&split.train, build_resnet_mini, &cfg);
     println!(
         "trained: {:.1}% of training samples labelled easy (confidence-based, no BranchyNet)",
         arts.train_easy_rate * 100.0
     );
 
-    let device = DeviceModel::raspberry_pi4();
-    let backbone_r =
-        evaluate_classifier("ResNet-mini", &mut arts.backbone, &split.test, &device);
-    let cbnet_r = evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+    let scenario = Scenario::new(Family::FmnistLike, Device::RaspberryPi4);
+    let mut backbone = ClassifierModel::new("ResNet-mini", &mut arts.backbone);
+    let backbone_r = evaluate(&mut backbone, &split.test, &scenario);
+    let cbnet_r = evaluate(&mut arts.cbnet, &split.test, &scenario);
 
     println!("\nmodel          latency(ms)  accuracy(%)  energy(mJ)");
     println!("------------------------------------------------------");

@@ -59,8 +59,8 @@ fn main() {
         let output = ascii(&converted.row_slice(i)[..IMAGE_PIXELS]);
         let reference = easy_ref.map(|j| ascii(&split.test.images.row_slice(j)[..IMAGE_PIXELS]));
         println!(
-            "{:<30}  {:<30}  {}",
-            "hard input", "converted (AE output)", "easy reference"
+            "{:<30}  {:<30}  easy reference",
+            "hard input", "converted (AE output)"
         );
         for y in 0..IMAGE_SIDE {
             let r = reference

@@ -1,5 +1,6 @@
 //! Quickstart: train a CBNet end-to-end on a small MNIST-like dataset and
-//! compare it with LeNet and BranchyNet on a simulated Raspberry Pi 4.
+//! compare it with LeNet and BranchyNet on a simulated Raspberry Pi 4,
+//! through the unified `InferenceModel` / `evaluate()` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -36,13 +37,16 @@ fn main() {
     };
     let _ = models::training::train_classifier(&mut lenet, &split.train, &train_cfg);
 
-    // 4. Evaluate all three on the simulated Raspberry Pi 4.
-    let device = DeviceModel::raspberry_pi4();
-    let lenet_r = cbnet::evaluation::evaluate_classifier("LeNet", &mut lenet, &split.test, &device);
-    let branchy_r =
-        cbnet::evaluation::evaluate_branchynet(&mut arts.branchynet, &split.test, &device);
-    let cbnet_r = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+    // 4. Evaluate all three on the simulated Raspberry Pi 4, through the one
+    //    generic path: wrap each network as an InferenceModel, evaluate.
+    let scenario = Scenario::new(Family::MnistLike, Device::RaspberryPi4);
+    let mut lenet_model = ClassifierModel::new("LeNet", &mut lenet);
+    let lenet_r = evaluate(&mut lenet_model, &split.test, &scenario);
+    let mut branchy_model = BranchyNetModel::new(&mut arts.branchynet);
+    let branchy_r = evaluate(&mut branchy_model, &split.test, &scenario);
+    let cbnet_r = evaluate(&mut arts.cbnet, &split.test, &scenario);
 
+    println!("scenario: {scenario}");
     println!("model       latency(ms)  accuracy(%)  energy(mJ)");
     println!("--------------------------------------------------");
     for r in [&lenet_r, &branchy_r, &cbnet_r] {

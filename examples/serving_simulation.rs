@@ -1,6 +1,7 @@
 //! Serving simulation: drive the discrete-event queueing simulator with
-//! service times taken from a *real trained* BranchyNet and CBNet, instead
-//! of the hand-picked constants the `serving` bench binary uses.
+//! cost profiles taken from *real trained* models via the unified
+//! `InferenceModel` API — `cost_profile()` is the single source of service
+//! times, for the early-exit mixture and the constant CBNet cost alike.
 //!
 //! Shows the deployment-level consequence of input-dependent latency: the
 //! early-exit model's p99 explodes under load on hard-image-heavy traffic
@@ -12,7 +13,7 @@ use cbnet_repro::prelude::*;
 use edgesim::pipeline::{simulate, ServingConfig};
 
 fn main() {
-    println!("Serving simulation with measured service times — FMNIST-like\n");
+    println!("Serving simulation with measured cost profiles — FMNIST-like\n");
 
     let split = datasets::generate_pair(Family::FmnistLike, 2500, 500, 5);
     let cfg = PipelineConfig::for_family(Family::FmnistLike).quick(4);
@@ -20,58 +21,44 @@ fn main() {
 
     let device = DeviceModel::raspberry_pi4();
 
-    // Measure the real operating point of the trained models.
-    let branchy_r =
-        cbnet::evaluation::evaluate_branchynet(&mut arts.branchynet, &split.test, &device);
-    let cbnet_r = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
-    let exit_rate = branchy_r.exit_rate.unwrap_or(0.0) as f64;
+    // Price both trained models through the one InferenceModel interface.
+    // The prediction pass measures BranchyNet's operating point (exit rate);
+    // cost_profile() then yields the exact service-time distribution.
+    let mut branchy = BranchyNetModel::new(&mut arts.branchynet);
+    let _ = branchy.predict_batch(&split.test.images);
+    let branchy_profile = branchy.cost_profile(&device);
 
-    let (trunk, branch, tail) = arts.branchynet.stages();
-    let easy_ms = device.price_network(trunk).total_ms
-        + device.price_network(branch).total_ms
-        + device.exit_sync_ms;
-    let hard_ms = easy_ms + device.price_network(tail).total_ms;
+    // CBNet's profile is input-independent — no measurement pass needed.
+    let cbnet_profile = arts.cbnet.cost_profile(&device);
 
     println!(
         "trained BranchyNet: exit rate {:.1}%, easy path {:.2} ms, hard path {:.2} ms",
-        exit_rate * 100.0,
-        easy_ms,
-        hard_ms
+        branchy_profile.easy_fraction() * 100.0,
+        branchy_profile.min_ms(),
+        branchy_profile.max_ms()
     );
-    println!("trained CBNet: constant {:.2} ms/request\n", cbnet_r.latency_ms);
+    println!(
+        "trained CBNet: constant {:.2} ms/request\n",
+        cbnet_profile.mean_ms()
+    );
 
     println!("arrival(Hz)  model       mean(ms)   p95(ms)   p99(ms)   utilization");
     println!("--------------------------------------------------------------------");
     for &rate in &[40.0, 120.0, 240.0] {
-        let bn = simulate(
-            &device,
-            &ServingConfig {
-                arrival_rate_hz: rate,
-                easy_service_ms: easy_ms,
-                hard_service_ms: hard_ms,
-                easy_fraction: exit_rate,
-                requests: 20_000,
-                seed: 99,
-            },
-        );
-        let cb = simulate(
-            &device,
-            &ServingConfig {
-                arrival_rate_hz: rate,
-                easy_service_ms: cbnet_r.latency_ms,
-                hard_service_ms: cbnet_r.latency_ms,
-                easy_fraction: 1.0,
-                requests: 20_000,
-                seed: 99,
-            },
-        );
-        println!(
-            "{rate:>10.0}  BranchyNet  {:>8.2}  {:>8.2}  {:>8.2}  {:>6.2}",
-            bn.mean_sojourn_ms, bn.p95_ms, bn.p99_ms, bn.utilization
-        );
-        println!(
-            "{rate:>10.0}  CBNet       {:>8.2}  {:>8.2}  {:>8.2}  {:>6.2}",
-            cb.mean_sojourn_ms, cb.p95_ms, cb.p99_ms, cb.utilization
-        );
+        for (name, profile) in [("BranchyNet", branchy_profile), ("CBNet", cbnet_profile)] {
+            let r = simulate(
+                &device,
+                &ServingConfig {
+                    arrival_rate_hz: rate,
+                    profile,
+                    requests: 20_000,
+                    seed: 99,
+                },
+            );
+            println!(
+                "{rate:>10.0}  {name:<10} {:>8.2}  {:>8.2}  {:>8.2}  {:>6.2}",
+                r.mean_sojourn_ms, r.p95_ms, r.p99_ms, r.utilization
+            );
+        }
     }
 }

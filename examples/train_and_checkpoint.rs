@@ -43,7 +43,10 @@ fn main() {
     let orig = arts.cbnet.predict(&split.test.images);
     let rt = reloaded.predict(&split.test.images);
     assert_eq!(orig, rt, "reloaded CBNet diverged from the trained one");
-    println!("reloaded CBNet predicts identically on {} test images ✓", rt.len());
+    println!(
+        "reloaded CBNet predicts identically on {} test images ✓",
+        rt.len()
+    );
 
     let bn_orig = arts.branchynet.predict(&split.test.images);
     let bn_rt = bn.predict(&split.test.images);
@@ -54,7 +57,10 @@ fn main() {
     // the shipped one.
     let mut lw2 = extract_lightweight(&bn);
     let a = lw2.predict(&split.test.images).argmax_rows();
-    let b = reloaded.lightweight.predict(&split.test.images).argmax_rows();
+    let b = reloaded
+        .lightweight
+        .predict(&split.test.images)
+        .argmax_rows();
     assert_eq!(a, b);
     println!("re-extracted lightweight DNN matches the checkpointed one ✓");
 

@@ -13,9 +13,14 @@
 //! * [`models`] — LeNet, BranchyNet-LeNet, the converting autoencoder
 //!   (Table I), the lightweight classifier, AdaDeep/SubFlow comparators;
 //! * [`edgesim`] — calibrated Raspberry Pi 4 / GCI / K80 latency, power
-//!   (Eq. 1 & 2) and energy models, and a serving simulator;
+//!   (Eq. 1 & 2) and energy models, [`edgesim::CostProfile`] service-time
+//!   distributions, and a serving simulator driven by them;
+//! * [`runtime`] — the unified [`runtime::InferenceModel`] trait, evaluation
+//!   [`runtime::Scenario`]s, and the one generic [`runtime::evaluate`] path
+//!   every comparator goes through;
 //! * [`cbnet`] — the training pipeline (Fig. 4), the deployable
-//!   [`cbnet::CbnetModel`], and one experiment driver per table/figure.
+//!   [`cbnet::CbnetModel`], the [`cbnet::ModelRegistry`] that builds/trains
+//!   any comparator by name, and one experiment driver per table/figure.
 //!
 //! ## Quickstart
 //!
@@ -31,28 +36,44 @@
 //! let preds = arts.cbnet.predict(&split.test.images);
 //! assert_eq!(preds.len(), split.test.len());
 //!
-//! // Price it on a simulated Raspberry Pi 4.
-//! let device = DeviceModel::raspberry_pi4();
-//! let report = cbnet::evaluation::evaluate_cbnet(&mut arts.cbnet, &split.test, &device);
+//! // Price it on a simulated Raspberry Pi 4 through the generic
+//! // InferenceModel path (CbnetModel implements the trait).
+//! let scenario = Scenario::new(Family::MnistLike, Device::RaspberryPi4);
+//! let report = evaluate(&mut arts.cbnet, &split.test, &scenario);
+//! assert_eq!(report.model, "CBNet");
 //! assert!(report.latency_ms > 0.0);
+//!
+//! // The same cost profile that priced the report can drive the serving
+//! // simulator — service times come from the trained network.
+//! let profile = arts.cbnet.cost_profile(&scenario.device_model());
+//! assert!((profile.mean_ms() - report.latency_ms).abs() < 1e-12);
 //! ```
+//!
+//! To evaluate *every* comparator the paper compares, train a
+//! [`cbnet::ModelRegistry`] and iterate [`cbnet::ModelKind`]s — see the
+//! README quickstart and `crates/cbnet/src/registry.rs`.
 
 pub use cbnet;
 pub use datasets;
 pub use edgesim;
 pub use models;
 pub use nn;
+pub use runtime;
 pub use tensor;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cbnet::{self, CbnetModel, PipelineConfig};
+    pub use cbnet::{self, CbnetModel, ModelKind, ModelRegistry, PipelineConfig};
     pub use datasets::{self, Dataset, Family};
-    pub use edgesim::{Device, DeviceModel, PowerModel};
+    pub use edgesim::{CostProfile, Device, DeviceModel, PowerModel};
     pub use models::{
         accuracy, build_lenet, AutoencoderConfig, BranchyNet, BranchyNetConfig,
         ConvertingAutoencoder,
     };
     pub use nn::{Adam, Network, Optimizer};
+    pub use runtime::{
+        evaluate, BranchyNetModel, ClassifierModel, InferenceModel, ModelReport, Scenario,
+        SubFlowModel,
+    };
     pub use tensor::Tensor;
 }

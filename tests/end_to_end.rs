@@ -6,7 +6,6 @@
 
 use std::sync::OnceLock;
 
-use cbnet::evaluation::{evaluate_branchynet, evaluate_cbnet, evaluate_classifier};
 use cbnet::pipeline::{train_pipeline, PipelineArtifacts, PipelineConfig};
 use cbnet_repro::prelude::*;
 use datasets::Split;
@@ -62,7 +61,10 @@ fn fresh(family: Family) -> (Split, BranchyNet, CbnetModel, Network) {
 fn all_families_reach_usable_accuracy() {
     for family in Family::ALL {
         let (split, mut bn, mut cb, mut lenet) = fresh(family);
-        let lenet_acc = accuracy(&lenet.predict(&split.test.images).argmax_rows(), &split.test.labels);
+        let lenet_acc = accuracy(
+            &lenet.predict(&split.test.images).argmax_rows(),
+            &split.test.labels,
+        );
         let bn_acc = accuracy(&bn.predict(&split.test.images), &split.test.labels);
         let cb_acc = accuracy(&cb.predict(&split.test.images), &split.test.labels);
         assert!(lenet_acc > 0.6, "{family}: LeNet accuracy {lenet_acc}");
@@ -95,11 +97,11 @@ fn exit_rates_fall_with_hard_fraction() {
 
 #[test]
 fn cbnet_latency_is_dataset_independent() {
-    let device = DeviceModel::raspberry_pi4();
     let mut latencies = Vec::new();
     for family in Family::ALL {
         let (split, _, mut cb, _) = fresh(family);
-        let r = evaluate_cbnet(&mut cb, &split.test, &device);
+        let scenario = Scenario::new(family, Device::RaspberryPi4);
+        let r = evaluate(&mut cb, &split.test, &scenario);
         latencies.push(r.latency_ms);
     }
     let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
@@ -113,11 +115,12 @@ fn cbnet_latency_is_dataset_independent() {
 
 #[test]
 fn branchynet_latency_grows_with_hard_fraction() {
-    let device = DeviceModel::raspberry_pi4();
     let mut latencies = Vec::new();
     for family in Family::ALL {
         let (split, mut bn, _, _) = fresh(family);
-        let r = evaluate_branchynet(&mut bn, &split.test, &device);
+        let scenario = Scenario::new(family, Device::RaspberryPi4);
+        let mut bn_model = BranchyNetModel::new(&mut bn);
+        let r = evaluate(&mut bn_model, &split.test, &scenario);
         latencies.push(r.latency_ms);
     }
     assert!(
@@ -130,10 +133,11 @@ fn branchynet_latency_grows_with_hard_fraction() {
 fn cbnet_beats_lenet_everywhere() {
     for family in Family::ALL {
         for dev in edgesim::Device::ALL {
-            let device = DeviceModel::preset(dev);
+            let scenario = Scenario::new(family, dev);
             let (split, _, mut cb, mut lenet) = fresh(family);
-            let lr = evaluate_classifier("LeNet", &mut lenet, &split.test, &device);
-            let cr = evaluate_cbnet(&mut cb, &split.test, &device);
+            let mut lenet_model = ClassifierModel::new("LeNet", &mut lenet);
+            let lr = evaluate(&mut lenet_model, &split.test, &scenario);
+            let cr = evaluate(&mut cb, &split.test, &scenario);
             assert!(
                 cr.speedup_vs(&lr) > 2.0,
                 "{family}/{dev}: CBNet speedup only {:.2}×",
@@ -196,6 +200,9 @@ fn autoencoder_share_stays_moderate_on_cpu_devices() {
             frac < 0.30,
             "{dev}: AE fraction {frac:.2} exceeds the paper's ≈25% regime"
         );
-        assert!(frac > 0.05, "{dev}: AE fraction {frac:.2} implausibly small");
+        assert!(
+            frac > 0.05,
+            "{dev}: AE fraction {frac:.2} implausibly small"
+        );
     }
 }

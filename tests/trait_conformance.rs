@@ -1,0 +1,182 @@
+//! Trait-conformance suite: the generic `runtime::evaluate()` path must
+//! reproduce the legacy per-model evaluators' latency/accuracy/energy
+//! semantics exactly, for every `InferenceModel` implementation.
+//!
+//! Training is not needed — the latency semantics are architecture + device
+//! properties, and accuracy equivalence only needs *identical* predictions,
+//! which freshly-initialised (seeded) networks provide.
+
+use cbnet_repro::prelude::*;
+use edgesim::EnergyReport;
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use runtime::evaluate_on;
+
+fn small_split(family: Family, seed: u64) -> datasets::Split {
+    datasets::generate_pair(family, 20, 60, seed)
+}
+
+#[test]
+#[allow(deprecated)]
+fn generic_evaluate_matches_legacy_classifier() {
+    let mut rng = tensor::random::rng_from_seed(0);
+    let mut net = build_lenet(&mut rng);
+    let split = small_split(Family::MnistLike, 1);
+    for dev in Device::ALL {
+        let device = DeviceModel::preset(dev);
+        let legacy =
+            cbnet::evaluation::evaluate_classifier("LeNet", &mut net, &split.test, &device);
+        let scenario = Scenario::new(Family::MnistLike, dev);
+        let mut model = ClassifierModel::new("LeNet", &mut net);
+        let generic = evaluate(&mut model, &split.test, &scenario);
+        assert_eq!(generic.model, legacy.model);
+        assert_eq!(generic.latency_ms, legacy.latency_ms, "{dev}: latency");
+        assert_eq!(generic.accuracy_pct, legacy.accuracy_pct, "{dev}: accuracy");
+        assert_eq!(generic.energy_j, legacy.energy_j, "{dev}: energy");
+        assert_eq!(generic.exit_rate, None);
+        // And the legacy latency semantics themselves: full-network price.
+        assert_eq!(generic.latency_ms, device.price_network(&net).total_ms);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn generic_evaluate_matches_legacy_branchynet() {
+    let mut rng = tensor::random::rng_from_seed(2);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    // A mid-scale threshold so the evaluation set genuinely mixes exits.
+    bn.set_threshold(1.2);
+    let split = small_split(Family::FmnistLike, 3);
+    for dev in Device::ALL {
+        let device = DeviceModel::preset(dev);
+        let legacy = cbnet::evaluation::evaluate_branchynet(&mut bn, &split.test, &device);
+        let scenario = Scenario::new(Family::FmnistLike, dev);
+        let mut model = BranchyNetModel::new(&mut bn);
+        let generic = evaluate(&mut model, &split.test, &scenario);
+        assert_eq!(generic.exit_rate, legacy.exit_rate, "{dev}: exit rate");
+        assert!(
+            (generic.latency_ms - legacy.latency_ms).abs() < 1e-9,
+            "{dev}: latency {} vs legacy {}",
+            generic.latency_ms,
+            legacy.latency_ms
+        );
+        assert_eq!(generic.accuracy_pct, legacy.accuracy_pct, "{dev}: accuracy");
+    }
+}
+
+#[test]
+fn branchynet_mean_latency_is_exact_mixture() {
+    // The documented semantics: every sample pays trunk + branch + sync;
+    // non-exiting samples additionally pay the tail, weighted by the
+    // *measured* exit rate of the evaluation set.
+    let mut rng = tensor::random::rng_from_seed(4);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    bn.set_threshold(1.2);
+    let split = small_split(Family::KmnistLike, 5);
+    let device = DeviceModel::raspberry_pi4();
+
+    let mut model = BranchyNetModel::new(&mut bn);
+    let scenario = Scenario::new(Family::KmnistLike, Device::RaspberryPi4);
+    let report = evaluate(&mut model, &split.test, &scenario);
+    let rate = report.exit_rate.expect("BranchyNet reports an exit rate") as f64;
+
+    let (trunk, branch, tail) = bn.stages();
+    let easy = device.price_network(trunk).total_ms
+        + device.price_network(branch).total_ms
+        + device.exit_sync_ms;
+    let tail_ms = device.price_network(tail).total_ms;
+    let expect = easy + (1.0 - rate) * tail_ms;
+    assert!(
+        (report.latency_ms - expect).abs() < 1e-9,
+        "mixture mean {} vs manual {expect}",
+        report.latency_ms
+    );
+}
+
+#[test]
+fn branchynet_latency_between_all_early_and_none_early_bounds() {
+    let mut rng = tensor::random::rng_from_seed(6);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let split = small_split(Family::MnistLike, 7);
+    let scenario = Scenario::new(Family::MnistLike, Device::RaspberryPi4);
+
+    bn.set_threshold(f32::INFINITY);
+    let mut model = BranchyNetModel::new(&mut bn);
+    let all_early = evaluate(&mut model, &split.test, &scenario).latency_ms;
+
+    model.network_mut().set_threshold(0.0);
+    let none_early = evaluate(&mut model, &split.test, &scenario).latency_ms;
+
+    model.network_mut().set_threshold(1.2);
+    let mixed = evaluate(&mut model, &split.test, &scenario);
+
+    assert!(all_early < none_early);
+    assert!(
+        mixed.latency_ms >= all_early - 1e-12 && mixed.latency_ms <= none_early + 1e-12,
+        "mixed latency {} outside [{all_early}, {none_early}]",
+        mixed.latency_ms
+    );
+    // The profile's support brackets the report the same way.
+    let profile = model.cost_profile(&scenario.device_model());
+    assert!((profile.min_ms() - all_early).abs() < 1e-9);
+    assert!((profile.max_ms() - none_early).abs() < 1e-9);
+}
+
+#[test]
+#[allow(deprecated)]
+fn generic_evaluate_matches_legacy_cbnet() {
+    let mut rng = tensor::random::rng_from_seed(8);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut cb = CbnetModel {
+        autoencoder: ConvertingAutoencoder::new(AutoencoderConfig::mnist(), &mut rng),
+        lightweight: extract_lightweight(&bn),
+    };
+    let split = small_split(Family::MnistLike, 9);
+    for dev in Device::ALL {
+        let device = DeviceModel::preset(dev);
+        let legacy = cbnet::evaluation::evaluate_cbnet(&mut cb, &split.test, &device);
+        let scenario = Scenario::new(Family::MnistLike, dev);
+        let generic = evaluate(&mut cb, &split.test, &scenario);
+        assert_eq!(generic.latency_ms, legacy.latency_ms, "{dev}: latency");
+        assert_eq!(generic.accuracy_pct, legacy.accuracy_pct, "{dev}: accuracy");
+        assert_eq!(generic.energy_j, legacy.energy_j, "{dev}: energy");
+        // CBNet's profile is constant: AE + lightweight, input-independent.
+        let expect = device.price_specs(&cb.autoencoder.specs()).total_ms
+            + device.price_network(&cb.lightweight).total_ms;
+        assert_eq!(generic.latency_ms, expect, "{dev}: AE+lightweight sum");
+    }
+}
+
+#[test]
+fn subflow_profile_consistent_with_effective_flops_pricing() {
+    let mut rng = tensor::random::rng_from_seed(10);
+    let net = build_lenet(&mut rng);
+    let split = small_split(Family::MnistLike, 11);
+    let sf = SubFlow::new(net);
+    let u = 0.75;
+    let device = DeviceModel::raspberry_pi4();
+    let expect = device
+        .price_specs_with_flops(&sf.backbone().specs(), &sf.effective_layer_flops(u))
+        .total_ms;
+    let mut model = SubFlowModel::new(&sf, u);
+    let report = evaluate_on(&mut model, &split.test, &device, "SubFlow check");
+    assert_eq!(report.latency_ms, expect);
+    assert_eq!(report.scenario, "SubFlow check");
+}
+
+#[test]
+fn report_energy_follows_device_power_model() {
+    // Energy in a report must equal EnergyReport::from_latency of its own
+    // latency — evaluate() may not invent its own accounting.
+    let mut rng = tensor::random::rng_from_seed(12);
+    let mut net = build_lenet(&mut rng);
+    let split = small_split(Family::MnistLike, 13);
+    for dev in Device::ALL {
+        let device = DeviceModel::preset(dev);
+        let scenario = Scenario::new(Family::MnistLike, dev);
+        let mut model = ClassifierModel::new("LeNet", &mut net);
+        let r = evaluate(&mut model, &split.test, &scenario);
+        let expect = EnergyReport::from_latency(&device, r.latency_ms).energy_j;
+        assert_eq!(r.energy_j, expect, "{dev}");
+    }
+}
