@@ -1,121 +1,231 @@
-//! Serving scenario matrix (extension): model × dataset family × device ×
-//! offered load, with every service-time distribution taken from
-//! `InferenceModel::cost_profile()` of the *trained* networks — no
-//! hand-picked latency constants anywhere.
+//! Serving sweep (extension): model × dataset family × device × offered
+//! load × serving policy, with every service-time distribution **measured**
+//! from the trained networks — `InferenceModel::sample_costs()` prices each
+//! evaluation input by the execution path it actually took, and the
+//! resulting `CostProfile::Empirical` histogram drives the discrete-event
+//! engine. No hand-picked latency constants anywhere.
 //!
-//! For each family the registry trains the shared models once; each model is
-//! then run on the evaluation set to measure its operating point (the
-//! BranchyNet exit rate), priced on each device, and pushed through the
-//! discrete-event FIFO simulator at arrival rates anchored to the LeNet
+//! For each family the registry trains the shared models once; each model's
+//! per-sample latencies are measured on the evaluation set per device, and
+//! pushed through the engine at arrival rates anchored to the LeNet
 //! baseline's capacity on that device (offered loads 0.5 / 0.8 / 0.95 of
-//! `1000 / mean_service_ms`). CBNet's input-independent profile keeps its
-//! tails flat where BranchyNet's early-exit variance builds queues — the
-//! serving-level corollary of the paper's Fig. 3.
+//! `servers × 1000 / mean_service_ms`). The policy dimension sweeps the
+//! engine's extension points: single-server FIFO (the legacy-equivalent
+//! baseline), multi-server FIFO and shortest-expected-service behind a
+//! bounded queue, and batch-accumulation.
+//!
+//! Configurations whose offered load is ≥ 1 per server are flagged **up
+//! front** on stderr: without admission control they have no steady state,
+//! so their sojourn numbers are runaway transients, not equilibria.
 //!
 //! Output: an aligned table on stdout plus the same rows as CSV (between
-//! `--- CSV ---` markers) so the matrix can feed downstream tooling.
+//! `--- CSV ---` markers) with policy, servers, admission, drop-rate and
+//! per-server-utilization columns.
+//!
+//! Env knobs: `CBNET_SCALE=small` shrinks training;
+//! `CBNET_SERVING_SMOKE=1` shrinks the sweep matrix itself (one family, one
+//! load, fewer requests) for CI smoke runs.
 
 use bench::{banner, scale_from_env};
 use cbnet::registry::{ModelKind, ModelRegistry};
 use cbnet::table::TextTable;
 use datasets::Family;
-use edgesim::pipeline::{simulate, ServingConfig};
+use edgesim::engine::{simulate_engine, AdmissionPolicy, EngineConfig, SchedulerKind};
+use edgesim::pipeline::ServingConfig;
 use edgesim::{CostProfile, Device, DeviceModel};
 
 /// Offered loads swept per device, as fractions of the LeNet baseline's
-/// service capacity.
+/// aggregate service capacity across all servers of the cell.
 const LOADS: [f64; 3] = [0.5, 0.8, 0.95];
-/// Requests simulated per cell.
+/// Requests simulated per cell (full run).
 const REQUESTS: usize = 20_000;
+
+/// The serving-policy dimension: scheduler × server count × admission.
+fn policies(mean_service_ms: f64) -> Vec<(SchedulerKind, usize, AdmissionPolicy)> {
+    vec![
+        // The legacy-equivalent baseline (bit-identical to pipeline::simulate).
+        (SchedulerKind::Fifo, 1, AdmissionPolicy::Unbounded),
+        (
+            SchedulerKind::Fifo,
+            4,
+            AdmissionPolicy::Bounded { max_queue: 256 },
+        ),
+        (
+            SchedulerKind::ShortestService,
+            4,
+            AdmissionPolicy::Bounded { max_queue: 256 },
+        ),
+        (
+            SchedulerKind::Batch {
+                max_batch: 8,
+                // Hold partial batches at most two mean service times: long
+                // enough to fuse under load, short enough not to dominate
+                // light-load latency.
+                max_wait_ms: 2.0 * mean_service_ms,
+            },
+            4,
+            AdmissionPolicy::Bounded { max_queue: 256 },
+        ),
+    ]
+}
+
+struct Cell {
+    family: Family,
+    device: Device,
+    kind: ModelKind,
+    /// The swept fraction of the LeNet baseline's capacity (the traffic
+    /// anchor — per-model offered load is derived from the engine config).
+    anchor_load: f64,
+    engine: EngineConfig,
+}
 
 fn main() {
     banner(
-        "Serving matrix",
-        "model × family × device × load, priced from trained cost profiles",
+        "Serving sweep",
+        "model × family × device × load × policy, from measured per-sample costs",
     );
     let scale = scale_from_env();
+    let smoke = std::env::var("CBNET_SERVING_SMOKE").as_deref() == Ok("1");
+    let families: &[Family] = if smoke {
+        &[Family::MnistLike]
+    } else {
+        &Family::ALL
+    };
+    let loads: &[f64] = if smoke { &[0.8] } else { &LOADS };
+    let requests = if smoke { 4_000 } else { REQUESTS };
 
-    let mut table = TextTable::new(&[
-        "Family",
-        "Device",
-        "Model",
-        "easy%",
-        "E[S] (ms)",
-        "arrivals/s",
-        "load",
-        "mean (ms)",
-        "p95 (ms)",
-        "p99 (ms)",
-        "util",
-        "energy (J)",
-    ]);
-
-    for family in Family::ALL {
+    // Phase 1: train + measure, building every cell of the matrix.
+    let mut cells: Vec<Cell> = Vec::new();
+    for &family in families {
         let mut reg = ModelRegistry::train(family, &scale);
-        let test = reg.split().test.clone();
+        let test_images = reg.split().test.images.clone();
 
-        // Collect per-device profiles; only the early-exit model needs a
-        // prediction pass first (its mixture weight is the exit rate
-        // measured on the evaluation set — constant-profile models are
-        // priced from their layer specs alone).
-        let mut priced: Vec<(ModelKind, Vec<CostProfile>)> = Vec::new();
-        for kind in ModelKind::CORE {
-            let mut model = reg.model(kind);
-            if kind == ModelKind::BranchyNet {
-                let _ = model.predict_batch(&test.images);
-            }
-            let profiles: Vec<CostProfile> = Device::ALL
-                .iter()
-                .map(|&d| model.cost_profile(&DeviceModel::preset(d)))
-                .collect();
-            priced.push((kind, profiles));
-        }
+        // Measure each comparator's per-sample latencies per device: the
+        // empirical profile carries the real early-exit variance (for
+        // BranchyNet, each sample is priced by the exit it actually took).
+        let priced: Vec<(ModelKind, Vec<CostProfile>)> = ModelKind::CORE
+            .iter()
+            .map(|&kind| {
+                let profiles = Device::ALL
+                    .iter()
+                    .map(|&d| reg.empirical_profile(kind, &test_images, &DeviceModel::preset(d)))
+                    .collect();
+                (kind, profiles)
+            })
+            .collect();
 
         for (di, &device) in Device::ALL.iter().enumerate() {
-            let device_model = DeviceModel::preset(device);
             // Arrival rates anchored to the baseline's capacity on this
-            // device, identical for every model: same traffic, different
-            // serving behaviour.
+            // device and scaled by the cell's server count: same per-server
+            // pressure for every policy, different serving behaviour.
             let lenet_mean = priced
                 .iter()
                 .find(|(k, _)| *k == ModelKind::LeNet)
                 .map(|(_, p)| p[di].mean_ms())
                 .expect("LeNet is in CORE");
-            for &load in &LOADS {
-                let rate_hz = load * 1000.0 / lenet_mean;
+            for &load in loads {
                 for (kind, profiles) in &priced {
-                    let profile = profiles[di];
-                    let r = simulate(
-                        &device_model,
-                        &ServingConfig {
-                            arrival_rate_hz: rate_hz,
-                            profile,
-                            requests: REQUESTS,
-                            seed: 11,
-                        },
-                    );
-                    table.row(&[
-                        family.name().to_string(),
-                        device.name().to_string(),
-                        kind.name().to_string(),
-                        format!("{:.0}", profile.easy_fraction() * 100.0),
-                        format!("{:.3}", profile.mean_ms()),
-                        format!("{rate_hz:.0}"),
-                        format!("{:.2}", profile.offered_load(rate_hz)),
-                        format!("{:.2}", r.mean_sojourn_ms),
-                        format!("{:.2}", r.p95_ms),
-                        format!("{:.2}", r.p99_ms),
-                        format!("{:.2}", r.utilization),
-                        format!("{:.2}", r.energy_j),
-                    ]);
+                    let profile = &profiles[di];
+                    for (scheduler, servers, admission) in policies(profile.mean_ms()) {
+                        let rate_hz = load * servers as f64 * 1000.0 / lenet_mean;
+                        cells.push(Cell {
+                            family,
+                            device,
+                            kind: *kind,
+                            anchor_load: load,
+                            engine: EngineConfig {
+                                workload: ServingConfig {
+                                    arrival_rate_hz: rate_hz,
+                                    profile: profile.clone(),
+                                    requests,
+                                    seed: 11,
+                                },
+                                servers,
+                                scheduler,
+                                admission,
+                            },
+                        });
+                    }
                 }
             }
         }
     }
 
+    // Phase 2: validate the whole matrix up front — a cell whose offered
+    // load is ≥ 1 per server has no steady state unless admission control
+    // sheds, so its sojourns would be runaway transients.
+    for cell in &cells {
+        if !cell.engine.is_stable() && cell.engine.admission == AdmissionPolicy::Unbounded {
+            eprintln!(
+                "WARNING: unstable cell ({} / {} / {} / {} x{}): \
+                 offered load {:.2} per server with unbounded admission — \
+                 sojourns are transients, not steady-state",
+                cell.family.name(),
+                cell.device.name(),
+                cell.kind.name(),
+                cell.engine.scheduler.label(),
+                cell.engine.servers,
+                cell.engine.per_server_load(),
+            );
+        }
+    }
+
+    // Phase 3: simulate.
+    let mut table = TextTable::new(&[
+        "Family",
+        "Device",
+        "Model",
+        "policy",
+        "servers",
+        "admission",
+        "easy%",
+        "E[S] (ms)",
+        "arrivals/s",
+        "sweep",
+        "load/server",
+        "mean (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "drop_rate",
+        "util",
+        "util/server",
+        "energy (J)",
+    ]);
+    for cell in &cells {
+        let device_model = DeviceModel::preset(cell.device);
+        let r = simulate_engine(&device_model, &cell.engine);
+        let profile = &cell.engine.workload.profile;
+        table.row(&[
+            cell.family.name().to_string(),
+            cell.device.name().to_string(),
+            cell.kind.name().to_string(),
+            cell.engine.scheduler.label(),
+            cell.engine.servers.to_string(),
+            cell.engine.admission.label(),
+            format!("{:.0}", profile.easy_fraction() * 100.0),
+            format!("{:.3}", profile.mean_ms()),
+            format!("{:.0}", cell.engine.workload.arrival_rate_hz),
+            format!("{:.2}", cell.anchor_load),
+            format!("{:.2}", cell.engine.per_server_load()),
+            format!("{:.2}", r.serving.mean_sojourn_ms),
+            format!("{:.2}", r.serving.p95_ms),
+            format!("{:.2}", r.serving.p99_ms),
+            format!("{:.4}", r.drop_rate()),
+            format!("{:.2}", r.serving.utilization),
+            r.per_server_utilization
+                .iter()
+                .map(|u| format!("{u:.2}"))
+                .collect::<Vec<_>>()
+                .join(";"),
+            format!("{:.2}", r.serving.energy_j),
+        ]);
+    }
+
     print!("{}", table.render());
     println!("\nCBNet's input-independent service time keeps tails flat where early-exit");
-    println!("variance builds queues — the serving-level corollary of the paper's Fig. 3.");
+    println!("variance builds queues; shortest-expected-service and batching recover some");
+    println!("of that tail, bounded admission trades it for drops — all measured from the");
+    println!("trained networks' per-sample costs, none of it hand-picked.");
     println!("\n--- CSV ---");
     print!("{}", table.to_csv());
     println!("--- END CSV ---");

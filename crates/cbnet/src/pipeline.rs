@@ -118,6 +118,12 @@ impl runtime::InferenceModel for CbnetModel {
         let lw_ms = device.price_network(&self.lightweight).total_ms;
         edgesim::CostProfile::constant(ae_ms + lw_ms)
     }
+
+    /// Per-sample costs are flat for the same reason: AE + lightweight for
+    /// every row, no data-dependent control flow to measure.
+    fn sample_costs(&mut self, x: &Tensor, device: &edgesim::DeviceModel) -> Vec<f64> {
+        vec![self.cost_profile(device).mean_ms(); x.dims()[0]]
+    }
 }
 
 /// Everything the pipeline produces — kept so experiments can evaluate each

@@ -2,7 +2,7 @@
 //! name, and hand them out behind the unified [`InferenceModel`] interface.
 //!
 //! Training is shared the way the paper shares it: one
-//! [`prepare_family`](crate::experiments::prepare_family) pass trains the
+//! [`prepare_family`](crate::experiments::prepare_family()) pass trains the
 //! CBNet pipeline (whose BranchyNet *is* the Table II comparator) plus the
 //! LeNet baseline; the AdaDeep compression search and the SubFlow wrapper
 //! are built lazily on first request because only Fig. 5 needs them. The
@@ -18,6 +18,10 @@ use runtime::{
 };
 
 use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
+
+/// Magic prefix of a registry model checkpoint (see
+/// [`ModelRegistry::save_model`]).
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"CBR1";
 
 /// SubFlow utilization used for comparisons. The paper runs SubFlow at a
 /// budget that roughly matches full-network accuracy; 0.75 reproduces its
@@ -60,6 +64,19 @@ impl ModelKind {
             ModelKind::AdaDeep => "AdaDeep",
             ModelKind::SubFlow => "SubFlow",
             ModelKind::Cbnet => "CBNet",
+        }
+    }
+
+    /// Stable one-byte checkpoint tag. Explicit per variant — this is an
+    /// on-disk format discriminant and must never follow a presentation
+    /// reordering of [`ModelKind::ALL`].
+    pub fn tag(&self) -> u8 {
+        match self {
+            ModelKind::LeNet => 0,
+            ModelKind::BranchyNet => 1,
+            ModelKind::AdaDeep => 2,
+            ModelKind::SubFlow => 3,
+            ModelKind::Cbnet => 4,
         }
     }
 
@@ -130,6 +147,31 @@ impl ModelRegistry {
         self.tf
     }
 
+    /// Train the AdaDeep compression-search winner if it has not been yet.
+    fn ensure_adadeep(&mut self) {
+        if self.adadeep.is_none() {
+            let cfg = AdaDeepConfig {
+                cost_weight: 0.3,
+                train: self.scale.train_config(),
+                seed: self.scale.seed ^ 0xADA,
+            };
+            let result = search(
+                &default_candidates(),
+                &self.tf.split.train,
+                &self.tf.split.test,
+                &cfg,
+            );
+            self.adadeep = Some(result.network);
+        }
+    }
+
+    /// Wrap the SubFlow executor around the LeNet backbone if needed.
+    fn ensure_subflow(&mut self) {
+        if self.subflow.is_none() {
+            self.subflow = Some(SubFlow::new(self.tf.lenet.duplicate()));
+        }
+    }
+
     /// Borrow a comparator as an [`InferenceModel`], training it first when
     /// it is lazy (AdaDeep search, SubFlow wrap).
     pub fn model(&mut self, kind: ModelKind) -> Box<dyn InferenceModel + '_> {
@@ -140,35 +182,44 @@ impl ModelRegistry {
             }
             ModelKind::Cbnet => Box::new(&mut self.tf.artifacts.cbnet),
             ModelKind::AdaDeep => {
-                if self.adadeep.is_none() {
-                    let cfg = AdaDeepConfig {
-                        cost_weight: 0.3,
-                        train: self.scale.train_config(),
-                        seed: self.scale.seed ^ 0xADA,
-                    };
-                    let result = search(
-                        &default_candidates(),
-                        &self.tf.split.train,
-                        &self.tf.split.test,
-                        &cfg,
-                    );
-                    self.adadeep = Some(result.network);
-                }
+                self.ensure_adadeep();
                 Box::new(ClassifierModel::new(
                     "AdaDeep",
                     self.adadeep.as_mut().expect("just trained"),
                 ))
             }
             ModelKind::SubFlow => {
-                if self.subflow.is_none() {
-                    self.subflow = Some(SubFlow::new(self.tf.lenet.duplicate()));
-                }
+                self.ensure_subflow();
                 Box::new(SubFlowModel::new(
                     self.subflow.as_ref().expect("just built"),
                     SUBFLOW_UTILIZATION,
                 ))
             }
         }
+    }
+
+    /// Measured per-sample service times of one comparator on a batch (see
+    /// [`InferenceModel::sample_costs`]): each input priced by the execution
+    /// path it actually took.
+    pub fn sample_costs(
+        &mut self,
+        kind: ModelKind,
+        x: &tensor::Tensor,
+        device: &edgesim::DeviceModel,
+    ) -> Vec<f64> {
+        self.model(kind).sample_costs(x, device)
+    }
+
+    /// An [`edgesim::CostProfile::Empirical`] histogram measured from a
+    /// comparator's real per-sample latencies on `x` — the replayable
+    /// workload description the serving engine sweeps are driven by.
+    pub fn empirical_profile(
+        &mut self,
+        kind: ModelKind,
+        x: &tensor::Tensor,
+        device: &edgesim::DeviceModel,
+    ) -> edgesim::CostProfile {
+        edgesim::CostProfile::empirical(self.sample_costs(kind, x, device))
     }
 
     /// Build + evaluate one comparator under a scenario.
@@ -193,6 +244,111 @@ impl ModelRegistry {
             .iter()
             .map(|&k| self.evaluate(k, data, scenario))
             .collect()
+    }
+
+    // ------------------------------------------------------- persistence
+
+    /// Serialize one trained comparator's weights (training it first when it
+    /// is lazy). The payload is the safetensors-style format of
+    /// `tensor::serialize` / `nn::Network::save` — a self-describing header
+    /// (magic, layer specs, tensor dims) followed by raw little-endian f32
+    /// data — wrapped in a registry envelope that records which comparator
+    /// it holds. Restore with [`ModelRegistry::load_model`].
+    pub fn save_model(&mut self, kind: ModelKind) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(CHECKPOINT_MAGIC);
+        buf.put_u8(kind.tag());
+        let put_block = |buf: &mut bytes::BytesMut, b: bytes::Bytes| {
+            buf.put_u64_le(b.len() as u64);
+            buf.put_slice(&b);
+        };
+        match kind {
+            ModelKind::LeNet => put_block(&mut buf, self.tf.lenet.save()),
+            ModelKind::BranchyNet => put_block(&mut buf, self.tf.artifacts.branchynet.save()),
+            ModelKind::Cbnet => {
+                put_block(&mut buf, self.tf.artifacts.cbnet.autoencoder.save());
+                put_block(&mut buf, self.tf.artifacts.cbnet.lightweight.save());
+            }
+            ModelKind::AdaDeep => {
+                self.ensure_adadeep();
+                put_block(
+                    &mut buf,
+                    self.adadeep.as_ref().expect("just trained").save(),
+                );
+            }
+            ModelKind::SubFlow => {
+                self.ensure_subflow();
+                put_block(
+                    &mut buf,
+                    self.subflow.as_ref().expect("just built").backbone().save(),
+                );
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Replace one comparator's weights from a checkpoint written by
+    /// [`ModelRegistry::save_model`]. The checkpoint must hold the same
+    /// [`ModelKind`] it is loaded into.
+    pub fn load_model(
+        &mut self,
+        kind: ModelKind,
+        mut buf: impl bytes::Buf,
+    ) -> Result<(), tensor::TensorError> {
+        use tensor::TensorError;
+        let err = |m: &str| TensorError::Deserialize(m.into());
+        if buf.remaining() < CHECKPOINT_MAGIC.len() + 1 {
+            return Err(err("registry checkpoint too short"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != CHECKPOINT_MAGIC {
+            return Err(err("bad registry checkpoint magic"));
+        }
+        let tag = buf.get_u8();
+        if tag != kind.tag() {
+            return Err(err("checkpoint holds a different comparator"));
+        }
+        let get_block = |buf: &mut dyn bytes::Buf| -> Result<bytes::Bytes, TensorError> {
+            if buf.remaining() < 8 {
+                return Err(err("truncated checkpoint block"));
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(err("truncated checkpoint body"));
+            }
+            Ok(buf.copy_to_bytes(len))
+        };
+        match kind {
+            ModelKind::LeNet => {
+                self.tf.lenet = nn::Network::load(get_block(&mut buf)?)?;
+                // An already-built SubFlow wrapper duplicates the old LeNet
+                // backbone; drop it so the next request rebuilds from the
+                // loaded weights.
+                self.subflow = None;
+            }
+            ModelKind::BranchyNet => {
+                self.tf.artifacts.branchynet =
+                    models::branchynet::BranchyNet::load(get_block(&mut buf)?)?;
+            }
+            ModelKind::Cbnet => {
+                let autoencoder =
+                    models::autoencoder::ConvertingAutoencoder::load(get_block(&mut buf)?)?;
+                let lightweight = nn::Network::load(get_block(&mut buf)?)?;
+                self.tf.artifacts.cbnet = crate::pipeline::CbnetModel {
+                    autoencoder,
+                    lightweight,
+                };
+            }
+            ModelKind::AdaDeep => {
+                self.adadeep = Some(nn::Network::load(get_block(&mut buf)?)?);
+            }
+            ModelKind::SubFlow => {
+                self.subflow = Some(SubFlow::new(nn::Network::load(get_block(&mut buf)?)?));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,72 @@
+//! Registry checkpoint roundtrips: every comparator's trained weights
+//! survive save → load → predict_batch bit-for-bit, across registries that
+//! were trained from different seeds.
+
+use cbnet::experiments::ExperimentScale;
+use cbnet::registry::{ModelKind, ModelRegistry};
+use datasets::Family;
+
+fn tiny_scale(seed: u64) -> ExperimentScale {
+    ExperimentScale {
+        n_train: 200,
+        n_test: 60,
+        epochs: 1,
+        seed,
+    }
+}
+
+#[test]
+fn save_load_predict_roundtrip_for_every_kind() {
+    let mut src = ModelRegistry::train(Family::MnistLike, &tiny_scale(0xA11CE));
+    // A differently-seeded destination: different data, different weights —
+    // loading must overwrite all of that with the source's weights.
+    let mut dst = ModelRegistry::train(Family::MnistLike, &tiny_scale(0xB0B));
+    let probe = src.split().test.images.clone();
+
+    for kind in ModelKind::ALL {
+        let blob = src.save_model(kind);
+        let want = src.model(kind).predict_batch(&probe);
+        dst.load_model(kind, blob).unwrap_or_else(|e| {
+            panic!("loading {kind} checkpoint failed: {e:?}");
+        });
+        let got = dst.model(kind).predict_batch(&probe);
+        assert_eq!(got, want, "{kind}: predictions changed across the wire");
+    }
+}
+
+#[test]
+fn loading_lenet_rebuilds_stale_subflow_wrapper() {
+    // SubFlow wraps a duplicate of the LeNet backbone; loading new LeNet
+    // weights must invalidate an already-built wrapper, not leave it
+    // serving the old weights.
+    let mut src = ModelRegistry::train(Family::MnistLike, &tiny_scale(0x5EED));
+    let mut dst = ModelRegistry::train(Family::MnistLike, &tiny_scale(0xFEED));
+    let probe = src.split().test.images.clone();
+
+    let want = src.model(ModelKind::SubFlow).predict_batch(&probe);
+    let _ = dst.model(ModelKind::SubFlow).predict_batch(&probe); // build the wrapper
+    dst.load_model(ModelKind::LeNet, src.save_model(ModelKind::LeNet))
+        .expect("LeNet checkpoint loads");
+    let got = dst.model(ModelKind::SubFlow).predict_batch(&probe);
+    assert_eq!(
+        got, want,
+        "SubFlow must re-wrap the loaded LeNet backbone, not the stale one"
+    );
+}
+
+#[test]
+fn load_rejects_kind_mismatch_and_garbage() {
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny_scale(0xC0DE));
+    let lenet_blob = reg.save_model(ModelKind::LeNet);
+    assert!(
+        reg.load_model(ModelKind::Cbnet, lenet_blob).is_err(),
+        "a LeNet checkpoint must not load as CBNet"
+    );
+    assert!(reg.load_model(ModelKind::LeNet, &b"CBR1"[..]).is_err());
+    assert!(reg
+        .load_model(
+            ModelKind::LeNet,
+            &b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00\x00"[..]
+        )
+        .is_err());
+}

@@ -2,8 +2,9 @@
 //!
 //! A [`CostProfile`] is *the* currency between trained models and the serving
 //! layer: every `InferenceModel` prices itself on a device as a profile, and
-//! the discrete-event simulator ([`crate::pipeline`]) draws per-request
-//! service times from it. Two shapes cover every model in the paper:
+//! the discrete-event simulators ([`crate::pipeline`], [`crate::engine`])
+//! draw per-request service times from it. Three shapes cover every model in
+//! the paper and every measurement of one:
 //!
 //! * [`CostProfile::Constant`] — input-independent latency. LeNet, CBNet,
 //!   AdaDeep and SubFlow pay the same cost for every image (the property the
@@ -12,9 +13,14 @@
 //!   *easy* with the measured exit probability (paying trunk + branch), or
 //!   *hard* (additionally paying the tail). The mixture weight comes from the
 //!   trained network's measured exit rate, not an assumed one.
+//! * [`CostProfile::Empirical`] — a histogram of **measured per-sample
+//!   latencies** (`InferenceModel::sample_costs` prices each input of an
+//!   evaluation batch by the execution path it actually took). Sampling is
+//!   the inverse empirical CDF, so replaying the profile reproduces the
+//!   exact per-sample variance the closed-form shapes summarise away.
 
 /// A per-request service-time distribution on one device, in milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CostProfile {
     /// Every request takes exactly `service_ms`.
     Constant {
@@ -29,6 +35,12 @@ pub enum CostProfile {
         hard_ms: f64,
         /// Probability a request is easy (the measured exit rate).
         easy_fraction: f64,
+    },
+    /// Measured per-sample latencies (an empirical histogram; each stored
+    /// sample is one equal-mass bin of the inverse CDF).
+    Empirical {
+        /// Per-sample service times, sorted ascending, all positive/finite.
+        samples_ms: Vec<f64>,
     },
 }
 
@@ -57,8 +69,27 @@ impl CostProfile {
         p
     }
 
+    /// A measured profile from per-sample latencies (any order; sorted
+    /// internally). This is how trained models feed the serving layer their
+    /// real variance: one entry per evaluation input, priced by the
+    /// execution path that input actually took.
+    ///
+    /// # Panics
+    /// Panics when `samples_ms` is empty or contains a non-positive or
+    /// non-finite value.
+    pub fn empirical(mut samples_ms: Vec<f64>) -> Self {
+        assert!(
+            samples_ms.iter().all(|s| s.is_finite()),
+            "service times must be positive and finite"
+        );
+        samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("checked finite"));
+        let p = CostProfile::Empirical { samples_ms };
+        p.assert_valid();
+        p
+    }
+
     /// Validate invariants (service times positive and finite, mixture
-    /// weight in `[0, 1]`).
+    /// weight in `[0, 1]`, empirical samples sorted and non-empty).
     ///
     /// # Panics
     /// Panics on violation — the serving simulator calls this up front so a
@@ -85,68 +116,98 @@ impl CostProfile {
                     "easy fraction must be in [0, 1]"
                 );
             }
+            CostProfile::Empirical { ref samples_ms } => {
+                assert!(!samples_ms.is_empty(), "empirical profile needs samples");
+                assert!(
+                    samples_ms.iter().all(|s| *s > 0.0 && s.is_finite()),
+                    "service times must be positive and finite"
+                );
+                assert!(
+                    samples_ms.windows(2).all(|w| w[0] <= w[1]),
+                    "empirical samples must be sorted ascending"
+                );
+            }
         }
     }
 
     /// Mean service time, ms.
     pub fn mean_ms(&self) -> f64 {
-        match *self {
-            CostProfile::Constant { service_ms } => service_ms,
+        match self {
+            CostProfile::Constant { service_ms } => *service_ms,
             CostProfile::Bimodal {
                 easy_ms,
                 hard_ms,
                 easy_fraction,
             } => easy_fraction * easy_ms + (1.0 - easy_fraction) * hard_ms,
+            CostProfile::Empirical { samples_ms } => {
+                samples_ms.iter().sum::<f64>() / samples_ms.len() as f64
+            }
         }
     }
 
     /// Smallest possible service time, ms.
     pub fn min_ms(&self) -> f64 {
-        match *self {
-            CostProfile::Constant { service_ms } => service_ms,
+        match self {
+            CostProfile::Constant { service_ms } => *service_ms,
             CostProfile::Bimodal {
                 easy_ms, hard_ms, ..
-            } => easy_ms.min(hard_ms),
+            } => easy_ms.min(*hard_ms),
+            CostProfile::Empirical { samples_ms } => samples_ms[0],
         }
     }
 
     /// Largest possible service time, ms.
     pub fn max_ms(&self) -> f64 {
-        match *self {
-            CostProfile::Constant { service_ms } => service_ms,
+        match self {
+            CostProfile::Constant { service_ms } => *service_ms,
             CostProfile::Bimodal {
                 easy_ms, hard_ms, ..
-            } => easy_ms.max(hard_ms),
+            } => easy_ms.max(*hard_ms),
+            CostProfile::Empirical { samples_ms } => samples_ms[samples_ms.len() - 1],
         }
     }
 
-    /// Probability a request takes the cheap path (1 for constant profiles).
+    /// Probability a request takes the cheap path: 1 for constant profiles,
+    /// the mixture weight for bimodal ones, and the measured fraction of
+    /// samples at the minimum latency for empirical ones (for an early-exit
+    /// model measured per input, that *is* its observed exit rate).
     pub fn easy_fraction(&self) -> f64 {
-        match *self {
+        match self {
             CostProfile::Constant { .. } => 1.0,
-            CostProfile::Bimodal { easy_fraction, .. } => easy_fraction,
+            CostProfile::Bimodal { easy_fraction, .. } => *easy_fraction,
+            CostProfile::Empirical { samples_ms } => {
+                let min = samples_ms[0];
+                samples_ms.iter().take_while(|&&s| s == min).count() as f64
+                    / samples_ms.len() as f64
+            }
         }
     }
 
     /// Draw one service time from the distribution via a uniform variate
-    /// `u ∈ [0, 1)` (inverse-CDF sampling; callers own the RNG).
+    /// `u ∈ [0, 1)` (inverse-CDF sampling; callers own the RNG). For
+    /// empirical profiles this indexes the sorted measurement histogram, so
+    /// replayed workloads carry exactly the measured per-sample variance.
     ///
     /// # Panics
     /// Panics unless `u ∈ [0, 1)`.
     pub fn sample(&self, u: f64) -> f64 {
         assert!((0.0..1.0).contains(&u), "uniform variate must be in [0, 1)");
-        match *self {
-            CostProfile::Constant { service_ms } => service_ms,
+        match self {
+            CostProfile::Constant { service_ms } => *service_ms,
             CostProfile::Bimodal {
                 easy_ms,
                 hard_ms,
                 easy_fraction,
             } => {
-                if u < easy_fraction {
-                    easy_ms
+                if u < *easy_fraction {
+                    *easy_ms
                 } else {
-                    hard_ms
+                    *hard_ms
                 }
+            }
+            CostProfile::Empirical { samples_ms } => {
+                let idx = (u * samples_ms.len() as f64) as usize;
+                samples_ms[idx.min(samples_ms.len() - 1)]
             }
         }
     }
@@ -183,6 +244,53 @@ mod tests {
         assert_eq!(p.sample(0.5), 2.0);
         assert_eq!(p.sample(0.75), 12.0);
         assert_eq!(p.sample(0.9), 12.0);
+    }
+
+    #[test]
+    fn empirical_profile_stats() {
+        // Unsorted on purpose: the constructor sorts.
+        let p = CostProfile::empirical(vec![4.0, 1.0, 1.0, 2.0]);
+        assert_eq!(p.min_ms(), 1.0);
+        assert_eq!(p.max_ms(), 4.0);
+        assert!((p.mean_ms() - 2.0).abs() < 1e-12);
+        assert!((p.easy_fraction() - 0.5).abs() < 1e-12);
+        // Inverse empirical CDF: quartile boundaries hit the sorted samples.
+        assert_eq!(p.sample(0.0), 1.0);
+        assert_eq!(p.sample(0.49), 1.0);
+        assert_eq!(p.sample(0.5), 2.0);
+        assert_eq!(p.sample(0.75), 4.0);
+        assert_eq!(p.sample(0.999999), 4.0);
+    }
+
+    #[test]
+    fn empirical_single_sample_acts_constant() {
+        let p = CostProfile::empirical(vec![3.25]);
+        assert_eq!(p.mean_ms(), 3.25);
+        assert_eq!(p.easy_fraction(), 1.0);
+        assert_eq!(p.sample(0.9), 3.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn rejects_empty_empirical() {
+        let _ = CostProfile::empirical(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_empirical_sample() {
+        let _ = CostProfile::empirical(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_hand_built_empirical() {
+        // Direct construction bypasses the sorting constructor; assert_valid
+        // must still catch it.
+        CostProfile::Empirical {
+            samples_ms: vec![2.0, 1.0],
+        }
+        .assert_valid();
     }
 
     #[test]

@@ -1,0 +1,746 @@
+//! Discrete-event multi-server serving engine.
+//!
+//! Where [`crate::pipeline::simulate`] is a closed-form single-server FIFO
+//! recurrence, this module is a proper event-driven simulator: a binary
+//! event heap (arrivals, completions, batch-deadline timers) drives N
+//! parallel servers, a pluggable [`Scheduler`] decides what a free server
+//! runs next, and an [`AdmissionPolicy`] decides whether an arriving
+//! request is queued at all — with dropped requests accounted per run, not
+//! silently discarded.
+//!
+//! # Conformance with the legacy simulator
+//!
+//! The workload is pre-generated with **exactly** the legacy loop's RNG
+//! draw order — one inter-arrival uniform, then one service uniform, per
+//! request — and the engine's dispatch arithmetic reuses the event times
+//! themselves (`start = now`), never recomputing them. Together with the
+//! shared report finalizer in [`crate::pipeline`], this makes the 1-server
+//! FIFO unbounded configuration reproduce `simulate`'s [`ServingReport`]
+//! bit for bit; `tests/trait_conformance.rs` and the edgesim proptests pin
+//! that equivalence.
+//!
+//! # Batching semantics
+//!
+//! A [`SchedulerKind::Batch`] dispatch fuses up to `max_batch` queued
+//! requests into one launch: the batch occupies its server for the *maximum*
+//! of its members' solo service times (members execute as one fused kernel,
+//! so the batch is as slow as its slowest member), and every member
+//! completes when the batch does. A partial batch launches when the oldest
+//! queued request has waited `max_wait_ms`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::device::DeviceModel;
+use crate::pipeline::{finalize_report, ServingConfig, ServingReport};
+
+/// One request flowing through the engine. The service requirement is
+/// pre-sampled from the workload's [`crate::cost::CostProfile`] at
+/// arrival-generation time (for an early-exit model it encodes which path the request takes),
+/// so schedulers may use it as the request's expected service time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Arrival index (0-based, in arrival order).
+    pub id: usize,
+    /// Absolute arrival time, ms.
+    pub arrival_ms: f64,
+    /// Service requirement, ms.
+    pub service_ms: f64,
+}
+
+/// A scheduler's answer to "server is free at `now` — what should it run?".
+#[derive(Debug, Clone)]
+pub enum Dispatch {
+    /// Run these requests as one batch (singleton for non-batching
+    /// disciplines). Must be non-empty.
+    Serve(Vec<Request>),
+    /// Nothing ready yet, but something is queued: re-ask at this time
+    /// (batch-accumulation deadline).
+    WaitUntil(f64),
+    /// Queue empty — nothing to do until the next arrival.
+    Idle,
+}
+
+/// A queue discipline. The engine owns arrivals and servers; the scheduler
+/// owns the queue. `enqueue` is called once per admitted request,
+/// `dispatch` whenever a server is idle, `queue_len` by admission control.
+pub trait Scheduler {
+    /// Display name for tables/CSV (`fifo`, `ses`, `batch8`, …).
+    fn name(&self) -> String;
+    /// Accept an admitted request into the queue.
+    fn enqueue(&mut self, req: Request);
+    /// Decide what a server idle at `now_ms` should do.
+    fn dispatch(&mut self, now_ms: f64) -> Dispatch;
+    /// Requests currently waiting (not in service).
+    fn queue_len(&self) -> usize;
+}
+
+/// First-in-first-out, one request per dispatch — the discipline of the
+/// legacy simulator.
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<Request>,
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+    fn enqueue(&mut self, req: Request) {
+        self.queue.push_back(req);
+    }
+    fn dispatch(&mut self, _now_ms: f64) -> Dispatch {
+        match self.queue.pop_front() {
+            Some(r) => Dispatch::Serve(vec![r]),
+            None => Dispatch::Idle,
+        }
+    }
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Shortest-expected-service first: dispatch the queued request with the
+/// smallest service requirement (ties broken by arrival order). Trades
+/// worst-case fairness for mean sojourn — under bursty early-exit traffic
+/// it lets easy requests overtake the hard ones that build queues.
+#[derive(Debug, Default)]
+pub struct ShortestServiceScheduler {
+    queue: Vec<Request>,
+}
+
+impl Scheduler for ShortestServiceScheduler {
+    fn name(&self) -> String {
+        "ses".into()
+    }
+    fn enqueue(&mut self, req: Request) {
+        self.queue.push(req);
+    }
+    fn dispatch(&mut self, _now_ms: f64) -> Dispatch {
+        if self.queue.is_empty() {
+            return Dispatch::Idle;
+        }
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.service_ms
+                    .partial_cmp(&b.service_ms)
+                    .expect("service times are finite")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+            .expect("queue checked non-empty");
+        Dispatch::Serve(vec![self.queue.remove(best)])
+    }
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Batch accumulation: hold requests until `max_batch` are queued or the
+/// oldest has waited `max_wait_ms`, then launch them as one batch (FIFO
+/// within the queue). See the module docs for the batch cost model.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    max_batch: usize,
+    max_wait_ms: f64,
+    queue: VecDeque<Request>,
+}
+
+impl BatchScheduler {
+    /// A batch-accumulate scheduler.
+    ///
+    /// # Panics
+    /// Panics unless `max_batch ≥ 1` and `max_wait_ms ≥ 0` and finite.
+    pub fn new(max_batch: usize, max_wait_ms: f64) -> Self {
+        assert!(max_batch >= 1, "batch size must be at least 1");
+        assert!(
+            max_wait_ms >= 0.0 && max_wait_ms.is_finite(),
+            "max wait must be non-negative and finite"
+        );
+        BatchScheduler {
+            max_batch,
+            max_wait_ms,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl Scheduler for BatchScheduler {
+    fn name(&self) -> String {
+        format!("batch{}", self.max_batch)
+    }
+    fn enqueue(&mut self, req: Request) {
+        self.queue.push_back(req);
+    }
+    fn dispatch(&mut self, now_ms: f64) -> Dispatch {
+        let Some(oldest) = self.queue.front() else {
+            return Dispatch::Idle;
+        };
+        let deadline = oldest.arrival_ms + self.max_wait_ms;
+        if self.queue.len() >= self.max_batch || now_ms >= deadline {
+            let k = self.queue.len().min(self.max_batch);
+            Dispatch::Serve(self.queue.drain(..k).collect())
+        } else {
+            Dispatch::WaitUntil(deadline)
+        }
+    }
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Declarative scheduler selection for sweeps/CSV (build one fresh per run
+/// with [`SchedulerKind::build`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// [`FifoScheduler`].
+    Fifo,
+    /// [`ShortestServiceScheduler`].
+    ShortestService,
+    /// [`BatchScheduler`] with these parameters.
+    Batch {
+        /// Largest batch one dispatch may fuse.
+        max_batch: usize,
+        /// Longest a partial batch may hold its oldest request, ms.
+        max_wait_ms: f64,
+    },
+}
+
+impl SchedulerKind {
+    /// Instantiate a fresh scheduler of this kind.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerKind::Fifo => Box::<FifoScheduler>::default(),
+            SchedulerKind::ShortestService => Box::<ShortestServiceScheduler>::default(),
+            SchedulerKind::Batch {
+                max_batch,
+                max_wait_ms,
+            } => Box::new(BatchScheduler::new(max_batch, max_wait_ms)),
+        }
+    }
+
+    /// Display name (matches the built scheduler's `name()`); allocation-
+    /// and panic-free so it is safe in warning/report paths even for a
+    /// configuration `build()` would reject.
+    pub fn label(&self) -> String {
+        match *self {
+            SchedulerKind::Fifo => "fifo".into(),
+            SchedulerKind::ShortestService => "ses".into(),
+            SchedulerKind::Batch { max_batch, .. } => format!("batch{max_batch}"),
+        }
+    }
+}
+
+/// Admission control, consulted once per arrival with the current queue
+/// length (requests waiting, not those in service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything (queues can grow without bound under overload).
+    Unbounded,
+    /// Admit only while fewer than `max_queue` requests wait; everything
+    /// else is dropped and accounted in [`EngineReport::dropped`].
+    Bounded {
+        /// Queue-length cap.
+        max_queue: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Does an arrival get in, given the current queue length?
+    pub fn admits(&self, queue_len: usize) -> bool {
+        match *self {
+            AdmissionPolicy::Unbounded => true,
+            AdmissionPolicy::Bounded { max_queue } => queue_len < max_queue,
+        }
+    }
+
+    /// Display name for tables/CSV.
+    pub fn label(&self) -> String {
+        match *self {
+            AdmissionPolicy::Unbounded => "unbounded".into(),
+            AdmissionPolicy::Bounded { max_queue } => format!("q{max_queue}"),
+        }
+    }
+}
+
+/// Full configuration of one engine run: the workload (shared with the
+/// legacy simulator) plus the serving topology.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Arrival process, service profile, request count, seed.
+    pub workload: ServingConfig,
+    /// Number of identical parallel servers.
+    pub servers: usize,
+    /// Queue discipline.
+    pub scheduler: SchedulerKind,
+    /// Admission control.
+    pub admission: AdmissionPolicy,
+}
+
+impl EngineConfig {
+    /// The configuration that must reproduce the legacy simulator exactly:
+    /// one server, FIFO, no admission control.
+    pub fn single_fifo(workload: ServingConfig) -> Self {
+        EngineConfig {
+            workload,
+            servers: 1,
+            scheduler: SchedulerKind::Fifo,
+            admission: AdmissionPolicy::Unbounded,
+        }
+    }
+
+    /// Offered load per server, `ρ = λ·E[S] / N`. `ρ ≥ 1` means the system
+    /// is unstable without admission control (batching can stretch actual
+    /// capacity past this estimate, which ignores batch fusion).
+    pub fn per_server_load(&self) -> f64 {
+        self.workload
+            .profile
+            .offered_load(self.workload.arrival_rate_hz)
+            / self.servers as f64
+    }
+
+    /// Is the offered load serviceable (`ρ < 1` per server)?
+    pub fn is_stable(&self) -> bool {
+        self.per_server_load() < 1.0
+    }
+}
+
+/// What happened to one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Served to completion.
+    Completed {
+        /// Server that ran it.
+        server: usize,
+        /// Service start, ms.
+        start_ms: f64,
+        /// Completion, ms.
+        finish_ms: f64,
+    },
+    /// Rejected by admission control.
+    Dropped,
+}
+
+/// Per-request trace entry (the raw material of the engine's property
+/// tests: FIFO order, sojourn ≥ service, conservation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// The request as generated.
+    pub request: Request,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+/// Aggregate + per-server + per-request results of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Sojourn/energy aggregates over *completed* requests, same semantics
+    /// as the legacy simulator's report.
+    pub serving: ServingReport,
+    /// Requests generated.
+    pub arrivals: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected by admission control.
+    pub dropped: usize,
+    /// Busy milliseconds accumulated per server.
+    pub per_server_busy_ms: Vec<f64>,
+    /// Busy fraction of the makespan, per server.
+    pub per_server_utilization: Vec<f64>,
+    /// One record per request, in arrival (id) order.
+    pub records: Vec<RequestRecord>,
+}
+
+impl EngineReport {
+    /// Fraction of arrivals dropped by admission control.
+    pub fn drop_rate(&self) -> f64 {
+        self.dropped as f64 / self.arrivals as f64
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(usize),
+    Completion { server: usize },
+    Timer,
+}
+
+#[derive(Debug)]
+struct Event {
+    time_ms: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ms == other.time_ms && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time (then the
+        // earliest-scheduled event) pops first. Times are finite by
+        // construction.
+        other
+            .time_ms
+            .partial_cmp(&self.time_ms)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Run the discrete-event engine.
+///
+/// # Panics
+/// Panics on a non-positive arrival rate, an invalid profile, zero requests
+/// or zero servers.
+pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport {
+    let w = &cfg.workload;
+    assert!(w.arrival_rate_hz > 0.0, "arrival rate must be positive");
+    w.profile.assert_valid();
+    assert!(w.requests > 0, "need at least one request");
+    assert!(cfg.servers > 0, "need at least one server");
+
+    // Pre-generate the workload with the legacy loop's exact RNG draw order
+    // (inter-arrival uniform, then service uniform, per request) — the
+    // anchor of the bit-identical 1-server FIFO conformance.
+    let mut rng = StdRng::seed_from_u64(w.seed);
+    let mean_interarrival_ms = 1000.0 / w.arrival_rate_hz;
+    let mut requests: Vec<Request> = Vec::with_capacity(w.requests);
+    let mut arrival = 0.0f64;
+    for id in 0..w.requests {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        arrival += -mean_interarrival_ms * u.ln();
+        let service_ms = w.profile.sample(rng.gen::<f64>());
+        requests.push(Request {
+            id,
+            arrival_ms: arrival,
+            service_ms,
+        });
+    }
+
+    let mut scheduler = cfg.scheduler.build();
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(w.requests + cfg.servers);
+    let mut seq = 0u64;
+    for r in &requests {
+        heap.push(Event {
+            time_ms: r.arrival_ms,
+            seq,
+            kind: EventKind::Arrival(r.id),
+        });
+        seq += 1;
+    }
+
+    let mut idle = vec![true; cfg.servers];
+    let mut busy_ms = vec![0.0f64; cfg.servers];
+    // The batch each busy server is running: (start time, members).
+    let mut in_flight: Vec<(f64, Vec<Request>)> = vec![(0.0, Vec::new()); cfg.servers];
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; w.requests];
+    let mut sojourns: Vec<f64> = Vec::new();
+    let mut dropped = 0usize;
+    // Last "real" event time (arrival or completion; stale batch timers
+    // must not stretch the makespan).
+    let mut makespan = 0.0f64;
+
+    while let Some(ev) = heap.pop() {
+        let now = ev.time_ms;
+        match ev.kind {
+            EventKind::Arrival(id) => {
+                makespan = makespan.max(now);
+                if cfg.admission.admits(scheduler.queue_len()) {
+                    scheduler.enqueue(requests[id]);
+                } else {
+                    dropped += 1;
+                    outcomes[id] = Some(Outcome::Dropped);
+                }
+            }
+            EventKind::Completion { server } => {
+                makespan = makespan.max(now);
+                let (start_ms, batch) =
+                    std::mem::replace(&mut in_flight[server], (0.0, Vec::new()));
+                for r in batch {
+                    sojourns.push(now - r.arrival_ms);
+                    outcomes[r.id] = Some(Outcome::Completed {
+                        server,
+                        start_ms,
+                        finish_ms: now,
+                    });
+                }
+                idle[server] = true;
+            }
+            EventKind::Timer => {}
+        }
+
+        // Let every idle server ask the scheduler for work. `start = now`
+        // reuses the event time verbatim — the engine never recomputes a
+        // max(arrival, free_at), so dispatch arithmetic matches the legacy
+        // recurrence exactly.
+        for s in 0..cfg.servers {
+            if !idle[s] {
+                continue;
+            }
+            match scheduler.dispatch(now) {
+                Dispatch::Serve(batch) => {
+                    assert!(!batch.is_empty(), "scheduler dispatched an empty batch");
+                    let service = batch
+                        .iter()
+                        .map(|r| r.service_ms)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    busy_ms[s] += service;
+                    idle[s] = false;
+                    in_flight[s] = (now, batch);
+                    heap.push(Event {
+                        time_ms: now + service,
+                        seq,
+                        kind: EventKind::Completion { server: s },
+                    });
+                    seq += 1;
+                }
+                Dispatch::WaitUntil(t) => {
+                    // A deadline for the queued partial batch; stale timers
+                    // are harmless (they just re-ask the scheduler).
+                    heap.push(Event {
+                        time_ms: t,
+                        seq,
+                        kind: EventKind::Timer,
+                    });
+                    seq += 1;
+                    break;
+                }
+                Dispatch::Idle => break,
+            }
+        }
+    }
+
+    let busy_total = busy_ms.iter().sum::<f64>();
+    let per_server_utilization = busy_ms
+        .iter()
+        .map(|&b| {
+            if makespan > 0.0 {
+                (b / makespan).min(1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let records = requests
+        .iter()
+        .map(|&request| RequestRecord {
+            request,
+            outcome: outcomes[request.id].expect("every request resolves by drain"),
+        })
+        .collect();
+    let completed = w.requests - dropped;
+
+    EngineReport {
+        serving: finalize_report(device, sojourns, busy_total, makespan, cfg.servers),
+        arrivals: w.requests,
+        completed,
+        dropped,
+        per_server_busy_ms: busy_ms,
+        per_server_utilization,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostProfile;
+    use crate::device::DeviceModel;
+    use crate::pipeline::simulate;
+
+    fn workload(rate: f64, profile: CostProfile, requests: usize, seed: u64) -> ServingConfig {
+        ServingConfig {
+            arrival_rate_hz: rate,
+            profile,
+            requests,
+            seed,
+        }
+    }
+
+    #[test]
+    fn single_fifo_matches_legacy_exactly() {
+        let d = DeviceModel::raspberry_pi4();
+        for profile in [
+            CostProfile::constant(2.4),
+            CostProfile::bimodal(2.0, 13.0, 0.9),
+            CostProfile::empirical(vec![1.0, 1.5, 2.0, 9.0, 12.5]),
+        ] {
+            let w = workload(120.0, profile, 4_000, 42);
+            let legacy = simulate(&d, &w);
+            let engine = simulate_engine(&d, &EngineConfig::single_fifo(w));
+            assert_eq!(engine.serving.mean_sojourn_ms, legacy.mean_sojourn_ms);
+            assert_eq!(engine.serving.p50_ms, legacy.p50_ms);
+            assert_eq!(engine.serving.p95_ms, legacy.p95_ms);
+            assert_eq!(engine.serving.p99_ms, legacy.p99_ms);
+            assert_eq!(engine.serving.utilization, legacy.utilization);
+            assert_eq!(engine.serving.makespan_ms, legacy.makespan_ms);
+            assert_eq!(engine.serving.energy_j, legacy.energy_j);
+            assert_eq!(engine.dropped, 0);
+            assert_eq!(engine.completed, 4_000);
+        }
+    }
+
+    #[test]
+    fn more_servers_cut_queueing() {
+        let d = DeviceModel::raspberry_pi4();
+        let w = workload(300.0, CostProfile::bimodal(2.0, 13.0, 0.8), 8_000, 7);
+        let one = simulate_engine(&d, &EngineConfig::single_fifo(w.clone()));
+        let four = simulate_engine(
+            &d,
+            &EngineConfig {
+                workload: w,
+                servers: 4,
+                scheduler: SchedulerKind::Fifo,
+                admission: AdmissionPolicy::Unbounded,
+            },
+        );
+        assert!(four.serving.mean_sojourn_ms < one.serving.mean_sojourn_ms);
+        assert_eq!(four.per_server_utilization.len(), 4);
+        assert!(four.per_server_utilization.iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn bounded_admission_drops_under_overload() {
+        let d = DeviceModel::raspberry_pi4();
+        // ρ ≈ 400/s · 4 ms = 1.6: heavily unstable without shedding.
+        let w = workload(400.0, CostProfile::constant(4.0), 6_000, 3);
+        let cfg = EngineConfig {
+            workload: w,
+            servers: 1,
+            scheduler: SchedulerKind::Fifo,
+            admission: AdmissionPolicy::Bounded { max_queue: 16 },
+        };
+        assert!(!cfg.is_stable());
+        let r = simulate_engine(&d, &cfg);
+        assert!(r.dropped > 0, "overload with a 16-deep queue must shed");
+        assert_eq!(r.completed + r.dropped, r.arrivals);
+        assert!((r.drop_rate() - r.dropped as f64 / 6_000.0).abs() < 1e-15);
+        // The bounded queue caps sojourns: ≤ (cap + 1) services.
+        assert!(r.serving.p99_ms <= 17.0 * 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn shortest_service_beats_fifo_on_mean_sojourn() {
+        let d = DeviceModel::raspberry_pi4();
+        // Heavy bimodal traffic near saturation: SES lets easy requests
+        // overtake queue-building hard ones.
+        let w = workload(230.0, CostProfile::bimodal(2.0, 13.0, 0.8), 10_000, 11);
+        let fifo = simulate_engine(&d, &EngineConfig::single_fifo(w.clone()));
+        let ses = simulate_engine(
+            &d,
+            &EngineConfig {
+                workload: w,
+                servers: 1,
+                scheduler: SchedulerKind::ShortestService,
+                admission: AdmissionPolicy::Unbounded,
+            },
+        );
+        assert!(
+            ses.serving.mean_sojourn_ms < fifo.serving.mean_sojourn_ms,
+            "ses {} !< fifo {}",
+            ses.serving.mean_sojourn_ms,
+            fifo.serving.mean_sojourn_ms
+        );
+    }
+
+    #[test]
+    fn batch_scheduler_fuses_and_completes_everything() {
+        let d = DeviceModel::raspberry_pi4();
+        let w = workload(500.0, CostProfile::bimodal(2.0, 13.0, 0.9), 5_000, 19);
+        let r = simulate_engine(
+            &d,
+            &EngineConfig {
+                workload: w,
+                servers: 2,
+                scheduler: SchedulerKind::Batch {
+                    max_batch: 8,
+                    max_wait_ms: 4.0,
+                },
+                admission: AdmissionPolicy::Unbounded,
+            },
+        );
+        assert_eq!(r.completed, 5_000);
+        assert_eq!(r.dropped, 0);
+        // Batching fuses work: total busy time is below the sum of solo
+        // services (which the 1-server FIFO run pays in full).
+        let solo_total: f64 = r.records.iter().map(|rec| rec.request.service_ms).sum();
+        let busy_total: f64 = r.per_server_busy_ms.iter().sum();
+        assert!(
+            busy_total < solo_total,
+            "batching should fuse: busy {busy_total} !< solo {solo_total}"
+        );
+        // Every member completes no earlier than its own solo service.
+        for rec in &r.records {
+            match rec.outcome {
+                Outcome::Completed { finish_ms, .. } => {
+                    assert!(finish_ms - rec.request.arrival_ms >= rec.request.service_ms - 1e-9)
+                }
+                Outcome::Dropped => panic!("unbounded admission dropped a request"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let d = DeviceModel::gci_cpu();
+        let cfg = EngineConfig {
+            workload: workload(800.0, CostProfile::bimodal(0.4, 1.4, 0.7), 5_000, 23),
+            servers: 3,
+            scheduler: SchedulerKind::ShortestService,
+            admission: AdmissionPolicy::Bounded { max_queue: 32 },
+        };
+        let a = simulate_engine(&d, &cfg);
+        let b = simulate_engine(&d, &cfg);
+        assert_eq!(a.serving.mean_sojourn_ms, b.serving.mean_sojourn_ms);
+        assert_eq!(a.serving.p99_ms, b.serving.p99_ms);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        // Each kind's label must agree with its built scheduler's name.
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::ShortestService,
+            SchedulerKind::Batch {
+                max_batch: 8,
+                max_wait_ms: 2.0,
+            },
+        ] {
+            assert_eq!(kind.label(), kind.build().name());
+        }
+        assert_eq!(SchedulerKind::Fifo.label(), "fifo");
+        assert_eq!(SchedulerKind::ShortestService.label(), "ses");
+        assert_eq!(AdmissionPolicy::Unbounded.label(), "unbounded");
+        assert_eq!(AdmissionPolicy::Bounded { max_queue: 64 }.label(), "q64");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rejects_zero_servers() {
+        let d = DeviceModel::raspberry_pi4();
+        let cfg = EngineConfig {
+            workload: workload(10.0, CostProfile::constant(1.0), 10, 0),
+            servers: 0,
+            scheduler: SchedulerKind::Fifo,
+            admission: AdmissionPolicy::Unbounded,
+        };
+        let _ = simulate_engine(&d, &cfg);
+    }
+}

@@ -19,10 +19,15 @@
 //!   Raspberry Pi; constant measured averages for the GPU case (§IV-E:
 //!   17.7 W CPU, 79 W GPU).
 //! * [`energy`] — `E = P · Δt` accounting and savings-vs-baseline helpers.
-//! * [`pipeline`] — a discrete-event serving simulator (arrivals, a
-//!   single-device queue, tail-latency percentiles): an extension beyond the
-//!   paper's batch experiments that shows how exit-rate variance turns into
-//!   queueing delay.
+//! * [`pipeline`] — serving workload/report types and the legacy
+//!   single-server FIFO simulator (the conformance baseline): an extension
+//!   beyond the paper's batch experiments that shows how exit-rate variance
+//!   turns into queueing delay.
+//! * [`engine`] — the discrete-event multi-server engine behind it: an
+//!   event heap driving N servers, pluggable [`Scheduler`] disciplines
+//!   (FIFO / shortest-expected-service / batch-accumulate) and
+//!   [`AdmissionPolicy`] load shedding with drop accounting. Its 1-server
+//!   FIFO configuration reproduces [`pipeline::simulate`] bit for bit.
 //!
 //! Because the paper reports *relative* speedups and savings, anchoring the
 //! baseline latency and applying the same per-layer accounting to every
@@ -32,6 +37,7 @@
 pub mod cost;
 pub mod device;
 pub mod energy;
+pub mod engine;
 pub mod partition;
 pub mod pipeline;
 pub mod power;
@@ -39,5 +45,8 @@ pub mod power;
 pub use cost::CostProfile;
 pub use device::{Device, DeviceModel, LatencyBreakdown};
 pub use energy::{energy_joules, savings_percent, EnergyReport};
+pub use engine::{
+    simulate_engine, AdmissionPolicy, EngineConfig, EngineReport, Scheduler, SchedulerKind,
+};
 pub use partition::{best_split, Uplink};
 pub use power::PowerModel;

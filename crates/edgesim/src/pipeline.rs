@@ -1,20 +1,50 @@
-//! Discrete-event serving simulator.
+//! Serving simulation front door: workload/report types, the legacy
+//! single-server closed-form loop, and the extension points of the
+//! discrete-event engine.
 //!
 //! The paper evaluates batch inference (total time over a test set). Real
 //! edge deployments serve a *stream* of requests, where early-exit variance
 //! has a second-order effect the batch numbers hide: hard images hold the
 //! device busy 5–10× longer than easy ones, so bursts of hard inputs build
 //! queues. This module — an extension beyond the paper, flagged as such in
-//! DESIGN.md — simulates a single-device FIFO server under Poisson arrivals
-//! with per-request service times drawn from a [`CostProfile`], and reports
-//! sojourn-time percentiles and energy (busy power while serving, idle power
-//! otherwise).
+//! DESIGN.md — simulates serving under Poisson arrivals with per-request
+//! service times drawn from a [`CostProfile`], and reports sojourn-time
+//! percentiles and energy (busy power while serving, idle power otherwise).
+//!
+//! # Two simulators, one report
+//!
+//! * [`simulate`] — the original closed-form single-server FIFO recurrence
+//!   (`finish_i = max(arrival_i, finish_{i-1}) + service_i`). It is kept
+//!   verbatim as the conformance baseline: the event engine's 1-server FIFO
+//!   configuration must reproduce its [`ServingReport`] **bit for bit**
+//!   (`tests/trait_conformance.rs` and the edgesim proptests enforce this).
+//! * [`crate::engine::simulate_engine`] — the discrete-event engine: an
+//!   event heap driving N parallel servers, with two extension points:
+//!
+//!   * [`crate::engine::Scheduler`] — the queue discipline a free server
+//!     consults. Shipped implementations: FIFO, shortest-expected-service,
+//!     and batch-accumulate with a max-wait deadline (see
+//!     [`crate::engine::SchedulerKind`]). Implement the trait to add a new
+//!     discipline; the engine only ever calls `enqueue` / `dispatch` /
+//!     `queue_len`, so a scheduler owns its queue representation outright.
+//!   * [`crate::engine::AdmissionPolicy`] — consulted once per arrival with
+//!     the current queue length. `Unbounded` admits everything; `Bounded`
+//!     sheds load with per-request drop accounting (reported as
+//!     `drop_rate`, never silently).
+//!
+//! # Where profiles come from
 //!
 //! The profile is the bridge to the model layer: `InferenceModel::
 //! cost_profile()` prices a *trained* network on a device, and that exact
-//! distribution drives the queue — no hand-picked service constants.
+//! distribution drives the queue — no hand-picked service constants. For
+//! measured workloads, `InferenceModel::sample_costs()` runs a real
+//! evaluation batch and prices **each input by the execution path it
+//! actually took** (e.g. which exit a BranchyNet sample left through);
+//! [`CostProfile::empirical`] turns those per-sample latencies into a
+//! replayable histogram, which is how the `serving` bench bin drives every
+//! sweep.
 //!
-//! The simulator is deterministic given its seed.
+//! Both simulators are deterministic given their seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +54,7 @@ use crate::device::DeviceModel;
 use crate::power::PowerModel;
 
 /// Workload + service parameters for one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// Mean arrival rate, requests per second (Poisson process).
     pub arrival_rate_hz: f64,
@@ -87,18 +117,41 @@ pub fn simulate(device: &DeviceModel, cfg: &ServingConfig) -> ServingReport {
         server_free_at = finish;
     }
 
-    let makespan = server_free_at;
+    finalize_report(device, sojourns, busy_ms, server_free_at, 1)
+}
+
+/// Aggregate sojourn samples plus busy-time accounting into a
+/// [`ServingReport`]. Shared by the legacy closed-form loop and the
+/// discrete-event engine so the single-server FIFO configurations of the
+/// two stay bit-identical: the sort, percentile indexing, mean summation
+/// and energy arithmetic happen in exactly one place. `busy_ms` is summed
+/// across all `servers`; capacity is `servers × makespan`.
+pub(crate) fn finalize_report(
+    device: &DeviceModel,
+    mut sojourns: Vec<f64>,
+    busy_ms: f64,
+    makespan: f64,
+    servers: usize,
+) -> ServingReport {
     sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| -> f64 {
+        if sojourns.is_empty() {
+            return 0.0;
+        }
         let idx = ((sojourns.len() as f64 - 1.0) * p).round() as usize;
         sojourns[idx]
     };
-    let mean = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+    let mean = if sojourns.is_empty() {
+        0.0
+    } else {
+        sojourns.iter().sum::<f64>() / sojourns.len() as f64
+    };
 
+    let capacity_ms = makespan * servers as f64;
     let power = PowerModel::for_device(device.device);
     let busy_w = power.watts(device.inference_utilization);
     let idle_w = power.idle_watts();
-    let idle_ms = (makespan - busy_ms).max(0.0);
+    let idle_ms = (capacity_ms - busy_ms).max(0.0);
     let energy_j = (busy_w * busy_ms + idle_w * idle_ms) / 1000.0;
 
     ServingReport {
@@ -106,7 +159,11 @@ pub fn simulate(device: &DeviceModel, cfg: &ServingConfig) -> ServingReport {
         p50_ms: pct(0.50),
         p95_ms: pct(0.95),
         p99_ms: pct(0.99),
-        utilization: (busy_ms / makespan).min(1.0),
+        utilization: if capacity_ms > 0.0 {
+            (busy_ms / capacity_ms).min(1.0)
+        } else {
+            0.0
+        },
         makespan_ms: makespan,
         energy_j,
     }

@@ -43,6 +43,12 @@ impl InferenceModel for ClassifierModel<'_> {
     fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
         CostProfile::constant(device.price_network(self.net).total_ms)
     }
+
+    fn sample_costs(&mut self, x: &Tensor, device: &DeviceModel) -> Vec<f64> {
+        // Input-independent: every row pays the full network, no prediction
+        // pass needed to price it.
+        vec![device.price_network(self.net).total_ms; x.dims()[0]]
+    }
 }
 
 /// A trained BranchyNet: bimodal cost — every sample pays trunk + branch +
@@ -74,6 +80,18 @@ impl<'a> BranchyNetModel<'a> {
     pub fn network_mut(&mut self) -> &mut BranchyNet {
         self.net
     }
+
+    /// The two execution-path prices on a device: `(easy, hard)` ms. The
+    /// single source for both `cost_profile` and `sample_costs`, so the
+    /// bimodal and empirical views can never diverge.
+    fn easy_hard_ms(&self, device: &DeviceModel) -> (f64, f64) {
+        let (trunk, branch, tail) = self.net.stages();
+        let easy_ms = device.price_network(trunk).total_ms
+            + device.price_network(branch).total_ms
+            + device.exit_sync_ms;
+        let hard_ms = easy_ms + device.price_network(tail).total_ms;
+        (easy_ms, hard_ms)
+    }
 }
 
 impl InferenceModel for BranchyNetModel<'_> {
@@ -88,13 +106,26 @@ impl InferenceModel for BranchyNetModel<'_> {
     }
 
     fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
-        let (trunk, branch, tail) = self.net.stages();
-        let easy_ms = device.price_network(trunk).total_ms
-            + device.price_network(branch).total_ms
-            + device.exit_sync_ms;
-        let hard_ms = easy_ms + device.price_network(tail).total_ms;
+        let (easy_ms, hard_ms) = self.easy_hard_ms(device);
         let easy_fraction = self.measured_exit_rate.unwrap_or(0.0) as f64;
         CostProfile::bimodal(easy_ms, hard_ms, easy_fraction)
+    }
+
+    /// Per-sample costs from the **actual** exit decisions: each row is
+    /// charged the easy path or the full path by where it really left the
+    /// network on this batch (also updating the measured exit rate, like
+    /// `predict_batch`).
+    fn sample_costs(&mut self, x: &Tensor, device: &DeviceModel) -> Vec<f64> {
+        let outputs = self.net.infer(x);
+        self.measured_exit_rate = Some(ExitStats::from_outputs(&outputs).early_rate());
+        let (easy_ms, hard_ms) = self.easy_hard_ms(device);
+        outputs
+            .into_iter()
+            .map(|o| match o.exit {
+                models::branchynet::ExitDecision::Early => easy_ms,
+                models::branchynet::ExitDecision::Main => hard_ms,
+            })
+            .collect()
     }
 
     fn exit_rate(&self) -> Option<f32> {
@@ -137,6 +168,12 @@ impl InferenceModel for SubFlowModel<'_> {
         let specs = self.sf.backbone().specs();
         let eff = self.sf.effective_layer_flops(self.utilization);
         CostProfile::constant(device.price_specs_with_flops(&specs, &eff).total_ms)
+    }
+
+    fn sample_costs(&mut self, x: &Tensor, device: &DeviceModel) -> Vec<f64> {
+        // The induced subgraph runs every layer for every input at the fixed
+        // utilization — input-independent cost.
+        vec![self.cost_profile(device).mean_ms(); x.dims()[0]]
     }
 }
 
@@ -207,6 +244,43 @@ mod tests {
         assert!((0.0..=100.0).contains(&r.accuracy_pct));
         assert!(r.energy_j > 0.0);
         assert!(r.exit_rate.is_none());
+    }
+
+    #[test]
+    fn branchynet_sample_costs_follow_actual_exits() {
+        let mut rng = rng_from_seed(5);
+        let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        bn.set_threshold(1.2); // mixed exits
+        let split = generate_pair(Family::FmnistLike, 10, 50, 7);
+        let device = DeviceModel::raspberry_pi4();
+        let mut model = BranchyNetModel::new(&mut bn);
+        let costs = model.sample_costs(&split.test.images, &device);
+        assert_eq!(costs.len(), 50);
+
+        // The per-sample costs take exactly the two mixture values, and the
+        // measured easy share equals the updated exit rate.
+        let profile = model.cost_profile(&device);
+        let (easy, hard) = (profile.min_ms(), profile.max_ms());
+        assert!(costs.iter().all(|&c| c == easy || c == hard));
+        let easy_share = costs.iter().filter(|&&c| c == easy).count() as f32 / costs.len() as f32;
+        assert_eq!(easy_share, model.exit_rate().expect("measured"));
+
+        // Their empirical profile carries the same mean as the bimodal one.
+        let emp = CostProfile::empirical(costs);
+        assert!((emp.mean_ms() - profile.mean_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifier_sample_costs_are_constant_rows() {
+        let mut rng = rng_from_seed(6);
+        let mut net = build_lenet(&mut rng);
+        let split = generate_pair(Family::MnistLike, 10, 20, 8);
+        let device = DeviceModel::gci_cpu();
+        let mut model = ClassifierModel::new("LeNet", &mut net);
+        let costs = model.sample_costs(&split.test.images, &device);
+        let expect = model.cost_profile(&device).mean_ms();
+        assert_eq!(costs.len(), 20);
+        assert!(costs.iter().all(|&c| c == expect));
     }
 
     #[test]

@@ -21,6 +21,11 @@ use tensor::Tensor;
 ///   rate of the most recent `predict_batch` — so call `predict_batch` on the
 ///   evaluation set first (the generic `evaluate` does). This preserves the
 ///   exact latency semantics of the legacy per-model evaluators.
+/// * [`sample_costs`](InferenceModel::sample_costs) prices a concrete batch
+///   **per input**: one service time per row, charged for the execution
+///   path that row actually took (which exit it left through, for
+///   early-exit models). [`CostProfile::empirical`] turns the result into a
+///   replayable measured distribution for the serving engine.
 /// * [`exit_rate`](InferenceModel::exit_rate) reports that measured rate for
 ///   early-exit models, `None` otherwise.
 pub trait InferenceModel {
@@ -32,6 +37,22 @@ pub trait InferenceModel {
 
     /// Per-request service-time distribution on `device`, milliseconds.
     fn cost_profile(&self, device: &DeviceModel) -> CostProfile;
+
+    /// Measured per-sample service times on `device` for a concrete batch:
+    /// one entry per row of `x`, priced by the path that row actually
+    /// executes.
+    ///
+    /// The default runs the prediction pass (so the profile reflects the
+    /// measured operating point) and charges every row the profile mean —
+    /// exact for input-*independent* models, whose profile is constant.
+    /// Models with input-dependent cost (early exits) **must** override this
+    /// with their real per-input decisions; that per-sample variance is what
+    /// [`CostProfile::Empirical`] exists to carry.
+    fn sample_costs(&mut self, x: &Tensor, device: &DeviceModel) -> Vec<f64> {
+        let n = x.dims()[0];
+        let _ = self.predict_batch(x);
+        vec![self.cost_profile(device).mean_ms(); n]
+    }
 
     /// Measured early-exit rate where the model has one, else `None`.
     fn exit_rate(&self) -> Option<f32> {
@@ -48,6 +69,9 @@ impl<M: InferenceModel + ?Sized> InferenceModel for &mut M {
     }
     fn cost_profile(&self, device: &DeviceModel) -> CostProfile {
         (**self).cost_profile(device)
+    }
+    fn sample_costs(&mut self, x: &Tensor, device: &DeviceModel) -> Vec<f64> {
+        (**self).sample_costs(x, device)
     }
     fn exit_rate(&self) -> Option<f32> {
         (**self).exit_rate()

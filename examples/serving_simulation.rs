@@ -1,16 +1,19 @@
-//! Serving simulation: drive the discrete-event queueing simulator with
-//! cost profiles taken from *real trained* models via the unified
-//! `InferenceModel` API — `cost_profile()` is the single source of service
-//! times, for the early-exit mixture and the constant CBNet cost alike.
+//! Serving simulation: drive the discrete-event engine with cost profiles
+//! **measured** from real trained models via the unified `InferenceModel`
+//! API — `sample_costs()` prices each test input by the execution path it
+//! actually took, and the resulting empirical histogram is the service-time
+//! distribution, for the early-exit mixture and the constant CBNet cost
+//! alike.
 //!
 //! Shows the deployment-level consequence of input-dependent latency: the
 //! early-exit model's p99 explodes under load on hard-image-heavy traffic
-//! while CBNet's stays flat.
+//! while CBNet's stays flat — and how multi-server scheduling and bounded
+//! admission reshape that trade-off.
 //!
 //! Run with: `cargo run --release --example serving_simulation`
 
 use cbnet_repro::prelude::*;
-use edgesim::pipeline::{simulate, ServingConfig};
+use edgesim::pipeline::ServingConfig;
 
 fn main() {
     println!("Serving simulation with measured cost profiles — FMNIST-like\n");
@@ -21,15 +24,13 @@ fn main() {
 
     let device = DeviceModel::raspberry_pi4();
 
-    // Price both trained models through the one InferenceModel interface.
-    // The prediction pass measures BranchyNet's operating point (exit rate);
-    // cost_profile() then yields the exact service-time distribution.
+    // Price both trained models through the one InferenceModel interface:
+    // per-sample costs follow each input's actual exit decision, so the
+    // empirical profile carries the network's real latency variance.
     let mut branchy = BranchyNetModel::new(&mut arts.branchynet);
-    let _ = branchy.predict_batch(&split.test.images);
-    let branchy_profile = branchy.cost_profile(&device);
-
-    // CBNet's profile is input-independent — no measurement pass needed.
-    let cbnet_profile = arts.cbnet.cost_profile(&device);
+    let branchy_profile = CostProfile::empirical(branchy.sample_costs(&split.test.images, &device));
+    let cbnet_profile =
+        CostProfile::empirical(arts.cbnet.sample_costs(&split.test.images, &device));
 
     println!(
         "trained BranchyNet: exit rate {:.1}%, easy path {:.2} ms, hard path {:.2} ms",
@@ -42,22 +43,71 @@ fn main() {
         cbnet_profile.mean_ms()
     );
 
+    println!("-- single server, FIFO (the legacy configuration) --");
     println!("arrival(Hz)  model       mean(ms)   p95(ms)   p99(ms)   utilization");
     println!("--------------------------------------------------------------------");
     for &rate in &[40.0, 120.0, 240.0] {
-        for (name, profile) in [("BranchyNet", branchy_profile), ("CBNet", cbnet_profile)] {
-            let r = simulate(
+        for (name, profile) in [("BranchyNet", &branchy_profile), ("CBNet", &cbnet_profile)] {
+            let r = simulate_engine(
                 &device,
-                &ServingConfig {
+                &EngineConfig::single_fifo(ServingConfig {
                     arrival_rate_hz: rate,
-                    profile,
+                    profile: profile.clone(),
                     requests: 20_000,
                     seed: 99,
-                },
+                }),
             );
             println!(
                 "{rate:>10.0}  {name:<10} {:>8.2}  {:>8.2}  {:>8.2}  {:>6.2}",
-                r.mean_sojourn_ms, r.p95_ms, r.p99_ms, r.utilization
+                r.serving.mean_sojourn_ms,
+                r.serving.p95_ms,
+                r.serving.p99_ms,
+                r.serving.utilization
+            );
+        }
+    }
+
+    // The engine's extension points: spread the same heavy traffic over four
+    // servers under different disciplines, with a bounded queue shedding
+    // load instead of letting sojourns run away.
+    println!("\n-- 4 servers @ 800 req/s, bounded queue (64) --");
+    println!("policy    model       mean(ms)   p99(ms)   drop%   util/server");
+    println!("----------------------------------------------------------------");
+    for scheduler in [
+        SchedulerKind::Fifo,
+        SchedulerKind::ShortestService,
+        SchedulerKind::Batch {
+            max_batch: 8,
+            max_wait_ms: 2.0 * branchy_profile.mean_ms(),
+        },
+    ] {
+        for (name, profile) in [("BranchyNet", &branchy_profile), ("CBNet", &cbnet_profile)] {
+            let r = simulate_engine(
+                &device,
+                &EngineConfig {
+                    workload: ServingConfig {
+                        arrival_rate_hz: 800.0,
+                        profile: profile.clone(),
+                        requests: 20_000,
+                        seed: 99,
+                    },
+                    servers: 4,
+                    scheduler,
+                    admission: AdmissionPolicy::Bounded { max_queue: 64 },
+                },
+            );
+            let utils: Vec<String> = r
+                .per_server_utilization
+                .iter()
+                .map(|u| format!("{u:.2}"))
+                .collect();
+            println!(
+                "{:<8}  {name:<10} {:>8.2}  {:>8.2}  {:>5.1}   {}",
+                scheduler.label(),
+                r.serving.mean_sojourn_ms,
+                r.serving.p99_ms,
+                100.0 * r.drop_rate(),
+                utils.join(" ")
             );
         }
     }

@@ -14,7 +14,11 @@
 //!   (Table I), the lightweight classifier, AdaDeep/SubFlow comparators;
 //! * [`edgesim`] — calibrated Raspberry Pi 4 / GCI / K80 latency, power
 //!   (Eq. 1 & 2) and energy models, [`edgesim::CostProfile`] service-time
-//!   distributions, and a serving simulator driven by them;
+//!   distributions (constant / bimodal / measured-empirical), and two
+//!   serving simulators driven by them: the legacy single-server FIFO loop
+//!   and the discrete-event multi-server engine
+//!   ([`edgesim::simulate_engine`]) with pluggable scheduling and admission
+//!   control;
 //! * [`runtime`] — the unified [`runtime::InferenceModel`] trait, evaluation
 //!   [`runtime::Scenario`]s, and the one generic [`runtime::evaluate`] path
 //!   every comparator goes through;
@@ -65,7 +69,10 @@ pub use tensor;
 pub mod prelude {
     pub use cbnet::{self, CbnetModel, ModelKind, ModelRegistry, PipelineConfig};
     pub use datasets::{self, Dataset, Family};
-    pub use edgesim::{CostProfile, Device, DeviceModel, PowerModel};
+    pub use edgesim::{
+        simulate_engine, AdmissionPolicy, CostProfile, Device, DeviceModel, EngineConfig,
+        EngineReport, PowerModel, SchedulerKind,
+    };
     pub use models::{
         accuracy, build_lenet, AutoencoderConfig, BranchyNet, BranchyNetConfig,
         ConvertingAutoencoder,
