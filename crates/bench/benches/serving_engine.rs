@@ -1,0 +1,121 @@
+//! Criterion benches of the discrete-event engine's hot path: event-heap
+//! throughput as the server count (and so the completion-event fan-out)
+//! grows, plus the scheduler disciplines and the fleet layered on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edgesim::fleet::{simulate_fleet, NetworkLink, Tier};
+use edgesim::pipeline::ServingConfig;
+use edgesim::{
+    simulate_engine, AdmissionPolicy, ArrivalProcess, CostProfile, Device, DeviceModel,
+    EngineConfig, FleetConfig, OffloadPolicyKind, SchedulerKind,
+};
+
+const REQUESTS: usize = 10_000;
+
+fn engine_config(servers: usize, scheduler: SchedulerKind) -> EngineConfig {
+    EngineConfig {
+        workload: ServingConfig {
+            // Scale the arrival rate with the pool so per-server pressure
+            // (and so queue depth, the heap's load) stays comparable.
+            arrival_rate_hz: 180.0 * servers as f64,
+            profile: CostProfile::bimodal(2.0, 13.0, 0.9),
+            requests: REQUESTS,
+            seed: 7,
+        },
+        servers,
+        scheduler,
+        admission: AdmissionPolicy::Bounded { max_queue: 256 },
+    }
+}
+
+fn bench_engine_vs_servers(c: &mut Criterion) {
+    let device = DeviceModel::raspberry_pi4();
+    let mut g = c.benchmark_group("engine_heap");
+    g.sample_size(20);
+    for servers in [1usize, 2, 4, 8, 16] {
+        let cfg = engine_config(servers, SchedulerKind::Fifo);
+        g.throughput(Throughput::Elements(REQUESTS as u64));
+        g.bench_with_input(BenchmarkId::new("fifo", servers), &cfg, |b, cfg| {
+            b.iter(|| simulate_engine(&device, cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_schedulers(c: &mut Criterion) {
+    let device = DeviceModel::raspberry_pi4();
+    let mut g = c.benchmark_group("engine_schedulers");
+    g.sample_size(20);
+    for (label, scheduler) in [
+        ("fifo", SchedulerKind::Fifo),
+        ("ses", SchedulerKind::ShortestService),
+        (
+            "batch8",
+            SchedulerKind::Batch {
+                max_batch: 8,
+                max_wait_ms: 4.0,
+            },
+        ),
+    ] {
+        let cfg = engine_config(4, scheduler);
+        g.throughput(Throughput::Elements(REQUESTS as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| simulate_engine(&device, cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let cfg = FleetConfig {
+        tiers: vec![
+            Tier {
+                name: "edge".into(),
+                device: DeviceModel::raspberry_pi4(),
+                servers: 4,
+                profile: CostProfile::bimodal(2.0, 13.0, 0.8),
+                scheduler: SchedulerKind::Fifo,
+                admission: AdmissionPolicy::Bounded { max_queue: 128 },
+                link: None,
+            },
+            Tier {
+                name: "cloud".into(),
+                device: DeviceModel::preset(Device::GciCpu),
+                servers: 2,
+                profile: CostProfile::bimodal(0.2, 1.3, 0.8),
+                scheduler: SchedulerKind::Fifo,
+                admission: AdmissionPolicy::Bounded { max_queue: 256 },
+                link: Some(NetworkLink::wifi(3136)),
+            },
+        ],
+        arrivals: ArrivalProcess::mmpp(400.0, 2800.0, 300.0, 100.0),
+        requests: REQUESTS,
+        seed: 13,
+        slo_ms: 40.0,
+    };
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(20);
+    for policy in [
+        OffloadPolicyKind::AlwaysLocal,
+        OffloadPolicyKind::ExitConfidence,
+        OffloadPolicyKind::SloSojourn { slo_ms: 40.0 },
+    ] {
+        g.throughput(Throughput::Elements(REQUESTS as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| simulate_fleet(cfg, policy));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_vs_servers,
+    bench_engine_schedulers,
+    bench_fleet
+);
+criterion_main!(benches);

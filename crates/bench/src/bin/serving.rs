@@ -151,9 +151,33 @@ fn main() {
         }
     }
 
-    // Phase 2: validate the whole matrix up front — a cell whose offered
-    // load is ≥ 1 per server has no steady state unless admission control
-    // sheds, so its sojourns would be runaway transients.
+    // Phase 2: validate the whole matrix up front. A malformed profile is an
+    // error report and a clean exit (not a panic mid-sweep), and a cell whose
+    // offered load is ≥ 1 per server has no steady state unless admission
+    // control sheds, so its sojourns would be runaway transients.
+    let errors: Vec<String> = cells
+        .iter()
+        .filter_map(|cell| {
+            cell.engine.workload.profile.try_valid().err().map(|e| {
+                format!(
+                    "invalid profile ({} / {} / {}): {e}",
+                    cell.family.name(),
+                    cell.device.name(),
+                    cell.kind.name(),
+                )
+            })
+        })
+        .collect();
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("ERROR: {e}");
+        }
+        eprintln!(
+            "{} invalid serving configuration(s); aborting sweep",
+            errors.len()
+        );
+        std::process::exit(2);
+    }
     for cell in &cells {
         if !cell.engine.is_stable() && cell.engine.admission == AdmissionPolicy::Unbounded {
             eprintln!(

@@ -15,6 +15,7 @@
 //! | `exit_rates` | §IV-D — exit rates + AE latency share              |
 //! | `ablations`  | DESIGN.md §4 — design-choice ablations             |
 //! | `serving`    | extension — queueing simulation under load         |
+//! | `fleet`      | extension — tiered edge–cloud offload sweep        |
 //!
 //! Scale control: set `CBNET_SCALE=small` for a fast smoke run (seconds) or
 //! leave unset for the full-scale run the committed EXPERIMENTS.md numbers

@@ -222,6 +222,22 @@ impl ModelRegistry {
         edgesim::CostProfile::empirical(self.sample_costs(kind, x, device))
     }
 
+    /// Measure one comparator's empirical profile on **each** of several
+    /// devices — the pricing a tiered `edgesim::fleet` topology needs, where
+    /// every tier runs the same model on different hardware (edge Pi, cloud
+    /// CPU, cloud GPU) and prices the same inputs at its own speed.
+    pub fn tier_profiles(
+        &mut self,
+        kind: ModelKind,
+        x: &tensor::Tensor,
+        devices: &[edgesim::Device],
+    ) -> Vec<edgesim::CostProfile> {
+        devices
+            .iter()
+            .map(|&d| self.empirical_profile(kind, x, &edgesim::DeviceModel::preset(d)))
+            .collect()
+    }
+
     /// Build + evaluate one comparator under a scenario.
     pub fn evaluate(
         &mut self,

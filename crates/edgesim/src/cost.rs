@@ -89,44 +89,61 @@ impl CostProfile {
     }
 
     /// Validate invariants (service times positive and finite, mixture
-    /// weight in `[0, 1]`, empirical samples sorted and non-empty).
-    ///
-    /// # Panics
-    /// Panics on violation — the serving simulator calls this up front so a
-    /// hand-constructed profile fails loudly rather than corrupting a run.
-    pub fn assert_valid(&self) {
+    /// weight in `[0, 1]`, empirical samples sorted and non-empty),
+    /// returning a description of the first violation instead of panicking —
+    /// what sweep drivers use to reject a bad configuration up front and
+    /// keep going, rather than dying mid-matrix.
+    pub fn try_valid(&self) -> Result<(), String> {
         match *self {
             CostProfile::Constant { service_ms } => {
-                assert!(
-                    service_ms > 0.0 && service_ms.is_finite(),
-                    "service times must be positive and finite"
-                );
+                if !(service_ms > 0.0 && service_ms.is_finite()) {
+                    return Err(format!(
+                        "service times must be positive and finite, got {service_ms}"
+                    ));
+                }
             }
             CostProfile::Bimodal {
                 easy_ms,
                 hard_ms,
                 easy_fraction,
             } => {
-                assert!(
-                    easy_ms > 0.0 && easy_ms.is_finite() && hard_ms > 0.0 && hard_ms.is_finite(),
-                    "service times must be positive and finite"
-                );
-                assert!(
-                    (0.0..=1.0).contains(&easy_fraction),
-                    "easy fraction must be in [0, 1]"
-                );
+                if !(easy_ms > 0.0 && easy_ms.is_finite() && hard_ms > 0.0 && hard_ms.is_finite()) {
+                    return Err(format!(
+                        "service times must be positive and finite, got easy {easy_ms} / hard {hard_ms}"
+                    ));
+                }
+                if !(0.0..=1.0).contains(&easy_fraction) {
+                    return Err(format!(
+                        "easy fraction must be in [0, 1], got {easy_fraction}"
+                    ));
+                }
             }
             CostProfile::Empirical { ref samples_ms } => {
-                assert!(!samples_ms.is_empty(), "empirical profile needs samples");
-                assert!(
-                    samples_ms.iter().all(|s| *s > 0.0 && s.is_finite()),
-                    "service times must be positive and finite"
-                );
-                assert!(
-                    samples_ms.windows(2).all(|w| w[0] <= w[1]),
-                    "empirical samples must be sorted ascending"
-                );
+                if samples_ms.is_empty() {
+                    return Err("empirical profile needs samples".into());
+                }
+                if let Some(bad) = samples_ms.iter().find(|s| !(**s > 0.0 && s.is_finite())) {
+                    return Err(format!(
+                        "service times must be positive and finite, got {bad}"
+                    ));
+                }
+                if !samples_ms.windows(2).all(|w| w[0] <= w[1]) {
+                    return Err("empirical samples must be sorted ascending".into());
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics with the [`CostProfile::try_valid`] message on violation — the
+    /// serving simulator calls this up front so a hand-constructed profile
+    /// fails loudly rather than corrupting a run.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.try_valid() {
+            panic!("{e}");
         }
     }
 
@@ -291,6 +308,33 @@ mod tests {
             samples_ms: vec![2.0, 1.0],
         }
         .assert_valid();
+    }
+
+    #[test]
+    fn try_valid_reports_errors_without_panicking() {
+        assert!(CostProfile::constant(1.0).try_valid().is_ok());
+        assert!(CostProfile::Constant { service_ms: -2.0 }
+            .try_valid()
+            .unwrap_err()
+            .contains("positive"));
+        assert!(CostProfile::Bimodal {
+            easy_ms: 1.0,
+            hard_ms: 2.0,
+            easy_fraction: 1.5,
+        }
+        .try_valid()
+        .unwrap_err()
+        .contains("easy fraction"));
+        assert!(CostProfile::Empirical { samples_ms: vec![] }
+            .try_valid()
+            .unwrap_err()
+            .contains("needs samples"));
+        assert!(CostProfile::Empirical {
+            samples_ms: vec![2.0, 1.0],
+        }
+        .try_valid()
+        .unwrap_err()
+        .contains("sorted"));
     }
 
     #[test]

@@ -31,9 +31,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::arrivals::ArrivalProcess;
 use crate::device::DeviceModel;
 use crate::pipeline::{finalize_report, ServingConfig, ServingReport};
 
@@ -412,28 +410,66 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
     assert!(w.arrival_rate_hz > 0.0, "arrival rate must be positive");
     w.profile.assert_valid();
     assert!(w.requests > 0, "need at least one request");
-    assert!(cfg.servers > 0, "need at least one server");
 
     // Pre-generate the workload with the legacy loop's exact RNG draw order
-    // (inter-arrival uniform, then service uniform, per request) — the
-    // anchor of the bit-identical 1-server FIFO conformance.
-    let mut rng = StdRng::seed_from_u64(w.seed);
-    let mean_interarrival_ms = 1000.0 / w.arrival_rate_hz;
-    let mut requests: Vec<Request> = Vec::with_capacity(w.requests);
-    let mut arrival = 0.0f64;
-    for id in 0..w.requests {
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        arrival += -mean_interarrival_ms * u.ln();
-        let service_ms = w.profile.sample(rng.gen::<f64>());
-        requests.push(Request {
+    // (inter-arrival uniform, then service-quantile uniform, per request;
+    // [`ArrivalProcess::Poisson`] pins that order) — the anchor of the
+    // bit-identical 1-server FIFO conformance.
+    let requests: Vec<Request> = ArrivalProcess::poisson(w.arrival_rate_hz)
+        .generate(w.requests, w.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, (arrival_ms, quantile))| Request {
             id,
-            arrival_ms: arrival,
-            service_ms,
-        });
-    }
+            arrival_ms,
+            service_ms: w.profile.sample(quantile),
+        })
+        .collect();
 
-    let mut scheduler = cfg.scheduler.build();
-    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(w.requests + cfg.servers);
+    run_engine(device, cfg.servers, cfg.scheduler, cfg.admission, requests)
+}
+
+/// Run the discrete-event engine over a **pre-generated** workload — the
+/// extension point for non-Poisson arrivals: pair any
+/// [`ArrivalProcess::generate`] stream with any [`crate::cost::CostProfile`]
+/// and feed the result here. [`simulate_engine`] is exactly this function
+/// behind a Poisson workload generator.
+///
+/// Requests must be in non-decreasing arrival order with ids `0..n` matching
+/// their position, positive finite service times.
+///
+/// # Panics
+/// Panics on zero servers, an empty workload, or a malformed request stream.
+pub fn run_engine(
+    device: &DeviceModel,
+    servers: usize,
+    scheduler: SchedulerKind,
+    admission: AdmissionPolicy,
+    requests: Vec<Request>,
+) -> EngineReport {
+    assert!(servers > 0, "need at least one server");
+    assert!(!requests.is_empty(), "need at least one request");
+    for (i, r) in requests.iter().enumerate() {
+        assert_eq!(r.id, i, "request ids must be 0..n in arrival order");
+        assert!(
+            r.service_ms > 0.0 && r.service_ms.is_finite(),
+            "service times must be positive and finite"
+        );
+        assert!(
+            r.arrival_ms.is_finite() && r.arrival_ms >= 0.0,
+            "arrival times must be non-negative and finite"
+        );
+    }
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_ms <= w[1].arrival_ms),
+        "requests must arrive in non-decreasing time order"
+    );
+    let n_requests = requests.len();
+
+    let mut scheduler = scheduler.build();
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n_requests + servers);
     let mut seq = 0u64;
     for r in &requests {
         heap.push(Event {
@@ -444,11 +480,11 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
         seq += 1;
     }
 
-    let mut idle = vec![true; cfg.servers];
-    let mut busy_ms = vec![0.0f64; cfg.servers];
+    let mut idle = vec![true; servers];
+    let mut busy_ms = vec![0.0f64; servers];
     // The batch each busy server is running: (start time, members).
-    let mut in_flight: Vec<(f64, Vec<Request>)> = vec![(0.0, Vec::new()); cfg.servers];
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; w.requests];
+    let mut in_flight: Vec<(f64, Vec<Request>)> = vec![(0.0, Vec::new()); servers];
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; n_requests];
     let mut sojourns: Vec<f64> = Vec::new();
     let mut dropped = 0usize;
     // Last "real" event time (arrival or completion; stale batch timers
@@ -460,7 +496,7 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
         match ev.kind {
             EventKind::Arrival(id) => {
                 makespan = makespan.max(now);
-                if cfg.admission.admits(scheduler.queue_len()) {
+                if admission.admits(scheduler.queue_len()) {
                     scheduler.enqueue(requests[id]);
                 } else {
                     dropped += 1;
@@ -488,7 +524,7 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
         // reuses the event time verbatim — the engine never recomputes a
         // max(arrival, free_at), so dispatch arithmetic matches the legacy
         // recurrence exactly.
-        for s in 0..cfg.servers {
+        for s in 0..servers {
             if !idle[s] {
                 continue;
             }
@@ -543,11 +579,11 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
             outcome: outcomes[request.id].expect("every request resolves by drain"),
         })
         .collect();
-    let completed = w.requests - dropped;
+    let completed = n_requests - dropped;
 
     EngineReport {
-        serving: finalize_report(device, sojourns, busy_total, makespan, cfg.servers),
-        arrivals: w.requests,
+        serving: finalize_report(device, sojourns, busy_total, makespan, servers),
+        arrivals: n_requests,
         completed,
         dropped,
         per_server_busy_ms: busy_ms,

@@ -1,0 +1,1189 @@
+//! Tiered edge–cloud offload simulation over heterogeneous serving pools.
+//!
+//! The paper's early-exit premise — easy inputs exit locally, hard inputs
+//! pay the full network — becomes, in deployment, *easy inputs exit at the
+//! edge, hard inputs offload to a stronger tier*. This module models that
+//! deployment: a [`FleetConfig`] is an ordered list of [`Tier`]s (tier 0 is
+//! the local edge pool where every request first lands; higher tiers are
+//! remote pools reached over a [`NetworkLink`]), each tier with its own
+//! device, [`CostProfile`], server count, scheduler and admission policy.
+//!
+//! A pluggable [`OffloadPolicy`] decides per-request routing at the gateway:
+//!
+//! * [`AlwaysLocal`] — everything serves at tier 0. A single-tier fleet
+//!   under this policy reproduces [`crate::engine::simulate_engine`]
+//!   **bit for bit** (pinned by conformance tests here and in
+//!   `tests/trait_conformance.rs`): the fleet is a strict superset of the
+//!   engine, not a fork of it.
+//! * [`ExitConfidence`] — offload the hard-path fraction. A request whose
+//!   difficulty quantile falls past the local profile's
+//!   [`CostProfile::easy_fraction`] (for a measured early-exit model, its
+//!   observed exit rate) would have missed the early exit anyway, so it
+//!   ships to the cheapest remote tier instead of occupying the edge.
+//! * [`SloSojourn`] — offload on *predicted* latency: when the local
+//!   backlog implies a sojourn beyond the SLO, route to whichever tier
+//!   (network transfer included) predicts the smallest end-to-end sojourn.
+//!
+//! Requests carry a **difficulty quantile** drawn by the
+//! [`ArrivalProcess`], and every tier prices the same quantile through its
+//! own profile ([`CostProfile::sample`]): a hard input is hard on every
+//! device — only the price differs. Offloaded requests pay the link's
+//! transfer time before entering the remote queue, and their reported
+//! sojourn is end-to-end (gateway arrival → remote completion).
+//!
+//! [`simulate_fleet`] returns a [`FleetReport`]: per-tier serving reports
+//! (sojourn percentiles, utilization, energy on that tier's device), routing
+//! and drop accounting with the conservation invariant
+//! `completed + dropped == offered` (offloading re-routes a request, it
+//! never loses one), and the SLO ledger — a *violation* is a completed
+//! request whose end-to-end sojourn exceeds [`FleetConfig::slo_ms`], or a
+//! dropped request (a shed request certainly missed its deadline).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::arrivals::ArrivalProcess;
+use crate::cost::CostProfile;
+use crate::device::DeviceModel;
+use crate::engine::{AdmissionPolicy, Dispatch, Request, SchedulerKind};
+use crate::pipeline::{finalize_report, percentile_sorted, ServingReport};
+
+/// The uplink between the local gateway and a remote serving tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkLink {
+    /// One-way latency (propagation + handshake), ms.
+    pub latency_ms: f64,
+    /// Uplink bandwidth, megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Request payload shipped per offload (the model input), bytes.
+    pub payload_bytes: u64,
+}
+
+impl NetworkLink {
+    /// A link with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics on a non-finite/negative latency or non-positive bandwidth.
+    pub fn new(latency_ms: f64, bandwidth_mbps: f64, payload_bytes: u64) -> Self {
+        let l = NetworkLink {
+            latency_ms,
+            bandwidth_mbps,
+            payload_bytes,
+        };
+        l.assert_valid();
+        l
+    }
+
+    /// Wired LAN between co-located pools: sub-millisecond, ~1 Gb/s.
+    pub fn lan(payload_bytes: u64) -> Self {
+        NetworkLink::new(0.3, 1000.0, payload_bytes)
+    }
+
+    /// 802.11 uplink from an edge device: a few ms, tens of Mb/s.
+    pub fn wifi(payload_bytes: u64) -> Self {
+        NetworkLink::new(3.0, 50.0, payload_bytes)
+    }
+
+    /// WAN to a cloud region: tens of ms, uplink-constrained.
+    pub fn wan(payload_bytes: u64) -> Self {
+        NetworkLink::new(25.0, 20.0, payload_bytes)
+    }
+
+    /// Validate invariants, returning a description of the first violation.
+    pub fn try_valid(&self) -> Result<(), String> {
+        if !(self.latency_ms >= 0.0 && self.latency_ms.is_finite()) {
+            return Err(format!(
+                "link latency must be non-negative and finite, got {}",
+                self.latency_ms
+            ));
+        }
+        if !(self.bandwidth_mbps > 0.0 && self.bandwidth_mbps.is_finite()) {
+            return Err(format!(
+                "link bandwidth must be positive and finite, got {}",
+                self.bandwidth_mbps
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics with the [`NetworkLink::try_valid`] message on violation.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.try_valid() {
+            panic!("{e}");
+        }
+    }
+
+    /// Time to ship one request over this link, ms: latency plus payload
+    /// serialization at the uplink bandwidth.
+    pub fn transfer_ms(&self) -> f64 {
+        // bytes · 8 bits / (mbps · 10⁶ bit/s) in seconds → ms.
+        self.latency_ms + self.payload_bytes as f64 * 8e-3 / self.bandwidth_mbps
+    }
+}
+
+/// One serving pool of the fleet: a homogeneous group of servers on one
+/// device, priced by one profile, behind one queue.
+#[derive(Debug, Clone)]
+pub struct Tier {
+    /// Display name for tables/CSV (`edge`, `cloud-cpu`, …).
+    pub name: String,
+    /// The device this tier's servers run on (drives the energy model).
+    pub device: DeviceModel,
+    /// Parallel servers in the pool.
+    pub servers: usize,
+    /// Service-time distribution of the model **on this tier's device**
+    /// (e.g. [`crate::cost::CostProfile::empirical`] measured via
+    /// `ModelRegistry::empirical_profile` per device).
+    pub profile: CostProfile,
+    /// Queue discipline of the pool.
+    pub scheduler: SchedulerKind,
+    /// Admission control of the pool.
+    pub admission: AdmissionPolicy,
+    /// Link from the gateway: `None` for tier 0 (local), required for
+    /// every remote tier.
+    pub link: Option<NetworkLink>,
+}
+
+/// A fleet topology plus the workload that stresses it.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Serving pools; tier 0 is the local edge pool where every request
+    /// first arrives.
+    pub tiers: Vec<Tier>,
+    /// When requests arrive at the gateway.
+    pub arrivals: ArrivalProcess,
+    /// Number of requests to simulate.
+    pub requests: usize,
+    /// RNG seed (workload generation).
+    pub seed: u64,
+    /// End-to-end latency SLO, ms: a completed request whose gateway→finish
+    /// sojourn exceeds this counts as a violation (as does every drop).
+    pub slo_ms: f64,
+}
+
+impl FleetConfig {
+    /// The configuration that must reproduce the engine exactly: one local
+    /// tier with the engine's topology, Poisson arrivals from the engine's
+    /// workload, and (under [`AlwaysLocal`]) no offloading at all.
+    pub fn single_tier(
+        name: &str,
+        device: DeviceModel,
+        engine: &crate::engine::EngineConfig,
+        slo_ms: f64,
+    ) -> Self {
+        FleetConfig {
+            tiers: vec![Tier {
+                name: name.to_string(),
+                device,
+                servers: engine.servers,
+                profile: engine.workload.profile.clone(),
+                scheduler: engine.scheduler,
+                admission: engine.admission,
+                link: None,
+            }],
+            arrivals: ArrivalProcess::poisson(engine.workload.arrival_rate_hz),
+            requests: engine.workload.requests,
+            seed: engine.workload.seed,
+            slo_ms,
+        }
+    }
+
+    /// Validate the whole configuration, returning a description of the
+    /// first violation — sweep drivers call this up front so one bad cell
+    /// reports an error instead of panicking mid-matrix.
+    pub fn try_valid(&self) -> Result<(), String> {
+        if self.tiers.is_empty() {
+            return Err("fleet needs at least one tier".into());
+        }
+        if self.requests == 0 {
+            return Err("need at least one request".into());
+        }
+        if !(self.slo_ms > 0.0 && self.slo_ms.is_finite()) {
+            return Err(format!(
+                "SLO must be positive and finite, got {} ms",
+                self.slo_ms
+            ));
+        }
+        self.arrivals.try_valid()?;
+        for (i, tier) in self.tiers.iter().enumerate() {
+            let ctx = |e: String| format!("tier {i} ({}): {e}", tier.name);
+            if tier.name.is_empty() {
+                return Err(format!("tier {i}: name must be non-empty"));
+            }
+            if tier.servers == 0 {
+                return Err(ctx("need at least one server".into()));
+            }
+            tier.profile.try_valid().map_err(&ctx)?;
+            match (i, &tier.link) {
+                (0, Some(_)) => return Err(ctx("tier 0 is local and must not have a link".into())),
+                (0, None) => {}
+                (_, None) => return Err(ctx("remote tiers need a link".into())),
+                (_, Some(link)) => link.try_valid().map_err(ctx)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics with the [`FleetConfig::try_valid`] message on violation.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.try_valid() {
+            panic!("{e}");
+        }
+    }
+
+    /// Offered load per local server if nothing offloads,
+    /// `ρ = λ̄·E[S₀] / N₀` — the [`AlwaysLocal`] stability estimate.
+    pub fn local_load_per_server(&self) -> f64 {
+        self.arrivals.mean_rate_hz() * self.tiers[0].profile.mean_ms()
+            / 1000.0
+            / self.tiers[0].servers as f64
+    }
+
+    /// Aggregate service capacity of the whole fleet, requests/second —
+    /// each tier contributes `servers · 1000 / E[S]` at its own price.
+    pub fn aggregate_capacity_hz(&self) -> f64 {
+        self.tiers
+            .iter()
+            .map(|t| t.servers as f64 * 1000.0 / t.profile.mean_ms())
+            .sum()
+    }
+}
+
+/// One request at the gateway: when it arrived and how hard it is. The
+/// difficulty quantile maps to a concrete service time per tier via that
+/// tier's [`CostProfile::sample`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRequest {
+    /// Arrival index (0-based, in gateway-arrival order).
+    pub id: usize,
+    /// Absolute arrival time at the gateway, ms.
+    pub gateway_ms: f64,
+    /// Difficulty quantile in `[0, 1)` shared across tiers.
+    pub quantile: f64,
+}
+
+/// A read-only view of one tier's congestion at a routing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct TierSnapshot {
+    /// Requests waiting in the tier's queue (not in service).
+    pub queue_len: usize,
+    /// Total service time of the queued requests, ms.
+    pub queued_work_ms: f64,
+    /// Remaining service time of in-flight batches across servers, ms.
+    pub in_flight_remaining_ms: f64,
+    /// Servers in the pool.
+    pub servers: usize,
+}
+
+impl TierSnapshot {
+    /// Predicted queueing wait for a new arrival, ms: outstanding work
+    /// spread over the pool's servers.
+    pub fn predicted_wait_ms(&self) -> f64 {
+        (self.queued_work_ms + self.in_flight_remaining_ms) / self.servers as f64
+    }
+}
+
+/// Per-request routing: where should a gateway arrival serve?
+///
+/// `route` sees the request's difficulty quantile, the full topology, and a
+/// congestion snapshot per tier; it returns a tier index (`0` = serve
+/// locally). `&mut self` admits stateful policies (token buckets, learned
+/// controllers) even though the shipped ones are stateless.
+pub trait OffloadPolicy {
+    /// Display name for tables/CSV (`local`, `exit_conf`, `slo`).
+    fn name(&self) -> String;
+    /// Does [`route`](OffloadPolicy::route) read the congestion snapshots?
+    /// Return `false` (as the static policies do) to let the simulator skip
+    /// building them — they cost a per-arrival scan of every tier's
+    /// servers, pure overhead for routing that never looks at load.
+    fn needs_snapshots(&self) -> bool {
+        true
+    }
+    /// Choose the serving tier for a request arriving at the gateway.
+    /// `snapshots` is empty when
+    /// [`needs_snapshots`](OffloadPolicy::needs_snapshots) returned `false`.
+    fn route(&mut self, quantile: f64, tiers: &[Tier], snapshots: &[TierSnapshot]) -> usize;
+}
+
+/// Serve everything at tier 0 — the no-offload baseline, and the policy
+/// under which a single-tier fleet is bit-identical to the engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysLocal;
+
+impl OffloadPolicy for AlwaysLocal {
+    fn name(&self) -> String {
+        "local".into()
+    }
+    fn needs_snapshots(&self) -> bool {
+        false
+    }
+    fn route(&mut self, _quantile: f64, _tiers: &[Tier], _snapshots: &[TierSnapshot]) -> usize {
+        0
+    }
+}
+
+/// Offload the hard-path fraction: a request whose difficulty quantile
+/// reaches past the local profile's measured easy fraction (an early-exit
+/// model's observed exit rate) ships to the cheapest remote tier — it would
+/// have paid the full local network anyway.
+///
+/// This policy routes on early-exit *structure*, so it needs a local
+/// profile with measurable spread. A single-point profile — constant-cost
+/// models like CBNet, but also a measured early-exit model whose exits
+/// never fired — has `easy_fraction() == 1` and offloads nothing: with
+/// every request priced identically there is no "hard path" to ship, and
+/// whether that one price is too high is a latency question for
+/// [`SloSojourn`], not an exit-rate one. Likewise with no remote tier,
+/// everything serves locally.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExitConfidence;
+
+impl OffloadPolicy for ExitConfidence {
+    fn name(&self) -> String {
+        "exit_conf".into()
+    }
+    fn needs_snapshots(&self) -> bool {
+        false
+    }
+    fn route(&mut self, quantile: f64, tiers: &[Tier], _snapshots: &[TierSnapshot]) -> usize {
+        if quantile < tiers[0].profile.easy_fraction() {
+            return 0;
+        }
+        cheapest_remote(tiers).unwrap_or(0)
+    }
+}
+
+/// The remote tier with the smallest static cost (transfer + mean service).
+fn cheapest_remote(tiers: &[Tier]) -> Option<usize> {
+    tiers
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, t)| {
+            let link = t.link.as_ref().expect("remote tiers have links");
+            (i, link.transfer_ms() + t.profile.mean_ms())
+        })
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are finite"))
+        .map(|(i, _)| i)
+}
+
+/// Offload on predicted latency: when the local backlog implies a sojourn
+/// beyond `slo_ms`, route to whichever tier — network transfer included —
+/// predicts the smallest end-to-end sojourn (tier 0 wins ties, so light
+/// load never offloads).
+#[derive(Debug, Clone, Copy)]
+pub struct SloSojourn {
+    /// The latency budget the prediction is checked against, ms.
+    pub slo_ms: f64,
+}
+
+impl OffloadPolicy for SloSojourn {
+    fn name(&self) -> String {
+        "slo".into()
+    }
+    fn route(&mut self, quantile: f64, tiers: &[Tier], snapshots: &[TierSnapshot]) -> usize {
+        let predict = |i: usize| -> f64 {
+            let transfer = tiers[i].link.as_ref().map_or(0.0, |l| l.transfer_ms());
+            transfer + snapshots[i].predicted_wait_ms() + tiers[i].profile.sample(quantile)
+        };
+        if predict(0) <= self.slo_ms {
+            return 0;
+        }
+        (0..tiers.len())
+            .min_by(|&a, &b| {
+                predict(a)
+                    .partial_cmp(&predict(b))
+                    .expect("predictions are finite")
+            })
+            .expect("fleet has at least one tier")
+    }
+}
+
+/// Declarative policy selection for sweeps/CSV (build one fresh per run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OffloadPolicyKind {
+    /// [`AlwaysLocal`].
+    AlwaysLocal,
+    /// [`ExitConfidence`].
+    ExitConfidence,
+    /// [`SloSojourn`] with this latency budget, ms.
+    SloSojourn {
+        /// Predicted-sojourn budget, ms.
+        slo_ms: f64,
+    },
+}
+
+impl OffloadPolicyKind {
+    /// Instantiate a fresh policy of this kind.
+    pub fn build(&self) -> Box<dyn OffloadPolicy> {
+        match *self {
+            OffloadPolicyKind::AlwaysLocal => Box::new(AlwaysLocal),
+            OffloadPolicyKind::ExitConfidence => Box::new(ExitConfidence),
+            OffloadPolicyKind::SloSojourn { slo_ms } => Box::new(SloSojourn { slo_ms }),
+        }
+    }
+
+    /// Display name (matches the built policy's `name()`).
+    pub fn label(&self) -> String {
+        match self {
+            OffloadPolicyKind::AlwaysLocal => "local".into(),
+            OffloadPolicyKind::ExitConfidence => "exit_conf".into(),
+            OffloadPolicyKind::SloSojourn { .. } => "slo".into(),
+        }
+    }
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetOutcome {
+    /// Served to completion at its routed tier.
+    Completed {
+        /// Server within the tier that ran it.
+        server: usize,
+        /// Service start at the tier, ms.
+        start_ms: f64,
+        /// Completion, ms (end of the end-to-end sojourn).
+        finish_ms: f64,
+    },
+    /// Rejected by the routed tier's admission control.
+    Dropped,
+}
+
+/// Per-request trace entry: routing decision, pricing, and outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRecord {
+    /// The request as generated.
+    pub request: FleetRequest,
+    /// Tier the offload policy routed it to.
+    pub tier: usize,
+    /// Service requirement at the routed tier, ms.
+    pub service_ms: f64,
+    /// Network transfer paid before entering the routed tier's queue, ms
+    /// (0 for tier 0).
+    pub transfer_ms: f64,
+    /// How it ended.
+    pub outcome: FleetOutcome,
+}
+
+/// One tier's share of a fleet run.
+#[derive(Debug, Clone)]
+pub struct TierReport {
+    /// Tier display name.
+    pub name: String,
+    /// Sojourn/energy aggregates over requests **completed at this tier**
+    /// (sojourns are end-to-end: gateway arrival → completion, network
+    /// transfer included). Energy uses this tier's device over the fleet
+    /// makespan.
+    pub serving: ServingReport,
+    /// Requests the policy routed here.
+    pub routed: usize,
+    /// Requests served to completion here.
+    pub completed: usize,
+    /// Requests this tier's admission control dropped.
+    pub dropped: usize,
+    /// Busy milliseconds accumulated per server.
+    pub per_server_busy_ms: Vec<f64>,
+    /// Busy fraction of the fleet makespan, per server.
+    pub per_server_utilization: Vec<f64>,
+}
+
+/// Aggregate + per-tier + per-request results of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-tier reports, in [`FleetConfig::tiers`] order.
+    pub tiers: Vec<TierReport>,
+    /// Requests generated at the gateway.
+    pub offered: usize,
+    /// Requests served to completion (at any tier).
+    pub completed: usize,
+    /// Requests dropped by admission control (at any tier).
+    pub dropped: usize,
+    /// Requests routed to a remote tier (a routing count, not a terminal
+    /// outcome: `completed + dropped == offered` regardless).
+    pub offloaded: usize,
+    /// The SLO violations were counted against, ms.
+    pub slo_ms: f64,
+    /// Completed requests whose end-to-end sojourn exceeded the SLO, plus
+    /// all dropped requests.
+    pub slo_violations: usize,
+    /// Fleet-wide aggregates: end-to-end sojourn percentiles over all
+    /// completed requests, utilization over all servers of all tiers, and
+    /// total energy (sum of the tiers' device-specific energies).
+    pub end_to_end: ServingReport,
+    /// One record per request, in gateway-arrival (id) order.
+    pub records: Vec<FleetRecord>,
+}
+
+impl FleetReport {
+    /// Fraction of offered requests routed to a remote tier.
+    pub fn offload_rate(&self) -> f64 {
+        self.offloaded as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered requests dropped by admission control.
+    pub fn drop_rate(&self) -> f64 {
+        self.dropped as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered requests that missed the SLO (completed late or
+    /// dropped).
+    pub fn slo_violation_rate(&self) -> f64 {
+        self.slo_violations as f64 / self.offered as f64
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A request reaches the gateway and is routed.
+    Gateway(usize),
+    /// An offloaded request reaches its remote tier after transfer.
+    TierArrival { tier: usize, id: usize },
+    /// A server of `tier` finishes its batch.
+    Completion { tier: usize, server: usize },
+    /// A batch-deadline timer of `tier`.
+    Timer { tier: usize },
+}
+
+#[derive(Debug)]
+struct Event {
+    time_ms: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ms == other.time_ms && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert so the earliest time, then the earliest-scheduled
+        // event, pops first — the engine's exact ordering.
+        other
+            .time_ms
+            .partial_cmp(&self.time_ms)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Mutable simulation state of one tier.
+struct TierState {
+    scheduler: Box<dyn crate::engine::Scheduler>,
+    idle: Vec<bool>,
+    busy_ms: Vec<f64>,
+    /// The batch each busy server is running: (start, finish, members).
+    in_flight: Vec<(f64, f64, Vec<Request>)>,
+    queued_work_ms: f64,
+    routed: usize,
+    dropped: usize,
+    sojourns: Vec<f64>,
+}
+
+/// Run a fleet simulation under a policy kind (fresh policy per run).
+///
+/// # Panics
+/// Panics on an invalid configuration (see [`FleetConfig::try_valid`]).
+pub fn simulate_fleet(cfg: &FleetConfig, policy: OffloadPolicyKind) -> FleetReport {
+    simulate_fleet_with(cfg, policy.build().as_mut())
+}
+
+/// Run a fleet simulation under a caller-supplied (possibly stateful)
+/// [`OffloadPolicy`].
+///
+/// # Panics
+/// Panics on an invalid configuration, or if the policy routes to a
+/// nonexistent tier.
+pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) -> FleetReport {
+    cfg.assert_valid();
+    let n = cfg.requests;
+
+    // Workload generation: (gateway arrival, difficulty quantile) pairs. For
+    // Poisson arrivals this replays the engine's RNG draw order verbatim —
+    // the anchor of the single-tier conformance.
+    let requests: Vec<FleetRequest> = cfg
+        .arrivals
+        .generate(n, cfg.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, (gateway_ms, quantile))| FleetRequest {
+            id,
+            gateway_ms,
+            quantile,
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n + cfg.tiers.len());
+    let mut seq = 0u64;
+    for r in &requests {
+        heap.push(Event {
+            time_ms: r.gateway_ms,
+            seq,
+            kind: EventKind::Gateway(r.id),
+        });
+        seq += 1;
+    }
+
+    let mut tiers: Vec<TierState> = cfg
+        .tiers
+        .iter()
+        .map(|t| TierState {
+            scheduler: t.scheduler.build(),
+            idle: vec![true; t.servers],
+            busy_ms: vec![0.0; t.servers],
+            in_flight: vec![(0.0, 0.0, Vec::new()); t.servers],
+            queued_work_ms: 0.0,
+            routed: 0,
+            dropped: 0,
+            sojourns: Vec::new(),
+        })
+        .collect();
+
+    // Per-request routing decision (tier, service there, transfer paid) and
+    // outcome, filled as events resolve.
+    let mut routing: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); n];
+    let mut outcomes: Vec<Option<FleetOutcome>> = vec![None; n];
+    let mut makespan = 0.0f64;
+
+    // Enqueue `id` at tier `t` at time `now` (post-transfer for remote
+    // tiers), subject to the tier's admission control.
+    let admit = |tiers: &mut Vec<TierState>,
+                 outcomes: &mut Vec<Option<FleetOutcome>>,
+                 cfg: &FleetConfig,
+                 routing: &[(usize, f64, f64)],
+                 t: usize,
+                 id: usize,
+                 now: f64| {
+        let state = &mut tiers[t];
+        if cfg.tiers[t].admission.admits(state.scheduler.queue_len()) {
+            let service_ms = routing[id].1;
+            state.scheduler.enqueue(Request {
+                id,
+                arrival_ms: now,
+                service_ms,
+            });
+            state.queued_work_ms += service_ms;
+        } else {
+            state.dropped += 1;
+            outcomes[id] = Some(FleetOutcome::Dropped);
+        }
+    };
+
+    while let Some(ev) = heap.pop() {
+        let now = ev.time_ms;
+        // Which tier's servers should look for work after this event.
+        let dispatch_tier: Option<usize> = match ev.kind {
+            EventKind::Gateway(id) => {
+                makespan = makespan.max(now);
+                let req = requests[id];
+                // Congestion snapshots cost a scan of every tier's servers;
+                // static policies opt out and receive an empty slice.
+                let snapshots: Vec<TierSnapshot> = if policy.needs_snapshots() {
+                    cfg.tiers
+                        .iter()
+                        .zip(&tiers)
+                        .map(|(t, s)| TierSnapshot {
+                            queue_len: s.scheduler.queue_len(),
+                            queued_work_ms: s.queued_work_ms.max(0.0),
+                            in_flight_remaining_ms: s
+                                .in_flight
+                                .iter()
+                                .zip(&s.idle)
+                                .filter(|(_, idle)| !**idle)
+                                .map(|((_, finish, _), _)| (finish - now).max(0.0))
+                                .sum(),
+                            servers: t.servers,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let target = policy.route(req.quantile, &cfg.tiers, &snapshots);
+                assert!(
+                    target < cfg.tiers.len(),
+                    "offload policy routed to nonexistent tier {target}"
+                );
+                let service_ms = cfg.tiers[target].profile.sample(req.quantile);
+                let transfer_ms = cfg.tiers[target]
+                    .link
+                    .as_ref()
+                    .map_or(0.0, |l| l.transfer_ms());
+                routing[id] = (target, service_ms, transfer_ms);
+                tiers[target].routed += 1;
+                if target == 0 {
+                    admit(&mut tiers, &mut outcomes, cfg, &routing, 0, id, now);
+                    Some(0)
+                } else {
+                    heap.push(Event {
+                        time_ms: now + transfer_ms,
+                        seq,
+                        kind: EventKind::TierArrival { tier: target, id },
+                    });
+                    seq += 1;
+                    None
+                }
+            }
+            EventKind::TierArrival { tier, id } => {
+                makespan = makespan.max(now);
+                admit(&mut tiers, &mut outcomes, cfg, &routing, tier, id, now);
+                Some(tier)
+            }
+            EventKind::Completion { tier, server } => {
+                makespan = makespan.max(now);
+                let state = &mut tiers[tier];
+                let (start_ms, _, batch) =
+                    std::mem::replace(&mut state.in_flight[server], (0.0, 0.0, Vec::new()));
+                for r in batch {
+                    state.sojourns.push(now - requests[r.id].gateway_ms);
+                    outcomes[r.id] = Some(FleetOutcome::Completed {
+                        server,
+                        start_ms,
+                        finish_ms: now,
+                    });
+                }
+                state.idle[server] = true;
+                Some(tier)
+            }
+            EventKind::Timer { tier } => Some(tier),
+        };
+
+        // Engine-identical dispatch loop, restricted to the one tier whose
+        // queue or servers this event could have changed.
+        if let Some(t) = dispatch_tier {
+            let state = &mut tiers[t];
+            for s in 0..cfg.tiers[t].servers {
+                if !state.idle[s] {
+                    continue;
+                }
+                match state.scheduler.dispatch(now) {
+                    Dispatch::Serve(batch) => {
+                        assert!(!batch.is_empty(), "scheduler dispatched an empty batch");
+                        let service = batch
+                            .iter()
+                            .map(|r| r.service_ms)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        state.queued_work_ms -= batch.iter().map(|r| r.service_ms).sum::<f64>();
+                        state.busy_ms[s] += service;
+                        state.idle[s] = false;
+                        state.in_flight[s] = (now, now + service, batch);
+                        heap.push(Event {
+                            time_ms: now + service,
+                            seq,
+                            kind: EventKind::Completion { tier: t, server: s },
+                        });
+                        seq += 1;
+                    }
+                    Dispatch::WaitUntil(tm) => {
+                        heap.push(Event {
+                            time_ms: tm,
+                            seq,
+                            kind: EventKind::Timer { tier: t },
+                        });
+                        seq += 1;
+                        break;
+                    }
+                    Dispatch::Idle => break,
+                }
+            }
+        }
+    }
+
+    // Assemble reports.
+    let records: Vec<FleetRecord> = requests
+        .iter()
+        .map(|&request| {
+            let (tier, service_ms, transfer_ms) = routing[request.id];
+            FleetRecord {
+                request,
+                tier,
+                service_ms,
+                transfer_ms,
+                outcome: outcomes[request.id].expect("every request resolves by drain"),
+            }
+        })
+        .collect();
+
+    let mut tier_reports = Vec::with_capacity(cfg.tiers.len());
+    let mut all_sojourns: Vec<f64> = Vec::new();
+    let mut busy_all = 0.0f64;
+    let mut energy_all = 0.0f64;
+    for (tier_cfg, state) in cfg.tiers.iter().zip(tiers) {
+        let busy_total: f64 = state.busy_ms.iter().sum();
+        busy_all += busy_total;
+        all_sojourns.extend_from_slice(&state.sojourns);
+        let completed = state.sojourns.len();
+        let serving = finalize_report(
+            &tier_cfg.device,
+            state.sojourns,
+            busy_total,
+            makespan,
+            tier_cfg.servers,
+        );
+        energy_all += serving.energy_j;
+        tier_reports.push(TierReport {
+            name: tier_cfg.name.clone(),
+            serving,
+            routed: state.routed,
+            completed,
+            dropped: state.dropped,
+            per_server_utilization: state
+                .busy_ms
+                .iter()
+                .map(|&b| {
+                    if makespan > 0.0 {
+                        (b / makespan).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            per_server_busy_ms: state.busy_ms,
+        });
+    }
+
+    let completed = all_sojourns.len();
+    let dropped = n - completed;
+    let offloaded = records.iter().filter(|r| r.tier != 0).count();
+    let late = all_sojourns.iter().filter(|&&s| s > cfg.slo_ms).count();
+
+    all_sojourns.sort_by(|a, b| a.partial_cmp(b).expect("sojourns are finite"));
+    let total_servers: usize = cfg.tiers.iter().map(|t| t.servers).sum();
+    let capacity_ms = makespan * total_servers as f64;
+    let end_to_end = ServingReport {
+        mean_sojourn_ms: if all_sojourns.is_empty() {
+            0.0
+        } else {
+            all_sojourns.iter().sum::<f64>() / all_sojourns.len() as f64
+        },
+        p50_ms: percentile_sorted(&all_sojourns, 0.50),
+        p95_ms: percentile_sorted(&all_sojourns, 0.95),
+        p99_ms: percentile_sorted(&all_sojourns, 0.99),
+        utilization: if capacity_ms > 0.0 {
+            (busy_all / capacity_ms).min(1.0)
+        } else {
+            0.0
+        },
+        makespan_ms: makespan,
+        energy_j: energy_all,
+    };
+
+    FleetReport {
+        tiers: tier_reports,
+        offered: n,
+        completed,
+        dropped,
+        offloaded,
+        slo_ms: cfg.slo_ms,
+        slo_violations: late + dropped,
+        end_to_end,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_engine, EngineConfig};
+    use crate::pipeline::ServingConfig;
+
+    fn rpi_tier(name: &str, servers: usize, profile: CostProfile) -> Tier {
+        Tier {
+            name: name.into(),
+            device: DeviceModel::raspberry_pi4(),
+            servers,
+            profile,
+            scheduler: SchedulerKind::Fifo,
+            admission: AdmissionPolicy::Unbounded,
+            link: None,
+        }
+    }
+
+    fn cloud_tier(name: &str, servers: usize, profile: CostProfile, link: NetworkLink) -> Tier {
+        Tier {
+            name: name.into(),
+            device: DeviceModel::gci_cpu(),
+            servers,
+            profile,
+            scheduler: SchedulerKind::Fifo,
+            admission: AdmissionPolicy::Unbounded,
+            link: Some(link),
+        }
+    }
+
+    fn two_tier(edge_profile: CostProfile, cloud_profile: CostProfile) -> FleetConfig {
+        FleetConfig {
+            tiers: vec![
+                rpi_tier("edge", 2, edge_profile),
+                cloud_tier("cloud", 2, cloud_profile, NetworkLink::wifi(3136)),
+            ],
+            arrivals: ArrivalProcess::poisson(200.0),
+            requests: 8_000,
+            seed: 17,
+            slo_ms: 40.0,
+        }
+    }
+
+    #[test]
+    fn single_tier_always_local_matches_engine_bit_for_bit() {
+        let d = DeviceModel::raspberry_pi4();
+        for profile in [
+            CostProfile::constant(2.4),
+            CostProfile::bimodal(2.0, 13.0, 0.9),
+            CostProfile::empirical(vec![1.0, 1.5, 2.0, 9.0, 12.5]),
+        ] {
+            for (servers, scheduler, admission) in [
+                (1, SchedulerKind::Fifo, AdmissionPolicy::Unbounded),
+                (
+                    3,
+                    SchedulerKind::ShortestService,
+                    AdmissionPolicy::Bounded { max_queue: 32 },
+                ),
+                (
+                    2,
+                    SchedulerKind::Batch {
+                        max_batch: 4,
+                        max_wait_ms: 5.0,
+                    },
+                    AdmissionPolicy::Unbounded,
+                ),
+            ] {
+                let engine_cfg = EngineConfig {
+                    workload: ServingConfig {
+                        arrival_rate_hz: 260.0,
+                        profile: profile.clone(),
+                        requests: 5_000,
+                        seed: 42,
+                    },
+                    servers,
+                    scheduler,
+                    admission,
+                };
+                let engine = simulate_engine(&d, &engine_cfg);
+                let fleet = simulate_fleet(
+                    &FleetConfig::single_tier("edge", d, &engine_cfg, 50.0),
+                    OffloadPolicyKind::AlwaysLocal,
+                );
+                let tier = &fleet.tiers[0];
+                assert_eq!(tier.serving.mean_sojourn_ms, engine.serving.mean_sojourn_ms);
+                assert_eq!(tier.serving.p50_ms, engine.serving.p50_ms);
+                assert_eq!(tier.serving.p95_ms, engine.serving.p95_ms);
+                assert_eq!(tier.serving.p99_ms, engine.serving.p99_ms);
+                assert_eq!(tier.serving.utilization, engine.serving.utilization);
+                assert_eq!(tier.serving.makespan_ms, engine.serving.makespan_ms);
+                assert_eq!(tier.serving.energy_j, engine.serving.energy_j);
+                assert_eq!(tier.per_server_busy_ms, engine.per_server_busy_ms);
+                assert_eq!(tier.per_server_utilization, engine.per_server_utilization);
+                assert_eq!(fleet.completed, engine.completed);
+                assert_eq!(fleet.dropped, engine.dropped);
+                assert_eq!(fleet.offloaded, 0);
+                // End-to-end aggregates collapse to the tier's for one tier.
+                assert_eq!(fleet.end_to_end.p99_ms, engine.serving.p99_ms);
+                assert_eq!(fleet.end_to_end.utilization, engine.serving.utilization);
+            }
+        }
+    }
+
+    #[test]
+    fn exit_confidence_offloads_exactly_the_hard_fraction() {
+        let cfg = two_tier(
+            CostProfile::bimodal(2.0, 13.0, 0.8),
+            CostProfile::bimodal(0.2, 1.3, 0.8),
+        );
+        let r = simulate_fleet(&cfg, OffloadPolicyKind::ExitConfidence);
+        // Every request with quantile ≥ 0.8 — and only those — offloads.
+        let hard = r
+            .records
+            .iter()
+            .filter(|rec| rec.request.quantile >= 0.8)
+            .count();
+        assert_eq!(r.offloaded, hard);
+        assert_eq!(r.tiers[1].routed, hard);
+        assert!(
+            (r.offload_rate() - 0.2).abs() < 0.02,
+            "{}",
+            r.offload_rate()
+        );
+        // Offloaded requests pay the link before the cloud queue.
+        let transfer = NetworkLink::wifi(3136).transfer_ms();
+        for rec in r.records.iter().filter(|rec| rec.tier == 1) {
+            assert!((rec.transfer_ms - transfer).abs() < 1e-12);
+            if let FleetOutcome::Completed { finish_ms, .. } = rec.outcome {
+                let sojourn = finish_ms - rec.request.gateway_ms;
+                assert!(sojourn >= transfer + rec.service_ms - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exit_confidence_never_offloads_constant_profiles() {
+        // A CBNet-style constant local profile has easy fraction 1: every
+        // request exits locally, so nothing ships.
+        let cfg = two_tier(CostProfile::constant(2.4), CostProfile::constant(0.3));
+        let r = simulate_fleet(&cfg, OffloadPolicyKind::ExitConfidence);
+        assert_eq!(r.offloaded, 0);
+        assert_eq!(r.tiers[1].routed, 0);
+        assert_eq!(r.tiers[1].serving.utilization, 0.0);
+    }
+
+    #[test]
+    fn slo_sojourn_sheds_load_and_cuts_violations_under_overload() {
+        // One edge server at ρ ≈ 1.7 without offload: AlwaysLocal melts,
+        // SloSojourn ships the overflow to the cloud pool.
+        let mut cfg = two_tier(
+            CostProfile::bimodal(2.0, 13.0, 0.8),
+            CostProfile::bimodal(0.2, 1.3, 0.8),
+        );
+        cfg.tiers[0].servers = 1;
+        cfg.arrivals = ArrivalProcess::poisson(400.0);
+        assert!(cfg.local_load_per_server() > 1.5);
+        let local = simulate_fleet(&cfg, OffloadPolicyKind::AlwaysLocal);
+        let slo = simulate_fleet(&cfg, OffloadPolicyKind::SloSojourn { slo_ms: cfg.slo_ms });
+        assert!(slo.offloaded > 0);
+        assert!(
+            slo.slo_violation_rate() < 0.5 * local.slo_violation_rate(),
+            "slo {} !< local {}",
+            slo.slo_violation_rate(),
+            local.slo_violation_rate()
+        );
+        assert!(slo.end_to_end.p99_ms < local.end_to_end.p99_ms);
+    }
+
+    #[test]
+    fn conservation_holds_with_bounded_remote_admission() {
+        let mut cfg = two_tier(
+            CostProfile::bimodal(2.0, 13.0, 0.6),
+            CostProfile::constant(5.0),
+        );
+        cfg.tiers[0].servers = 1;
+        cfg.tiers[1].servers = 1;
+        cfg.tiers[1].admission = AdmissionPolicy::Bounded { max_queue: 4 };
+        cfg.arrivals = ArrivalProcess::mmpp(100.0, 1200.0, 300.0, 150.0);
+        let r = simulate_fleet(&cfg, OffloadPolicyKind::ExitConfidence);
+        assert_eq!(r.completed + r.dropped, r.offered);
+        assert_eq!(
+            r.tiers.iter().map(|t| t.routed).sum::<usize>(),
+            r.offered,
+            "every request routes to exactly one tier"
+        );
+        for t in &r.tiers {
+            assert_eq!(t.completed + t.dropped, t.routed);
+        }
+        assert_eq!(r.offloaded, r.tiers[1].routed);
+        assert!(
+            r.dropped > 0,
+            "a 4-deep remote queue under bursts must shed"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_hurt_tails_at_equal_mean_rate() {
+        let mk = |arrivals: ArrivalProcess| {
+            let mut cfg = two_tier(
+                CostProfile::bimodal(2.0, 13.0, 0.8),
+                CostProfile::constant(0.4),
+            );
+            cfg.arrivals = arrivals;
+            simulate_fleet(&cfg, OffloadPolicyKind::AlwaysLocal)
+        };
+        let mmpp = ArrivalProcess::mmpp(40.0, 900.0, 400.0, 120.0);
+        let poisson = ArrivalProcess::poisson(mmpp.mean_rate_hz());
+        let bursty = mk(mmpp);
+        let steady = mk(poisson);
+        assert!(
+            bursty.end_to_end.p99_ms > steady.end_to_end.p99_ms,
+            "bursty p99 {} !> steady p99 {}",
+            bursty.end_to_end.p99_ms,
+            steady.end_to_end.p99_ms
+        );
+    }
+
+    #[test]
+    fn trace_arrivals_replay_deterministically() {
+        let mut cfg = two_tier(CostProfile::constant(2.0), CostProfile::constant(0.3));
+        cfg.arrivals = ArrivalProcess::trace(vec![1.0, 1.0, 50.0]);
+        cfg.requests = 600;
+        let a = simulate_fleet(&cfg, OffloadPolicyKind::SloSojourn { slo_ms: 10.0 });
+        let b = simulate_fleet(&cfg, OffloadPolicyKind::SloSojourn { slo_ms: 10.0 });
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.end_to_end.p99_ms, b.end_to_end.p99_ms);
+    }
+
+    #[test]
+    fn network_link_transfer_arithmetic() {
+        // 1 MB at 8 Mb/s = 1 s of serialization, plus 10 ms latency.
+        let l = NetworkLink::new(10.0, 8.0, 1_000_000);
+        assert!((l.transfer_ms() - 1010.0).abs() < 1e-9);
+        // Presets are ordered: LAN < WiFi < WAN for the same payload.
+        let (lan, wifi, wan) = (
+            NetworkLink::lan(3136).transfer_ms(),
+            NetworkLink::wifi(3136).transfer_ms(),
+            NetworkLink::wan(3136).transfer_ms(),
+        );
+        assert!(lan < wifi && wifi < wan, "{lan} {wifi} {wan}");
+    }
+
+    #[test]
+    fn config_validation_catches_topology_mistakes() {
+        let good = two_tier(CostProfile::constant(1.0), CostProfile::constant(0.2));
+        assert!(good.try_valid().is_ok());
+
+        let mut no_link = good.clone();
+        no_link.tiers[1].link = None;
+        assert!(no_link.try_valid().unwrap_err().contains("need a link"));
+
+        let mut local_link = good.clone();
+        local_link.tiers[0].link = Some(NetworkLink::lan(100));
+        assert!(local_link
+            .try_valid()
+            .unwrap_err()
+            .contains("must not have a link"));
+
+        let mut bad_profile = good.clone();
+        bad_profile.tiers[1].profile = CostProfile::Constant { service_ms: -1.0 };
+        assert!(bad_profile.try_valid().unwrap_err().contains("tier 1"));
+
+        let mut bad_slo = good.clone();
+        bad_slo.slo_ms = 0.0;
+        assert!(bad_slo.try_valid().unwrap_err().contains("SLO"));
+
+        let mut no_tiers = good.clone();
+        no_tiers.tiers.clear();
+        assert!(no_tiers
+            .try_valid()
+            .unwrap_err()
+            .contains("at least one tier"));
+    }
+
+    #[test]
+    fn policy_labels_match_built_names() {
+        for kind in [
+            OffloadPolicyKind::AlwaysLocal,
+            OffloadPolicyKind::ExitConfidence,
+            OffloadPolicyKind::SloSojourn { slo_ms: 25.0 },
+        ] {
+            assert_eq!(kind.label(), kind.build().name());
+        }
+    }
+
+    #[test]
+    fn capacity_helpers_are_consistent() {
+        let cfg = two_tier(CostProfile::constant(2.0), CostProfile::constant(0.5));
+        // edge: 2 servers · 500/s, cloud: 2 · 2000/s.
+        assert!((cfg.aggregate_capacity_hz() - 5000.0).abs() < 1e-9);
+        // 200/s · 2 ms / 2 servers = 0.2.
+        assert!((cfg.local_load_per_server() - 0.2).abs() < 1e-12);
+    }
+}

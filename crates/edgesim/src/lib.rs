@@ -28,25 +28,42 @@
 //!   (FIFO / shortest-expected-service / batch-accumulate) and
 //!   [`AdmissionPolicy`] load shedding with drop accounting. Its 1-server
 //!   FIFO configuration reproduces [`pipeline::simulate`] bit for bit.
+//! * [`arrivals`] — pluggable arrival processes: Poisson (bit-identical to
+//!   the legacy RNG draw order), two-state MMPP bursts, and deterministic
+//!   trace replay, all yielding `(arrival, difficulty-quantile)` workloads.
+//! * [`fleet`] — tiered edge–cloud offload simulation: heterogeneous
+//!   serving pools connected by [`fleet::NetworkLink`]s, with pluggable
+//!   per-request [`fleet::OffloadPolicy`] routing (always-local /
+//!   exit-confidence / SLO-predicted-sojourn) and per-tier + end-to-end
+//!   reports. A single-tier fleet under [`fleet::AlwaysLocal`] reproduces
+//!   [`engine::simulate_engine`] bit for bit.
 //!
 //! Because the paper reports *relative* speedups and savings, anchoring the
 //! baseline latency and applying the same per-layer accounting to every
 //! model preserves every comparison the paper makes while staying honest
 //! about absolute numbers (see DESIGN.md §1).
 
+pub mod arrivals;
 pub mod cost;
 pub mod device;
 pub mod energy;
 pub mod engine;
+pub mod fleet;
 pub mod partition;
 pub mod pipeline;
 pub mod power;
 
+pub use arrivals::ArrivalProcess;
 pub use cost::CostProfile;
 pub use device::{Device, DeviceModel, LatencyBreakdown};
 pub use energy::{energy_joules, savings_percent, EnergyReport};
 pub use engine::{
-    simulate_engine, AdmissionPolicy, EngineConfig, EngineReport, Scheduler, SchedulerKind,
+    run_engine, simulate_engine, AdmissionPolicy, EngineConfig, EngineReport, Scheduler,
+    SchedulerKind,
+};
+pub use fleet::{
+    simulate_fleet, simulate_fleet_with, FleetConfig, FleetReport, NetworkLink, OffloadPolicy,
+    OffloadPolicyKind, Tier, TierReport,
 };
 pub use partition::{best_split, Uplink};
 pub use power::PowerModel;

@@ -32,6 +32,13 @@
 //!     sheds load with per-request drop accounting (reported as
 //!     `drop_rate`, never silently).
 //!
+//! One level up, [`crate::fleet::simulate_fleet`] composes engine-identical
+//! per-tier loops into a tiered edge–cloud topology with network links,
+//! pluggable [`crate::fleet::OffloadPolicy`] routing and non-Poisson
+//! [`crate::arrivals::ArrivalProcess`]es; its single-tier always-local
+//! configuration reproduces the engine (and hence, for 1-server FIFO, this
+//! module's [`simulate`]) bit for bit.
+//!
 //! # Where profiles come from
 //!
 //! The profile is the bridge to the model layer: `InferenceModel::
@@ -134,13 +141,7 @@ pub(crate) fn finalize_report(
     servers: usize,
 ) -> ServingReport {
     sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| -> f64 {
-        if sojourns.is_empty() {
-            return 0.0;
-        }
-        let idx = ((sojourns.len() as f64 - 1.0) * p).round() as usize;
-        sojourns[idx]
-    };
+    let pct = |p: f64| percentile_sorted(&sojourns, p);
     let mean = if sojourns.is_empty() {
         0.0
     } else {
@@ -167,6 +168,18 @@ pub(crate) fn finalize_report(
         makespan_ms: makespan,
         energy_j,
     }
+}
+
+/// Percentile of an ascending-sorted sample set, in the simulators' shared
+/// nearest-rank-by-rounding convention. Every report path (legacy loop,
+/// engine, fleet) goes through this one function so their percentile
+/// semantics cannot drift apart.
+pub(crate) fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
 }
 
 #[cfg(test)]

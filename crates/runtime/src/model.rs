@@ -58,6 +58,16 @@ pub trait InferenceModel {
     fn exit_rate(&self) -> Option<f32> {
         None
     }
+
+    /// Bytes shipped over a network link when one input of `x` is offloaded
+    /// to a remote serving tier: the per-sample feature payload at `f32`
+    /// precision. This is what sizes `edgesim::fleet::NetworkLink`s in
+    /// tiered edge–cloud sweeps — the offloaded unit is the raw model input,
+    /// not the (tiny) prediction coming back.
+    fn offload_payload_bytes(&self, x: &Tensor) -> u64 {
+        let per_sample: usize = x.dims().iter().skip(1).product();
+        (per_sample * std::mem::size_of::<f32>()) as u64
+    }
 }
 
 impl<M: InferenceModel + ?Sized> InferenceModel for &mut M {
@@ -75,5 +85,8 @@ impl<M: InferenceModel + ?Sized> InferenceModel for &mut M {
     }
     fn exit_rate(&self) -> Option<f32> {
         (**self).exit_rate()
+    }
+    fn offload_payload_bytes(&self, x: &Tensor) -> u64 {
+        (**self).offload_payload_bytes(x)
     }
 }

@@ -18,7 +18,9 @@
 //!   serving simulators driven by them: the legacy single-server FIFO loop
 //!   and the discrete-event multi-server engine
 //!   ([`edgesim::simulate_engine`]) with pluggable scheduling and admission
-//!   control;
+//!   control, plus the tiered edge–cloud fleet simulator
+//!   ([`edgesim::simulate_fleet`]) with heterogeneous pools, network links,
+//!   pluggable offload policies and bursty/trace arrival processes;
 //! * [`runtime`] — the unified [`runtime::InferenceModel`] trait, evaluation
 //!   [`runtime::Scenario`]s, and the one generic [`runtime::evaluate`] path
 //!   every comparator goes through;
@@ -70,8 +72,9 @@ pub mod prelude {
     pub use cbnet::{self, CbnetModel, ModelKind, ModelRegistry, PipelineConfig};
     pub use datasets::{self, Dataset, Family};
     pub use edgesim::{
-        simulate_engine, AdmissionPolicy, CostProfile, Device, DeviceModel, EngineConfig,
-        EngineReport, PowerModel, SchedulerKind,
+        simulate_engine, simulate_fleet, AdmissionPolicy, ArrivalProcess, CostProfile, Device,
+        DeviceModel, EngineConfig, EngineReport, FleetConfig, FleetReport, NetworkLink,
+        OffloadPolicyKind, PowerModel, SchedulerKind, Tier,
     };
     pub use models::{
         accuracy, build_lenet, AutoencoderConfig, BranchyNet, BranchyNetConfig,

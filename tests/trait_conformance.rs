@@ -216,6 +216,87 @@ fn event_engine_single_fifo_reproduces_legacy_serving_report() {
 }
 
 #[test]
+fn single_tier_always_local_fleet_reproduces_engine_report() {
+    // The fleet-stack conformance anchor, one level up: a single-tier fleet
+    // under AlwaysLocal must reproduce the engine's report EXACTLY — same
+    // percentiles, same per-server utilization, same energy — for a profile
+    // measured from a real trained network, across scheduler and topology
+    // shapes. The fleet is a strict superset of the engine, not a fork.
+    use edgesim::engine::{simulate_engine, EngineConfig};
+    use edgesim::fleet::simulate_fleet;
+    use edgesim::pipeline::ServingConfig;
+    use edgesim::{FleetConfig, OffloadPolicyKind};
+
+    let mut rng = tensor::random::rng_from_seed(21);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    bn.set_threshold(1.2);
+    let split = small_split(Family::FmnistLike, 22);
+    let device = DeviceModel::raspberry_pi4();
+    let mut model = BranchyNetModel::new(&mut bn);
+    let measured = CostProfile::empirical(model.sample_costs(&split.test.images, &device));
+
+    for (servers, scheduler, admission) in [
+        (1, SchedulerKind::Fifo, AdmissionPolicy::Unbounded),
+        (
+            4,
+            SchedulerKind::ShortestService,
+            AdmissionPolicy::Bounded { max_queue: 64 },
+        ),
+        (
+            2,
+            SchedulerKind::Batch {
+                max_batch: 8,
+                max_wait_ms: 2.0 * measured.mean_ms(),
+            },
+            AdmissionPolicy::Unbounded,
+        ),
+    ] {
+        let engine_cfg = EngineConfig {
+            workload: ServingConfig {
+                arrival_rate_hz: 300.0,
+                profile: measured.clone(),
+                requests: 3_000,
+                seed: 23,
+            },
+            servers,
+            scheduler,
+            admission,
+        };
+        let engine = simulate_engine(&device, &engine_cfg);
+        let fleet = simulate_fleet(
+            &FleetConfig::single_tier("edge", device, &engine_cfg, 50.0),
+            OffloadPolicyKind::AlwaysLocal,
+        );
+        let tier = &fleet.tiers[0];
+        let label = scheduler.label();
+        assert_eq!(
+            tier.serving.mean_sojourn_ms, engine.serving.mean_sojourn_ms,
+            "{label} x{servers}: mean"
+        );
+        assert_eq!(tier.serving.p50_ms, engine.serving.p50_ms, "{label}: p50");
+        assert_eq!(tier.serving.p95_ms, engine.serving.p95_ms, "{label}: p95");
+        assert_eq!(tier.serving.p99_ms, engine.serving.p99_ms, "{label}: p99");
+        assert_eq!(
+            tier.serving.utilization, engine.serving.utilization,
+            "{label}: util"
+        );
+        assert_eq!(
+            tier.serving.makespan_ms, engine.serving.makespan_ms,
+            "{label}: makespan"
+        );
+        assert_eq!(
+            tier.serving.energy_j, engine.serving.energy_j,
+            "{label}: energy"
+        );
+        assert_eq!(tier.per_server_busy_ms, engine.per_server_busy_ms);
+        assert_eq!(tier.per_server_utilization, engine.per_server_utilization);
+        assert_eq!(fleet.completed, engine.completed);
+        assert_eq!(fleet.dropped, engine.dropped);
+        assert_eq!(fleet.offloaded, 0);
+    }
+}
+
+#[test]
 fn sample_costs_mean_matches_cost_profile_mean() {
     // The two pricing paths must agree: the empirical histogram measured
     // from per-sample exit decisions carries the same mean as the bimodal
