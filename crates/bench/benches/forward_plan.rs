@@ -1,0 +1,82 @@
+//! Allocating vs. planned forward pass, across batch sizes and model
+//! shapes — the tentpole measurement for the `nn::ForwardPlan` executor.
+//!
+//! Three executors per (model, batch) point:
+//!
+//! * `alloc`   — legacy `Network::predict` (fresh tensor per layer per call);
+//! * `planned` — `Network::predict_planned` (cached plan, output tensor
+//!   still allocated);
+//! * `plan_run` — bare `ForwardPlan::run` (zero steady-state allocations).
+//!
+//! Throughput is reported in samples/second, so the ≥ 1.5× batched-inference
+//! acceptance bar can be read straight off the `elem/s` column. The
+//! `forward_perf` bin emits the same comparison as `BENCH_forward.json` for
+//! cross-PR tracking.
+
+use bench::{dense_mlp, FORWARD_BATCHES as BATCHES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::lenet::build_lenet;
+use nn::{ForwardPlan, Network};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+fn batch(n: usize, seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng)
+}
+
+fn bench_network(c: &mut Criterion, name: &str, mut net: Network) {
+    let mut g = c.benchmark_group(format!("forward_plan/{name}"));
+    g.sample_size(15);
+    for n in BATCHES {
+        let x = batch(n, n as u64);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("alloc", n), &n, |b, _| {
+            b.iter(|| net.predict(&x));
+        });
+        g.bench_with_input(BenchmarkId::new("planned", n), &n, |b, _| {
+            b.iter(|| net.predict_planned(&x));
+        });
+        let mut plan = ForwardPlan::new(&net, n);
+        g.bench_with_input(BenchmarkId::new("plan_run", n), &n, |b, _| {
+            b.iter(|| plan.run(net.layers_mut(), &x).iter().sum::<f32>());
+        });
+    }
+    g.finish();
+}
+
+fn bench_lenet_plan(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    bench_network(c, "lenet", build_lenet(&mut rng));
+}
+
+fn bench_dense_plan(c: &mut Criterion) {
+    bench_network(c, "dense_mlp", dense_mlp(2));
+}
+
+fn bench_branchynet_plan(c: &mut Criterion) {
+    // Batched early-exit execution: trunk once, branch on the batch, tail on
+    // the compacted hard rows — all through cached plans.
+    let mut rng = rng_from_seed(3);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    bn.set_threshold(1.0); // mixed exits on random inputs
+    let mut g = c.benchmark_group("forward_plan/branchynet_infer");
+    g.sample_size(15);
+    for n in BATCHES {
+        let x = batch(n, 100 + n as u64);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| bn.infer(&x));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lenet_plan,
+    bench_dense_plan,
+    bench_branchynet_plan
+);
+criterion_main!(benches);

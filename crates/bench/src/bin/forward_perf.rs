@@ -1,0 +1,170 @@
+//! Forward-pass perf harness: allocating vs. planned execution, per model ×
+//! batch size, with a machine-readable `BENCH_forward.json` summary so the
+//! perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin forward_perf
+//! ```
+//!
+//! Environment:
+//! * `BENCH_FORWARD_JSON` — output path (default `BENCH_forward.json`;
+//!   set to `-` to skip writing).
+//! * `CBNET_FORWARD_PERF_SMOKE=1` — a handful of repetitions per point
+//!   (CI smoke; timings are still real, just noisier).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use bench::{dense_mlp, FORWARD_BATCHES as BATCHES};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::lenet::build_lenet;
+use nn::{ForwardPlan, Network};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+/// One measured (model, batch, executor) point.
+struct Row {
+    model: &'static str,
+    batch: usize,
+    alloc_ns_per_sample: f64,
+    planned_ns_per_sample: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.alloc_ns_per_sample / self.planned_ns_per_sample
+    }
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (also builds/grows any cached plan)
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn measure_network(name: &'static str, mut net: Network, reps: usize, rows: &mut Vec<Row>) {
+    for n in BATCHES {
+        let mut rng = rng_from_seed(n as u64);
+        let x = Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng);
+        let alloc = median_ns(reps, || {
+            std::hint::black_box(net.predict(&x));
+        });
+        // Steady-state planned path: one explicitly owned plan, zero
+        // allocations per run.
+        let mut plan = ForwardPlan::new(&net, n);
+        let planned = median_ns(reps, || {
+            std::hint::black_box(plan.run(net.layers_mut(), &x));
+        });
+        rows.push(Row {
+            model: name,
+            batch: n,
+            alloc_ns_per_sample: alloc / n as f64,
+            planned_ns_per_sample: planned / n as f64,
+        });
+    }
+}
+
+fn measure_branchynet(reps: usize, rows: &mut Vec<Row>) {
+    let mut rng = rng_from_seed(9);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    bn.set_threshold(1.0); // mixed exits on random inputs
+    for n in BATCHES {
+        let x = Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng);
+        // "alloc" reference: stage-by-stage legacy forward over the full
+        // batch (trunk + branch + tail on everything — the pre-compaction
+        // upper bound).
+        let (trunk, branch, tail) = bn.stages();
+        let (mut trunk2, mut branch2, mut tail2) =
+            (trunk.duplicate(), branch.duplicate(), tail.duplicate());
+        let alloc = median_ns(reps, || {
+            let h = trunk2.forward(&x, false);
+            let _ = std::hint::black_box(branch2.forward(&h, false));
+            let _ = std::hint::black_box(tail2.forward(&h, false));
+        });
+        let planned = median_ns(reps, || {
+            std::hint::black_box(bn.infer(&x));
+        });
+        rows.push(Row {
+            model: "BranchyNet",
+            batch: n,
+            alloc_ns_per_sample: alloc / n as f64,
+            planned_ns_per_sample: planned / n as f64,
+        });
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("CBNET_FORWARD_PERF_SMOKE").is_ok();
+    let reps = if smoke { 5 } else { 40 };
+    println!("=== forward_perf — allocating vs planned forward ({reps} reps/point) ===\n");
+
+    let mut rows = Vec::new();
+    let mut rng = rng_from_seed(1);
+    measure_network("LeNet", build_lenet(&mut rng), reps, &mut rows);
+    measure_network("DenseMLP", dense_mlp(2), reps, &mut rows);
+    measure_branchynet(reps, &mut rows);
+
+    println!(
+        "{:<12} {:>6} {:>16} {:>16} {:>9}",
+        "model", "batch", "alloc ns/sample", "planned ns/sample", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>6} {:>16.0} {:>16.0} {:>8.2}x",
+            r.model,
+            r.batch,
+            r.alloc_ns_per_sample,
+            r.planned_ns_per_sample,
+            r.speedup()
+        );
+    }
+
+    let path = std::env::var("BENCH_FORWARD_JSON").unwrap_or_else(|_| "BENCH_forward.json".into());
+    if path != "-" {
+        // Hand-rolled JSON: the workspace has no serde and the schema is flat.
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"model\": \"{}\", \"batch\": {}, \"alloc_ns_per_sample\": {:.1}, \
+                 \"planned_ns_per_sample\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                r.model,
+                r.batch,
+                r.alloc_ns_per_sample,
+                r.planned_ns_per_sample,
+                r.speedup(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        let mut f = std::fs::File::create(&path).expect("create BENCH_forward.json");
+        f.write_all(json.as_bytes())
+            .expect("write BENCH_forward.json");
+        println!("\nwrote {path}");
+    }
+
+    // Sanity bar mirroring the acceptance criterion: batched (≥ 32) planned
+    // inference on the full networks should clear 1.5× — fail loudly in CI
+    // if a regression eats the win.
+    if std::env::var("BENCH_FORWARD_ENFORCE").is_ok() {
+        for r in rows
+            .iter()
+            .filter(|r| r.batch >= 32 && r.model != "BranchyNet")
+        {
+            assert!(
+                r.speedup() >= 1.5,
+                "{} batch {} fell to {:.2}x (< 1.5x)",
+                r.model,
+                r.batch,
+                r.speedup()
+            );
+        }
+    }
+}

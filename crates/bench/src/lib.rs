@@ -22,6 +22,28 @@
 //! come from.
 
 use cbnet::experiments::ExperimentScale;
+use nn::{Activation, ActivationKind, Dense, Network};
+use tensor::random::rng_from_seed;
+
+/// Batch sizes the forward-pass perf surfaces sweep (`benches/forward_plan`
+/// and `bin/forward_perf` share this list so their trajectories stay
+/// comparable).
+pub const FORWARD_BATCHES: [usize; 4] = [1, 8, 32, 128];
+
+/// A Table-I-style dense MLP (the converting-autoencoder shape): the
+/// dense-GEMM-dominated counterpoint to LeNet's conv-dominated stack, shared
+/// by the forward-pass perf surfaces.
+pub fn dense_mlp(seed: u64) -> Network {
+    let mut rng = rng_from_seed(seed);
+    Network::new()
+        .push(Dense::new(784, 784, &mut rng))
+        .push(Activation::new(ActivationKind::Relu, 784))
+        .push(Dense::new(784, 384, &mut rng))
+        .push(Activation::new(ActivationKind::Relu, 384))
+        .push(Dense::new(384, 32, &mut rng))
+        .push(Dense::new(32, 784, &mut rng))
+        .push(Activation::new(ActivationKind::Sigmoid, 784))
+}
 
 /// Resolve the experiment scale from the `CBNET_SCALE` environment variable.
 pub fn scale_from_env() -> ExperimentScale {

@@ -83,10 +83,13 @@ pub struct CbnetModel {
 }
 
 impl CbnetModel {
-    /// Classify a batch: autoencode, then run the lightweight DNN.
+    /// Classify a batch: autoencode, then run the lightweight DNN. Both
+    /// stages execute through their cached `nn::ForwardPlan`s, so repeated
+    /// same-shaped batches (the serving simulators' empirical-profile
+    /// measurement) do no per-layer allocation.
     pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
         let converted = self.autoencoder.forward(x);
-        self.lightweight.predict(&converted).argmax_rows()
+        self.lightweight.predict_planned(&converted).argmax_rows()
     }
 
     /// The converted (easy) images for a batch — exposed for inspection and

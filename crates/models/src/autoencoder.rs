@@ -214,13 +214,14 @@ impl ConvertingAutoencoder {
 
     /// Encode a batch to bottleneck codes.
     pub fn encode(&mut self, x: &Tensor) -> Tensor {
-        self.encoder.predict(x)
+        self.encoder.predict_planned(x)
     }
 
-    /// Full reconstruction: encode then decode.
+    /// Full reconstruction: encode then decode (planned forward; repeated
+    /// same-shaped batches do no per-layer allocation).
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let z = self.encoder.predict(x);
-        self.decoder.predict(&z)
+        let z = self.encoder.predict_planned(x);
+        self.decoder.predict_planned(&z)
     }
 
     /// Total parameters.
@@ -260,6 +261,13 @@ impl ConvertingAutoencoder {
         let mut v = self.encoder.params_and_grads();
         v.extend(self.decoder.params_and_grads());
         v
+    }
+
+    /// Visit all `(param, grad)` pairs in [`Self::params_and_grads`] order
+    /// without allocating — the [`nn::step_with`] optimizer path.
+    pub fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.encoder.visit_params_and_grads(f);
+        self.decoder.visit_params_and_grads(f);
     }
 
     /// Reconstruction MSE over a batch (no training).

@@ -181,6 +181,14 @@ impl BranchyNet {
         v
     }
 
+    /// Visit all `(param, grad)` pairs in [`BranchyNet::params_and_grads`]
+    /// order without allocating — the [`nn::step_with`] optimizer path.
+    pub fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.trunk.visit_params_and_grads(f);
+        self.branch.visit_params_and_grads(f);
+        self.tail.visit_params_and_grads(f);
+    }
+
     /// Zero all gradients.
     pub fn zero_grads(&mut self) {
         self.trunk.zero_grads();
@@ -190,14 +198,18 @@ impl BranchyNet {
 
     /// Early-exit inference for a batch.
     ///
-    /// Computes the trunk and branch for every sample, then runs the tail
-    /// only for the samples whose exit-1 entropy is at or above the
-    /// threshold — mirroring the deployed execution model, so latency
-    /// accounting can charge the tail only for non-exiting samples.
+    /// Batch-native execution through the planned forward path: the shared
+    /// trunk runs **once** over the whole batch, the exit head is evaluated
+    /// on the full batch, then the not-yet-exited rows are *compacted* and
+    /// only they continue through the tail — mirroring the deployed
+    /// execution model, so latency accounting can charge the tail only for
+    /// non-exiting samples. Each stage reuses its network's cached
+    /// [`nn::ForwardPlan`], so repeated same-shaped batches do no per-layer
+    /// allocation.
     pub fn infer(&mut self, x: &Tensor) -> Vec<BranchyOutput> {
         let n = x.dims()[0];
-        let h = self.trunk.predict(x);
-        let logits1 = self.branch.predict(&h);
+        let h = self.trunk.predict_planned(x);
+        let logits1 = self.branch.predict_planned(&h);
         let classes = LENET_CLASSES;
         let mut out: Vec<BranchyOutput> = Vec::with_capacity(n);
         let mut hard_rows: Vec<usize> = Vec::new();
@@ -224,7 +236,7 @@ impl BranchyNet {
         }
         if !hard_rows.is_empty() {
             let h_hard = h.gather_rows(&hard_rows);
-            let logits2 = self.tail.predict(&h_hard);
+            let logits2 = self.tail.predict_planned(&h_hard);
             for (k, &s) in hard_rows.iter().enumerate() {
                 let row = &logits2.data()[k * classes..(k + 1) * classes];
                 out[s].prediction = argmax(row);
@@ -246,9 +258,9 @@ impl BranchyNet {
     /// threshold is a pure table lookup, no re-inference needed.
     pub fn infer_full(&mut self, x: &Tensor) -> Vec<(usize, usize, f32)> {
         let n = x.dims()[0];
-        let h = self.trunk.predict(x);
-        let logits1 = self.branch.predict(&h);
-        let logits2 = self.tail.predict(&h);
+        let h = self.trunk.predict_planned(x);
+        let logits1 = self.branch.predict_planned(&h);
+        let logits2 = self.tail.predict_planned(&h);
         let classes = LENET_CLASSES;
         let mut probs = vec![0.0f32; classes];
         let mut out = Vec::with_capacity(n);

@@ -5,7 +5,7 @@
 //! network weights" (§III-A.3); classifiers use the same.
 
 use nn::loss::SoftmaxCrossEntropy;
-use nn::{Adam, Network, Optimizer};
+use nn::{Adam, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tensor::Tensor;
@@ -77,8 +77,7 @@ pub fn train_classifier(net: &mut Network, data: &Dataset, cfg: &TrainConfig) ->
             let logits = net.forward(&x, true);
             let (l, g) = SoftmaxCrossEntropy.loss(&logits, &labels);
             net.backward(&g);
-            let mut pg = net.params_and_grads();
-            opt.step(&mut pg);
+            nn::step_with(&mut opt, |f| net.visit_params_and_grads(f));
             loss_sum += l as f64;
             batches += 1;
         }
@@ -100,8 +99,7 @@ pub fn train_branchynet(net: &mut BranchyNet, data: &Dataset, cfg: &TrainConfig)
             let x = data.images.gather_rows(chunk);
             let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
             let (l1, l2) = net.train_batch(&x, &labels);
-            let mut pg = net.params_and_grads();
-            opt.step(&mut pg);
+            nn::step_with(&mut opt, |f| net.visit_params_and_grads(f));
             loss_sum += (l1 + l2) as f64;
             batches += 1;
         }
@@ -260,8 +258,7 @@ pub fn train_autoencoder(
             let x = data.images.gather_rows(chunk);
             let t = targets.gather_rows(chunk);
             let l = ae.train_batch(&x, &t);
-            let mut pg = ae.params_and_grads();
-            opt.step(&mut pg);
+            nn::step_with(&mut opt, |f| ae.visit_params_and_grads(f));
             loss_sum += l as f64;
             batches += 1;
         }

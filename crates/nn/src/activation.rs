@@ -122,6 +122,20 @@ impl Layer for Activation {
         out
     }
 
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+        debug_assert_eq!(input.len(), batch * self.dim);
+        debug_assert_eq!(out.len(), batch * self.dim);
+        // Identical elementwise expressions to `forward`, so the planned
+        // path is bit-identical; large buffers split across threads.
+        match self.kind {
+            ActivationKind::Relu => tensor::ops::relu_into(input, out),
+            ActivationKind::Sigmoid => tensor::ops::sigmoid_into(input, out),
+            ActivationKind::Tanh => tensor::ops::tanh_into(input, out),
+            ActivationKind::Linear => out.copy_from_slice(input),
+            ActivationKind::Softmax => tensor::ops::softmax_rows_into(input, out, self.dim),
+        }
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let y = self
             .cached_output

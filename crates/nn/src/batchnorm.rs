@@ -103,6 +103,32 @@ impl Layer for BatchNorm1d {
         out
     }
 
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
+        // Inference path: running statistics, no cache. Exactly the same
+        // per-element arithmetic as `forward(_, false)` — standardise with
+        // inv_std, then scale/shift — so the planned output is bit-identical.
+        let cols = self.dim;
+        debug_assert_eq!(input.len(), batch * cols);
+        debug_assert_eq!(out.len(), batch * cols);
+        let inv_std = &mut scratch[..cols];
+        for (is, &v) in inv_std.iter_mut().zip(self.running_var.data()) {
+            *is = 1.0 / (v + self.eps).sqrt();
+        }
+        let mean = self.running_mean.data();
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        for (orow, irow) in out.chunks_exact_mut(cols).zip(input.chunks_exact(cols)) {
+            for j in 0..cols {
+                let xhat = (irow[j] - mean[j]) * inv_std[j];
+                orow[j] = xhat * gamma[j] + beta[j];
+            }
+        }
+    }
+
+    fn plan_scratch_floats(&self, _batch: usize) -> usize {
+        self.dim // the per-feature inv_std vector
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let xhat = self
             .cached_xhat
@@ -140,6 +166,11 @@ impl Layer for BatchNorm1d {
             (&mut self.gamma, &mut self.grad_gamma),
             (&mut self.beta, &mut self.grad_beta),
         ]
+    }
+
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
     }
 
     fn params(&self) -> Vec<&Tensor> {

@@ -1,8 +1,8 @@
 //! 2-D convolution layer (im2col-lowered, batch-parallel).
 
 use rand::Rng;
-use tensor::conv::{col2im, im2col, Conv2dGeom};
-use tensor::matmul::{matmul_at_into, matmul_bt_into, matmul_into};
+use tensor::conv::{col2im, conv2d_batch_into, conv2d_scratch_floats, im2col, Conv2dGeom};
+use tensor::matmul::{matmul_at_into, matmul_into};
 use tensor::Tensor;
 
 use crate::init::glorot_uniform;
@@ -108,38 +108,37 @@ impl Layer for Conv2d {
         debug_assert_eq!(input.rank(), 2);
         debug_assert_eq!(input.dims()[1], self.in_features(), "conv input mismatch");
         let n = input.dims()[0];
-        let p = self.geom.patch_rows();
-        let k = self.geom.patch_cols();
-        let o = self.out_channels;
-        let out_w = self.out_features();
-        let mut out = Tensor::zeros(&[n, out_w]);
-
-        let geom = self.geom;
-        let weights = self.weights.data();
-        let bias = self.bias.data();
-        let in_data = input.data();
-        let in_f = self.in_features();
-
-        tensor::parallel::par_chunks_mut(out.data_mut(), out_w, |start, chunk| {
-            debug_assert_eq!(start % out_w, 0);
-            let s0 = start / out_w;
-            let mut patches = vec![0.0f32; p * k];
-            for (si, orow) in chunk.chunks_exact_mut(out_w).enumerate() {
-                let s = s0 + si;
-                im2col(&in_data[s * in_f..(s + 1) * in_f], &geom, &mut patches);
-                // orow as (O × P) = W (O×K) · patchesᵀ (K×P)
-                matmul_bt_into(weights, &patches, orow, o, k, p);
-                for (ch, seg) in orow.chunks_exact_mut(p).enumerate() {
-                    let b = bias[ch];
-                    for v in seg {
-                        *v += b;
-                    }
-                }
-            }
-        });
-
+        let mut out = Tensor::zeros(&[n, self.out_features()]);
+        let mut scratch = vec![0.0f32; conv2d_scratch_floats(&self.geom, n)];
+        conv2d_batch_into(
+            input.data(),
+            self.weights.data(),
+            self.bias.data(),
+            &self.geom,
+            self.out_channels,
+            n,
+            out.data_mut(),
+            &mut scratch,
+        );
         self.cached_input = Some(input.clone());
         out
+    }
+
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
+        conv2d_batch_into(
+            input,
+            self.weights.data(),
+            self.bias.data(),
+            &self.geom,
+            self.out_channels,
+            batch,
+            out,
+            scratch,
+        );
+    }
+
+    fn plan_scratch_floats(&self, batch: usize) -> usize {
+        conv2d_scratch_floats(&self.geom, batch)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -224,6 +223,11 @@ impl Layer for Conv2d {
             (&mut self.weights, &mut self.grad_w),
             (&mut self.bias, &mut self.grad_b),
         ]
+    }
+
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
     }
 
     fn params(&self) -> Vec<&Tensor> {

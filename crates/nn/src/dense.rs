@@ -87,6 +87,24 @@ impl Layer for Dense {
         out
     }
 
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+        debug_assert_eq!(input.len(), batch * self.in_dim);
+        debug_assert_eq!(out.len(), batch * self.out_dim);
+        // Bit-identical to the allocating path (same dot and bias addition
+        // per output), but on the cache-resident schedule with the bias
+        // fused — two things the layer-local API can't do, writing straight
+        // into the plan buffer.
+        tensor::matmul::matmul_bt_bias_into(
+            input,
+            self.weights.data(),
+            Some(self.bias.data()),
+            out,
+            batch,
+            self.in_dim,
+            self.out_dim,
+        );
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self
             .cached_input
@@ -109,6 +127,11 @@ impl Layer for Dense {
             (&mut self.weights, &mut self.grad_w),
             (&mut self.bias, &mut self.grad_b),
         ]
+    }
+
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
     }
 
     fn params(&self) -> Vec<&Tensor> {

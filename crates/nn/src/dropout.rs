@@ -66,6 +66,12 @@ impl Layer for Dropout {
         out
     }
 
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+        // Inference-time dropout is the identity.
+        debug_assert_eq!(input.len(), batch * self.dim);
+        out.copy_from_slice(input);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match &self.cached_mask {
             Some(mask) => grad_out.mul(mask),

@@ -25,6 +25,33 @@ pub trait Layer: Send + Sync {
     /// Forward pass over a batch.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
+    /// Inference-mode forward pass writing into a caller-owned buffer.
+    ///
+    /// `input` is `batch` rows of `in_dim` features stored flat; `out` must
+    /// hold `batch · out_dim` floats and is fully overwritten. `scratch` must
+    /// provide at least [`Layer::plan_scratch_floats`]`(batch)` floats of
+    /// working space; its contents are unspecified on entry and exit. The
+    /// output must be **bit-identical** to `forward(input, false)` — the
+    /// planned executor's conformance tests pin this for every layer.
+    ///
+    /// The default falls back to the allocating [`Layer::forward`] and
+    /// copies; layers on the inference hot path override it with a
+    /// zero-allocation kernel.
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
+        let _ = scratch;
+        let x = Tensor::from_vec(input.to_vec(), &[batch, self.in_dim()]);
+        let y = self.forward(&x, false);
+        out.copy_from_slice(y.data());
+    }
+
+    /// Scratch floats [`Layer::forward_into`] needs for a batch of `batch`
+    /// samples. Must be monotonically non-decreasing in `batch` so a plan
+    /// sized for its capacity covers every smaller batch.
+    fn plan_scratch_floats(&self, batch: usize) -> usize {
+        let _ = batch;
+        0
+    }
+
     /// Backward pass; returns gradient with respect to the layer input.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
@@ -32,6 +59,16 @@ pub trait Layer: Send + Sync {
     /// parameterless layers.
     fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
         Vec::new()
+    }
+
+    /// Visit every `(parameter, gradient)` pair in the same stable order as
+    /// [`Layer::params_and_grads`], without collecting into a `Vec` — the
+    /// allocation-free path the training loop drives each optimizer step
+    /// through (see [`crate::optim::step_with`]).
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for (p, g) in self.params_and_grads() {
+            f(p, g);
+        }
     }
 
     /// Immutable views of the parameters (serialisation, inspection).

@@ -9,6 +9,9 @@
 //! * concrete layers: [`dense::Dense`], [`conv2d::Conv2d`],
 //!   [`pool::MaxPool2`], [`activation::Activation`], [`dropout::Dropout`],
 //! * [`network::Network`] — a sequential container with save/load,
+//! * [`plan::ForwardPlan`] — the planned, buffer-reusing inference executor
+//!   behind [`network::Network::predict_planned`] (zero steady-state
+//!   allocations; bit-identical to the allocating forward),
 //! * losses: [`loss::MseLoss`], [`loss::SoftmaxCrossEntropy`],
 //!   [`loss::ActivityL1`] (the paper's encoder activity regulariser),
 //! * optimizers: [`optim::Sgd`], [`optim::Momentum`], [`optim::Adam`]
@@ -32,6 +35,7 @@ pub mod layer;
 pub mod loss;
 pub mod network;
 pub mod optim;
+pub mod plan;
 pub mod pool;
 pub mod residual;
 pub mod schedule;
@@ -45,7 +49,8 @@ pub use dropout::Dropout;
 pub use layer::Layer;
 pub use loss::{ActivityL1, Loss, MseLoss, SoftmaxCrossEntropy};
 pub use network::Network;
-pub use optim::{Adam, Momentum, Optimizer, Sgd};
+pub use optim::{step_with, Adam, Momentum, Optimizer, Sgd};
+pub use plan::ForwardPlan;
 pub use pool::MaxPool2;
 pub use residual::ResidualConv;
 pub use schedule::{clip_global_norm, CosineAnnealing, LrSchedule, StepDecay};

@@ -22,12 +22,19 @@ use crate::spec::LayerSpec;
 #[derive(Default)]
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
+    /// Lazily built planned-forward state for [`Network::predict_planned`].
+    /// Pure execution memory (no weights); invalidated whenever the layer
+    /// stack changes shape and never serialised.
+    plan: Option<crate::plan::ForwardPlan>,
 }
 
 impl Network {
     /// An empty network.
     pub fn new() -> Self {
-        Network { layers: Vec::new() }
+        Network {
+            layers: Vec::new(),
+            plan: None,
+        }
     }
 
     /// Append a layer (builder style).
@@ -54,6 +61,7 @@ impl Network {
             );
         }
         self.layers.push(layer);
+        self.plan = None; // the shape changed; any cached plan is stale
     }
 
     /// Number of layers.
@@ -78,8 +86,12 @@ impl Network {
 
     /// Forward pass through all layers.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input, train);
+        for layer in layers {
             x = layer.forward(&x, train);
         }
         x
@@ -88,8 +100,12 @@ impl Network {
     /// Backward pass through all layers (reverse order); returns the
     /// gradient with respect to the network input.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return grad_out.clone();
+        };
+        let mut g = last.backward(grad_out);
+        for layer in layers {
             g = layer.backward(&g);
         }
         g
@@ -100,12 +116,63 @@ impl Network {
         self.forward(input, false)
     }
 
+    /// Inference-mode forward through the network's cached
+    /// [`ForwardPlan`](crate::ForwardPlan): no per-layer allocations, only
+    /// the output tensor is freshly allocated. The plan is built on first
+    /// use and regrown when a larger batch arrives; repeated calls at the
+    /// same (or smaller) batch size reuse every buffer.
+    ///
+    /// Bit-identical to [`Network::predict`] — pinned by the workspace
+    /// conformance tests. For a fully allocation-free loop, hold a
+    /// [`ForwardPlan`](crate::ForwardPlan) yourself and call
+    /// [`ForwardPlan::run`](crate::ForwardPlan::run) on
+    /// [`Network::layers_mut`].
+    pub fn predict_planned(&mut self, input: &Tensor) -> Tensor {
+        if self.layers.is_empty() {
+            return input.clone();
+        }
+        let n = input.dims()[0];
+        if n == 0 {
+            // A plan cannot be sized for zero rows; the allocating path
+            // handles the empty batch (and costs nothing at n = 0).
+            return self.forward(input, false);
+        }
+        let stale = match &self.plan {
+            Some(p) => p.capacity() < n || !p.matches(&self.layers),
+            None => true,
+        };
+        if stale {
+            self.plan = Some(crate::plan::ForwardPlan::new(self, n));
+        }
+        // Take the plan out so it and the layer stack can be borrowed apart.
+        let mut plan = self.plan.take().expect("just ensured");
+        let out_w = self.out_dim();
+        let out = {
+            let y = plan.run(&mut self.layers, input);
+            Tensor::from_vec(y.to_vec(), &[n, out_w])
+        };
+        self.plan = Some(plan);
+        out
+    }
+
     /// Flattened `(param, grad)` list across layers, in a stable order.
+    ///
+    /// Allocates the list; optimizer steps on a hot loop should prefer
+    /// [`Network::visit_params_and_grads`] via
+    /// [`step_with`](crate::optim::step_with).
     pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
         self.layers
             .iter_mut()
             .flat_map(|l| l.params_and_grads())
             .collect()
+    }
+
+    /// Visit every `(param, grad)` pair in [`Network::params_and_grads`]
+    /// order without collecting a `Vec` — the allocation-free optimizer path.
+    pub fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params_and_grads(f);
+        }
     }
 
     /// Zero all accumulated gradients.
@@ -486,6 +553,17 @@ mod tests {
         buf.put_u32_le(1);
         buf.put_u8(77); // unknown tag
         assert!(Network::load(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn predict_planned_handles_zero_row_batch() {
+        let mut net = tiny_mlp(7);
+        let x = Tensor::zeros(&[0, 2]);
+        let y = net.predict_planned(&x);
+        assert_eq!(y.dims(), &[0, 1]);
+        // And an actual batch afterwards still works through the plan.
+        let x = Tensor::zeros(&[3, 2]);
+        assert_eq!(net.predict_planned(&x).dims(), &[3, 1]);
     }
 
     #[test]

@@ -10,16 +10,68 @@
 use tensor::Tensor;
 
 /// An optimizer updating parameters in place from accumulated gradients.
+///
+/// Two equivalent driving modes:
+///
+/// * [`Optimizer::step`] over a collected `&mut [(param, grad)]` slice — the
+///   original API, still used by tests and one-off callers;
+/// * [`step_with`] over a *visitor* — the training-loop hot path, which
+///   walks the network's parameters in place without collecting a `Vec`
+///   every step.
+///
+/// Both are built from the same three primitives: [`Optimizer::begin_step`]
+/// (once per step), [`Optimizer::apply`] (once per pair, positionally
+/// keyed), [`Optimizer::end_step`] (once per step, with the pair count).
 pub trait Optimizer {
+    /// Start a new update step (advance step counters).
+    fn begin_step(&mut self) {}
+
+    /// Update one `(parameter, gradient)` pair. `index` is the pair's
+    /// position in the network's stable parameter order; stateful optimizers
+    /// key their per-parameter state by it.
+    fn apply(&mut self, index: usize, param: &mut Tensor, grad: &mut Tensor);
+
+    /// Finish a step after `count` pairs were applied. Stateful optimizers
+    /// verify the parameter list kept its shape.
+    fn end_step(&mut self, count: usize) {
+        let _ = count;
+    }
+
     /// Apply one update step. `params` is the positional list of
     /// `(parameter, gradient)` pairs; gradients are *not* zeroed here.
-    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]);
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        self.begin_step();
+        for (i, (p, g)) in params.iter_mut().enumerate() {
+            self.apply(i, p, g);
+        }
+        self.end_step(params.len());
+    }
 
     /// The current learning rate.
     fn learning_rate(&self) -> f32;
 
     /// Replace the learning rate (schedules).
     fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Drive one optimizer step from a parameter visitor without collecting the
+/// `(param, grad)` list into a `Vec` — the allocation-free training-loop
+/// path:
+///
+/// ```ignore
+/// step_with(&mut opt, |f| net.visit_params_and_grads(f));
+/// ```
+pub fn step_with<O: Optimizer + ?Sized>(
+    opt: &mut O,
+    visit: impl FnOnce(&mut dyn FnMut(&mut Tensor, &mut Tensor)),
+) {
+    opt.begin_step();
+    let mut count = 0usize;
+    visit(&mut |p, g| {
+        opt.apply(count, p, g);
+        count += 1;
+    });
+    opt.end_step(count);
 }
 
 /// Plain stochastic gradient descent: `θ ← θ − lr·g`.
@@ -37,10 +89,8 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
-        for (p, g) in params.iter_mut() {
-            p.axpy(-self.lr, g);
-        }
+    fn apply(&mut self, _index: usize, param: &mut Tensor, grad: &mut Tensor) {
+        param.axpy(-self.lr, grad);
     }
 
     fn learning_rate(&self) -> f32 {
@@ -58,6 +108,8 @@ pub struct Momentum {
     lr: f32,
     mu: f32,
     velocity: Vec<Tensor>,
+    /// Pair count recorded after the first full step; later steps must match.
+    expected: Option<usize>,
 }
 
 impl Momentum {
@@ -69,27 +121,35 @@ impl Momentum {
             lr,
             mu,
             velocity: Vec::new(),
+            expected: None,
         }
     }
 }
 
 impl Optimizer for Momentum {
-    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
-        if self.velocity.is_empty() {
-            self.velocity = params
-                .iter()
-                .map(|(p, _)| Tensor::zeros(p.dims()))
-                .collect();
+    fn apply(&mut self, index: usize, param: &mut Tensor, grad: &mut Tensor) {
+        if let Some(expected) = self.expected {
+            assert!(
+                index < expected,
+                "parameter list changed shape between steps"
+            );
         }
-        assert_eq!(
-            self.velocity.len(),
-            params.len(),
-            "parameter list changed shape between steps"
-        );
-        for ((p, g), v) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            v.scale_in_place(self.mu);
-            v.add_assign(g);
-            p.axpy(-self.lr, v);
+        if index == self.velocity.len() {
+            self.velocity.push(Tensor::zeros(param.dims()));
+        }
+        let v = &mut self.velocity[index];
+        v.scale_in_place(self.mu);
+        v.add_assign(grad);
+        param.axpy(-self.lr, v);
+    }
+
+    fn end_step(&mut self, count: usize) {
+        match self.expected {
+            None => self.expected = Some(count),
+            Some(expected) => assert_eq!(
+                expected, count,
+                "parameter list changed shape between steps"
+            ),
         }
     }
 
@@ -112,6 +172,8 @@ pub struct Adam {
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    /// Pair count recorded after the first full step; later steps must match.
+    expected: Option<usize>,
 }
 
 impl Adam {
@@ -127,6 +189,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            expected: None,
         }
     }
 
@@ -143,43 +206,45 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
-        if self.m.is_empty() {
-            self.m = params
-                .iter()
-                .map(|(p, _)| Tensor::zeros(p.dims()))
-                .collect();
-            self.v = params
-                .iter()
-                .map(|(p, _)| Tensor::zeros(p.dims()))
-                .collect();
-        }
-        assert_eq!(
-            self.m.len(),
-            params.len(),
-            "parameter list changed shape between steps"
-        );
+    fn begin_step(&mut self) {
         self.t += 1;
+    }
+
+    fn apply(&mut self, index: usize, param: &mut Tensor, grad: &mut Tensor) {
+        if let Some(expected) = self.expected {
+            assert!(
+                index < expected,
+                "parameter list changed shape between steps"
+            );
+        }
+        if index == self.m.len() {
+            self.m.push(Tensor::zeros(param.dims()));
+            self.v.push(Tensor::zeros(param.dims()));
+        }
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         let lr = self.lr;
         let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
-        for (((p, g), m), v) in params
-            .iter_mut()
-            .zip(self.m.iter_mut())
-            .zip(self.v.iter_mut())
-        {
-            let pd = p.data_mut();
-            let gd = g.data();
-            let md = m.data_mut();
-            let vd = v.data_mut();
-            for i in 0..pd.len() {
-                md[i] = b1 * md[i] + (1.0 - b1) * gd[i];
-                vd[i] = b2 * vd[i] + (1.0 - b2) * gd[i] * gd[i];
-                let mhat = md[i] / b1t;
-                let vhat = vd[i] / b2t;
-                pd[i] -= lr * mhat / (vhat.sqrt() + eps);
-            }
+        let pd = param.data_mut();
+        let gd = grad.data();
+        let md = self.m[index].data_mut();
+        let vd = self.v[index].data_mut();
+        for i in 0..pd.len() {
+            md[i] = b1 * md[i] + (1.0 - b1) * gd[i];
+            vd[i] = b2 * vd[i] + (1.0 - b2) * gd[i] * gd[i];
+            let mhat = md[i] / b1t;
+            let vhat = vd[i] / b2t;
+            pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
+    fn end_step(&mut self, count: usize) {
+        match self.expected {
+            None => self.expected = Some(count),
+            Some(expected) => assert_eq!(
+                expected, count,
+                "parameter list changed shape between steps"
+            ),
         }
     }
 

@@ -1,0 +1,270 @@
+//! The planned, buffer-reusing forward executor.
+//!
+//! [`Network::forward`](crate::Network::forward) allocates a fresh output
+//! tensor in every layer of every call — fine for training, where backward
+//! caches dominate anyway, but pure waste on the inference hot path that the
+//! serving and fleet simulators price every request from. A [`ForwardPlan`]
+//! walks the network's [`LayerSpec`](crate::LayerSpec)s **once**, sizes every
+//! intermediate activation, and owns all the memory the pass needs:
+//!
+//! * two **ping-pong activation buffers**, each large enough for the widest
+//!   layer output at the plan's batch capacity — layer `i` reads from one and
+//!   writes into the other, alternating;
+//! * one **scratch arena** sized to the largest
+//!   [`Layer::plan_scratch_floats`] requirement (e.g. per-thread im2col
+//!   patch matrices for convolutions).
+//!
+//! # Ownership and scratch rules
+//!
+//! * A plan is built **for** a network (same layer stack) but does not borrow
+//!   it; [`ForwardPlan::run`] re-checks structural agreement on every call
+//!   and panics on mismatch rather than producing garbage.
+//! * A plan has a fixed **capacity** (maximum batch rows). Any batch of
+//!   `1..=capacity` rows can run through it — that is what lets early-exit
+//!   models *compact* the not-yet-exited rows and continue through the tail
+//!   with the same plan. Larger batches need a new (or regrown) plan.
+//! * Scratch contents are unspecified between calls; layers must fully
+//!   initialise whatever they read. Layers never see each other's scratch —
+//!   the executor hands each layer exactly the
+//!   `plan_scratch_floats(batch)` prefix it asked for.
+//! * The returned slice borrows the plan and is valid until the next `run`.
+//!   Steady-state `run` calls perform **zero heap allocations**.
+//!
+//! Single-threaded or not, the planned pass is bit-identical to the
+//! allocating path: every `forward_into` kernel performs the same floating
+//! point operations in the same order per sample, and batch parallelism
+//! splits only across samples/rows (pinned by the workspace conformance
+//! tests).
+
+use tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::network::Network;
+
+/// Reusable execution state for inference over one network shape.
+///
+/// See the [module docs](self) for ownership and scratch rules.
+pub struct ForwardPlan {
+    /// Maximum batch rows a `run` may carry.
+    capacity: usize,
+    /// Input width the first layer expects (= `Network::in_dim`).
+    in_width: usize,
+    /// Output width of every layer, in order.
+    out_widths: Vec<usize>,
+    /// Backing store for both ping-pong activation buffers (two halves).
+    bufs: Vec<f32>,
+    /// Elements per ping-pong half.
+    half: usize,
+    /// Shared scratch arena (max per-layer requirement at `capacity`).
+    scratch: Vec<f32>,
+}
+
+impl ForwardPlan {
+    /// Build a plan for `net` with room for batches of up to `capacity` rows.
+    ///
+    /// All intermediate shapes are inferred here, once; `run` allocates
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(net: &Network, capacity: usize) -> ForwardPlan {
+        assert!(capacity > 0, "plan capacity must be positive");
+        let layers = net.layers();
+        let in_width = net.in_dim();
+        let out_widths: Vec<usize> = layers.iter().map(|l| l.out_dim()).collect();
+        let max_width = out_widths.iter().copied().max().unwrap_or(0).max(in_width);
+        let scratch_len = layers
+            .iter()
+            .map(|l| l.plan_scratch_floats(capacity))
+            .max()
+            .unwrap_or(0);
+        let half = capacity * max_width;
+        ForwardPlan {
+            capacity,
+            in_width,
+            out_widths,
+            bufs: vec![0.0; 2 * half],
+            half,
+            scratch: vec![0.0; scratch_len],
+        }
+    }
+
+    /// Maximum batch rows this plan can carry.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Network depth the plan was built for.
+    pub fn depth(&self) -> usize {
+        self.out_widths.len()
+    }
+
+    /// Heap floats owned by the plan (activation buffers + scratch) —
+    /// reported by capacity planning and the perf harness.
+    pub fn footprint_floats(&self) -> usize {
+        self.bufs.len() + self.scratch.len()
+    }
+
+    /// True when the plan's inferred shapes still agree with `layers`.
+    pub fn matches(&self, layers: &[Box<dyn Layer>]) -> bool {
+        self.out_widths.len() == layers.len()
+            && self
+                .out_widths
+                .iter()
+                .zip(layers)
+                .all(|(&w, l)| w == l.out_dim())
+            && layers.first().is_none_or(|l| l.in_dim() == self.in_width)
+    }
+
+    /// Execute an inference pass over `layers`, returning the final
+    /// activations as a borrowed `(batch × out_dim)` row-major slice.
+    ///
+    /// Zero heap allocations in steady state. The slice is valid until the
+    /// next `run` on this plan.
+    ///
+    /// # Panics
+    /// Panics when the batch exceeds the capacity, the input width is wrong,
+    /// or `layers` no longer matches the shape the plan was built for.
+    pub fn run<'p>(&'p mut self, layers: &mut [Box<dyn Layer>], input: &Tensor) -> &'p [f32] {
+        assert_eq!(
+            input.rank(),
+            2,
+            "planned forward takes a (batch, features) input"
+        );
+        let n = input.dims()[0];
+        assert!(
+            n <= self.capacity,
+            "batch {n} exceeds plan capacity {}",
+            self.capacity
+        );
+        assert!(
+            self.matches(layers),
+            "network shape changed since the plan was built; rebuild the plan"
+        );
+        if layers.is_empty() {
+            // Identity network: surface the input through the buffer. An
+            // empty network has no widths to size buffers from, so this edge
+            // case may grow the buffer on first use.
+            let len = input.len();
+            if self.bufs.len() < len {
+                self.bufs.resize(len, 0.0);
+            }
+            self.bufs[..len].copy_from_slice(input.data());
+            return &self.bufs[..len];
+        }
+        assert_eq!(
+            input.dims()[1],
+            self.in_width,
+            "planned forward input width mismatch"
+        );
+
+        let (mut src, mut dst) = self.bufs.split_at_mut(self.half);
+        let mut src_is_a = true; // which half `src` points at, for the return
+        let mut width = self.in_width;
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let w = self.out_widths[i];
+            let cur: &[f32] = if i == 0 {
+                input.data()
+            } else {
+                &src[..n * width]
+            };
+            let need = layer.plan_scratch_floats(n);
+            layer.forward_into(cur, n, &mut dst[..n * w], &mut self.scratch[..need]);
+            std::mem::swap(&mut src, &mut dst);
+            src_is_a = !src_is_a;
+            width = w;
+        }
+        let start = if src_is_a { 0 } else { self.half };
+        &self.bufs[start..start + n * width]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Activation, ActivationKind};
+    use crate::conv2d::Conv2d;
+    use crate::dense::Dense;
+    use crate::pool::MaxPool2;
+    use tensor::conv::Conv2dGeom;
+    use tensor::random::rng_from_seed;
+
+    fn conv_stack(seed: u64) -> Network {
+        let mut rng = rng_from_seed(seed);
+        Network::new()
+            .push(Conv2d::new(
+                Conv2dGeom {
+                    in_channels: 1,
+                    in_h: 8,
+                    in_w: 8,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 0,
+                },
+                4,
+                &mut rng,
+            ))
+            .push(Activation::new(ActivationKind::Relu, 4 * 36))
+            .push(MaxPool2::new(4, 6, 6, 2))
+            .push(Dense::new(36, 10, &mut rng))
+            .push(Activation::new(ActivationKind::Softmax, 10))
+    }
+
+    #[test]
+    fn planned_matches_allocating_bitwise() {
+        let mut net = conv_stack(7);
+        let mut rng = rng_from_seed(1);
+        let x = Tensor::rand_uniform(&[5, 64], -1.0, 1.0, &mut rng);
+        let legacy = net.forward(&x, false);
+        let mut plan = ForwardPlan::new(&net, 5);
+        let planned = plan.run(net.layers_mut(), &x);
+        assert_eq!(
+            legacy.data(),
+            planned,
+            "planned forward must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn plan_reuse_covers_smaller_batches() {
+        let mut net = conv_stack(8);
+        let mut rng = rng_from_seed(2);
+        let mut plan = ForwardPlan::new(&net, 8);
+        for n in [8usize, 3, 1, 6] {
+            let x = Tensor::rand_uniform(&[n, 64], -1.0, 1.0, &mut rng);
+            let legacy = net.forward(&x, false);
+            let planned = plan.run(net.layers_mut(), &x);
+            assert_eq!(legacy.data(), planned, "batch {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds plan capacity")]
+    fn oversized_batch_rejected() {
+        let mut net = conv_stack(9);
+        let mut plan = ForwardPlan::new(&net, 2);
+        let x = Tensor::zeros(&[3, 64]);
+        let _ = plan.run(net.layers_mut(), &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild the plan")]
+    fn shape_drift_rejected() {
+        let mut rng = rng_from_seed(3);
+        let net = conv_stack(10);
+        let mut plan = ForwardPlan::new(&net, 2);
+        let mut other = Network::new().push(Dense::new(64, 3, &mut rng));
+        let x = Tensor::zeros(&[1, 64]);
+        let _ = plan.run(other.layers_mut(), &x);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let net = Network::new();
+        let mut net2 = Network::new();
+        let mut plan = ForwardPlan::new(&net, 4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(plan.run(net2.layers_mut(), &x), x.data());
+    }
+}

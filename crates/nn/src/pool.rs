@@ -1,5 +1,6 @@
 //! Max-pooling layer.
 
+use tensor::conv::maxpool2_batch_into;
 use tensor::Tensor;
 
 use crate::layer::Layer;
@@ -69,43 +70,35 @@ impl Layer for MaxPool2 {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         debug_assert_eq!(input.dims()[1], self.in_features(), "pool input mismatch");
         let n = input.dims()[0];
-        let (oh, ow, w) = (self.out_h(), self.out_w(), self.window);
-        let in_f = self.in_features();
-        let out_f = self.out_features();
-        let mut out = Tensor::zeros(&[n, out_f]);
-        let mut argmax = vec![0u32; n * out_f];
-
-        for s in 0..n {
-            let x = &input.data()[s * in_f..(s + 1) * in_f];
-            let o = &mut out.data_mut()[s * out_f..(s + 1) * out_f];
-            let am = &mut argmax[s * out_f..(s + 1) * out_f];
-            for c in 0..self.channels {
-                let chan = c * self.in_h * self.in_w;
-                let ochan = c * oh * ow;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_i = 0usize;
-                        for ky in 0..w {
-                            let iy = oy * w + ky;
-                            let row = chan + iy * self.in_w + ox * w;
-                            for kx in 0..w {
-                                let v = x[row + kx];
-                                if v > best {
-                                    best = v;
-                                    best_i = row + kx;
-                                }
-                            }
-                        }
-                        o[ochan + oy * ow + ox] = best;
-                        am[ochan + oy * ow + ox] = best_i as u32;
-                    }
-                }
-            }
-        }
+        let mut out = Tensor::zeros(&[n, self.out_features()]);
+        let mut argmax = vec![0u32; n * self.out_features()];
+        maxpool2_batch_into(
+            input.data(),
+            out.data_mut(),
+            Some(&mut argmax),
+            self.channels,
+            self.in_h,
+            self.in_w,
+            self.window,
+            n,
+        );
         self.cached_argmax = Some(argmax);
         self.cached_batch = n;
         out
+    }
+
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+        // Inference path: no backward will follow, so skip the argmax cache.
+        maxpool2_batch_into(
+            input,
+            out,
+            None,
+            self.channels,
+            self.in_h,
+            self.in_w,
+            self.window,
+            batch,
+        );
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

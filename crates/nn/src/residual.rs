@@ -95,6 +95,32 @@ impl Layer for ResidualConv {
         out
     }
 
+    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
+        // Same op order as `forward`: conv1 → relu → conv2 → +skip → relu,
+        // with the mid activation living in the scratch arena.
+        let feat = self.in_dim();
+        debug_assert_eq!(input.len(), batch * feat);
+        debug_assert_eq!(out.len(), batch * feat);
+        let (mid, conv_scratch) = scratch.split_at_mut(batch * feat);
+        self.conv1.forward_into(input, batch, mid, conv_scratch);
+        for v in mid.iter_mut() {
+            *v = v.max(0.0);
+        }
+        self.conv2.forward_into(mid, batch, out, conv_scratch);
+        for (o, &x) in out.iter_mut().zip(input) {
+            *o += x; // the skip connection
+            *o = o.max(0.0);
+        }
+    }
+
+    fn plan_scratch_floats(&self, batch: usize) -> usize {
+        batch * self.in_dim()
+            + self
+                .conv1
+                .plan_scratch_floats(batch)
+                .max(self.conv2.plan_scratch_floats(batch))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let out_pre = self
             .cached_out_pre
@@ -115,6 +141,11 @@ impl Layer for ResidualConv {
         let mut v = self.conv1.params_and_grads();
         v.extend(self.conv2.params_and_grads());
         v
+    }
+
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.conv1.visit_params_and_grads(f);
+        self.conv2.visit_params_and_grads(f);
     }
 
     fn params(&self) -> Vec<&Tensor> {

@@ -37,7 +37,9 @@ impl InferenceModel for ClassifierModel<'_> {
     }
 
     fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
-        self.net.predict(x).argmax_rows()
+        // Planned forward: repeated evaluation batches (empirical-profile
+        // measurement, serving sweeps) reuse the network's cached plan.
+        self.net.predict_planned(x).argmax_rows()
     }
 
     fn cost_profile(&self, device: &DeviceModel) -> CostProfile {

@@ -49,21 +49,31 @@ impl BenchmarkId {
 /// Runs one benchmark body repeatedly and records timing.
 pub struct Bencher {
     samples: usize,
+    /// Smoke mode (`cargo bench -- --test`): run each body once, untimed.
+    smoke: bool,
     /// Median nanoseconds per iteration of the last `iter` call.
     last_ns_per_iter: f64,
 }
 
 impl Bencher {
-    fn new(samples: usize) -> Self {
+    fn new(samples: usize, smoke: bool) -> Self {
         Bencher {
             samples,
+            smoke,
             last_ns_per_iter: f64::NAN,
         }
     }
 
     /// Time a closure: warm up, then take `samples` timed batches and keep
-    /// the median per-iteration time.
+    /// the median per-iteration time. In smoke mode (like real criterion's
+    /// `--test` flag) the body runs exactly once as a correctness check and
+    /// no timing is recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
         // Warm-up and batch sizing: aim for ~2 ms per batch.
         let t0 = Instant::now();
         black_box(f());
@@ -114,7 +124,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.criterion.smoke);
         f(&mut b, input);
         self.report(&id.name, &b);
         self
@@ -125,7 +135,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.criterion.smoke);
         f(&mut b);
         self.report(&name.to_string(), &b);
         self
@@ -136,6 +146,11 @@ impl BenchmarkGroup<'_> {
 
     fn report(&mut self, bench_name: &str, b: &Bencher) {
         let ns = b.last_ns_per_iter;
+        if b.smoke {
+            self.criterion
+                .emit(&format!("{}/{:<32} ok (smoke)", self.name, bench_name));
+            return;
+        }
         let mut line = format!("{}/{:<32} {:>12.1} ns/iter", self.name, bench_name, ns);
         if let Some(t) = self.throughput {
             let (count, unit) = match t {
@@ -153,12 +168,15 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
+    /// `--test` on the command line: run bodies once, report no timings.
+    smoke: bool,
 }
 
 impl Criterion {
     /// Read the benchmark-name filter from the command line, like real
     /// criterion (`cargo bench -- <filter>`).
     pub fn configure_from_args(mut self) -> Self {
+        self.smoke = std::env::args().skip(1).any(|a| a == "--test");
         let args: Vec<String> = std::env::args()
             .skip(1)
             .filter(|a| !a.starts_with('-'))
@@ -224,9 +242,14 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher::new(5);
+        let mut b = Bencher::new(5, false);
         b.iter(|| (0..100u64).sum::<u64>());
         assert!(b.last_ns_per_iter.is_finite() && b.last_ns_per_iter > 0.0);
+
+        // Smoke mode runs the body but records no timing.
+        let mut b = Bencher::new(5, true);
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert_eq!(b.last_ns_per_iter, 0.0);
     }
 
     #[test]

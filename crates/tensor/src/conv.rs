@@ -148,6 +148,147 @@ pub fn col2im(cols_mat: &[f32], g: &Conv2dGeom, grad_input: &mut [f32]) {
     }
 }
 
+/// Scratch floats [`conv2d_batch_into`] needs for a batch of `batch` images:
+/// one im2col patch matrix per worker thread.
+pub fn conv2d_scratch_floats(g: &Conv2dGeom, batch: usize) -> usize {
+    let workers = crate::parallel::max_threads().min(batch.max(1)).max(1);
+    workers * g.patch_rows() * g.patch_cols()
+}
+
+/// Batched 2-D convolution into a caller-owned output buffer.
+///
+/// * `input` — `batch` contiguous CHW volumes matching `g`.
+/// * `weights` — `(out_channels, patch_cols)` row-major.
+/// * `bias` — `out_channels` values, added per channel.
+/// * `out` — `batch · out_channels · patch_rows` floats, fully overwritten,
+///   each sample row laid out channel-major `(O × P)`.
+/// * `scratch` — at least [`conv2d_scratch_floats`] floats; holds the
+///   per-worker im2col patch matrices so the hot path allocates nothing.
+///
+/// Samples are split across threads in whole-image chunks, each worker owning
+/// a disjoint slice of `out` and its own patch buffer. Every sample is
+/// lowered and multiplied with exactly the same operations regardless of the
+/// split, so the output is bit-identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch_into(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: &Conv2dGeom,
+    out_channels: usize,
+    batch: usize,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
+    let in_f = g.in_channels * g.in_h * g.in_w;
+    let p = g.patch_rows();
+    let k = g.patch_cols();
+    let out_f = out_channels * p;
+    debug_assert_eq!(input.len(), batch * in_f, "conv input size mismatch");
+    debug_assert_eq!(weights.len(), out_channels * k);
+    debug_assert_eq!(bias.len(), out_channels);
+    debug_assert_eq!(out.len(), batch * out_f, "conv output size mismatch");
+    debug_assert!(scratch.len() >= conv2d_scratch_floats(g, batch));
+    if batch == 0 {
+        return;
+    }
+
+    let run_rows = |s0: usize, chunk: &mut [f32], patches: &mut [f32]| {
+        for (si, orow) in chunk.chunks_exact_mut(out_f).enumerate() {
+            let s = s0 + si;
+            im2col(&input[s * in_f..(s + 1) * in_f], g, patches);
+            // orow as (O × P) = W (O×K) · patchesᵀ (K×P)
+            crate::matmul::matmul_bt_into(weights, patches, orow, out_channels, k, p);
+            for (ch, seg) in orow.chunks_exact_mut(p).enumerate() {
+                let b = bias[ch];
+                for v in seg {
+                    *v += b;
+                }
+            }
+        }
+    };
+
+    let workers = crate::parallel::max_threads().min(batch).max(1);
+    if workers == 1 {
+        run_rows(0, out, &mut scratch[..p * k]);
+        return;
+    }
+    let rows_per = batch.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        let mut out_rest = out;
+        let mut scratch_rest = &mut scratch[..];
+        let mut s0 = 0;
+        while !out_rest.is_empty() {
+            let take = (rows_per * out_f).min(out_rest.len());
+            let (out_head, out_tail) = out_rest.split_at_mut(take);
+            let (patch_head, patch_tail) = scratch_rest.split_at_mut(p * k);
+            let f = &run_rows;
+            scope.spawn(move |_| f(s0, out_head, patch_head));
+            s0 += take / out_f;
+            out_rest = out_tail;
+            scratch_rest = patch_tail;
+        }
+    })
+    .expect("conv2d_batch_into worker panicked");
+}
+
+/// Batched square non-overlapping max pooling into a caller-owned buffer.
+///
+/// `input` holds `batch` CHW volumes; `out` receives the pooled volumes
+/// (spatial dims floor-divided by `window`). When `argmax` is provided it is
+/// filled with the flat within-sample input index of every pooled maximum
+/// (ties resolve to the first occurrence, matching the training-path layer).
+#[allow(clippy::too_many_arguments)]
+pub fn maxpool2_batch_into(
+    input: &[f32],
+    out: &mut [f32],
+    mut argmax: Option<&mut [u32]>,
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    batch: usize,
+) {
+    let (oh, ow) = (in_h / window, in_w / window);
+    let in_f = channels * in_h * in_w;
+    let out_f = channels * oh * ow;
+    debug_assert_eq!(input.len(), batch * in_f, "pool input size mismatch");
+    debug_assert_eq!(out.len(), batch * out_f, "pool output size mismatch");
+    if let Some(am) = &argmax {
+        debug_assert_eq!(am.len(), batch * out_f);
+    }
+    for s in 0..batch {
+        let x = &input[s * in_f..(s + 1) * in_f];
+        let o = &mut out[s * out_f..(s + 1) * out_f];
+        let mut am = argmax.as_mut().map(|a| &mut a[s * out_f..(s + 1) * out_f]);
+        for c in 0..channels {
+            let chan = c * in_h * in_w;
+            let ochan = c * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..window {
+                        let iy = oy * window + ky;
+                        let row = chan + iy * in_w + ox * window;
+                        for kx in 0..window {
+                            let v = x[row + kx];
+                            if v > best {
+                                best = v;
+                                best_i = row + kx;
+                            }
+                        }
+                    }
+                    o[ochan + oy * ow + ox] = best;
+                    if let Some(am) = am.as_mut() {
+                        am[ochan + oy * ow + ox] = best_i as u32;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -249,6 +249,69 @@ impl Tensor {
     }
 }
 
+/// Minimum element count before elementwise `_into` kernels go parallel.
+/// Elementwise maps are memory-bound; below this, thread-spawn overhead
+/// dominates any bandwidth win.
+const ELEMWISE_PAR_THRESHOLD: usize = 1 << 15;
+
+/// Apply `f` elementwise from `input` into `out` (same length), splitting
+/// across threads for large buffers.
+///
+/// Because `f` is applied independently per element, the result is
+/// bit-identical regardless of thread count — the property the planned
+/// forward path's conformance tests rely on.
+pub fn unary_map_into(input: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    debug_assert_eq!(input.len(), out.len(), "unary_map_into length mismatch");
+    if input.len() >= ELEMWISE_PAR_THRESHOLD && crate::parallel::max_threads() > 1 {
+        crate::parallel::par_chunks_mut(out, 4096, |start, chunk| {
+            let src = &input[start..start + chunk.len()];
+            for (o, &x) in chunk.iter_mut().zip(src) {
+                *o = f(x);
+            }
+        });
+    } else {
+        for (o, &x) in out.iter_mut().zip(input) {
+            *o = f(x);
+        }
+    }
+}
+
+/// `out = max(input, 0)` elementwise.
+pub fn relu_into(input: &[f32], out: &mut [f32]) {
+    unary_map_into(input, out, |v| v.max(0.0));
+}
+
+/// `out = 1/(1+e^(−input))` elementwise.
+pub fn sigmoid_into(input: &[f32], out: &mut [f32]) {
+    unary_map_into(input, out, |v| 1.0 / (1.0 + (-v).exp()));
+}
+
+/// `out = tanh(input)` elementwise.
+pub fn tanh_into(input: &[f32], out: &mut [f32]) {
+    unary_map_into(input, out, |v| v.tanh());
+}
+
+/// Row-wise [`softmax_slice`] over a `(rows, cols)` matrix stored flat in
+/// `input`, written into `out`. Rows are distributed across threads with
+/// row-aligned chunks; each row's arithmetic is unchanged, so the result is
+/// bit-identical to a serial loop.
+pub fn softmax_rows_into(input: &[f32], out: &mut [f32], cols: usize) {
+    debug_assert_eq!(input.len(), out.len());
+    debug_assert_eq!(input.len() % cols.max(1), 0);
+    if input.len() >= ELEMWISE_PAR_THRESHOLD && crate::parallel::max_threads() > 1 {
+        crate::parallel::par_row_chunks_mut(out, cols, |row0, chunk| {
+            for (i, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = row0 + i;
+                softmax_slice(&input[r * cols..(r + 1) * cols], orow);
+            }
+        });
+    } else {
+        for (orow, irow) in out.chunks_exact_mut(cols).zip(input.chunks_exact(cols)) {
+            softmax_slice(irow, orow);
+        }
+    }
+}
+
 /// Numerically stable softmax over a slice, written into `out`.
 ///
 /// Exposed as a free function because both the `nn` activation layer and the

@@ -71,6 +71,48 @@ where
     .expect("parallel worker panicked");
 }
 
+/// Process disjoint *row-aligned* chunks of `data` in parallel.
+///
+/// Like [`par_chunks_mut`], but every chunk is guaranteed to be a whole
+/// number of rows of `row_len` elements, and `f` receives the index of the
+/// chunk's **first row** (not its first element). This is the right splitter
+/// for kernels that must never see a partial row — batched softmax, per-image
+/// convolution, pooling — where [`par_chunks_mut`]'s element-granular split
+/// could hand a worker half a row.
+pub fn par_row_chunks_mut<T: Send, F>(data: &mut [T], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let row_len = row_len.max(1);
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    debug_assert_eq!(data.len() % row_len, 0, "data must be whole rows");
+    let threads = max_threads().min(rows).max(1);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut row0 = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            s.spawn(move |_| fr(row0, head));
+            row0 += take / row_len;
+            rest = tail;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
 /// Parallel map over an index range, collecting results in order.
 ///
 /// `f(i)` is invoked once for every `i ∈ [0, n)`. Results land in a `Vec`

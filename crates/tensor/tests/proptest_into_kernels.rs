@@ -1,0 +1,223 @@
+//! Property tests pinning every `_into` kernel to its allocating (or naive
+//! serial) counterpart **bit-for-bit**, over random shapes and values.
+//!
+//! The planned forward executor in the `nn` crate relies on these kernels
+//! being exact drop-in replacements; any divergence — including one caused by
+//! the multi-threaded `tensor::parallel` split (these tests run with
+//! whatever `TENSOR_NUM_THREADS` the host provides, against single-threaded
+//! references computed inline) — fails here before it can skew a simulator.
+
+use proptest::prelude::*;
+use tensor::conv::{
+    conv2d_batch_into, conv2d_scratch_floats, im2col, maxpool2_batch_into, Conv2dGeom,
+};
+use tensor::matmul::{matmul_bt_bias_into, matmul_bt_into, matmul_into};
+use tensor::ops::{relu_into, sigmoid_into, softmax_rows_into, softmax_slice, tanh_into};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[len.max(1)], -2.0, 2.0, &mut rng).into_vec()[..len].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv2d_batch_matches_per_sample_reference(
+        batch in 1usize..9,
+        in_channels in 1usize..3,
+        side in 4usize..9,
+        k in 1usize..4,
+        pad in 0usize..2,
+        out_channels in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let g = Conv2dGeom {
+            in_channels,
+            in_h: side,
+            in_w: side,
+            k_h: k,
+            k_w: k,
+            stride: 1,
+            pad,
+        };
+        prop_assume!(g.validate().is_ok());
+        let in_f = in_channels * side * side;
+        let (p, kc) = (g.patch_rows(), g.patch_cols());
+        let out_f = out_channels * p;
+        let input = rand_vec(batch * in_f, seed);
+        let weights = rand_vec(out_channels * kc, seed ^ 1);
+        let bias = rand_vec(out_channels, seed ^ 2);
+
+        // Batched kernel (parallel across samples on multi-core hosts).
+        let mut out = vec![0.0f32; batch * out_f];
+        let mut scratch = vec![0.0f32; conv2d_scratch_floats(&g, batch)];
+        conv2d_batch_into(&input, &weights, &bias, &g, out_channels, batch, &mut out, &mut scratch);
+
+        // Serial single-sample reference: im2col + matmul_bt + bias, exactly
+        // the allocating layer's op order.
+        let mut patches = vec![0.0f32; p * kc];
+        for s in 0..batch {
+            im2col(&input[s * in_f..(s + 1) * in_f], &g, &mut patches);
+            let mut orow = vec![0.0f32; out_f];
+            matmul_bt_into(&weights, &patches, &mut orow, out_channels, kc, p);
+            for (ch, seg) in orow.chunks_exact_mut(p).enumerate() {
+                for v in seg.iter_mut() {
+                    *v += bias[ch];
+                }
+            }
+            prop_assert_eq!(&out[s * out_f..(s + 1) * out_f], &orow[..],
+                "conv sample {} diverged", s);
+        }
+    }
+
+    #[test]
+    fn maxpool2_batch_matches_reference(
+        batch in 1usize..6,
+        channels in 1usize..4,
+        in_h in 2usize..9,
+        in_w in 2usize..9,
+        window in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(window <= in_h && window <= in_w);
+        let (oh, ow) = (in_h / window, in_w / window);
+        let in_f = channels * in_h * in_w;
+        let out_f = channels * oh * ow;
+        let input = rand_vec(batch * in_f, seed);
+
+        let mut out = vec![0.0f32; batch * out_f];
+        let mut argmax = vec![0u32; batch * out_f];
+        maxpool2_batch_into(&input, &mut out, Some(&mut argmax), channels, in_h, in_w, window, batch);
+
+        // Plain reference loop.
+        for s in 0..batch {
+            let x = &input[s * in_f..(s + 1) * in_f];
+            for c in 0..channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for ky in 0..window {
+                            for kx in 0..window {
+                                let i = c * in_h * in_w + (oy * window + ky) * in_w + ox * window + kx;
+                                if x[i] > best {
+                                    best = x[i];
+                                    best_i = i;
+                                }
+                            }
+                        }
+                        let o = s * out_f + c * oh * ow + oy * ow + ox;
+                        prop_assert_eq!(out[o], best);
+                        prop_assert_eq!(argmax[o] as usize, best_i);
+                    }
+                }
+            }
+        }
+
+        // The argmax-free inference variant produces the same maxima.
+        let mut out2 = vec![0.0f32; batch * out_f];
+        maxpool2_batch_into(&input, &mut out2, None, channels, in_h, in_w, window, batch);
+        prop_assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn softmax_rows_into_matches_serial(
+        rows in 1usize..600,
+        cols in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        // Large row counts push past the parallel threshold, so both the
+        // serial and the threaded row-chunked paths get exercised.
+        let input = rand_vec(rows * cols, seed);
+        let mut out = vec![0.0f32; rows * cols];
+        softmax_rows_into(&input, &mut out, cols);
+        let mut expect = vec![0.0f32; cols];
+        for r in 0..rows {
+            softmax_slice(&input[r * cols..(r + 1) * cols], &mut expect);
+            prop_assert_eq!(&out[r * cols..(r + 1) * cols], &expect[..], "row {} diverged", r);
+        }
+    }
+
+    #[test]
+    fn elementwise_into_kernels_match_map(
+        len in 1usize..100_000,
+        seed in 0u64..1000,
+    ) {
+        // Spans the elementwise parallel threshold (32 Ki elements).
+        let input = rand_vec(len, seed);
+        let t = Tensor::from_vec(input.clone(), &[len]);
+        let mut out = vec![0.0f32; len];
+
+        relu_into(&input, &mut out);
+        prop_assert_eq!(&out[..], t.map(|v| v.max(0.0)).data());
+
+        sigmoid_into(&input, &mut out);
+        prop_assert_eq!(&out[..], t.map(|v| 1.0 / (1.0 + (-v).exp())).data());
+
+        tanh_into(&input, &mut out);
+        prop_assert_eq!(&out[..], t.map(f32::tanh).data());
+    }
+
+    #[test]
+    fn matmul_bt_bias_matches_bt_plus_broadcast(
+        m in 1usize..80,
+        k in 1usize..40,
+        n in 1usize..80,
+        with_bias in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        // The planned dense kernel (resident j-outer schedule, fused bias)
+        // against the layer kernel it must be bit-identical to.
+        let with_bias = with_bias == 1;
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(n * k, seed ^ 3);
+        let bias = rand_vec(n, seed ^ 5);
+        let mut base = vec![0.0f32; m * n];
+        matmul_bt_into(&a, &b, &mut base, m, k, n);
+        if with_bias {
+            for row in base.chunks_exact_mut(n) {
+                for (x, &bv) in row.iter_mut().zip(&bias) {
+                    *x += bv;
+                }
+            }
+        }
+        let mut fused = vec![0.0f32; m * n];
+        let bias_arg = if with_bias { Some(&bias[..]) } else { None };
+        matmul_bt_bias_into(&a, &b, bias_arg, &mut fused, m, k, n);
+        prop_assert_eq!(base, fused);
+    }
+
+    #[test]
+    fn matmul_row_aligned_parallel_matches_serial(
+        m in 1usize..150,
+        k in 1usize..20,
+        n in 1usize..150,
+        seed in 0u64..1000,
+    ) {
+        // m·n regularly crosses PAR_THRESHOLD (64·64), including shapes
+        // where the thread count does not divide the row count — the case
+        // the row-aligned splitter exists for.
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed ^ 7);
+        let mut c = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        // Serial reference with the kernel's own row loop (same fp order).
+        let mut expect = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut expect[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                for (cv, &bv) in c_row.iter_mut().zip(&b[p * n..(p + 1) * n]) {
+                    *cv += a_ip * bv;
+                }
+            }
+        }
+        prop_assert_eq!(c, expect);
+    }
+}

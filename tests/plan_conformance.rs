@@ -1,0 +1,168 @@
+//! Conformance: the planned forward path is **bit-identical** to the legacy
+//! allocating `Network::forward` for the networks behind all five
+//! comparators (LeNet, BranchyNet, AdaDeep, SubFlow, CBNet).
+//!
+//! This is the contract that lets the serving and fleet simulators consume
+//! planned-path latencies without re-validating accuracy: swapping the
+//! executor must never change a single output bit. Weights are fresh
+//! (untrained) — bit-identity is a property of the kernels, not the weights.
+
+use models::branchynet::{BranchyNet, BranchyNetConfig, ExitDecision};
+use models::lenet::{build_lenet, build_lenet_scaled};
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use nn::{ForwardPlan, Network};
+use tensor::ops::{entropy, softmax_slice};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+/// Assert planned execution of `net` equals the allocating forward exactly,
+/// through both the cached-plan convenience API and the zero-alloc borrow
+/// API, at the full batch and a compacted sub-batch.
+fn assert_plan_conformance(net: &mut Network, x: &Tensor, label: &str) {
+    let legacy = net.forward(x, false);
+
+    // Convenience API (network-cached plan).
+    let planned = net.predict_planned(x);
+    assert_eq!(legacy.dims(), planned.dims(), "{label}: dims diverged");
+    assert_eq!(
+        legacy.data(),
+        planned.data(),
+        "{label}: planned forward diverged"
+    );
+
+    // Zero-allocation borrow API with an explicitly owned plan, run twice to
+    // cover steady-state reuse, plus a smaller batch through the same plan.
+    let n = x.dims()[0];
+    let mut plan = ForwardPlan::new(net, n);
+    for _ in 0..2 {
+        let y = plan.run(net.layers_mut(), x);
+        assert_eq!(legacy.data(), y, "{label}: ForwardPlan::run diverged");
+    }
+    if n > 1 {
+        let sub = x.gather_rows(&[0, n - 1]);
+        let legacy_sub = net.forward(&sub, false);
+        let y = plan.run(net.layers_mut(), &sub);
+        assert_eq!(
+            legacy_sub.data(),
+            y,
+            "{label}: compacted sub-batch diverged"
+        );
+    }
+}
+
+fn batch(pixels: usize, n: usize, seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[n, pixels], 0.0, 1.0, &mut rng)
+}
+
+#[test]
+fn lenet_planned_forward_is_bit_identical() {
+    let mut rng = rng_from_seed(11);
+    let mut net = build_lenet(&mut rng);
+    let x = batch(784, 6, 1);
+    assert_plan_conformance(&mut net, &x, "LeNet");
+}
+
+#[test]
+fn adadeep_candidate_planned_forward_is_bit_identical() {
+    // An AdaDeep search winner is a scaled LeNet; conformance over a
+    // non-baseline candidate covers the compressed shapes the search emits.
+    let mut rng = rng_from_seed(12);
+    let mut net = build_lenet_scaled([3, 6, 12], 42, &mut rng);
+    let x = batch(784, 5, 2);
+    assert_plan_conformance(&mut net, &x, "AdaDeep");
+}
+
+#[test]
+fn subflow_subgraph_planned_forward_is_bit_identical() {
+    let mut rng = rng_from_seed(13);
+    let sf = SubFlow::new(build_lenet(&mut rng));
+    let mut sub = sf.subnetwork(0.75);
+    let x = batch(784, 4, 3);
+    assert_plan_conformance(&mut sub, &x, "SubFlow@0.75");
+}
+
+#[test]
+fn branchynet_stages_and_batched_infer_are_bit_identical() {
+    let mut rng = rng_from_seed(14);
+    let mut bn = BranchyNet::new(
+        BranchyNetConfig {
+            entropy_threshold: 1.0, // mixed exits on random inputs
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let x = batch(784, 8, 4);
+
+    // Reference: allocating stage-by-stage execution with the legacy
+    // forward, replicating the exit rule.
+    let (trunk, branch, tail) = bn.stages();
+    let (mut trunk2, mut branch2, mut tail2) =
+        (trunk.duplicate(), branch.duplicate(), tail.duplicate());
+    assert_plan_conformance(&mut trunk2, &x, "BranchyNet trunk");
+    let h = trunk2.forward(&x, false);
+    assert_plan_conformance(&mut branch2, &h, "BranchyNet branch");
+    assert_plan_conformance(&mut tail2, &h, "BranchyNet tail");
+
+    let logits1 = branch2.forward(&h, false);
+    let logits2 = tail2.forward(&h, false);
+    let classes = logits1.dims()[1];
+    let mut probs = vec![0.0f32; classes];
+
+    // The batched early-exit executor must reproduce the reference decisions
+    // and predictions exactly (trunk once, heads on the full batch, tail on
+    // the compacted hard rows).
+    let outputs = bn.infer(&x);
+    for (s, o) in outputs.iter().enumerate() {
+        let row1 = &logits1.data()[s * classes..(s + 1) * classes];
+        softmax_slice(row1, &mut probs);
+        let ent = entropy(&probs);
+        assert_eq!(o.exit1_entropy, ent, "sample {s}: entropy diverged");
+        if ent < 1.0 {
+            assert_eq!(o.exit, ExitDecision::Early, "sample {s}");
+            assert_eq!(o.prediction, argmax(row1), "sample {s}: early prediction");
+        } else {
+            assert_eq!(o.exit, ExitDecision::Main, "sample {s}");
+            let row2 = &logits2.data()[s * classes..(s + 1) * classes];
+            assert_eq!(o.prediction, argmax(row2), "sample {s}: main prediction");
+        }
+    }
+}
+
+#[test]
+fn cbnet_planned_prediction_is_bit_identical() {
+    let mut rng = rng_from_seed(15);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut lightweight = extract_lightweight(&bn);
+    let mut ae_cfg = models::autoencoder::AutoencoderConfig::mnist();
+    ae_cfg.hidden[0].width = 96; // keep the test light; shapes stay Table-I style
+    ae_cfg.hidden[1].width = 48;
+    let mut ae = models::autoencoder::ConvertingAutoencoder::new(ae_cfg, &mut rng);
+    let x = batch(784, 5, 5);
+
+    // The AE's planned reconstruction equals running its stage networks
+    // through the legacy forward.
+    let converted = ae.forward(&x);
+    assert_plan_conformance(&mut lightweight, &converted, "CBNet lightweight");
+
+    // Full CBNet prediction path vs. allocating reference.
+    let reference = lightweight.forward(&converted, false).argmax_rows();
+    let mut cbnet = cbnet::CbnetModel {
+        autoencoder: ae,
+        lightweight,
+    };
+    assert_eq!(cbnet.predict(&x), reference, "CBNet predictions diverged");
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut bestv = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > bestv {
+            bestv = v;
+            best = i;
+        }
+    }
+    best
+}
