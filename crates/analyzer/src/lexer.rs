@@ -1,0 +1,476 @@
+//! A minimal, dependency-free Rust lexer: comment/string stripping plus a
+//! line-numbered token stream.
+//!
+//! The analyzer never needs a real parse tree — every rule works on (a) a
+//! *cleaned* view of the source where comment and literal contents are
+//! blanked out (so braces inside strings can't derail scope tracking), and
+//! (b) a flat token stream with line numbers. Cleaning preserves byte
+//! offsets and newlines exactly, so token lines always match the original
+//! file.
+//!
+//! Cleaning also harvests the two kinds of comments the analyzer *does*
+//! care about: rustdoc lines (`///`, `//!` — consumed by the
+//! `into-doc-contract` rule) and `// lint:allow(rule, reason = "...")`
+//! suppression directives.
+
+use std::collections::BTreeMap;
+
+/// One `lint:allow` suppression directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on. A directive suppresses matching
+    /// violations on its own line and on the line directly below it.
+    pub line: usize,
+    /// Rule name, e.g. `panic-in-lib`.
+    pub rule: String,
+    /// Mandatory human justification.
+    pub reason: String,
+}
+
+/// Result of cleaning one source file.
+#[derive(Debug, Default)]
+pub struct CleanSource {
+    /// The source with comment and literal contents replaced by spaces
+    /// (newlines preserved). Same byte length as the input.
+    pub clean: String,
+    /// Valid suppression directives, in file order.
+    pub allows: Vec<AllowDirective>,
+    /// Malformed `lint:allow` comments: `(line, problem)`.
+    pub bad_allows: Vec<(usize, String)>,
+    /// Rustdoc comment text by 1-based line (`///` and `//!` lines).
+    pub docs: BTreeMap<usize, String>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank `out[range]` with spaces, preserving newlines.
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for slot in &mut out[from..to] {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// Parse every `lint:allow(...)` directive inside one comment's text.
+fn parse_allows(text: &str, line: usize, out: &mut CleanSource) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("lint:allow") {
+        rest = &rest[pos + "lint:allow".len()..];
+        let Some(body) = rest.strip_prefix('(') else {
+            out.bad_allows
+                .push((line, "expected `(` after `lint:allow`".into()));
+            continue;
+        };
+        let rule_len = body
+            .find(|c: char| !(c.is_ascii_lowercase() || c == '-'))
+            .unwrap_or(body.len());
+        let rule = &body[..rule_len];
+        if rule.is_empty() {
+            out.bad_allows
+                .push((line, "missing rule name in `lint:allow(...)`".into()));
+            continue;
+        }
+        let after_rule = body[rule_len..].trim_start();
+        let Some(args) = after_rule.strip_prefix(',') else {
+            out.bad_allows.push((
+                line,
+                format!("`lint:allow({rule}, ...)` requires `reason = \"...\"`"),
+            ));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(args) = args.strip_prefix("reason") else {
+            out.bad_allows
+                .push((line, format!("expected `reason = \"...\"` for `{rule}`")));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(args) = args.strip_prefix('=') else {
+            out.bad_allows
+                .push((line, format!("expected `=` after `reason` for `{rule}`")));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(args) = args.strip_prefix('"') else {
+            out.bad_allows
+                .push((line, format!("reason for `{rule}` must be a quoted string")));
+            continue;
+        };
+        let Some(end) = args.find('"') else {
+            out.bad_allows
+                .push((line, format!("unterminated reason string for `{rule}`")));
+            continue;
+        };
+        let reason = &args[..end];
+        if reason.trim().is_empty() {
+            out.bad_allows
+                .push((line, format!("empty reason for `{rule}`")));
+            continue;
+        }
+        out.allows.push(AllowDirective {
+            line,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        });
+        rest = &args[end + 1..];
+    }
+}
+
+/// Detect a string-literal prefix (`"`, `r"`, `r#"`, `b"`, `br#"`, …) at
+/// byte `i`. Returns `(quote_index, hashes, raw)`.
+fn string_prefix(b: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    let mut raw = false;
+    if j < b.len() && b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    // Only a prefix if we actually consumed a marker or start at the quote.
+    let mut hashes = 0;
+    if raw {
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j < b.len() && b[j] == b'"' && (raw || j > i || j == i) {
+        // `b` / `r` markers must begin at an identifier boundary; the caller
+        // checks the preceding byte.
+        if !raw && j > i && b[i] != b'b' {
+            return None;
+        }
+        Some((j, hashes, raw))
+    } else {
+        None
+    }
+}
+
+/// Strip comments and literal contents from `src`.
+pub fn clean_source(src: &str) -> CleanSource {
+    let b = src.as_bytes();
+    let mut out_bytes = b.to_vec();
+    let mut res = CleanSource::default();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let mut is_doc = false;
+                if let Some(doc) = text.strip_prefix("///") {
+                    if !doc.starts_with('/') {
+                        res.docs.insert(line, doc.trim().to_string());
+                        is_doc = true;
+                    }
+                } else if let Some(doc) = text.strip_prefix("//!") {
+                    res.docs.insert(line, doc.trim().to_string());
+                    is_doc = true;
+                }
+                // Directives must *lead* a plain comment: prose that merely
+                // mentions `lint:allow` (docs, rule help text) is not one.
+                if !is_doc
+                    && text
+                        .trim_start_matches('/')
+                        .trim_start()
+                        .starts_with("lint:allow")
+                {
+                    parse_allows(text, line, &mut res);
+                }
+                blank(&mut out_bytes, start, i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let body = src[start..i].trim_start_matches("/*").trim_start();
+                if body.starts_with("lint:allow") {
+                    parse_allows(&src[start..i], line, &mut res);
+                }
+                blank(&mut out_bytes, start, i);
+            }
+            b'"' | b'b' | b'r' => {
+                let at_boundary = i == 0 || !is_ident_byte(b[i - 1]);
+                let prefix = if c == b'"' {
+                    Some((i, 0, false))
+                } else if at_boundary {
+                    string_prefix(b, i)
+                } else {
+                    None
+                };
+                let Some((quote, hashes, raw)) = prefix else {
+                    i += 1;
+                    while i < b.len() && is_ident_byte(b[i]) {
+                        i += 1;
+                    }
+                    continue;
+                };
+                let start = i;
+                i = quote + 1;
+                if raw {
+                    // Scan for `"` followed by `hashes` hash marks.
+                    'raw: while i < b.len() {
+                        if b[i] == b'\n' {
+                            line += 1;
+                            i += 1;
+                        } else if b[i] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                } else {
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                blank(&mut out_bytes, start, i.min(b.len()));
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'é'`).
+                let next = b.get(i + 1).copied();
+                let is_char = match next {
+                    Some(b'\\') => true,
+                    Some(n) if is_ident_byte(n) => b.get(i + 2) == Some(&b'\''),
+                    Some(n) if n >= 0x80 => true,
+                    Some(b'\'') => false, // `''` — malformed, skip one
+                    Some(_) => b.get(i + 2) == Some(&b'\''),
+                    None => false,
+                };
+                if is_char {
+                    let start = i;
+                    i += 1;
+                    if b.get(i) == Some(&b'\\') {
+                        i += 2;
+                    }
+                    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    blank(&mut out_bytes, start, i);
+                } else {
+                    i += 1;
+                }
+            }
+            _ => {
+                if is_ident_byte(c) {
+                    while i < b.len() && is_ident_byte(b[i]) {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    res.clean = String::from_utf8_lossy(&out_bytes).into_owned();
+    res
+}
+
+/// Token kinds the analyzer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (opaque).
+    Num,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (a single char for punctuation).
+    pub text: String,
+    /// 1-based line in the original source.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// Tokenize a cleaned source (see [`clean_source`]).
+pub fn tokenize(clean: &str) -> Vec<Tok> {
+    let b = clean.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: clean[start..i].to_string(),
+                line,
+            });
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: clean[start..i].to_string(),
+                line,
+            });
+        } else if c.is_ascii() {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (c as char).to_string(),
+                line,
+            });
+            i += 1;
+        } else {
+            // Non-ASCII outside comments/strings: skip the byte.
+            i += 1;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_preserving_lines() {
+        let src = "let a = \"hi { } \"; // brace }\nlet b = 2; /* {\n} */ let c = 'x';\n";
+        let cleaned = clean_source(src);
+        assert_eq!(cleaned.clean.len(), src.len());
+        assert!(!cleaned.clean.contains("hi"));
+        assert!(!cleaned.clean.contains("brace"));
+        assert_eq!(cleaned.clean.matches('{').count(), 0);
+        assert_eq!(
+            cleaned.clean.matches('\n').count(),
+            src.matches('\n').count()
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "let s = r#\"a \" b\"#; fn f<'a>(x: &'a str) -> char { '}' }";
+        let cleaned = clean_source(src);
+        assert!(cleaned.clean.contains("'a"), "{}", cleaned.clean);
+        assert_eq!(cleaned.clean.matches('}').count(), 1);
+        let toks = tokenize(&cleaned.clean);
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "x.unwrap(); // lint:allow(panic-in-lib, reason = \"checked above\")\n";
+        let cleaned = clean_source(src);
+        assert_eq!(cleaned.allows.len(), 1);
+        assert_eq!(cleaned.allows[0].rule, "panic-in-lib");
+        assert_eq!(cleaned.allows[0].reason, "checked above");
+        assert!(cleaned.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// lint:allow(panic-in-lib)\nx.unwrap();\n";
+        let cleaned = clean_source(src);
+        assert!(cleaned.allows.is_empty());
+        assert_eq!(cleaned.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn prose_mentions_are_not_directives() {
+        let src = "\
+//! Suppress with `lint:allow(rule, reason = \"...\")` on the line.
+/// The `lint:allow` escape hatch is documented here.
+// This comment mentions lint:allow mid-sentence, not as a directive.
+fn f() {}
+";
+        let cleaned = clean_source(src);
+        assert!(cleaned.allows.is_empty());
+        assert!(cleaned.bad_allows.is_empty(), "{:?}", cleaned.bad_allows);
+    }
+
+    #[test]
+    fn doc_comments_are_collected() {
+        let src = "/// Writes into `out`.\npub fn relu_into() {}\n//! module\n";
+        let cleaned = clean_source(src);
+        assert_eq!(
+            cleaned.docs.get(&1).map(String::as_str),
+            Some("Writes into `out`.")
+        );
+        assert_eq!(cleaned.docs.get(&3).map(String::as_str), Some("module"));
+    }
+
+    #[test]
+    fn char_literal_with_brace_does_not_confuse_depth() {
+        let src = "fn f() { let c = '{'; }";
+        let cleaned = clean_source(src);
+        assert_eq!(cleaned.clean.matches('{').count(), 1);
+        assert_eq!(cleaned.clean.matches('}').count(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! `cbnet-lint` — a dependency-free static analyzer for this workspace's
+//! project-specific invariants.
+//!
+//! The repo's credibility rests on discipline claims that ordinary tests
+//! can't see: hot paths are allocation-free, every fast path is pinned by a
+//! conformance suite, the offline dependency shims match what the code
+//! imports, and library code never panics without a documented decision.
+//! This crate turns those claims into CI-failing rules (see
+//! [`rules`] for the catalog) over a hand-rolled Rust [`lexer`] — the
+//! container has no crates.io access, so there is no syn/proc-macro here,
+//! just comment/string stripping, a token stream, and brace-depth
+//! structure tracking, which is exactly enough for every rule.
+//!
+//! Run it with `cargo run -p analyzer` from anywhere in the workspace; it
+//! writes `LINT_REPORT.json` at the workspace root and exits non-zero on
+//! any unsuppressed violation. Suppress a violation where the code is
+//! right and the rule is wrong with
+//! `// lint:allow(<rule>, reason = "...")` on the offending line or the
+//! line directly above it.
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod structure;
+
+use std::path::{Path, PathBuf};
+
+use report::{from_raw, Report};
+use rules::FileCtx;
+
+/// Directories never scanned (build output, VCS, lint-rule test inputs).
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Recursively collect every `.rs` file under `root`, sorted by relative
+/// path for deterministic reports.
+fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze one source string as if it were at workspace-relative path
+/// `rel` — the unit the fixture tests drive directly.
+pub fn analyze_source(rel: &str, src: &str) -> FileCtx {
+    let clean = lexer::clean_source(src);
+    let toks = lexer::tokenize(&clean.clean);
+    let structure = structure::analyze_structure(&toks);
+    FileCtx {
+        rel: rel.to_string(),
+        clean,
+        toks,
+        structure,
+    }
+}
+
+/// Analyze every `.rs` file under `root` and resolve suppressions.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let files = collect_rs_files(root)?;
+    let mut ctxs = Vec::with_capacity(files.len());
+    for path in &files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        ctxs.push(analyze_source(&rel, &src));
+    }
+    Ok(resolve(ctxs))
+}
+
+/// Run the rules over pre-analyzed files and resolve suppressions — shared
+/// by [`analyze_workspace`] and the fixture tests.
+pub fn resolve(ctxs: Vec<FileCtx>) -> Report {
+    let raw = rules::run_rules(&ctxs);
+    let violations = raw
+        .into_iter()
+        .map(|v| {
+            let reason = (v.rule != "bad-allow")
+                .then(|| {
+                    ctxs.iter()
+                        .find(|c| c.rel == v.file)
+                        .and_then(|c| {
+                            c.clean.allows.iter().find(|a| {
+                                a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line)
+                            })
+                        })
+                        .map(|a| a.reason.clone())
+                })
+                .flatten();
+            from_raw(v, reason)
+        })
+        .collect();
+    Report::new(ctxs.len(), violations)
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,109 @@
+//! `cbnet-lint` CLI: scan the workspace, print violations, write
+//! `LINT_REPORT.json`, exit non-zero on any unsuppressed violation.
+//!
+//! ```text
+//! cbnet-lint [--root DIR] [--report PATH] [--quiet] [--list-rules]
+//! ```
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analyzer::rules::RULES;
+
+struct Args {
+    root: Option<PathBuf>,
+    report: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        report: None,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: cbnet-lint [--root DIR] [--report PATH] [--quiet] [--list-rules]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for r in RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| analyzer::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("cbnet-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyzer::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cbnet-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report_path = args.report.unwrap_or_else(|| root.join("LINT_REPORT.json"));
+    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+        eprintln!("cbnet-lint: write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    let open: Vec<_> = report.unsuppressed().collect();
+    if !args.quiet {
+        for v in &open {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        let suppressed = report.suppressed().count();
+        println!(
+            "cbnet-lint: {} file(s), {} violation(s), {} suppressed — report at {}",
+            report.files_scanned,
+            open.len(),
+            suppressed,
+            report_path.display()
+        );
+    }
+    if open.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

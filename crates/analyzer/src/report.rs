@@ -1,0 +1,202 @@
+//! Violation aggregation and the machine-readable `LINT_REPORT.json`.
+//!
+//! The JSON encoder is hand-rolled (the container has no crates.io access,
+//! so no serde); the schema is deliberately flat so CI scripts can consume
+//! it with `jq` or a five-line parser.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{RawViolation, RULES};
+
+/// A violation with its suppression state resolved.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when a `lint:allow` directive suppresses this
+    /// violation.
+    pub suppressed: Option<String>,
+}
+
+/// The result of analyzing a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every violation, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Build a report from raw violations, sorted deterministically.
+    pub fn new(files_scanned: usize, mut violations: Vec<Violation>) -> Report {
+        violations.sort_by(|a, b| {
+            (&a.file, a.line, a.rule)
+                .cmp(&(&b.file, b.line, b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        Report {
+            files_scanned,
+            violations,
+        }
+    }
+
+    /// Violations not silenced by a `lint:allow` directive.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.suppressed.is_none())
+    }
+
+    /// Violations silenced by a `lint:allow` directive.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.suppressed.is_some())
+    }
+
+    /// Per-rule `(unsuppressed, suppressed)` counts, for every known rule.
+    pub fn counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> =
+            RULES.iter().map(|&r| (r, (0, 0))).collect();
+        for v in &self.violations {
+            let entry = counts.entry(v.rule).or_insert((0, 0));
+            if v.suppressed.is_some() {
+                entry.1 += 1;
+            } else {
+                entry.0 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Encode as `LINT_REPORT.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_string(r));
+        }
+        s.push_str("],\n");
+        s.push_str("  \"counts\": {\n");
+        let counts = self.counts();
+        for (i, (rule, (open, supp))) in counts.iter().enumerate() {
+            s.push_str(&format!(
+                "    {}: {{\"violations\": {open}, \"suppressed\": {supp}}}{}\n",
+                json_string(rule),
+                if i + 1 < counts.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  },\n");
+        encode_violation_array(&mut s, "violations", self.unsuppressed());
+        s.push_str(",\n");
+        encode_violation_array(&mut s, "suppressed", self.suppressed());
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+fn encode_violation_array<'a>(
+    s: &mut String,
+    key: &str,
+    items: impl Iterator<Item = &'a Violation>,
+) {
+    s.push_str(&format!("  {}: [", json_string(key)));
+    let mut first = true;
+    for v in items {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": {}, ", json_string(v.rule)));
+        s.push_str(&format!("\"file\": {}, ", json_string(&v.file)));
+        s.push_str(&format!("\"line\": {}, ", v.line));
+        s.push_str(&format!("\"message\": {}", json_string(&v.message)));
+        if let Some(reason) = &v.suppressed {
+            s.push_str(&format!(", \"reason\": {}", json_string(reason)));
+        }
+        s.push('}');
+    }
+    if first {
+        s.push(']');
+    } else {
+        s.push_str("\n  ]");
+    }
+}
+
+/// Minimal JSON string encoder.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Apply RawViolation → RawViolation ordering used by display paths.
+pub fn from_raw(raw: RawViolation, suppressed: Option<String>) -> Violation {
+    Violation {
+        rule: raw.rule,
+        file: raw.file,
+        line: raw.line,
+        message: raw.message,
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let mk = |rule, file: &str, line| RawViolation {
+            rule,
+            file: file.into(),
+            line,
+            message: "m".into(),
+        };
+        let report = Report::new(
+            3,
+            vec![
+                from_raw(mk("panic-in-lib", "b.rs", 2), None),
+                from_raw(mk("hot-path-alloc", "a.rs", 9), Some("ok".into())),
+                from_raw(mk("panic-in-lib", "a.rs", 1), None),
+            ],
+        );
+        assert_eq!(report.violations[0].file, "a.rs");
+        assert_eq!(report.unsuppressed().count(), 2);
+        assert_eq!(report.suppressed().count(), 1);
+        let counts = report.counts();
+        assert_eq!(counts["panic-in-lib"], (2, 0));
+        assert_eq!(counts["hot-path-alloc"], (0, 1));
+        assert_eq!(counts["shim-drift"], (0, 0));
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"reason\": \"ok\""));
+    }
+}

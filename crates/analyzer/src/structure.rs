@@ -1,0 +1,442 @@
+//! Structural analysis over the token stream: function spans with their
+//! enclosing `impl` type, `#[cfg(test)]` ranges, and `use` paths.
+//!
+//! This is deliberately *approximate* — it tracks brace depth and a few
+//! token patterns rather than parsing real Rust — but because it runs on
+//! the cleaned source (no braces hiding in strings or comments), the
+//! approximation is exact for the constructs the rules care about.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Token-index range `(open, close)` of the body braces, if the fn has
+    /// a body (trait method declarations don't).
+    pub body: Option<(usize, usize)>,
+    /// Self type of the enclosing `impl` block, if any (last path segment,
+    /// generics stripped) — `impl Layer for Dense` yields `Dense`.
+    pub parent_impl: Option<String>,
+}
+
+/// Everything the rules need to know about one file's shape.
+#[derive(Debug, Default)]
+pub struct FileStructure {
+    /// Every `fn` item, in file order.
+    pub fns: Vec<FnSpan>,
+    /// Token-index ranges (inclusive braces) of `#[cfg(test)]` / `#[test]`
+    /// items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// `use` paths: each is the full segment list (`["rand", "rngs",
+    /// "StdRng"]`); glob imports end with `"*"`.
+    pub use_paths: Vec<UsePath>,
+}
+
+/// One imported path (from a `use` tree or an inline qualified path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsePath {
+    /// Path segments, root first. A trailing `"*"` marks a glob import.
+    pub segments: Vec<String>,
+    /// 1-based line of the import/usage.
+    pub line: usize,
+}
+
+impl FileStructure {
+    /// Is token index `i` inside a `#[cfg(test)]`-gated item?
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+}
+
+/// Map every `{` token index to its matching `}` index.
+fn match_braces(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut out = vec![None; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                out[open] = Some(i);
+            }
+        }
+    }
+    out
+}
+
+/// Find the `{` (or `;`) ending the item header that starts at `from`.
+/// Returns `Some(index_of_open_brace)` or `None` for a body-less item.
+fn find_item_body(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "<" => {
+                    // `<` is a generic opener in headers unless it follows a
+                    // closing token (no comparisons appear in item headers).
+                    angle += 1;
+                }
+                ">" => {
+                    // Skip the `->` arrow; otherwise close a generic list.
+                    let is_arrow = i > 0 && toks[i - 1].is_punct('-');
+                    if !is_arrow && angle > 0 {
+                        angle -= 1;
+                    }
+                }
+                "{" if paren == 0 && bracket == 0 && angle <= 0 => return Some(i),
+                ";" if paren == 0 && bracket == 0 && angle <= 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extract the self-type name from the header tokens of an `impl` block
+/// (`from` points just past the `impl` keyword, `until` at the `{`).
+fn impl_self_type(toks: &[Tok], from: usize, until: usize) -> Option<String> {
+    let mut i = from;
+    // Skip the generic parameter list directly after `impl`.
+    if i < until && toks[i].is_punct('<') {
+        let mut depth = 1;
+        i += 1;
+        while i < until && depth > 0 {
+            if toks[i].is_punct('<') {
+                depth += 1;
+            } else if toks[i].is_punct('>') && !toks[i - 1].is_punct('-') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    // If a `for` appears at angle-depth 0, the self type follows it.
+    let mut start = i;
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < until {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && j > 0 && !toks[j - 1].is_punct('-') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("for") {
+            start = j + 1;
+        } else if depth == 0 && t.is_ident("where") {
+            break;
+        }
+        j += 1;
+    }
+    // The self type's name: the last identifier of the leading path, before
+    // any `<` generics.
+    let mut name = None;
+    let mut k = start;
+    let mut dep = 0i32;
+    while k < until {
+        let t = &toks[k];
+        if t.is_punct('<') {
+            dep += 1;
+        } else if t.is_punct('>') && !toks[k - 1].is_punct('-') {
+            dep -= 1;
+        } else if dep == 0 {
+            if t.kind == TokKind::Ident && !t.is_ident("where") {
+                name = Some(t.text.clone());
+            } else if !t.is_punct(':') && !t.is_punct('&') {
+                // Stop at anything that isn't part of a simple path.
+                if name.is_some() {
+                    break;
+                }
+            }
+        }
+        k += 1;
+    }
+    name
+}
+
+/// Does the attribute token range `[open_bracket, close_bracket]` spell a
+/// test gate (`#[cfg(test)]`, `#[test]`, or `#[cfg(any(test, ...))]`)?
+fn attr_is_test_gate(toks: &[Tok], open: usize, close: usize) -> bool {
+    let idents: Vec<&str> = toks[open..=close]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    idents == ["test"]
+        || (idents.contains(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"))
+}
+
+/// Parse a `use`-tree starting at `i` (just past `use` or a `::{` opener),
+/// appending completed paths to `out`. Returns the index one past the tree.
+fn parse_use_tree(toks: &[Tok], mut i: usize, prefix: &[String], out: &mut Vec<UsePath>) -> usize {
+    let mut segs: Vec<String> = prefix.to_vec();
+    let line = toks.get(i).map_or(0, |t| t.line);
+    while let Some(t) = toks.get(i) {
+        if t.kind == TokKind::Ident && t.text != "as" {
+            segs.push(t.text.clone());
+            i += 1;
+        } else if t.is_punct('*') {
+            segs.push("*".into());
+            i += 1;
+        } else if t.is_punct(':') && toks.get(i + 1).is_some_and(|n| n.is_punct(':')) {
+            i += 2;
+            if toks.get(i).is_some_and(|n| n.is_punct('{')) {
+                // Nested group: recurse per comma-separated subtree.
+                i += 1;
+                loop {
+                    match toks.get(i) {
+                        Some(t) if t.is_punct('}') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(t) if t.is_punct(',') => i += 1,
+                        Some(_) => i = parse_use_tree(toks, i, &segs, out),
+                        None => break,
+                    }
+                }
+                return i;
+            }
+        } else if t.is_ident("as") {
+            // `X as Y`: the existence check is on X; skip the alias.
+            i += 2;
+            break;
+        } else {
+            break;
+        }
+    }
+    // `self` inside a group refers to the prefix itself (already checked
+    // via its own segments), so drop it.
+    if segs.last().is_some_and(|s| s == "self") {
+        segs.pop();
+    }
+    if segs.len() > prefix.len() {
+        out.push(UsePath {
+            segments: segs,
+            line,
+        });
+    }
+    i
+}
+
+/// The crates shimmed offline in `crates/shims/*`.
+pub const SHIMMED_CRATES: [&str; 5] = ["rand", "bytes", "crossbeam", "proptest", "criterion"];
+
+/// Analyze one file's token stream.
+pub fn analyze_structure(toks: &[Tok]) -> FileStructure {
+    let braces = match_braces(toks);
+    let mut fs = FileStructure::default();
+
+    // Impl ranges: (open brace idx, close idx, type name).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some(open) = find_item_body(toks, i + 1) {
+                if let Some(close) = braces[open] {
+                    if let Some(name) = impl_self_type(toks, i + 1, open) {
+                        impls.push((open, close, name));
+                    }
+                }
+            }
+        } else if t.is_ident("fn") {
+            // Visibility: scan back over `pub`, `(crate)`, `const`,
+            // `unsafe`, `extern "C"` tokens until an item boundary.
+            let mut is_pub = false;
+            let mut k = i;
+            while k > 0 {
+                k -= 1;
+                let p = &toks[k];
+                if p.is_ident("pub") {
+                    is_pub = true;
+                    break;
+                }
+                let part_of_header = p.is_ident("const")
+                    || p.is_ident("unsafe")
+                    || p.is_ident("extern")
+                    || p.is_ident("async")
+                    || p.is_ident("crate")
+                    || p.is_ident("super")
+                    || p.is_ident("in")
+                    || p.is_punct('(')
+                    || p.is_punct(')');
+                if !part_of_header {
+                    break;
+                }
+            }
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let body = find_item_body(toks, i + 2)
+                        .and_then(|open| braces[open].map(|close| (open, close)));
+                    let parent_impl = impls
+                        .iter()
+                        .rev()
+                        .find(|&&(open, close, _)| open <= i && i <= close)
+                        .map(|(_, _, n)| n.clone());
+                    fs.fns.push(FnSpan {
+                        name: name_tok.text.clone(),
+                        line: t.line,
+                        is_pub,
+                        body,
+                        parent_impl,
+                    });
+                }
+            }
+        } else if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            // Attribute: find its closing `]`, check for a test gate, and if
+            // so mark the next item's body as test code.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut close_attr = None;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        close_attr = Some(j);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(ca) = close_attr {
+                if attr_is_test_gate(toks, i + 1, ca) {
+                    if let Some(open) = find_item_body(toks, ca + 1) {
+                        if let Some(close) = braces[open] {
+                            fs.test_ranges.push((i, close));
+                        }
+                    }
+                }
+                i = ca + 1;
+                continue;
+            }
+        } else if t.is_ident("use") {
+            i = parse_use_tree(toks, i + 1, &[], &mut fs.use_paths);
+            continue;
+        } else if t.kind == TokKind::Ident
+            && SHIMMED_CRATES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && (i == 0 || !toks[i - 1].is_punct(':'))
+        {
+            // Inline qualified path (`crossbeam::scope(...)`): collect the
+            // segment chain.
+            let mut segs = vec![t.text.clone()];
+            let line = t.line;
+            let mut j = i + 1;
+            while toks.get(j).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                segs.push(toks[j + 2].text.clone());
+                j += 3;
+            }
+            if segs.len() > 1 {
+                fs.use_paths.push(UsePath {
+                    segments: segs,
+                    line,
+                });
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean_source, tokenize};
+
+    fn structure(src: &str) -> FileStructure {
+        analyze_structure(&tokenize(&clean_source(src).clean))
+    }
+
+    #[test]
+    fn finds_fns_and_impl_parents() {
+        let src = r#"
+            pub fn relu_into(x: &mut [f32]) { x[0] = 0.0; }
+            struct ForwardPlan;
+            impl ForwardPlan {
+                pub fn run<'p>(&'p mut self) -> &'p [f32] { &[] }
+                fn helper() {}
+            }
+            impl Clone for ForwardPlan { fn clone(&self) -> Self { ForwardPlan } }
+        "#;
+        let fs = structure(src);
+        let names: Vec<(&str, Option<&str>)> = fs
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.parent_impl.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("relu_into", None),
+                ("run", Some("ForwardPlan")),
+                ("helper", Some("ForwardPlan")),
+                ("clone", Some("ForwardPlan")),
+            ]
+        );
+        assert!(fs.fns[0].is_pub);
+        assert!(!fs.fns[2].is_pub);
+    }
+
+    #[test]
+    fn marks_cfg_test_ranges() {
+        let src = r#"
+            pub fn lib_code() { maybe(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+        "#;
+        let fs = structure(src);
+        let toks = tokenize(&clean_source(src).clean);
+        let unwrap_idx = toks.iter().position(|t| t.is_ident("unwrap"));
+        let lib_idx = toks.iter().position(|t| t.is_ident("maybe"));
+        assert!(fs.in_test_code(unwrap_idx.expect("has unwrap")));
+        assert!(!fs.in_test_code(lib_idx.expect("has maybe")));
+    }
+
+    #[test]
+    fn parses_use_trees() {
+        let src = "use rand::{rngs::StdRng, Rng as R, prelude::*};\nfn f() { crossbeam::scope(|s| {}); }\n";
+        let fs = structure(src);
+        let paths: Vec<Vec<&str>> = fs
+            .use_paths
+            .iter()
+            .map(|p| p.segments.iter().map(String::as_str).collect())
+            .collect();
+        assert!(paths.contains(&vec!["rand", "rngs", "StdRng"]));
+        assert!(paths.contains(&vec!["rand", "Rng"]));
+        assert!(paths.contains(&vec!["rand", "prelude", "*"]));
+        assert!(paths.contains(&vec!["crossbeam", "scope"]));
+    }
+
+    #[test]
+    fn fn_with_generics_and_where_clause() {
+        let src = "pub fn gen<T: Into<Vec<u8>>>(t: T) -> Option<T> where T: Clone { Some(t) }";
+        let fs = structure(src);
+        assert_eq!(fs.fns.len(), 1);
+        assert_eq!(fs.fns[0].name, "gen");
+        assert!(fs.fns[0].body.is_some());
+    }
+}

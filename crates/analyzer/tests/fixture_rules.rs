@@ -1,0 +1,261 @@
+//! Fixture-driven tests for every lint rule.
+//!
+//! Each fixture under `tests/fixtures/` is a small Rust source exercising
+//! one rule's detections, exemptions, and the `lint:allow` escape hatch.
+//! The directory is in the analyzer's skip list, so the deliberate
+//! violations never leak into a real workspace scan; here the sources are
+//! fed through [`analyzer::analyze_source`] under synthetic workspace
+//! paths that put them in each rule's scope.
+
+use analyzer::report::{Report, Violation};
+use analyzer::resolve;
+
+const HOT_PATH: &str = include_str!("fixtures/hot_path.rs");
+const PANICS: &str = include_str!("fixtures/panics.rs");
+const SHIM_USER: &str = include_str!("fixtures/shim_user.rs");
+const SHIM_RAND: &str = include_str!("fixtures/shim_rand.rs");
+const KERNELS: &str = include_str!("fixtures/kernels.rs");
+const CONFORMANCE: &str = include_str!("fixtures/conformance.rs");
+const BAD_ALLOWS: &str = include_str!("fixtures/bad_allows.rs");
+
+/// All fixtures mapped to paths that put them in their rule's scope.
+const ALL_FIXTURES: [(&str, &str); 7] = [
+    ("crates/nn/src/fixture_hot.rs", HOT_PATH),
+    ("crates/demo/src/lib.rs", PANICS),
+    ("crates/demo/src/shim_user.rs", SHIM_USER),
+    ("crates/shims/rand/src/lib.rs", SHIM_RAND),
+    ("crates/tensor/src/fixture_kernels.rs", KERNELS),
+    ("tests/plan_conformance.rs", CONFORMANCE),
+    ("crates/demo/src/allows.rs", BAD_ALLOWS),
+];
+
+fn report_for(files: &[(&str, &str)]) -> Report {
+    resolve(
+        files
+            .iter()
+            .map(|(rel, src)| analyzer::analyze_source(rel, src))
+            .collect(),
+    )
+}
+
+fn by_rule<'r>(report: &'r Report, rule: &str) -> Vec<&'r Violation> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .collect()
+}
+
+fn open_lines(violations: &[&Violation]) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.suppressed.is_none())
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn hot_path_alloc_flags_kernels_and_plan_methods() {
+    let report = report_for(&[("crates/nn/src/fixture_hot.rs", HOT_PATH)]);
+    let hot = by_rule(&report, "hot-path-alloc");
+
+    // `.clone()` + `.to_vec()` in ForwardPlan::run, `vec!` in relu_into,
+    // `.collect()` in plan_scratch_floats.
+    assert_eq!(open_lines(&hot), vec![17, 18, 26, 41]);
+    assert!(hot[0].message.contains("`run`"));
+    assert!(hot[2].message.contains("vec!"));
+
+    // The annotated `.to_vec()` in scaled_into is suppressed with its reason.
+    let suppressed: Vec<_> = hot.iter().filter(|v| v.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 35);
+    assert!(suppressed[0]
+        .suppressed
+        .as_deref()
+        .is_some_and(|r| r.contains("fused kernel")));
+
+    // The allocating constructor (`ForwardPlan::new`) and the cold helper
+    // are out of scope.
+    assert!(!hot.iter().any(|v| v.line == 11 || v.line == 47));
+}
+
+#[test]
+fn hot_path_alloc_only_applies_to_library_sources() {
+    let report = report_for(&[("crates/nn/benches/fixture_hot.rs", HOT_PATH)]);
+    assert!(by_rule(&report, "hot-path-alloc").is_empty());
+}
+
+#[test]
+fn panic_in_lib_flags_library_code_but_not_tests() {
+    let report = report_for(&[("crates/demo/src/lib.rs", PANICS)]);
+    let panics = by_rule(&report, "panic-in-lib");
+
+    // `.unwrap()` in risky, `panic!` in hard_stop.
+    assert_eq!(open_lines(&panics), vec![5, 16]);
+    assert!(panics[0].message.contains(".unwrap()"));
+
+    // The annotated `.expect()` is suppressed; `assert!` (line 21) and the
+    // unwrap inside `#[cfg(test)] mod tests` (line 31) are never flagged.
+    let suppressed: Vec<_> = panics.iter().filter(|v| v.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 11);
+    assert!(!panics.iter().any(|v| v.line == 21 || v.line == 31));
+}
+
+#[test]
+fn panic_in_lib_exempts_test_and_bin_sources() {
+    for rel in [
+        "crates/demo/tests/panics.rs",
+        "crates/demo/src/bin/tool.rs",
+        "crates/demo/src/main.rs",
+        "crates/shims/rand/src/panics.rs",
+    ] {
+        let report = report_for(&[(rel, PANICS)]);
+        assert!(
+            by_rule(&report, "panic-in-lib").is_empty(),
+            "{rel} should be exempt"
+        );
+    }
+}
+
+#[test]
+fn shim_drift_flags_imports_missing_from_the_shim() {
+    let report = report_for(&[
+        ("crates/shims/rand/src/lib.rs", SHIM_RAND),
+        ("crates/demo/src/shim_user.rs", SHIM_USER),
+    ]);
+    let drift = by_rule(&report, "shim-drift");
+
+    // `rand::missing_item` does not exist in the shim; `rngs`, `StdRng`
+    // and `Rng` do.
+    assert_eq!(open_lines(&drift), vec![4]);
+    assert!(drift[0].message.contains("missing_item"));
+}
+
+#[test]
+fn shim_drift_needs_the_shim_sources_to_vouch() {
+    // Without the shim crate's sources, nothing vouches for any segment.
+    let report = report_for(&[("crates/demo/src/shim_user.rs", SHIM_USER)]);
+    let drift = by_rule(&report, "shim-drift");
+    assert!(drift.len() > 1, "expected several unvouched imports");
+}
+
+#[test]
+fn conformance_coverage_requires_suite_references() {
+    let report = report_for(&[
+        ("crates/tensor/src/fixture_kernels.rs", KERNELS),
+        ("tests/plan_conformance.rs", CONFORMANCE),
+    ]);
+    let coverage = by_rule(&report, "conformance-coverage");
+
+    // The suite references covered_into but not undocumented_into; the
+    // private helper_into is not part of the contract.
+    assert_eq!(open_lines(&coverage), vec![12]);
+    assert!(coverage[0].message.contains("undocumented_into"));
+
+    // Without the suite file, both public kernels are unpinned.
+    let report = report_for(&[("crates/tensor/src/fixture_kernels.rs", KERNELS)]);
+    assert_eq!(by_rule(&report, "conformance-coverage").len(), 2);
+}
+
+#[test]
+fn into_doc_contract_requires_ownership_wording() {
+    let report = report_for(&[
+        ("crates/tensor/src/fixture_kernels.rs", KERNELS),
+        ("tests/plan_conformance.rs", CONFORMANCE),
+    ]);
+    let docs = by_rule(&report, "into-doc-contract");
+
+    // covered_into documents its output buffer; undocumented_into has a
+    // rustdoc that never states ownership.
+    assert_eq!(open_lines(&docs), vec![12]);
+    assert!(docs[0].message.contains("does not state"));
+
+    // A pub `_into` fn with no rustdoc at all gets the stronger message.
+    let report = report_for(&[("crates/nn/src/fixture_hot.rs", HOT_PATH)]);
+    let docs = by_rule(&report, "into-doc-contract");
+    assert_eq!(open_lines(&docs), vec![24, 32]);
+    assert!(docs[0].message.contains("no rustdoc"));
+}
+
+#[test]
+fn bad_allow_reports_malformed_directives_and_cannot_be_silenced() {
+    let report = report_for(&[("crates/demo/src/allows.rs", BAD_ALLOWS)]);
+    let bad = by_rule(&report, "bad-allow");
+
+    // Missing reason (line 5), unknown rule name (line 8), and a malformed
+    // directive whose `lint:allow(bad-allow, ...)` annotation on the line
+    // above must NOT suppress it (line 12).
+    assert_eq!(open_lines(&bad), vec![5, 8, 12]);
+    assert!(bad.iter().all(|v| v.suppressed.is_none()));
+    assert!(bad[0].message.contains("reason"));
+    assert!(bad[1].message.contains("no-such-rule"));
+}
+
+#[test]
+fn allow_on_same_line_suppresses() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() } \
+               // lint:allow(panic-in-lib, reason = \"fixture same-line\")\n";
+    let report = report_for(&[("crates/demo/src/inline.rs", src)]);
+    let panics = by_rule(&report, "panic-in-lib");
+    assert_eq!(panics.len(), 1);
+    assert_eq!(panics[0].suppressed.as_deref(), Some("fixture same-line"));
+}
+
+#[test]
+fn allow_must_name_the_matching_rule_and_be_adjacent() {
+    // Wrong rule name: no suppression.
+    let wrong_rule = "// lint:allow(hot-path-alloc, reason = \"wrong rule\")\n\
+                      pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let report = report_for(&[("crates/demo/src/inline.rs", wrong_rule)]);
+    assert_eq!(open_lines(&by_rule(&report, "panic-in-lib")), vec![2]);
+
+    // Two lines above the violation: out of range, no suppression.
+    let too_far = "// lint:allow(panic-in-lib, reason = \"too far away\")\n\n\
+                   pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let report = report_for(&[("crates/demo/src/inline.rs", too_far)]);
+    assert_eq!(open_lines(&by_rule(&report, "panic-in-lib")), vec![3]);
+}
+
+#[test]
+fn json_report_shape_is_stable() {
+    let report = report_for(&ALL_FIXTURES);
+    assert_eq!(report.files_scanned, ALL_FIXTURES.len());
+
+    let json = report.to_json();
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    assert!(json.contains("\"schema\": 1"));
+    assert!(json.contains(&format!("\"files_scanned\": {}", ALL_FIXTURES.len())));
+    for rule in analyzer::rules::RULES {
+        assert!(json.contains(&format!("\"{rule}\"")), "missing rule {rule}");
+    }
+    // Suppressed entries carry their justification.
+    assert!(json.contains("\"reason\": \"fixture same-line\"") || json.contains("\"reason\":"));
+    assert!(json.contains("\"violations\": ["));
+    assert!(json.contains("\"suppressed\": ["));
+
+    // Counts match the report's own tallies.
+    let counts = report.counts();
+    for (rule, (open, supp)) in counts {
+        assert!(json.contains(&format!(
+            "\"{rule}\": {{\"violations\": {open}, \"suppressed\": {supp}}}"
+        )));
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = analyzer::find_workspace_root(&cwd).expect("workspace root");
+    let report = analyzer::analyze_workspace(&root).expect("workspace scan");
+    let open: Vec<String> = report
+        .unsuppressed()
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        open.is_empty(),
+        "unsuppressed lint violations:\n{}",
+        open.join("\n")
+    );
+}

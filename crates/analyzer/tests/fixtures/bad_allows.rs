@@ -1,0 +1,13 @@
+//! Fixture: malformed escape hatches that `bad-allow` reports.
+
+pub fn placeholder() {}
+
+// lint:allow(hot-path-alloc)
+pub fn missing_reason() {}
+
+// lint:allow(no-such-rule, reason = "typo in the rule name")
+pub fn unknown_rule() {}
+
+// lint:allow(bad-allow, reason = "the guard rule itself cannot be silenced")
+// lint:allow(panic-in-lib)
+pub fn unsuppressable() {}

@@ -1,0 +1,9 @@
+//! Fixture: a conformance suite referencing one of the two kernels.
+
+#[test]
+fn covered_kernel_is_pinned() {
+    let input = [1.0f32, -2.0];
+    let mut out = [0.0f32; 2];
+    crate::covered_into(&input, &mut out);
+    assert_eq!(out, [1.0, 0.0]);
+}

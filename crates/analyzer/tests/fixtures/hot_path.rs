@@ -1,0 +1,48 @@
+//! Fixture: allocating constructs inside hot-path functions.
+
+pub struct ForwardPlan {
+    buf: Vec<f32>,
+}
+
+impl ForwardPlan {
+    pub fn new(capacity: usize) -> Self {
+        // Constructors may allocate: `new` is exempt from the hot-path rule.
+        ForwardPlan {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn run(&mut self, input: &[f32]) -> Vec<f32> {
+        // Violations: clone + to_vec in a ForwardPlan method.
+        let copy = self.buf.clone();
+        let out = input.to_vec();
+        drop(copy);
+        out
+    }
+}
+
+pub fn relu_into(input: &[f32], out: &mut [f32]) {
+    // Violation: vec! in a *_into kernel.
+    let tmp = vec![0.0f32; input.len()];
+    for ((o, &x), _) in out.iter_mut().zip(input).zip(&tmp) {
+        *o = x.max(0.0);
+    }
+}
+
+pub fn scaled_into(input: &[f32], out: &mut [f32]) {
+    // Suppressed violation: annotated fallback copy.
+    // lint:allow(hot-path-alloc, reason = "documented fallback pending a fused kernel")
+    let tmp = input.to_vec();
+    out.copy_from_slice(&tmp);
+}
+
+pub fn plan_scratch_floats(n: usize) -> usize {
+    // Violation: collect() in a scratch-sizing helper.
+    let sizes: Vec<usize> = (0..n).collect();
+    sizes.iter().sum()
+}
+
+pub fn cold_helper(input: &[f32]) -> Vec<f32> {
+    // Not a hot-path fn: allocation is fine here.
+    input.to_vec()
+}

@@ -1,0 +1,25 @@
+//! Fixture: tensor kernels with varying doc and conformance coverage.
+
+/// `out = max(input, 0)` elementwise. The caller-owned `out` is fully
+/// overwritten; no scratch is needed.
+pub fn covered_into(input: &[f32], out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(input) {
+        *o = x.max(0.0);
+    }
+}
+
+/// Doubles every element. (No ownership contract stated.)
+pub fn undocumented_into(input: &[f32], y: &mut [f32]) {
+    for (o, &x) in y.iter_mut().zip(input) {
+        *o = 2.0 * x;
+    }
+}
+
+// Private helpers are not part of the doc/coverage contract.
+fn helper_into(x: &mut [f32]) {
+    x.fill(0.0);
+}
+
+pub fn use_helper(x: &mut [f32]) {
+    helper_into(x);
+}

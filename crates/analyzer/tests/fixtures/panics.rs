@@ -1,0 +1,33 @@
+//! Fixture: panicking constructs in library code, with the exemptions.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    // Violation: unwrap in library code.
+    v.unwrap()
+}
+
+pub fn risky_expect(v: Option<u32>) -> u32 {
+    // Suppressed: annotated with a reason.
+    // lint:allow(panic-in-lib, reason = "caller checked Some above")
+    v.expect("checked")
+}
+
+pub fn hard_stop() {
+    // Violation: panic! macro.
+    panic!("boom");
+}
+
+pub fn guarded(n: usize) -> usize {
+    // Asserts are contract checks, not flagged.
+    assert!(n > 0, "n must be positive");
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        // unwrap/panic in test code never flags.
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

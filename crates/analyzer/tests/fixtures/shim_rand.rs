@@ -1,0 +1,15 @@
+//! Fixture: a minimal shim crate surface (stands in for crates/shims/rand).
+
+pub mod rngs {
+    pub struct StdRng;
+}
+
+pub trait Rng {
+    fn gen_range(&mut self, _range: std::ops::Range<f64>) -> f64 {
+        0.5
+    }
+}
+
+pub trait SeedableRng {
+    fn from_seed(seed: u64) -> Self;
+}

@@ -1,0 +1,9 @@
+//! Fixture: imports from shimmed crates, one of which does not exist.
+
+use rand::rngs::StdRng;
+use rand::{missing_item, Rng};
+
+pub fn draw(rng: &mut StdRng) -> f64 {
+    let _ = missing_item;
+    Rng::gen_range(rng, 0.0..1.0)
+}

@@ -21,6 +21,8 @@
 //! leave unset for the full-scale run the committed EXPERIMENTS.md numbers
 //! come from.
 
+#![forbid(unsafe_code)]
+
 use cbnet::experiments::ExperimentScale;
 use nn::{Activation, ActivationKind, Dense, Network};
 use tensor::random::rng_from_seed;

@@ -80,7 +80,7 @@ pub fn render(rows: &[ExitRateRow]) -> String {
 /// Shape: exit rate falls as hard fraction rises across datasets.
 pub fn shape_holds(rows: &[ExitRateRow]) -> bool {
     let mut sorted = rows.to_vec();
-    sorted.sort_by(|a, b| a.hard_pct.partial_cmp(&b.hard_pct).unwrap());
+    sorted.sort_by(|a, b| a.hard_pct.total_cmp(&b.hard_pct));
     sorted
         .windows(2)
         .all(|w| w[0].exit_rate_pct >= w[1].exit_rate_pct)

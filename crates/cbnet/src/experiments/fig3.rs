@@ -74,7 +74,7 @@ pub fn render(points: &[Fig3Point]) -> String {
 /// The figure's qualitative claim: speedup falls as hard fraction rises.
 pub fn shape_holds(points: &[Fig3Point]) -> bool {
     let mut sorted = points.to_vec();
-    sorted.sort_by(|a, b| a.hard_pct.partial_cmp(&b.hard_pct).unwrap());
+    sorted.sort_by(|a, b| a.hard_pct.total_cmp(&b.hard_pct));
     sorted.windows(2).all(|w| w[0].speedup >= w[1].speedup)
 }
 

@@ -85,7 +85,7 @@ pub fn confidence_easy_mask(classifier: &mut Network, data: &Dataset, quantile: 
         let pred = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(k, _)| k)
             .unwrap_or(0);
         correct.push(pred == data.labels[i]);
@@ -95,7 +95,7 @@ pub fn confidence_easy_mask(classifier: &mut Network, data: &Dataset, quantile: 
         .filter(|&i| correct[i])
         .map(|i| entropies[i])
         .collect();
-    correct_entropies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    correct_entropies.sort_by(|a, b| a.total_cmp(b));
     let cutoff = if correct_entropies.is_empty() {
         0.0
     } else {
@@ -113,7 +113,7 @@ pub fn confidence_easy_mask(classifier: &mut Network, data: &Dataset, quantile: 
         }
         if let Some(&best) = members
             .iter()
-            .min_by(|&&a, &&b| entropies[a].partial_cmp(&entropies[b]).unwrap())
+            .min_by(|&&a, &&b| entropies[a].total_cmp(&entropies[b]))
         {
             easy[best] = true;
         }

@@ -25,6 +25,8 @@
 //!   iterating declarative model lists over the registry;
 //! * [`table`] — plain-text table / CSV rendering for the harness binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod evaluation;
 pub mod experiments;
 pub mod generalized;

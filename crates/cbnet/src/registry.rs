@@ -185,12 +185,14 @@ impl ModelRegistry {
                 self.ensure_adadeep();
                 Box::new(ClassifierModel::new(
                     "AdaDeep",
+                    // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
                     self.adadeep.as_mut().expect("just trained"),
                 ))
             }
             ModelKind::SubFlow => {
                 self.ensure_subflow();
                 Box::new(SubFlowModel::new(
+                    // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
                     self.subflow.as_ref().expect("just built"),
                     SUBFLOW_UTILIZATION,
                 ))
@@ -290,6 +292,7 @@ impl ModelRegistry {
                 self.ensure_adadeep();
                 put_block(
                     &mut buf,
+                    // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
                     self.adadeep.as_ref().expect("just trained").save(),
                 );
             }
@@ -297,6 +300,7 @@ impl ModelRegistry {
                 self.ensure_subflow();
                 put_block(
                     &mut buf,
+                    // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
                     self.subflow.as_ref().expect("just built").backbone().save(),
                 );
             }

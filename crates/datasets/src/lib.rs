@@ -21,6 +21,8 @@
 //! When real IDX files are present on disk (e.g. a genuine MNIST download),
 //! [`idx`] loads them instead — the rest of the workspace is agnostic.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod family;
 pub mod generator;

@@ -160,6 +160,7 @@ impl ArrivalProcess {
     /// Panics with the [`ArrivalProcess::try_valid`] message on violation.
     pub fn assert_valid(&self) {
         if let Err(e) = self.try_valid() {
+            // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_valid is the non-panicking form")
             panic!("{e}");
         }
     }

@@ -82,7 +82,7 @@ impl CostProfile {
             samples_ms.iter().all(|s| s.is_finite()),
             "service times must be positive and finite"
         );
-        samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("checked finite"));
+        samples_ms.sort_by(f64::total_cmp);
         let p = CostProfile::Empirical { samples_ms };
         p.assert_valid();
         p
@@ -143,6 +143,7 @@ impl CostProfile {
     /// fails loudly rather than corrupting a run.
     pub fn assert_valid(&self) {
         if let Err(e) = self.try_valid() {
+            // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_valid is the non-panicking form")
             panic!("{e}");
         }
     }

@@ -118,22 +118,14 @@ impl Scheduler for ShortestServiceScheduler {
         self.queue.push(req);
     }
     fn dispatch(&mut self, _now_ms: f64) -> Dispatch {
-        if self.queue.is_empty() {
-            return Dispatch::Idle;
+        let best =
+            self.queue.iter().enumerate().min_by(|(_, a), (_, b)| {
+                a.service_ms.total_cmp(&b.service_ms).then(a.id.cmp(&b.id))
+            });
+        match best {
+            Some((i, _)) => Dispatch::Serve(vec![self.queue.remove(i)]),
+            None => Dispatch::Idle,
         }
-        let best = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.service_ms
-                    .partial_cmp(&b.service_ms)
-                    .expect("service times are finite")
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|(i, _)| i)
-            .expect("queue checked non-empty");
-        Dispatch::Serve(vec![self.queue.remove(best)])
     }
     fn queue_len(&self) -> usize {
         self.queue.len()
@@ -390,12 +382,11 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest time (then the
-        // earliest-scheduled event) pops first. Times are finite by
-        // construction.
+        // earliest-scheduled event) pops first. `total_cmp` agrees with
+        // `partial_cmp` on the finite times produced here and cannot panic.
         other
             .time_ms
-            .partial_cmp(&self.time_ms)
-            .expect("event times are finite")
+            .total_cmp(&self.time_ms)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -404,12 +395,33 @@ impl Ord for Event {
 ///
 /// # Panics
 /// Panics on a non-positive arrival rate, an invalid profile, zero requests
-/// or zero servers.
+/// or zero servers. [`try_simulate_engine`] is the non-panicking form.
 pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport {
+    match try_simulate_engine(device, cfg) {
+        Ok(report) => report,
+        // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_simulate_engine is the non-panicking form")
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Run the discrete-event engine, rejecting an invalid configuration as
+/// `Err` instead of panicking — what sweep drivers use to skip a bad cell
+/// of a parameter matrix and keep going.
+pub fn try_simulate_engine(
+    device: &DeviceModel,
+    cfg: &EngineConfig,
+) -> Result<EngineReport, String> {
     let w = &cfg.workload;
-    assert!(w.arrival_rate_hz > 0.0, "arrival rate must be positive");
-    w.profile.assert_valid();
-    assert!(w.requests > 0, "need at least one request");
+    if !(w.arrival_rate_hz > 0.0 && w.arrival_rate_hz.is_finite()) {
+        return Err(format!(
+            "arrival rate must be positive and finite, got {}",
+            w.arrival_rate_hz
+        ));
+    }
+    w.profile.try_valid()?;
+    if w.requests == 0 {
+        return Err("need at least one request".into());
+    }
 
     // Pre-generate the workload with the legacy loop's exact RNG draw order
     // (inter-arrival uniform, then service-quantile uniform, per request;
@@ -426,7 +438,7 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
         })
         .collect();
 
-    run_engine(device, cfg.servers, cfg.scheduler, cfg.admission, requests)
+    try_run_engine(device, cfg.servers, cfg.scheduler, cfg.admission, requests)
 }
 
 /// Run the discrete-event engine over a **pre-generated** workload — the
@@ -440,6 +452,7 @@ pub fn simulate_engine(device: &DeviceModel, cfg: &EngineConfig) -> EngineReport
 ///
 /// # Panics
 /// Panics on zero servers, an empty workload, or a malformed request stream.
+/// [`try_run_engine`] is the non-panicking form.
 pub fn run_engine(
     device: &DeviceModel,
     servers: usize,
@@ -447,25 +460,56 @@ pub fn run_engine(
     admission: AdmissionPolicy,
     requests: Vec<Request>,
 ) -> EngineReport {
-    assert!(servers > 0, "need at least one server");
-    assert!(!requests.is_empty(), "need at least one request");
-    for (i, r) in requests.iter().enumerate() {
-        assert_eq!(r.id, i, "request ids must be 0..n in arrival order");
-        assert!(
-            r.service_ms > 0.0 && r.service_ms.is_finite(),
-            "service times must be positive and finite"
-        );
-        assert!(
-            r.arrival_ms.is_finite() && r.arrival_ms >= 0.0,
-            "arrival times must be non-negative and finite"
-        );
+    match try_run_engine(device, servers, scheduler, admission, requests) {
+        Ok(report) => report,
+        // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_run_engine is the non-panicking form")
+        Err(e) => panic!("{e}"),
     }
-    assert!(
-        requests
-            .windows(2)
-            .all(|w| w[0].arrival_ms <= w[1].arrival_ms),
-        "requests must arrive in non-decreasing time order"
-    );
+}
+
+/// [`run_engine`] with malformed inputs rejected as `Err` instead of a
+/// panic. The workload contract is unchanged: requests in non-decreasing
+/// arrival order with ids `0..n` matching their position and positive
+/// finite service times.
+pub fn try_run_engine(
+    device: &DeviceModel,
+    servers: usize,
+    scheduler: SchedulerKind,
+    admission: AdmissionPolicy,
+    requests: Vec<Request>,
+) -> Result<EngineReport, String> {
+    if servers == 0 {
+        return Err("need at least one server".into());
+    }
+    if requests.is_empty() {
+        return Err("need at least one request".into());
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if r.id != i {
+            return Err(format!(
+                "request ids must be 0..n in arrival order (index {i} has id {})",
+                r.id
+            ));
+        }
+        if !(r.service_ms > 0.0 && r.service_ms.is_finite()) {
+            return Err(format!(
+                "service times must be positive and finite, got {} (request {i})",
+                r.service_ms
+            ));
+        }
+        if !(r.arrival_ms.is_finite() && r.arrival_ms >= 0.0) {
+            return Err(format!(
+                "arrival times must be non-negative and finite, got {} (request {i})",
+                r.arrival_ms
+            ));
+        }
+    }
+    if !requests
+        .windows(2)
+        .all(|w| w[0].arrival_ms <= w[1].arrival_ms)
+    {
+        return Err("requests must arrive in non-decreasing time order".into());
+    }
     let n_requests = requests.len();
 
     let mut scheduler = scheduler.build();
@@ -576,12 +620,13 @@ pub fn run_engine(
         .iter()
         .map(|&request| RequestRecord {
             request,
+            // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
             outcome: outcomes[request.id].expect("every request resolves by drain"),
         })
         .collect();
     let completed = n_requests - dropped;
 
-    EngineReport {
+    Ok(EngineReport {
         serving: finalize_report(device, sojourns, busy_total, makespan, servers),
         arrivals: n_requests,
         completed,
@@ -589,7 +634,7 @@ pub fn run_engine(
         per_server_busy_ms: busy_ms,
         per_server_utilization,
         records,
-    }
+    })
 }
 
 #[cfg(test)]

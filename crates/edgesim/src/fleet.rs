@@ -112,6 +112,7 @@ impl NetworkLink {
     /// Panics with the [`NetworkLink::try_valid`] message on violation.
     pub fn assert_valid(&self) {
         if let Err(e) = self.try_valid() {
+            // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_valid is the non-panicking form")
             panic!("{e}");
         }
     }
@@ -233,6 +234,7 @@ impl FleetConfig {
     /// Panics with the [`FleetConfig::try_valid`] message on violation.
     pub fn assert_valid(&self) {
         if let Err(e) = self.try_valid() {
+            // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_valid is the non-panicking form")
             panic!("{e}");
         }
     }
@@ -365,11 +367,13 @@ fn cheapest_remote(tiers: &[Tier]) -> Option<usize> {
         .iter()
         .enumerate()
         .skip(1)
-        .map(|(i, t)| {
-            let link = t.link.as_ref().expect("remote tiers have links");
-            (i, link.transfer_ms() + t.profile.mean_ms())
+        .filter_map(|(i, t)| {
+            // A validated config gives every remote tier a link; skipping a
+            // linkless tier (rather than panicking) keeps routing total.
+            let link = t.link.as_ref()?;
+            Some((i, link.transfer_ms() + t.profile.mean_ms()))
         })
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are finite"))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
 }
 
@@ -395,13 +399,13 @@ impl OffloadPolicy for SloSojourn {
         if predict(0) <= self.slo_ms {
             return 0;
         }
+        // `total_cmp` agrees with `partial_cmp` on the finite predictions
+        // produced here; an empty fleet (impossible after validation, and
+        // `predict(0)` above would already have rejected it) falls back to
+        // tier 0 rather than panicking.
         (0..tiers.len())
-            .min_by(|&a, &b| {
-                predict(a)
-                    .partial_cmp(&predict(b))
-                    .expect("predictions are finite")
-            })
-            .expect("fleet has at least one tier")
+            .min_by(|&a, &b| predict(a).total_cmp(&predict(b)))
+            .unwrap_or(0)
     }
 }
 
@@ -571,11 +575,12 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap: invert so the earliest time, then the earliest-scheduled
-        // event, pops first — the engine's exact ordering.
+        // event, pops first — the engine's exact ordering. `total_cmp`
+        // agrees with `partial_cmp` on the finite times produced here and
+        // cannot panic.
         other
             .time_ms
-            .partial_cmp(&self.time_ms)
-            .expect("event times are finite")
+            .total_cmp(&self.time_ms)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -597,8 +602,19 @@ struct TierState {
 ///
 /// # Panics
 /// Panics on an invalid configuration (see [`FleetConfig::try_valid`]).
+/// [`try_simulate_fleet`] is the non-panicking form.
 pub fn simulate_fleet(cfg: &FleetConfig, policy: OffloadPolicyKind) -> FleetReport {
     simulate_fleet_with(cfg, policy.build().as_mut())
+}
+
+/// [`simulate_fleet`] with an invalid configuration rejected as `Err`
+/// instead of a panic — what sweep drivers use to skip a bad cell of a
+/// parameter matrix and keep going.
+pub fn try_simulate_fleet(
+    cfg: &FleetConfig,
+    policy: OffloadPolicyKind,
+) -> Result<FleetReport, String> {
+    try_simulate_fleet_with(cfg, policy.build().as_mut())
 }
 
 /// Run a fleet simulation under a caller-supplied (possibly stateful)
@@ -606,9 +622,22 @@ pub fn simulate_fleet(cfg: &FleetConfig, policy: OffloadPolicyKind) -> FleetRepo
 ///
 /// # Panics
 /// Panics on an invalid configuration, or if the policy routes to a
-/// nonexistent tier.
+/// nonexistent tier. [`try_simulate_fleet_with`] is the non-panicking form.
 pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) -> FleetReport {
-    cfg.assert_valid();
+    match try_simulate_fleet_with(cfg, policy) {
+        Ok(report) => report,
+        // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_simulate_fleet_with is the non-panicking form")
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`simulate_fleet_with`] with an invalid configuration or a policy that
+/// routes to a nonexistent tier rejected as `Err` instead of a panic.
+pub fn try_simulate_fleet_with(
+    cfg: &FleetConfig,
+    policy: &mut dyn OffloadPolicy,
+) -> Result<FleetReport, String> {
+    cfg.try_valid()?;
     let n = cfg.requests;
 
     // Workload generation: (gateway arrival, difficulty quantile) pairs. For
@@ -712,10 +741,12 @@ pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) ->
                     Vec::new()
                 };
                 let target = policy.route(req.quantile, &cfg.tiers, &snapshots);
-                assert!(
-                    target < cfg.tiers.len(),
-                    "offload policy routed to nonexistent tier {target}"
-                );
+                if target >= cfg.tiers.len() {
+                    return Err(format!(
+                        "offload policy routed to nonexistent tier {target} ({} tiers)",
+                        cfg.tiers.len()
+                    ));
+                }
                 let service_ms = cfg.tiers[target].profile.sample(req.quantile);
                 let transfer_ms = cfg.tiers[target]
                     .link
@@ -811,6 +842,7 @@ pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) ->
                 tier,
                 service_ms,
                 transfer_ms,
+                // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
                 outcome: outcomes[request.id].expect("every request resolves by drain"),
             }
         })
@@ -859,7 +891,7 @@ pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) ->
     let offloaded = records.iter().filter(|r| r.tier != 0).count();
     let late = all_sojourns.iter().filter(|&&s| s > cfg.slo_ms).count();
 
-    all_sojourns.sort_by(|a, b| a.partial_cmp(b).expect("sojourns are finite"));
+    all_sojourns.sort_by(f64::total_cmp);
     let total_servers: usize = cfg.tiers.iter().map(|t| t.servers).sum();
     let capacity_ms = makespan * total_servers as f64;
     let end_to_end = ServingReport {
@@ -880,7 +912,7 @@ pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) ->
         energy_j: energy_all,
     };
 
-    FleetReport {
+    Ok(FleetReport {
         tiers: tier_reports,
         offered: n,
         completed,
@@ -890,7 +922,7 @@ pub fn simulate_fleet_with(cfg: &FleetConfig, policy: &mut dyn OffloadPolicy) ->
         slo_violations: late + dropped,
         end_to_end,
         records,
-    }
+    })
 }
 
 #[cfg(test)]

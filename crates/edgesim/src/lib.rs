@@ -43,6 +43,8 @@
 //! model preserves every comparison the paper makes while staying honest
 //! about absolute numbers (see DESIGN.md §1).
 
+#![forbid(unsafe_code)]
+
 pub mod arrivals;
 pub mod cost;
 pub mod device;

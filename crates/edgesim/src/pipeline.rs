@@ -140,7 +140,7 @@ pub(crate) fn finalize_report(
     makespan: f64,
     servers: usize,
 ) -> ServingReport {
-    sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sojourns.sort_by(f64::total_cmp);
     let pct = |p: f64| percentile_sorted(&sojourns, p);
     let mean = if sojourns.is_empty() {
         0.0

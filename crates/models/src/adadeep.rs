@@ -149,6 +149,7 @@ pub fn search(
             best = Some((score, i, net));
         }
     }
+    // lint:allow(panic-in-lib, reason = "the candidate loop above always runs at least once, so best is Some by construction")
     let (_, idx, network) = best.unwrap();
     AdaDeepResult {
         network,

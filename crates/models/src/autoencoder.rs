@@ -326,7 +326,9 @@ impl ConvertingAutoencoder {
             }
             stages.push(Network::load(buf.copy_to_bytes(len))?);
         }
+        // lint:allow(panic-in-lib, reason = "the fixed-count loop above pushed exactly two stages")
         let decoder = stages.pop().unwrap();
+        // lint:allow(panic-in-lib, reason = "the fixed-count loop above pushed exactly two stages")
         let encoder = stages.pop().unwrap();
         // Reconstruct the hidden-layer description from the encoder specs.
         let mut hidden = Vec::new();

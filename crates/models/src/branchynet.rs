@@ -296,7 +296,7 @@ impl BranchyNet {
         // catch-all upper bound) — every achievable trade-off point.
         let mut candidates: Vec<f32> = full.iter().map(|&(_, _, e)| e + 1e-6).collect();
         candidates.push(f32::INFINITY);
-        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.sort_by(|a, b| a.total_cmp(b));
         let mut best = 0.0f32;
         for &t in &candidates {
             if acc_at(t) + 1e-9 >= acc_full - tolerance {
@@ -369,8 +369,11 @@ impl BranchyNet {
             let body = buf.copy_to_bytes(len);
             stages.push(Network::load(body)?);
         }
+        // lint:allow(panic-in-lib, reason = "the fixed-count loop above pushed exactly three stages")
         let tail = stages.pop().unwrap();
+        // lint:allow(panic-in-lib, reason = "the fixed-count loop above pushed exactly three stages")
         let branch = stages.pop().unwrap();
+        // lint:allow(panic-in-lib, reason = "the fixed-count loop above pushed exactly three stages")
         let trunk = stages.pop().unwrap();
         Ok(BranchyNet::from_stages(trunk, branch, tail, config))
     }

@@ -16,6 +16,8 @@
 //! * [`training`] — shared training loops (Adam, mini-batches, seeded),
 //! * [`metrics`] — accuracy / confusion-matrix / exit-statistics helpers.
 
+#![forbid(unsafe_code)]
+
 pub mod adadeep;
 pub mod autoencoder;
 pub mod branchynet;

@@ -37,7 +37,7 @@ fn rank_units(weights: &Tensor) -> Vec<usize> {
         })
         .collect();
     // Stable, total order even in the presence of ties.
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().map(|(i, _)| i).collect()
 }
 

@@ -222,8 +222,7 @@ pub fn robust_easy_mask(branchynet: &mut BranchyNet, data: &Dataset) -> Vec<bool
         by_entropy.sort_by(|&a, &b| {
             outputs[a]
                 .exit1_entropy
-                .partial_cmp(&outputs[b].exit1_entropy)
-                .unwrap()
+                .total_cmp(&outputs[b].exit1_entropy)
         });
         let promote = (members.len() / 20).max(1);
         for &i in by_entropy.iter().take(promote) {

@@ -140,6 +140,7 @@ impl Layer for Activation {
         let y = self
             .cached_output
             .as_ref()
+            // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
             .expect("backward called before forward");
         debug_assert_eq!(grad_out.dims(), y.dims());
         match self.kind {

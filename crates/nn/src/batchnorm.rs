@@ -133,7 +133,9 @@ impl Layer for BatchNorm1d {
         let xhat = self
             .cached_xhat
             .as_ref()
+            // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
             .expect("backward called before train-mode forward");
+        // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
         let inv_std = self.cached_inv_std.as_ref().unwrap();
         let cols = self.dim;
         let n = grad_out.dims()[0] as f32;

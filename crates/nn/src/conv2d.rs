@@ -34,6 +34,7 @@ impl Conv2d {
     /// # Panics
     /// Panics if the geometry is degenerate (see [`Conv2dGeom::validate`]).
     pub fn new(geom: Conv2dGeom, out_channels: usize, rng: &mut impl Rng) -> Self {
+        // lint:allow(panic-in-lib, reason = "documented # Panics contract; Conv2dGeom::validate is the non-panicking check")
         geom.validate().expect("invalid conv geometry");
         assert!(out_channels > 0, "out_channels must be positive");
         let k = geom.patch_cols();
@@ -145,6 +146,7 @@ impl Layer for Conv2d {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
             .expect("backward called before forward");
         let n = input.dims()[0];
         let p = self.geom.patch_rows();
@@ -202,9 +204,11 @@ impl Layer for Conv2d {
                 }));
             }
             for h in handles {
+                // lint:allow(panic-in-lib, reason = "join/scope errors only propagate a worker panic; swallowing them would corrupt gradients silently")
                 partials.push(h.join().expect("conv backward worker panicked"));
             }
         })
+        // lint:allow(panic-in-lib, reason = "join/scope errors only propagate a worker panic; swallowing them would corrupt gradients silently")
         .expect("conv backward scope failed");
 
         for (dw_local, db_local) in partials {

@@ -109,6 +109,7 @@ impl Layer for Dense {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
             .expect("backward called before forward");
         debug_assert_eq!(grad_out.dims()[0], input.dims()[0]);
         debug_assert_eq!(grad_out.dims()[1], self.out_dim);

@@ -39,6 +39,7 @@ pub trait Layer: Send + Sync {
     /// zero-allocation kernel.
     fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
         let _ = scratch;
+        // lint:allow(hot-path-alloc, reason = "documented fallback for layers without a zero-alloc kernel; hot-path layers override forward_into")
         let x = Tensor::from_vec(input.to_vec(), &[batch, self.in_dim()]);
         let y = self.forward(&x, false);
         out.copy_from_slice(y.data());

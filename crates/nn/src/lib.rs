@@ -25,6 +25,8 @@
 //! with branches (BranchyNet), the `models` crate composes several
 //! `Network`s and routes gradients between them explicitly.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod batchnorm;
 pub mod conv2d;

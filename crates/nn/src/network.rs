@@ -145,6 +145,7 @@ impl Network {
             self.plan = Some(crate::plan::ForwardPlan::new(self, n));
         }
         // Take the plan out so it and the layer stack can be borrowed apart.
+        // lint:allow(panic-in-lib, reason = "the staleness check above just stored a plan; None here is a plan-cache bug")
         let mut plan = self.plan.take().expect("just ensured");
         let out_w = self.out_dim();
         let out = {
@@ -227,6 +228,7 @@ impl Network {
     /// `Layer` objects are not `Clone` (trait objects); the checkpoint
     /// format is the canonical way to duplicate a trained stack.
     pub fn duplicate(&self) -> Network {
+        // lint:allow(panic-in-lib, reason = "loading bytes this same build just saved cannot fail; an error here is a serialisation bug")
         Network::load(self.save()).expect("self-roundtrip cannot fail")
     }
 

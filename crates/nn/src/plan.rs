@@ -28,7 +28,10 @@
 //!   the executor hands each layer exactly the
 //!   `plan_scratch_floats(batch)` prefix it asked for.
 //! * The returned slice borrows the plan and is valid until the next `run`.
-//!   Steady-state `run` calls perform **zero heap allocations**.
+//!   Steady-state `run` calls perform **zero heap allocations** — enforced
+//!   dynamically by `tests/alloc_guard.rs` (a counting global allocator
+//!   asserts zero allocations across repeated runs of every comparator)
+//!   and statically by `cbnet-lint`'s `hot-path-alloc` rule.
 //!
 //! Single-threaded or not, the planned pass is bit-identical to the
 //! allocating path: every `forward_into` kernel performs the same floating

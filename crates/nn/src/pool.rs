@@ -105,6 +105,7 @@ impl Layer for MaxPool2 {
         let argmax = self
             .cached_argmax
             .as_ref()
+            // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
             .expect("backward called before forward");
         let n = self.cached_batch;
         let in_f = self.in_features();

@@ -125,7 +125,9 @@ impl Layer for ResidualConv {
         let out_pre = self
             .cached_out_pre
             .take()
+            // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
             .expect("backward called before forward");
+        // lint:allow(panic-in-lib, reason = "Layer contract: backward requires a prior forward; a missing cache is a trainer bug, not user input")
         let mid_pre = self.cached_mid_pre.take().unwrap();
         // Through the output relu.
         let g_pre = Self::relu_grad(&out_pre, grad_out);

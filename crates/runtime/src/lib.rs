@@ -37,6 +37,8 @@
 //! assert!(report.latency_ms > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adapters;
 pub mod model;
 pub mod report;

@@ -5,6 +5,8 @@
 //! primitive reads/writes, length-prefixed sub-buffers via
 //! [`Buf::copy_to_bytes`], and cheap clones of frozen buffers.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 

@@ -6,6 +6,8 @@
 //! line per benchmark. No statistics, plots, or baselines — but `cargo bench`
 //! runs and produces usable numbers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::Instant;

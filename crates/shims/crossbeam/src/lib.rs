@@ -12,6 +12,8 @@
 //!   (`.expect(...)`), the observable behaviour — abort the test/process
 //!   with the panic payload — is the same.
 
+#![forbid(unsafe_code)]
+
 use std::any::Any;
 use std::thread;
 

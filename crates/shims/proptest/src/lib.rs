@@ -11,6 +11,8 @@
 //! * **Deterministic seeding** — each test's RNG is seeded from a hash of the
 //!   test's name, so failures reproduce exactly across runs and machines.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

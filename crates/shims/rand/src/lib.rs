@@ -11,6 +11,8 @@
 //! everything in this workspace only needs determinism-given-seed and
 //! reasonable equidistribution, which SplitMix64 provides.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core entropy source: a stream of `u64`s.

@@ -229,6 +229,7 @@ pub fn conv2d_batch_into(
             scratch_rest = patch_tail;
         }
     })
+    // lint:allow(panic-in-lib, reason = "scope errors only propagate a worker panic; swallowing them would corrupt results silently")
     .expect("conv2d_batch_into worker panicked");
 }
 

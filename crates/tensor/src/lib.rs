@@ -26,6 +26,8 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod axis;
 pub mod conv;
 pub mod error;

@@ -150,11 +150,12 @@ pub fn matmul_bt_bias_into(
     }
 }
 
-/// `C = Aᵀ · B` for row-major `A (k×m)` and `B (k×n)`, writing into `c`.
+/// `C = Aᵀ · B` for row-major `A (k×m)` and `B (k×n)`.
 ///
-/// Used by dense-layer weight gradients (`dW = Xᵀ · dY`). Implemented as an
-/// accumulating rank-1 update sweep, which keeps both operand accesses
-/// unit-stride.
+/// The caller-owned output `c` must have length `m·n` and is fully
+/// overwritten; no scratch is needed. Used by dense-layer weight gradients
+/// (`dW = Xᵀ · dY`). Implemented as an accumulating rank-1 update sweep,
+/// which keeps both operand accesses unit-stride.
 pub fn matmul_at_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
@@ -199,6 +200,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Matrix-vector product `y = A·x` for row-major `A (m×n)`.
+///
+/// The caller-owned output `y` must have length `m` and is fully
+/// overwritten; no scratch is needed. Each element is one [`dot`] call, so
+/// results are bit-identical to [`matmul_bt_into`] with a single B row.
 pub fn matvec_into(a: &[f32], x: &[f32], y: &mut [f32], m: usize, n: usize) {
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(x.len(), n);

@@ -68,6 +68,7 @@ where
             rest = tail;
         }
     })
+    // lint:allow(panic-in-lib, reason = "scope errors only propagate a worker panic; swallowing them would corrupt results silently")
     .expect("parallel worker panicked");
 }
 
@@ -110,6 +111,7 @@ where
             rest = tail;
         }
     })
+    // lint:allow(panic-in-lib, reason = "scope errors only propagate a worker panic; swallowing them would corrupt results silently")
     .expect("parallel worker panicked");
 }
 

@@ -111,13 +111,11 @@ impl Categorical {
 
     /// Draw one index.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        // lint:allow(panic-in-lib, reason = "the constructor rejects empty or all-zero weights, so cumulative is non-empty")
         let total = *self.cumulative.last().unwrap();
         let u = rng.gen_range(0.0..total);
         // Binary search for the first cumulative weight > u.
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         }
@@ -126,12 +124,10 @@ impl Categorical {
 
 impl Distribution<usize> for Categorical {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // lint:allow(panic-in-lib, reason = "the constructor rejects empty or all-zero weights, so cumulative is non-empty")
         let total = *self.cumulative.last().unwrap();
         let u = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         }

@@ -59,6 +59,7 @@ impl Tensor {
     /// Panics if `data.len()` does not equal the shape's element count. Use
     /// [`Tensor::try_from_vec`] for a fallible version.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        // lint:allow(panic-in-lib, reason = "documented # Panics contract; try_from_vec is the non-panicking form")
         Self::try_from_vec(data, dims).expect("element count must match shape")
     }
 

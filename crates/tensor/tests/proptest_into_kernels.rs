@@ -11,8 +11,12 @@ use proptest::prelude::*;
 use tensor::conv::{
     conv2d_batch_into, conv2d_scratch_floats, im2col, maxpool2_batch_into, Conv2dGeom,
 };
-use tensor::matmul::{matmul_bt_bias_into, matmul_bt_into, matmul_into};
-use tensor::ops::{relu_into, sigmoid_into, softmax_rows_into, softmax_slice, tanh_into};
+use tensor::matmul::{
+    matmul_at_into, matmul_bt_bias_into, matmul_bt_into, matmul_into, matvec_into,
+};
+use tensor::ops::{
+    relu_into, sigmoid_into, softmax_rows_into, softmax_slice, tanh_into, unary_map_into,
+};
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
 
@@ -188,6 +192,62 @@ proptest! {
         let bias_arg = if with_bias { Some(&bias[..]) } else { None };
         matmul_bt_bias_into(&a, &b, bias_arg, &mut fused, m, k, n);
         prop_assert_eq!(base, fused);
+    }
+
+    #[test]
+    fn matmul_at_matches_transposed_matmul(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // For every output element both kernels accumulate products in
+        // increasing-p order, so C = Aᵀ·B must equal matmul_into on an
+        // explicitly transposed A exactly.
+        let a = rand_vec(k * m, seed);
+        let b = rand_vec(k * n, seed ^ 9);
+        let mut c = vec![0.0f32; m * n];
+        matmul_at_into(&a, &b, &mut c, m, k, n);
+        let mut a_t = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a_t[i * k + p] = a[p * m + i];
+            }
+        }
+        let mut expect = vec![0.0f32; m * n];
+        matmul_into(&a_t, &b, &mut expect, m, k, n);
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn matvec_matches_single_column_matmul_bt(
+        m in 1usize..120,
+        n in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        // matvec is the n=1 column case of the Bᵀ kernel: both compute one
+        // dot() per output element, so the results are bit-identical.
+        let a = rand_vec(m * n, seed);
+        let x = rand_vec(n, seed ^ 11);
+        let mut y = vec![0.0f32; m];
+        matvec_into(&a, &x, &mut y, m, n);
+        let mut expect = vec![0.0f32; m];
+        matmul_bt_into(&a, &x, &mut expect, m, n, 1);
+        prop_assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn unary_map_into_matches_serial_map(
+        len in 1usize..100_000,
+        seed in 0u64..1000,
+    ) {
+        // Spans the elementwise parallel threshold, pinning the threaded
+        // chunk split to the plain serial loop for an arbitrary closure.
+        let input = rand_vec(len, seed);
+        let mut out = vec![0.0f32; len];
+        unary_map_into(&input, &mut out, |v| v.mul_add(0.5, -1.25).abs());
+        let expect: Vec<f32> = input.iter().map(|v| v.mul_add(0.5, -1.25).abs()).collect();
+        prop_assert_eq!(out, expect);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Test-only instrumentation for the workspace's runtime contracts.
+//!
+//! The headline export is [`CountingAlloc`], a `#[global_allocator]`
+//! wrapper around the system allocator that counts every allocation on a
+//! **per-thread** ledger. `tests/alloc_guard.rs` at the workspace root
+//! installs it and asserts that steady-state `ForwardPlan::run` and
+//! `Optimizer::step_with` calls perform **zero** heap allocations — the
+//! zero-alloc claim from the planned-forward PR, turned into a regression
+//! test instead of a code-review convention.
+//!
+//! Counters are thread-local so concurrently running `#[test]` functions
+//! can't pollute each other's measurements. The flip side: allocations a
+//! measured region performs on *other* threads (e.g. scoped-parallel
+//! workers) are invisible to [`count_allocs`] — guards must pin
+//! `TENSOR_NUM_THREADS=1` first, which is also what makes "spawn a thread"
+//! (itself several allocations on the spawning thread) show up rather than
+//! hide.
+//!
+//! This crate needs `unsafe` for the one thing that cannot be expressed
+//! without it — implementing [`GlobalAlloc`] — so unlike the rest of the
+//! workspace it carries `deny(unsafe_code)` with a single audited
+//! exemption instead of `forbid`.
+#![deny(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocation counters for the current thread since it started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of `alloc`/`alloc_zeroed`/growing-`realloc` calls.
+    pub allocs: u64,
+    /// Number of `dealloc` calls.
+    pub deallocs: u64,
+    /// Total bytes requested by counted allocation calls.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// Counter deltas `self - earlier` (counters are monotonic).
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs - earlier.allocs,
+            deallocs: self.deallocs - earlier.deallocs,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Snapshot the current thread's allocation counters.
+pub fn current_thread_stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.with(Cell::get),
+        deallocs: DEALLOCS.with(Cell::get),
+        bytes: ALLOC_BYTES.with(Cell::get),
+    }
+}
+
+/// Run `f` and report how many heap allocations it performed **on this
+/// thread** (see the module docs for the threading caveat).
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (AllocStats, R) {
+    let before = current_thread_stats();
+    let result = f();
+    let after = current_thread_stats();
+    (after.since(&before), result)
+}
+
+/// Assert that `f` performs zero heap allocations on this thread.
+///
+/// `what` names the contract in the failure message. Returns `f`'s result
+/// so guards can keep using (and thus keep alive) the measured values.
+///
+/// # Panics
+/// Panics when `f` allocated.
+#[track_caller]
+pub fn assert_no_alloc<R>(what: &str, f: impl FnOnce() -> R) -> R {
+    let (stats, result) = count_allocs(f);
+    assert_eq!(
+        stats.allocs, 0,
+        "{what}: expected zero heap allocations, got {} ({} bytes)",
+        stats.allocs, stats.bytes
+    );
+    result
+}
+
+/// A `#[global_allocator]` that counts per-thread allocations and defers
+/// the actual memory management to [`System`].
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: testkit::CountingAlloc = testkit::CountingAlloc::new();
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A counting allocator (const, so it can initialize a `static`).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+fn record_alloc(bytes: usize) {
+    // `try_with` because allocation can happen during TLS teardown, when
+    // the counters are already destroyed — those events go uncounted
+    // rather than aborting the process.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
+
+fn record_dealloc() {
+    let _ = DEALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+// The one unsafe surface of the workspace: forwarding the GlobalAlloc
+// contract to `System`. Safety rests entirely on passing the caller's
+// layout/pointer through unchanged, which is audited to be all this does.
+#[allow(unsafe_code)]
+mod forward {
+    use super::*;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record_alloc(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record_alloc(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            record_dealloc();
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A realloc is a fresh allocation from the contract's point of
+            // view: growing a Vec in a "zero-alloc" region is a violation.
+            record_alloc(new_size);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Installing the allocator here exercises the counting path for this
+    // test binary; the workspace-level guard installs its own.
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc::new();
+
+    #[test]
+    fn counts_vec_allocation() {
+        let (stats, v) = count_allocs(|| vec![1u8; 4096]);
+        assert!(stats.allocs >= 1, "vec! must allocate");
+        assert!(stats.bytes >= 4096);
+        drop(v);
+    }
+
+    #[test]
+    fn pure_arithmetic_is_alloc_free() {
+        let mut acc = 0u64;
+        let (stats, ()) = count_allocs(|| {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+        });
+        assert_eq!(stats.allocs, 0, "arithmetic must not allocate");
+        assert!(acc != 0);
+    }
+
+    #[test]
+    fn assert_no_alloc_passes_through_result() {
+        let x = assert_no_alloc("sum", || (0..100u32).sum::<u32>());
+        assert_eq!(x, 4950);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected zero heap allocations")]
+    fn assert_no_alloc_catches_allocation() {
+        let _ = assert_no_alloc("boxing", || Box::new(17u64));
+    }
+
+    #[test]
+    fn in_place_mutation_of_preallocated_buffer_is_free() {
+        let mut buf = vec![0.0f32; 1024];
+        let (stats, ()) = count_allocs(|| {
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(stats.allocs, 0);
+        assert_eq!(stats.deallocs, 0);
+    }
+}

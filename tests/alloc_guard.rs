@@ -1,0 +1,198 @@
+//! Dynamic allocation guard: the zero-alloc claims of the planned forward
+//! path and the visitor-driven optimizer step, measured with a counting
+//! global allocator instead of asserted in prose.
+//!
+//! Each guard warms the code path up once (first calls may lazily build
+//! plan buffers or optimizer state — that is part of the contract) and then
+//! asserts that **steady-state** repetitions perform exactly zero heap
+//! allocations on the calling thread. `TENSOR_NUM_THREADS=1` is pinned
+//! before the first tensor op so kernels stay on their serial paths:
+//! spawning a scoped worker allocates on the spawning thread, which is
+//! precisely what the guard would (correctly) flag, and the conformance
+//! suites already pin multi-threaded results bit-identical to serial ones.
+//!
+//! The models are the paper's comparators (LeNet, the Table-I dense MLP,
+//! AdaDeep's scaled candidate, SubFlow's subnetwork, BranchyNet's stages,
+//! CBNet's lightweight classifier + converting autoencoder), at batch 32.
+
+use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::lenet::{build_lenet, build_lenet_scaled};
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use nn::{step_with, Adam, ForwardPlan, Momentum, Network, Optimizer, Sgd};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+#[global_allocator]
+static ALLOC: testkit::CountingAlloc = testkit::CountingAlloc::new();
+
+const BATCH: usize = 32;
+
+/// Pin tensor kernels to their single-threaded paths. Must run before the
+/// first tensor op in the process thread (`tensor::parallel` caches the
+/// thread count on first use).
+fn pin_single_thread() {
+    std::env::set_var("TENSOR_NUM_THREADS", "1");
+}
+
+fn batch_input(pixels: usize, seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[BATCH, pixels], 0.0, 1.0, &mut rng)
+}
+
+/// Assert steady-state `ForwardPlan::run` performs zero heap allocations.
+fn assert_planned_run_zero_alloc(label: &str, net: &mut Network, x: &Tensor) {
+    let mut plan = ForwardPlan::new(net, BATCH);
+    // Warmup: the first run settles any lazily-sized internals.
+    let _ = plan.run(net.layers_mut(), x);
+    let acc = testkit::assert_no_alloc(label, || {
+        let mut acc = 0.0f32;
+        for _ in 0..3 {
+            let y = plan.run(net.layers_mut(), x);
+            acc += y[0] + y[y.len() - 1];
+        }
+        acc
+    });
+    assert!(acc.is_finite(), "{label}: non-finite planned output");
+}
+
+/// Assert steady-state `step_with` on `opt` over a network's parameters
+/// performs zero heap allocations (the first step may allocate per-parameter
+/// optimizer state — warmup covers it).
+fn assert_step_zero_alloc(label: &str, opt: &mut dyn Optimizer, net: &mut Network) {
+    step_with(opt, |f| net.visit_params_and_grads(f));
+    testkit::assert_no_alloc(label, || {
+        for _ in 0..3 {
+            step_with(opt, |f| net.visit_params_and_grads(f));
+        }
+    });
+}
+
+#[test]
+fn lenet_planned_forward_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(21);
+    let mut net = build_lenet(&mut rng);
+    let x = batch_input(784, 1);
+    assert_planned_run_zero_alloc("LeNet ForwardPlan::run", &mut net, &x);
+}
+
+#[test]
+fn dense_mlp_planned_forward_is_alloc_free() {
+    pin_single_thread();
+    let mut net = bench::dense_mlp(22);
+    let x = batch_input(784, 2);
+    assert_planned_run_zero_alloc("DenseMLP ForwardPlan::run", &mut net, &x);
+}
+
+#[test]
+fn adadeep_candidate_planned_forward_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(23);
+    let mut net = build_lenet_scaled([3, 6, 12], 42, &mut rng);
+    let x = batch_input(784, 3);
+    assert_planned_run_zero_alloc("AdaDeep candidate ForwardPlan::run", &mut net, &x);
+}
+
+#[test]
+fn subflow_subnetwork_planned_forward_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(24);
+    let sf = SubFlow::new(build_lenet(&mut rng));
+    let mut sub = sf.subnetwork(0.75);
+    let x = batch_input(784, 4);
+    assert_planned_run_zero_alloc("SubFlow@0.75 ForwardPlan::run", &mut sub, &x);
+}
+
+#[test]
+fn branchynet_stage_planned_forwards_are_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(25);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let (trunk, branch, tail) = bn.stages();
+    let (mut trunk, mut branch, mut tail) =
+        (trunk.duplicate(), branch.duplicate(), tail.duplicate());
+    let x = batch_input(784, 5);
+    assert_planned_run_zero_alloc("BranchyNet trunk ForwardPlan::run", &mut trunk, &x);
+    let h = trunk.forward(&x, false);
+    assert_planned_run_zero_alloc("BranchyNet branch ForwardPlan::run", &mut branch, &h);
+    assert_planned_run_zero_alloc("BranchyNet tail ForwardPlan::run", &mut tail, &h);
+}
+
+#[test]
+fn cbnet_lightweight_planned_forward_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(26);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut lightweight = extract_lightweight(&bn);
+    let x = batch_input(784, 6);
+    assert_planned_run_zero_alloc("CBNet lightweight ForwardPlan::run", &mut lightweight, &x);
+}
+
+#[test]
+fn optimizer_steps_are_alloc_free_across_comparators() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(27);
+
+    // LeNet × all three optimizer families.
+    let mut lenet = build_lenet(&mut rng);
+    assert_step_zero_alloc("LeNet Sgd::step_with", &mut Sgd::new(0.01), &mut lenet);
+    assert_step_zero_alloc(
+        "LeNet Momentum::step_with",
+        &mut Momentum::new(0.01, 0.9),
+        &mut lenet,
+    );
+    assert_step_zero_alloc(
+        "LeNet Adam::step_with",
+        &mut Adam::with_defaults(0.001),
+        &mut lenet,
+    );
+
+    // AdaDeep candidate (scaled LeNet).
+    let mut candidate = build_lenet_scaled([3, 6, 12], 42, &mut rng);
+    assert_step_zero_alloc(
+        "AdaDeep Adam::step_with",
+        &mut Adam::with_defaults(0.001),
+        &mut candidate,
+    );
+
+    // SubFlow subnetwork.
+    let mut sub = SubFlow::new(build_lenet(&mut rng)).subnetwork(0.75);
+    assert_step_zero_alloc(
+        "SubFlow Adam::step_with",
+        &mut Adam::with_defaults(0.001),
+        &mut sub,
+    );
+}
+
+#[test]
+fn branchynet_optimizer_step_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(28);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut opt = Adam::with_defaults(0.001);
+    step_with(&mut opt, |f| bn.visit_params_and_grads(f));
+    testkit::assert_no_alloc("BranchyNet Adam::step_with", || {
+        for _ in 0..3 {
+            step_with(&mut opt, |f| bn.visit_params_and_grads(f));
+        }
+    });
+}
+
+#[test]
+fn converting_autoencoder_optimizer_step_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(29);
+    let mut cfg = AutoencoderConfig::mnist();
+    cfg.hidden[0].width = 96;
+    cfg.hidden[1].width = 48;
+    let mut ae = ConvertingAutoencoder::new(cfg, &mut rng);
+    let mut opt = Adam::with_defaults(0.001);
+    step_with(&mut opt, |f| ae.visit_params_and_grads(f));
+    testkit::assert_no_alloc("CBNet autoencoder Adam::step_with", || {
+        for _ in 0..3 {
+            step_with(&mut opt, |f| ae.visit_params_and_grads(f));
+        }
+    });
+}
