@@ -13,7 +13,7 @@
 //! `into-doc-contract` rule) and `// lint:allow(rule, reason = "...")`
 //! suppression directives.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One `lint:allow` suppression directive found in a comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,10 @@ pub struct CleanSource {
     pub bad_allows: Vec<(usize, String)>,
     /// Rustdoc comment text by 1-based line (`///` and `//!` lines).
     pub docs: BTreeMap<usize, String>,
+    /// Lines of plain comments containing a `SAFETY:` marker (block comments
+    /// are recorded at their closing line — the one adjacent to the code
+    /// below). Consumed by the `unsafe-audit` rule.
+    pub safety_lines: BTreeSet<usize>,
 }
 
 fn is_ident_byte(b: u8) -> bool {
@@ -191,6 +195,9 @@ pub fn clean_source(src: &str) -> CleanSource {
                 {
                     parse_allows(text, line, &mut res);
                 }
+                if !is_doc && text.contains("SAFETY:") {
+                    res.safety_lines.insert(line);
+                }
                 blank(&mut out_bytes, start, i);
             }
             b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
@@ -214,6 +221,11 @@ pub fn clean_source(src: &str) -> CleanSource {
                 let body = src[start..i].trim_start_matches("/*").trim_start();
                 if body.starts_with("lint:allow") {
                     parse_allows(&src[start..i], line, &mut res);
+                }
+                if src[start..i].contains("SAFETY:") {
+                    // `line` is now the comment's closing line — the one the
+                    // annotated code sits directly below.
+                    res.safety_lines.insert(line);
                 }
                 blank(&mut out_bytes, start, i);
             }
@@ -464,6 +476,23 @@ fn f() {}
             Some("Writes into `out`.")
         );
         assert_eq!(cleaned.docs.get(&3).map(String::as_str), Some("module"));
+    }
+
+    #[test]
+    fn safety_comment_lines_are_harvested() {
+        let src = "\
+// SAFETY: p is valid by contract.
+unsafe { *p }
+/* SAFETY: spans
+   two lines */
+unsafe { *q }
+// plain comment, no marker
+/// SAFETY: in rustdoc does not count
+";
+        let cleaned = clean_source(src);
+        let lines: Vec<usize> = cleaned.safety_lines.iter().copied().collect();
+        // The block comment is recorded at its closing line (4).
+        assert_eq!(lines, vec![1, 4]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | `shim-drift` | every path imported from a shimmed crate exists in `crates/shims/*` |
 //! | `conformance-coverage` | every public `*_into` kernel in `crates/tensor` is pinned by the conformance suites |
 //! | `into-doc-contract` | every `pub fn *_into` documents its output/scratch ownership |
+//! | `unsafe-audit` | `unsafe` stays inside the sanctioned modules, and every use carries a `// SAFETY:` comment (or `# Safety` rustdoc) |
 //! | `bad-allow` | `lint:allow` escape hatches are well-formed (rule exists, reason given) |
 //!
 //! Any violation can be suppressed per line with
@@ -19,12 +20,13 @@ use crate::lexer::{CleanSource, Tok, TokKind};
 use crate::structure::{FileStructure, FnSpan, SHIMMED_CRATES};
 
 /// Rule names, in report order. `bad-allow` guards the escape hatch itself.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "hot-path-alloc",
     "panic-in-lib",
     "shim-drift",
     "conformance-coverage",
     "into-doc-contract",
+    "unsafe-audit",
     "bad-allow",
 ];
 
@@ -76,6 +78,7 @@ pub fn run_rules(files: &[FileCtx]) -> Vec<RawViolation> {
         hot_path_alloc(f, &mut out);
         panic_in_lib(f, &mut out);
         into_doc_contract(f, &mut out);
+        unsafe_audit(f, &mut out);
         bad_allow(f, &mut out);
     }
     shim_drift(files, &mut out);
@@ -85,11 +88,13 @@ pub fn run_rules(files: &[FileCtx]) -> Vec<RawViolation> {
 
 /// Functions on the planned-inference hot path: `*_into` kernels, the
 /// scratch sizers they rely on, and every `ForwardPlan` method except the
-/// allocating constructor.
+/// allocating constructors (`new` and the backend-pinning `with_backend`).
 fn is_hot_fn(f: &FnSpan) -> bool {
     f.name.ends_with("_into")
         || f.name.ends_with("_scratch_floats")
-        || (f.parent_impl.as_deref() == Some("ForwardPlan") && f.name != "new")
+        || (f.parent_impl.as_deref() == Some("ForwardPlan")
+            && f.name != "new"
+            && f.name != "with_backend")
 }
 
 const ALLOC_METHODS: [&str; 5] = ["clone", "collect", "to_vec", "to_string", "to_owned"];
@@ -241,6 +246,100 @@ fn into_doc_contract(f: &FileCtx, out: &mut Vec<RawViolation>) {
             line: span.line,
             message,
         });
+    }
+}
+
+/// The only library sources allowed to contain `unsafe` at all: the
+/// explicit-SIMD kernel island in `crates/tensor` (gated by a module-scoped
+/// `#![allow(unsafe_code)]` under the crate's `#![deny(unsafe_code)]`) and
+/// the counting global allocator in `testkit` (forwarding the `GlobalAlloc`
+/// contract to `System`). Growing this list is a deliberate, reviewed act.
+const UNSAFE_SANCTIONED: [&str; 2] = [
+    "crates/tensor/src/backend/simd.rs",
+    "crates/testkit/src/lib.rs",
+];
+
+/// True when line `line` carries a `SAFETY:` justification — on the line
+/// itself or walking up through blank lines, attributes and rustdoc (a doc
+/// line mentioning "safety", e.g. a `# Safety` section, also counts).
+fn has_safety_justification(f: &FileCtx, clean_lines: &[&str], line: usize) -> bool {
+    if f.clean.safety_lines.contains(&line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if f.clean.safety_lines.contains(&l) {
+            return true;
+        }
+        if let Some(doc) = f.clean.docs.get(&l) {
+            if doc.to_lowercase().contains("safety") {
+                return true;
+            }
+            continue; // doc line without the section header: keep walking
+        }
+        let content = clean_lines.get(l - 1).map_or("", |s| s.trim());
+        let attr_like = content.is_empty()
+            || content.starts_with('#')
+            || content.ends_with(']')
+            || content.ends_with('(');
+        if !attr_like {
+            return false;
+        }
+    }
+    false
+}
+
+fn unsafe_audit(f: &FileCtx, out: &mut Vec<RawViolation>) {
+    if !f.is_lib_src() {
+        return;
+    }
+    let sanctioned = UNSAFE_SANCTIONED.contains(&f.rel.as_str());
+    let clean_lines: Vec<&str> = f.clean.clean.lines().collect();
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || f.structure.in_test_code(i) {
+            continue;
+        }
+        // `#[allow(unsafe_code)]` / `#![allow(unsafe_code)]` re-opens the
+        // gate the workspace closes with `deny`/`forbid` — only the
+        // sanctioned modules may do that.
+        if t.text == "allow"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("unsafe_code"))
+            && !sanctioned
+        {
+            out.push(RawViolation {
+                rule: "unsafe-audit",
+                file: f.rel.clone(),
+                line: t.line,
+                message: "`allow(unsafe_code)` outside the sanctioned unsafe modules — \
+                          keep the crate safe or extend the sanctioned list deliberately"
+                    .into(),
+            });
+        }
+        if t.text != "unsafe" {
+            continue;
+        }
+        if !sanctioned {
+            out.push(RawViolation {
+                rule: "unsafe-audit",
+                file: f.rel.clone(),
+                line: t.line,
+                message: "`unsafe` outside the sanctioned modules \
+                          (crates/tensor/src/backend/simd.rs, crates/testkit/src/lib.rs)"
+                    .into(),
+            });
+        } else if !has_safety_justification(f, &clean_lines, t.line) {
+            out.push(RawViolation {
+                rule: "unsafe-audit",
+                file: f.rel.clone(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` rustdoc) \
+                          on the same line or directly above"
+                    .into(),
+            });
+        }
     }
 }
 
@@ -403,11 +502,13 @@ fn shim_drift(files: &[FileCtx], out: &mut Vec<RawViolation>) {
     }
 }
 
-/// The two files that pin `_into` kernels bit-identical to their
-/// allocating references.
-const CONFORMANCE_SUITES: [&str; 2] = [
+/// The files that pin `_into` kernels to their references: bit-identical to
+/// the allocating path (plan + proptest suites) and scalar-vs-SIMD to the
+/// documented tolerance (backend suite).
+const CONFORMANCE_SUITES: [&str; 3] = [
     "tests/plan_conformance.rs",
     "crates/tensor/tests/proptest_into_kernels.rs",
+    "crates/tensor/tests/backend_conformance.rs",
 ];
 
 fn conformance_coverage(files: &[FileCtx], out: &mut Vec<RawViolation>) {
@@ -435,8 +536,9 @@ fn conformance_coverage(files: &[FileCtx], out: &mut Vec<RawViolation>) {
                     file: f.rel.clone(),
                     line: span.line,
                     message: format!(
-                        "public kernel `{}` is not referenced by {} or {} — new kernels must land pinned",
-                        span.name, CONFORMANCE_SUITES[0], CONFORMANCE_SUITES[1]
+                        "public kernel `{}` is not referenced by any conformance suite ({}) — new kernels must land pinned",
+                        span.name,
+                        CONFORMANCE_SUITES.join(", ")
                     ),
                 });
             }

@@ -17,9 +17,10 @@ const SHIM_RAND: &str = include_str!("fixtures/shim_rand.rs");
 const KERNELS: &str = include_str!("fixtures/kernels.rs");
 const CONFORMANCE: &str = include_str!("fixtures/conformance.rs");
 const BAD_ALLOWS: &str = include_str!("fixtures/bad_allows.rs");
+const UNSAFE_AUDIT: &str = include_str!("fixtures/unsafe_audit.rs");
 
 /// All fixtures mapped to paths that put them in their rule's scope.
-const ALL_FIXTURES: [(&str, &str); 7] = [
+const ALL_FIXTURES: [(&str, &str); 8] = [
     ("crates/nn/src/fixture_hot.rs", HOT_PATH),
     ("crates/demo/src/lib.rs", PANICS),
     ("crates/demo/src/shim_user.rs", SHIM_USER),
@@ -27,6 +28,7 @@ const ALL_FIXTURES: [(&str, &str); 7] = [
     ("crates/tensor/src/fixture_kernels.rs", KERNELS),
     ("tests/plan_conformance.rs", CONFORMANCE),
     ("crates/demo/src/allows.rs", BAD_ALLOWS),
+    ("crates/testkit/src/lib.rs", UNSAFE_AUDIT),
 ];
 
 fn report_for(files: &[(&str, &str)]) -> Report {
@@ -176,6 +178,49 @@ fn into_doc_contract_requires_ownership_wording() {
     let docs = by_rule(&report, "into-doc-contract");
     assert_eq!(open_lines(&docs), vec![24, 32]);
     assert!(docs[0].message.contains("no rustdoc"));
+}
+
+#[test]
+fn unsafe_audit_requires_safety_comments_in_sanctioned_files() {
+    // Under a sanctioned path, `unsafe` itself is allowed but every use
+    // must carry a SAFETY justification.
+    let report = report_for(&[("crates/testkit/src/lib.rs", UNSAFE_AUDIT)]);
+    let audit = by_rule(&report, "unsafe-audit");
+
+    // Only `bare` lacks a justification: the `// SAFETY:` block, the
+    // `# Safety` rustdoc on `doc_contract` and its inner block all pass,
+    // and the unsafe inside `#[cfg(test)]` is ignored.
+    assert_eq!(open_lines(&audit), vec![12]);
+    assert!(audit.iter().any(|v| v.message.contains("SAFETY")));
+
+    // The lint:allow escape hatch works and carries its reason.
+    let suppressed: Vec<_> = audit.iter().filter(|v| v.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 26);
+}
+
+#[test]
+fn unsafe_audit_flags_any_unsafe_outside_sanctioned_files() {
+    let report = report_for(&[("crates/demo/src/lib.rs", UNSAFE_AUDIT)]);
+    let audit = by_rule(&report, "unsafe-audit");
+
+    // Every unsafe use is out of bounds (even the justified ones), and the
+    // `#[allow(unsafe_code)]` gate re-opening is its own violation.
+    assert_eq!(open_lines(&audit), vec![8, 12, 19, 21, 29]);
+    assert!(audit
+        .iter()
+        .any(|v| v.message.contains("allow(unsafe_code)")));
+}
+
+#[test]
+fn unsafe_audit_skips_test_and_bin_sources() {
+    for rel in ["crates/demo/tests/x.rs", "crates/demo/src/main.rs"] {
+        let report = report_for(&[(rel, UNSAFE_AUDIT)]);
+        assert!(
+            by_rule(&report, "unsafe-audit").is_empty(),
+            "{rel} should be exempt"
+        );
+    }
 }
 
 #[test]

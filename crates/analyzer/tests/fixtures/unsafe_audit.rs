@@ -1,0 +1,40 @@
+//! Fixture: the `unsafe-audit` rule. Scanned under a sanctioned path
+//! (SAFETY-comment enforcement) and an unsanctioned one (any `unsafe`
+//! and any `allow(unsafe_code)` are violations there).
+
+/// A justified block: clean in a sanctioned file.
+pub fn justified(p: *const u8) -> u8 {
+    // SAFETY: fixture — `p` points to a live byte by contract.
+    unsafe { *p }
+}
+
+pub fn bare(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Reads the byte behind `p`.
+///
+/// # Safety
+/// `p` must point to a live, initialized byte.
+pub unsafe fn doc_contract(p: *const u8) -> u8 {
+    // SAFETY: caller upholds the `# Safety` contract above.
+    unsafe { *p }
+}
+
+pub fn waved_through(p: *const u8) -> u8 {
+    // lint:allow(unsafe-audit, reason = "fixture escape hatch")
+    unsafe { *p }
+}
+
+#[allow(unsafe_code)]
+pub fn gate_reopened() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_ignored() {
+        let b = 7u8;
+        let v = unsafe { *(&b as *const u8) };
+        assert_eq!(v, 7);
+    }
+}

@@ -6,7 +6,10 @@
 //! * `alloc`   — legacy `Network::predict` (fresh tensor per layer per call);
 //! * `planned` — `Network::predict_planned` (cached plan, output tensor
 //!   still allocated);
-//! * `plan_run` — bare `ForwardPlan::run` (zero steady-state allocations).
+//! * `plan_run` — bare `ForwardPlan::run` (zero steady-state allocations),
+//!   measured once per available compute backend (`plan_run/scalar`, and
+//!   `plan_run/simd` on AVX2+FMA hosts) so the kernel-set win is visible
+//!   separately from the executor win.
 //!
 //! Throughput is reported in samples/second, so the ≥ 1.5× batched-inference
 //! acceptance bar can be read straight off the `elem/s` column. The
@@ -18,8 +21,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use models::branchynet::{BranchyNet, BranchyNetConfig};
 use models::lenet::build_lenet;
 use nn::{ForwardPlan, Network};
+use tensor::backend::Backend;
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
+
+/// The backends to sweep: scalar always, SIMD when the CPU supports it.
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::scalar()];
+    if let Some(simd) = Backend::simd() {
+        v.push(simd);
+    }
+    v
+}
 
 fn batch(n: usize, seed: u64) -> Tensor {
     let mut rng = rng_from_seed(seed);
@@ -38,10 +51,13 @@ fn bench_network(c: &mut Criterion, name: &str, mut net: Network) {
         g.bench_with_input(BenchmarkId::new("planned", n), &n, |b, _| {
             b.iter(|| net.predict_planned(&x));
         });
-        let mut plan = ForwardPlan::new(&net, n);
-        g.bench_with_input(BenchmarkId::new("plan_run", n), &n, |b, _| {
-            b.iter(|| plan.run(net.layers_mut(), &x).iter().sum::<f32>());
-        });
+        for be in backends() {
+            let mut plan = ForwardPlan::with_backend(&net, n, be);
+            let id = BenchmarkId::new(format!("plan_run/{}", be.name()), n);
+            g.bench_with_input(id, &n, |b, _| {
+                b.iter(|| plan.run(net.layers_mut(), &x).iter().sum::<f32>());
+            });
+        }
     }
     g.finish();
 }
@@ -66,9 +82,16 @@ fn bench_branchynet_plan(c: &mut Criterion) {
     for n in BATCHES {
         let x = batch(n, 100 + n as u64);
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
-            b.iter(|| bn.infer(&x));
-        });
+        for be in backends() {
+            // `infer` resolves its cached plans' backend globally — steer it
+            // with the process-wide override for the duration of the point.
+            tensor::backend::set_override(be.kind());
+            let id = BenchmarkId::new(format!("batched/{}", be.name()), n);
+            g.bench_with_input(id, &n, |b, _| {
+                b.iter(|| bn.infer(&x));
+            });
+        }
+        tensor::backend::clear_override();
     }
     g.finish();
 }

@@ -1,16 +1,25 @@
 //! Forward-pass perf harness: allocating vs. planned execution, per model ×
-//! batch size, with a machine-readable `BENCH_forward.json` summary so the
-//! perf trajectory is tracked across PRs.
+//! batch size × compute backend, with a machine-readable
+//! `BENCH_forward.json` summary so the perf trajectory is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p bench --bin forward_perf
 //! ```
+//!
+//! The planned path is measured once per available backend (`scalar` always;
+//! `simd` when the CPU has AVX2+FMA — on other hosts the sweep degrades to
+//! scalar-only, which is exactly the auto-mode fallback behaviour). The
+//! allocating reference always runs scalar kernels, so it is measured once
+//! per (model, batch) and shared across backend rows.
 //!
 //! Environment:
 //! * `BENCH_FORWARD_JSON` — output path (default `BENCH_forward.json`;
 //!   set to `-` to skip writing).
 //! * `CBNET_FORWARD_PERF_SMOKE=1` — a handful of repetitions per point
 //!   (CI smoke; timings are still real, just noisier).
+//! * `BENCH_FORWARD_ENFORCE` — assert the acceptance bars: planned ≥ 1.5×
+//!   allocating at batch ≥ 32 (scalar rows), and SIMD ≥ 2× scalar
+//!   ns/sample on the dense MLP at batch ≥ 32 (when SIMD is available).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -19,13 +28,15 @@ use bench::{dense_mlp, FORWARD_BATCHES as BATCHES};
 use models::branchynet::{BranchyNet, BranchyNetConfig};
 use models::lenet::build_lenet;
 use nn::{ForwardPlan, Network};
+use tensor::backend::Backend;
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
 
-/// One measured (model, batch, executor) point.
+/// One measured (model, batch, backend) point.
 struct Row {
     model: &'static str,
     batch: usize,
+    backend: &'static str,
     alloc_ns_per_sample: f64,
     planned_ns_per_sample: f64,
 }
@@ -34,6 +45,23 @@ impl Row {
     fn speedup(&self) -> f64 {
         self.alloc_ns_per_sample / self.planned_ns_per_sample
     }
+}
+
+/// Planned-vs-planned ratio against the scalar row of the same
+/// (model, batch): how much the backend itself buys, executor held fixed.
+fn vs_scalar(rows: &[Row], r: &Row) -> f64 {
+    rows.iter()
+        .find(|s| s.backend == "scalar" && s.model == r.model && s.batch == r.batch)
+        .map_or(1.0, |s| s.planned_ns_per_sample / r.planned_ns_per_sample)
+}
+
+/// The backends to sweep: scalar always, SIMD when the CPU supports it.
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::scalar()];
+    if let Some(simd) = Backend::simd() {
+        v.push(simd);
+    }
+    v
 }
 
 /// Median wall-clock nanoseconds of `reps` runs of `f`.
@@ -54,21 +82,25 @@ fn measure_network(name: &'static str, mut net: Network, reps: usize, rows: &mut
     for n in BATCHES {
         let mut rng = rng_from_seed(n as u64);
         let x = Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng);
+        // Allocating reference (always scalar kernels), shared across rows.
         let alloc = median_ns(reps, || {
             std::hint::black_box(net.predict(&x));
         });
-        // Steady-state planned path: one explicitly owned plan, zero
-        // allocations per run.
-        let mut plan = ForwardPlan::new(&net, n);
-        let planned = median_ns(reps, || {
-            std::hint::black_box(plan.run(net.layers_mut(), &x));
-        });
-        rows.push(Row {
-            model: name,
-            batch: n,
-            alloc_ns_per_sample: alloc / n as f64,
-            planned_ns_per_sample: planned / n as f64,
-        });
+        for be in backends() {
+            // Steady-state planned path: one explicitly owned plan pinned to
+            // the backend, zero allocations per run.
+            let mut plan = ForwardPlan::with_backend(&net, n, be);
+            let planned = median_ns(reps, || {
+                std::hint::black_box(plan.run(net.layers_mut(), &x));
+            });
+            rows.push(Row {
+                model: name,
+                batch: n,
+                backend: be.name(),
+                alloc_ns_per_sample: alloc / n as f64,
+                planned_ns_per_sample: planned / n as f64,
+            });
+        }
     }
 }
 
@@ -89,15 +121,22 @@ fn measure_branchynet(reps: usize, rows: &mut Vec<Row>) {
             let _ = std::hint::black_box(branch2.forward(&h, false));
             let _ = std::hint::black_box(tail2.forward(&h, false));
         });
-        let planned = median_ns(reps, || {
-            std::hint::black_box(bn.infer(&x));
-        });
-        rows.push(Row {
-            model: "BranchyNet",
-            batch: n,
-            alloc_ns_per_sample: alloc / n as f64,
-            planned_ns_per_sample: planned / n as f64,
-        });
+        for be in backends() {
+            // `infer` resolves its cached plans' backend globally — steer it
+            // with the process-wide override for the duration of the point.
+            tensor::backend::set_override(be.kind());
+            let planned = median_ns(reps, || {
+                std::hint::black_box(bn.infer(&x));
+            });
+            rows.push(Row {
+                model: "BranchyNet",
+                batch: n,
+                backend: be.name(),
+                alloc_ns_per_sample: alloc / n as f64,
+                planned_ns_per_sample: planned / n as f64,
+            });
+        }
+        tensor::backend::clear_override();
     }
 }
 
@@ -113,17 +152,19 @@ fn main() {
     measure_branchynet(reps, &mut rows);
 
     println!(
-        "{:<12} {:>6} {:>16} {:>16} {:>9}",
-        "model", "batch", "alloc ns/sample", "planned ns/sample", "speedup"
+        "{:<12} {:>6} {:>8} {:>16} {:>16} {:>9} {:>10}",
+        "model", "batch", "backend", "alloc ns/sample", "planned ns/sample", "speedup", "vs scalar"
     );
     for r in &rows {
         println!(
-            "{:<12} {:>6} {:>16.0} {:>16.0} {:>8.2}x",
+            "{:<12} {:>6} {:>8} {:>16.0} {:>16.0} {:>8.2}x {:>9.2}x",
             r.model,
             r.batch,
+            r.backend,
             r.alloc_ns_per_sample,
             r.planned_ns_per_sample,
-            r.speedup()
+            r.speedup(),
+            vs_scalar(&rows, r)
         );
     }
 
@@ -133,13 +174,16 @@ fn main() {
         let mut json = String::from("[\n");
         for (i, r) in rows.iter().enumerate() {
             json.push_str(&format!(
-                "  {{\"model\": \"{}\", \"batch\": {}, \"alloc_ns_per_sample\": {:.1}, \
-                 \"planned_ns_per_sample\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                "  {{\"model\": \"{}\", \"batch\": {}, \"backend\": \"{}\", \
+                 \"alloc_ns_per_sample\": {:.1}, \"planned_ns_per_sample\": {:.1}, \
+                 \"speedup\": {:.3}, \"planned_vs_scalar\": {:.3}}}{}\n",
                 r.model,
                 r.batch,
+                r.backend,
                 r.alloc_ns_per_sample,
                 r.planned_ns_per_sample,
                 r.speedup(),
+                vs_scalar(&rows, r),
                 if i + 1 < rows.len() { "," } else { "" }
             ));
         }
@@ -150,13 +194,13 @@ fn main() {
         println!("\nwrote {path}");
     }
 
-    // Sanity bar mirroring the acceptance criterion: batched (≥ 32) planned
-    // inference on the full networks should clear 1.5× — fail loudly in CI
-    // if a regression eats the win.
+    // Sanity bars mirroring the acceptance criteria — fail loudly in CI if
+    // a regression eats either win.
     if std::env::var("BENCH_FORWARD_ENFORCE").is_ok() {
+        // Planned executor ≥ 1.5× the allocating path (scalar vs scalar).
         for r in rows
             .iter()
-            .filter(|r| r.batch >= 32 && r.model != "BranchyNet")
+            .filter(|r| r.batch >= 32 && r.model != "BranchyNet" && r.backend == "scalar")
         {
             assert!(
                 r.speedup() >= 1.5,
@@ -164,6 +208,18 @@ fn main() {
                 r.model,
                 r.batch,
                 r.speedup()
+            );
+        }
+        // SIMD kernels ≥ 2× scalar ns/sample on the batched dense model.
+        for r in rows
+            .iter()
+            .filter(|r| r.batch >= 32 && r.model == "DenseMLP" && r.backend == "simd")
+        {
+            let ratio = vs_scalar(&rows, r);
+            assert!(
+                ratio >= 2.0,
+                "DenseMLP batch {} simd is only {ratio:.2}x scalar (< 2x)",
+                r.batch
             );
         }
     }

@@ -18,6 +18,9 @@
 //!   evaluation batch by the execution path it actually took). Sampling is
 //!   the inverse empirical CDF, so replaying the profile reproduces the
 //!   exact per-sample variance the closed-form shapes summarise away.
+//!   Measurement runs through the planned executor, so the samples price
+//!   whichever compute backend (`tensor::backend`) is active — swapping
+//!   scalar for SIMD kernels moves these profiles automatically.
 
 /// A per-request service-time distribution on one device, in milliseconds.
 #[derive(Debug, Clone, PartialEq)]

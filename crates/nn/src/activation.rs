@@ -122,17 +122,27 @@ impl Layer for Activation {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        backend: tensor::backend::Backend,
+    ) {
         debug_assert_eq!(input.len(), batch * self.dim);
         debug_assert_eq!(out.len(), batch * self.dim);
-        // Identical elementwise expressions to `forward`, so the planned
-        // path is bit-identical; large buffers split across threads.
+        // Identical elementwise expressions to `forward` on the scalar
+        // backend, so the planned path is bit-identical; large buffers split
+        // across threads. The SIMD backend vectorises relu (−0.0 → +0.0
+        // caveat documented in `tensor::backend::simd`) and keeps the
+        // transcendental kernels scalar.
         match self.kind {
-            ActivationKind::Relu => tensor::ops::relu_into(input, out),
-            ActivationKind::Sigmoid => tensor::ops::sigmoid_into(input, out),
-            ActivationKind::Tanh => tensor::ops::tanh_into(input, out),
+            ActivationKind::Relu => backend.relu_into(input, out),
+            ActivationKind::Sigmoid => backend.sigmoid_into(input, out),
+            ActivationKind::Tanh => backend.tanh_into(input, out),
             ActivationKind::Linear => out.copy_from_slice(input),
-            ActivationKind::Softmax => tensor::ops::softmax_rows_into(input, out, self.dim),
+            ActivationKind::Softmax => backend.softmax_rows_into(input, out, self.dim),
         }
     }
 

@@ -103,10 +103,18 @@ impl Layer for BatchNorm1d {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        _backend: tensor::backend::Backend,
+    ) {
         // Inference path: running statistics, no cache. Exactly the same
         // per-element arithmetic as `forward(_, false)` — standardise with
-        // inv_std, then scale/shift — so the planned output is bit-identical.
+        // inv_std, then scale/shift — so the planned output is bit-identical
+        // on every backend (this layer never dispatches).
         let cols = self.dim;
         debug_assert_eq!(input.len(), batch * cols);
         debug_assert_eq!(out.len(), batch * cols);

@@ -125,8 +125,15 @@ impl Layer for Conv2d {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
-        conv2d_batch_into(
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        backend: tensor::backend::Backend,
+    ) {
+        backend.conv2d_batch_into(
             input,
             self.weights.data(),
             self.bias.data(),

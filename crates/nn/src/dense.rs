@@ -87,14 +87,23 @@ impl Layer for Dense {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        backend: tensor::backend::Backend,
+    ) {
         debug_assert_eq!(input.len(), batch * self.in_dim);
         debug_assert_eq!(out.len(), batch * self.out_dim);
-        // Bit-identical to the allocating path (same dot and bias addition
-        // per output), but on the cache-resident schedule with the bias
-        // fused — two things the layer-local API can't do, writing straight
-        // into the plan buffer.
-        tensor::matmul::matmul_bt_bias_into(
+        // On the scalar backend, bit-identical to the allocating path (same
+        // dot and bias addition per output), but on the cache-resident
+        // schedule with the bias fused — two things the layer-local API
+        // can't do, writing straight into the plan buffer. The SIMD backend
+        // swaps in FMA microkernels (tolerance documented in
+        // `tensor::backend`).
+        backend.matmul_bt_bias_into(
             input,
             self.weights.data(),
             Some(self.bias.data()),

@@ -66,8 +66,15 @@ impl Layer for Dropout {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
-        // Inference-time dropout is the identity.
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _backend: tensor::backend::Backend,
+    ) {
+        // Inference-time dropout is the identity; no kernels, no dispatch.
         debug_assert_eq!(input.len(), batch * self.dim);
         out.copy_from_slice(input);
     }

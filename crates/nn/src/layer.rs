@@ -1,6 +1,7 @@
 //! The [`Layer`] trait: the contract every network building block satisfies.
 
 use crate::spec::LayerSpec;
+use tensor::backend::Backend;
 use tensor::Tensor;
 
 /// A differentiable network layer.
@@ -30,15 +31,26 @@ pub trait Layer: Send + Sync {
     /// `input` is `batch` rows of `in_dim` features stored flat; `out` must
     /// hold `batch · out_dim` floats and is fully overwritten. `scratch` must
     /// provide at least [`Layer::plan_scratch_floats`]`(batch)` floats of
-    /// working space; its contents are unspecified on entry and exit. The
-    /// output must be **bit-identical** to `forward(input, false)` — the
-    /// planned executor's conformance tests pin this for every layer.
+    /// working space; its contents are unspecified on entry and exit.
+    /// `backend` selects the kernel set (the plan resolves it once at
+    /// construction and passes the same handle to every layer). With the
+    /// scalar backend the output must be **bit-identical** to
+    /// `forward(input, false)` — the planned executor's conformance tests pin
+    /// this for every layer; other backends agree to the tolerance documented
+    /// in `tensor::backend`.
     ///
     /// The default falls back to the allocating [`Layer::forward`] and
     /// copies; layers on the inference hot path override it with a
     /// zero-allocation kernel.
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
-        let _ = scratch;
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        backend: Backend,
+    ) {
+        let _ = (scratch, backend);
         // lint:allow(hot-path-alloc, reason = "documented fallback for layers without a zero-alloc kernel; hot-path layers override forward_into")
         let x = Tensor::from_vec(input.to_vec(), &[batch, self.in_dim()]);
         let y = self.forward(&x, false);

@@ -122,9 +122,12 @@ impl Network {
     /// use and regrown when a larger batch arrives; repeated calls at the
     /// same (or smaller) batch size reuse every buffer.
     ///
-    /// Bit-identical to [`Network::predict`] — pinned by the workspace
-    /// conformance tests. For a fully allocation-free loop, hold a
-    /// [`ForwardPlan`](crate::ForwardPlan) yourself and call
+    /// Bit-identical to [`Network::predict`] on the scalar backend — pinned
+    /// by the workspace conformance tests; other backends agree to the
+    /// tolerance documented in `tensor::backend`. The cached plan runs on
+    /// the process-resolved [`tensor::backend::Backend`] and is rebuilt if
+    /// that selection changes between calls. For a fully allocation-free
+    /// loop, hold a [`ForwardPlan`](crate::ForwardPlan) yourself and call
     /// [`ForwardPlan::run`](crate::ForwardPlan::run) on
     /// [`Network::layers_mut`].
     pub fn predict_planned(&mut self, input: &Tensor) -> Tensor {
@@ -138,7 +141,11 @@ impl Network {
             return self.forward(input, false);
         }
         let stale = match &self.plan {
-            Some(p) => p.capacity() < n || !p.matches(&self.layers),
+            Some(p) => {
+                p.capacity() < n
+                    || !p.matches(&self.layers)
+                    || p.backend() != tensor::backend::Backend::resolve()
+            }
             None => true,
         };
         if stale {

@@ -38,7 +38,26 @@
 //! point operations in the same order per sample, and batch parallelism
 //! splits only across samples/rows (pinned by the workspace conformance
 //! tests).
+//!
+//! # Compute backends
+//!
+//! A plan resolves its [`Backend`] **once at construction** and hands the
+//! same `Copy` handle to every layer on every `run` — dispatch is an enum
+//! match onto a `&'static` kernel set, so backend selection adds zero
+//! allocation to the per-call path (enforced for both backends by
+//! `tests/alloc_guard.rs`). [`ForwardPlan::new`] uses
+//! [`Backend::resolve`] — programmatic override, then the `CBNET_BACKEND`
+//! env var (`scalar` / `simd` / `auto`), then auto-detection (SIMD when the
+//! CPU has AVX2+FMA) — while [`ForwardPlan::with_backend`] pins an explicit
+//! choice. The bit-identity guarantee above is stated for the scalar
+//! backend; the SIMD backend agrees to the tolerance documented in
+//! [`tensor::backend`] (dot-family kernels use a different reduction order)
+//! and is pinned against scalar by `tests/backend_conformance.rs` over all
+//! five comparators. `Network::predict_planned` rebuilds its cached plan
+//! when the resolved backend changes, so a process-wide selection reaches
+//! every adapter automatically.
 
+use tensor::backend::Backend;
 use tensor::Tensor;
 
 use crate::layer::Layer;
@@ -60,10 +79,13 @@ pub struct ForwardPlan {
     half: usize,
     /// Shared scratch arena (max per-layer requirement at `capacity`).
     scratch: Vec<f32>,
+    /// Kernel set every layer call dispatches to (resolved once, at build).
+    backend: Backend,
 }
 
 impl ForwardPlan {
-    /// Build a plan for `net` with room for batches of up to `capacity` rows.
+    /// Build a plan for `net` with room for batches of up to `capacity` rows,
+    /// on the process-resolved backend ([`Backend::resolve`]).
     ///
     /// All intermediate shapes are inferred here, once; `run` allocates
     /// nothing.
@@ -71,6 +93,15 @@ impl ForwardPlan {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(net: &Network, capacity: usize) -> ForwardPlan {
+        ForwardPlan::with_backend(net, capacity, Backend::resolve())
+    }
+
+    /// Build a plan pinned to an explicit compute `backend`, ignoring the
+    /// process-wide selection. See [`ForwardPlan::new`] for everything else.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_backend(net: &Network, capacity: usize, backend: Backend) -> ForwardPlan {
         assert!(capacity > 0, "plan capacity must be positive");
         let layers = net.layers();
         let in_width = net.in_dim();
@@ -89,12 +120,18 @@ impl ForwardPlan {
             bufs: vec![0.0; 2 * half],
             half,
             scratch: vec![0.0; scratch_len],
+            backend,
         }
     }
 
     /// Maximum batch rows this plan can carry.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The compute backend every `run` on this plan dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Network depth the plan was built for.
@@ -172,7 +209,13 @@ impl ForwardPlan {
                 &src[..n * width]
             };
             let need = layer.plan_scratch_floats(n);
-            layer.forward_into(cur, n, &mut dst[..n * w], &mut self.scratch[..need]);
+            layer.forward_into(
+                cur,
+                n,
+                &mut dst[..n * w],
+                &mut self.scratch[..need],
+                self.backend,
+            );
             std::mem::swap(&mut src, &mut dst);
             src_is_a = !src_is_a;
             width = w;
@@ -220,7 +263,9 @@ mod tests {
         let mut rng = rng_from_seed(1);
         let x = Tensor::rand_uniform(&[5, 64], -1.0, 1.0, &mut rng);
         let legacy = net.forward(&x, false);
-        let mut plan = ForwardPlan::new(&net, 5);
+        // Bit-identity is the scalar backend's contract (the allocating
+        // path always runs scalar kernels); pin it rather than auto-resolve.
+        let mut plan = ForwardPlan::with_backend(&net, 5, Backend::scalar());
         let planned = plan.run(net.layers_mut(), &x);
         assert_eq!(
             legacy.data(),
@@ -233,7 +278,7 @@ mod tests {
     fn plan_reuse_covers_smaller_batches() {
         let mut net = conv_stack(8);
         let mut rng = rng_from_seed(2);
-        let mut plan = ForwardPlan::new(&net, 8);
+        let mut plan = ForwardPlan::with_backend(&net, 8, Backend::scalar());
         for n in [8usize, 3, 1, 6] {
             let x = Tensor::rand_uniform(&[n, 64], -1.0, 1.0, &mut rng);
             let legacy = net.forward(&x, false);

@@ -87,8 +87,16 @@ impl Layer for MaxPool2 {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], _scratch: &mut [f32]) {
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _backend: tensor::backend::Backend,
+    ) {
         // Inference path: no backward will follow, so skip the argmax cache.
+        // Pooling is compare/select-bound; no backend dispatch.
         maxpool2_batch_into(
             input,
             out,

@@ -95,18 +95,27 @@ impl Layer for ResidualConv {
         out
     }
 
-    fn forward_into(&mut self, input: &[f32], batch: usize, out: &mut [f32], scratch: &mut [f32]) {
+    fn forward_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        backend: tensor::backend::Backend,
+    ) {
         // Same op order as `forward`: conv1 → relu → conv2 → +skip → relu,
         // with the mid activation living in the scratch arena.
         let feat = self.in_dim();
         debug_assert_eq!(input.len(), batch * feat);
         debug_assert_eq!(out.len(), batch * feat);
         let (mid, conv_scratch) = scratch.split_at_mut(batch * feat);
-        self.conv1.forward_into(input, batch, mid, conv_scratch);
+        self.conv1
+            .forward_into(input, batch, mid, conv_scratch, backend);
         for v in mid.iter_mut() {
             *v = v.max(0.0);
         }
-        self.conv2.forward_into(mid, batch, out, conv_scratch);
+        self.conv2
+            .forward_into(mid, batch, out, conv_scratch, backend);
         for (o, &x) in out.iter_mut().zip(input) {
             *o += x; // the skip connection
             *o = o.max(0.0);

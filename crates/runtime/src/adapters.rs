@@ -38,7 +38,11 @@ impl InferenceModel for ClassifierModel<'_> {
 
     fn predict_batch(&mut self, x: &Tensor) -> Vec<usize> {
         // Planned forward: repeated evaluation batches (empirical-profile
-        // measurement, serving sweeps) reuse the network's cached plan.
+        // measurement, serving sweeps) reuse the network's cached plan. The
+        // plan runs on the process-resolved compute backend
+        // (`CBNET_BACKEND`, auto-detected SIMD otherwise) and rebuilds when
+        // that resolution changes, so measured profiles always price the
+        // kernels actually in use.
         self.net.predict_planned(x).argmax_rows()
     }
 

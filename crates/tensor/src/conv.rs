@@ -180,6 +180,42 @@ pub fn conv2d_batch_into(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    conv2d_batch_into_with(
+        input,
+        weights,
+        bias,
+        g,
+        out_channels,
+        batch,
+        out,
+        scratch,
+        crate::matmul::matmul_bt_into,
+    );
+}
+
+/// The `A · Bᵀ` kernel signature [`conv2d_batch_into_with`] is parameterised
+/// over: `(a, b, c, m, k, n)` with `c` fully overwritten. Both
+/// `matmul::matmul_bt_into` and the SIMD backend's variant satisfy it, which
+/// is how [`crate::backend::Backend`] routes the im2col product through
+/// whichever kernel set is active without duplicating the batching/threading
+/// shell.
+pub type MatmulBtKernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+/// [`conv2d_batch_into`] with the inner im2col matrix product supplied by the
+/// caller. Same buffer contract: `out` is fully overwritten, `scratch` holds
+/// the per-worker patch matrices, nothing allocates.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch_into_with(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    g: &Conv2dGeom,
+    out_channels: usize,
+    batch: usize,
+    out: &mut [f32],
+    scratch: &mut [f32],
+    bt_kernel: MatmulBtKernel,
+) {
     let in_f = g.in_channels * g.in_h * g.in_w;
     let p = g.patch_rows();
     let k = g.patch_cols();
@@ -198,7 +234,7 @@ pub fn conv2d_batch_into(
             let s = s0 + si;
             im2col(&input[s * in_f..(s + 1) * in_f], g, patches);
             // orow as (O × P) = W (O×K) · patchesᵀ (K×P)
-            crate::matmul::matmul_bt_into(weights, patches, orow, out_channels, k, p);
+            bt_kernel(weights, patches, orow, out_channels, k, p);
             for (ch, seg) in orow.chunks_exact_mut(p).enumerate() {
                 let b = bias[ch];
                 for v in seg {

@@ -9,6 +9,8 @@
 //! * cache-blocked, optionally multi-threaded matrix multiplication
 //!   ([`matmul`]) using `crossbeam` scoped threads,
 //! * `im2col`/`col2im` lowering for convolutions ([`conv`]),
+//! * pluggable compute backends ([`backend`]): the portable scalar kernels
+//!   plus an explicit AVX2+FMA SIMD set, selected at runtime,
 //! * seeded random initialisation ([`random`]),
 //! * a compact binary serialisation format ([`serialize`]).
 //!
@@ -26,9 +28,15 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the explicit-SIMD
+// module (`backend::simd`), which opts back in with a scoped
+// `#![allow(unsafe_code)]` and carries a `// SAFETY:` justification on every
+// unsafe block — both policed by the `unsafe-audit` cbnet-lint rule. All
+// other modules remain unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod axis;
+pub mod backend;
 pub mod conv;
 pub mod error;
 pub mod matmul;

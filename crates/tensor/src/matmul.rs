@@ -13,8 +13,15 @@ use crate::Tensor;
 /// Minimum number of output elements before the parallel path engages.
 /// Below this, thread-spawn overhead dominates; the constant was chosen so
 /// LeNet-scale per-image inference always stays on the single-threaded path
-/// while batched training matrices go parallel.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// while batched training matrices go parallel. Shared with the SIMD backend
+/// so both backends split work identically.
+pub(crate) const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Streamed-operand budget in f32s (512 KiB): in [`matmul_bt_bias_into`]'s
+/// j-outer schedule the A slice must stay resident in a typical ≥ 512 KiB L2
+/// across the j sweep to win. Shared with the SIMD backend so both backends
+/// make the same schedule choice on every shape.
+pub(crate) const RESIDENT_BUDGET: usize = 1 << 17;
 
 /// `C = A · B` for row-major `A (m×k)` and `B (k×n)`, writing into `c`.
 ///
@@ -111,9 +118,6 @@ pub fn matmul_bt_bias_into(
     if let Some(bias) = bias {
         debug_assert_eq!(bias.len(), n);
     }
-    /// Streamed-operand budget in f32s (512 KiB): the A slice must stay
-    /// resident in a typical ≥ 512 KiB L2 across the j sweep to win.
-    const RESIDENT_BUDGET: usize = 1 << 17;
     let body = |row0: usize, chunk: &mut [f32]| {
         let rows = chunk.len() / n;
         if rows * k <= RESIDENT_BUDGET && rows * k < n * k {
@@ -179,6 +183,23 @@ pub fn matmul_at_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
 /// Dot product of two equal-length slices.
 ///
 /// Written with a 4-lane manual unroll that LLVM reliably turns into SIMD.
+///
+/// # Reduction-order contract
+///
+/// The accumulation order is part of this function's API — conformance
+/// tolerances between backends are derived from it, and
+/// `crates/tensor/tests/backend_conformance.rs` pins it **bitwise**:
+///
+/// 1. Lane `l ∈ {0,1,2,3}` accumulates elements `l, l+4, l+8, …` of the
+///    first `4⌊len/4⌋` elements, each as a *separate* `f32` multiply then
+///    add (`acc[l] += a[i]*b[i]` — two roundings, no FMA).
+/// 2. Lanes combine left-to-right: `((acc0 + acc1) + acc2) + acc3`.
+/// 3. Tail elements (`len % 4`) are multiplied and added sequentially, in
+///    index order, onto that sum.
+///
+/// The SIMD backend's `dot` uses 8 FMA lanes and a different combine tree —
+/// see `tensor::backend::simd` — which is why dot-family kernels agree
+/// across backends only to a documented tolerance, not bitwise.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());

@@ -251,8 +251,9 @@ impl Tensor {
 
 /// Minimum element count before elementwise `_into` kernels go parallel.
 /// Elementwise maps are memory-bound; below this, thread-spawn overhead
-/// dominates any bandwidth win.
-const ELEMWISE_PAR_THRESHOLD: usize = 1 << 15;
+/// dominates any bandwidth win. Shared with the SIMD backend so both
+/// backends split work identically.
+pub(crate) const ELEMWISE_PAR_THRESHOLD: usize = 1 << 15;
 
 /// Apply `f` elementwise from `input` into `out` (same length), splitting
 /// across threads for large buffers.

@@ -125,26 +125,38 @@ fn record_dealloc() {
 mod forward {
     use super::*;
 
+    // SAFETY: every method forwards the caller's layout/pointer unchanged to
+    // `System` (itself a conforming GlobalAlloc); counting touches only
+    // thread-local integers and never the allocation itself.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             record_alloc(layout.size());
+            // SAFETY: same `layout` the caller handed us.
             unsafe { System.alloc(layout) }
         }
 
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             record_alloc(layout.size());
+            // SAFETY: same `layout` the caller handed us.
             unsafe { System.alloc_zeroed(layout) }
         }
 
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             record_dealloc();
+            // SAFETY: same `ptr`/`layout` pair the caller handed us, which
+            // the contract says came from this allocator.
             unsafe { System.dealloc(ptr, layout) }
         }
 
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             // A realloc is a fresh allocation from the contract's point of
             // view: growing a Vec in a "zero-alloc" region is a violation.
             record_alloc(new_size);
+            // SAFETY: same `ptr`/`layout`/`new_size` the caller handed us.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }

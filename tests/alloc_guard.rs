@@ -41,20 +41,31 @@ fn batch_input(pixels: usize, seed: u64) -> Tensor {
     Tensor::rand_uniform(&[BATCH, pixels], 0.0, 1.0, &mut rng)
 }
 
-/// Assert steady-state `ForwardPlan::run` performs zero heap allocations.
+/// Assert steady-state `ForwardPlan::run` performs zero heap allocations —
+/// under **both** compute backends. Backend dispatch is a resolved-once enum
+/// handle; if it ever grew a boxed vtable or per-call buffer, this guard is
+/// what catches it. On hosts without AVX2+FMA only the scalar backend runs
+/// (the SIMD handle is unavailable, not silently scalar).
 fn assert_planned_run_zero_alloc(label: &str, net: &mut Network, x: &Tensor) {
-    let mut plan = ForwardPlan::new(net, BATCH);
-    // Warmup: the first run settles any lazily-sized internals.
-    let _ = plan.run(net.layers_mut(), x);
-    let acc = testkit::assert_no_alloc(label, || {
-        let mut acc = 0.0f32;
-        for _ in 0..3 {
-            let y = plan.run(net.layers_mut(), x);
-            acc += y[0] + y[y.len() - 1];
-        }
-        acc
-    });
-    assert!(acc.is_finite(), "{label}: non-finite planned output");
+    let backends = [
+        Some(tensor::backend::Backend::scalar()),
+        tensor::backend::Backend::simd(),
+    ];
+    for be in backends.into_iter().flatten() {
+        let tagged = format!("{label} [{}]", be.name());
+        let mut plan = ForwardPlan::with_backend(net, BATCH, be);
+        // Warmup: the first run settles any lazily-sized internals.
+        let _ = plan.run(net.layers_mut(), x);
+        let acc = testkit::assert_no_alloc(&tagged, || {
+            let mut acc = 0.0f32;
+            for _ in 0..3 {
+                let y = plan.run(net.layers_mut(), x);
+                acc += y[0] + y[y.len() - 1];
+            }
+            acc
+        });
+        assert!(acc.is_finite(), "{tagged}: non-finite planned output");
+    }
 }
 
 /// Assert steady-state `step_with` on `opt` over a network's parameters

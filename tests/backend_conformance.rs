@@ -1,0 +1,227 @@
+//! Scalar-vs-SIMD conformance over the five comparators (LeNet, BranchyNet,
+//! CBNet, AdaDeep, SubFlow).
+//!
+//! `tests/plan_conformance.rs` pins the planned executor bit-identical to the
+//! allocating path **on the scalar backend**. This suite closes the other
+//! gap: the SIMD backend must agree with scalar on every comparator's full
+//! forward pass to the tolerance documented in `tensor::backend` (dot-family
+//! kernels use a different — also documented — reduction order; everything
+//! else is bit-identical and most of the per-element error cancels). The
+//! kernel-level contracts, including ragged/tail-lane proptests, live in
+//! `crates/tensor/tests/backend_conformance.rs`; this file checks the
+//! composed networks end to end, plus the decision-level paths
+//! (`BranchyNet::infer` exits, `CbnetModel::predict` labels) that the
+//! simulators actually consume.
+//!
+//! On hosts without AVX2+FMA every test skips (prints a note and returns):
+//! `Backend::simd()` is `None` there, which is itself the graceful-fallback
+//! contract — auto mode resolves to scalar, never to a crashing SIMD path.
+
+use models::branchynet::{BranchyNet, BranchyNetConfig, ExitDecision};
+use models::lenet::{build_lenet, build_lenet_scaled};
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use nn::{ForwardPlan, Network};
+use std::sync::Mutex;
+use tensor::backend::{Backend, BackendKind};
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+
+/// Serialises the tests that flip the process-global backend override
+/// (`BranchyNet::infer` / `CbnetModel::predict` resolve their cached plans'
+/// backend globally). Tests in one binary run on parallel threads; without
+/// this lock one test's `set_override` could land mid-way through another's
+/// scalar pass. Plain-plan tests pin backends via `ForwardPlan::with_backend`
+/// instead and need no lock.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII reset: clears the global override even if the test panics, so a
+/// failure in one override-flipping test cannot poison the backend choice
+/// seen by a later one.
+struct OverrideReset;
+
+impl Drop for OverrideReset {
+    fn drop(&mut self) {
+        tensor::backend::clear_override();
+    }
+}
+
+/// The documented cross-backend tolerance: dot-family kernels differ only in
+/// reduction order, so per-element error stays near a few ULPs even through
+/// several layers. `1e-4` absolute + relative is orders of magnitude looser
+/// than observed error and orders tighter than anything decision-relevant.
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 + 1e-4 * a.abs().max(b.abs())
+}
+
+fn batch(pixels: usize, n: usize, seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::rand_uniform(&[n, pixels], 0.0, 1.0, &mut rng)
+}
+
+/// Run `net` through explicitly pinned scalar and SIMD plans and assert
+/// every output element agrees to the documented tolerance (and is finite).
+/// Also reruns the SIMD plan on a compacted ragged sub-batch so batch
+/// dimensions that are not multiples of the 8-float lane width or the
+/// 4-row blocking factor get exercised at the network level too.
+fn assert_backends_agree(net: &mut Network, x: &Tensor, label: &str) {
+    let Some(simd) = Backend::simd() else {
+        eprintln!("{label}: AVX2+FMA unavailable, skipping SIMD conformance");
+        return;
+    };
+    let n = x.dims()[0];
+    let mut scalar_plan = ForwardPlan::with_backend(net, n, Backend::scalar());
+    let mut simd_plan = ForwardPlan::with_backend(net, n, simd);
+
+    let scalar_out = scalar_plan.run(net.layers_mut(), x).to_vec();
+    let simd_out = simd_plan.run(net.layers_mut(), x).to_vec();
+    assert_eq!(scalar_out.len(), simd_out.len(), "{label}: output len");
+    for (i, (&s, &v)) in scalar_out.iter().zip(&simd_out).enumerate() {
+        assert!(
+            s.is_finite() && v.is_finite(),
+            "{label}[{i}]: non-finite output (scalar {s}, simd {v})"
+        );
+        assert!(close(s, v), "{label}[{i}]: scalar {s} vs simd {v}");
+    }
+
+    // Ragged sub-batch through the same plans (capacity reuse + tail lanes).
+    if n > 2 {
+        let rows: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = x.gather_rows(&rows);
+        let scalar_sub = scalar_plan.run(net.layers_mut(), &sub).to_vec();
+        let simd_sub = simd_plan.run(net.layers_mut(), &sub).to_vec();
+        for (i, (&s, &v)) in scalar_sub.iter().zip(&simd_sub).enumerate() {
+            assert!(close(s, v), "{label} sub[{i}]: scalar {s} vs simd {v}");
+        }
+    }
+}
+
+#[test]
+fn lenet_backends_agree() {
+    let mut rng = rng_from_seed(31);
+    let mut net = build_lenet(&mut rng);
+    // 9 rows: not a multiple of the SIMD lane width or the 4-row blocking.
+    let x = batch(784, 9, 61);
+    assert_backends_agree(&mut net, &x, "LeNet");
+}
+
+#[test]
+fn adadeep_candidate_backends_agree() {
+    let mut rng = rng_from_seed(32);
+    let mut net = build_lenet_scaled([3, 6, 12], 42, &mut rng);
+    let x = batch(784, 7, 62);
+    assert_backends_agree(&mut net, &x, "AdaDeep candidate");
+}
+
+#[test]
+fn subflow_subnetwork_backends_agree() {
+    let mut rng = rng_from_seed(33);
+    let sf = SubFlow::new(build_lenet(&mut rng));
+    let mut sub = sf.subnetwork(0.75);
+    let x = batch(784, 5, 63);
+    assert_backends_agree(&mut sub, &x, "SubFlow@0.75");
+}
+
+#[test]
+fn branchynet_stage_backends_agree() {
+    let mut rng = rng_from_seed(34);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let (trunk, branch, tail) = bn.stages();
+    let (mut trunk, mut branch, mut tail) =
+        (trunk.duplicate(), branch.duplicate(), tail.duplicate());
+    let x = batch(784, 6, 64);
+    assert_backends_agree(&mut trunk, &x, "BranchyNet trunk");
+    let h = trunk.forward(&x, false);
+    assert_backends_agree(&mut branch, &h, "BranchyNet branch");
+    assert_backends_agree(&mut tail, &h, "BranchyNet tail");
+}
+
+#[test]
+fn cbnet_lightweight_backends_agree() {
+    let mut rng = rng_from_seed(35);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let mut lightweight = extract_lightweight(&bn);
+    let x = batch(784, 9, 65);
+    assert_backends_agree(&mut lightweight, &x, "CBNet lightweight");
+}
+
+/// Decision-level agreement: the batched early-exit executor must produce
+/// the same exits and predictions on either backend. Entropy thresholds are
+/// pinned to the extremes (0.0: nothing exits early; 1e6: everything does)
+/// so a few-ULP entropy difference can never flip a decision — what is being
+/// tested is the executor over both kernel sets, not threshold sensitivity.
+#[test]
+fn branchynet_infer_decisions_agree_across_backends() {
+    if Backend::simd().is_none() {
+        eprintln!("BranchyNet infer: AVX2+FMA unavailable, skipping");
+        return;
+    }
+    let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = OverrideReset;
+    let x = batch(784, 8, 66);
+    for threshold in [0.0f32, 1e6] {
+        let mut rng = rng_from_seed(36);
+        let mut bn = BranchyNet::new(
+            BranchyNetConfig {
+                entropy_threshold: threshold,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        tensor::backend::set_override(BackendKind::Scalar);
+        let scalar_outputs = bn.infer(&x);
+        tensor::backend::set_override(BackendKind::Simd);
+        let simd_outputs = bn.infer(&x);
+        assert_eq!(scalar_outputs.len(), simd_outputs.len());
+        let expected = if threshold == 0.0 {
+            ExitDecision::Main
+        } else {
+            ExitDecision::Early
+        };
+        for (s, (a, b)) in scalar_outputs.iter().zip(&simd_outputs).enumerate() {
+            assert_eq!(a.exit, expected, "sample {s}: scalar exit @{threshold}");
+            assert_eq!(a.exit, b.exit, "sample {s}: exit decision diverged");
+            assert_eq!(
+                a.prediction, b.prediction,
+                "sample {s}: prediction diverged @{threshold}"
+            );
+            assert!(
+                close(a.exit1_entropy, b.exit1_entropy),
+                "sample {s}: entropy {} vs {}",
+                a.exit1_entropy,
+                b.exit1_entropy
+            );
+        }
+    }
+}
+
+/// End-to-end CBNet labels (autoencoder reconstruction → lightweight
+/// classifier → argmax) agree across backends. Labels are discrete, so this
+/// is the strongest end-user-visible form of the conformance claim.
+#[test]
+fn cbnet_predictions_agree_across_backends() {
+    if Backend::simd().is_none() {
+        eprintln!("CBNet predict: AVX2+FMA unavailable, skipping");
+        return;
+    }
+    let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = OverrideReset;
+    let mut rng = rng_from_seed(37);
+    let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    let lightweight = extract_lightweight(&bn);
+    let mut ae_cfg = models::autoencoder::AutoencoderConfig::mnist();
+    ae_cfg.hidden[0].width = 96;
+    ae_cfg.hidden[1].width = 48;
+    let ae = models::autoencoder::ConvertingAutoencoder::new(ae_cfg, &mut rng);
+    let mut model = cbnet::CbnetModel {
+        autoencoder: ae,
+        lightweight,
+    };
+    let x = batch(784, 6, 67);
+
+    tensor::backend::set_override(BackendKind::Scalar);
+    let scalar_preds = model.predict(&x);
+    tensor::backend::set_override(BackendKind::Simd);
+    let simd_preds = model.predict(&x);
+    assert_eq!(scalar_preds, simd_preds, "CBNet labels diverged");
+}

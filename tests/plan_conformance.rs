@@ -6,6 +6,10 @@
 //! planned-path latencies without re-validating accuracy: swapping the
 //! executor must never change a single output bit. Weights are fresh
 //! (untrained) — bit-identity is a property of the kernels, not the weights.
+//!
+//! Bit-identity holds on the **scalar** backend (the allocating path always
+//! runs scalar kernels), so every test pins it; scalar-vs-SIMD agreement has
+//! its own suite, `tests/backend_conformance.rs`.
 
 use models::branchynet::{BranchyNet, BranchyNetConfig, ExitDecision};
 use models::lenet::{build_lenet, build_lenet_scaled};
@@ -15,6 +19,15 @@ use nn::{ForwardPlan, Network};
 use tensor::ops::{entropy, softmax_slice};
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
+
+/// Pin the scalar backend for this whole test binary: bit-identity is a
+/// scalar-backend contract (the allocating path always runs scalar kernels).
+/// Every test calls this first so no planned pass ever races ahead on the
+/// auto-resolved backend. Scalar-vs-SIMD agreement has its own suite,
+/// `tests/backend_conformance.rs`.
+fn pin_scalar() {
+    tensor::backend::set_override(tensor::backend::BackendKind::Scalar);
+}
 
 /// Assert planned execution of `net` equals the allocating forward exactly,
 /// through both the cached-plan convenience API and the zero-alloc borrow
@@ -58,6 +71,7 @@ fn batch(pixels: usize, n: usize, seed: u64) -> Tensor {
 
 #[test]
 fn lenet_planned_forward_is_bit_identical() {
+    pin_scalar();
     let mut rng = rng_from_seed(11);
     let mut net = build_lenet(&mut rng);
     let x = batch(784, 6, 1);
@@ -68,6 +82,7 @@ fn lenet_planned_forward_is_bit_identical() {
 fn adadeep_candidate_planned_forward_is_bit_identical() {
     // An AdaDeep search winner is a scaled LeNet; conformance over a
     // non-baseline candidate covers the compressed shapes the search emits.
+    pin_scalar();
     let mut rng = rng_from_seed(12);
     let mut net = build_lenet_scaled([3, 6, 12], 42, &mut rng);
     let x = batch(784, 5, 2);
@@ -76,6 +91,7 @@ fn adadeep_candidate_planned_forward_is_bit_identical() {
 
 #[test]
 fn subflow_subgraph_planned_forward_is_bit_identical() {
+    pin_scalar();
     let mut rng = rng_from_seed(13);
     let sf = SubFlow::new(build_lenet(&mut rng));
     let mut sub = sf.subnetwork(0.75);
@@ -85,6 +101,7 @@ fn subflow_subgraph_planned_forward_is_bit_identical() {
 
 #[test]
 fn branchynet_stages_and_batched_infer_are_bit_identical() {
+    pin_scalar();
     let mut rng = rng_from_seed(14);
     let mut bn = BranchyNet::new(
         BranchyNetConfig {
@@ -132,6 +149,7 @@ fn branchynet_stages_and_batched_infer_are_bit_identical() {
 
 #[test]
 fn cbnet_planned_prediction_is_bit_identical() {
+    pin_scalar();
     let mut rng = rng_from_seed(15);
     let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
     let mut lightweight = extract_lightweight(&bn);
