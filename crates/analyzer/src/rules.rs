@@ -8,6 +8,7 @@
 //! | `conformance-coverage` | every public `*_into` kernel in `crates/tensor` is pinned by the conformance suites |
 //! | `into-doc-contract` | every `pub fn *_into` documents its output/scratch ownership |
 //! | `unsafe-audit` | `unsafe` stays inside the sanctioned modules, and every use carries a `// SAFETY:` comment (or `# Safety` rustdoc) |
+//! | `obs-doc` | every recording fn of the observability layer documents its allocation behaviour |
 //! | `bad-allow` | `lint:allow` escape hatches are well-formed (rule exists, reason given) |
 //!
 //! Any violation can be suppressed per line with
@@ -20,13 +21,14 @@ use crate::lexer::{CleanSource, Tok, TokKind};
 use crate::structure::{FileStructure, FnSpan, SHIMMED_CRATES};
 
 /// Rule names, in report order. `bad-allow` guards the escape hatch itself.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "hot-path-alloc",
     "panic-in-lib",
     "shim-drift",
     "conformance-coverage",
     "into-doc-contract",
     "unsafe-audit",
+    "obs-doc",
     "bad-allow",
 ];
 
@@ -79,6 +81,7 @@ pub fn run_rules(files: &[FileCtx]) -> Vec<RawViolation> {
         panic_in_lib(f, &mut out);
         into_doc_contract(f, &mut out);
         unsafe_audit(f, &mut out);
+        obs_doc(f, &mut out);
         bad_allow(f, &mut out);
     }
     shim_drift(files, &mut out);
@@ -88,13 +91,15 @@ pub fn run_rules(files: &[FileCtx]) -> Vec<RawViolation> {
 
 /// Functions on the planned-inference hot path: `*_into` kernels, the
 /// scratch sizers they rely on, and every `ForwardPlan` method except the
-/// allocating constructors (`new` and the backend-pinning `with_backend`).
+/// allocating constructors (`new`, the backend-pinning `with_backend` and
+/// the probe-pinning `with_probe`).
 fn is_hot_fn(f: &FnSpan) -> bool {
     f.name.ends_with("_into")
         || f.name.ends_with("_scratch_floats")
         || (f.parent_impl.as_deref() == Some("ForwardPlan")
             && f.name != "new"
-            && f.name != "with_backend")
+            && f.name != "with_backend"
+            && f.name != "with_probe")
 }
 
 const ALLOC_METHODS: [&str; 5] = ["clone", "collect", "to_vec", "to_string", "to_owned"];
@@ -197,6 +202,30 @@ const DOC_KEYWORDS: [&str; 8] = [
     "out", "output", "scratch", "written", "overwrit", "in place", "in-place", "dst",
 ];
 
+/// The contiguous rustdoc block above the item at `fn_line`, skipping
+/// attributes and blank lines between the docs and the signature.
+fn doc_block_above(f: &FileCtx, clean_lines: &[&str], fn_line: usize) -> String {
+    let mut doc = String::new();
+    let mut l = fn_line;
+    while l > 1 {
+        l -= 1;
+        if let Some(text) = f.clean.docs.get(&l) {
+            doc.push_str(text);
+            doc.push(' ');
+            continue;
+        }
+        let content = clean_lines.get(l - 1).map_or("", |s| s.trim());
+        let attr_like = content.is_empty()
+            || content.starts_with('#')
+            || content.ends_with(']')
+            || content.ends_with('(');
+        if !attr_like {
+            break;
+        }
+    }
+    doc
+}
+
 fn into_doc_contract(f: &FileCtx, out: &mut Vec<RawViolation>) {
     if !f.is_lib_src() || f.is_shim() {
         return;
@@ -206,26 +235,7 @@ fn into_doc_contract(f: &FileCtx, out: &mut Vec<RawViolation>) {
         if !span.is_pub || !span.name.ends_with("_into") {
             continue;
         }
-        // Collect the contiguous doc block above the fn, skipping
-        // attributes and blank lines between the docs and the signature.
-        let mut doc = String::new();
-        let mut l = span.line;
-        while l > 1 {
-            l -= 1;
-            if let Some(text) = f.clean.docs.get(&l) {
-                doc.push_str(text);
-                doc.push(' ');
-                continue;
-            }
-            let content = clean_lines.get(l - 1).map_or("", |s| s.trim());
-            let attr_like = content.is_empty()
-                || content.starts_with('#')
-                || content.ends_with(']')
-                || content.ends_with('(');
-            if !attr_like {
-                break;
-            }
-        }
+        let doc = doc_block_above(f, &clean_lines, span.line);
         let doc_lower = doc.to_lowercase();
         let message = if doc.trim().is_empty() {
             format!(
@@ -340,6 +350,55 @@ fn unsafe_audit(f: &FileCtx, out: &mut Vec<RawViolation>) {
                     .into(),
             });
         }
+    }
+}
+
+/// The observability recording surface: ring/metric writers by name
+/// (`record`, `observe`, `inc`, `gauge_set`) plus the `on_*` callback
+/// convention (`SimObserver`, `PlanProbe`).
+fn is_recording_fn(f: &FnSpan) -> bool {
+    matches!(f.name.as_str(), "record" | "observe" | "inc" | "gauge_set")
+        || f.name.starts_with("on_")
+}
+
+/// The sources that make up the observability layer's recording API.
+fn is_obs_source(rel: &str) -> bool {
+    rel.starts_with("crates/obs/src/") || rel == "crates/edgesim/src/observe.rs"
+}
+
+/// Recording functions sit on simulator/inference hot paths, so callers
+/// must be able to read their allocation contract off the signature: every
+/// recording fn in the observability layer needs rustdoc that mentions
+/// allocation behaviour ("allocation-free", "does not allocate",
+/// "allocates the ...", ...). Trait declarations count too — that is where
+/// implementors read the contract.
+fn obs_doc(f: &FileCtx, out: &mut Vec<RawViolation>) {
+    if !is_obs_source(&f.rel) || !f.is_lib_src() {
+        return;
+    }
+    let clean_lines: Vec<&str> = f.clean.clean.lines().collect();
+    for span in f.structure.fns.iter().filter(|s| is_recording_fn(s)) {
+        let doc = doc_block_above(f, &clean_lines, span.line);
+        let message = if doc.trim().is_empty() {
+            format!(
+                "recording fn `{}` has no rustdoc — state its allocation behaviour \
+                 (it is called from hot paths)",
+                span.name
+            )
+        } else if !doc.to_lowercase().contains("alloc") {
+            format!(
+                "rustdoc for recording fn `{}` does not state its allocation behaviour",
+                span.name
+            )
+        } else {
+            continue;
+        };
+        out.push(RawViolation {
+            rule: "obs-doc",
+            file: f.rel.clone(),
+            line: span.line,
+            message,
+        });
     }
 }
 

@@ -18,9 +18,10 @@ const KERNELS: &str = include_str!("fixtures/kernels.rs");
 const CONFORMANCE: &str = include_str!("fixtures/conformance.rs");
 const BAD_ALLOWS: &str = include_str!("fixtures/bad_allows.rs");
 const UNSAFE_AUDIT: &str = include_str!("fixtures/unsafe_audit.rs");
+const OBS_DOC: &str = include_str!("fixtures/obs_doc.rs");
 
 /// All fixtures mapped to paths that put them in their rule's scope.
-const ALL_FIXTURES: [(&str, &str); 8] = [
+const ALL_FIXTURES: [(&str, &str); 9] = [
     ("crates/nn/src/fixture_hot.rs", HOT_PATH),
     ("crates/demo/src/lib.rs", PANICS),
     ("crates/demo/src/shim_user.rs", SHIM_USER),
@@ -29,6 +30,7 @@ const ALL_FIXTURES: [(&str, &str); 8] = [
     ("tests/plan_conformance.rs", CONFORMANCE),
     ("crates/demo/src/allows.rs", BAD_ALLOWS),
     ("crates/testkit/src/lib.rs", UNSAFE_AUDIT),
+    ("crates/obs/src/fixture_sink.rs", OBS_DOC),
 ];
 
 fn report_for(files: &[(&str, &str)]) -> Report {
@@ -62,10 +64,15 @@ fn hot_path_alloc_flags_kernels_and_plan_methods() {
     let hot = by_rule(&report, "hot-path-alloc");
 
     // `.clone()` + `.to_vec()` in ForwardPlan::run, `vec!` in relu_into,
-    // `.collect()` in plan_scratch_floats.
-    assert_eq!(open_lines(&hot), vec![17, 18, 26, 41]);
+    // `.collect()` in plan_scratch_floats, `format!` building a metric
+    // label in labelled_into. Handle-based obs recording in observed_into
+    // is sanctioned — hot-path instrumentation must go through the
+    // alloc-free record API, and then it lints clean.
+    assert_eq!(open_lines(&hot), vec![17, 18, 26, 41, 68]);
     assert!(hot[0].message.contains("`run`"));
     assert!(hot[2].message.contains("vec!"));
+    assert!(hot.last().unwrap().message.contains("format!"));
+    assert!(!hot.iter().any(|v| v.message.contains("observed_into")));
 
     // The annotated `.to_vec()` in scaled_into is suppressed with its reason.
     let suppressed: Vec<_> = hot.iter().filter(|v| v.suppressed.is_some()).collect();
@@ -218,6 +225,38 @@ fn unsafe_audit_skips_test_and_bin_sources() {
         let report = report_for(&[(rel, UNSAFE_AUDIT)]);
         assert!(
             by_rule(&report, "unsafe-audit").is_empty(),
+            "{rel} should be exempt"
+        );
+    }
+}
+
+#[test]
+fn obs_doc_requires_allocation_wording_on_recording_fns() {
+    let report = report_for(&[("crates/obs/src/fixture_sink.rs", OBS_DOC)]);
+    let docs = by_rule(&report, "obs-doc");
+
+    // `inc`'s rustdoc never mentions allocation; `observe` has none at all.
+    // `record`, `gauge_set` and both `on_layer`s state their contract, and
+    // the allocating `export` is not a recording fn.
+    assert_eq!(open_lines(&docs), vec![10, 12]);
+    assert!(docs[0].message.contains("does not state"));
+    assert!(docs[1].message.contains("no rustdoc"));
+
+    // The trait's default method is suppressed with a reason.
+    let suppressed: Vec<_> = docs.iter().filter(|v| v.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 30);
+}
+
+#[test]
+fn obs_doc_only_applies_to_the_observability_sources() {
+    // The same source outside crates/obs (or edgesim's observe module) is
+    // out of scope: the rule pins the obs recording API, not every fn that
+    // happens to be named `record`.
+    for rel in ["crates/demo/src/lib.rs", "crates/obs/tests/sink.rs"] {
+        let report = report_for(&[(rel, OBS_DOC)]);
+        assert!(
+            by_rule(&report, "obs-doc").is_empty(),
             "{rel} should be exempt"
         );
     }

@@ -46,3 +46,26 @@ pub fn cold_helper(input: &[f32]) -> Vec<f32> {
     // Not a hot-path fn: allocation is fine here.
     input.to_vec()
 }
+
+pub struct Registry;
+
+impl Registry {
+    pub fn inc(&self, _id: usize, _by: u64) {}
+}
+
+/// Copies `input` into `out`, recording through a preallocated handle.
+pub fn observed_into(input: &[f32], out: &mut [f32], reg: &Registry) {
+    // Sanctioned: handle-based, allocation-free obs recording in a hot
+    // kernel does not trip the rule.
+    reg.inc(0, input.len() as u64);
+    out.copy_from_slice(input);
+}
+
+/// Copies `input` into `out` and returns a label for it.
+pub fn labelled_into(input: &[f32], out: &mut [f32]) -> String {
+    // Violation: building a metric label allocates on the hot path —
+    // names belong in registration, not in recording.
+    let label = format!("kernel.{}", input.len());
+    out.copy_from_slice(input);
+    label
+}

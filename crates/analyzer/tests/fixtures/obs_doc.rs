@@ -1,0 +1,36 @@
+//! Fixture: recording fns must document their allocation behaviour.
+
+pub struct Sink;
+
+impl Sink {
+    /// Record one event. Allocation-free: assigns a preallocated slot.
+    pub fn record(&mut self, _v: f64) {}
+
+    /// Bump a counter. (Silent on the heap contract: violation.)
+    pub fn inc(&self, _by: u64) {}
+
+    pub fn observe(&self, _v: f64) {} // violation: no rustdoc at all
+
+    /// Gauge write; does not allocate.
+    pub fn gauge_set(&self, _v: f64) {}
+
+    /// Encode everything as JSON. Not a recording fn: out of scope even
+    /// though this one allocates freely.
+    pub fn export(&self) -> String {
+        String::new()
+    }
+}
+
+pub trait Probe {
+    /// Called on the hot path — implementations must not allocate.
+    fn on_layer(&self, _i: usize);
+
+    /// Default: ignore the event. (Suppressed violation below.)
+    // lint:allow(obs-doc, reason = "fixture: contract documented on the trait")
+    fn on_compaction(&self) {}
+}
+
+impl Probe for Sink {
+    /// Atomic add into a fixed cell — allocation-free.
+    fn on_layer(&self, _i: usize) {}
+}

@@ -23,17 +23,23 @@
 //!
 //! Env knobs: `CBNET_SCALE=small` shrinks training; `CBNET_FLEET_SMOKE=1`
 //! shrinks the sweep matrix (one family, one load, fewer requests) for CI
-//! smoke runs.
+//! smoke runs. With `CBNET_OBS=metrics|trace` every cell runs observed:
+//! per-tier metrics accumulate across the whole matrix into `METRICS.json`
+//! (path override: `CBNET_METRICS_JSON`) and, under `trace`, the **last**
+//! cell's span ring is exported to `TRACE.jsonl` (`CBNET_TRACE_JSONL`) —
+//! one full per-request trace being more useful than an interleaved soup
+//! of every cell.
 
 use bench::{banner, scale_from_env};
 use cbnet::registry::{ModelKind, ModelRegistry};
 use cbnet::table::TextTable;
 use datasets::Family;
-use edgesim::fleet::{simulate_fleet, NetworkLink, Tier};
+use edgesim::fleet::{simulate_fleet, try_simulate_fleet_observed, NetworkLink, Tier};
 use edgesim::{
     AdmissionPolicy, ArrivalProcess, CostProfile, Device, DeviceModel, FleetConfig,
-    OffloadPolicyKind, SchedulerKind,
+    OffloadPolicyKind, SchedulerKind, SimObserver,
 };
+use obs::{MetricsRegistry, ObsMode};
 
 /// Offered loads swept, as fractions of the edge tier's aggregate capacity
 /// (`servers × 1000 / E[S_edge]`); 1.2 overloads the edge on purpose —
@@ -248,8 +254,22 @@ fn main() {
         "tier_util",
         "energy (J)",
     ]);
+    let mode = ObsMode::resolve();
+    let mut metrics_acc = MetricsRegistry::new();
+    let mut last_trace: Option<String> = None;
     for cell in &cells {
-        let r = simulate_fleet(&cell.fleet, cell.policy);
+        let r = if mode.metrics_enabled() {
+            let mut observer = SimObserver::for_fleet(&cell.fleet, &cell.policy.label());
+            let r = try_simulate_fleet_observed(&cell.fleet, cell.policy, &mut observer)
+                .expect("every cell was validated up front");
+            metrics_acc.merge_from(observer.registry());
+            if mode.trace_enabled() {
+                last_trace = Some(observer.trace_jsonl());
+            }
+            r
+        } else {
+            simulate_fleet(&cell.fleet, cell.policy)
+        };
         let tier_util = r
             .tiers
             .iter()
@@ -284,4 +304,17 @@ fn main() {
     println!("\n--- CSV ---");
     print!("{}", table.to_csv());
     println!("--- END CSV ---");
+
+    if mode.metrics_enabled() {
+        let path =
+            std::env::var("CBNET_METRICS_JSON").unwrap_or_else(|_| "METRICS.json".to_string());
+        std::fs::write(&path, metrics_acc.write_json(mode))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} (mode {}, every cell merged)", mode.name());
+    }
+    if let Some(trace) = last_trace {
+        let path = std::env::var("CBNET_TRACE_JSONL").unwrap_or_else(|_| "TRACE.jsonl".to_string());
+        std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} (last cell's span ring)");
+    }
 }

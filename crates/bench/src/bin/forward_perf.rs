@@ -22,12 +22,14 @@
 //!   ns/sample on the dense MLP at batch ≥ 32 (when SIMD is available).
 
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{dense_mlp, FORWARD_BATCHES as BATCHES};
 use models::branchynet::{BranchyNet, BranchyNetConfig};
 use models::lenet::build_lenet;
 use nn::{ForwardPlan, Network};
+use obs::LayerProfile;
 use tensor::backend::Backend;
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
@@ -140,6 +142,68 @@ fn measure_branchynet(reps: usize, rows: &mut Vec<Row>) {
     }
 }
 
+/// Per-layer wall-time breakdown of the planned path via an explicit
+/// [`LayerProfile`] probe ([`ForwardPlan::with_probe`] — no global install,
+/// so the timing sweep above stays probe-free), plus BranchyNet's per-exit
+/// compaction counts via the process-wide probe slot. Runs **after** the
+/// headline measurements so the probe's clock reads cannot perturb them.
+fn probe_breakdown(reps: usize) {
+    println!("\n=== per-layer breakdown (planned path, scalar, probed separately) ===");
+    let mut rng = rng_from_seed(1);
+    let nets: Vec<(&str, Network)> =
+        vec![("LeNet", build_lenet(&mut rng)), ("DenseMLP", dense_mlp(2))];
+    for (name, mut net) in nets {
+        for n in [8usize, 32] {
+            let mut rng = rng_from_seed(n as u64);
+            let x = Tensor::rand_uniform(&[n, 784], 0.0, 1.0, &mut rng);
+            let profile = Arc::new(LayerProfile::new());
+            let mut plan =
+                ForwardPlan::with_probe(&net, n, Backend::scalar(), Some(profile.clone()));
+            plan.run(net.layers_mut(), &x); // warm-up outside the ledger
+            profile.reset();
+            for _ in 0..reps {
+                std::hint::black_box(plan.run(net.layers_mut(), &x));
+            }
+            let total: f64 = (0..net.layers().len())
+                .filter_map(|i| profile.layer_ns_per_sample(i))
+                .sum();
+            println!("  {name} batch {n} — {total:.0} ns/sample planned:");
+            for (i, layer) in net.layers().iter().enumerate() {
+                if let Some(ns) = profile.layer_ns_per_sample(i) {
+                    println!(
+                        "    layer {i:>2} {:<10} {ns:>10.0} ns/sample  ({:>5.1}%)",
+                        layer.name(),
+                        100.0 * ns / total
+                    );
+                }
+            }
+        }
+    }
+
+    // BranchyNet exit compaction: `infer`'s cached plans resolve the
+    // process-wide probe slot, so this one goes through install/clear.
+    let profile = Arc::new(LayerProfile::new());
+    obs::probe::install(profile.clone());
+    let mut rng = rng_from_seed(9);
+    let mut bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+    bn.set_threshold(1.0);
+    let x = Tensor::rand_uniform(&[64, 784], 0.0, 1.0, &mut rng);
+    for _ in 0..reps.max(2) {
+        std::hint::black_box(bn.infer(&x));
+    }
+    obs::probe::clear();
+    println!("  BranchyNet batch 64 — per-exit compaction:");
+    for i in 0..obs::probe::MAX_EXITS {
+        if let Some((events, exited, offered)) = profile.exit(i) {
+            println!(
+                "    exit {i}: {exited}/{offered} rows exited early over {events} batches \
+                 ({:.1}%)",
+                100.0 * exited as f64 / offered as f64
+            );
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::var("CBNET_FORWARD_PERF_SMOKE").is_ok();
     let reps = if smoke { 5 } else { 40 };
@@ -167,6 +231,8 @@ fn main() {
             vs_scalar(&rows, r)
         );
     }
+
+    probe_breakdown(reps);
 
     let path = std::env::var("BENCH_FORWARD_JSON").unwrap_or_else(|_| "BENCH_forward.json".into());
     if path != "-" {

@@ -1,0 +1,248 @@
+//! Schema validator for the observability artifacts: `METRICS.json` and the
+//! `TRACE.jsonl` span stream — the CI gate behind the obs smoke step.
+//!
+//! ```text
+//! cargo run -p bench --bin obs_check -- METRICS.json [TRACE.jsonl] [--fleet]
+//! ```
+//!
+//! Checks, via the dependency-free `obs::json` parser:
+//!
+//! * `METRICS.json` is a single JSON object with `schema` equal to
+//!   [`obs::SCHEMA_VERSION`], a known `mode`, and well-formed `counters` /
+//!   `gauges` / `histograms` arrays (each histogram's `buckets` a list of
+//!   `[upper_edge, count]` pairs with counts summing to `count`).
+//! * `TRACE.jsonl` starts with a header line (`schema`, `capacity`,
+//!   `events`, `overwritten`, `tiers`) followed by exactly `events` event
+//!   lines, each with a known `event` kind, a `tier` drawn from the header's
+//!   name table, and per-request non-decreasing `seq`.
+//! * With `--fleet`: the metrics additionally carry at least one per-tier
+//!   `tier.<name>.queue_depth` gauge, `tier.<name>.sojourn_ms` histogram
+//!   and `policy.<label>.decision.*` counter — the fleet ledger the ISSUE's
+//!   acceptance criteria name.
+//!
+//! Exit status 0 on success, 1 with a diagnostic on the first violation.
+
+use obs::json::{parse, JsonValue};
+
+/// Span kinds `obs::SpanKind::name` can emit.
+const KNOWN_EVENTS: [&str; 9] = [
+    "arrival",
+    "admit",
+    "drop",
+    "queue_enter",
+    "queue_leave",
+    "service_start",
+    "service_end",
+    "offload_hop",
+    "exit_depth",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn require<'a>(obj: &'a JsonValue, key: &str, ctx: &str) -> &'a JsonValue {
+    obj.get(key)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing key \"{key}\"")))
+}
+
+fn require_num(obj: &JsonValue, key: &str, ctx: &str) -> f64 {
+    match require(obj, key, ctx) {
+        JsonValue::Num(v) => *v,
+        JsonValue::Null => f64::NAN, // non-finite stats export as null
+        _ => fail(&format!("{ctx}: \"{key}\" is not a number")),
+    }
+}
+
+fn require_str<'a>(obj: &'a JsonValue, key: &str, ctx: &str) -> &'a str {
+    require(obj, key, ctx)
+        .as_str()
+        .unwrap_or_else(|| fail(&format!("{ctx}: \"{key}\" is not a string")))
+}
+
+fn require_arr<'a>(obj: &'a JsonValue, key: &str, ctx: &str) -> &'a [JsonValue] {
+    require(obj, key, ctx)
+        .as_arr()
+        .unwrap_or_else(|| fail(&format!("{ctx}: \"{key}\" is not an array")))
+}
+
+fn check_metrics(src: &str, fleet: bool) {
+    let doc = parse(src).unwrap_or_else(|e| fail(&format!("METRICS.json does not parse: {e}")));
+    let schema = require_num(&doc, "schema", "metrics");
+    if schema != obs::SCHEMA_VERSION as f64 {
+        fail(&format!(
+            "metrics schema {schema} != expected {}",
+            obs::SCHEMA_VERSION
+        ));
+    }
+    let mode = require_str(&doc, "mode", "metrics");
+    if !["off", "metrics", "trace"].contains(&mode) {
+        fail(&format!("unknown metrics mode {mode:?}"));
+    }
+
+    let counters = require_arr(&doc, "counters", "metrics");
+    for c in counters {
+        let name = require_str(c, "name", "counter");
+        let v = require_num(c, "value", &format!("counter {name}"));
+        if !(v >= 0.0 && v.fract() == 0.0) {
+            fail(&format!("counter {name} value {v} is not a whole number"));
+        }
+    }
+    let gauges = require_arr(&doc, "gauges", "metrics");
+    for g in gauges {
+        let name = require_str(g, "name", "gauge");
+        require_num(g, "value", &format!("gauge {name}"));
+        require_num(g, "max", &format!("gauge {name}"));
+    }
+    let histograms = require_arr(&doc, "histograms", "metrics");
+    for h in histograms {
+        let name = require_str(h, "name", "histogram");
+        let ctx = format!("histogram {name}");
+        let count = require_num(h, "count", &ctx);
+        for q in ["sum", "min", "max", "p50", "p90", "p99"] {
+            require_num(h, q, &ctx);
+        }
+        let buckets = require_arr(h, "buckets", &ctx);
+        let mut bucket_total = 0.0;
+        let mut prev_edge = f64::NEG_INFINITY;
+        for b in buckets {
+            let pair = b
+                .as_arr()
+                .unwrap_or_else(|| fail(&format!("{ctx}: bucket is not a pair")));
+            if pair.len() != 2 {
+                fail(&format!("{ctx}: bucket is not an [upper, count] pair"));
+            }
+            let edge = pair[0]
+                .as_f64()
+                .unwrap_or_else(|| fail(&format!("{ctx}: bucket edge is not a number")));
+            if edge <= prev_edge {
+                fail(&format!("{ctx}: bucket edges are not strictly increasing"));
+            }
+            prev_edge = edge;
+            bucket_total += pair[1]
+                .as_f64()
+                .unwrap_or_else(|| fail(&format!("{ctx}: bucket count is not a number")));
+        }
+        if bucket_total != count {
+            fail(&format!(
+                "{ctx}: bucket counts sum to {bucket_total}, header says {count}"
+            ));
+        }
+    }
+
+    if fleet {
+        let has = |arr: &[JsonValue], pre: &str, suf: &str| {
+            arr.iter().any(|v| {
+                v.get("name")
+                    .and_then(|n| n.as_str())
+                    .is_some_and(|n| n.starts_with(pre) && n.ends_with(suf))
+            })
+        };
+        if !has(gauges, "tier.", ".queue_depth") {
+            fail("fleet metrics carry no tier.<name>.queue_depth gauge");
+        }
+        if !has(histograms, "tier.", ".sojourn_ms") {
+            fail("fleet metrics carry no tier.<name>.sojourn_ms histogram");
+        }
+        if !has(histograms, "tier.", ".transfer_ms") {
+            fail("fleet metrics carry no tier.<name>.transfer_ms histogram");
+        }
+        if !has(counters, "policy.", "") {
+            fail("fleet metrics carry no policy.<label>.decision counters");
+        }
+    }
+    println!(
+        "obs_check: METRICS.json ok — {} counters, {} gauges, {} histograms (mode {mode})",
+        counters.len(),
+        gauges.len(),
+        histograms.len()
+    );
+}
+
+fn check_trace(src: &str) {
+    let mut lines = src.lines();
+    let header_line = lines.next().unwrap_or_else(|| fail("trace is empty"));
+    let header = parse(header_line).unwrap_or_else(|e| fail(&format!("trace header: {e}")));
+    if require_str(&header, "kind", "trace header") != "header" {
+        fail("first trace line is not the header");
+    }
+    let schema = require_num(&header, "schema", "trace header");
+    if schema != obs::SCHEMA_VERSION as f64 {
+        fail(&format!(
+            "trace schema {schema} != expected {}",
+            obs::SCHEMA_VERSION
+        ));
+    }
+    let capacity = require_num(&header, "capacity", "trace header");
+    let events = require_num(&header, "events", "trace header");
+    require_num(&header, "overwritten", "trace header");
+    if events > capacity {
+        fail(&format!(
+            "header claims {events} events > capacity {capacity}"
+        ));
+    }
+    let tiers: Vec<&str> = require_arr(&header, "tiers", "trace header")
+        .iter()
+        .map(|t| {
+            t.as_str()
+                .unwrap_or_else(|| fail("tier name is not a string"))
+        })
+        .collect();
+
+    let mut seen = 0usize;
+    // Per-request seq monotonicity over a bounded window (requests are
+    // dense ids; a sparse map would drag in a hash table for no benefit).
+    let mut last_seq: Vec<i64> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let ctx = format!("trace line {}", i + 2);
+        let ev = parse(line).unwrap_or_else(|e| fail(&format!("{ctx}: {e}")));
+        let kind = require_str(&ev, "event", &ctx);
+        if !KNOWN_EVENTS.contains(&kind) {
+            fail(&format!("{ctx}: unknown event kind {kind:?}"));
+        }
+        let tier = require_str(&ev, "tier", &ctx);
+        if !tiers.contains(&tier) && tier != "unknown" {
+            fail(&format!("{ctx}: tier {tier:?} not in header table"));
+        }
+        let seq = require_num(&ev, "seq", &ctx) as i64;
+        let req = require_num(&ev, "req", &ctx) as usize;
+        require_num(&ev, "t_ms", &ctx);
+        require_num(&ev, "server", &ctx);
+        require_num(&ev, "value", &ctx);
+        if req >= last_seq.len() {
+            last_seq.resize(req + 1, -1);
+        }
+        if seq <= last_seq[req] {
+            fail(&format!("{ctx}: request {req} seq went backwards"));
+        }
+        last_seq[req] = seq;
+        seen += 1;
+    }
+    if seen as f64 != events {
+        fail(&format!(
+            "header claims {events} events, found {seen} lines"
+        ));
+    }
+    println!(
+        "obs_check: TRACE.jsonl ok — {seen} events over {} tiers",
+        tiers.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let metrics_path = paths
+        .first()
+        .unwrap_or_else(|| fail("usage: obs_check METRICS.json [TRACE.jsonl] [--fleet]"));
+    let metrics = std::fs::read_to_string(metrics_path)
+        .unwrap_or_else(|e| fail(&format!("reading {metrics_path}: {e}")));
+    check_metrics(&metrics, fleet);
+    if let Some(trace_path) = paths.get(1) {
+        let trace = std::fs::read_to_string(trace_path)
+            .unwrap_or_else(|e| fail(&format!("reading {trace_path}: {e}")));
+        check_trace(&trace);
+    }
+}

@@ -24,15 +24,22 @@
 //!
 //! Env knobs: `CBNET_SCALE=small` shrinks training;
 //! `CBNET_SERVING_SMOKE=1` shrinks the sweep matrix itself (one family, one
-//! load, fewer requests) for CI smoke runs.
+//! load, fewer requests) for CI smoke runs. With `CBNET_OBS=metrics|trace`
+//! every cell runs observed: metrics accumulate across the matrix into
+//! `METRICS.json` (path override: `CBNET_METRICS_JSON`) and, under `trace`,
+//! the last cell's span ring is exported to `TRACE.jsonl`
+//! (`CBNET_TRACE_JSONL`).
 
 use bench::{banner, scale_from_env};
 use cbnet::registry::{ModelKind, ModelRegistry};
 use cbnet::table::TextTable;
 use datasets::Family;
-use edgesim::engine::{simulate_engine, AdmissionPolicy, EngineConfig, SchedulerKind};
+use edgesim::engine::{
+    simulate_engine, try_simulate_engine_observed, AdmissionPolicy, EngineConfig, SchedulerKind,
+};
 use edgesim::pipeline::ServingConfig;
-use edgesim::{CostProfile, Device, DeviceModel};
+use edgesim::{CostProfile, Device, DeviceModel, SimObserver};
+use obs::{MetricsRegistry, ObsMode};
 
 /// Offered loads swept per device, as fractions of the LeNet baseline's
 /// aggregate service capacity across all servers of the cell.
@@ -215,9 +222,23 @@ fn main() {
         "util/server",
         "energy (J)",
     ]);
+    let mode = ObsMode::resolve();
+    let mut metrics_acc = MetricsRegistry::new();
+    let mut last_trace: Option<String> = None;
     for cell in &cells {
         let device_model = DeviceModel::preset(cell.device);
-        let r = simulate_engine(&device_model, &cell.engine);
+        let r = if mode.metrics_enabled() {
+            let mut observer = SimObserver::for_engine();
+            let r = try_simulate_engine_observed(&device_model, &cell.engine, &mut observer)
+                .expect("every cell was validated up front");
+            metrics_acc.merge_from(observer.registry());
+            if mode.trace_enabled() {
+                last_trace = Some(observer.trace_jsonl());
+            }
+            r
+        } else {
+            simulate_engine(&device_model, &cell.engine)
+        };
         let profile = &cell.engine.workload.profile;
         table.row(&[
             cell.family.name().to_string(),
@@ -253,4 +274,17 @@ fn main() {
     println!("\n--- CSV ---");
     print!("{}", table.to_csv());
     println!("--- END CSV ---");
+
+    if mode.metrics_enabled() {
+        let path =
+            std::env::var("CBNET_METRICS_JSON").unwrap_or_else(|_| "METRICS.json".to_string());
+        std::fs::write(&path, metrics_acc.write_json(mode))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} (mode {}, every cell merged)", mode.name());
+    }
+    if let Some(trace) = last_trace {
+        let path = std::env::var("CBNET_TRACE_JSONL").unwrap_or_else(|_| "TRACE.jsonl".to_string());
+        std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} (last cell's span ring)");
+    }
 }

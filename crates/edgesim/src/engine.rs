@@ -33,6 +33,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::arrivals::ArrivalProcess;
 use crate::device::DeviceModel;
+use crate::observe::SimObserver;
 use crate::pipeline::{finalize_report, ServingConfig, ServingReport};
 
 /// One request flowing through the engine. The service requirement is
@@ -411,6 +412,37 @@ pub fn try_simulate_engine(
     device: &DeviceModel,
     cfg: &EngineConfig,
 ) -> Result<EngineReport, String> {
+    let requests = engine_workload(cfg)?;
+    try_run_engine(device, cfg.servers, cfg.scheduler, cfg.admission, requests)
+}
+
+/// [`try_simulate_engine`] with a [`SimObserver`] fed the event stream.
+///
+/// Observation is read-only: the report is bit-identical to the unobserved
+/// run (pinned by `observed_run_matches_unobserved_bit_for_bit`); the
+/// observer accumulates queue-depth gauges, sojourn/service histograms and
+/// a span-event trace on the side.
+pub fn try_simulate_engine_observed(
+    device: &DeviceModel,
+    cfg: &EngineConfig,
+    obs: &mut SimObserver,
+) -> Result<EngineReport, String> {
+    let requests = engine_workload(cfg)?;
+    run_engine_core(
+        device,
+        cfg.servers,
+        cfg.scheduler,
+        cfg.admission,
+        requests,
+        Some(obs),
+    )
+}
+
+/// Validate `cfg` and pre-generate its workload with the legacy loop's
+/// exact RNG draw order (inter-arrival uniform, then service-quantile
+/// uniform, per request; [`ArrivalProcess::Poisson`] pins that order) — the
+/// anchor of the bit-identical 1-server FIFO conformance.
+fn engine_workload(cfg: &EngineConfig) -> Result<Vec<Request>, String> {
     let w = &cfg.workload;
     if !(w.arrival_rate_hz > 0.0 && w.arrival_rate_hz.is_finite()) {
         return Err(format!(
@@ -422,12 +454,7 @@ pub fn try_simulate_engine(
     if w.requests == 0 {
         return Err("need at least one request".into());
     }
-
-    // Pre-generate the workload with the legacy loop's exact RNG draw order
-    // (inter-arrival uniform, then service-quantile uniform, per request;
-    // [`ArrivalProcess::Poisson`] pins that order) — the anchor of the
-    // bit-identical 1-server FIFO conformance.
-    let requests: Vec<Request> = ArrivalProcess::poisson(w.arrival_rate_hz)
+    Ok(ArrivalProcess::poisson(w.arrival_rate_hz)
         .generate(w.requests, w.seed)
         .into_iter()
         .enumerate()
@@ -436,9 +463,7 @@ pub fn try_simulate_engine(
             arrival_ms,
             service_ms: w.profile.sample(quantile),
         })
-        .collect();
-
-    try_run_engine(device, cfg.servers, cfg.scheduler, cfg.admission, requests)
+        .collect())
 }
 
 /// Run the discrete-event engine over a **pre-generated** workload — the
@@ -477,6 +502,33 @@ pub fn try_run_engine(
     scheduler: SchedulerKind,
     admission: AdmissionPolicy,
     requests: Vec<Request>,
+) -> Result<EngineReport, String> {
+    run_engine_core(device, servers, scheduler, admission, requests, None)
+}
+
+/// [`try_run_engine`] with a [`SimObserver`] fed the event stream (see
+/// [`try_simulate_engine_observed`] for the read-only guarantee).
+pub fn try_run_engine_observed(
+    device: &DeviceModel,
+    servers: usize,
+    scheduler: SchedulerKind,
+    admission: AdmissionPolicy,
+    requests: Vec<Request>,
+    obs: &mut SimObserver,
+) -> Result<EngineReport, String> {
+    run_engine_core(device, servers, scheduler, admission, requests, Some(obs))
+}
+
+/// The one event loop behind both entry points. `obs`, when present, is fed
+/// every arrival/admission/queue/service transition; it never feeds back
+/// into scheduling, so observed and unobserved runs are bit-identical.
+fn run_engine_core(
+    device: &DeviceModel,
+    servers: usize,
+    scheduler: SchedulerKind,
+    admission: AdmissionPolicy,
+    requests: Vec<Request>,
+    mut obs: Option<&mut SimObserver>,
 ) -> Result<EngineReport, String> {
     if servers == 0 {
         return Err("need at least one server".into());
@@ -540,11 +592,23 @@ pub fn try_run_engine(
         match ev.kind {
             EventKind::Arrival(id) => {
                 makespan = makespan.max(now);
-                if admission.admits(scheduler.queue_len()) {
+                let queue_len = scheduler.queue_len();
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_arrival(now, id);
+                    o.on_route(now, id, 0, 0.0);
+                }
+                if admission.admits(queue_len) {
                     scheduler.enqueue(requests[id]);
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_admit(now, id, 0);
+                        o.on_queue_enter(now, id, 0);
+                    }
                 } else {
                     dropped += 1;
                     outcomes[id] = Some(Outcome::Dropped);
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_drop(now, id, 0, queue_len as f64);
+                    }
                 }
             }
             EventKind::Completion { server } => {
@@ -558,6 +622,10 @@ pub fn try_run_engine(
                         start_ms,
                         finish_ms: now,
                     });
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_service_end(now, r.id, 0, server, now - start_ms);
+                        o.on_complete(now, r.id, 0, now - r.arrival_ms);
+                    }
                 }
                 idle[server] = true;
             }
@@ -581,6 +649,12 @@ pub fn try_run_engine(
                         .fold(f64::NEG_INFINITY, f64::max);
                     busy_ms[s] += service;
                     idle[s] = false;
+                    if let Some(o) = obs.as_deref_mut() {
+                        for r in &batch {
+                            o.on_queue_leave(now, r.id, 0);
+                            o.on_service_start(now, r.id, 0, s, batch.len());
+                        }
+                    }
                     in_flight[s] = (now, batch);
                     heap.push(Event {
                         time_ms: now + service,
@@ -823,5 +897,58 @@ mod tests {
             admission: AdmissionPolicy::Unbounded,
         };
         let _ = simulate_engine(&d, &cfg);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_bit_for_bit() {
+        use crate::observe::SimObserver;
+        use obs::ObsMode;
+        let d = DeviceModel::raspberry_pi4();
+        let cfg = EngineConfig {
+            workload: workload(300.0, CostProfile::bimodal(2.0, 13.0, 0.85), 2_000, 11),
+            servers: 2,
+            scheduler: SchedulerKind::Batch {
+                max_batch: 4,
+                max_wait_ms: 3.0,
+            },
+            admission: AdmissionPolicy::Bounded { max_queue: 16 },
+        };
+        let base = try_simulate_engine(&d, &cfg).unwrap();
+        let mut obs = SimObserver::with_mode(ObsMode::Trace, &["device"], "local", 4096);
+        let observed = try_simulate_engine_observed(&d, &cfg, &mut obs).unwrap();
+
+        assert_eq!(
+            base.serving.mean_sojourn_ms,
+            observed.serving.mean_sojourn_ms
+        );
+        assert_eq!(base.serving.p99_ms, observed.serving.p99_ms);
+        assert_eq!(base.serving.energy_j, observed.serving.energy_j);
+        assert_eq!(base.dropped, observed.dropped);
+        assert_eq!(base.completed, observed.completed);
+        for (a, b) in base.records.iter().zip(&observed.records) {
+            assert_eq!(a.outcome, b.outcome);
+        }
+
+        // The observer's ledger agrees with the report.
+        let r = obs.registry();
+        assert_eq!(
+            r.counter_by_name("sim.arrivals"),
+            Some(observed.arrivals as u64)
+        );
+        assert_eq!(
+            r.counter_by_name("sim.completed"),
+            Some(observed.completed as u64)
+        );
+        assert_eq!(
+            r.counter_by_name("sim.dropped"),
+            Some(observed.dropped as u64)
+        );
+        let h = r.histogram_by_name("sim.sojourn_ms").unwrap();
+        assert_eq!(h.count(), observed.completed as u64);
+        // Every queued request eventually leaves: live depth returns to 0.
+        let (depth, max_depth) = r.gauge_by_name("tier.device.queue_depth").unwrap();
+        assert_eq!(depth, 0.0);
+        assert!(max_depth >= 1.0);
+        assert!(!obs.trace().is_empty());
     }
 }

@@ -46,6 +46,7 @@ use crate::arrivals::ArrivalProcess;
 use crate::cost::CostProfile;
 use crate::device::DeviceModel;
 use crate::engine::{AdmissionPolicy, Dispatch, Request, SchedulerKind};
+use crate::observe::SimObserver;
 use crate::pipeline::{finalize_report, percentile_sorted, ServingReport};
 
 /// The uplink between the local gateway and a remote serving tier.
@@ -637,6 +638,43 @@ pub fn try_simulate_fleet_with(
     cfg: &FleetConfig,
     policy: &mut dyn OffloadPolicy,
 ) -> Result<FleetReport, String> {
+    simulate_fleet_core(cfg, policy, None)
+}
+
+/// [`try_simulate_fleet`] with a [`SimObserver`] fed the event stream.
+///
+/// Observation is read-only: the report is bit-identical to the unobserved
+/// run (pinned by `observed_fleet_matches_unobserved_bit_for_bit`); the
+/// observer accumulates per-tier queue-depth gauges, sojourn/service/
+/// transfer histograms, per-policy offload counters and a span-event trace
+/// on the side.
+pub fn try_simulate_fleet_observed(
+    cfg: &FleetConfig,
+    policy: OffloadPolicyKind,
+    obs: &mut SimObserver,
+) -> Result<FleetReport, String> {
+    simulate_fleet_core(cfg, policy.build().as_mut(), Some(obs))
+}
+
+/// [`try_simulate_fleet_with`] with a [`SimObserver`] fed the event stream
+/// (see [`try_simulate_fleet_observed`] for the read-only guarantee).
+pub fn try_simulate_fleet_with_observed(
+    cfg: &FleetConfig,
+    policy: &mut dyn OffloadPolicy,
+    obs: &mut SimObserver,
+) -> Result<FleetReport, String> {
+    simulate_fleet_core(cfg, policy, Some(obs))
+}
+
+/// The one event loop behind every fleet entry point. `obs`, when present,
+/// is fed every gateway/routing/admission/queue/service transition; it
+/// never feeds back into routing or scheduling, so observed and unobserved
+/// runs are bit-identical.
+fn simulate_fleet_core(
+    cfg: &FleetConfig,
+    policy: &mut dyn OffloadPolicy,
+    mut obs: Option<&mut SimObserver>,
+) -> Result<FleetReport, String> {
     cfg.try_valid()?;
     let n = cfg.requests;
 
@@ -695,9 +733,11 @@ pub fn try_simulate_fleet_with(
                  routing: &[(usize, f64, f64)],
                  t: usize,
                  id: usize,
-                 now: f64| {
+                 now: f64,
+                 obs: Option<&mut SimObserver>| {
         let state = &mut tiers[t];
-        if cfg.tiers[t].admission.admits(state.scheduler.queue_len()) {
+        let queue_len = state.scheduler.queue_len();
+        if cfg.tiers[t].admission.admits(queue_len) {
             let service_ms = routing[id].1;
             state.scheduler.enqueue(Request {
                 id,
@@ -705,9 +745,16 @@ pub fn try_simulate_fleet_with(
                 service_ms,
             });
             state.queued_work_ms += service_ms;
+            if let Some(o) = obs {
+                o.on_admit(now, id, t);
+                o.on_queue_enter(now, id, t);
+            }
         } else {
             state.dropped += 1;
             outcomes[id] = Some(FleetOutcome::Dropped);
+            if let Some(o) = obs {
+                o.on_drop(now, id, t, queue_len as f64);
+            }
         }
     };
 
@@ -754,8 +801,21 @@ pub fn try_simulate_fleet_with(
                     .map_or(0.0, |l| l.transfer_ms());
                 routing[id] = (target, service_ms, transfer_ms);
                 tiers[target].routed += 1;
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_arrival(now, id);
+                    o.on_route(now, id, target, transfer_ms);
+                }
                 if target == 0 {
-                    admit(&mut tiers, &mut outcomes, cfg, &routing, 0, id, now);
+                    admit(
+                        &mut tiers,
+                        &mut outcomes,
+                        cfg,
+                        &routing,
+                        0,
+                        id,
+                        now,
+                        obs.as_deref_mut(),
+                    );
                     Some(0)
                 } else {
                     heap.push(Event {
@@ -769,7 +829,16 @@ pub fn try_simulate_fleet_with(
             }
             EventKind::TierArrival { tier, id } => {
                 makespan = makespan.max(now);
-                admit(&mut tiers, &mut outcomes, cfg, &routing, tier, id, now);
+                admit(
+                    &mut tiers,
+                    &mut outcomes,
+                    cfg,
+                    &routing,
+                    tier,
+                    id,
+                    now,
+                    obs.as_deref_mut(),
+                );
                 Some(tier)
             }
             EventKind::Completion { tier, server } => {
@@ -784,6 +853,10 @@ pub fn try_simulate_fleet_with(
                         start_ms,
                         finish_ms: now,
                     });
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_service_end(now, r.id, tier, server, now - start_ms);
+                        o.on_complete(now, r.id, tier, now - requests[r.id].gateway_ms);
+                    }
                 }
                 state.idle[server] = true;
                 Some(tier)
@@ -809,6 +882,12 @@ pub fn try_simulate_fleet_with(
                         state.queued_work_ms -= batch.iter().map(|r| r.service_ms).sum::<f64>();
                         state.busy_ms[s] += service;
                         state.idle[s] = false;
+                        if let Some(o) = obs.as_deref_mut() {
+                            for r in &batch {
+                                o.on_queue_leave(now, r.id, t);
+                                o.on_service_start(now, r.id, t, s, batch.len());
+                            }
+                        }
                         state.in_flight[s] = (now, now + service, batch);
                         heap.push(Event {
                             time_ms: now + service,
@@ -1217,5 +1296,88 @@ mod tests {
         assert!((cfg.aggregate_capacity_hz() - 5000.0).abs() < 1e-9);
         // 200/s · 2 ms / 2 servers = 0.2.
         assert!((cfg.local_load_per_server() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_fleet_matches_unobserved_bit_for_bit() {
+        use crate::observe::SimObserver;
+        use obs::{ObsMode, SpanKind};
+        let mut cfg = two_tier(
+            CostProfile::bimodal(2.0, 13.0, 0.8),
+            CostProfile::bimodal(0.4, 1.8, 0.8),
+        );
+        cfg.tiers[0].admission = AdmissionPolicy::Bounded { max_queue: 24 };
+        cfg.requests = 4_000;
+        let policy = OffloadPolicyKind::ExitConfidence;
+
+        let base = try_simulate_fleet(&cfg, policy).unwrap();
+        let mut obs =
+            SimObserver::with_mode(ObsMode::Trace, &["edge", "cloud"], &policy.label(), 1 << 16);
+        let observed = try_simulate_fleet_observed(&cfg, policy, &mut obs).unwrap();
+
+        assert_eq!(base.completed, observed.completed);
+        assert_eq!(base.dropped, observed.dropped);
+        assert_eq!(base.offloaded, observed.offloaded);
+        assert_eq!(base.end_to_end.p99_ms, observed.end_to_end.p99_ms);
+        assert_eq!(base.end_to_end.energy_j, observed.end_to_end.energy_j);
+        for (a, b) in base.tiers.iter().zip(&observed.tiers) {
+            assert_eq!(a.serving.mean_sojourn_ms, b.serving.mean_sojourn_ms);
+            assert_eq!(a.routed, b.routed);
+            assert_eq!(a.dropped, b.dropped);
+        }
+
+        // Per-tier ledger agrees with the report.
+        let r = obs.registry();
+        for (i, name) in ["edge", "cloud"].iter().enumerate() {
+            assert_eq!(
+                r.counter_by_name(&format!("tier.{name}.routed")),
+                Some(observed.tiers[i].routed as u64)
+            );
+            assert_eq!(
+                r.counter_by_name(&format!("tier.{name}.completed")),
+                Some(observed.tiers[i].completed as u64)
+            );
+            assert_eq!(
+                r.histogram_by_name(&format!("tier.{name}.sojourn_ms"))
+                    .unwrap()
+                    .count(),
+                observed.tiers[i].completed as u64
+            );
+        }
+        let label = policy.label();
+        assert_eq!(
+            r.counter_by_name(&format!("policy.{label}.decision.offload")),
+            Some(observed.offloaded as u64)
+        );
+        assert_eq!(
+            r.histogram_by_name("tier.cloud.transfer_ms")
+                .unwrap()
+                .count(),
+            observed.offloaded as u64
+        );
+
+        // The trace reconstructs tier paths: every offloaded request has an
+        // OffloadHop on the cloud tier before its ServiceEnd there.
+        let offloaded_req = observed
+            .records
+            .iter()
+            .find(|rec| rec.tier == 1)
+            .expect("exit-confidence offloads the hard fraction")
+            .request
+            .id as u64;
+        let path: Vec<SpanKind> = obs
+            .trace()
+            .iter()
+            .filter(|e| e.request == offloaded_req)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(path[0], SpanKind::Arrival);
+        assert!(path.contains(&SpanKind::OffloadHop));
+        let hop = path
+            .iter()
+            .position(|k| *k == SpanKind::OffloadHop)
+            .unwrap();
+        let end = path.iter().position(|k| *k == SpanKind::ServiceEnd);
+        assert!(end.is_none_or(|e| hop < e), "hop precedes remote service");
     }
 }

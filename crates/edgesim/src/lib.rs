@@ -37,6 +37,11 @@
 //!   exit-confidence / SLO-predicted-sojourn) and per-tier + end-to-end
 //!   reports. A single-tier fleet under [`fleet::AlwaysLocal`] reproduces
 //!   [`engine::simulate_engine`] bit for bit.
+//! * [`observe`] — opt-in observability: a [`SimObserver`] fed the event
+//!   stream of either simulator records queue-depth gauges, sojourn/
+//!   service/transfer histograms, offload counters and a per-request
+//!   span-event trace (`CBNET_OBS=off|metrics|trace`), without perturbing
+//!   the simulation — observed runs are bit-identical to unobserved ones.
 //!
 //! Because the paper reports *relative* speedups and savings, anchoring the
 //! baseline latency and applying the same per-layer accounting to every
@@ -51,6 +56,7 @@ pub mod device;
 pub mod energy;
 pub mod engine;
 pub mod fleet;
+pub mod observe;
 pub mod partition;
 pub mod pipeline;
 pub mod power;
@@ -67,5 +73,7 @@ pub use fleet::{
     simulate_fleet, simulate_fleet_with, FleetConfig, FleetReport, NetworkLink, OffloadPolicy,
     OffloadPolicyKind, Tier, TierReport,
 };
+pub use observe::SimObserver;
 pub use partition::{best_split, Uplink};
+pub use pipeline::percentile_sorted;
 pub use power::PowerModel;

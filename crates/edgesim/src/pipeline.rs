@@ -171,10 +171,12 @@ pub(crate) fn finalize_report(
 }
 
 /// Percentile of an ascending-sorted sample set, in the simulators' shared
-/// nearest-rank-by-rounding convention. Every report path (legacy loop,
-/// engine, fleet) goes through this one function so their percentile
-/// semantics cannot drift apart.
-pub(crate) fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+/// nearest-rank-by-rounding convention (`idx = round((len−1)·p)`). Every
+/// report path (legacy loop, engine, fleet) goes through this one function
+/// so their percentile semantics cannot drift apart, and
+/// `obs::Histogram::quantile` pins its rank convention against it
+/// (`tests/obs_conformance.rs`). Returns `0.0` for an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

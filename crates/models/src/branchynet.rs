@@ -234,6 +234,12 @@ impl BranchyNet {
                 });
             }
         }
+        // Report the batch compaction (exit 0: how many rows left early and
+        // never reached the tail) to the installed plan probe, if any —
+        // `on_compaction` implementations are allocation-free by contract.
+        if let Some(probe) = obs::probe::active() {
+            probe.on_compaction(0, n - hard_rows.len(), n);
+        }
         if !hard_rows.is_empty() {
             let h_hard = h.gather_rows(&hard_rows);
             let logits2 = self.tail.predict_planned(&h_hard);

@@ -126,7 +126,10 @@ impl Network {
     /// by the workspace conformance tests; other backends agree to the
     /// tolerance documented in `tensor::backend`. The cached plan runs on
     /// the process-resolved [`tensor::backend::Backend`] and is rebuilt if
-    /// that selection changes between calls. For a fully allocation-free
+    /// that selection changes between calls — likewise when the installed
+    /// `obs` profiling probe changes (`obs::probe::generation`), so a
+    /// freshly installed probe reaches cached plans on their next call.
+    /// For a fully allocation-free
     /// loop, hold a [`ForwardPlan`](crate::ForwardPlan) yourself and call
     /// [`ForwardPlan::run`](crate::ForwardPlan::run) on
     /// [`Network::layers_mut`].
@@ -145,6 +148,7 @@ impl Network {
                 p.capacity() < n
                     || !p.matches(&self.layers)
                     || p.backend() != tensor::backend::Backend::resolve()
+                    || p.probe_generation() != obs::probe::generation()
             }
             None => true,
         };

@@ -56,7 +56,25 @@
 //! five comparators. `Network::predict_planned` rebuilds its cached plan
 //! when the resolved backend changes, so a process-wide selection reaches
 //! every adapter automatically.
+//!
+//! # Profiling probes
+//!
+//! A plan also resolves the process-wide [`obs::PlanProbe`] once at
+//! construction (`obs::probe::install` / `obs::probe::clear`), exactly like
+//! the backend: with no probe installed every layer pays a single `None`
+//! branch — no clock read, no allocation — and with one installed the plan
+//! brackets each `forward_into` call with a monotonic clock and reports
+//! `(layer, batch, elapsed_ns)` through [`obs::PlanProbe::on_layer`]. Probe
+//! implementations record into preallocated atomic cells, so the active
+//! path stays zero-allocation too (both proven by `tests/alloc_guard.rs`).
+//! `Network::predict_planned` watches `obs::probe::generation()` the same
+//! way it watches the backend and rebuilds its cached plan when the
+//! installed probe changes.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use obs::PlanProbe;
 use tensor::backend::Backend;
 use tensor::Tensor;
 
@@ -81,6 +99,10 @@ pub struct ForwardPlan {
     scratch: Vec<f32>,
     /// Kernel set every layer call dispatches to (resolved once, at build).
     backend: Backend,
+    /// Profiling callback (resolved once, at build; `None` = disabled).
+    probe: Option<Arc<dyn PlanProbe>>,
+    /// `obs::probe::generation()` at resolve time, for staleness checks.
+    probe_generation: u64,
 }
 
 impl ForwardPlan {
@@ -97,11 +119,28 @@ impl ForwardPlan {
     }
 
     /// Build a plan pinned to an explicit compute `backend`, ignoring the
-    /// process-wide selection. See [`ForwardPlan::new`] for everything else.
+    /// process-wide selection (the probe still resolves process-wide). See
+    /// [`ForwardPlan::new`] for everything else.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn with_backend(net: &Network, capacity: usize, backend: Backend) -> ForwardPlan {
+        ForwardPlan::with_probe(net, capacity, backend, obs::probe::active())
+    }
+
+    /// Build a plan pinned to an explicit `backend` **and** an explicit
+    /// probe (`None` = profiling disabled), ignoring both process-wide
+    /// selections. This is the constructor perf harnesses use to profile a
+    /// specific plan without installing a global probe.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_probe(
+        net: &Network,
+        capacity: usize,
+        backend: Backend,
+        probe: Option<Arc<dyn PlanProbe>>,
+    ) -> ForwardPlan {
         assert!(capacity > 0, "plan capacity must be positive");
         let layers = net.layers();
         let in_width = net.in_dim();
@@ -121,6 +160,8 @@ impl ForwardPlan {
             half,
             scratch: vec![0.0; scratch_len],
             backend,
+            probe,
+            probe_generation: obs::probe::generation(),
         }
     }
 
@@ -132,6 +173,18 @@ impl ForwardPlan {
     /// The compute backend every `run` on this plan dispatches to.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// True when a profiling probe is attached to this plan.
+    pub fn has_probe(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// The `obs::probe::generation()` observed when this plan resolved its
+    /// probe — `Network::predict_planned` compares it against the current
+    /// generation to rebuild on install/clear.
+    pub fn probe_generation(&self) -> u64 {
+        self.probe_generation
     }
 
     /// Network depth the plan was built for.
@@ -198,6 +251,7 @@ impl ForwardPlan {
             "planned forward input width mismatch"
         );
 
+        let probe = self.probe.as_deref();
         let (mut src, mut dst) = self.bufs.split_at_mut(self.half);
         let mut src_is_a = true; // which half `src` points at, for the return
         let mut width = self.in_width;
@@ -209,6 +263,9 @@ impl ForwardPlan {
                 &src[..n * width]
             };
             let need = layer.plan_scratch_floats(n);
+            // Disabled probes cost exactly this `None` check — no clock
+            // read; active probes record into preallocated atomic cells.
+            let t0 = probe.map(|_| Instant::now());
             layer.forward_into(
                 cur,
                 n,
@@ -216,6 +273,9 @@ impl ForwardPlan {
                 &mut self.scratch[..need],
                 self.backend,
             );
+            if let (Some(p), Some(t0)) = (probe, t0) {
+                p.on_layer(i, n, t0.elapsed().as_nanos() as u64);
+            }
             std::mem::swap(&mut src, &mut dst);
             src_is_a = !src_is_a;
             width = w;
@@ -305,6 +365,50 @@ mod tests {
         let mut other = Network::new().push(Dense::new(64, 3, &mut rng));
         let x = Tensor::zeros(&[1, 64]);
         let _ = plan.run(other.layers_mut(), &x);
+    }
+
+    #[test]
+    fn probe_times_every_layer_without_changing_results() {
+        let mut net = conv_stack(11);
+        let mut rng = rng_from_seed(4);
+        let x = Tensor::rand_uniform(&[3, 64], -1.0, 1.0, &mut rng);
+        let baseline = net.forward(&x, false);
+        let profile = std::sync::Arc::new(obs::LayerProfile::new());
+        let mut plan = ForwardPlan::with_probe(
+            &net,
+            3,
+            Backend::scalar(),
+            Some(profile.clone() as Arc<dyn PlanProbe>),
+        );
+        assert!(plan.has_probe());
+        let planned = plan.run(net.layers_mut(), &x);
+        assert_eq!(baseline.data(), planned, "probe must not perturb results");
+        for i in 0..net.depth() {
+            let (calls, samples, _ns) = profile.layer(i).expect("layer timed");
+            assert_eq!((calls, samples), (1, 3), "layer {i}");
+        }
+        assert_eq!(profile.layer(net.depth()), None);
+    }
+
+    #[test]
+    fn installed_probe_reaches_new_plans_and_cached_ones() {
+        let profile = std::sync::Arc::new(obs::LayerProfile::new());
+        obs::probe::install(profile.clone());
+        let mut net = conv_stack(12);
+        let plan = ForwardPlan::with_backend(&net, 2, Backend::scalar());
+        assert!(plan.has_probe(), "global probe resolves at build");
+        // predict_planned's staleness check rebuilds on generation change.
+        let x = Tensor::zeros(&[1, 64]);
+        let _ = net.predict_planned(&x);
+        obs::probe::clear();
+        let _ = net.predict_planned(&x);
+        let after_clear = profile.layer(0).map(|(calls, _, _)| calls);
+        let _ = net.predict_planned(&x);
+        assert_eq!(
+            profile.layer(0).map(|(calls, _, _)| calls),
+            after_clear,
+            "cleared probe must stop receiving layer reports"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! # obs — zero-allocation observability for the serving stack
+//!
+//! The simulators and the planned forward pass report *end-of-run*
+//! aggregates; this crate adds the *live* layer the ROADMAP's fleet
+//! scale-out work needs — counters, log-bucket histograms, per-request span
+//! traces and per-layer plan profiling — without ever allocating on a hot
+//! path and without pulling in a single external dependency.
+//!
+//! Three pillars, one rule:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   fixed-bucket log-scale [`Histogram`]s. Registration (cold) allocates;
+//!   **recording (hot) never does** — every record call is a handful of
+//!   atomic operations on preallocated storage, so instrumented event loops
+//!   stay inside the workspace's zero-allocation envelope (enforced by
+//!   `tests/alloc_guard.rs`).
+//! * [`trace`] — a [`TraceSink`] over a preallocated ring buffer of
+//!   [`SpanEvent`]s (arrival, admission, queueing, service, offload hop,
+//!   exit depth). Recording overwrites the oldest slot at capacity instead
+//!   of growing. A JSONL exporter replays the surviving window.
+//! * [`probe`] — an opt-in [`PlanProbe`] callback for `nn::ForwardPlan`,
+//!   resolved **once per plan** exactly like the compute backend: the
+//!   disabled default is a `None` branch per layer, and an active probe
+//!   records into preallocated atomic cells.
+//!
+//! Selection mirrors `CBNET_BACKEND`: the `CBNET_OBS` environment variable
+//! (`off` / `metrics` / `trace`) or a programmatic [`mode::set_override`],
+//! resolved through [`ObsMode::resolve`]. `off` is the default and costs
+//! nothing measurable — the perf bars in `BENCH_forward.json` are asserted
+//! with observability disabled.
+//!
+//! [`json`] is the matching consumer: a minimal recursive-descent JSON
+//! parser used by the CI schema validator (`bench --bin obs_check`) so the
+//! emitted `METRICS.json` / `TRACE.jsonl` artifacts stay well-formed.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod mode;
+pub mod probe;
+pub mod trace;
+
+pub use metrics::{BucketSpec, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
+pub use mode::ObsMode;
+pub use probe::{LayerProfile, PlanProbe};
+pub use trace::{SpanEvent, SpanKind, TraceSink};
+
+/// Schema version stamped into every artifact this crate emits
+/// (`METRICS.json` and the `TRACE.jsonl` header line), mirroring
+/// `LINT_REPORT.json`'s `schema` field so CI validators can hard-fail on
+/// drift.
+pub const SCHEMA_VERSION: u64 = 1;

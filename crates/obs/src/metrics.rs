@@ -1,0 +1,598 @@
+//! Named counters, gauges and fixed-bucket log-scale histograms.
+//!
+//! # Allocation discipline
+//!
+//! Registration (`register_*`) happens once per run, before the event loop,
+//! and allocates freely: names are owned `String`s and histogram buckets are
+//! preallocated `Vec<AtomicU64>`s. **Recording never allocates** — every
+//! record call ([`MetricsRegistry::inc`], [`MetricsRegistry::gauge_set`],
+//! [`MetricsRegistry::observe`], [`Histogram::observe`]) is a bounded number
+//! of atomic operations on that preallocated storage, which is what lets
+//! instrumented simulator loops and `ForwardPlan::run` stay inside the
+//! workspace zero-allocation envelope (proven by `tests/alloc_guard.rs`).
+//!
+//! # Histogram geometry and quantile error
+//!
+//! Buckets are log-spaced: bucket 0 covers `(0, lo]` (and everything below,
+//! including zero and negatives, which clamp up), bucket `i ≥ 1` covers
+//! `(lo·growth^{i-1}, lo·growth^i]`, and the last bucket additionally
+//! absorbs overflow above `hi`. A quantile estimate returns the **geometric
+//! midpoint** of the bucket holding the nearest-rank sample — the same
+//! nearest-rank-by-rounding convention as `edgesim`'s `percentile_sorted`
+//! (`idx = round((len-1)·q)`) — so for samples inside `[lo, hi]` the
+//! relative error is bounded by `sqrt(growth) − 1` (≈ 2% at the default
+//! `growth = 1.04`). Samples below `lo` report as `lo`; the conformance
+//! test `tests/obs_conformance.rs` pins both properties against
+//! `percentile_sorted`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a registered counter (cheap to copy, index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Monotone event count.
+struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+/// Last-write-wins sample (plus the running maximum, which is what a
+/// queue-depth gauge is usually asked for after the fact).
+struct Gauge {
+    name: String,
+    bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Log-scale bucket layout for a [`Histogram`].
+#[derive(Debug, Clone, Copy)]
+pub struct BucketSpec {
+    /// Upper edge of the first bucket; every sample `≤ lo` lands there.
+    pub lo: f64,
+    /// Values above `hi` clamp into the last bucket.
+    pub hi: f64,
+    /// Ratio between consecutive bucket edges (must be `> 1`).
+    pub growth: f64,
+}
+
+impl BucketSpec {
+    /// The default latency layout: 1 µs … 100 s expressed in milliseconds,
+    /// 4% growth (≈ 2% quantile error), ~470 buckets ≈ 3.7 KiB of counts.
+    pub fn latency_ms() -> BucketSpec {
+        BucketSpec {
+            lo: 1e-3,
+            hi: 1e5,
+            growth: 1.04,
+        }
+    }
+
+    /// Number of buckets the spec expands to.
+    fn len(&self) -> usize {
+        debug_assert!(self.growth > 1.0 && self.lo > 0.0 && self.hi > self.lo);
+        // Bucket 0 plus enough geometric steps to pass `hi`.
+        1 + ((self.hi / self.lo).ln() / self.growth.ln()).ceil() as usize
+    }
+}
+
+/// Fixed-bucket log-scale histogram with atomic, allocation-free recording.
+///
+/// See the [module docs](self) for the bucket geometry and the documented
+/// quantile error bound.
+pub struct Histogram {
+    name: String,
+    lo: f64,
+    growth: f64,
+    inv_ln_growth: f64,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Add `v` into an f64 accumulator stored as atomic bits (CAS loop; no
+/// allocation, lock-free in the uncontended case the simulators are in).
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Fold `v` into an f64 min/max cell stored as atomic bits (CAS loop).
+fn atomic_f64_fold(cell: &AtomicU64, v: f64, take_new: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let seen = f64::from_bits(cur);
+        if !(seen.is_nan() || take_new(seen, v)) {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+impl Histogram {
+    fn new(name: &str, spec: BucketSpec) -> Histogram {
+        let n = spec.len();
+        let mut counts = Vec::with_capacity(n);
+        counts.resize_with(n, || AtomicU64::new(0));
+        Histogram {
+            name: name.to_string(),
+            lo: spec.lo,
+            growth: spec.growth,
+            inv_ln_growth: 1.0 / spec.growth.ln(),
+            counts,
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::NAN.to_bits()),
+            max_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Metric name this histogram was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bucket index for sample `v` (clamped at both ends).
+    fn bucket(&self, v: f64) -> usize {
+        if v <= self.lo || v.is_nan() {
+            return 0; // ≤ lo, zero, negative and NaN all clamp down
+        }
+        let idx = ((v / self.lo).ln() * self.inv_ln_growth).ceil() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Upper edge of bucket `i` (`lo · growth^i`).
+    fn upper(&self, i: usize) -> f64 {
+        self.lo * self.growth.powi(i as i32)
+    }
+
+    /// Record one sample. Allocation-free: one bucket increment plus
+    /// count/sum/min/max atomics on preallocated storage.
+    pub fn observe(&self, v: f64) {
+        self.counts[self.bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_fold(&self.min_bits, v, |seen, new| new < seen);
+        atomic_f64_fold(&self.max_bits, v, |seen, new| new > seen);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest recorded sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank quantile estimate (`q ∈ [0, 1]`), NaN when empty.
+    ///
+    /// Matches `percentile_sorted`'s rank convention
+    /// (`rank = round((count−1)·q)`) and returns the geometric midpoint of
+    /// the bucket holding that rank — relative error ≤ `sqrt(growth) − 1`
+    /// for samples in `[lo, hi]` (see the module docs). Reads atomics only;
+    /// does not allocate.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen > rank {
+                if i == 0 {
+                    // (0, lo]: no geometric midpoint exists; report the edge.
+                    return self.lo;
+                }
+                return (self.upper(i - 1) * self.upper(i)).sqrt();
+            }
+        }
+        self.upper(self.counts.len() - 1)
+    }
+
+    /// Fold `other`'s samples into `self`.
+    ///
+    /// Requires identical bucket geometry (same registration spec) and is a
+    /// cold-path operation (end-of-matrix aggregation) — it loops over
+    /// buckets but performs no allocation.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert!(
+            self.counts.len() == other.counts.len()
+                && self.lo == other.lo
+                && self.growth == other.growth,
+            "histogram merge requires identical bucket geometry"
+        );
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.total.fetch_add(other.count(), Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, other.sum());
+        let (omin, omax) = (other.min(), other.max());
+        if !omin.is_nan() {
+            atomic_f64_fold(&self.min_bits, omin, |seen, new| new < seen);
+        }
+        if !omax.is_nan() {
+            atomic_f64_fold(&self.max_bits, omax, |seen, new| new > seen);
+        }
+    }
+
+    /// A zeroed histogram with identical bucket geometry (cold path; used
+    /// by registry merges so geometry survives bit-exactly).
+    fn like(&self) -> Histogram {
+        let mut counts = Vec::with_capacity(self.counts.len());
+        counts.resize_with(self.counts.len(), || AtomicU64::new(0));
+        Histogram {
+            name: self.name.clone(),
+            lo: self.lo,
+            growth: self.growth,
+            inv_ln_growth: self.inv_ln_growth,
+            counts,
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::NAN.to_bits()),
+            max_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Non-empty buckets as `(upper_edge, count)` pairs (cold path; the
+    /// returned Vec allocates — never call while recording).
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (self.upper(i), n))
+            })
+            .collect()
+    }
+}
+
+/// A run's worth of named metrics.
+///
+/// Build and register up front (allocates), record from the event loop
+/// (never allocates), export or merge afterwards (cold). Handles are plain
+/// indices, so recording is a bounds-checked array access plus atomics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    histograms: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) a counter named `name`. Cold path: allocates
+    /// the owned name on first registration.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|c| c.name == name) {
+            return CounterId(i);
+        }
+        self.counters.push(Counter {
+            name: name.to_string(),
+            value: AtomicU64::new(0),
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or look up) a gauge named `name`. Cold path: allocates the
+    /// owned name on first registration.
+    pub fn register_gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|g| g.name == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push(Gauge {
+            name: name.to_string(),
+            bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NAN.to_bits()),
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or look up) a histogram named `name` with bucket layout
+    /// `spec`. Cold path: preallocates every bucket so later
+    /// [`observe`](MetricsRegistry::observe) calls allocate nothing.
+    pub fn register_histogram(&mut self, name: &str, spec: BucketSpec) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push(Histogram::new(name, spec));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increment counter `id` by `by`. Allocation-free: one atomic add.
+    pub fn inc(&self, id: CounterId, by: u64) {
+        self.counters[id.0].value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Set gauge `id` to `v` (also folds the running max). Allocation-free:
+    /// a store plus a CAS loop on preallocated cells.
+    pub fn gauge_set(&self, id: GaugeId, v: f64) {
+        let g = &self.gauges[id.0];
+        g.bits.store(v.to_bits(), Ordering::Relaxed);
+        atomic_f64_fold(&g.max_bits, v, |seen, new| new > seen);
+    }
+
+    /// Record sample `v` into histogram `id`. Allocation-free — see
+    /// [`Histogram::observe`].
+    pub fn observe(&self, id: HistogramId, v: f64) {
+        self.histograms[id.0].observe(v);
+    }
+
+    /// Current value of counter `id`.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value.load(Ordering::Relaxed)
+    }
+
+    /// Current value of gauge `id`.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        f64::from_bits(self.gauges[id.0].bits.load(Ordering::Relaxed))
+    }
+
+    /// Running maximum ever set on gauge `id` (NaN when never set).
+    pub fn gauge_max(&self, id: GaugeId) -> f64 {
+        f64::from_bits(self.gauges[id.0].max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Borrow histogram `id` (for quantile queries and conformance tests).
+    pub fn histogram(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// Read a counter by name (cold path; `None` when never registered).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value.load(Ordering::Relaxed))
+    }
+
+    /// Read a gauge's `(value, max)` by name (cold path).
+    pub fn gauge_by_name(&self, name: &str) -> Option<(f64, f64)> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| {
+            (
+                f64::from_bits(g.bits.load(Ordering::Relaxed)),
+                f64::from_bits(g.max_bits.load(Ordering::Relaxed)),
+            )
+        })
+    }
+
+    /// Borrow a histogram by name (cold path).
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Fold every metric of `other` into `self` by name, registering any
+    /// that are missing. Cold path (end-of-matrix aggregation): allocates
+    /// for newly seen names; histogram merges require identical geometry.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for c in &other.counters {
+            let id = self.register_counter(&c.name);
+            self.inc(id, c.value.load(Ordering::Relaxed));
+        }
+        for g in &other.gauges {
+            let id = self.register_gauge(&g.name);
+            let v = f64::from_bits(g.bits.load(Ordering::Relaxed));
+            let m = f64::from_bits(g.max_bits.load(Ordering::Relaxed));
+            self.gauge_set(id, v);
+            if !m.is_nan() {
+                atomic_f64_fold(&self.gauges[id.0].max_bits, m, |seen, new| new > seen);
+            }
+        }
+        for h in &other.histograms {
+            let id = match self.histograms.iter().position(|m| m.name == h.name) {
+                Some(i) => HistogramId(i),
+                None => {
+                    // Clone geometry bit-exactly rather than round-tripping
+                    // through a BucketSpec (which could re-derive an
+                    // off-by-one bucket count at the float boundary).
+                    self.histograms.push(h.like());
+                    HistogramId(self.histograms.len() - 1)
+                }
+            };
+            // Same-name histograms share geometry; `merge_from` asserts it.
+            self.histograms[id.0].merge_from(h);
+        }
+    }
+
+    /// Encode the registry as the `METRICS.json` document (schema
+    /// [`crate::SCHEMA_VERSION`]). Cold path; allocates the output string.
+    pub fn write_json(&self, mode: crate::ObsMode) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", crate::SCHEMA_VERSION));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", mode.name()));
+        s.push_str("  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"value\": {}}}",
+                crate::json::escape(&c.name),
+                c.value.load(Ordering::Relaxed)
+            ));
+        }
+        s.push_str(if self.counters.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let max = f64::from_bits(g.max_bits.load(Ordering::Relaxed));
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"value\": {}, \"max\": {}}}",
+                crate::json::escape(&g.name),
+                json_num(f64::from_bits(g.bits.load(Ordering::Relaxed))),
+                json_num(max)
+            ));
+        }
+        s.push_str(if self.gauges.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                crate::json::escape(&h.name),
+                h.count(),
+                json_num(h.sum()),
+                json_num(h.min()),
+                json_num(h.max()),
+                json_num(h.quantile(0.50)),
+                json_num(h.quantile(0.90)),
+                json_num(h.quantile(0.99)),
+            ));
+            for (j, (upper, n)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("[{}, {}]", json_num(upper), n));
+            }
+            s.push_str("]}");
+        }
+        s.push_str(if self.histograms.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// JSON has no NaN/Inf; export them as null so parsers stay strict.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter("requests");
+        let g = r.register_gauge("depth");
+        r.inc(c, 3);
+        r.inc(c, 2);
+        r.gauge_set(g, 4.0);
+        r.gauge_set(g, 1.5);
+        assert_eq!(r.counter_value(c), 5);
+        assert_eq!(r.gauge_value(g), 1.5);
+        assert_eq!(r.gauge_max(g), 4.0);
+        // Re-registration returns the same handle.
+        assert_eq!(r.register_counter("requests"), c);
+    }
+
+    #[test]
+    fn histogram_stats_and_clamps() {
+        let mut r = MetricsRegistry::new();
+        let h = r.register_histogram("lat", BucketSpec::latency_ms());
+        for v in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            r.observe(h, v);
+        }
+        let hist = r.histogram(h);
+        assert_eq!(hist.count(), 5);
+        assert!((hist.sum() - 15.5).abs() < 1e-9);
+        assert_eq!(hist.min(), 0.5);
+        assert_eq!(hist.max(), 8.0);
+        let p50 = hist.quantile(0.5);
+        assert!((p50 / 2.0 - 1.0).abs() < 0.02, "p50 ≈ 2.0, got {p50}");
+        // Below-lo and above-hi samples clamp instead of losing counts.
+        hist.observe(0.0);
+        hist.observe(1e9);
+        assert_eq!(hist.count(), 7);
+        assert!(hist.quantile(0.0) >= 1e-3);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let mut r = MetricsRegistry::new();
+        let h = r.register_histogram("lat", BucketSpec::latency_ms());
+        assert!(r.histogram(h).quantile(0.5).is_nan());
+        assert!(r.histogram(h).min().is_nan());
+    }
+
+    #[test]
+    fn merge_accumulates_by_name() {
+        let mk = || {
+            let mut r = MetricsRegistry::new();
+            let c = r.register_counter("done");
+            let h = r.register_histogram("lat", BucketSpec::latency_ms());
+            (r, c, h)
+        };
+        let (a, ca, ha) = mk();
+        let (b, _, hb) = mk();
+        a.inc(ca, 2);
+        a.observe(ha, 1.0);
+        b.inc(CounterId(0), 3);
+        b.observe(hb, 100.0);
+        let mut acc = MetricsRegistry::new();
+        acc.merge_from(&a);
+        acc.merge_from(&b);
+        let c = acc.register_counter("done");
+        let h = acc.register_histogram("lat", BucketSpec::latency_ms());
+        assert_eq!(acc.counter_value(c), 5);
+        assert_eq!(acc.histogram(h).count(), 2);
+        assert_eq!(acc.histogram(h).min(), 1.0);
+        assert_eq!(acc.histogram(h).max(), 100.0);
+    }
+
+    #[test]
+    fn json_snapshot_has_schema() {
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter("n");
+        r.inc(c, 1);
+        let json = r.write_json(crate::ObsMode::Metrics);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"mode\": \"metrics\""));
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert!(parsed.get("counters").is_some());
+    }
+}

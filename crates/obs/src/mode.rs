@@ -1,0 +1,122 @@
+//! Process-wide observability mode, mirroring `tensor::backend` selection.
+//!
+//! Resolution order (first hit wins), exactly like `CBNET_BACKEND`:
+//!
+//! 1. programmatic [`set_override`] / [`clear_override`];
+//! 2. the `CBNET_OBS` environment variable (`off` / `metrics` / `trace`,
+//!    parsed once and cached);
+//! 3. the default: [`ObsMode::Off`].
+//!
+//! `trace` implies `metrics` — the span ring is strictly additive on top of
+//! the registry, so [`ObsMode::metrics_enabled`] is true for both.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// How much observability the process records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsMode {
+    /// Record nothing (default). Disabled probes/observers cost one branch.
+    Off,
+    /// Counters, gauges and histograms only.
+    Metrics,
+    /// Metrics plus the per-request span-event ring buffer.
+    Trace,
+}
+
+impl ObsMode {
+    /// True when counters/gauges/histograms should be recorded.
+    pub fn metrics_enabled(self) -> bool {
+        self != ObsMode::Off
+    }
+
+    /// True when span events should be recorded.
+    pub fn trace_enabled(self) -> bool {
+        self == ObsMode::Trace
+    }
+
+    /// Canonical lowercase name (`off` / `metrics` / `trace`), matching the
+    /// `CBNET_OBS` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsMode::Off => "off",
+            ObsMode::Metrics => "metrics",
+            ObsMode::Trace => "trace",
+        }
+    }
+
+    /// Resolve the process-wide mode: override, then `CBNET_OBS`, then
+    /// [`ObsMode::Off`]. Cheap enough to call per run; observers resolve it
+    /// once at construction (the same resolve-once discipline as
+    /// `Backend::resolve`).
+    pub fn resolve() -> ObsMode {
+        match OVERRIDE.load(Ordering::Relaxed) {
+            1 => return ObsMode::Off,
+            2 => return ObsMode::Metrics,
+            3 => return ObsMode::Trace,
+            _ => {}
+        }
+        env_choice().unwrap_or(ObsMode::Off)
+    }
+}
+
+/// 0 = no override; 1..=3 map to [`ObsMode`] variants.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Pin the process-wide mode, taking precedence over `CBNET_OBS`.
+pub fn set_override(mode: ObsMode) {
+    let code = match mode {
+        ObsMode::Off => 1,
+        ObsMode::Metrics => 2,
+        ObsMode::Trace => 3,
+    };
+    OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Drop the programmatic override, falling back to `CBNET_OBS` / default.
+pub fn clear_override() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// `CBNET_OBS` parsed once. Unknown values read as "no preference" so a
+/// typo degrades to the safe default rather than aborting a run.
+fn env_choice() -> Option<ObsMode> {
+    static CACHE: OnceLock<Option<ObsMode>> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("CBNET_OBS") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(ObsMode::Off),
+            "metrics" => Some(ObsMode::Metrics),
+            "trace" => Some(ObsMode::Trace),
+            _ => None,
+        },
+        Err(_) => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_clears() {
+        set_override(ObsMode::Trace);
+        assert_eq!(ObsMode::resolve(), ObsMode::Trace);
+        assert!(ObsMode::resolve().metrics_enabled());
+        assert!(ObsMode::resolve().trace_enabled());
+        set_override(ObsMode::Metrics);
+        assert!(ObsMode::resolve().metrics_enabled());
+        assert!(!ObsMode::resolve().trace_enabled());
+        set_override(ObsMode::Off);
+        assert_eq!(ObsMode::resolve(), ObsMode::Off);
+        clear_override();
+        // No env set in tests: default off.
+        assert!(!ObsMode::resolve().trace_enabled());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for m in [ObsMode::Off, ObsMode::Metrics, ObsMode::Trace] {
+            assert!(!m.name().is_empty());
+        }
+    }
+}

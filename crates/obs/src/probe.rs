@@ -1,0 +1,229 @@
+//! Opt-in plan-level profiling: per-layer wall time and early-exit batch
+//! compaction counts.
+//!
+//! `nn::ForwardPlan` resolves the installed probe **once at construction**
+//! — the same resolve-once discipline as its compute backend — and holds an
+//! `Option<Arc<dyn PlanProbe>>`. With no probe installed the per-layer cost
+//! is a single `None` branch (no clock read, no allocation); with a probe
+//! installed the plan wraps each layer call in a monotonic-clock pair and
+//! reports the elapsed nanoseconds through [`PlanProbe::on_layer`], which
+//! implementations must keep allocation-free (proven for [`LayerProfile`]
+//! by `tests/alloc_guard.rs`).
+//!
+//! Installation goes through a process-wide slot ([`install`] / [`clear`])
+//! guarded by a generation counter, so `Network::predict_planned` can
+//! detect a probe change and rebuild its cached plan exactly as it does
+//! when the backend selection changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Callback surface a `ForwardPlan` reports into.
+///
+/// Implementations are called from the inference hot path and must not
+/// allocate; record into preallocated atomic storage as [`LayerProfile`]
+/// does.
+pub trait PlanProbe: Send + Sync {
+    /// One layer finished: `layer` is its index in the plan's stack,
+    /// `batch` the rows it processed, `elapsed_ns` its wall time.
+    /// Called on the hot path — implementations must be allocation-free.
+    fn on_layer(&self, layer: usize, batch: usize, elapsed_ns: u64);
+
+    /// An early-exit stage compacted its batch: of `batch` offered rows,
+    /// `exited` left at exit `stage`. Called on the hot path —
+    /// implementations must be allocation-free. Default: ignore.
+    fn on_compaction(&self, stage: usize, exited: usize, batch: usize) {
+        let _ = (stage, exited, batch);
+    }
+}
+
+/// Process-wide probe slot plus its change generation.
+static PROBE: RwLock<Option<Arc<dyn PlanProbe>>> = RwLock::new(None);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Install `probe` process-wide. Plans built afterwards (or rebuilt by
+/// `predict_planned`'s staleness check) report into it.
+pub fn install(probe: Arc<dyn PlanProbe>) {
+    if let Ok(mut slot) = PROBE.write() {
+        *slot = Some(probe);
+        GENERATION.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Remove the installed probe; subsequent plans resolve to no-op again.
+pub fn clear() {
+    if let Ok(mut slot) = PROBE.write() {
+        if slot.take().is_some() {
+            GENERATION.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The currently installed probe, if any (cold path — called at plan build;
+/// clones an `Arc`, which bumps a refcount and does not allocate).
+pub fn active() -> Option<Arc<dyn PlanProbe>> {
+    match PROBE.read() {
+        Ok(slot) => slot.clone(),
+        Err(_) => None,
+    }
+}
+
+/// Monotone counter bumped by every [`install`]/[`clear`]; cached plans
+/// compare it to decide whether to re-resolve.
+pub fn generation() -> u64 {
+    GENERATION.load(Ordering::Relaxed)
+}
+
+/// Layers a [`LayerProfile`] can hold; deeper plans fold into the last cell.
+pub const MAX_LAYERS: usize = 64;
+/// Early-exit stages a [`LayerProfile`] can hold.
+pub const MAX_EXITS: usize = 8;
+
+/// Per-layer wall-time cell.
+#[derive(Default)]
+struct LayerCell {
+    calls: AtomicU64,
+    samples: AtomicU64,
+    ns: AtomicU64,
+}
+
+/// Per-exit compaction cell.
+#[derive(Default)]
+struct ExitCell {
+    events: AtomicU64,
+    exited: AtomicU64,
+    offered: AtomicU64,
+}
+
+/// The stock [`PlanProbe`]: fixed arrays of atomic counters, so recording
+/// is allocation-free by construction.
+pub struct LayerProfile {
+    layers: [LayerCell; MAX_LAYERS],
+    exits: [ExitCell; MAX_EXITS],
+}
+
+impl Default for LayerProfile {
+    fn default() -> LayerProfile {
+        LayerProfile::new()
+    }
+}
+
+impl LayerProfile {
+    /// A zeroed profile.
+    pub fn new() -> LayerProfile {
+        LayerProfile {
+            layers: std::array::from_fn(|_| LayerCell::default()),
+            exits: std::array::from_fn(|_| ExitCell::default()),
+        }
+    }
+
+    /// `(calls, samples, total_ns)` recorded for layer `i`, `None` once all
+    /// three are zero (layer never ran).
+    pub fn layer(&self, i: usize) -> Option<(u64, u64, u64)> {
+        let c = self.layers.get(i)?;
+        let t = (
+            c.calls.load(Ordering::Relaxed),
+            c.samples.load(Ordering::Relaxed),
+            c.ns.load(Ordering::Relaxed),
+        );
+        (t.0 > 0).then_some(t)
+    }
+
+    /// `(events, exited, offered)` recorded for exit stage `i`.
+    pub fn exit(&self, i: usize) -> Option<(u64, u64, u64)> {
+        let c = self.exits.get(i)?;
+        let t = (
+            c.events.load(Ordering::Relaxed),
+            c.exited.load(Ordering::Relaxed),
+            c.offered.load(Ordering::Relaxed),
+        );
+        (t.0 > 0).then_some(t)
+    }
+
+    /// Mean nanoseconds per sample for layer `i`, when it ran.
+    pub fn layer_ns_per_sample(&self, i: usize) -> Option<f64> {
+        let (_, samples, ns) = self.layer(i)?;
+        (samples > 0).then(|| ns as f64 / samples as f64)
+    }
+
+    /// Forget everything (cold path; atomically zeroes the fixed cells, no
+    /// allocation).
+    pub fn reset(&self) {
+        for c in &self.layers {
+            c.calls.store(0, Ordering::Relaxed);
+            c.samples.store(0, Ordering::Relaxed);
+            c.ns.store(0, Ordering::Relaxed);
+        }
+        for c in &self.exits {
+            c.events.store(0, Ordering::Relaxed);
+            c.exited.store(0, Ordering::Relaxed);
+            c.offered.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl PlanProbe for LayerProfile {
+    /// Record into the layer's fixed atomic cell — allocation-free; layers
+    /// past [`MAX_LAYERS`] fold into the last cell rather than dropping.
+    fn on_layer(&self, layer: usize, batch: usize, elapsed_ns: u64) {
+        let c = &self.layers[layer.min(MAX_LAYERS - 1)];
+        c.calls.fetch_add(1, Ordering::Relaxed);
+        c.samples.fetch_add(batch as u64, Ordering::Relaxed);
+        c.ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Record into the exit stage's fixed atomic cell — allocation-free;
+    /// stages past [`MAX_EXITS`] fold into the last cell.
+    fn on_compaction(&self, stage: usize, exited: usize, batch: usize) {
+        let c = &self.exits[stage.min(MAX_EXITS - 1)];
+        c.events.fetch_add(1, Ordering::Relaxed);
+        c.exited.fetch_add(exited as u64, Ordering::Relaxed);
+        c.offered.fetch_add(batch as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_accumulates() {
+        let p = LayerProfile::new();
+        p.on_layer(0, 4, 100);
+        p.on_layer(0, 4, 60);
+        p.on_layer(2, 2, 10);
+        assert_eq!(p.layer(0), Some((2, 8, 160)));
+        assert_eq!(p.layer(1), None);
+        assert_eq!(p.layer(2), Some((1, 2, 10)));
+        assert_eq!(p.layer_ns_per_sample(0), Some(20.0));
+        p.on_compaction(0, 3, 4);
+        assert_eq!(p.exit(0), Some((1, 3, 4)));
+        p.reset();
+        assert_eq!(p.layer(0), None);
+        assert_eq!(p.exit(0), None);
+    }
+
+    #[test]
+    fn overflow_folds_into_last_cell() {
+        let p = LayerProfile::new();
+        p.on_layer(MAX_LAYERS + 10, 1, 5);
+        assert_eq!(p.layer(MAX_LAYERS - 1), Some((1, 1, 5)));
+        p.on_compaction(MAX_EXITS + 1, 1, 2);
+        assert_eq!(p.exit(MAX_EXITS - 1), Some((1, 1, 2)));
+    }
+
+    #[test]
+    fn install_bumps_generation() {
+        let g0 = generation();
+        install(Arc::new(LayerProfile::new()));
+        assert!(generation() > g0);
+        assert!(active().is_some());
+        clear();
+        assert!(active().is_none());
+        assert!(generation() > g0 + 1);
+        clear(); // idempotent: clearing empty slot keeps the generation
+        let g = generation();
+        clear();
+        assert_eq!(generation(), g);
+    }
+}

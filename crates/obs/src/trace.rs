@@ -1,0 +1,267 @@
+//! Per-request span events over a preallocated ring buffer.
+//!
+//! A [`TraceSink`] owns `capacity` [`SpanEvent`] slots allocated up front;
+//! [`TraceSink::record`] writes into the next slot and, at capacity,
+//! overwrites the oldest event (counting how many were lost) instead of
+//! growing — recording is therefore allocation-free at any rate, which
+//! `tests/alloc_guard.rs` proves on the overwrite path specifically.
+//!
+//! Events carry indices, not names: `tier`/`server` are small integers the
+//! exporter resolves against a name table at write-out time, so a record
+//! call never touches a `String`. The JSONL exporter emits one header line
+//! (`schema`, capacity, drop count, tier names) followed by the surviving
+//! events oldest-first; a request's lines, filtered by `req`, reconstruct
+//! its full path through the tiers.
+
+/// What happened at one instant of a request's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Request arrived at the system boundary (gateway or device queue).
+    Arrival,
+    /// Admission control accepted the request.
+    Admit,
+    /// Admission control (or a full queue) dropped it; `value` is the queue
+    /// depth observed at the drop.
+    Drop,
+    /// Entered a tier's scheduler queue; `value` is the depth after entry.
+    QueueEnter,
+    /// Left the queue for service; `value` is the depth after leaving.
+    QueueLeave,
+    /// Service started; `value` is the batch size it was grouped into.
+    ServiceStart,
+    /// Service finished; `value` is the service time in ms.
+    ServiceEnd,
+    /// Offloaded across a link; `tier` is the destination, `value` the
+    /// transfer time in ms.
+    OffloadHop,
+    /// Early-exit depth resolved; `value` is the exit index (0 = earliest).
+    ExitDepth,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in the JSONL `event` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Arrival => "arrival",
+            SpanKind::Admit => "admit",
+            SpanKind::Drop => "drop",
+            SpanKind::QueueEnter => "queue_enter",
+            SpanKind::QueueLeave => "queue_leave",
+            SpanKind::ServiceStart => "service_start",
+            SpanKind::ServiceEnd => "service_end",
+            SpanKind::OffloadHop => "offload_hop",
+            SpanKind::ExitDepth => "exit_depth",
+        }
+    }
+}
+
+/// One recorded event. Plain `Copy` data — no owned strings — so ring
+/// writes are a single slot assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanEvent {
+    /// Global sequence number (monotone across overwrites).
+    pub seq: u64,
+    /// Simulation time in milliseconds.
+    pub time_ms: f64,
+    /// Request id the event belongs to.
+    pub request: u64,
+    /// Event kind.
+    pub kind: SpanKind,
+    /// Tier index (resolved to a name at export; 0 for single-tier runs).
+    pub tier: u32,
+    /// Server index within the tier.
+    pub server: u32,
+    /// Kind-specific payload (see [`SpanKind`] variants).
+    pub value: f64,
+}
+
+impl Default for SpanEvent {
+    fn default() -> SpanEvent {
+        SpanEvent {
+            seq: 0,
+            time_ms: 0.0,
+            request: 0,
+            kind: SpanKind::Arrival,
+            tier: 0,
+            server: 0,
+            value: 0.0,
+        }
+    }
+}
+
+/// Fixed-capacity span ring. See the [module docs](self).
+pub struct TraceSink {
+    ring: Vec<SpanEvent>,
+    next: usize,
+    len: usize,
+    overwritten: u64,
+    seq: u64,
+}
+
+impl TraceSink {
+    /// Preallocate a ring of `capacity` slots (min 1). The only allocation
+    /// this sink ever performs happens here.
+    pub fn new(capacity: usize) -> TraceSink {
+        let capacity = capacity.max(1);
+        TraceSink {
+            ring: vec![SpanEvent::default(); capacity],
+            next: 0,
+            len: 0,
+            overwritten: 0,
+            seq: 0,
+        }
+    }
+
+    /// Record one event. Allocation-free: assigns the next preallocated
+    /// slot, overwriting the oldest event when the ring is full.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        time_ms: f64,
+        request: u64,
+        kind: SpanKind,
+        tier: u32,
+        server: u32,
+        value: f64,
+    ) {
+        if self.len == self.ring.len() {
+            self.overwritten += 1;
+        } else {
+            self.len += 1;
+        }
+        self.ring[self.next] = SpanEvent {
+            seq: self.seq,
+            time_ms,
+            request,
+            kind,
+            tier,
+            server,
+            value,
+        };
+        self.seq += 1;
+        self.next = (self.next + 1) % self.ring.len();
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many events were overwritten after the ring filled.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Surviving events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        let cap = self.ring.len();
+        let start = (self.next + cap - self.len) % cap;
+        (0..self.len).map(move |i| &self.ring[(start + i) % cap])
+    }
+
+    /// Encode as JSONL: one header line (schema, capacity, drop count, tier
+    /// name table), then one line per surviving event, oldest first. Cold
+    /// path; allocates the output string.
+    pub fn write_jsonl(&self, tier_names: &[&str]) -> String {
+        let mut s = String::with_capacity(128 + self.len * 96);
+        s.push_str(&format!(
+            "{{\"schema\": {}, \"kind\": \"header\", \"capacity\": {}, \"events\": {}, \
+             \"overwritten\": {}, \"tiers\": [",
+            crate::SCHEMA_VERSION,
+            self.capacity(),
+            self.len,
+            self.overwritten
+        ));
+        for (i, name) in tier_names.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&crate::json::escape(name));
+        }
+        s.push_str("]}\n");
+        for e in self.iter() {
+            let tier = tier_names
+                .get(e.tier as usize)
+                .copied()
+                .unwrap_or("unknown");
+            s.push_str(&format!(
+                "{{\"seq\": {}, \"t_ms\": {}, \"req\": {}, \"event\": \"{}\", \
+                 \"tier\": {}, \"server\": {}, \"value\": {}}}\n",
+                e.seq,
+                fmt_num(e.time_ms),
+                e.request,
+                e.kind.name(),
+                crate::json::escape(tier),
+                e.server,
+                fmt_num(e.value),
+            ));
+        }
+        s
+    }
+}
+
+/// JSON has no NaN/Inf; clamp to null.
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_at_capacity() {
+        let mut t = TraceSink::new(4);
+        for i in 0..10u64 {
+            t.record(i as f64, i, SpanKind::Arrival, 0, 0, 0.0);
+        }
+        assert_eq!(t.capacity(), 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.overwritten(), 6);
+        let seqs: Vec<u64> = t.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first surviving window");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_parser() {
+        let mut t = TraceSink::new(8);
+        t.record(1.5, 42, SpanKind::Arrival, 0, 0, 0.0);
+        t.record(2.0, 42, SpanKind::OffloadHop, 1, 0, 0.25);
+        t.record(9.0, 42, SpanKind::ServiceEnd, 1, 3, 7.0);
+        let out = t.write_jsonl(&["edge", "cloud"]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let header = crate::json::parse(lines[0]).expect("header parses");
+        assert_eq!(header.get("schema").and_then(|v| v.as_f64()), Some(1.0));
+        let hop = crate::json::parse(lines[2]).expect("event parses");
+        assert_eq!(hop.get("tier").and_then(|v| v.as_str()), Some("cloud"));
+        assert_eq!(
+            hop.get("event").and_then(|v| v.as_str()),
+            Some("offload_hop")
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut t = TraceSink::new(0);
+        t.record(0.0, 1, SpanKind::Admit, 0, 0, 0.0);
+        t.record(1.0, 2, SpanKind::Admit, 0, 0, 0.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.overwritten(), 1);
+        assert_eq!(t.iter().next().map(|e| e.request), Some(2));
+    }
+}

@@ -14,13 +14,22 @@
 //! The models are the paper's comparators (LeNet, the Table-I dense MLP,
 //! AdaDeep's scaled candidate, SubFlow's subnetwork, BranchyNet's stages,
 //! CBNet's lightweight classifier + converting autoencoder), at batch 32.
+//!
+//! The observability layer rides the same contract: a `ForwardPlan` run
+//! with an **active probe**, the simulator observer's full recording
+//! surface, and the span ring's overwrite path must all stay allocation-free
+//! in steady state (construction/registration is the warm-up).
 
+use std::sync::Arc;
+
+use edgesim::SimObserver;
 use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
 use models::branchynet::{BranchyNet, BranchyNetConfig};
 use models::lenet::{build_lenet, build_lenet_scaled};
 use models::lightweight::extract_lightweight;
 use models::subflow::SubFlow;
 use nn::{step_with, Adam, ForwardPlan, Momentum, Network, Optimizer, Sgd};
+use obs::{LayerProfile, ObsMode, SpanKind, TraceSink};
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
 
@@ -189,6 +198,81 @@ fn branchynet_optimizer_step_is_alloc_free() {
             step_with(&mut opt, |f| bn.visit_params_and_grads(f));
         }
     });
+}
+
+#[test]
+fn planned_forward_with_active_probe_is_alloc_free() {
+    pin_single_thread();
+    let mut rng = rng_from_seed(30);
+    let mut net = build_lenet(&mut rng);
+    let x = batch_input(784, 7);
+    // An explicit probe: per-layer timing lands in the profile's fixed
+    // atomic cells, so observation must cost zero heap traffic per run.
+    let profile = Arc::new(LayerProfile::new());
+    let mut plan = ForwardPlan::with_probe(
+        &net,
+        BATCH,
+        tensor::backend::Backend::scalar(),
+        Some(profile.clone()),
+    );
+    let _ = plan.run(net.layers_mut(), &x);
+    profile.reset();
+    let acc = testkit::assert_no_alloc("LeNet ForwardPlan::run [probed]", || {
+        let mut acc = 0.0f32;
+        for _ in 0..3 {
+            let y = plan.run(net.layers_mut(), &x);
+            acc += y[0] + y[y.len() - 1];
+        }
+        acc
+    });
+    assert!(acc.is_finite(), "probed run: non-finite planned output");
+    let (calls, samples, ns) = profile.layer(0).expect("layer 0 was profiled");
+    assert_eq!(calls, 3, "three steady-state runs were profiled");
+    assert_eq!(samples, 3 * BATCH as u64);
+    assert!(ns > 0, "probe recorded wall time");
+}
+
+#[test]
+fn sim_observer_recording_is_alloc_free() {
+    // Trace mode exercises every branch of the recording surface: counters,
+    // gauges, histograms *and* span-ring writes. 64 iterations × 9 events
+    // laps the 128-slot ring several times, so the overwrite path is under
+    // the allocator guard too.
+    let mut o = SimObserver::with_mode(ObsMode::Trace, &["edge", "cloud"], "exit_conf", 128);
+    o.on_arrival(0.0, 0); // warm-up (nothing lazy today; contract for tomorrow)
+    testkit::assert_no_alloc("SimObserver on_* recording surface", || {
+        for i in 0..64usize {
+            let t = i as f64;
+            o.on_arrival(t, i);
+            o.on_route(t, i, 1, 2.5);
+            o.on_admit(t, i, 1);
+            o.on_queue_enter(t, i, 1);
+            o.on_queue_leave(t + 0.5, i, 1);
+            o.on_service_start(t + 0.5, i, 1, 0, 4);
+            o.on_service_end(t + 1.5, i, 1, 0, 1.0);
+            o.on_complete(t + 1.5, i, 1, 1.5);
+            o.on_drop(t, i, 0, 32.0);
+        }
+    });
+    assert!(o.trace().overwritten() > 0, "the ring lapped at least once");
+    assert_eq!(o.trace().len(), 128, "ring stays at capacity");
+}
+
+#[test]
+fn trace_ring_overwrite_is_alloc_free() {
+    let mut sink = TraceSink::new(8);
+    sink.record(0.0, 0, SpanKind::Arrival, 0, 0, 0.0); // warm-up
+    testkit::assert_no_alloc("TraceSink::record at capacity", || {
+        for i in 0..100u64 {
+            sink.record(i as f64, i, SpanKind::QueueEnter, 0, 0, i as f64);
+        }
+    });
+    assert_eq!(sink.len(), 8);
+    assert_eq!(
+        sink.overwritten(),
+        93,
+        "1 warm-up + 100 records over 8 slots"
+    );
 }
 
 #[test]

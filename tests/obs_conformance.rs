@@ -1,0 +1,143 @@
+//! Quantile conformance: `obs::Histogram::quantile` pinned against the
+//! simulators' shared exact percentile (`edgesim::percentile_sorted`).
+//!
+//! Both sides use the same nearest-rank convention
+//! (`rank = round((count−1)·q)`); the histogram then reports the geometric
+//! midpoint of the log-scale bucket holding that rank, so for samples
+//! inside `[lo, hi]` its error is **relative** and bounded by the bucket
+//! geometry:
+//!
+//! ```text
+//! |quantile − exact| / exact  ≤  sqrt(growth) − 1
+//! ```
+//!
+//! (≈ 1.98% at the default `growth = 1.04`). Samples at or below `lo` all
+//! land in bucket 0, whose midpoint is within `lo` of any such sample, so
+//! the sub-`lo` regime carries an **absolute** bound of `lo` instead. This
+//! test drives both regimes over distributions shaped like the simulators'
+//! outputs (uniform, heavy-tailed, bimodal service mixtures) and asserts
+//! the documented bounds hold at every reported percentile.
+
+use edgesim::percentile_sorted;
+use obs::{BucketSpec, MetricsRegistry};
+use rand::Rng;
+use tensor::random::rng_from_seed;
+
+/// The documented relative bound for in-range samples, with a hair of
+/// floating-point slack.
+fn rel_bound(growth: f64) -> f64 {
+    (growth.sqrt() - 1.0) * (1.0 + 1e-9)
+}
+
+/// Quantiles the JSON export reports, plus the extremes.
+const QS: [f64; 6] = [0.0, 0.5, 0.9, 0.95, 0.99, 1.0];
+
+fn assert_conformant(label: &str, samples: &[f64], spec: BucketSpec) {
+    let mut reg = MetricsRegistry::new();
+    let id = reg.register_histogram(label, spec);
+    for &v in samples {
+        reg.observe(id, v);
+    }
+    let hist = reg.histogram(id);
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    for q in QS {
+        let exact = percentile_sorted(&sorted, q);
+        let est = hist.quantile(q);
+        if exact <= spec.lo {
+            assert!(
+                (est - exact).abs() <= spec.lo,
+                "{label} q={q}: est {est} vs exact {exact} — absolute error \
+                 exceeds lo={} in the sub-lo regime",
+                spec.lo
+            );
+        } else {
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= rel_bound(spec.growth),
+                "{label} q={q}: est {est} vs exact {exact} — relative error \
+                 {rel:.5} exceeds sqrt(growth)-1 = {:.5}",
+                rel_bound(spec.growth)
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_latencies_conform() {
+    let mut rng = rng_from_seed(41);
+    let samples: Vec<f64> = (0..10_000)
+        .map(|_| rng.gen::<f64>() * 50.0 + 0.01)
+        .collect();
+    assert_conformant("uniform", &samples, BucketSpec::latency_ms());
+}
+
+#[test]
+fn heavy_tailed_latencies_conform() {
+    // exp(N·u) stretches across several decades — the sojourn-tail shape
+    // log-scale buckets exist for.
+    let mut rng = rng_from_seed(42);
+    let samples: Vec<f64> = (0..10_000)
+        .map(|_| (rng.gen::<f64>() * 9.0 - 3.0).exp())
+        .collect();
+    assert_conformant("heavy_tailed", &samples, BucketSpec::latency_ms());
+}
+
+#[test]
+fn bimodal_service_mixture_conforms() {
+    // The paper's serving shape: a fast early-exit mode and a slow full-path
+    // mode, an order of magnitude apart.
+    let mut rng = rng_from_seed(43);
+    let samples: Vec<f64> = (0..10_000)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.7 {
+                0.8 + rng.gen::<f64>() * 0.4
+            } else {
+                9.0 + rng.gen::<f64>() * 3.0
+            }
+        })
+        .collect();
+    assert_conformant("bimodal", &samples, BucketSpec::latency_ms());
+}
+
+#[test]
+fn sub_lo_samples_carry_the_absolute_bound() {
+    // Everything at or below `lo` collapses into bucket 0: the relative
+    // bound cannot hold there, the absolute bound `lo` does.
+    let mut rng = rng_from_seed(44);
+    let spec = BucketSpec::latency_ms();
+    let samples: Vec<f64> = (0..1_000).map(|_| rng.gen::<f64>() * spec.lo).collect();
+    assert_conformant("sub_lo", &samples, spec);
+}
+
+#[test]
+fn coarse_buckets_widen_the_bound_proportionally() {
+    // The bound is a property of the geometry, not of the default layout:
+    // a 30%-growth spec must still conform to *its own* sqrt(growth)−1.
+    let mut rng = rng_from_seed(45);
+    let spec = BucketSpec {
+        lo: 0.01,
+        hi: 1e4,
+        growth: 1.3,
+    };
+    let samples: Vec<f64> = (0..10_000)
+        .map(|_| (rng.gen::<f64>() * 8.0 - 2.0).exp())
+        .collect();
+    assert_conformant("coarse", &samples, spec);
+}
+
+#[test]
+fn empty_and_single_sample_edges() {
+    let mut reg = MetricsRegistry::new();
+    let id = reg.register_histogram("edges", BucketSpec::latency_ms());
+    assert!(
+        reg.histogram(id).quantile(0.5).is_nan(),
+        "empty histogram reports NaN (the JSON export maps it to null)"
+    );
+    reg.observe(id, 7.5);
+    let est = reg.histogram(id).quantile(0.5);
+    let rel = (est - 7.5f64).abs() / 7.5;
+    assert!(rel <= rel_bound(1.04), "single sample: rel error {rel:.5}");
+}
