@@ -89,17 +89,46 @@ pub fn run_rules(files: &[FileCtx]) -> Vec<RawViolation> {
     out
 }
 
-/// Functions on the planned-inference hot path: `*_into` kernels, the
-/// scratch sizers they rely on, and every `ForwardPlan` method except the
-/// allocating constructors (`new`, the backend-pinning `with_backend` and
-/// the probe-pinning `with_probe`).
+/// Impl blocks whose methods run on a steady-state hot path: the planned
+/// inference loop (`ForwardPlan`) and the flat-index event engines — the
+/// heap sift/push/pop, the intrusive queue swizzles, the arena accessors,
+/// monomorphized discipline dispatch, and the engine/fleet event loops
+/// themselves.
+const HOT_IMPLS: [&str; 8] = [
+    "ForwardPlan",
+    "EventHeap",
+    "RequestArena",
+    "IndexQueue",
+    "Chain",
+    "Discipline",
+    "EngineSim",
+    "FleetSim",
+];
+
+/// Methods of hot impls that are *allowed* to allocate: constructors and
+/// kind-resolvers (cold, once per simulation/plan) and report assembly
+/// (cold, after the loop drains).
+const HOT_EXEMPT_FNS: [&str; 6] = [
+    "new",
+    "with_capacity",
+    "with_backend",
+    "with_probe",
+    "from_kind",
+    "report",
+];
+
+/// Functions on a steady-state hot path: `*_into` kernels, the scratch
+/// sizers they rely on, and every method of a [`HOT_IMPLS`] impl except the
+/// allocating constructors/finalizers in [`HOT_EXEMPT_FNS`]. Note `reset`
+/// is *not* exempt — run-to-run reuse must stay allocation-free.
 fn is_hot_fn(f: &FnSpan) -> bool {
     f.name.ends_with("_into")
         || f.name.ends_with("_scratch_floats")
-        || (f.parent_impl.as_deref() == Some("ForwardPlan")
-            && f.name != "new"
-            && f.name != "with_backend"
-            && f.name != "with_probe")
+        || (f
+            .parent_impl
+            .as_deref()
+            .is_some_and(|p| HOT_IMPLS.contains(&p))
+            && !HOT_EXEMPT_FNS.contains(&f.name.as_str()))
 }
 
 const ALLOC_METHODS: [&str; 5] = ["clone", "collect", "to_vec", "to_string", "to_owned"];

@@ -11,6 +11,7 @@ use analyzer::report::{Report, Violation};
 use analyzer::resolve;
 
 const HOT_PATH: &str = include_str!("fixtures/hot_path.rs");
+const HOT_ENGINE: &str = include_str!("fixtures/hot_engine.rs");
 const PANICS: &str = include_str!("fixtures/panics.rs");
 const SHIM_USER: &str = include_str!("fixtures/shim_user.rs");
 const SHIM_RAND: &str = include_str!("fixtures/shim_rand.rs");
@@ -21,8 +22,9 @@ const UNSAFE_AUDIT: &str = include_str!("fixtures/unsafe_audit.rs");
 const OBS_DOC: &str = include_str!("fixtures/obs_doc.rs");
 
 /// All fixtures mapped to paths that put them in their rule's scope.
-const ALL_FIXTURES: [(&str, &str); 9] = [
+const ALL_FIXTURES: [(&str, &str); 10] = [
     ("crates/nn/src/fixture_hot.rs", HOT_PATH),
+    ("crates/edgesim/src/fixture_engine.rs", HOT_ENGINE),
     ("crates/demo/src/lib.rs", PANICS),
     ("crates/demo/src/shim_user.rs", SHIM_USER),
     ("crates/shims/rand/src/lib.rs", SHIM_RAND),
@@ -86,6 +88,31 @@ fn hot_path_alloc_flags_kernels_and_plan_methods() {
     // The allocating constructor (`ForwardPlan::new`) and the cold helper
     // are out of scope.
     assert!(!hot.iter().any(|v| v.line == 11 || v.line == 47));
+}
+
+#[test]
+fn hot_path_alloc_covers_engine_impls() {
+    let report = report_for(&[("crates/edgesim/src/fixture_engine.rs", HOT_ENGINE)]);
+    let hot = by_rule(&report, "hot-path-alloc");
+
+    // `.to_vec()` in EventHeap::push, `format!` in EngineSim::run,
+    // `.collect()` in FleetSim::dispatch_tier.
+    assert_eq!(open_lines(&hot), vec![16, 31, 50]);
+    assert!(hot.iter().any(|v| v.message.contains("`push`")));
+    assert!(hot.iter().any(|v| v.message.contains("format!")));
+    assert!(hot.iter().any(|v| v.message.contains("`dispatch_tier`")));
+
+    // `reset` is hot (run-to-run reuse must stay allocation-free); its
+    // annotated `.clone()` is suppressed with the recorded reason.
+    let suppressed: Vec<_> = hot.iter().filter(|v| v.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 37);
+
+    // Constructors (`with_capacity`), kind resolution (`from_kind`) and
+    // report assembly allocate freely — out of scope.
+    assert!(!hot
+        .iter()
+        .any(|v| v.line == 11 || v.line == 27 || v.line == 42));
 }
 
 #[test]

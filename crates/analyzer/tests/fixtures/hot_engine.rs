@@ -1,0 +1,53 @@
+//! Engine hot-impl fixture: methods of `EventHeap`/`EngineSim`/`FleetSim`
+//! (and the other flat-index impls) are hot by default; constructors,
+//! `from_kind` and `report` are exempt, and `reset` is deliberately not.
+
+pub struct EventHeap {
+    entries: Vec<u64>,
+}
+
+impl EventHeap {
+    pub fn with_capacity(n: usize) -> EventHeap {
+        let entries = Vec::with_capacity(n); // exempt: constructor
+        EventHeap { entries }
+    }
+
+    pub fn push(&mut self, v: u64) {
+        let spill = self.entries.to_vec(); // flagged
+        self.entries.push(v + spill.len() as u64);
+    }
+}
+
+pub struct EngineSim {
+    ids: Vec<u64>,
+}
+
+impl EngineSim {
+    pub fn from_kind(n: usize) -> EngineSim {
+        EngineSim { ids: vec![0; n] } // exempt: kind resolution
+    }
+
+    pub fn run(&mut self) {
+        let label = format!("run-{}", self.ids.len()); // flagged
+        self.ids[0] = label.len() as u64;
+    }
+
+    pub fn reset(&mut self) {
+        // lint:allow(hot-path-alloc, reason = "fixture: reset is hot, the annotation is the escape hatch")
+        let fresh = self.ids.clone();
+        self.ids.copy_from_slice(&fresh);
+    }
+
+    pub fn report(&self) -> Vec<u64> {
+        self.ids.clone() // exempt: report assembly
+    }
+}
+
+pub struct FleetSim;
+
+impl FleetSim {
+    pub fn dispatch_tier(&mut self) -> u64 {
+        let chain: Vec<u64> = (0..4).collect(); // flagged
+        chain.iter().sum()
+    }
+}

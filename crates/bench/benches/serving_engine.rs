@@ -3,11 +3,12 @@
 //! grows, plus the scheduler disciplines and the fleet layered on top.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use edgesim::fleet::{simulate_fleet, NetworkLink, Tier};
+use edgesim::fleet::{simulate_fleet, FleetSim, NetworkLink, Tier};
 use edgesim::pipeline::ServingConfig;
+use edgesim::reference::simulate_fleet_reference;
 use edgesim::{
     simulate_engine, AdmissionPolicy, ArrivalProcess, CostProfile, Device, DeviceModel,
-    EngineConfig, FleetConfig, OffloadPolicyKind, SchedulerKind,
+    EngineConfig, FleetConfig, OffloadPolicyKind, RecordMode, SchedulerKind,
 };
 
 const REQUESTS: usize = 10_000;
@@ -112,10 +113,78 @@ fn bench_fleet(c: &mut Criterion) {
     g.finish();
 }
 
+/// Steady-state index engine (one `FleetSim`, `reset()` + `run()` per
+/// iteration, Lean records — the zero-allocation loop the guard pins)
+/// against the preserved pre-arena `BinaryHeap` loop on the same
+/// three-tier configuration. The two runs are bit-identical by the
+/// conformance suite, so the gap is pure engine overhead.
+fn bench_fleet_steady_state(c: &mut Criterion) {
+    let cfg = FleetConfig {
+        tiers: vec![
+            Tier {
+                name: "edge".into(),
+                device: DeviceModel::raspberry_pi4(),
+                servers: 2,
+                profile: CostProfile::bimodal(4.0, 14.0, 0.7),
+                scheduler: SchedulerKind::Fifo,
+                admission: AdmissionPolicy::Bounded { max_queue: 64 },
+                link: None,
+            },
+            Tier {
+                name: "cloud-cpu".into(),
+                device: DeviceModel::gci_cpu(),
+                servers: 4,
+                profile: CostProfile::bimodal(1.0, 3.5, 0.7),
+                scheduler: SchedulerKind::Batch {
+                    max_batch: 8,
+                    max_wait_ms: 1.5,
+                },
+                admission: AdmissionPolicy::Unbounded,
+                link: Some(NetworkLink::wifi(16 * 1024)),
+            },
+            Tier {
+                name: "cloud-gpu".into(),
+                device: DeviceModel::gci_gpu(),
+                servers: 1,
+                profile: CostProfile::constant(0.8),
+                scheduler: SchedulerKind::ShortestService,
+                admission: AdmissionPolicy::Unbounded,
+                link: Some(NetworkLink::wan(16 * 1024)),
+            },
+        ],
+        arrivals: ArrivalProcess::poisson(500.0),
+        requests: REQUESTS,
+        seed: 29,
+        slo_ms: 30.0,
+    };
+    let policy = OffloadPolicyKind::SloSojourn { slo_ms: 18.0 };
+
+    let mut g = c.benchmark_group("fleet_steady_state");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(REQUESTS as u64));
+
+    let mut index_policy = policy.build();
+    let mut sim = FleetSim::new(&cfg, RecordMode::Lean).expect("valid fleet config");
+    g.bench_function("index_lean", |b| {
+        b.iter(|| {
+            sim.reset();
+            sim.run(index_policy.as_mut(), None)
+                .expect("routes in range");
+        });
+    });
+
+    let mut ref_policy = policy.build();
+    g.bench_function("reference", |b| {
+        b.iter(|| simulate_fleet_reference(&cfg, ref_policy.as_mut()).expect("valid config"));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_vs_servers,
     bench_engine_schedulers,
-    bench_fleet
+    bench_fleet,
+    bench_fleet_steady_state
 );
 criterion_main!(benches);

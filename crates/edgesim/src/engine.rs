@@ -1,12 +1,22 @@
 //! Discrete-event multi-server serving engine.
 //!
 //! Where [`crate::pipeline::simulate`] is a closed-form single-server FIFO
-//! recurrence, this module is a proper event-driven simulator: a binary
-//! event heap (arrivals, completions, batch-deadline timers) drives N
-//! parallel servers, a pluggable [`Scheduler`] decides what a free server
-//! runs next, and an [`AdmissionPolicy`] decides whether an arriving
-//! request is queued at all — with dropped requests accounted per run, not
-//! silently discarded.
+//! recurrence, this module is a proper event-driven simulator: an event
+//! loop (arrivals merged from the sorted workload slab, completions and
+//! batch-deadline timers from a preallocated index [`EventHeap`]) drives N
+//! parallel servers, a queue discipline decides what a free server runs
+//! next, and an [`AdmissionPolicy`] decides whether an arriving request is
+//! queued at all — with dropped requests accounted per run, not silently
+//! discarded.
+//!
+//! The hot loop is built on flat indices ([`EngineSim`]): requests live in
+//! a [`RequestArena`] slab, queues and batches are intrusive chains through
+//! it, and the discipline is a monomorphized [`Discipline`] — steady-state
+//! execution is allocation-free (see `tests/alloc_guard.rs`), which is what
+//! makes 10⁶⁺-request sweeps cheap. The [`Scheduler`] trait and its boxed
+//! implementations remain as the reference semantics the disciplines are
+//! conformance-tested against (and as the extension surface for custom
+//! experiments via [`crate::reference::run_engine_reference`]).
 //!
 //! # Conformance with the legacy simulator
 //!
@@ -28,13 +38,16 @@
 //! completes when the batch does. A partial batch launches when the oldest
 //! queued request has waited `max_wait_ms`.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
+use obs::{BucketSpec, Histogram};
+
+use crate::arena::{Action, Chain, Discipline, IndexQueue, RequestArena, NIL};
 use crate::arrivals::ArrivalProcess;
 use crate::device::DeviceModel;
+use crate::events::EventHeap;
 use crate::observe::SimObserver;
-use crate::pipeline::{finalize_report, ServingConfig, ServingReport};
+use crate::pipeline::{finalize_report, report_from_histogram, ServingConfig, ServingReport};
 
 /// One request flowing through the engine. The service requirement is
 /// pre-sampled from the workload's [`crate::cost::CostProfile`] at
@@ -355,40 +368,475 @@ impl EngineReport {
     }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Arrival(usize),
-    Completion { server: usize },
+/// Which per-request artifacts a simulation retains.
+///
+/// The engine's hot loop is identical under both modes (same events, same
+/// arithmetic); the modes only differ in what each completion/drop writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Keep every per-request [`Outcome`] and sojourn sample (O(n) memory):
+    /// [`EngineReport::records`] is fully populated and report percentiles
+    /// are exact. The default, and the mode every conformance/property test
+    /// consumes.
+    #[default]
+    Full,
+    /// Million-request sweeps: no O(n) record or sojourn storage. Sojourn,
+    /// service and queue-depth statistics stream into preallocated
+    /// [`obs::Histogram`]s ([`LeanStats`]); report percentiles are bucketed
+    /// (≈2% relative error at the default 4% bucket growth) while counts,
+    /// busy time, utilization and energy stay exact.
+    /// [`EngineReport::records`] comes back empty.
+    Lean,
+}
+
+/// Bucket layout for lean-mode queue-depth samples: depth 0 lands in the
+/// first bucket, the last bucket covers 10⁷-deep backlogs.
+fn depth_spec() -> BucketSpec {
+    BucketSpec {
+        lo: 1.0,
+        hi: 1e7,
+        growth: 1.04,
+    }
+}
+
+/// The preallocated statistics a [`RecordMode::Lean`] simulation streams
+/// into instead of per-request records. All three histograms record
+/// allocation-free after construction.
+pub struct LeanStats {
+    /// End-to-end sojourn (queue + service) of every completed request, ms.
+    pub sojourn_ms: Histogram,
+    /// Solo service requirement of every completed request, ms.
+    pub service_ms: Histogram,
+    /// Queue depth seen by each arrival (sampled before its own admission
+    /// decision).
+    pub queue_depth: Histogram,
+}
+
+impl LeanStats {
+    /// Preallocate the three histograms (cold path, once per simulation).
+    pub(crate) fn new(prefix: &str) -> LeanStats {
+        LeanStats {
+            sojourn_ms: Histogram::standalone(
+                &format!("{prefix}.sojourn_ms"),
+                BucketSpec::latency_ms(),
+            ),
+            service_ms: Histogram::standalone(
+                &format!("{prefix}.service_ms"),
+                BucketSpec::latency_ms(),
+            ),
+            queue_depth: Histogram::standalone(&format!("{prefix}.queue_depth"), depth_spec()),
+        }
+    }
+
+    /// Zero all three histograms (run-to-run reuse). Allocation-free.
+    pub(crate) fn reset(&self) {
+        self.sojourn_ms.reset();
+        self.service_ms.reset();
+        self.queue_depth.reset();
+    }
+}
+
+/// Dynamic events of the index engine. Arrivals are *not* events: the
+/// workload slab is pre-sorted by arrival time, so the loop consumes it
+/// through a cursor and merges it against the heap (see
+/// [`EngineSim::run`]) — the heap only ever holds O(servers) completions
+/// and batch timers instead of O(n) arrivals.
+#[derive(Debug, Clone, Copy)]
+enum EngineEvent {
+    /// A server finishes its in-flight chain.
+    Completion { server: u32 },
+    /// A batch-accumulation deadline (stale timers are harmless — they just
+    /// re-ask the discipline).
     Timer,
 }
 
-#[derive(Debug)]
-struct Event {
-    time_ms: f64,
+/// The reusable discrete-event simulation: one allocation burst at
+/// [`EngineSim::new`], then [`run`](EngineSim::run) —
+/// and any number of [`reset`](EngineSim::reset) + `run` cycles — execute
+/// allocation-free (enforced by `tests/alloc_guard.rs` under a counting
+/// global allocator).
+///
+/// This is the engine behind [`simulate_engine`] / [`run_engine`] (which
+/// construct it in [`RecordMode::Full`], run once, and assemble the
+/// report). Construct it directly to choose [`RecordMode::Lean`] for
+/// million-request sweeps, or to amortize construction across repeated runs
+/// (benchmarks, parameter sweeps over the same workload).
+///
+/// Internals: the workload lives in a [`RequestArena`] slab addressed by
+/// `u32` ids; the waiting queue is an intrusive [`IndexQueue`] through the
+/// arena's link array (the shared pool every idle server steals its next
+/// chain from); in-flight batches are detached [`Chain`]s (two `u32`s per
+/// server, never an owned `Vec`); dynamic events sit in a preallocated
+/// index [`EventHeap`]; and the queue discipline is a monomorphized
+/// [`Discipline`] resolved once from [`SchedulerKind`]. Reports are
+/// bit-identical to the original `BinaryHeap` + `Box<dyn Scheduler>` loop,
+/// which is preserved as [`crate::reference::run_engine_reference`] and
+/// pinned against this engine by the conformance suites.
+pub struct EngineSim {
+    servers: usize,
+    discipline: Discipline,
+    admission: AdmissionPolicy,
+    mode: RecordMode,
+    arena: RequestArena,
+    heap: EventHeap<EngineEvent>,
+    queue: IndexQueue,
+    /// Next unconsumed arrival (index into the arena slab).
+    cursor: usize,
+    /// Next event sequence number. Arrival `i` implicitly owns seq `i`, so
+    /// dynamic events start at `n` — exactly the numbering the original
+    /// heap-seeded loop produced, which is what makes cursor-merged
+    /// arrivals win time ties the same way seeded arrival events did.
     seq: u64,
-    kind: EventKind,
+    idle: Vec<bool>,
+    busy_ms: Vec<f64>,
+    /// The chain each busy server is running: (start time, members).
+    running: Vec<(f64, Chain)>,
+    /// Per-request outcomes (Full mode only; empty in Lean).
+    outcomes: Vec<Option<Outcome>>,
+    /// Completed sojourns in completion order (Full mode only).
+    sojourns: Vec<f64>,
+    /// Streaming statistics (Lean mode only).
+    lean: Option<LeanStats>,
+    dropped: usize,
+    makespan: f64,
+    events: u64,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_ms == other.time_ms && self.seq == other.seq
+impl EngineSim {
+    /// Validate the topology and workload (same contract and error messages
+    /// as [`try_run_engine`]) and preallocate every piece of run state.
+    /// Cold path: this is the engine's one allocation site.
+    pub fn new(
+        servers: usize,
+        scheduler: SchedulerKind,
+        admission: AdmissionPolicy,
+        requests: Vec<Request>,
+        mode: RecordMode,
+    ) -> Result<EngineSim, String> {
+        if servers == 0 {
+            return Err("need at least one server".into());
+        }
+        if requests.is_empty() {
+            return Err("need at least one request".into());
+        }
+        if requests.len() >= NIL as usize {
+            return Err(format!(
+                "engine is limited to {} requests, got {}",
+                NIL - 1,
+                requests.len()
+            ));
+        }
+        for (i, r) in requests.iter().enumerate() {
+            if r.id != i {
+                return Err(format!(
+                    "request ids must be 0..n in arrival order (index {i} has id {})",
+                    r.id
+                ));
+            }
+            if !(r.service_ms > 0.0 && r.service_ms.is_finite()) {
+                return Err(format!(
+                    "service times must be positive and finite, got {} (request {i})",
+                    r.service_ms
+                ));
+            }
+            if !(r.arrival_ms.is_finite() && r.arrival_ms >= 0.0) {
+                return Err(format!(
+                    "arrival times must be non-negative and finite, got {} (request {i})",
+                    r.arrival_ms
+                ));
+            }
+        }
+        if !requests
+            .windows(2)
+            .all(|w| w[0].arrival_ms <= w[1].arrival_ms)
+        {
+            return Err("requests must arrive in non-decreasing time order".into());
+        }
+        let discipline = Discipline::from_kind(scheduler)?;
+        let n = requests.len();
+        Ok(EngineSim {
+            servers,
+            discipline,
+            admission,
+            mode,
+            arena: RequestArena::new(requests),
+            // Outstanding dynamic events: at most one completion per server
+            // plus a bounded backlog of stale batch timers. Growth past
+            // this is a one-time high-water-mark event, after which
+            // steady-state push/pop reuses the freed slots.
+            heap: EventHeap::with_capacity(2 * servers + 8),
+            queue: IndexQueue::new(),
+            cursor: 0,
+            seq: n as u64,
+            idle: vec![true; servers],
+            busy_ms: vec![0.0; servers],
+            running: vec![(0.0, Chain::EMPTY); servers],
+            outcomes: match mode {
+                RecordMode::Full => vec![None; n],
+                RecordMode::Lean => Vec::new(),
+            },
+            sojourns: match mode {
+                RecordMode::Full => Vec::with_capacity(n),
+                RecordMode::Lean => Vec::new(),
+            },
+            lean: match mode {
+                RecordMode::Full => None,
+                RecordMode::Lean => Some(LeanStats::new("engine")),
+            },
+            dropped: 0,
+            makespan: 0.0,
+            events: 0,
+        })
     }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    /// Rewind to the pre-run state over the same workload, keeping every
+    /// allocation (heap storage, outcome slab, sojourn capacity, histogram
+    /// buckets). Allocation-free, so a reset + [`run`](EngineSim::run)
+    /// cycle is too — what the benchmarks and the steady-state alloc guard
+    /// drive.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.queue.clear();
+        self.cursor = 0;
+        self.seq = self.arena.len() as u64;
+        for f in &mut self.idle {
+            *f = true;
+        }
+        for b in &mut self.busy_ms {
+            *b = 0.0;
+        }
+        for r in &mut self.running {
+            *r = (0.0, Chain::EMPTY);
+        }
+        for o in &mut self.outcomes {
+            *o = None;
+        }
+        self.sojourns.clear();
+        if let Some(l) = &self.lean {
+            l.reset();
+        }
+        self.dropped = 0;
+        self.makespan = 0.0;
+        self.events = 0;
     }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so the earliest time (then the
-        // earliest-scheduled event) pops first. `total_cmp` agrees with
-        // `partial_cmp` on the finite times produced here and cannot panic.
-        other
-            .time_ms
-            .total_cmp(&self.time_ms)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    /// Drive the event loop to completion. Allocation-free in both record
+    /// modes (post-warmup; the heap may grow once to its high-water mark on
+    /// the first run). `obs`, when present, is fed every transition exactly
+    /// as the original loop fed it; observation never feeds back into
+    /// scheduling, so observed and unobserved runs stay bit-identical.
+    pub fn run(&mut self, mut obs: Option<&mut SimObserver>) {
+        let n = self.arena.len();
+        loop {
+            // Merge the arrival cursor against the dynamic-event heap. The
+            // next arrival's seq is its id (`cursor`), every heap entry's
+            // seq is ≥ n > cursor, so arrivals win exact time ties — the
+            // same total (time, seq) order the seeded heap produced.
+            let take_arrival = match (
+                if self.cursor < n {
+                    Some(self.arena.get(self.cursor as u32).arrival_ms)
+                } else {
+                    None
+                },
+                self.heap.peek(),
+            ) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some((t, _))) => !matches!(a.total_cmp(&t), std::cmp::Ordering::Greater),
+            };
+            self.events += 1;
+            if take_arrival {
+                let id = self.cursor as u32;
+                self.cursor += 1;
+                let req = self.arena.get(id);
+                let now = req.arrival_ms;
+                self.makespan = self.makespan.max(now);
+                let queue_len = self.queue.len();
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_arrival(now, req.id);
+                    o.on_route(now, req.id, 0, 0.0);
+                }
+                if let Some(l) = &mut self.lean {
+                    l.queue_depth.observe_mut(queue_len as f64);
+                }
+                if self.admission.admits(queue_len) {
+                    self.queue.push_back(&mut self.arena, id);
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_admit(now, req.id, 0);
+                        o.on_queue_enter(now, req.id, 0);
+                    }
+                } else {
+                    self.dropped += 1;
+                    if self.mode == RecordMode::Full {
+                        self.outcomes[req.id] = Some(Outcome::Dropped);
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_drop(now, req.id, 0, queue_len as f64);
+                    }
+                }
+                self.dispatch_idle(now, obs.as_deref_mut());
+            } else if let Some((now, _seq, kind)) = self.heap.pop() {
+                match kind {
+                    EngineEvent::Completion { server } => {
+                        let s = server as usize;
+                        self.makespan = self.makespan.max(now);
+                        let (start_ms, chain) = self.running[s];
+                        self.running[s] = (0.0, Chain::EMPTY);
+                        let mut id = chain.head;
+                        for _ in 0..chain.count {
+                            let r = self.arena.get(id);
+                            match self.mode {
+                                RecordMode::Full => {
+                                    self.sojourns.push(now - r.arrival_ms);
+                                    self.outcomes[r.id] = Some(Outcome::Completed {
+                                        server: s,
+                                        start_ms,
+                                        finish_ms: now,
+                                    });
+                                }
+                                RecordMode::Lean => {
+                                    if let Some(l) = &mut self.lean {
+                                        l.sojourn_ms.observe_mut(now - r.arrival_ms);
+                                        l.service_ms.observe_mut(r.service_ms);
+                                    }
+                                }
+                            }
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.on_service_end(now, r.id, 0, s, now - start_ms);
+                                o.on_complete(now, r.id, 0, now - r.arrival_ms);
+                            }
+                            id = self.arena.next_of(id);
+                        }
+                        self.idle[s] = true;
+                    }
+                    EngineEvent::Timer => {}
+                }
+                self.dispatch_idle(now, obs.as_deref_mut());
+            }
+        }
+    }
+
+    /// Let every idle server pull work from the shared queue. `start = now`
+    /// reuses the event time verbatim — the engine never recomputes a
+    /// `max(arrival, free_at)`, so dispatch arithmetic matches the legacy
+    /// recurrence exactly. Allocation-free: batches are detached chains.
+    fn dispatch_idle(&mut self, now: f64, mut obs: Option<&mut SimObserver>) {
+        let discipline = self.discipline;
+        for s in 0..self.servers {
+            if !self.idle[s] {
+                continue;
+            }
+            match discipline.dispatch(&mut self.queue, &mut self.arena, now) {
+                Action::Serve(chain) => {
+                    debug_assert!(chain.count >= 1, "discipline dispatched an empty chain");
+                    let mut service = f64::NEG_INFINITY;
+                    let mut id = chain.head;
+                    for _ in 0..chain.count {
+                        let r = self.arena.get(id);
+                        service = f64::max(service, r.service_ms);
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.on_queue_leave(now, r.id, 0);
+                            o.on_service_start(now, r.id, 0, s, chain.count as usize);
+                        }
+                        id = self.arena.next_of(id);
+                    }
+                    self.busy_ms[s] += service;
+                    self.idle[s] = false;
+                    self.running[s] = (now, chain);
+                    self.heap.push(
+                        now + service,
+                        self.seq,
+                        EngineEvent::Completion { server: s as u32 },
+                    );
+                    self.seq += 1;
+                }
+                Action::WaitUntil(t) => {
+                    self.heap.push(t, self.seq, EngineEvent::Timer);
+                    self.seq += 1;
+                    break;
+                }
+                Action::Idle => break,
+            }
+        }
+    }
+
+    /// Events processed by the last [`run`](EngineSim::run) (arrivals +
+    /// completions + timers) — the numerator of the benchmarks' events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// The streaming statistics of a [`RecordMode::Lean`] run (`None` in
+    /// full mode, where [`EngineReport::records`] carries the raw data).
+    pub fn lean_stats(&self) -> Option<&LeanStats> {
+        self.lean.as_ref()
+    }
+
+    /// Assemble the run's [`EngineReport`]. Cold path (allocates the report
+    /// vectors); callable repeatedly, and `&self` so a sweep driver can
+    /// report then [`reset`](EngineSim::reset) and run again.
+    pub fn report(&self, device: &DeviceModel) -> EngineReport {
+        let n = self.arena.len();
+        let busy_total = self.busy_ms.iter().sum::<f64>();
+        let per_server_utilization = self
+            .busy_ms
+            .iter()
+            .map(|&b| {
+                if self.makespan > 0.0 {
+                    (b / self.makespan).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let (serving, records) = match self.mode {
+            RecordMode::Full => {
+                let records = self
+                    .arena
+                    .requests()
+                    .iter()
+                    .map(|&request| {
+                        // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
+                        let outcome = self.outcomes[request.id].expect("resolved by drain");
+                        RequestRecord { request, outcome }
+                    })
+                    .collect();
+                (
+                    finalize_report(
+                        device,
+                        self.sojourns.clone(),
+                        busy_total,
+                        self.makespan,
+                        self.servers,
+                    ),
+                    records,
+                )
+            }
+            RecordMode::Lean => {
+                // lint:allow(panic-in-lib, reason = "lean mode always carries LeanStats by construction")
+                let lean = self.lean.as_ref().expect("lean mode carries stats");
+                (
+                    report_from_histogram(
+                        device,
+                        &lean.sojourn_ms,
+                        busy_total,
+                        self.makespan,
+                        self.servers,
+                    ),
+                    Vec::new(),
+                )
+            }
+        };
+        EngineReport {
+            serving,
+            arrivals: n,
+            completed: n - self.dropped,
+            dropped: self.dropped,
+            per_server_busy_ms: self.busy_ms.clone(),
+            per_server_utilization,
+            records,
+        }
     }
 }
 
@@ -519,196 +967,21 @@ pub fn try_run_engine_observed(
     run_engine_core(device, servers, scheduler, admission, requests, Some(obs))
 }
 
-/// The one event loop behind both entry points. `obs`, when present, is fed
-/// every arrival/admission/queue/service transition; it never feeds back
-/// into scheduling, so observed and unobserved runs are bit-identical.
+/// The one entry-point tail behind both run paths: a [`RecordMode::Full`]
+/// [`EngineSim`] constructed, run once, and reported. `obs`, when present,
+/// is fed every arrival/admission/queue/service transition; it never feeds
+/// back into scheduling, so observed and unobserved runs are bit-identical.
 fn run_engine_core(
     device: &DeviceModel,
     servers: usize,
     scheduler: SchedulerKind,
     admission: AdmissionPolicy,
     requests: Vec<Request>,
-    mut obs: Option<&mut SimObserver>,
+    obs: Option<&mut SimObserver>,
 ) -> Result<EngineReport, String> {
-    if servers == 0 {
-        return Err("need at least one server".into());
-    }
-    if requests.is_empty() {
-        return Err("need at least one request".into());
-    }
-    for (i, r) in requests.iter().enumerate() {
-        if r.id != i {
-            return Err(format!(
-                "request ids must be 0..n in arrival order (index {i} has id {})",
-                r.id
-            ));
-        }
-        if !(r.service_ms > 0.0 && r.service_ms.is_finite()) {
-            return Err(format!(
-                "service times must be positive and finite, got {} (request {i})",
-                r.service_ms
-            ));
-        }
-        if !(r.arrival_ms.is_finite() && r.arrival_ms >= 0.0) {
-            return Err(format!(
-                "arrival times must be non-negative and finite, got {} (request {i})",
-                r.arrival_ms
-            ));
-        }
-    }
-    if !requests
-        .windows(2)
-        .all(|w| w[0].arrival_ms <= w[1].arrival_ms)
-    {
-        return Err("requests must arrive in non-decreasing time order".into());
-    }
-    let n_requests = requests.len();
-
-    let mut scheduler = scheduler.build();
-    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n_requests + servers);
-    let mut seq = 0u64;
-    for r in &requests {
-        heap.push(Event {
-            time_ms: r.arrival_ms,
-            seq,
-            kind: EventKind::Arrival(r.id),
-        });
-        seq += 1;
-    }
-
-    let mut idle = vec![true; servers];
-    let mut busy_ms = vec![0.0f64; servers];
-    // The batch each busy server is running: (start time, members).
-    let mut in_flight: Vec<(f64, Vec<Request>)> = vec![(0.0, Vec::new()); servers];
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; n_requests];
-    let mut sojourns: Vec<f64> = Vec::new();
-    let mut dropped = 0usize;
-    // Last "real" event time (arrival or completion; stale batch timers
-    // must not stretch the makespan).
-    let mut makespan = 0.0f64;
-
-    while let Some(ev) = heap.pop() {
-        let now = ev.time_ms;
-        match ev.kind {
-            EventKind::Arrival(id) => {
-                makespan = makespan.max(now);
-                let queue_len = scheduler.queue_len();
-                if let Some(o) = obs.as_deref_mut() {
-                    o.on_arrival(now, id);
-                    o.on_route(now, id, 0, 0.0);
-                }
-                if admission.admits(queue_len) {
-                    scheduler.enqueue(requests[id]);
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.on_admit(now, id, 0);
-                        o.on_queue_enter(now, id, 0);
-                    }
-                } else {
-                    dropped += 1;
-                    outcomes[id] = Some(Outcome::Dropped);
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.on_drop(now, id, 0, queue_len as f64);
-                    }
-                }
-            }
-            EventKind::Completion { server } => {
-                makespan = makespan.max(now);
-                let (start_ms, batch) =
-                    std::mem::replace(&mut in_flight[server], (0.0, Vec::new()));
-                for r in batch {
-                    sojourns.push(now - r.arrival_ms);
-                    outcomes[r.id] = Some(Outcome::Completed {
-                        server,
-                        start_ms,
-                        finish_ms: now,
-                    });
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.on_service_end(now, r.id, 0, server, now - start_ms);
-                        o.on_complete(now, r.id, 0, now - r.arrival_ms);
-                    }
-                }
-                idle[server] = true;
-            }
-            EventKind::Timer => {}
-        }
-
-        // Let every idle server ask the scheduler for work. `start = now`
-        // reuses the event time verbatim — the engine never recomputes a
-        // max(arrival, free_at), so dispatch arithmetic matches the legacy
-        // recurrence exactly.
-        for s in 0..servers {
-            if !idle[s] {
-                continue;
-            }
-            match scheduler.dispatch(now) {
-                Dispatch::Serve(batch) => {
-                    assert!(!batch.is_empty(), "scheduler dispatched an empty batch");
-                    let service = batch
-                        .iter()
-                        .map(|r| r.service_ms)
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    busy_ms[s] += service;
-                    idle[s] = false;
-                    if let Some(o) = obs.as_deref_mut() {
-                        for r in &batch {
-                            o.on_queue_leave(now, r.id, 0);
-                            o.on_service_start(now, r.id, 0, s, batch.len());
-                        }
-                    }
-                    in_flight[s] = (now, batch);
-                    heap.push(Event {
-                        time_ms: now + service,
-                        seq,
-                        kind: EventKind::Completion { server: s },
-                    });
-                    seq += 1;
-                }
-                Dispatch::WaitUntil(t) => {
-                    // A deadline for the queued partial batch; stale timers
-                    // are harmless (they just re-ask the scheduler).
-                    heap.push(Event {
-                        time_ms: t,
-                        seq,
-                        kind: EventKind::Timer,
-                    });
-                    seq += 1;
-                    break;
-                }
-                Dispatch::Idle => break,
-            }
-        }
-    }
-
-    let busy_total = busy_ms.iter().sum::<f64>();
-    let per_server_utilization = busy_ms
-        .iter()
-        .map(|&b| {
-            if makespan > 0.0 {
-                (b / makespan).min(1.0)
-            } else {
-                0.0
-            }
-        })
-        .collect();
-    let records = requests
-        .iter()
-        .map(|&request| RequestRecord {
-            request,
-            // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
-            outcome: outcomes[request.id].expect("every request resolves by drain"),
-        })
-        .collect();
-    let completed = n_requests - dropped;
-
-    Ok(EngineReport {
-        serving: finalize_report(device, sojourns, busy_total, makespan, servers),
-        arrivals: n_requests,
-        completed,
-        dropped,
-        per_server_busy_ms: busy_ms,
-        per_server_utilization,
-        records,
-    })
+    let mut sim = EngineSim::new(servers, scheduler, admission, requests, RecordMode::Full)?;
+    sim.run(obs);
+    Ok(sim.report(device))
 }
 
 #[cfg(test)]

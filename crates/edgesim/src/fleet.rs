@@ -38,16 +38,28 @@
 //! never loses one), and the SLO ledger — a *violation* is a completed
 //! request whose end-to-end sojourn exceeds [`FleetConfig::slo_ms`], or a
 //! dropped request (a shed request certainly missed its deadline).
+//!
+//! The loop itself is the flat-index core reified as [`FleetSim`]: requests
+//! live in a [`crate::arena::RequestArena`] slab, dynamic events in a
+//! preallocated [`crate::events::EventHeap`] (gateway arrivals merge from
+//! the sorted workload slab through a cursor and never touch the heap),
+//! per-tier queues are intrusive chains dispatched by monomorphized
+//! [`crate::arena::Discipline`]s, and steady-state execution is
+//! allocation-free. Per-request records are the default
+//! ([`RecordMode::Full`]); [`RecordMode::Lean`] swaps the O(n) record and
+//! sojourn vectors for preallocated streaming histograms so million-request
+//! sweeps hold no per-request state beyond the workload itself.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use obs::{BucketSpec, Histogram};
 
+use crate::arena::{Action, Chain, Discipline, IndexQueue, RequestArena, NIL};
 use crate::arrivals::ArrivalProcess;
 use crate::cost::CostProfile;
 use crate::device::DeviceModel;
-use crate::engine::{AdmissionPolicy, Dispatch, Request, SchedulerKind};
+use crate::engine::{AdmissionPolicy, LeanStats, RecordMode, Request, SchedulerKind};
+use crate::events::EventHeap;
 use crate::observe::SimObserver;
-use crate::pipeline::{finalize_report, percentile_sorted, ServingReport};
+use crate::pipeline::{finalize_report, percentile_sorted, report_from_histogram, ServingReport};
 
 /// The uplink between the local gateway and a remote serving tier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -397,16 +409,24 @@ impl OffloadPolicy for SloSojourn {
             let transfer = tiers[i].link.as_ref().map_or(0.0, |l| l.transfer_ms());
             transfer + snapshots[i].predicted_wait_ms() + tiers[i].profile.sample(quantile)
         };
-        if predict(0) <= self.slo_ms {
+        // One prediction per tier, earliest minimum kept — tier 0 wins ties
+        // and light load never offloads. (A `min_by` over a `predict(i)`
+        // closure picks the same tier but re-evaluates each prediction per
+        // comparison, which is measurable at fleet event rates.)
+        let local = predict(0);
+        if local <= self.slo_ms {
             return 0;
         }
-        // `total_cmp` agrees with `partial_cmp` on the finite predictions
-        // produced here; an empty fleet (impossible after validation, and
-        // `predict(0)` above would already have rejected it) falls back to
-        // tier 0 rather than panicking.
-        (0..tiers.len())
-            .min_by(|&a, &b| predict(a).total_cmp(&predict(b)))
-            .unwrap_or(0)
+        let mut best = 0;
+        let mut best_ms = local;
+        for i in 1..tiers.len() {
+            let p = predict(i);
+            if p < best_ms {
+                best = i;
+                best_ms = p;
+            }
+        }
+        best
     }
 }
 
@@ -521,7 +541,8 @@ pub struct FleetReport {
     /// completed requests, utilization over all servers of all tiers, and
     /// total energy (sum of the tiers' device-specific energies).
     pub end_to_end: ServingReport,
-    /// One record per request, in gateway-arrival (id) order.
+    /// One record per request, in gateway-arrival (id) order (empty for
+    /// the report of a [`RecordMode::Lean`] [`FleetSim`]).
     pub records: Vec<FleetRecord>,
 }
 
@@ -543,60 +564,54 @@ impl FleetReport {
     }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    /// A request reaches the gateway and is routed.
-    Gateway(usize),
+/// Dynamic (post-gateway) events of the fleet loop. Gateway arrivals are
+/// not heap events at all: they merge from the sorted workload slab through
+/// a cursor, carrying implicit seq `id` — below every dynamic seq, so ties
+/// resolve exactly as the old all-in-one `BinaryHeap` did.
+#[derive(Debug, Clone, Copy)]
+enum FleetEvent {
     /// An offloaded request reaches its remote tier after transfer.
-    TierArrival { tier: usize, id: usize },
+    TierArrival { tier: u32, id: u32 },
     /// A server of `tier` finishes its batch.
-    Completion { tier: usize, server: usize },
+    Completion { tier: u32, server: u32 },
     /// A batch-deadline timer of `tier`.
-    Timer { tier: usize },
+    Timer { tier: u32 },
 }
 
-#[derive(Debug)]
-struct Event {
-    time_ms: f64,
-    seq: u64,
-    kind: EventKind,
+/// Streaming statistics kept by a [`RecordMode::Lean`] fleet run: per-tier
+/// sojourn/service/queue-depth histograms plus one fleet-wide end-to-end
+/// sojourn histogram — the lean substitute for the O(n) per-request record
+/// and sojourn vectors. All histograms are preallocated at construction and
+/// recording is allocation-free.
+pub struct FleetLeanStats {
+    /// Per-tier histograms, in [`FleetConfig::tiers`] order.
+    pub tiers: Vec<LeanStats>,
+    /// End-to-end sojourns of every completed request, fleet-wide.
+    pub end_to_end_ms: Histogram,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_ms == other.time_ms && self.seq == other.seq
+impl FleetLeanStats {
+    /// Preallocate one histogram set per tier plus the fleet-wide sojourn
+    /// histogram (cold path, once per simulator).
+    fn new(cfg: &FleetConfig) -> FleetLeanStats {
+        FleetLeanStats {
+            tiers: cfg
+                .tiers
+                .iter()
+                .enumerate()
+                .map(|(i, t)| LeanStats::new(&format!("fleet.tier{i}.{}", t.name)))
+                .collect(),
+            end_to_end_ms: Histogram::standalone("fleet.end_to_end_ms", BucketSpec::latency_ms()),
+        }
     }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap: invert so the earliest time, then the earliest-scheduled
-        // event, pops first — the engine's exact ordering. `total_cmp`
-        // agrees with `partial_cmp` on the finite times produced here and
-        // cannot panic.
-        other
-            .time_ms
-            .total_cmp(&self.time_ms)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
-/// Mutable simulation state of one tier.
-struct TierState {
-    scheduler: Box<dyn crate::engine::Scheduler>,
-    idle: Vec<bool>,
-    busy_ms: Vec<f64>,
-    /// The batch each busy server is running: (start, finish, members).
-    in_flight: Vec<(f64, f64, Vec<Request>)>,
-    queued_work_ms: f64,
-    routed: usize,
-    dropped: usize,
-    sojourns: Vec<f64>,
+    /// Zero every histogram (run-to-run reuse). Allocation-free.
+    fn reset(&self) {
+        for t in &self.tiers {
+            t.reset();
+        }
+        self.end_to_end_ms.reset();
+    }
 }
 
 /// Run a fleet simulation under a policy kind (fresh policy per run).
@@ -666,342 +681,643 @@ pub fn try_simulate_fleet_with_observed(
     simulate_fleet_core(cfg, policy, Some(obs))
 }
 
-/// The one event loop behind every fleet entry point. `obs`, when present,
-/// is fed every gateway/routing/admission/queue/service transition; it
-/// never feeds back into routing or scheduling, so observed and unobserved
-/// runs are bit-identical.
+/// The one event loop behind every fleet entry point: build a Full-record
+/// [`FleetSim`], run it once, report. `obs`, when present, is fed every
+/// gateway/routing/admission/queue/service transition; it never feeds back
+/// into routing or scheduling, so observed and unobserved runs are
+/// bit-identical.
 fn simulate_fleet_core(
     cfg: &FleetConfig,
     policy: &mut dyn OffloadPolicy,
-    mut obs: Option<&mut SimObserver>,
+    obs: Option<&mut SimObserver>,
 ) -> Result<FleetReport, String> {
-    cfg.try_valid()?;
-    let n = cfg.requests;
+    let mut sim = FleetSim::new(cfg, RecordMode::Full)?;
+    sim.run(policy, obs)?;
+    Ok(sim.report())
+}
 
-    // Workload generation: (gateway arrival, difficulty quantile) pairs. For
-    // Poisson arrivals this replays the engine's RNG draw order verbatim —
-    // the anchor of the single-tier conformance.
-    let requests: Vec<FleetRequest> = cfg
-        .arrivals
-        .generate(n, cfg.seed)
-        .into_iter()
-        .enumerate()
-        .map(|(id, (gateway_ms, quantile))| FleetRequest {
-            id,
-            gateway_ms,
-            quantile,
+/// Reusable flat-index fleet simulator — [`crate::engine::EngineSim`]
+/// lifted to a tiered topology. Construction validates the config,
+/// generates the workload and preallocates every piece of mutable state;
+/// [`FleetSim::run`] then executes allocation-free in steady state, and
+/// [`FleetSim::reset`] rewinds for another run over the same workload
+/// without releasing storage — what perf sweeps use to measure the loop
+/// alone.
+///
+/// [`RecordMode::Full`] (what every `simulate_fleet*` entry point uses)
+/// keeps per-request routing, outcomes and per-tier sojourn vectors and
+/// produces the same [`FleetReport`] as the original `BinaryHeap` loop,
+/// bit for bit. [`RecordMode::Lean`] replaces them with the streaming
+/// histograms of [`FleetLeanStats`]; its report carries histogram-derived
+/// percentiles and an empty `records` vector.
+pub struct FleetSim {
+    cfg: FleetConfig,
+    mode: RecordMode,
+    /// Workload slab sorted by gateway arrival (arrival processes emit
+    /// cumulative times); gateway arrival `i` implicitly owns event seq `i`.
+    requests: Vec<FleetRequest>,
+    arena: RequestArena,
+    heap: EventHeap<FleetEvent>,
+    /// First flat-server index of each tier; the last entry is the fleet's
+    /// total server count.
+    server_offset: Vec<usize>,
+    disciplines: Vec<Discipline>,
+    queues: Vec<IndexQueue>,
+    queued_work_ms: Vec<f64>,
+    routed: Vec<usize>,
+    tier_dropped: Vec<usize>,
+    tier_completed: Vec<usize>,
+    idle: Vec<bool>,
+    busy_ms: Vec<f64>,
+    /// The batch each busy server is running: (start, finish, chain).
+    running: Vec<(f64, f64, Chain)>,
+    /// Per-request routing decision (tier, service there, transfer paid).
+    /// Full mode only — Lean re-derives the price on tier arrival (it is a
+    /// pure function of tier and quantile) instead of holding an O(n) table.
+    routing: Vec<(u32, f64, f64)>,
+    /// Per-request outcomes, Full mode only.
+    outcomes: Vec<Option<FleetOutcome>>,
+    /// Per-tier end-to-end sojourns of completed requests, Full mode only.
+    tier_sojourns: Vec<Vec<f64>>,
+    lean: Option<FleetLeanStats>,
+    /// Congestion-snapshot scratch, refilled in place per gateway event
+    /// (the old loop allocated a fresh Vec per arrival).
+    snapshots: Vec<TierSnapshot>,
+    cursor: usize,
+    seq: u64,
+    dropped: usize,
+    /// Completed-late count, streamed in Lean mode (Full counts at report).
+    late: usize,
+    makespan: f64,
+    events: u64,
+}
+
+impl FleetSim {
+    /// Validate the config, generate the workload (for Poisson arrivals
+    /// this replays the engine's RNG draw order verbatim — the anchor of
+    /// the single-tier conformance) and preallocate all simulation state.
+    pub fn new(cfg: &FleetConfig, mode: RecordMode) -> Result<FleetSim, String> {
+        cfg.try_valid()?;
+        let n = cfg.requests;
+        if n >= NIL as usize {
+            return Err(format!("fleet is limited to {} requests, got {n}", NIL - 1));
+        }
+        let requests: Vec<FleetRequest> = cfg
+            .arrivals
+            .generate(n, cfg.seed)
+            .into_iter()
+            .enumerate()
+            .map(|(id, (gateway_ms, quantile))| FleetRequest {
+                id,
+                gateway_ms,
+                quantile,
+            })
+            .collect();
+        debug_assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].gateway_ms <= w[1].gateway_ms),
+            "arrival processes emit non-decreasing times"
+        );
+        let tiers = cfg.tiers.len();
+        let mut server_offset = Vec::with_capacity(tiers + 1);
+        let mut total_servers = 0usize;
+        for t in &cfg.tiers {
+            server_offset.push(total_servers);
+            total_servers += t.servers;
+        }
+        server_offset.push(total_servers);
+        let disciplines = cfg
+            .tiers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Discipline::from_kind(t.scheduler)
+                    .map_err(|e| format!("tier {i} ({}): {e}", t.name))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(FleetSim {
+            mode,
+            arena: RequestArena::with_capacity(n),
+            // Outstanding dynamic events: at most one completion or timer
+            // per server plus the offloads currently in transfer; the heap
+            // grows to that high-water mark once and is then reused.
+            heap: EventHeap::with_capacity(2 * total_servers + tiers + 8),
+            server_offset,
+            disciplines,
+            queues: vec![IndexQueue::new(); tiers],
+            queued_work_ms: vec![0.0; tiers],
+            routed: vec![0; tiers],
+            tier_dropped: vec![0; tiers],
+            tier_completed: vec![0; tiers],
+            idle: vec![true; total_servers],
+            busy_ms: vec![0.0; total_servers],
+            running: vec![(0.0, 0.0, Chain::EMPTY); total_servers],
+            routing: match mode {
+                RecordMode::Full => vec![(0, 0.0, 0.0); n],
+                RecordMode::Lean => Vec::new(),
+            },
+            outcomes: match mode {
+                RecordMode::Full => vec![None; n],
+                RecordMode::Lean => Vec::new(),
+            },
+            tier_sojourns: vec![Vec::new(); tiers],
+            lean: match mode {
+                RecordMode::Full => None,
+                RecordMode::Lean => Some(FleetLeanStats::new(cfg)),
+            },
+            snapshots: vec![
+                TierSnapshot {
+                    queue_len: 0,
+                    queued_work_ms: 0.0,
+                    in_flight_remaining_ms: 0.0,
+                    servers: 0,
+                };
+                tiers
+            ],
+            cursor: 0,
+            seq: n as u64,
+            dropped: 0,
+            late: 0,
+            makespan: 0.0,
+            events: 0,
+            requests,
+            cfg: cfg.clone(),
         })
-        .collect();
-
-    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n + cfg.tiers.len());
-    let mut seq = 0u64;
-    for r in &requests {
-        heap.push(Event {
-            time_ms: r.gateway_ms,
-            seq,
-            kind: EventKind::Gateway(r.id),
-        });
-        seq += 1;
     }
 
-    let mut tiers: Vec<TierState> = cfg
-        .tiers
-        .iter()
-        .map(|t| TierState {
-            scheduler: t.scheduler.build(),
-            idle: vec![true; t.servers],
-            busy_ms: vec![0.0; t.servers],
-            in_flight: vec![(0.0, 0.0, Vec::new()); t.servers],
-            queued_work_ms: 0.0,
-            routed: 0,
-            dropped: 0,
-            sojourns: Vec::new(),
-        })
-        .collect();
+    /// Rewind to the pre-run state without releasing any storage, so sweeps
+    /// can reuse one simulator across runs. Allocation-free.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for w in &mut self.queued_work_ms {
+            *w = 0.0;
+        }
+        for r in &mut self.routed {
+            *r = 0;
+        }
+        for d in &mut self.tier_dropped {
+            *d = 0;
+        }
+        for c in &mut self.tier_completed {
+            *c = 0;
+        }
+        for i in &mut self.idle {
+            *i = true;
+        }
+        for b in &mut self.busy_ms {
+            *b = 0.0;
+        }
+        for r in &mut self.running {
+            *r = (0.0, 0.0, Chain::EMPTY);
+        }
+        for r in &mut self.routing {
+            *r = (0, 0.0, 0.0);
+        }
+        for o in &mut self.outcomes {
+            *o = None;
+        }
+        for s in &mut self.tier_sojourns {
+            s.clear();
+        }
+        if let Some(l) = &self.lean {
+            l.reset();
+        }
+        self.cursor = 0;
+        self.seq = self.requests.len() as u64;
+        self.dropped = 0;
+        self.late = 0;
+        self.makespan = 0.0;
+        self.events = 0;
+    }
 
-    // Per-request routing decision (tier, service there, transfer paid) and
-    // outcome, filled as events resolve.
-    let mut routing: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); n];
-    let mut outcomes: Vec<Option<FleetOutcome>> = vec![None; n];
-    let mut makespan = 0.0f64;
+    /// Events processed by the last [`FleetSim::run`] — gateway arrivals,
+    /// tier arrivals, completions and batch timers; the numerator of the
+    /// events/second throughput metric.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
 
-    // Enqueue `id` at tier `t` at time `now` (post-transfer for remote
-    // tiers), subject to the tier's admission control.
-    let admit = |tiers: &mut Vec<TierState>,
-                 outcomes: &mut Vec<Option<FleetOutcome>>,
-                 cfg: &FleetConfig,
-                 routing: &[(usize, f64, f64)],
-                 t: usize,
-                 id: usize,
-                 now: f64,
-                 obs: Option<&mut SimObserver>| {
-        let state = &mut tiers[t];
-        let queue_len = state.scheduler.queue_len();
-        if cfg.tiers[t].admission.admits(queue_len) {
-            let service_ms = routing[id].1;
-            state.scheduler.enqueue(Request {
+    /// The streaming histograms of a [`RecordMode::Lean`] simulator
+    /// (`None` in Full mode).
+    pub fn lean_stats(&self) -> Option<&FleetLeanStats> {
+        self.lean.as_ref()
+    }
+
+    /// The generated gateway workload, in arrival (id) order.
+    pub fn requests(&self) -> &[FleetRequest] {
+        &self.requests
+    }
+
+    /// Refill the congestion-snapshot scratch for a routing decision at
+    /// `now` — one [`TierSnapshot`] per tier, written in place.
+    fn fill_snapshots(&mut self, now: f64) {
+        for (t, tier) in self.cfg.tiers.iter().enumerate() {
+            let base = self.server_offset[t];
+            let mut in_flight = 0.0f64;
+            for s in 0..tier.servers {
+                if !self.idle[base + s] {
+                    in_flight += (self.running[base + s].1 - now).max(0.0);
+                }
+            }
+            self.snapshots[t] = TierSnapshot {
+                queue_len: self.queues[t].len(),
+                queued_work_ms: self.queued_work_ms[t].max(0.0),
+                in_flight_remaining_ms: in_flight,
+                servers: tier.servers,
+            };
+        }
+    }
+
+    /// Enqueue `id` at tier `t` at time `now` (post-transfer for remote
+    /// tiers), subject to the tier's admission control.
+    fn admit(
+        &mut self,
+        t: usize,
+        id: u32,
+        service_ms: f64,
+        now: f64,
+        obs: Option<&mut SimObserver>,
+    ) {
+        let queue_len = self.queues[t].len();
+        if let Some(l) = &mut self.lean {
+            l.tiers[t].queue_depth.observe_mut(queue_len as f64);
+        }
+        if self.cfg.tiers[t].admission.admits(queue_len) {
+            self.arena.set(
                 id,
-                arrival_ms: now,
-                service_ms,
-            });
-            state.queued_work_ms += service_ms;
+                Request {
+                    id: id as usize,
+                    arrival_ms: now,
+                    service_ms,
+                },
+            );
+            self.queues[t].push_back(&mut self.arena, id);
+            self.queued_work_ms[t] += service_ms;
             if let Some(o) = obs {
-                o.on_admit(now, id, t);
-                o.on_queue_enter(now, id, t);
+                o.on_admit(now, id as usize, t);
+                o.on_queue_enter(now, id as usize, t);
             }
         } else {
-            state.dropped += 1;
-            outcomes[id] = Some(FleetOutcome::Dropped);
+            self.tier_dropped[t] += 1;
+            self.dropped += 1;
+            if self.mode == RecordMode::Full {
+                self.outcomes[id as usize] = Some(FleetOutcome::Dropped);
+            }
             if let Some(o) = obs {
-                o.on_drop(now, id, t, queue_len as f64);
+                o.on_drop(now, id as usize, t, queue_len as f64);
             }
         }
-    };
+    }
 
-    while let Some(ev) = heap.pop() {
-        let now = ev.time_ms;
-        // Which tier's servers should look for work after this event.
-        let dispatch_tier: Option<usize> = match ev.kind {
-            EventKind::Gateway(id) => {
-                makespan = makespan.max(now);
-                let req = requests[id];
+    /// Drain the workload: merge gateway arrivals (from the sorted slab,
+    /// via `cursor`) with dynamic heap events in (time, seq) order and
+    /// process each exactly as the original loop did. Steady-state
+    /// execution is allocation-free. Errs if the policy routes to a
+    /// nonexistent tier (partial state: call [`FleetSim::reset`] before
+    /// reusing the simulator).
+    pub fn run(
+        &mut self,
+        policy: &mut dyn OffloadPolicy,
+        mut obs: Option<&mut SimObserver>,
+    ) -> Result<(), String> {
+        loop {
+            let next_arrival = self.requests.get(self.cursor).map(|r| r.gateway_ms);
+            let take_arrival = match (next_arrival, self.heap.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                // Gateway arrival `cursor` carries implicit seq `cursor`,
+                // below every dynamic seq (those start at n) — so ties go
+                // to the arrival, the old all-in-one heap's exact order.
+                (Some(a), Some((t, _))) => !matches!(a.total_cmp(&t), std::cmp::Ordering::Greater),
+            };
+            self.events += 1;
+            if take_arrival {
+                let id = self.cursor as u32;
+                self.cursor += 1;
+                let req = self.requests[id as usize];
+                let now = req.gateway_ms;
+                self.makespan = self.makespan.max(now);
                 // Congestion snapshots cost a scan of every tier's servers;
                 // static policies opt out and receive an empty slice.
-                let snapshots: Vec<TierSnapshot> = if policy.needs_snapshots() {
-                    cfg.tiers
-                        .iter()
-                        .zip(&tiers)
-                        .map(|(t, s)| TierSnapshot {
-                            queue_len: s.scheduler.queue_len(),
-                            queued_work_ms: s.queued_work_ms.max(0.0),
-                            in_flight_remaining_ms: s
-                                .in_flight
-                                .iter()
-                                .zip(&s.idle)
-                                .filter(|(_, idle)| !**idle)
-                                .map(|((_, finish, _), _)| (finish - now).max(0.0))
-                                .sum(),
-                            servers: t.servers,
-                        })
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                let target = policy.route(req.quantile, &cfg.tiers, &snapshots);
-                if target >= cfg.tiers.len() {
+                let needs = policy.needs_snapshots();
+                if needs {
+                    self.fill_snapshots(now);
+                }
+                let snapshots: &[TierSnapshot] = if needs { &self.snapshots } else { &[] };
+                let target = policy.route(req.quantile, &self.cfg.tiers, snapshots);
+                if target >= self.cfg.tiers.len() {
+                    // lint:allow(hot-path-alloc, reason = "cold abort path: a misrouting policy ends the run with an error, the steady-state loop never reaches this")
                     return Err(format!(
                         "offload policy routed to nonexistent tier {target} ({} tiers)",
-                        cfg.tiers.len()
+                        self.cfg.tiers.len()
                     ));
                 }
-                let service_ms = cfg.tiers[target].profile.sample(req.quantile);
-                let transfer_ms = cfg.tiers[target]
+                let service_ms = self.cfg.tiers[target].profile.sample(req.quantile);
+                let transfer_ms = self.cfg.tiers[target]
                     .link
                     .as_ref()
                     .map_or(0.0, |l| l.transfer_ms());
-                routing[id] = (target, service_ms, transfer_ms);
-                tiers[target].routed += 1;
+                if self.mode == RecordMode::Full {
+                    self.routing[id as usize] = (target as u32, service_ms, transfer_ms);
+                }
+                self.routed[target] += 1;
                 if let Some(o) = obs.as_deref_mut() {
-                    o.on_arrival(now, id);
-                    o.on_route(now, id, target, transfer_ms);
+                    o.on_arrival(now, req.id);
+                    o.on_route(now, req.id, target, transfer_ms);
                 }
                 if target == 0 {
-                    admit(
-                        &mut tiers,
-                        &mut outcomes,
-                        cfg,
-                        &routing,
-                        0,
-                        id,
-                        now,
-                        obs.as_deref_mut(),
-                    );
-                    Some(0)
+                    self.admit(0, id, service_ms, now, obs.as_deref_mut());
+                    self.dispatch_tier(0, now, obs.as_deref_mut());
                 } else {
-                    heap.push(Event {
-                        time_ms: now + transfer_ms,
-                        seq,
-                        kind: EventKind::TierArrival { tier: target, id },
-                    });
-                    seq += 1;
-                    None
+                    self.heap.push(
+                        now + transfer_ms,
+                        self.seq,
+                        FleetEvent::TierArrival {
+                            tier: target as u32,
+                            id,
+                        },
+                    );
+                    self.seq += 1;
                 }
-            }
-            EventKind::TierArrival { tier, id } => {
-                makespan = makespan.max(now);
-                admit(
-                    &mut tiers,
-                    &mut outcomes,
-                    cfg,
-                    &routing,
-                    tier,
-                    id,
-                    now,
-                    obs.as_deref_mut(),
-                );
-                Some(tier)
-            }
-            EventKind::Completion { tier, server } => {
-                makespan = makespan.max(now);
-                let state = &mut tiers[tier];
-                let (start_ms, _, batch) =
-                    std::mem::replace(&mut state.in_flight[server], (0.0, 0.0, Vec::new()));
-                for r in batch {
-                    state.sojourns.push(now - requests[r.id].gateway_ms);
-                    outcomes[r.id] = Some(FleetOutcome::Completed {
-                        server,
-                        start_ms,
-                        finish_ms: now,
-                    });
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.on_service_end(now, r.id, tier, server, now - start_ms);
-                        o.on_complete(now, r.id, tier, now - requests[r.id].gateway_ms);
+            } else if let Some((now, _seq, kind)) = self.heap.pop() {
+                match kind {
+                    FleetEvent::TierArrival { tier, id } => {
+                        let t = tier as usize;
+                        self.makespan = self.makespan.max(now);
+                        // The price was fixed at the gateway and is a pure
+                        // function of (tier, quantile): Full reads it back,
+                        // Lean re-derives it instead of holding the table.
+                        let service_ms = match self.mode {
+                            RecordMode::Full => self.routing[id as usize].1,
+                            RecordMode::Lean => self.cfg.tiers[t]
+                                .profile
+                                .sample(self.requests[id as usize].quantile),
+                        };
+                        self.admit(t, id, service_ms, now, obs.as_deref_mut());
+                        self.dispatch_tier(t, now, obs.as_deref_mut());
                     }
-                }
-                state.idle[server] = true;
-                Some(tier)
-            }
-            EventKind::Timer { tier } => Some(tier),
-        };
-
-        // Engine-identical dispatch loop, restricted to the one tier whose
-        // queue or servers this event could have changed.
-        if let Some(t) = dispatch_tier {
-            let state = &mut tiers[t];
-            for s in 0..cfg.tiers[t].servers {
-                if !state.idle[s] {
-                    continue;
-                }
-                match state.scheduler.dispatch(now) {
-                    Dispatch::Serve(batch) => {
-                        assert!(!batch.is_empty(), "scheduler dispatched an empty batch");
-                        let service = batch
-                            .iter()
-                            .map(|r| r.service_ms)
-                            .fold(f64::NEG_INFINITY, f64::max);
-                        state.queued_work_ms -= batch.iter().map(|r| r.service_ms).sum::<f64>();
-                        state.busy_ms[s] += service;
-                        state.idle[s] = false;
-                        if let Some(o) = obs.as_deref_mut() {
-                            for r in &batch {
-                                o.on_queue_leave(now, r.id, t);
-                                o.on_service_start(now, r.id, t, s, batch.len());
+                    FleetEvent::Completion { tier, server } => {
+                        let t = tier as usize;
+                        let s = server as usize;
+                        self.makespan = self.makespan.max(now);
+                        let flat = self.server_offset[t] + s;
+                        let (start_ms, _, chain) = self.running[flat];
+                        self.running[flat] = (0.0, 0.0, Chain::EMPTY);
+                        let mut id = chain.head;
+                        for _ in 0..chain.count {
+                            let sojourn = now - self.requests[id as usize].gateway_ms;
+                            match self.mode {
+                                RecordMode::Full => {
+                                    self.tier_sojourns[t].push(sojourn);
+                                    self.outcomes[id as usize] = Some(FleetOutcome::Completed {
+                                        server: s,
+                                        start_ms,
+                                        finish_ms: now,
+                                    });
+                                }
+                                RecordMode::Lean => {
+                                    if let Some(l) = &mut self.lean {
+                                        l.tiers[t].sojourn_ms.observe_mut(sojourn);
+                                        l.tiers[t]
+                                            .service_ms
+                                            .observe_mut(self.arena.get(id).service_ms);
+                                        l.end_to_end_ms.observe_mut(sojourn);
+                                    }
+                                    if sojourn > self.cfg.slo_ms {
+                                        self.late += 1;
+                                    }
+                                }
                             }
+                            self.tier_completed[t] += 1;
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.on_service_end(now, id as usize, t, s, now - start_ms);
+                                o.on_complete(now, id as usize, t, sojourn);
+                            }
+                            id = self.arena.next_of(id);
                         }
-                        state.in_flight[s] = (now, now + service, batch);
-                        heap.push(Event {
-                            time_ms: now + service,
-                            seq,
-                            kind: EventKind::Completion { tier: t, server: s },
-                        });
-                        seq += 1;
+                        self.idle[flat] = true;
+                        self.dispatch_tier(t, now, obs.as_deref_mut());
                     }
-                    Dispatch::WaitUntil(tm) => {
-                        heap.push(Event {
-                            time_ms: tm,
-                            seq,
-                            kind: EventKind::Timer { tier: t },
-                        });
-                        seq += 1;
-                        break;
+                    FleetEvent::Timer { tier } => {
+                        self.dispatch_tier(tier as usize, now, obs.as_deref_mut());
                     }
-                    Dispatch::Idle => break,
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Engine-identical dispatch loop, restricted to the one tier whose
+    /// queue or servers the triggering event could have changed.
+    fn dispatch_tier(&mut self, t: usize, now: f64, mut obs: Option<&mut SimObserver>) {
+        let discipline = self.disciplines[t];
+        let base = self.server_offset[t];
+        let servers = self.server_offset[t + 1] - base;
+        for s in 0..servers {
+            if !self.idle[base + s] {
+                continue;
+            }
+            match discipline.dispatch(&mut self.queues[t], &mut self.arena, now) {
+                Action::Serve(chain) => {
+                    debug_assert!(chain.count >= 1, "discipline dispatched an empty chain");
+                    let mut service = f64::NEG_INFINITY;
+                    let mut batch_work = 0.0f64;
+                    let mut id = chain.head;
+                    for _ in 0..chain.count {
+                        let r = self.arena.get(id);
+                        service = f64::max(service, r.service_ms);
+                        batch_work += r.service_ms;
+                        id = self.arena.next_of(id);
+                    }
+                    self.queued_work_ms[t] -= batch_work;
+                    self.busy_ms[base + s] += service;
+                    self.idle[base + s] = false;
+                    if let Some(o) = obs.as_deref_mut() {
+                        let mut id = chain.head;
+                        for _ in 0..chain.count {
+                            o.on_queue_leave(now, id as usize, t);
+                            o.on_service_start(now, id as usize, t, s, chain.count as usize);
+                            id = self.arena.next_of(id);
+                        }
+                    }
+                    self.running[base + s] = (now, now + service, chain);
+                    self.heap.push(
+                        now + service,
+                        self.seq,
+                        FleetEvent::Completion {
+                            tier: t as u32,
+                            server: s as u32,
+                        },
+                    );
+                    self.seq += 1;
+                }
+                Action::WaitUntil(tm) => {
+                    self.heap
+                        .push(tm, self.seq, FleetEvent::Timer { tier: t as u32 });
+                    self.seq += 1;
+                    break;
+                }
+                Action::Idle => break,
             }
         }
     }
 
-    // Assemble reports.
-    let records: Vec<FleetRecord> = requests
-        .iter()
-        .map(|&request| {
-            let (tier, service_ms, transfer_ms) = routing[request.id];
-            FleetRecord {
-                request,
-                tier,
-                service_ms,
-                transfer_ms,
-                // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
-                outcome: outcomes[request.id].expect("every request resolves by drain"),
-            }
-        })
-        .collect();
-
-    let mut tier_reports = Vec::with_capacity(cfg.tiers.len());
-    let mut all_sojourns: Vec<f64> = Vec::new();
-    let mut busy_all = 0.0f64;
-    let mut energy_all = 0.0f64;
-    for (tier_cfg, state) in cfg.tiers.iter().zip(tiers) {
-        let busy_total: f64 = state.busy_ms.iter().sum();
-        busy_all += busy_total;
-        all_sojourns.extend_from_slice(&state.sojourns);
-        let completed = state.sojourns.len();
-        let serving = finalize_report(
-            &tier_cfg.device,
-            state.sojourns,
-            busy_total,
-            makespan,
-            tier_cfg.servers,
-        );
-        energy_all += serving.energy_j;
-        tier_reports.push(TierReport {
-            name: tier_cfg.name.clone(),
-            serving,
-            routed: state.routed,
-            completed,
-            dropped: state.dropped,
-            per_server_utilization: state
-                .busy_ms
+    /// Assemble the [`FleetReport`] of the last run. In [`RecordMode::Full`]
+    /// this is byte-for-byte the report the original `BinaryHeap` loop
+    /// produced; in [`RecordMode::Lean`] sojourn percentiles come from the
+    /// streaming histograms and `records` is empty.
+    pub fn report(&self) -> FleetReport {
+        let n = self.requests.len();
+        let makespan = self.makespan;
+        let records: Vec<FleetRecord> = match self.mode {
+            RecordMode::Full => self
+                .requests
                 .iter()
-                .map(|&b| {
-                    if makespan > 0.0 {
-                        (b / makespan).min(1.0)
-                    } else {
-                        0.0
+                .map(|&request| {
+                    let (tier, service_ms, transfer_ms) = self.routing[request.id];
+                    // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
+                    let outcome = self.outcomes[request.id].expect("request resolves by drain");
+                    FleetRecord {
+                        request,
+                        tier: tier as usize,
+                        service_ms,
+                        transfer_ms,
+                        outcome,
                     }
                 })
                 .collect(),
-            per_server_busy_ms: state.busy_ms,
-        });
-    }
+            RecordMode::Lean => Vec::new(),
+        };
 
-    let completed = all_sojourns.len();
-    let dropped = n - completed;
-    let offloaded = records.iter().filter(|r| r.tier != 0).count();
-    let late = all_sojourns.iter().filter(|&&s| s > cfg.slo_ms).count();
+        let mut tier_reports = Vec::with_capacity(self.cfg.tiers.len());
+        let mut all_sojourns: Vec<f64> = Vec::new();
+        let mut busy_all = 0.0f64;
+        let mut energy_all = 0.0f64;
+        for (t, tier_cfg) in self.cfg.tiers.iter().enumerate() {
+            let base = self.server_offset[t];
+            let busy = &self.busy_ms[base..base + tier_cfg.servers];
+            let busy_total: f64 = busy.iter().sum();
+            busy_all += busy_total;
+            let (completed, serving) = if self.mode == RecordMode::Full {
+                all_sojourns.extend_from_slice(&self.tier_sojourns[t]);
+                (
+                    self.tier_sojourns[t].len(),
+                    finalize_report(
+                        &tier_cfg.device,
+                        self.tier_sojourns[t].clone(),
+                        busy_total,
+                        makespan,
+                        tier_cfg.servers,
+                    ),
+                )
+            } else {
+                // lint:allow(panic-in-lib, reason = "a Lean simulator always carries its histograms; a hole here is engine corruption, not user input")
+                let lean = self.lean.as_ref().expect("lean mode carries stats");
+                (
+                    self.tier_completed[t],
+                    report_from_histogram(
+                        &tier_cfg.device,
+                        &lean.tiers[t].sojourn_ms,
+                        busy_total,
+                        makespan,
+                        tier_cfg.servers,
+                    ),
+                )
+            };
+            energy_all += serving.energy_j;
+            tier_reports.push(TierReport {
+                name: tier_cfg.name.clone(),
+                serving,
+                routed: self.routed[t],
+                completed,
+                dropped: self.tier_dropped[t],
+                per_server_utilization: busy
+                    .iter()
+                    .map(|&b| {
+                        if makespan > 0.0 {
+                            (b / makespan).min(1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect(),
+                per_server_busy_ms: busy.to_vec(),
+            });
+        }
 
-    all_sojourns.sort_by(f64::total_cmp);
-    let total_servers: usize = cfg.tiers.iter().map(|t| t.servers).sum();
-    let capacity_ms = makespan * total_servers as f64;
-    let end_to_end = ServingReport {
-        mean_sojourn_ms: if all_sojourns.is_empty() {
-            0.0
-        } else {
-            all_sojourns.iter().sum::<f64>() / all_sojourns.len() as f64
-        },
-        p50_ms: percentile_sorted(&all_sojourns, 0.50),
-        p95_ms: percentile_sorted(&all_sojourns, 0.95),
-        p99_ms: percentile_sorted(&all_sojourns, 0.99),
-        utilization: if capacity_ms > 0.0 {
+        let total_servers = self.server_offset[self.cfg.tiers.len()];
+        let capacity_ms = makespan * total_servers as f64;
+        let utilization = if capacity_ms > 0.0 {
             (busy_all / capacity_ms).min(1.0)
         } else {
             0.0
-        },
-        makespan_ms: makespan,
-        energy_j: energy_all,
-    };
+        };
+        let (completed, late, end_to_end) = if self.mode == RecordMode::Full {
+            let completed = all_sojourns.len();
+            let late = all_sojourns
+                .iter()
+                .filter(|&&s| s > self.cfg.slo_ms)
+                .count();
+            all_sojourns.sort_by(f64::total_cmp);
+            let end_to_end = ServingReport {
+                mean_sojourn_ms: if all_sojourns.is_empty() {
+                    0.0
+                } else {
+                    all_sojourns.iter().sum::<f64>() / all_sojourns.len() as f64
+                },
+                p50_ms: percentile_sorted(&all_sojourns, 0.50),
+                p95_ms: percentile_sorted(&all_sojourns, 0.95),
+                p99_ms: percentile_sorted(&all_sojourns, 0.99),
+                utilization,
+                makespan_ms: makespan,
+                energy_j: energy_all,
+            };
+            (completed, late, end_to_end)
+        } else {
+            // lint:allow(panic-in-lib, reason = "a Lean simulator always carries its histograms; a hole here is engine corruption, not user input")
+            let lean = self.lean.as_ref().expect("lean mode carries stats");
+            let h = &lean.end_to_end_ms;
+            let (mean, p50, p95, p99) = if h.count() == 0 {
+                (0.0, 0.0, 0.0, 0.0)
+            } else {
+                (
+                    h.sum() / h.count() as f64,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                )
+            };
+            let end_to_end = ServingReport {
+                mean_sojourn_ms: mean,
+                p50_ms: p50,
+                p95_ms: p95,
+                p99_ms: p99,
+                utilization,
+                makespan_ms: makespan,
+                energy_j: energy_all,
+            };
+            (self.tier_completed.iter().sum(), self.late, end_to_end)
+        };
+        let dropped = n - completed;
+        let offloaded: usize = self.routed.iter().skip(1).sum();
 
-    Ok(FleetReport {
-        tiers: tier_reports,
-        offered: n,
-        completed,
-        dropped,
-        offloaded,
-        slo_ms: cfg.slo_ms,
-        slo_violations: late + dropped,
-        end_to_end,
-        records,
-    })
+        FleetReport {
+            tiers: tier_reports,
+            offered: n,
+            completed,
+            dropped,
+            offloaded,
+            slo_ms: self.cfg.slo_ms,
+            slo_violations: late + dropped,
+            end_to_end,
+            records,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,11 +23,22 @@
 //!   single-server FIFO simulator (the conformance baseline): an extension
 //!   beyond the paper's batch experiments that shows how exit-rate variance
 //!   turns into queueing delay.
-//! * [`engine`] — the discrete-event multi-server engine behind it: an
-//!   event heap driving N servers, pluggable [`Scheduler`] disciplines
-//!   (FIFO / shortest-expected-service / batch-accumulate) and
-//!   [`AdmissionPolicy`] load shedding with drop accounting. Its 1-server
+//! * [`engine`] — the discrete-event multi-server engine behind it:
+//!   [`engine::EngineSim`], a flat-index event loop (requests in a
+//!   [`arena::RequestArena`] slab, dynamic events in a preallocated
+//!   [`events::EventHeap`], queues as intrusive chains, disciplines
+//!   monomorphized — FIFO / shortest-expected-service / batch-accumulate)
+//!   with [`AdmissionPolicy`] load shedding and drop accounting.
+//!   Steady-state execution is allocation-free; per-request records are the
+//!   default ([`engine::RecordMode::Full`]) with streaming-histogram
+//!   [`engine::RecordMode::Lean`] for million-request sweeps. Its 1-server
 //!   FIFO configuration reproduces [`pipeline::simulate`] bit for bit.
+//! * [`arena`] / [`events`] — the flat-index substrate: the request slab
+//!   with its intrusive link array, detached batch [`arena::Chain`]s, and
+//!   the Vec-backed binary event heap with the engine's (time, seq) order.
+//! * [`mod@reference`] — the original `BinaryHeap` + `Box<dyn Scheduler>`
+//!   engine and fleet loops, preserved verbatim as conformance oracles and
+//!   live perf baselines for the index rewrite.
 //! * [`arrivals`] — pluggable arrival processes: Poisson (bit-identical to
 //!   the legacy RNG draw order), two-state MMPP bursts, and deterministic
 //!   trace replay, all yielding `(arrival, difficulty-quantile)` workloads.
@@ -50,28 +61,33 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod arrivals;
 pub mod cost;
 pub mod device;
 pub mod energy;
 pub mod engine;
+pub mod events;
 pub mod fleet;
 pub mod observe;
 pub mod partition;
 pub mod pipeline;
 pub mod power;
+pub mod reference;
 
+pub use arena::{Chain, Discipline, IndexQueue, RequestArena, NIL};
 pub use arrivals::ArrivalProcess;
 pub use cost::CostProfile;
 pub use device::{Device, DeviceModel, LatencyBreakdown};
 pub use energy::{energy_joules, savings_percent, EnergyReport};
 pub use engine::{
-    run_engine, simulate_engine, AdmissionPolicy, EngineConfig, EngineReport, Scheduler,
-    SchedulerKind,
+    run_engine, simulate_engine, AdmissionPolicy, EngineConfig, EngineReport, EngineSim,
+    RecordMode, Scheduler, SchedulerKind,
 };
+pub use events::EventHeap;
 pub use fleet::{
-    simulate_fleet, simulate_fleet_with, FleetConfig, FleetReport, NetworkLink, OffloadPolicy,
-    OffloadPolicyKind, Tier, TierReport,
+    simulate_fleet, simulate_fleet_with, FleetConfig, FleetLeanStats, FleetReport, FleetSim,
+    NetworkLink, OffloadPolicy, OffloadPolicyKind, Tier, TierReport,
 };
 pub use observe::SimObserver;
 pub use partition::{best_split, Uplink};

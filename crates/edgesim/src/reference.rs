@@ -1,0 +1,562 @@
+//! The pre-arena event loops, preserved verbatim as executable baselines.
+//!
+//! When the engine and fleet cores were rebuilt around flat indices
+//! ([`crate::arena`], [`crate::events`]), the original
+//! `std::collections::BinaryHeap` + `Box<dyn Scheduler>` +
+//! `Vec<Request>`-batch loops moved here unchanged (observer plumbing
+//! removed — observation never fed back into scheduling, so the event
+//! sequence is identical). They serve two purposes:
+//!
+//! 1. **Conformance oracle.** `tests/trait_conformance.rs` runs every
+//!    scheduler × admission × arrival combination through both loops and
+//!    requires bit-identical reports — the strongest possible pin that the
+//!    index rewrite changed representation, not semantics.
+//! 2. **Live perf baseline.** `bench/src/bin/fleet_perf.rs` measures this
+//!    loop on the same workload as the rebuilt engine, so the committed
+//!    `BENCH_fleet.json` speedup factor is measured on the current machine
+//!    rather than against a stale recorded number.
+//!
+//! These functions are deliberately *not* optimized — do not "fix" their
+//! per-batch allocations; that cost is the baseline being measured.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::device::DeviceModel;
+use crate::engine::{
+    AdmissionPolicy, Dispatch, EngineReport, Outcome, Request, RequestRecord, SchedulerKind,
+};
+use crate::fleet::{
+    FleetConfig, FleetOutcome, FleetRecord, FleetReport, FleetRequest, OffloadPolicy, TierReport,
+    TierSnapshot,
+};
+use crate::pipeline::{finalize_report, percentile_sorted, ServingReport};
+
+#[derive(Debug)]
+enum EngineEventKind {
+    Arrival(usize),
+    Completion { server: usize },
+    Timer,
+}
+
+#[derive(Debug)]
+struct EngineEvent {
+    time_ms: f64,
+    seq: u64,
+    kind: EngineEventKind,
+}
+
+impl PartialEq for EngineEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ms == other.time_ms && self.seq == other.seq
+    }
+}
+impl Eq for EngineEvent {}
+impl PartialOrd for EngineEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EngineEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time (then the
+        // earliest-scheduled event) pops first.
+        other
+            .time_ms
+            .total_cmp(&self.time_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The original `run_engine` loop, verbatim: all arrivals seeded into a
+/// `BinaryHeap`, boxed scheduler dispatch, owned `Vec<Request>` batches.
+/// Same workload contract and same report as [`crate::engine::try_run_engine`]
+/// — bit for bit (the conformance suites enforce it).
+pub fn run_engine_reference(
+    device: &DeviceModel,
+    servers: usize,
+    scheduler: SchedulerKind,
+    admission: AdmissionPolicy,
+    requests: Vec<Request>,
+) -> Result<EngineReport, String> {
+    if servers == 0 {
+        return Err("need at least one server".into());
+    }
+    if requests.is_empty() {
+        return Err("need at least one request".into());
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if r.id != i {
+            return Err(format!(
+                "request ids must be 0..n in arrival order (index {i} has id {})",
+                r.id
+            ));
+        }
+        if !(r.service_ms > 0.0 && r.service_ms.is_finite()) {
+            return Err(format!(
+                "service times must be positive and finite, got {} (request {i})",
+                r.service_ms
+            ));
+        }
+        if !(r.arrival_ms.is_finite() && r.arrival_ms >= 0.0) {
+            return Err(format!(
+                "arrival times must be non-negative and finite, got {} (request {i})",
+                r.arrival_ms
+            ));
+        }
+    }
+    if !requests
+        .windows(2)
+        .all(|w| w[0].arrival_ms <= w[1].arrival_ms)
+    {
+        return Err("requests must arrive in non-decreasing time order".into());
+    }
+    let n_requests = requests.len();
+
+    let mut scheduler = scheduler.build();
+    let mut heap: BinaryHeap<EngineEvent> = BinaryHeap::with_capacity(n_requests + servers);
+    let mut seq = 0u64;
+    for r in &requests {
+        heap.push(EngineEvent {
+            time_ms: r.arrival_ms,
+            seq,
+            kind: EngineEventKind::Arrival(r.id),
+        });
+        seq += 1;
+    }
+
+    let mut idle = vec![true; servers];
+    let mut busy_ms = vec![0.0f64; servers];
+    let mut in_flight: Vec<(f64, Vec<Request>)> = vec![(0.0, Vec::new()); servers];
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; n_requests];
+    let mut sojourns: Vec<f64> = Vec::new();
+    let mut dropped = 0usize;
+    let mut makespan = 0.0f64;
+
+    while let Some(ev) = heap.pop() {
+        let now = ev.time_ms;
+        match ev.kind {
+            EngineEventKind::Arrival(id) => {
+                makespan = makespan.max(now);
+                let queue_len = scheduler.queue_len();
+                if admission.admits(queue_len) {
+                    scheduler.enqueue(requests[id]);
+                } else {
+                    dropped += 1;
+                    outcomes[id] = Some(Outcome::Dropped);
+                }
+            }
+            EngineEventKind::Completion { server } => {
+                makespan = makespan.max(now);
+                let (start_ms, batch) =
+                    std::mem::replace(&mut in_flight[server], (0.0, Vec::new()));
+                for r in batch {
+                    sojourns.push(now - r.arrival_ms);
+                    outcomes[r.id] = Some(Outcome::Completed {
+                        server,
+                        start_ms,
+                        finish_ms: now,
+                    });
+                }
+                idle[server] = true;
+            }
+            EngineEventKind::Timer => {}
+        }
+
+        for s in 0..servers {
+            if !idle[s] {
+                continue;
+            }
+            match scheduler.dispatch(now) {
+                Dispatch::Serve(batch) => {
+                    assert!(!batch.is_empty(), "scheduler dispatched an empty batch");
+                    let service = batch
+                        .iter()
+                        .map(|r| r.service_ms)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    busy_ms[s] += service;
+                    idle[s] = false;
+                    in_flight[s] = (now, batch);
+                    heap.push(EngineEvent {
+                        time_ms: now + service,
+                        seq,
+                        kind: EngineEventKind::Completion { server: s },
+                    });
+                    seq += 1;
+                }
+                Dispatch::WaitUntil(t) => {
+                    heap.push(EngineEvent {
+                        time_ms: t,
+                        seq,
+                        kind: EngineEventKind::Timer,
+                    });
+                    seq += 1;
+                    break;
+                }
+                Dispatch::Idle => break,
+            }
+        }
+    }
+
+    let busy_total = busy_ms.iter().sum::<f64>();
+    let per_server_utilization = busy_ms
+        .iter()
+        .map(|&b| {
+            if makespan > 0.0 {
+                (b / makespan).min(1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let records = requests
+        .iter()
+        .map(|&request| RequestRecord {
+            request,
+            // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
+            outcome: outcomes[request.id].expect("every request resolves by drain"),
+        })
+        .collect();
+    let completed = n_requests - dropped;
+
+    Ok(EngineReport {
+        serving: finalize_report(device, sojourns, busy_total, makespan, servers),
+        arrivals: n_requests,
+        completed,
+        dropped,
+        per_server_busy_ms: busy_ms,
+        per_server_utilization,
+        records,
+    })
+}
+
+#[derive(Debug)]
+enum FleetEventKind {
+    Gateway(usize),
+    TierArrival { tier: usize, id: usize },
+    Completion { tier: usize, server: usize },
+    Timer { tier: usize },
+}
+
+#[derive(Debug)]
+struct FleetEvent {
+    time_ms: f64,
+    seq: u64,
+    kind: FleetEventKind,
+}
+
+impl PartialEq for FleetEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ms == other.time_ms && self.seq == other.seq
+    }
+}
+impl Eq for FleetEvent {}
+impl PartialOrd for FleetEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FleetEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time_ms
+            .total_cmp(&self.time_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TierState {
+    scheduler: Box<dyn crate::engine::Scheduler>,
+    idle: Vec<bool>,
+    busy_ms: Vec<f64>,
+    in_flight: Vec<(f64, f64, Vec<Request>)>,
+    queued_work_ms: f64,
+    routed: usize,
+    dropped: usize,
+    sojourns: Vec<f64>,
+}
+
+/// The original `simulate_fleet` loop, verbatim: all gateway arrivals seeded
+/// into a `BinaryHeap`, per-tier boxed schedulers, per-arrival snapshot
+/// `Vec`s. Same configuration contract and same report as
+/// [`crate::fleet::try_simulate_fleet_with`] — bit for bit (the conformance
+/// suites enforce it).
+pub fn simulate_fleet_reference(
+    cfg: &FleetConfig,
+    policy: &mut dyn OffloadPolicy,
+) -> Result<FleetReport, String> {
+    cfg.try_valid()?;
+    let n = cfg.requests;
+
+    let requests: Vec<FleetRequest> = cfg
+        .arrivals
+        .generate(n, cfg.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, (gateway_ms, quantile))| FleetRequest {
+            id,
+            gateway_ms,
+            quantile,
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<FleetEvent> = BinaryHeap::with_capacity(n + cfg.tiers.len());
+    let mut seq = 0u64;
+    for r in &requests {
+        heap.push(FleetEvent {
+            time_ms: r.gateway_ms,
+            seq,
+            kind: FleetEventKind::Gateway(r.id),
+        });
+        seq += 1;
+    }
+
+    let mut tiers: Vec<TierState> = cfg
+        .tiers
+        .iter()
+        .map(|t| TierState {
+            scheduler: t.scheduler.build(),
+            idle: vec![true; t.servers],
+            busy_ms: vec![0.0; t.servers],
+            in_flight: vec![(0.0, 0.0, Vec::new()); t.servers],
+            queued_work_ms: 0.0,
+            routed: 0,
+            dropped: 0,
+            sojourns: Vec::new(),
+        })
+        .collect();
+
+    let mut routing: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); n];
+    let mut outcomes: Vec<Option<FleetOutcome>> = vec![None; n];
+    let mut makespan = 0.0f64;
+
+    let admit = |tiers: &mut Vec<TierState>,
+                 outcomes: &mut Vec<Option<FleetOutcome>>,
+                 cfg: &FleetConfig,
+                 routing: &[(usize, f64, f64)],
+                 t: usize,
+                 id: usize,
+                 now: f64| {
+        let state = &mut tiers[t];
+        let queue_len = state.scheduler.queue_len();
+        if cfg.tiers[t].admission.admits(queue_len) {
+            let service_ms = routing[id].1;
+            state.scheduler.enqueue(Request {
+                id,
+                arrival_ms: now,
+                service_ms,
+            });
+            state.queued_work_ms += service_ms;
+        } else {
+            state.dropped += 1;
+            outcomes[id] = Some(FleetOutcome::Dropped);
+        }
+    };
+
+    while let Some(ev) = heap.pop() {
+        let now = ev.time_ms;
+        let dispatch_tier: Option<usize> = match ev.kind {
+            FleetEventKind::Gateway(id) => {
+                makespan = makespan.max(now);
+                let req = requests[id];
+                let snapshots: Vec<TierSnapshot> = if policy.needs_snapshots() {
+                    cfg.tiers
+                        .iter()
+                        .zip(&tiers)
+                        .map(|(t, s)| TierSnapshot {
+                            queue_len: s.scheduler.queue_len(),
+                            queued_work_ms: s.queued_work_ms.max(0.0),
+                            in_flight_remaining_ms: s
+                                .in_flight
+                                .iter()
+                                .zip(&s.idle)
+                                .filter(|(_, idle)| !**idle)
+                                .map(|((_, finish, _), _)| (finish - now).max(0.0))
+                                .sum(),
+                            servers: t.servers,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let target = policy.route(req.quantile, &cfg.tiers, &snapshots);
+                if target >= cfg.tiers.len() {
+                    return Err(format!(
+                        "offload policy routed to nonexistent tier {target} ({} tiers)",
+                        cfg.tiers.len()
+                    ));
+                }
+                let service_ms = cfg.tiers[target].profile.sample(req.quantile);
+                let transfer_ms = cfg.tiers[target]
+                    .link
+                    .as_ref()
+                    .map_or(0.0, |l| l.transfer_ms());
+                routing[id] = (target, service_ms, transfer_ms);
+                tiers[target].routed += 1;
+                if target == 0 {
+                    admit(&mut tiers, &mut outcomes, cfg, &routing, 0, id, now);
+                    Some(0)
+                } else {
+                    heap.push(FleetEvent {
+                        time_ms: now + transfer_ms,
+                        seq,
+                        kind: FleetEventKind::TierArrival { tier: target, id },
+                    });
+                    seq += 1;
+                    None
+                }
+            }
+            FleetEventKind::TierArrival { tier, id } => {
+                makespan = makespan.max(now);
+                admit(&mut tiers, &mut outcomes, cfg, &routing, tier, id, now);
+                Some(tier)
+            }
+            FleetEventKind::Completion { tier, server } => {
+                makespan = makespan.max(now);
+                let state = &mut tiers[tier];
+                let (start_ms, _, batch) =
+                    std::mem::replace(&mut state.in_flight[server], (0.0, 0.0, Vec::new()));
+                for r in batch {
+                    state.sojourns.push(now - requests[r.id].gateway_ms);
+                    outcomes[r.id] = Some(FleetOutcome::Completed {
+                        server,
+                        start_ms,
+                        finish_ms: now,
+                    });
+                }
+                state.idle[server] = true;
+                Some(tier)
+            }
+            FleetEventKind::Timer { tier } => Some(tier),
+        };
+
+        if let Some(t) = dispatch_tier {
+            let state = &mut tiers[t];
+            for s in 0..cfg.tiers[t].servers {
+                if !state.idle[s] {
+                    continue;
+                }
+                match state.scheduler.dispatch(now) {
+                    Dispatch::Serve(batch) => {
+                        assert!(!batch.is_empty(), "scheduler dispatched an empty batch");
+                        let service = batch
+                            .iter()
+                            .map(|r| r.service_ms)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        state.queued_work_ms -= batch.iter().map(|r| r.service_ms).sum::<f64>();
+                        state.busy_ms[s] += service;
+                        state.idle[s] = false;
+                        state.in_flight[s] = (now, now + service, batch);
+                        heap.push(FleetEvent {
+                            time_ms: now + service,
+                            seq,
+                            kind: FleetEventKind::Completion { tier: t, server: s },
+                        });
+                        seq += 1;
+                    }
+                    Dispatch::WaitUntil(tm) => {
+                        heap.push(FleetEvent {
+                            time_ms: tm,
+                            seq,
+                            kind: FleetEventKind::Timer { tier: t },
+                        });
+                        seq += 1;
+                        break;
+                    }
+                    Dispatch::Idle => break,
+                }
+            }
+        }
+    }
+
+    let records: Vec<FleetRecord> = requests
+        .iter()
+        .map(|&request| {
+            let (tier, service_ms, transfer_ms) = routing[request.id];
+            FleetRecord {
+                request,
+                tier,
+                service_ms,
+                transfer_ms,
+                // lint:allow(panic-in-lib, reason = "every admitted request completes and every rejected one is marked Dropped before the heap drains; a hole here is engine corruption, not user input")
+                outcome: outcomes[request.id].expect("every request resolves by drain"),
+            }
+        })
+        .collect();
+
+    let mut tier_reports = Vec::with_capacity(cfg.tiers.len());
+    let mut all_sojourns: Vec<f64> = Vec::new();
+    let mut busy_all = 0.0f64;
+    let mut energy_all = 0.0f64;
+    for (tier_cfg, state) in cfg.tiers.iter().zip(tiers) {
+        let busy_total: f64 = state.busy_ms.iter().sum();
+        busy_all += busy_total;
+        all_sojourns.extend_from_slice(&state.sojourns);
+        let completed = state.sojourns.len();
+        let serving = finalize_report(
+            &tier_cfg.device,
+            state.sojourns,
+            busy_total,
+            makespan,
+            tier_cfg.servers,
+        );
+        energy_all += serving.energy_j;
+        tier_reports.push(TierReport {
+            name: tier_cfg.name.clone(),
+            serving,
+            routed: state.routed,
+            completed,
+            dropped: state.dropped,
+            per_server_utilization: state
+                .busy_ms
+                .iter()
+                .map(|&b| {
+                    if makespan > 0.0 {
+                        (b / makespan).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            per_server_busy_ms: state.busy_ms,
+        });
+    }
+
+    let completed = all_sojourns.len();
+    let dropped = n - completed;
+    let offloaded = records.iter().filter(|r| r.tier != 0).count();
+    let late = all_sojourns.iter().filter(|&&s| s > cfg.slo_ms).count();
+
+    all_sojourns.sort_by(f64::total_cmp);
+    let total_servers: usize = cfg.tiers.iter().map(|t| t.servers).sum();
+    let capacity_ms = makespan * total_servers as f64;
+    let end_to_end = ServingReport {
+        mean_sojourn_ms: if all_sojourns.is_empty() {
+            0.0
+        } else {
+            all_sojourns.iter().sum::<f64>() / all_sojourns.len() as f64
+        },
+        p50_ms: percentile_sorted(&all_sojourns, 0.50),
+        p95_ms: percentile_sorted(&all_sojourns, 0.95),
+        p99_ms: percentile_sorted(&all_sojourns, 0.99),
+        utilization: if capacity_ms > 0.0 {
+            (busy_all / capacity_ms).min(1.0)
+        } else {
+            0.0
+        },
+        makespan_ms: makespan,
+        energy_j: energy_all,
+    };
+
+    Ok(FleetReport {
+        tiers: tier_reports,
+        offered: n,
+        completed,
+        dropped,
+        offloaded,
+        slo_ms: cfg.slo_ms,
+        slo_violations: late + dropped,
+        end_to_end,
+        records,
+    })
+}

@@ -22,7 +22,11 @@
 
 use std::sync::Arc;
 
-use edgesim::SimObserver;
+use edgesim::engine::{AdmissionPolicy, Request, SchedulerKind};
+use edgesim::fleet::{FleetConfig, NetworkLink, SloSojourn, Tier};
+use edgesim::{
+    ArrivalProcess, CostProfile, DeviceModel, EngineSim, FleetSim, RecordMode, SimObserver,
+};
 use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
 use models::branchynet::{BranchyNet, BranchyNetConfig};
 use models::lenet::{build_lenet, build_lenet_scaled};
@@ -272,6 +276,118 @@ fn trace_ring_overwrite_is_alloc_free() {
         sink.overwritten(),
         93,
         "1 warm-up + 100 records over 8 slots"
+    );
+}
+
+#[test]
+fn engine_event_loop_is_alloc_free() {
+    // Every discipline family: FIFO singleton serves, shortest-expected
+    // min-scans, and batch-accumulate with its deadline timers. The first
+    // run grows the event heap and sojourn storage to their high-water
+    // marks (that is the contract's warm-up); after `reset` the loop must
+    // replay the entire workload — arrivals, admission drops, dispatch,
+    // completions — without a single heap allocation.
+    let kinds = [
+        ("fifo", SchedulerKind::Fifo),
+        ("ses", SchedulerKind::ShortestService),
+        (
+            "batch",
+            SchedulerKind::Batch {
+                max_batch: 8,
+                max_wait_ms: 2.0,
+            },
+        ),
+    ];
+    for (label, kind) in kinds {
+        let requests: Vec<Request> = (0..2000)
+            .map(|i| Request {
+                id: i,
+                arrival_ms: i as f64 * 0.35,
+                service_ms: 1.0 + (i % 7) as f64 * 0.4,
+            })
+            .collect();
+        let admission = AdmissionPolicy::Bounded { max_queue: 24 };
+        let mut sim = EngineSim::new(4, kind, admission, requests, RecordMode::Full)
+            .expect("valid engine config");
+        sim.run(None);
+        let events = sim.events_processed();
+        assert!(events >= 2000, "{label}: loop processed the workload");
+        testkit::assert_no_alloc(&format!("EngineSim reset+run [{label}]"), || {
+            for _ in 0..3 {
+                sim.reset();
+                sim.run(None);
+            }
+        });
+        assert_eq!(
+            sim.events_processed(),
+            events,
+            "{label}: replay is deterministic"
+        );
+    }
+}
+
+#[test]
+fn fleet_event_loop_is_alloc_free() {
+    // A 3-tier topology under the snapshot-reading SLO policy: gateway
+    // routing fills the congestion-snapshot scratch in place, offloads pay
+    // transfer and re-enter as tier arrivals, and Lean mode streams
+    // sojourn/service/queue-depth into preallocated histograms instead of
+    // per-request records. Steady state must be allocation-free end to end.
+    let cfg = FleetConfig {
+        tiers: vec![
+            Tier {
+                name: "edge".into(),
+                device: DeviceModel::raspberry_pi4(),
+                servers: 2,
+                profile: CostProfile::bimodal(4.0, 14.0, 0.7),
+                scheduler: SchedulerKind::Fifo,
+                admission: AdmissionPolicy::Bounded { max_queue: 16 },
+                link: None,
+            },
+            Tier {
+                name: "cloud-cpu".into(),
+                device: DeviceModel::gci_cpu(),
+                servers: 4,
+                profile: CostProfile::bimodal(1.0, 3.5, 0.7),
+                scheduler: SchedulerKind::Batch {
+                    max_batch: 4,
+                    max_wait_ms: 1.5,
+                },
+                admission: AdmissionPolicy::Unbounded,
+                link: Some(NetworkLink::wifi(16 * 1024)),
+            },
+            Tier {
+                name: "cloud-gpu".into(),
+                device: DeviceModel::gci_gpu(),
+                servers: 1,
+                profile: CostProfile::constant(0.8),
+                scheduler: SchedulerKind::ShortestService,
+                admission: AdmissionPolicy::Unbounded,
+                link: Some(NetworkLink::wan(16 * 1024)),
+            },
+        ],
+        arrivals: ArrivalProcess::poisson(220.0),
+        requests: 2000,
+        seed: 7,
+        slo_ms: 30.0,
+    };
+    let mut policy = SloSojourn { slo_ms: 20.0 };
+    let mut sim = FleetSim::new(&cfg, RecordMode::Lean).expect("valid fleet config");
+    sim.run(&mut policy, None).expect("routing stays in range");
+    let events = sim.events_processed();
+    assert!(events >= 2000, "loop processed the workload");
+    testkit::assert_no_alloc("FleetSim reset+run [3-tier, slo policy]", || {
+        for _ in 0..3 {
+            sim.reset();
+            sim.run(&mut policy, None).expect("routing stays in range");
+        }
+    });
+    assert_eq!(sim.events_processed(), events, "replay is deterministic");
+    let lean = sim.lean_stats().expect("lean mode carries histograms");
+    assert_eq!(
+        lean.end_to_end_ms.count() as usize + sim.report().dropped,
+        cfg.requests,
+        "conservation: completed + dropped == offered"
     );
 }
 

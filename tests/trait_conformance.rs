@@ -296,6 +296,209 @@ fn single_tier_always_local_fleet_reproduces_engine_report() {
     }
 }
 
+fn assert_serving_identical(
+    got: &edgesim::pipeline::ServingReport,
+    want: &edgesim::pipeline::ServingReport,
+    ctx: &str,
+) {
+    assert_eq!(got.mean_sojourn_ms, want.mean_sojourn_ms, "{ctx}: mean");
+    assert_eq!(got.p50_ms, want.p50_ms, "{ctx}: p50");
+    assert_eq!(got.p95_ms, want.p95_ms, "{ctx}: p95");
+    assert_eq!(got.p99_ms, want.p99_ms, "{ctx}: p99");
+    assert_eq!(got.utilization, want.utilization, "{ctx}: utilization");
+    assert_eq!(got.makespan_ms, want.makespan_ms, "{ctx}: makespan");
+    assert_eq!(got.energy_j, want.energy_j, "{ctx}: energy");
+}
+
+#[test]
+fn index_engine_matches_reference_loop_bit_for_bit() {
+    // The strongest pin on the flat-index rewrite: every scheduler ×
+    // admission × arrival-process combination must produce a report that is
+    // bit-identical to the preserved pre-arena BinaryHeap loop — down to
+    // every per-request record (which server, which start time, which
+    // outcome). The trace workload is deliberately tie-heavy (bursts of
+    // zero-gap arrivals with a constant profile) so the heap's
+    // time-then-sequence tie-break is exercised, not just assumed.
+    use edgesim::engine::{try_run_engine, AdmissionPolicy, Request, SchedulerKind};
+    use edgesim::reference::run_engine_reference;
+    use edgesim::{ArrivalProcess, CostProfile};
+
+    let device = DeviceModel::raspberry_pi4();
+    let tie_trace = ArrivalProcess::trace(vec![0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 5.0, 0.0]);
+    let workloads = [
+        (
+            "poisson",
+            ArrivalProcess::poisson(320.0),
+            CostProfile::bimodal(2.0, 9.0, 0.7),
+            41u64,
+        ),
+        (
+            "mmpp",
+            ArrivalProcess::mmpp(120.0, 900.0, 40.0, 12.0),
+            CostProfile::bimodal(1.5, 6.0, 0.55),
+            42,
+        ),
+        ("tie-trace", tie_trace, CostProfile::constant(3.0), 43),
+    ];
+    let schedulers = [
+        SchedulerKind::Fifo,
+        SchedulerKind::ShortestService,
+        SchedulerKind::Batch {
+            max_batch: 6,
+            max_wait_ms: 3.0,
+        },
+    ];
+    let admissions = [
+        AdmissionPolicy::Unbounded,
+        AdmissionPolicy::Bounded { max_queue: 12 },
+    ];
+    for (wname, arrivals, profile, seed) in &workloads {
+        let requests: Vec<Request> = arrivals
+            .generate(2_500, *seed)
+            .into_iter()
+            .enumerate()
+            .map(|(id, (arrival_ms, quantile))| Request {
+                id,
+                arrival_ms,
+                service_ms: profile.sample(quantile),
+            })
+            .collect();
+        for scheduler in schedulers {
+            for admission in admissions {
+                for servers in [1usize, 3] {
+                    let ctx = format!(
+                        "{wname}/{}/{}/x{servers}",
+                        scheduler.label(),
+                        admission.label()
+                    );
+                    let got =
+                        try_run_engine(&device, servers, scheduler, admission, requests.clone())
+                            .expect("valid workload");
+                    let want = run_engine_reference(
+                        &device,
+                        servers,
+                        scheduler,
+                        admission,
+                        requests.clone(),
+                    )
+                    .expect("valid workload");
+                    assert_serving_identical(&got.serving, &want.serving, &ctx);
+                    assert_eq!(got.arrivals, want.arrivals, "{ctx}: arrivals");
+                    assert_eq!(got.completed, want.completed, "{ctx}: completed");
+                    assert_eq!(got.dropped, want.dropped, "{ctx}: dropped");
+                    assert_eq!(
+                        got.per_server_busy_ms, want.per_server_busy_ms,
+                        "{ctx}: busy"
+                    );
+                    assert_eq!(
+                        got.per_server_utilization, want.per_server_utilization,
+                        "{ctx}: util"
+                    );
+                    assert_eq!(got.records, want.records, "{ctx}: per-request records");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn index_fleet_matches_reference_loop_bit_for_bit() {
+    // Same pin one level up: every offload policy × topology × arrival
+    // process through the rebuilt FleetSim must reproduce the preserved
+    // pre-arena fleet loop exactly — per-tier percentiles, per-server busy
+    // time, and every routing/outcome record.
+    use edgesim::engine::{AdmissionPolicy, SchedulerKind};
+    use edgesim::fleet::{try_simulate_fleet_with, NetworkLink, Tier};
+    use edgesim::reference::simulate_fleet_reference;
+    use edgesim::{ArrivalProcess, CostProfile, FleetConfig, OffloadPolicyKind};
+
+    let three_tier = vec![
+        Tier {
+            name: "edge".into(),
+            device: DeviceModel::raspberry_pi4(),
+            servers: 2,
+            profile: CostProfile::bimodal(4.0, 14.0, 0.7),
+            scheduler: SchedulerKind::Fifo,
+            admission: AdmissionPolicy::Bounded { max_queue: 12 },
+            link: None,
+        },
+        Tier {
+            name: "cloud-cpu".into(),
+            device: DeviceModel::gci_cpu(),
+            servers: 4,
+            profile: CostProfile::bimodal(1.0, 3.5, 0.7),
+            scheduler: SchedulerKind::Batch {
+                max_batch: 4,
+                max_wait_ms: 1.5,
+            },
+            admission: AdmissionPolicy::Unbounded,
+            link: Some(NetworkLink::wifi(16 * 1024)),
+        },
+        Tier {
+            name: "cloud-gpu".into(),
+            device: DeviceModel::gci_gpu(),
+            servers: 1,
+            profile: CostProfile::constant(0.8),
+            scheduler: SchedulerKind::ShortestService,
+            admission: AdmissionPolicy::Unbounded,
+            link: Some(NetworkLink::wan(16 * 1024)),
+        },
+    ];
+    let two_tier = vec![three_tier[0].clone(), three_tier[2].clone()];
+    let policies = [
+        OffloadPolicyKind::AlwaysLocal,
+        OffloadPolicyKind::ExitConfidence,
+        OffloadPolicyKind::SloSojourn { slo_ms: 18.0 },
+    ];
+    let arrivals = [
+        ("poisson", ArrivalProcess::poisson(260.0)),
+        ("mmpp", ArrivalProcess::mmpp(90.0, 700.0, 60.0, 15.0)),
+        (
+            "tie-trace",
+            ArrivalProcess::trace(vec![0.0, 0.0, 0.0, 3.0, 0.0, 1.0, 0.0, 0.0]),
+        ),
+    ];
+    for (tname, tiers) in [("3-tier", &three_tier), ("2-tier", &two_tier)] {
+        for policy in policies {
+            for (aname, arrivals) in &arrivals {
+                let ctx = format!("{tname}/{}/{aname}", policy.label());
+                let cfg = FleetConfig {
+                    tiers: tiers.clone(),
+                    arrivals: arrivals.clone(),
+                    requests: 2_500,
+                    seed: 77,
+                    slo_ms: 30.0,
+                };
+                let got = try_simulate_fleet_with(&cfg, policy.build().as_mut())
+                    .expect("valid fleet config");
+                let want = simulate_fleet_reference(&cfg, policy.build().as_mut())
+                    .expect("valid fleet config");
+                assert_eq!(got.tiers.len(), want.tiers.len(), "{ctx}: tier count");
+                for (g, w) in got.tiers.iter().zip(&want.tiers) {
+                    let tctx = format!("{ctx}/{}", g.name);
+                    assert_eq!(g.name, w.name, "{tctx}: name");
+                    assert_serving_identical(&g.serving, &w.serving, &tctx);
+                    assert_eq!(g.routed, w.routed, "{tctx}: routed");
+                    assert_eq!(g.completed, w.completed, "{tctx}: completed");
+                    assert_eq!(g.dropped, w.dropped, "{tctx}: dropped");
+                    assert_eq!(g.per_server_busy_ms, w.per_server_busy_ms, "{tctx}: busy");
+                    assert_eq!(
+                        g.per_server_utilization, w.per_server_utilization,
+                        "{tctx}: util"
+                    );
+                }
+                assert_serving_identical(&got.end_to_end, &want.end_to_end, &ctx);
+                assert_eq!(got.offered, want.offered, "{ctx}: offered");
+                assert_eq!(got.completed, want.completed, "{ctx}: completed");
+                assert_eq!(got.dropped, want.dropped, "{ctx}: dropped");
+                assert_eq!(got.offloaded, want.offloaded, "{ctx}: offloaded");
+                assert_eq!(got.slo_violations, want.slo_violations, "{ctx}: slo");
+                assert_eq!(got.records, want.records, "{ctx}: per-request records");
+            }
+        }
+    }
+}
+
 #[test]
 fn sample_costs_mean_matches_cost_profile_mean() {
     // The two pricing paths must agree: the empirical histogram measured
