@@ -270,7 +270,17 @@ pub fn clean_source(src: &str) -> CleanSource {
                 } else {
                     while i < b.len() {
                         match b[i] {
-                            b'\\' => i += 2,
+                            // An escape consumes two bytes; when it is a
+                            // string line-continuation (`\` at end of
+                            // line), the skipped byte is a newline and the
+                            // line counter must still advance, or every
+                            // directive below the literal shifts.
+                            b'\\' => {
+                                if b.get(i + 1) == Some(&b'\n') {
+                                    line += 1;
+                                }
+                                i += 2;
+                            }
                             b'"' => {
                                 i += 1;
                                 break;
@@ -444,6 +454,17 @@ mod tests {
         assert_eq!(cleaned.allows[0].rule, "panic-in-lib");
         assert_eq!(cleaned.allows[0].reason, "checked above");
         assert!(cleaned.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers_aligned() {
+        // A `\` at the end of a string-literal line consumes the newline as
+        // part of the escape; the directive two lines below must still be
+        // recorded on its own line (4), not drift up.
+        let src = "let s = \"a \\\n   b\";\nlet t = 1;\n// lint:allow(panic-in-lib, reason = \"aligned\")\nx.unwrap();\n";
+        let cleaned = clean_source(src);
+        assert_eq!(cleaned.allows.len(), 1);
+        assert_eq!(cleaned.allows[0].line, 4);
     }
 
     #[test]

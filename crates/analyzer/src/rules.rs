@@ -290,11 +290,14 @@ fn into_doc_contract(f: &FileCtx, out: &mut Vec<RawViolation>) {
 
 /// The only library sources allowed to contain `unsafe` at all: the
 /// explicit-SIMD kernel island in `crates/tensor` (gated by a module-scoped
-/// `#![allow(unsafe_code)]` under the crate's `#![deny(unsafe_code)]`) and
-/// the counting global allocator in `testkit` (forwarding the `GlobalAlloc`
-/// contract to `System`). Growing this list is a deliberate, reviewed act.
-const UNSAFE_SANCTIONED: [&str; 2] = [
+/// `#![allow(unsafe_code)]` under the crate's `#![deny(unsafe_code)]`), the
+/// counting global allocator in `testkit` (forwarding the `GlobalAlloc`
+/// contract to `System`), and the zero-copy byte↔f32 reinterpretation
+/// island in `tensorstore` (alignment-checked slice casts behind the same
+/// module-scoped gate). Growing this list is a deliberate, reviewed act.
+const UNSAFE_SANCTIONED: [&str; 3] = [
     "crates/tensor/src/backend/simd.rs",
+    "crates/tensorstore/src/view.rs",
     "crates/testkit/src/lib.rs",
 ];
 
@@ -366,7 +369,8 @@ fn unsafe_audit(f: &FileCtx, out: &mut Vec<RawViolation>) {
                 file: f.rel.clone(),
                 line: t.line,
                 message: "`unsafe` outside the sanctioned modules \
-                          (crates/tensor/src/backend/simd.rs, crates/testkit/src/lib.rs)"
+                          (crates/tensor/src/backend/simd.rs, \
+                          crates/tensorstore/src/view.rs, crates/testkit/src/lib.rs)"
                     .into(),
             });
         } else if !has_safety_justification(f, &clean_lines, t.line) {

@@ -51,3 +51,28 @@ impl FleetSim {
         chain.iter().sum()
     }
 }
+
+/// Swap-dispatch fixture: applying a scheduled hot-swap mid-run is as hot
+/// as the rest of the event loop (a `mem::swap` of preallocated slots
+/// lints clean); scheduling is the cold control plane and its `format!`
+/// diagnostics carry annotations.
+pub struct TierSwap {
+    pub version: u64,
+    pub label: String,
+}
+
+impl FleetSim {
+    pub fn apply_swap(&mut self, swap: &mut TierSwap, active: &mut u64) {
+        std::mem::swap(active, &mut swap.version); // clean: no allocation
+    }
+
+    pub fn schedule_swap(&mut self, swap: TierSwap) -> Result<(), String> {
+        // lint:allow(hot-path-alloc, reason = "fixture: cold scheduling path builds its rejection message")
+        Err(format!("swap {} rejected", swap.label))
+    }
+
+    pub fn profile_at(&self, swaps: &[TierSwap]) -> u64 {
+        let versions: Vec<u64> = swaps.iter().map(|s| s.version).collect(); // flagged
+        versions.iter().sum()
+    }
+}

@@ -25,7 +25,7 @@
 use obs::json::{parse, JsonValue};
 
 /// Span kinds `obs::SpanKind::name` can emit.
-const KNOWN_EVENTS: [&str; 9] = [
+const KNOWN_EVENTS: [&str; 10] = [
     "arrival",
     "admit",
     "drop",
@@ -35,6 +35,7 @@ const KNOWN_EVENTS: [&str; 9] = [
     "service_end",
     "offload_hop",
     "exit_depth",
+    "swap",
 ];
 
 fn fail(msg: &str) -> ! {

@@ -23,6 +23,9 @@
 //! * [`experiments`] — one driver per table/figure of the paper (Table I/II,
 //!   Fig. 3/5/6–8, §IV-D exit rates) plus the DESIGN.md §4 ablations, all
 //!   iterating declarative model lists over the registry;
+//! * [`store`] — [`store::ModelStore`]: versioned, hot-swappable published
+//!   checkpoints with per-tier active-version handles (the control plane of
+//!   a rolling deploy; the data plane is `edgesim`'s `TierSwap` event);
 //! * [`table`] — plain-text table / CSV rendering for the harness binaries.
 
 #![forbid(unsafe_code)]
@@ -32,8 +35,10 @@ pub mod experiments;
 pub mod generalized;
 pub mod pipeline;
 pub mod registry;
+pub mod store;
 pub mod table;
 
 pub use pipeline::{CbnetModel, PipelineArtifacts, PipelineConfig};
 pub use registry::{ModelKind, ModelRegistry};
 pub use runtime::{InferenceModel, ModelReport, Scenario};
+pub use store::{ModelStore, ModelVersion, PublishedModel};

@@ -104,6 +104,59 @@ impl CbnetModel {
     }
 }
 
+/// Join `prefix` and a stage name without allocating when `prefix` is empty
+/// — keeps the single-model-per-file import path allocation-free.
+fn scoped<'a>(prefix: &str, name: &'a str) -> std::borrow::Cow<'a, str> {
+    if prefix.is_empty() {
+        std::borrow::Cow::Borrowed(name)
+    } else {
+        std::borrow::Cow::Owned(format!("{prefix}{name}"))
+    }
+}
+
+impl CbnetModel {
+    /// Reconstruct a CBNet from a parsed tensor file written by
+    /// [`tensorstore::SerializeTensors::export_tensors`]: the autoencoder
+    /// under `{prefix}ae.`, the lightweight DNN under `{prefix}lw.`.
+    pub fn from_tensor_file(
+        file: &tensorstore::TensorFile<'_>,
+        prefix: &str,
+    ) -> tensorstore::Result<CbnetModel> {
+        Ok(CbnetModel {
+            autoencoder: ConvertingAutoencoder::from_tensor_file(file, &scoped(prefix, "ae."))?,
+            lightweight: Network::from_tensor_file(file, &scoped(prefix, "lw."))?,
+        })
+    }
+}
+
+impl tensorstore::SerializeTensors for CbnetModel {
+    /// Export both stages: the autoencoder under `{prefix}ae.`, the
+    /// lightweight DNN under `{prefix}lw.`.
+    fn export_tensors(
+        &self,
+        out: &mut tensorstore::TensorWriter,
+        prefix: &str,
+    ) -> tensorstore::Result<()> {
+        self.autoencoder
+            .export_tensors(out, &scoped(prefix, "ae."))?;
+        self.lightweight.export_tensors(out, &scoped(prefix, "lw."))
+    }
+
+    /// Refill both stages in place. With an empty `prefix` the success path
+    /// performs zero allocations after the per-stage architecture gates —
+    /// the registry-slot hot-reload route, proven by `tests/alloc_guard.rs`.
+    fn import_tensors(
+        &mut self,
+        file: &tensorstore::TensorFile<'_>,
+        prefix: &str,
+    ) -> tensorstore::Result<()> {
+        self.autoencoder
+            .import_tensors(file, &scoped(prefix, "ae."))?;
+        self.lightweight
+            .import_tensors(file, &scoped(prefix, "lw."))
+    }
+}
+
 impl runtime::InferenceModel for CbnetModel {
     fn name(&self) -> &str {
         "CBNet"

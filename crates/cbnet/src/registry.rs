@@ -19,8 +19,10 @@ use runtime::{
 
 use crate::experiments::{prepare_family, ExperimentScale, TrainedFamily};
 
-/// Magic prefix of a registry model checkpoint (see
-/// [`ModelRegistry::save_model`]).
+/// Magic prefix of the **legacy** registry checkpoint envelope.
+/// [`ModelRegistry::load_model`] still reads it (sniffed by this magic);
+/// [`ModelRegistry::save_model`] now writes the zero-copy tensor-store
+/// format of the `tensorstore` crate instead.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"CBR1";
 
 /// SubFlow utilization used for comparisons. The paper runs SubFlow at a
@@ -267,82 +269,86 @@ impl ModelRegistry {
     // ------------------------------------------------------- persistence
 
     /// Serialize one trained comparator's weights (training it first when it
-    /// is lazy). The payload is the safetensors-style format of
-    /// `tensor::serialize` / `nn::Network::save` — a self-describing header
-    /// (magic, layer specs, tensor dims) followed by raw little-endian f32
-    /// data — wrapped in a registry envelope that records which comparator
-    /// it holds. Restore with [`ModelRegistry::load_model`].
+    /// is lazy). The payload is the zero-copy tensor-store format of the
+    /// `tensorstore` crate — a length-prefixed JSON header naming every
+    /// parameter tensor, then 64-byte-aligned raw little-endian f32 data —
+    /// with a `kind` metadata entry recording which comparator it holds.
+    /// Restore with [`ModelRegistry::load_model`], which also still reads
+    /// the legacy `CBR1` envelope this method used to write.
     pub fn save_model(&mut self, kind: ModelKind) -> bytes::Bytes {
-        use bytes::BufMut;
-        let mut buf = bytes::BytesMut::new();
-        buf.put_slice(CHECKPOINT_MAGIC);
-        buf.put_u8(kind.tag());
-        let put_block = |buf: &mut bytes::BytesMut, b: bytes::Bytes| {
-            buf.put_u64_le(b.len() as u64);
-            buf.put_slice(&b);
-        };
-        match kind {
-            ModelKind::LeNet => put_block(&mut buf, self.tf.lenet.save()),
-            ModelKind::BranchyNet => put_block(&mut buf, self.tf.artifacts.branchynet.save()),
-            ModelKind::Cbnet => {
-                put_block(&mut buf, self.tf.artifacts.cbnet.autoencoder.save());
-                put_block(&mut buf, self.tf.artifacts.cbnet.lightweight.save());
-            }
+        use tensorstore::SerializeTensors;
+        let mut w = tensorstore::TensorWriter::new();
+        w.set_metadata("kind", kind.name());
+        let exported = match kind {
+            ModelKind::LeNet => self.tf.lenet.export_tensors(&mut w, ""),
+            ModelKind::BranchyNet => self.tf.artifacts.branchynet.export_tensors(&mut w, ""),
+            ModelKind::Cbnet => self.tf.artifacts.cbnet.export_tensors(&mut w, ""),
             ModelKind::AdaDeep => {
                 self.ensure_adadeep();
-                put_block(
-                    &mut buf,
-                    // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
-                    self.adadeep.as_ref().expect("just trained").save(),
-                );
+                // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
+                let model = self.adadeep.as_ref().expect("just trained");
+                model.export_tensors(&mut w, "")
             }
             ModelKind::SubFlow => {
                 self.ensure_subflow();
-                put_block(
-                    &mut buf,
-                    // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
-                    self.subflow.as_ref().expect("just built").backbone().save(),
-                );
+                // lint:allow(panic-in-lib, reason = "ensure_* on the line above just populated this Option; None here is a registry bug")
+                let model = self.subflow.as_ref().expect("just built");
+                model.backbone().export_tensors(&mut w, "")
             }
-        }
-        buf.freeze()
+        };
+        // lint:allow(panic-in-lib, reason = "export of a live registry model only fails on duplicate tensor names, which the fixed naming scheme rules out")
+        exported.unwrap_or_else(|e| panic!("exporting {kind} cannot fail: {e}"));
+        bytes::Bytes::from(w.finish())
     }
 
     /// Replace one comparator's weights from a checkpoint written by
-    /// [`ModelRegistry::save_model`]. The checkpoint must hold the same
-    /// [`ModelKind`] it is loaded into.
+    /// [`ModelRegistry::save_model`] — either the current tensor-store
+    /// format or the legacy `CBR1` envelope (sniffed by magic). The
+    /// checkpoint must hold the same [`ModelKind`] it is loaded into;
+    /// errors name the field or tensor that failed.
     pub fn load_model(
         &mut self,
         kind: ModelKind,
         mut buf: impl bytes::Buf,
     ) -> Result<(), tensor::TensorError> {
-        use tensor::TensorError;
-        let err = |m: &str| TensorError::Deserialize(m.into());
-        if buf.remaining() < CHECKPOINT_MAGIC.len() + 1 {
-            return Err(err("registry checkpoint too short"));
+        let bytes = buf.copy_to_bytes(buf.remaining());
+        if bytes.len() >= CHECKPOINT_MAGIC.len() && &bytes[..4] == CHECKPOINT_MAGIC {
+            return self.load_model_legacy(kind, bytes.slice(4..));
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != CHECKPOINT_MAGIC {
-            return Err(err("bad registry checkpoint magic"));
-        }
-        let tag = buf.get_u8();
-        if tag != kind.tag() {
-            return Err(err("checkpoint holds a different comparator"));
-        }
-        let get_block = |buf: &mut dyn bytes::Buf| -> Result<bytes::Bytes, TensorError> {
-            if buf.remaining() < 8 {
-                return Err(err("truncated checkpoint block"));
+        // Copy into 8-byte-aligned storage so f32 spans reinterpret in
+        // place (cold path; the hot-reload route is `ModelStore` +
+        // `SerializeTensors::import_tensors` on a preallocated slot).
+        let aligned = tensorstore::AlignedBytes::from_slice(&bytes);
+        let file = tensorstore::TensorFile::parse(aligned.as_slice())
+            .map_err(|e| tensor::TensorError::Deserialize(format!("registry checkpoint: {e}")))?;
+        self.load_model_from_file(kind, &file)
+            .map_err(|e| tensor::TensorError::Deserialize(format!("{kind} checkpoint: {e}")))
+    }
+
+    /// Load one comparator from an already-parsed tensor-store file (the
+    /// [`crate::store::ModelStore`] hot path parses once and reuses the
+    /// file). Checks the file's `kind` metadata against `kind`.
+    pub fn load_model_from_file(
+        &mut self,
+        kind: ModelKind,
+        file: &tensorstore::TensorFile<'_>,
+    ) -> tensorstore::Result<()> {
+        match file.metadata("kind") {
+            None => {
+                return Err(tensorstore::StoreError::Import(
+                    "checkpoint has no `kind` metadata entry".into(),
+                ))
             }
-            let len = buf.get_u64_le() as usize;
-            if buf.remaining() < len {
-                return Err(err("truncated checkpoint body"));
+            Some(k) if k != kind.name() => {
+                return Err(tensorstore::StoreError::Import(format!(
+                    "checkpoint holds {k}, asked to load {kind}"
+                )))
             }
-            Ok(buf.copy_to_bytes(len))
-        };
+            Some(_) => {}
+        }
         match kind {
             ModelKind::LeNet => {
-                self.tf.lenet = nn::Network::load(get_block(&mut buf)?)?;
+                self.tf.lenet = Network::from_tensor_file(file, "")?;
                 // An already-built SubFlow wrapper duplicates the old LeNet
                 // backbone; drop it so the next request rebuilds from the
                 // loaded weights.
@@ -350,22 +356,99 @@ impl ModelRegistry {
             }
             ModelKind::BranchyNet => {
                 self.tf.artifacts.branchynet =
-                    models::branchynet::BranchyNet::load(get_block(&mut buf)?)?;
+                    models::branchynet::BranchyNet::from_tensor_file(file, "")?;
             }
             ModelKind::Cbnet => {
-                let autoencoder =
-                    models::autoencoder::ConvertingAutoencoder::load(get_block(&mut buf)?)?;
-                let lightweight = nn::Network::load(get_block(&mut buf)?)?;
+                self.tf.artifacts.cbnet = crate::pipeline::CbnetModel::from_tensor_file(file, "")?;
+            }
+            ModelKind::AdaDeep => {
+                self.adadeep = Some(Network::from_tensor_file(file, "")?);
+            }
+            ModelKind::SubFlow => {
+                self.subflow = Some(SubFlow::new(Network::from_tensor_file(file, "")?));
+            }
+        }
+        Ok(())
+    }
+
+    /// The legacy `CBR1` envelope reader: magic (already consumed), a
+    /// one-byte [`ModelKind::tag`], then length-prefixed `nn::Network::save`
+    /// / `BranchyNet::save` / autoencoder blocks. Kept so checkpoints
+    /// written before the tensor-store format still load; errors name the
+    /// field that failed.
+    fn load_model_legacy(
+        &mut self,
+        kind: ModelKind,
+        mut buf: bytes::Bytes,
+    ) -> Result<(), tensor::TensorError> {
+        use bytes::Buf;
+        use tensor::TensorError;
+        let err = |m: String| TensorError::Deserialize(m);
+        if buf.remaining() < 1 {
+            return Err(err(
+                "legacy registry checkpoint ends before the kind tag".into()
+            ));
+        }
+        let tag = buf.get_u8();
+        if tag != kind.tag() {
+            let held = ModelKind::ALL.iter().find(|k| k.tag() == tag);
+            return Err(err(match held {
+                Some(k) => format!("legacy checkpoint holds {k}, asked to load {kind}"),
+                None => format!("legacy checkpoint has unknown kind tag {tag}"),
+            }));
+        }
+        let get_block = |buf: &mut bytes::Bytes, what: &str| -> Result<bytes::Bytes, TensorError> {
+            if buf.remaining() < 8 {
+                return Err(err(format!(
+                    "legacy checkpoint ends before the {what} block length"
+                )));
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(err(format!(
+                    "legacy {what} block claims {len} bytes, {} remain",
+                    buf.remaining()
+                )));
+            }
+            Ok(buf.copy_to_bytes(len))
+        };
+        let ctx = |what: &str, e: TensorError| err(format!("legacy {what} block: {e}"));
+        match kind {
+            ModelKind::LeNet => {
+                self.tf.lenet =
+                    Network::load(get_block(&mut buf, "LeNet")?).map_err(|e| ctx("LeNet", e))?;
+                // See `load_model_from_file`: invalidate the stale wrapper.
+                self.subflow = None;
+            }
+            ModelKind::BranchyNet => {
+                self.tf.artifacts.branchynet =
+                    models::branchynet::BranchyNet::load(get_block(&mut buf, "BranchyNet")?)
+                        .map_err(|e| ctx("BranchyNet", e))?;
+            }
+            ModelKind::Cbnet => {
+                let autoencoder = models::autoencoder::ConvertingAutoencoder::load(get_block(
+                    &mut buf,
+                    "autoencoder",
+                )?)
+                .map_err(|e| ctx("autoencoder", e))?;
+                let lightweight = Network::load(get_block(&mut buf, "lightweight")?)
+                    .map_err(|e| ctx("lightweight", e))?;
                 self.tf.artifacts.cbnet = crate::pipeline::CbnetModel {
                     autoencoder,
                     lightweight,
                 };
             }
             ModelKind::AdaDeep => {
-                self.adadeep = Some(nn::Network::load(get_block(&mut buf)?)?);
+                self.adadeep = Some(
+                    Network::load(get_block(&mut buf, "AdaDeep")?)
+                        .map_err(|e| ctx("AdaDeep", e))?,
+                );
             }
             ModelKind::SubFlow => {
-                self.subflow = Some(SubFlow::new(nn::Network::load(get_block(&mut buf)?)?));
+                self.subflow = Some(SubFlow::new(
+                    Network::load(get_block(&mut buf, "SubFlow backbone")?)
+                        .map_err(|e| ctx("SubFlow backbone", e))?,
+                ));
             }
         }
         Ok(())

@@ -1,0 +1,326 @@
+//! Versioned model store: published, validated checkpoints plus hot-swap
+//! per-tier active-version handles.
+//!
+//! The store is the control plane of a rolling deploy:
+//!
+//! 1. [`ModelStore::publish`] validates a tensor-store checkpoint (parse +
+//!    `kind` metadata check) and assigns it a monotonically increasing
+//!    [`ModelVersion`];
+//! 2. [`ModelStore::activate`] atomically repoints a tier's active-version
+//!    handle at a published blob (`Arc`-swap semantics: readers that
+//!    already hold the old [`PublishedModel`] handle keep serving it, new
+//!    readers see the new version);
+//! 3. the serving side turns an activation into an
+//!    [`edgesim::TierSwap`] control event so the fleet switches that tier's
+//!    cost profile *and* model version between requests — in-flight
+//!    requests finish on the old version (pinned by the fleet conformance
+//!    tests).
+//!
+//! Reading an active handle ([`ModelStore::active`]) is a lock + refcount
+//! bump — no allocation — so steady-state serving can check for new
+//! versions on every batch. Refilling a live model from a handle goes
+//! through [`tensorstore::SerializeTensors::import_tensors`] on a
+//! once-parsed [`tensorstore::TensorFile`], the allocation-free route
+//! proven by `tests/alloc_guard.rs`.
+
+use std::sync::{Arc, RwLock};
+
+use tensorstore::{AlignedBytes, StoreError, TensorFile};
+
+use crate::registry::{ModelKind, ModelRegistry};
+
+/// Identity of one published checkpoint: which comparator it holds and its
+/// store-wide monotone version number (1-based; 0 never names a version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelVersion {
+    /// The comparator the blob holds.
+    pub kind: ModelKind,
+    /// Monotone publish counter, unique across kinds within one store.
+    pub version: u64,
+}
+
+impl std::fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@v{}", self.kind, self.version)
+    }
+}
+
+/// One published, validated checkpoint. The bytes are 8-byte-aligned so
+/// f32 spans reinterpret zero-copy; [`PublishedModel::file`] re-parses the
+/// (small) header on demand — parse once, then import into as many slots
+/// as needed.
+pub struct PublishedModel {
+    version: ModelVersion,
+    bytes: AlignedBytes,
+}
+
+impl PublishedModel {
+    /// The blob's identity.
+    pub fn version(&self) -> ModelVersion {
+        self.version
+    }
+
+    /// The raw checkpoint bytes (aligned; parseable by
+    /// [`tensorstore::TensorFile::parse`]).
+    pub fn bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Parse the checkpoint. Publication already validated it, so this
+    /// only fails if the store's invariants were broken.
+    pub fn file(&self) -> tensorstore::Result<TensorFile<'_>> {
+        TensorFile::parse(self.bytes.as_slice())
+    }
+}
+
+/// Poison-tolerant lock accessors: a panicking reader cannot corrupt an
+/// `Arc` slot, so recover the guard instead of propagating the poison.
+fn read_slot(slot: &RwLock<Option<Arc<PublishedModel>>>) -> Option<Arc<PublishedModel>> {
+    slot.read().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// The versioned model store (see the module docs for the deploy flow).
+pub struct ModelStore {
+    published: Vec<Arc<PublishedModel>>,
+    active: Vec<RwLock<Option<Arc<PublishedModel>>>>,
+    next_version: u64,
+}
+
+impl ModelStore {
+    /// An empty store serving `tiers` tiers (matching the
+    /// [`edgesim::FleetConfig`] tier count), no versions published, every
+    /// tier's handle empty.
+    pub fn new(tiers: usize) -> Self {
+        ModelStore {
+            published: Vec::new(),
+            active: (0..tiers).map(|_| RwLock::new(None)).collect(),
+            next_version: 1,
+        }
+    }
+
+    /// Number of tiers the store serves.
+    pub fn tiers(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of published versions.
+    pub fn published(&self) -> usize {
+        self.published.len()
+    }
+
+    /// Validate and store a checkpoint, assigning the next version number.
+    ///
+    /// The bytes must parse as a tensor-store file whose `kind` metadata
+    /// names `kind` — corrupt or mislabelled blobs are rejected here, at
+    /// the control plane, so activation and slot refills never meet them.
+    pub fn publish(&mut self, kind: ModelKind, bytes: &[u8]) -> tensorstore::Result<ModelVersion> {
+        let aligned = AlignedBytes::from_slice(bytes);
+        {
+            let file = TensorFile::parse(aligned.as_slice())?;
+            match file.metadata("kind") {
+                None => {
+                    return Err(StoreError::Import(
+                        "cannot publish: checkpoint has no `kind` metadata entry".into(),
+                    ))
+                }
+                Some(k) if k != kind.name() => {
+                    return Err(StoreError::Import(format!(
+                        "cannot publish as {kind}: checkpoint holds {k}"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        let version = ModelVersion {
+            kind,
+            version: self.next_version,
+        };
+        self.next_version += 1;
+        self.published.push(Arc::new(PublishedModel {
+            version,
+            bytes: aligned,
+        }));
+        Ok(version)
+    }
+
+    /// Serialize one of `registry`'s trained comparators and publish it —
+    /// the save → validate → version pipeline in one call.
+    pub fn publish_from(
+        &mut self,
+        registry: &mut ModelRegistry,
+        kind: ModelKind,
+    ) -> tensorstore::Result<ModelVersion> {
+        let bytes = registry.save_model(kind);
+        self.publish(kind, &bytes)
+    }
+
+    /// The published blob for a version, if it exists.
+    pub fn get(&self, version: ModelVersion) -> Option<Arc<PublishedModel>> {
+        self.published
+            .iter()
+            .find(|p| p.version == version)
+            .cloned()
+    }
+
+    /// The most recently published version of a kind.
+    pub fn latest(&self, kind: ModelKind) -> Option<ModelVersion> {
+        self.published
+            .iter()
+            .rev()
+            .find(|p| p.version.kind == kind)
+            .map(|p| p.version)
+    }
+
+    /// Atomically repoint `tier`'s active handle at `version`; returns the
+    /// previously active version. Readers holding the old
+    /// [`PublishedModel`] handle keep it alive until they drop it — the
+    /// in-flight-requests-finish-on-the-old-version property.
+    pub fn activate(
+        &self,
+        tier: usize,
+        version: ModelVersion,
+    ) -> tensorstore::Result<Option<ModelVersion>> {
+        let blob = self.get(version).ok_or_else(|| {
+            StoreError::Import(format!("cannot activate unpublished version {version}"))
+        })?;
+        let slot = self.active.get(tier).ok_or_else(|| {
+            StoreError::Import(format!(
+                "cannot activate on nonexistent tier {tier} ({} tiers)",
+                self.active.len()
+            ))
+        })?;
+        let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
+        let prev = guard.replace(blob);
+        Ok(prev.map(|p| p.version))
+    }
+
+    /// The tier's currently active blob (refcount bump, no allocation), or
+    /// `None` when the tier is out of range or nothing was activated yet.
+    pub fn active(&self, tier: usize) -> Option<Arc<PublishedModel>> {
+        read_slot(self.active.get(tier)?)
+    }
+
+    /// The tier's active version number, `None` when nothing is active.
+    pub fn active_version(&self, tier: usize) -> Option<ModelVersion> {
+        self.active(tier).map(|p| p.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::{Dense, Network};
+    use tensor::random::rng_from_seed;
+    use tensorstore::SerializeTensors;
+
+    /// A tiny publishable LeNet-labelled checkpoint without any training.
+    fn tiny_blob(seed: u64, kind: &str) -> Vec<u8> {
+        let mut rng = rng_from_seed(seed);
+        let net = Network::new().push(Dense::new(4, 3, &mut rng));
+        let mut w = tensorstore::TensorWriter::new();
+        w.set_metadata("kind", kind);
+        net.export_tensors(&mut w, "").unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn publish_assigns_monotone_versions_and_latest_finds_them() {
+        let mut store = ModelStore::new(2);
+        let v1 = store
+            .publish(ModelKind::LeNet, &tiny_blob(1, "LeNet"))
+            .unwrap();
+        let v2 = store
+            .publish(ModelKind::LeNet, &tiny_blob(2, "LeNet"))
+            .unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v2.version, 2);
+        assert_eq!(store.latest(ModelKind::LeNet), Some(v2));
+        assert_eq!(store.latest(ModelKind::Cbnet), None);
+        assert_eq!(store.published(), 2);
+        assert!(store.get(v1).is_some());
+        assert!(store
+            .get(ModelVersion {
+                kind: ModelKind::LeNet,
+                version: 99
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn publish_rejects_garbage_and_kind_mismatch() {
+        let mut store = ModelStore::new(1);
+        let err = store
+            .publish(ModelKind::LeNet, b"not a tensor file")
+            .unwrap_err()
+            .to_string();
+        assert!(!err.is_empty());
+        let err = store
+            .publish(ModelKind::Cbnet, &tiny_blob(3, "LeNet"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("holds LeNet"), "{err}");
+        let err = store
+            .publish(ModelKind::LeNet, {
+                let mut w = tensorstore::TensorWriter::new();
+                w.set_metadata("note", "no kind here");
+                &w.finish().clone()
+            })
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn activate_swaps_handles_and_old_handles_stay_alive() {
+        let mut store = ModelStore::new(2);
+        let v1 = store
+            .publish(ModelKind::LeNet, &tiny_blob(4, "LeNet"))
+            .unwrap();
+        let v2 = store
+            .publish(ModelKind::LeNet, &tiny_blob(5, "LeNet"))
+            .unwrap();
+        assert_eq!(store.active_version(0), None);
+        assert_eq!(store.activate(0, v1).unwrap(), None);
+        assert_eq!(store.active_version(0), Some(v1));
+        // A reader pins the old version across the swap.
+        let pinned = store.active(0).unwrap();
+        assert_eq!(store.activate(0, v2).unwrap(), Some(v1));
+        assert_eq!(store.active_version(0), Some(v2));
+        assert_eq!(pinned.version(), v1);
+        assert!(pinned.file().is_ok(), "pinned handle still parses");
+        // Tier 1 is untouched.
+        assert_eq!(store.active_version(1), None);
+    }
+
+    #[test]
+    fn activate_rejects_unknown_versions_and_tiers() {
+        let mut store = ModelStore::new(1);
+        let v1 = store
+            .publish(ModelKind::LeNet, &tiny_blob(6, "LeNet"))
+            .unwrap();
+        let ghost = ModelVersion {
+            kind: ModelKind::LeNet,
+            version: 42,
+        };
+        let err = store.activate(0, ghost).unwrap_err().to_string();
+        assert!(err.contains("unpublished"), "{err}");
+        let err = store.activate(5, v1).unwrap_err().to_string();
+        assert!(err.contains("tier 5"), "{err}");
+    }
+
+    #[test]
+    fn published_blob_roundtrips_into_a_network() {
+        let mut store = ModelStore::new(1);
+        let blob = tiny_blob(7, "LeNet");
+        let v = store.publish(ModelKind::LeNet, &blob).unwrap();
+        store.activate(0, v).unwrap();
+        let active = store.active(0).unwrap();
+        let file = active.file().unwrap();
+        let mut net = Network::from_tensor_file(&file, "").unwrap();
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 3);
+        let mut rng = rng_from_seed(8);
+        let x = tensor::Tensor::rand_uniform(&[2, 4], 0.0, 1.0, &mut rng);
+        assert_eq!(net.predict(&x).dims(), &[2, 3]);
+    }
+}

@@ -58,10 +58,11 @@ fn loading_lenet_rebuilds_stale_subflow_wrapper() {
 fn load_rejects_kind_mismatch_and_garbage() {
     let mut reg = ModelRegistry::train(Family::MnistLike, &tiny_scale(0xC0DE));
     let lenet_blob = reg.save_model(ModelKind::LeNet);
-    assert!(
-        reg.load_model(ModelKind::Cbnet, lenet_blob).is_err(),
-        "a LeNet checkpoint must not load as CBNet"
-    );
+    let err = reg
+        .load_model(ModelKind::Cbnet, lenet_blob)
+        .expect_err("a LeNet checkpoint must not load as CBNet")
+        .to_string();
+    assert!(err.contains("holds LeNet"), "{err}");
     assert!(reg.load_model(ModelKind::LeNet, &b"CBR1"[..]).is_err());
     assert!(reg
         .load_model(
@@ -69,4 +70,103 @@ fn load_rejects_kind_mismatch_and_garbage() {
             &b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00\x00"[..]
         )
         .is_err());
+}
+
+/// Assemble the legacy `CBR1` envelope by hand — the writer is gone, but
+/// the byte layout (magic, one-byte kind tag, `u64`-length-prefixed stage
+/// blocks) is pinned here so old checkpoints keep loading.
+fn legacy_envelope(tag: u8, blocks: &[bytes::Bytes]) -> bytes::Bytes {
+    use bytes::BufMut;
+    let mut buf = bytes::BytesMut::new();
+    buf.put_slice(cbnet::registry::CHECKPOINT_MAGIC);
+    buf.put_u8(tag);
+    for b in blocks {
+        buf.put_u64_le(b.len() as u64);
+        buf.put_slice(b);
+    }
+    buf.freeze()
+}
+
+#[test]
+fn legacy_cbr1_envelope_still_loads_every_kind() {
+    let mut src = ModelRegistry::train(Family::MnistLike, &tiny_scale(0x01d));
+    let mut dst = ModelRegistry::train(Family::MnistLike, &tiny_scale(0x2e57));
+    let probe = src.split().test.images.clone();
+
+    // LeNet (tag 0): a single Network block.
+    let blob = legacy_envelope(0, &[src.trained().lenet.save()]);
+    let want = src.model(ModelKind::LeNet).predict_batch(&probe);
+    dst.load_model(ModelKind::LeNet, blob)
+        .expect("legacy LeNet envelope loads");
+    assert_eq!(dst.model(ModelKind::LeNet).predict_batch(&probe), want);
+
+    // BranchyNet (tag 1).
+    let blob = legacy_envelope(1, &[src.trained().artifacts.branchynet.save()]);
+    let want = src.model(ModelKind::BranchyNet).predict_batch(&probe);
+    dst.load_model(ModelKind::BranchyNet, blob)
+        .expect("legacy BranchyNet envelope loads");
+    assert_eq!(dst.model(ModelKind::BranchyNet).predict_batch(&probe), want);
+
+    // CBNet (tag 4): autoencoder block, then lightweight block.
+    let blob = legacy_envelope(
+        4,
+        &[
+            src.trained().artifacts.cbnet.autoencoder.save(),
+            src.trained().artifacts.cbnet.lightweight.save(),
+        ],
+    );
+    let want = src.model(ModelKind::Cbnet).predict_batch(&probe);
+    dst.load_model(ModelKind::Cbnet, blob)
+        .expect("legacy CBNet envelope loads");
+    assert_eq!(dst.model(ModelKind::Cbnet).predict_batch(&probe), want);
+}
+
+#[test]
+fn load_errors_name_the_failing_field_on_both_formats() {
+    let mut reg = ModelRegistry::train(Family::MnistLike, &tiny_scale(0xBAD));
+
+    // Legacy: wrong kind tag names both comparators.
+    let blob = legacy_envelope(1, &[reg.trained().lenet.save()]);
+    let err = reg
+        .load_model(ModelKind::LeNet, blob)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("holds BranchyNet"), "{err}");
+
+    // Legacy: a block that claims more bytes than remain is named.
+    let blob = legacy_envelope(0, &[]);
+    use bytes::BufMut;
+    let mut long = bytes::BytesMut::new();
+    long.put_slice(&blob);
+    long.put_u64_le(1 << 30);
+    let err = reg
+        .load_model(ModelKind::LeNet, long.freeze())
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("LeNet block"), "{err}");
+    assert!(err.contains("remain"), "{err}");
+
+    // Legacy: missing block length.
+    let err = reg
+        .load_model(ModelKind::LeNet, legacy_envelope(0, &[]))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("block length"), "{err}");
+
+    // New format: truncating the data section is caught by the span
+    // validator with the store's truncation context.
+    let blob = reg.save_model(ModelKind::LeNet);
+    let cut = blob.slice(..blob.len() - 16);
+    let err = reg
+        .load_model(ModelKind::LeNet, cut)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("registry checkpoint"), "{err}");
+
+    // New format: truncating into the JSON header.
+    let err = reg
+        .load_model(ModelKind::LeNet, blob.slice(..12))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("registry checkpoint"), "{err}");
 }

@@ -576,6 +576,46 @@ enum FleetEvent {
     Completion { tier: u32, server: u32 },
     /// A batch-deadline timer of `tier`.
     Timer { tier: u32 },
+    /// A scheduled model hot-swap (index into the swap schedule) reaches
+    /// its switch time.
+    Swap { swap: u32 },
+}
+
+/// When a scheduled [`TierSwap`] actually switches the tier over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapPolicy {
+    /// Switch at the scheduled time, between requests: arrivals priced
+    /// strictly before the switch keep the old model, later ones get the
+    /// new one.
+    Immediate,
+    /// Hold the switch until the tier fully drains (empty queue, all
+    /// servers idle), then apply at the draining completion. Under
+    /// sustained load the swap can stay pending to the end of the run —
+    /// [`FleetSim::swaps_applied`] reports what actually switched.
+    DrainFirst,
+}
+
+/// A scheduled mid-run model rollout for one tier: at `at_ms` the tier's
+/// [`CostProfile`] (the serving-relevant summary of its model) and active
+/// model version switch atomically between requests. In-flight and
+/// already-priced requests keep the old model's pricing — pinned by the
+/// hot-swap conformance tests.
+#[derive(Debug, Clone)]
+pub struct TierSwap {
+    /// Tier to roll.
+    pub tier: usize,
+    /// Scheduled switch time, ms.
+    pub at_ms: f64,
+    /// The new model's cost profile. After the swap applies, this slot
+    /// holds the *old* profile (the two are exchanged in place), which is
+    /// how in-flight pricing stays reconstructable without copies.
+    pub profile: CostProfile,
+    /// Model version the tier serves after the swap (the registry's
+    /// `ModelVersion`); surfaced by [`FleetSim::active_version`] and the
+    /// observer's swap span.
+    pub version: u64,
+    /// When the switch is allowed to happen.
+    pub policy: SwapPolicy,
 }
 
 /// Streaming statistics kept by a [`RecordMode::Lean`] fleet run: per-tier
@@ -681,6 +721,28 @@ pub fn try_simulate_fleet_with_observed(
     simulate_fleet_core(cfg, policy, Some(obs))
 }
 
+/// [`try_simulate_fleet_with_observed`] plus a mid-run model-swap schedule:
+/// each [`TierSwap`] atomically switches its tier's cost profile and active
+/// model version between requests. Requests priced at the gateway before a
+/// switch complete on the old model (pinned by the hot-swap conformance
+/// tests); a swap whose profile equals the tier's current one leaves the
+/// report bit-identical to a swap-free run. Returns the report and how many
+/// swaps actually applied ([`SwapPolicy::DrainFirst`] swaps can stay
+/// pending to the end of the run under sustained load).
+pub fn try_simulate_fleet_with_swaps(
+    cfg: &FleetConfig,
+    policy: &mut dyn OffloadPolicy,
+    swaps: &[TierSwap],
+    obs: Option<&mut SimObserver>,
+) -> Result<(FleetReport, usize), String> {
+    let mut sim = FleetSim::new(cfg, RecordMode::Full)?;
+    for s in swaps {
+        sim.schedule_swap(s.clone())?;
+    }
+    sim.run(policy, obs)?;
+    Ok((sim.report(), sim.swaps_applied()))
+}
+
 /// The one event loop behind every fleet entry point: build a Full-record
 /// [`FleetSim`], run it once, report. `obs`, when present, is fed every
 /// gateway/routing/admission/queue/service transition; it never feeds back
@@ -743,6 +805,23 @@ pub struct FleetSim {
     /// Congestion-snapshot scratch, refilled in place per gateway event
     /// (the old loop allocated a fresh Vec per arrival).
     snapshots: Vec<TierSnapshot>,
+    /// Scheduled mid-run model swaps, in schedule order. An applied swap's
+    /// `profile` slot holds the *displaced* (old) profile — the two are
+    /// exchanged in place — which is what `profile_at` consults to price
+    /// requests that hit the gateway before the switch.
+    swaps: Vec<TierSwap>,
+    /// Per-swap application time; NaN while unapplied or pending.
+    swap_applied_at: Vec<f64>,
+    /// DrainFirst swaps whose switch is waiting for the tier to drain.
+    swap_pending: Vec<bool>,
+    /// Count of set bits in `swap_pending`, so the completion hot path can
+    /// skip the pending scan with one compare.
+    pending_swaps: usize,
+    /// Indices into `swaps` in the order they actually applied; reset
+    /// un-applies in reverse.
+    swap_order: Vec<u32>,
+    /// Per-tier active model version (0 until a swap applies).
+    active_version: Vec<u64>,
     cursor: usize,
     seq: u64,
     dropped: usize,
@@ -835,6 +914,12 @@ impl FleetSim {
                 };
                 tiers
             ],
+            swaps: Vec::new(),
+            swap_applied_at: Vec::new(),
+            swap_pending: Vec::new(),
+            pending_swaps: 0,
+            swap_order: Vec::new(),
+            active_version: vec![0; tiers],
             cursor: 0,
             seq: n as u64,
             dropped: 0,
@@ -886,6 +971,23 @@ impl FleetSim {
         if let Some(l) = &self.lean {
             l.reset();
         }
+        // Un-apply swaps in reverse application order: each exchange puts
+        // the displaced profile back, so the tier chain rewinds exactly.
+        while let Some(k) = self.swap_order.pop() {
+            let k = k as usize;
+            let t = self.swaps[k].tier;
+            std::mem::swap(&mut self.cfg.tiers[t].profile, &mut self.swaps[k].profile);
+        }
+        for a in &mut self.swap_applied_at {
+            *a = f64::NAN;
+        }
+        for p in &mut self.swap_pending {
+            *p = false;
+        }
+        self.pending_swaps = 0;
+        for v in &mut self.active_version {
+            *v = 0;
+        }
         self.cursor = 0;
         self.seq = self.requests.len() as u64;
         self.dropped = 0;
@@ -910,6 +1012,123 @@ impl FleetSim {
     /// The generated gateway workload, in arrival (id) order.
     pub fn requests(&self) -> &[FleetRequest] {
         &self.requests
+    }
+
+    /// Schedule a mid-run model swap; returns its index in schedule order.
+    /// Must be called on a fresh (new or reset) simulator — the swap events
+    /// are injected when [`FleetSim::run`] starts. Cold path: this is the
+    /// only allocation the swap machinery performs; applying a swap during
+    /// the run is allocation-free.
+    pub fn schedule_swap(&mut self, swap: TierSwap) -> Result<usize, String> {
+        if self.events != 0 {
+            return Err("schedule_swap requires a fresh simulator: call reset() first".into());
+        }
+        if swap.tier >= self.cfg.tiers.len() {
+            // lint:allow(hot-path-alloc, reason = "cold scheduling path: building the diagnostic for an out-of-range tier")
+            return Err(format!(
+                "swap targets nonexistent tier {} ({} tiers)",
+                swap.tier,
+                self.cfg.tiers.len()
+            ));
+        }
+        if !(swap.at_ms.is_finite() && swap.at_ms >= 0.0) {
+            // lint:allow(hot-path-alloc, reason = "cold scheduling path: building the diagnostic for a bad switch time")
+            return Err(format!("swap time {} must be finite and >= 0", swap.at_ms));
+        }
+        swap.profile
+            .try_valid()
+            // lint:allow(hot-path-alloc, reason = "cold scheduling path: contextualizing the profile validation error")
+            .map_err(|e| format!("swap for tier {}: {e}", swap.tier))?;
+        self.swaps.push(swap);
+        self.swap_applied_at.push(f64::NAN);
+        self.swap_pending.push(false);
+        // Reserve application-order capacity up front so the in-run
+        // `swap_order.push` never allocates.
+        if self.swap_order.capacity() < self.swaps.len() {
+            let need = self.swaps.len() - self.swap_order.capacity();
+            self.swap_order.reserve(need);
+        }
+        Ok(self.swaps.len() - 1)
+    }
+
+    /// The swap schedule, in schedule order. An applied swap's `profile`
+    /// slot holds the profile it displaced.
+    pub fn swaps(&self) -> &[TierSwap] {
+        &self.swaps
+    }
+
+    /// How many scheduled swaps have applied so far this run (DrainFirst
+    /// swaps can stay pending to the end under sustained load).
+    pub fn swaps_applied(&self) -> usize {
+        self.swap_order.len()
+    }
+
+    /// When swap `k` (schedule order) applied, or `None` while it has not.
+    /// For [`SwapPolicy::DrainFirst`] this is the draining completion's
+    /// time, not the scheduled `at_ms`.
+    pub fn swap_applied_at(&self, k: usize) -> Option<f64> {
+        self.swap_applied_at.get(k).copied().filter(|a| !a.is_nan())
+    }
+
+    /// The model version tier `t` currently serves — the last applied
+    /// swap's version, or 0 before any swap (and for out-of-range `t`).
+    pub fn active_version(&self, t: usize) -> u64 {
+        self.active_version.get(t).copied().unwrap_or(0)
+    }
+
+    /// True when tier `t` holds no queued or in-flight work — the
+    /// [`SwapPolicy::DrainFirst`] switch condition. Allocation-free.
+    fn tier_drained(&self, t: usize) -> bool {
+        if !self.queues[t].is_empty() {
+            return false;
+        }
+        let base = self.server_offset[t];
+        let servers = self.server_offset[t + 1] - base;
+        self.idle[base..base + servers].iter().all(|&i| i)
+    }
+
+    /// Switch `swaps[k]`'s tier over: exchange the tier's cost profile with
+    /// the swap's in place, adopt the new model version, and record the
+    /// swap span. Makespan is deliberately untouched — a swap is a
+    /// control-plane event, and a no-op swap must leave the report
+    /// bit-identical to a swap-free run. Allocation-free.
+    fn apply_swap(&mut self, k: usize, now: f64, obs: Option<&mut SimObserver>) {
+        let t = self.swaps[k].tier;
+        std::mem::swap(&mut self.cfg.tiers[t].profile, &mut self.swaps[k].profile);
+        self.active_version[t] = self.swaps[k].version;
+        self.swap_applied_at[k] = now;
+        self.swap_order.push(k as u32);
+        if let Some(o) = obs {
+            o.on_swap(now, k, t, self.swaps[k].version);
+        }
+    }
+
+    /// Apply any pending DrainFirst swaps of tier `t` whose drain condition
+    /// now holds, in schedule order. Allocation-free.
+    fn apply_pending_swaps(&mut self, t: usize, now: f64, mut obs: Option<&mut SimObserver>) {
+        for k in 0..self.swaps.len() {
+            if self.swap_pending[k] && self.swaps[k].tier == t && self.tier_drained(t) {
+                self.swap_pending[k] = false;
+                self.pending_swaps -= 1;
+                self.apply_swap(k, now, obs.as_deref_mut());
+            }
+        }
+    }
+
+    /// The cost profile tier `t` was serving at gateway time `g_ms`: the
+    /// current profile, unless a swap applied at or after `g_ms` — then the
+    /// old profile that swap displaced (held in its schedule slot). Lean
+    /// mode re-derives in-flight prices through this lookup so requests
+    /// priced before a switch keep the old model's cost; Full mode reads
+    /// the gateway-time routing table instead. Allocation-free.
+    fn profile_at(&self, t: usize, g_ms: f64) -> &CostProfile {
+        for &k in &self.swap_order {
+            let k = k as usize;
+            if self.swaps[k].tier == t && self.swap_applied_at[k] >= g_ms {
+                return &self.swaps[k].profile;
+            }
+        }
+        &self.cfg.tiers[t].profile
     }
 
     /// Refill the congestion-snapshot scratch for a routing decision at
@@ -984,6 +1203,22 @@ impl FleetSim {
         policy: &mut dyn OffloadPolicy,
         mut obs: Option<&mut SimObserver>,
     ) -> Result<(), String> {
+        // Inject scheduled swaps on a fresh run. Their seqs n..n+k sit
+        // below every dynamic seq minted later, so a swap at time T fires
+        // before any completion/timer/tier-arrival at T — but after the
+        // gateway arrival at T, whose implicit seq is below n. Shifting
+        // every dynamic seq by a constant k preserves their relative order,
+        // which is what makes a no-op swap bit-identical to no swap.
+        if self.events == 0 {
+            for k in 0..self.swaps.len() {
+                self.heap.push(
+                    self.swaps[k].at_ms,
+                    self.seq,
+                    FleetEvent::Swap { swap: k as u32 },
+                );
+                self.seq += 1;
+            }
+        }
         loop {
             let next_arrival = self.requests.get(self.cursor).map(|r| r.gateway_ms);
             let take_arrival = match (next_arrival, self.heap.peek()) {
@@ -1054,8 +1289,8 @@ impl FleetSim {
                         // Lean re-derives it instead of holding the table.
                         let service_ms = match self.mode {
                             RecordMode::Full => self.routing[id as usize].1,
-                            RecordMode::Lean => self.cfg.tiers[t]
-                                .profile
+                            RecordMode::Lean => self
+                                .profile_at(t, self.requests[id as usize].gateway_ms)
                                 .sample(self.requests[id as usize].quantile),
                         };
                         self.admit(t, id, service_ms, now, obs.as_deref_mut());
@@ -1102,9 +1337,27 @@ impl FleetSim {
                         }
                         self.idle[flat] = true;
                         self.dispatch_tier(t, now, obs.as_deref_mut());
+                        // Only a completion can drain a tier, so this is
+                        // the one place DrainFirst swaps are retried.
+                        if self.pending_swaps > 0 {
+                            self.apply_pending_swaps(t, now, obs.as_deref_mut());
+                        }
                     }
                     FleetEvent::Timer { tier } => {
                         self.dispatch_tier(tier as usize, now, obs.as_deref_mut());
+                    }
+                    FleetEvent::Swap { swap } => {
+                        // No makespan update: swaps are control-plane, and
+                        // a swap past the last completion must not stretch
+                        // the measured run.
+                        let k = swap as usize;
+                        let t = self.swaps[k].tier;
+                        if self.swaps[k].policy == SwapPolicy::Immediate || self.tier_drained(t) {
+                            self.apply_swap(k, now, obs.as_deref_mut());
+                        } else {
+                            self.swap_pending[k] = true;
+                            self.pending_swaps += 1;
+                        }
                     }
                 }
             }
@@ -1695,5 +1948,208 @@ mod tests {
             .unwrap();
         let end = path.iter().position(|k| *k == SpanKind::ServiceEnd);
         assert!(end.is_none_or(|e| hop < e), "hop precedes remote service");
+    }
+
+    #[test]
+    fn noop_swap_is_bit_identical_to_swap_free_run() {
+        let cfg = two_tier(
+            CostProfile::bimodal(2.0, 13.0, 0.8),
+            CostProfile::bimodal(0.4, 1.8, 0.8),
+        );
+        let mut base_policy = OffloadPolicyKind::ExitConfidence.build();
+        let base = try_simulate_fleet_with(&cfg, base_policy.as_mut()).unwrap();
+        // Swap the cloud tier to an identical profile mid-run: control-plane
+        // noise only, the serving report must not move a bit.
+        let swap = TierSwap {
+            tier: 1,
+            at_ms: 500.0,
+            profile: cfg.tiers[1].profile.clone(),
+            version: 1,
+            policy: SwapPolicy::Immediate,
+        };
+        let mut policy = OffloadPolicyKind::ExitConfidence.build();
+        let (swapped, applied) =
+            try_simulate_fleet_with_swaps(&cfg, policy.as_mut(), &[swap], None).unwrap();
+        assert_eq!(applied, 1);
+        assert_eq!(base.records, swapped.records);
+        assert_eq!(base.end_to_end.p99_ms, swapped.end_to_end.p99_ms);
+        assert_eq!(base.end_to_end.makespan_ms, swapped.end_to_end.makespan_ms);
+        assert_eq!(base.end_to_end.energy_j, swapped.end_to_end.energy_j);
+        for (a, b) in base.tiers.iter().zip(&swapped.tiers) {
+            assert_eq!(a.per_server_busy_ms, b.per_server_busy_ms);
+            assert_eq!(a.serving.mean_sojourn_ms, b.serving.mean_sojourn_ms);
+        }
+    }
+
+    #[test]
+    fn inflight_requests_complete_on_the_old_version() {
+        // Deterministic arrivals, all work offloaded to the cloud tier with
+        // a 10ms -> 1ms rollout halfway: anything priced at the gateway
+        // before the switch must complete at the old 10ms cost even if it
+        // reaches the tier (post-transfer) after the swap applied.
+        let mut cfg = two_tier(CostProfile::constant(50.0), CostProfile::constant(10.0));
+        cfg.arrivals = ArrivalProcess::trace(vec![2.0; 400]);
+        cfg.requests = 400;
+        let swap_at = 401.0; // between gateway arrivals 200 (t=400) and 201 (t=402)
+        let swap = TierSwap {
+            tier: 1,
+            at_ms: swap_at,
+            profile: CostProfile::constant(1.0),
+            version: 2,
+            policy: SwapPolicy::Immediate,
+        };
+        let mut policy = OffloadPolicyKind::SloSojourn { slo_ms: 0.001 }.build();
+        let (r, applied) =
+            try_simulate_fleet_with_swaps(&cfg, policy.as_mut(), std::slice::from_ref(&swap), None)
+                .unwrap();
+        assert_eq!(applied, 1);
+        let transfer = NetworkLink::wifi(3136).transfer_ms();
+        assert!(
+            transfer > 2.0,
+            "transfer keeps requests in flight across the swap"
+        );
+        for rec in r.records.iter().filter(|rec| rec.tier == 1) {
+            let expected = if rec.request.gateway_ms < swap_at {
+                10.0
+            } else {
+                1.0
+            };
+            assert_eq!(
+                rec.service_ms, expected,
+                "request {} priced at t={} straddled the swap wrong",
+                rec.request.id, rec.request.gateway_ms
+            );
+        }
+        assert!(r
+            .records
+            .iter()
+            .any(|rec| rec.tier == 1 && rec.service_ms == 10.0));
+        assert!(r
+            .records
+            .iter()
+            .any(|rec| rec.tier == 1 && rec.service_ms == 1.0));
+
+        // Lean mode re-derives prices at tier arrival; the gateway-time
+        // profile lookup must reproduce Full's accounting exactly.
+        let mut sim = FleetSim::new(&cfg, RecordMode::Lean).unwrap();
+        sim.schedule_swap(swap).unwrap();
+        let mut lean_policy = OffloadPolicyKind::SloSojourn { slo_ms: 0.001 }.build();
+        sim.run(lean_policy.as_mut(), None).unwrap();
+        let lean = sim.report();
+        assert_eq!(lean.completed, r.completed);
+        assert_eq!(lean.dropped, r.dropped);
+        assert_eq!(
+            lean.end_to_end.mean_sojourn_ms, r.end_to_end.mean_sojourn_ms,
+            "lean re-derivation must price in-flight requests on the old version"
+        );
+        assert_eq!(sim.active_version(1), 2);
+        assert_eq!(sim.active_version(0), 0);
+    }
+
+    #[test]
+    fn swap_conservation_and_reset_replay() {
+        let mut cfg = two_tier(
+            CostProfile::bimodal(2.0, 13.0, 0.6),
+            CostProfile::constant(5.0),
+        );
+        cfg.tiers[1].admission = AdmissionPolicy::Bounded { max_queue: 4 };
+        let mut sim = FleetSim::new(&cfg, RecordMode::Full).unwrap();
+        sim.schedule_swap(TierSwap {
+            tier: 1,
+            at_ms: 2_000.0,
+            profile: CostProfile::constant(0.5),
+            version: 7,
+            policy: SwapPolicy::Immediate,
+        })
+        .unwrap();
+        let mut policy = OffloadPolicyKind::ExitConfidence.build();
+        sim.run(policy.as_mut(), None).unwrap();
+        let first = sim.report();
+        assert_eq!(first.completed + first.dropped, first.offered);
+        for t in &first.tiers {
+            assert_eq!(t.completed + t.dropped, t.routed);
+        }
+        assert_eq!(sim.swaps_applied(), 1);
+        assert_eq!(sim.swap_applied_at(0), Some(2_000.0));
+
+        // Reset un-applies the swap (profiles rewind in place); a replay
+        // must reproduce the run bit for bit, swap and all.
+        sim.reset();
+        assert_eq!(sim.swaps_applied(), 0);
+        assert_eq!(sim.active_version(1), 0);
+        let mut policy2 = OffloadPolicyKind::ExitConfidence.build();
+        sim.run(policy2.as_mut(), None).unwrap();
+        let second = sim.report();
+        assert_eq!(first.records, second.records);
+        assert_eq!(first.end_to_end.p99_ms, second.end_to_end.p99_ms);
+    }
+
+    #[test]
+    fn drain_first_defers_until_the_tier_drains() {
+        // One slow edge server with a deep backlog at swap time: the
+        // DrainFirst switch must wait for the draining completion, while an
+        // Immediate switch fires at the scheduled instant.
+        let mut cfg = two_tier(CostProfile::constant(30.0), CostProfile::constant(1.0));
+        cfg.tiers[0].servers = 1;
+        cfg.arrivals = ArrivalProcess::trace(vec![1.0; 64]);
+        cfg.requests = 64;
+        for (policy_kind, expect_deferred) in [
+            (SwapPolicy::Immediate, false),
+            (SwapPolicy::DrainFirst, true),
+        ] {
+            let mut sim = FleetSim::new(&cfg, RecordMode::Full).unwrap();
+            sim.schedule_swap(TierSwap {
+                tier: 0,
+                at_ms: 10.0,
+                profile: CostProfile::constant(30.0),
+                version: 3,
+                policy: policy_kind,
+            })
+            .unwrap();
+            let mut policy = OffloadPolicyKind::AlwaysLocal.build();
+            sim.run(policy.as_mut(), None).unwrap();
+            assert_eq!(sim.swaps_applied(), 1, "{policy_kind:?}");
+            let applied_at = sim.swap_applied_at(0).unwrap();
+            if expect_deferred {
+                // 64 requests x 30ms on one server: drained only at the end.
+                assert!(applied_at >= 64.0 * 30.0, "{policy_kind:?} at {applied_at}");
+            } else {
+                assert_eq!(applied_at, 10.0);
+            }
+            assert_eq!(sim.active_version(0), 3);
+        }
+    }
+
+    #[test]
+    fn schedule_swap_rejects_bad_schedules() {
+        let cfg = two_tier(CostProfile::constant(2.0), CostProfile::constant(0.5));
+        let mut sim = FleetSim::new(&cfg, RecordMode::Full).unwrap();
+        let good = TierSwap {
+            tier: 0,
+            at_ms: 1.0,
+            profile: CostProfile::constant(1.0),
+            version: 1,
+            policy: SwapPolicy::Immediate,
+        };
+        let mut bad_tier = good.clone();
+        bad_tier.tier = 9;
+        assert!(sim
+            .schedule_swap(bad_tier)
+            .unwrap_err()
+            .contains("nonexistent tier 9"));
+        let mut bad_time = good.clone();
+        bad_time.at_ms = f64::NAN;
+        assert!(sim.schedule_swap(bad_time).unwrap_err().contains("finite"));
+        let mut bad_profile = good.clone();
+        bad_profile.profile = CostProfile::Constant { service_ms: -2.0 };
+        assert!(sim
+            .schedule_swap(bad_profile)
+            .unwrap_err()
+            .contains("tier 0"));
+        // Mid-run scheduling is rejected until reset.
+        sim.schedule_swap(good.clone()).unwrap();
+        let mut policy = OffloadPolicyKind::AlwaysLocal.build();
+        sim.run(policy.as_mut(), None).unwrap();
+        assert!(sim.schedule_swap(good).unwrap_err().contains("reset"));
     }
 }

@@ -86,8 +86,9 @@ pub use engine::{
 };
 pub use events::EventHeap;
 pub use fleet::{
-    simulate_fleet, simulate_fleet_with, FleetConfig, FleetLeanStats, FleetReport, FleetSim,
-    NetworkLink, OffloadPolicy, OffloadPolicyKind, Tier, TierReport,
+    simulate_fleet, simulate_fleet_with, try_simulate_fleet_with_swaps, FleetConfig,
+    FleetLeanStats, FleetReport, FleetSim, NetworkLink, OffloadPolicy, OffloadPolicyKind,
+    SwapPolicy, Tier, TierReport, TierSwap,
 };
 pub use observe::SimObserver;
 pub use partition::{best_split, Uplink};

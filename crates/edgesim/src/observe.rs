@@ -30,6 +30,7 @@
 //! | `tier.<name>.transfer_ms` | histogram | link transfer paid to reach the tier |
 //! | `tier.<name>.routed` / `.dropped` / `.completed` | counter | per-tier outcomes |
 //! | `policy.<label>.decision.local` / `.offload` | counter | routing decisions |
+//! | `sim.swaps` | counter | model hot-swaps applied mid-run |
 
 use obs::{
     BucketSpec, CounterId, GaugeId, HistogramId, MetricsRegistry, ObsMode, SpanKind, TraceSink,
@@ -71,6 +72,7 @@ pub struct SimObserver {
     sojourn_ms: HistogramId,
     decision_local: CounterId,
     decision_offload: CounterId,
+    swaps: CounterId,
     tiers: Vec<TierIds>,
 }
 
@@ -97,6 +99,7 @@ impl SimObserver {
             registry.register_counter(&format!("policy.{policy_label}.decision.local"));
         let decision_offload =
             registry.register_counter(&format!("policy.{policy_label}.decision.offload"));
+        let swaps = registry.register_counter("sim.swaps");
         let tiers = tier_names
             .iter()
             .map(|name| TierIds {
@@ -133,6 +136,7 @@ impl SimObserver {
             sojourn_ms,
             decision_local,
             decision_offload,
+            swaps,
             tiers,
         }
     }
@@ -354,6 +358,27 @@ impl SimObserver {
         }
         self.trace
             .record(now, id as u64, SpanKind::ExitDepth, 0, 0, exit_index as f64);
+    }
+
+    /// Tier `tier`'s model was hot-swapped to `version`; `swap_index` is
+    /// the swap's position in schedule order (it doubles as the span's
+    /// request id, keeping trace request ids small and dense).
+    /// Allocation-free.
+    pub fn on_swap(&mut self, now: f64, swap_index: usize, tier: usize, version: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.registry.inc(self.swaps, 1);
+        if self.tracing() {
+            self.trace.record(
+                now,
+                swap_index as u64,
+                SpanKind::Swap,
+                tier as u32,
+                0,
+                version as f64,
+            );
+        }
     }
 
     /// Borrow the metrics registry (quantile queries, cross-run merges via

@@ -23,6 +23,7 @@ use nn::{Activation, ActivationKind, Dense, Network};
 use rand::Rng;
 use tensor::Tensor;
 
+use crate::storeutil;
 use crate::training; // target assembly helpers live next to the train loops
 
 /// Output-layer activation for the reconstruction.
@@ -357,6 +358,145 @@ impl ConvertingAutoencoder {
             config,
         })
     }
+
+    /// Reconstruct an autoencoder from a parsed tensor file written by
+    /// [`tensorstore::SerializeTensors::export_tensors`]: two sub-networks
+    /// under `{prefix}encoder.` / `{prefix}decoder.` plus the
+    /// `{prefix}config` metadata string. Allocating construction path; the
+    /// in-place refill is [`tensorstore::SerializeTensors::import_tensors`].
+    pub fn from_tensor_file(
+        file: &tensorstore::TensorFile<'_>,
+        prefix: &str,
+    ) -> tensorstore::Result<Self> {
+        let (output_activation, l1_lambda, target_policy) = read_config(file, prefix)?;
+        let encoder = Network::from_tensor_file(file, &storeutil::scoped(prefix, "encoder."))?;
+        let decoder = Network::from_tensor_file(file, &storeutil::scoped(prefix, "decoder."))?;
+        if encoder.out_dim() != decoder.in_dim() || decoder.out_dim() != encoder.in_dim() {
+            return Err(tensorstore::StoreError::Import(format!(
+                "autoencoder stage shapes disagree: encoder {}→{}, decoder {}→{}",
+                encoder.in_dim(),
+                encoder.out_dim(),
+                decoder.in_dim(),
+                decoder.out_dim()
+            )));
+        }
+        // Reconstruct the hidden-layer description from the encoder specs,
+        // as the legacy CAE1 loader does.
+        let mut hidden = Vec::new();
+        let mut specs = encoder.specs().into_iter();
+        while let (
+            Some(nn::LayerSpec::Dense { out_dim, .. }),
+            Some(nn::LayerSpec::Activation { kind, .. }),
+        ) = (specs.next(), specs.next())
+        {
+            hidden.push(HiddenLayer {
+                width: out_dim,
+                activation: kind,
+            });
+        }
+        let config = AutoencoderConfig {
+            input: encoder.in_dim(),
+            hidden,
+            output_activation,
+            l1_lambda,
+            target_policy,
+        };
+        Ok(ConvertingAutoencoder {
+            encoder,
+            decoder,
+            l1: ActivityL1::new(l1_lambda),
+            config,
+        })
+    }
+}
+
+/// Parse the `{prefix}config` metadata string:
+/// `{output_activation_tag};{l1_lambda_bits_hex};{target_policy_tag}`.
+fn read_config(
+    file: &tensorstore::TensorFile<'_>,
+    prefix: &str,
+) -> tensorstore::Result<(OutputActivation, f32, TargetPolicy)> {
+    let raw = file
+        .metadata(&storeutil::scoped(prefix, "config"))
+        .ok_or_else(|| {
+            tensorstore::StoreError::Import(format!(
+                "file has no `{prefix}config` metadata entry for the autoencoder"
+            ))
+        })?;
+    parse_config(raw).ok_or_else(|| {
+        tensorstore::StoreError::Import(format!(
+            "`{prefix}config` metadata (`{raw}`) is not `act;l1_bits;policy`"
+        ))
+    })
+}
+
+fn parse_config(s: &str) -> Option<(OutputActivation, f32, TargetPolicy)> {
+    let mut it = s.split(';');
+    let act = match it.next()? {
+        "0" => OutputActivation::Sigmoid,
+        "1" => OutputActivation::Softmax,
+        "2" => OutputActivation::Linear,
+        _ => return None,
+    };
+    let l1 = storeutil::hex_f32(it.next()?)?;
+    let policy = match it.next()? {
+        "0" => TargetPolicy::RandomEasy,
+        "1" => TargetPolicy::NearestEasy,
+        "2" => TargetPolicy::ClassMeanEasy,
+        _ => return None,
+    };
+    it.next().is_none().then_some((act, l1, policy))
+}
+
+impl tensorstore::SerializeTensors for ConvertingAutoencoder {
+    /// Export both stages under `{prefix}encoder.` / `{prefix}decoder.` plus
+    /// a `{prefix}config` metadata string (`l1_lambda` as `f32::to_bits` hex
+    /// for a bitwise-exact roundtrip).
+    fn export_tensors(
+        &self,
+        out: &mut tensorstore::TensorWriter,
+        prefix: &str,
+    ) -> tensorstore::Result<()> {
+        let act = match self.config.output_activation {
+            OutputActivation::Sigmoid => 0,
+            OutputActivation::Softmax => 1,
+            OutputActivation::Linear => 2,
+        };
+        let policy = match self.config.target_policy {
+            TargetPolicy::RandomEasy => 0,
+            TargetPolicy::NearestEasy => 1,
+            TargetPolicy::ClassMeanEasy => 2,
+        };
+        out.set_metadata(
+            &storeutil::scoped(prefix, "config"),
+            &format!("{act};{:08x};{policy}", self.config.l1_lambda.to_bits()),
+        );
+        self.encoder
+            .export_tensors(out, &storeutil::scoped(prefix, "encoder."))?;
+        self.decoder
+            .export_tensors(out, &storeutil::scoped(prefix, "decoder."))
+    }
+
+    /// Refill both stages in place and adopt the checkpoint's config (the
+    /// architecture gates guarantee the hidden-layer description still
+    /// matches). With an empty `prefix` the success path performs zero
+    /// allocations after the per-stage architecture gates.
+    fn import_tensors(
+        &mut self,
+        file: &tensorstore::TensorFile<'_>,
+        prefix: &str,
+    ) -> tensorstore::Result<()> {
+        let (output_activation, l1_lambda, target_policy) = read_config(file, prefix)?;
+        self.encoder
+            .import_tensors(file, &storeutil::scoped(prefix, "encoder."))?;
+        self.decoder
+            .import_tensors(file, &storeutil::scoped(prefix, "decoder."))?;
+        self.config.output_activation = output_activation;
+        self.config.l1_lambda = l1_lambda;
+        self.config.target_policy = target_policy;
+        self.l1 = ActivityL1::new(l1_lambda);
+        Ok(())
+    }
 }
 
 /// Build the per-sample regression targets for converting-AE training.
@@ -500,6 +640,30 @@ mod tests {
         assert!(loaded.forward(&x).allclose(&y, 1e-6));
         assert_eq!(loaded.config().l1_lambda, ae.config().l1_lambda);
         assert_eq!(loaded.config().hidden, ae.config().hidden);
+    }
+
+    #[test]
+    fn tensor_store_roundtrip_is_bitwise() {
+        use tensorstore::{AlignedBytes, SerializeTensors, TensorFile};
+        let mut rng = rng_from_seed(7);
+        let mut ae = ConvertingAutoencoder::new(AutoencoderConfig::kmnist(), &mut rng);
+        let x = Tensor::rand_uniform(&[2, 784], 0.0, 1.0, &mut rng);
+        let y = ae.forward(&x);
+        let bytes = ae.save_tensors().unwrap();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        let mut loaded = ConvertingAutoencoder::from_tensor_file(&file, "").unwrap();
+        assert_eq!(loaded.forward(&x).data(), y.data());
+        assert_eq!(loaded.config().hidden, ae.config().hidden);
+        assert_eq!(loaded.config().l1_lambda, ae.config().l1_lambda);
+        // In-place refill of a same-architecture net with different weights.
+        let mut other = ConvertingAutoencoder::new(AutoencoderConfig::kmnist(), &mut rng);
+        other.import_tensors(&file, "").unwrap();
+        assert_eq!(other.forward(&x).data(), y.data());
+        // A different Table I architecture is rejected with context.
+        let mut wrong = ConvertingAutoencoder::new(AutoencoderConfig::mnist(), &mut rng);
+        let err = wrong.import_tensors(&file, "").unwrap_err().to_string();
+        assert!(err.contains("arch mismatch"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use tensor::ops::{entropy, softmax_slice};
 use tensor::Tensor;
 
 use crate::lenet::{tail_stage, trunk_stage, LENET_CLASSES};
+use crate::storeutil;
 
 /// Configuration for BranchyNet construction and training.
 #[derive(Debug, Clone, Copy)]
@@ -383,6 +384,120 @@ impl BranchyNet {
         let trunk = stages.pop().unwrap();
         Ok(BranchyNet::from_stages(trunk, branch, tail, config))
     }
+
+    /// Reconstruct a BranchyNet from a parsed tensor file written by
+    /// [`tensorstore::SerializeTensors::export_tensors`]: three sub-networks
+    /// under `{prefix}trunk.` / `{prefix}branch.` / `{prefix}tail.` plus the
+    /// `{prefix}config` metadata string. Allocating construction path; the
+    /// in-place refill is [`tensorstore::SerializeTensors::import_tensors`].
+    pub fn from_tensor_file(
+        file: &tensorstore::TensorFile<'_>,
+        prefix: &str,
+    ) -> tensorstore::Result<BranchyNet> {
+        let config = read_config(file, prefix)?;
+        let trunk = Network::from_tensor_file(file, &storeutil::scoped(prefix, "trunk."))?;
+        let branch = Network::from_tensor_file(file, &storeutil::scoped(prefix, "branch."))?;
+        let tail = Network::from_tensor_file(file, &storeutil::scoped(prefix, "tail."))?;
+        if trunk.out_dim() != branch.in_dim()
+            || trunk.out_dim() != tail.in_dim()
+            || branch.out_dim() != LENET_CLASSES
+            || tail.out_dim() != LENET_CLASSES
+        {
+            return Err(tensorstore::StoreError::Import(format!(
+                "branchynet stage shapes disagree: trunk out {}, branch {}→{}, tail {}→{}",
+                trunk.out_dim(),
+                branch.in_dim(),
+                branch.out_dim(),
+                tail.in_dim(),
+                tail.out_dim()
+            )));
+        }
+        Ok(BranchyNet {
+            trunk,
+            branch,
+            tail,
+            config,
+        })
+    }
+}
+
+/// Parse the `{prefix}config` metadata string: the three
+/// [`BranchyNetConfig`] floats as `f32::to_bits` hex words.
+fn read_config(
+    file: &tensorstore::TensorFile<'_>,
+    prefix: &str,
+) -> tensorstore::Result<BranchyNetConfig> {
+    let raw = file
+        .metadata(&storeutil::scoped(prefix, "config"))
+        .ok_or_else(|| {
+            tensorstore::StoreError::Import(format!(
+                "file has no `{prefix}config` metadata entry for the branchynet"
+            ))
+        })?;
+    parse_config(raw).ok_or_else(|| {
+        tensorstore::StoreError::Import(format!(
+            "`{prefix}config` metadata (`{raw}`) is not three hex f32 words"
+        ))
+    })
+}
+
+fn parse_config(s: &str) -> Option<BranchyNetConfig> {
+    let mut it = s.split(';');
+    let config = {
+        let mut f = || storeutil::hex_f32(it.next()?);
+        BranchyNetConfig {
+            entropy_threshold: f()?,
+            weight_exit1: f()?,
+            weight_exit2: f()?,
+        }
+    };
+    it.next().is_none().then_some(config)
+}
+
+impl tensorstore::SerializeTensors for BranchyNet {
+    /// Export the three stages under `{prefix}trunk.` / `{prefix}branch.` /
+    /// `{prefix}tail.` plus a `{prefix}config` metadata string holding the
+    /// config floats as `f32::to_bits` hex words (bitwise-exact roundtrip).
+    fn export_tensors(
+        &self,
+        out: &mut tensorstore::TensorWriter,
+        prefix: &str,
+    ) -> tensorstore::Result<()> {
+        out.set_metadata(
+            &storeutil::scoped(prefix, "config"),
+            &format!(
+                "{:08x};{:08x};{:08x}",
+                self.config.entropy_threshold.to_bits(),
+                self.config.weight_exit1.to_bits(),
+                self.config.weight_exit2.to_bits()
+            ),
+        );
+        self.trunk
+            .export_tensors(out, &storeutil::scoped(prefix, "trunk."))?;
+        self.branch
+            .export_tensors(out, &storeutil::scoped(prefix, "branch."))?;
+        self.tail
+            .export_tensors(out, &storeutil::scoped(prefix, "tail."))
+    }
+
+    /// Refill all three stages in place and adopt the checkpoint's config.
+    /// With an empty `prefix` the success path performs zero allocations
+    /// after the per-stage architecture gates (the hot-reload route).
+    fn import_tensors(
+        &mut self,
+        file: &tensorstore::TensorFile<'_>,
+        prefix: &str,
+    ) -> tensorstore::Result<()> {
+        let config = read_config(file, prefix)?;
+        self.trunk
+            .import_tensors(file, &storeutil::scoped(prefix, "trunk."))?;
+        self.branch
+            .import_tensors(file, &storeutil::scoped(prefix, "branch."))?;
+        self.tail
+            .import_tensors(file, &storeutil::scoped(prefix, "tail."))?;
+        self.config = config;
+        Ok(())
+    }
 }
 
 #[inline]
@@ -541,5 +656,53 @@ mod tests {
     fn load_rejects_garbage() {
         assert!(BranchyNet::load(&b"XXXX0000000000000000"[..]).is_err());
         assert!(BranchyNet::load(&b"BN"[..]).is_err());
+    }
+
+    #[test]
+    fn tensor_store_roundtrip_preserves_predictions_and_config() {
+        use tensorstore::{AlignedBytes, SerializeTensors, TensorFile};
+        let mut rng = rng_from_seed(7);
+        let mut b = BranchyNet::new(
+            BranchyNetConfig {
+                entropy_threshold: 0.31,
+                weight_exit1: 0.9,
+                weight_exit2: 1.1,
+            },
+            &mut rng,
+        );
+        let (x, _) = tiny_batch(&mut rng, 4);
+        let before = b.predict(&x);
+        let bytes = b.save_tensors().unwrap();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        let mut loaded = BranchyNet::from_tensor_file(&file, "").unwrap();
+        assert_eq!(loaded.config().entropy_threshold, 0.31);
+        assert_eq!(loaded.config().weight_exit1, 0.9);
+        assert_eq!(loaded.predict(&x), before);
+        // In-place refill of a fresh (differently initialised) net.
+        let mut c = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        c.import_tensors(&file, "").unwrap();
+        assert_eq!(c.config().entropy_threshold, 0.31);
+        assert_eq!(c.predict(&x), before);
+    }
+
+    #[test]
+    fn tensor_store_errors_name_the_missing_piece() {
+        use tensorstore::{AlignedBytes, SerializeTensors, TensorFile};
+        let mut rng = rng_from_seed(8);
+        let b = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let mut w = tensorstore::TensorWriter::new();
+        b.export_tensors(&mut w, "m.").unwrap();
+        let bytes = w.finish();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        // Wrong prefix ⇒ the config metadata lookup fails first, by name.
+        let err = match BranchyNet::from_tensor_file(&file, "") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("missing config metadata must not load"),
+        };
+        assert!(err.contains("config"), "{err}");
+        let loaded = BranchyNet::from_tensor_file(&file, "m.").unwrap();
+        assert_eq!(loaded.param_count(), b.param_count());
     }
 }

@@ -26,6 +26,7 @@ pub mod lenet;
 pub mod lightweight;
 pub mod metrics;
 pub mod resnet;
+pub(crate) mod storeutil;
 pub mod subflow;
 pub mod training;
 

@@ -1,0 +1,21 @@
+//! Shared helpers for the composite tensor-store impls
+//! ([`crate::branchynet`], [`crate::autoencoder`]).
+
+use std::borrow::Cow;
+
+/// Join `prefix` and a stage name without allocating when `prefix` is empty —
+/// the common single-model-per-file case, which keeps the in-place
+/// [`tensorstore::SerializeTensors::import_tensors`] refill allocation-free.
+pub(crate) fn scoped<'a>(prefix: &str, name: &'a str) -> Cow<'a, str> {
+    if prefix.is_empty() {
+        Cow::Borrowed(name)
+    } else {
+        Cow::Owned(format!("{prefix}{name}"))
+    }
+}
+
+/// Parse an `f32` stored as its `to_bits` value in fixed-width hex — the
+/// bitwise-exact float encoding used in config metadata strings.
+pub(crate) fn hex_f32(s: &str) -> Option<f32> {
+    u32::from_str_radix(s, 16).ok().map(f32::from_bits)
+}

@@ -1,0 +1,196 @@
+//! Checkpoint-roundtrip properties for the tensor-store format: arbitrary
+//! layer stacks and every paper comparator survive save → load with
+//! bitwise-equal parameters and bitwise-identical planned forward output.
+//!
+//! "Bitwise" is literal: parameters and activations are compared as
+//! `f32::to_bits` words, so a roundtrip that perturbs even one ULP fails.
+
+use models::autoencoder::{AutoencoderConfig, ConvertingAutoencoder};
+use models::branchynet::{BranchyNet, BranchyNetConfig};
+use models::lenet::{build_lenet, build_lenet_scaled};
+use models::lightweight::extract_lightweight;
+use models::subflow::SubFlow;
+use nn::{Activation, ActivationKind, BatchNorm1d, Dense, Dropout, ForwardPlan, Network};
+use proptest::prelude::*;
+use tensor::random::rng_from_seed;
+use tensor::Tensor;
+use tensorstore::{AlignedBytes, SerializeTensors, TensorFile};
+
+/// Every parameter of `net`, flattened to its bit pattern.
+fn network_bits(net: &mut Network) -> Vec<u32> {
+    let mut bits = Vec::new();
+    net.visit_params_and_grads(&mut |p, _| bits.extend(p.data().iter().map(|f| f.to_bits())));
+    bits
+}
+
+/// `ForwardPlan::run` output as bit patterns (plan rebuilt per call: the
+/// property under test is the *weights*, not plan reuse).
+fn planned_bits(net: &mut Network, x: &Tensor) -> Vec<u32> {
+    let mut plan = ForwardPlan::new(net, x.dims()[0]);
+    let out = plan.run(net.layers_mut(), x);
+    out.iter().map(|f| f.to_bits()).collect()
+}
+
+/// Save `net`, parse, and rebuild via the allocating construction path.
+fn roundtrip(net: &mut Network) -> Network {
+    let bytes = net.save_tensors().expect("network exports");
+    let buf = AlignedBytes::from_slice(&bytes);
+    let file = TensorFile::parse(buf.as_slice()).expect("saved bytes parse");
+    Network::from_tensor_file(&file, "").expect("saved network loads")
+}
+
+/// Build the stack described by `(code, width)` pairs: Dense re-widths the
+/// pipe, the rest operate at the current width. Deterministic in `seed`.
+fn build_stack(in_dim: usize, layers: &[(usize, usize)], seed: u64) -> Network {
+    let mut rng = rng_from_seed(seed);
+    let mut net = Network::new();
+    let mut dim = in_dim;
+    for &(code, w) in layers {
+        net = match code % 4 {
+            0 => {
+                let out = net.push(Dense::new(dim, w, &mut rng));
+                dim = w;
+                out
+            }
+            1 => {
+                let kind = [
+                    ActivationKind::Relu,
+                    ActivationKind::Sigmoid,
+                    ActivationKind::Tanh,
+                    ActivationKind::Softmax,
+                ][w % 4];
+                net.push(Activation::new(kind, dim))
+            }
+            2 => net.push(BatchNorm1d::new(dim)),
+            _ => net.push(Dropout::new(0.25, dim, w as u64)),
+        };
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arbitrary_stacks_roundtrip_bitwise(
+        in_dim in 1usize..10,
+        layers in proptest::collection::vec((0usize..4, 1usize..16), 1usize..6),
+        seed in 0u64..1000,
+    ) {
+        let mut net = build_stack(in_dim, &layers, seed);
+        let mut rng = rng_from_seed(seed ^ 0x5eed);
+        let x = Tensor::rand_uniform(&[2, in_dim], -1.0, 1.0, &mut rng);
+
+        // Allocating construction path.
+        let mut loaded = roundtrip(&mut net);
+        prop_assert_eq!(
+            network_bits(&mut net),
+            network_bits(&mut loaded),
+            "constructed load: parameters changed across the wire"
+        );
+        prop_assert_eq!(
+            planned_bits(&mut net, &x),
+            planned_bits(&mut loaded, &x),
+            "constructed load: planned forward diverged"
+        );
+
+        // In-place refill path: same architecture, different weights, then
+        // import — must land on the identical bit patterns.
+        let bytes = net.save_tensors().expect("network exports");
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).expect("saved bytes parse");
+        let mut slot = build_stack(in_dim, &layers, seed.wrapping_add(1));
+        slot.import_tensors(&file, "").expect("same-arch import succeeds");
+        prop_assert_eq!(
+            network_bits(&mut net),
+            network_bits(&mut slot),
+            "slot refill: parameters changed across the wire"
+        );
+        prop_assert_eq!(
+            planned_bits(&mut net, &x),
+            planned_bits(&mut slot, &x),
+            "slot refill: planned forward diverged"
+        );
+    }
+}
+
+proptest! {
+    // The comparators carry conv stacks — fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn comparator_checkpoints_roundtrip_bitwise(seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let x = Tensor::rand_uniform(&[2, 784], 0.0, 1.0, &mut rng);
+
+        // LeNet, the AdaDeep scaled candidate, and SubFlow's subnetwork are
+        // plain networks: roundtrip each through the store.
+        let mut plain = vec![
+            ("LeNet", build_lenet(&mut rng)),
+            ("AdaDeep", build_lenet_scaled([3, 6, 12], 42, &mut rng)),
+            ("SubFlow", SubFlow::new(build_lenet(&mut rng)).subnetwork(0.75)),
+        ];
+        for (label, net) in &mut plain {
+            let mut loaded = roundtrip(net);
+            prop_assert_eq!(
+                network_bits(net),
+                network_bits(&mut loaded),
+                "{}: parameters changed across the wire", label
+            );
+            prop_assert_eq!(
+                planned_bits(net, &x),
+                planned_bits(&mut loaded, &x),
+                "{}: planned forward diverged", label
+            );
+        }
+
+        // BranchyNet: the composite roundtrips as one file; each stage's
+        // planned forward must agree bitwise.
+        let bn = BranchyNet::new(BranchyNetConfig::default(), &mut rng);
+        let bytes = bn.save_tensors().expect("branchynet exports");
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).expect("branchynet parses");
+        let loaded = BranchyNet::from_tensor_file(&file, "").expect("branchynet loads");
+        let (t0, b0, e0) = bn.stages();
+        let (t1, b1, e1) = loaded.stages();
+        let hidden = t0.duplicate().predict(&x); // branch/tail input
+        for (label, a, b) in [("trunk", t0, t1), ("branch", b0, b1), ("tail", e0, e1)] {
+            let (mut a, mut b) = (a.duplicate(), b.duplicate());
+            prop_assert_eq!(
+                network_bits(&mut a),
+                network_bits(&mut b),
+                "BranchyNet {}: parameters changed across the wire", label
+            );
+            let input = if label == "trunk" { &x } else { &hidden };
+            prop_assert_eq!(
+                planned_bits(&mut a, input),
+                planned_bits(&mut b, input),
+                "BranchyNet {}: planned forward diverged", label
+            );
+        }
+
+        // CBNet: the lightweight classifier is a network; the converting
+        // autoencoder roundtrips through its own composite file.
+        let mut lw = extract_lightweight(&bn);
+        let mut lw_loaded = roundtrip(&mut lw);
+        prop_assert_eq!(
+            network_bits(&mut lw),
+            network_bits(&mut lw_loaded),
+            "CBNet lightweight: parameters changed across the wire"
+        );
+        prop_assert_eq!(
+            planned_bits(&mut lw, &x),
+            planned_bits(&mut lw_loaded, &x),
+            "CBNet lightweight: planned forward diverged"
+        );
+        let mut ae = ConvertingAutoencoder::new(AutoencoderConfig::mnist(), &mut rng);
+        let bytes = ae.save_tensors().expect("autoencoder exports");
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).expect("autoencoder parses");
+        let mut ae_loaded =
+            ConvertingAutoencoder::from_tensor_file(&file, "").expect("autoencoder loads");
+        let y0: Vec<u32> = ae.forward(&x).data().iter().map(|f| f.to_bits()).collect();
+        let y1: Vec<u32> = ae_loaded.forward(&x).data().iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(y0, y1, "CBNet autoencoder: forward diverged across the wire");
+    }
+}

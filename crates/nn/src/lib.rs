@@ -42,6 +42,7 @@ pub mod pool;
 pub mod residual;
 pub mod schedule;
 pub mod spec;
+pub mod store;
 
 pub use activation::{Activation, ActivationKind};
 pub use batchnorm::BatchNorm1d;

@@ -182,6 +182,93 @@ impl LayerSpec {
         }
     }
 
+    /// Compact self-contained encoding, `name(field,...)`, used by the
+    /// tensorstore model format's `__metadata__` architecture strings.
+    /// Float fields (dropout `p`) are stored as `f32::to_bits` hex so the
+    /// roundtrip through [`LayerSpec::decode_compact`] is bitwise exact.
+    pub fn encode_compact(&self) -> String {
+        match self {
+            LayerSpec::Dense { in_dim, out_dim } => format!("dense({in_dim},{out_dim})"),
+            LayerSpec::Conv2d { geom, out_channels } => format!(
+                "conv2d({},{},{},{},{},{},{},{})",
+                geom.in_channels,
+                geom.in_h,
+                geom.in_w,
+                geom.k_h,
+                geom.k_w,
+                geom.stride,
+                geom.pad,
+                out_channels
+            ),
+            LayerSpec::MaxPool2 {
+                channels,
+                in_h,
+                in_w,
+                window,
+            } => format!("maxpool({channels},{in_h},{in_w},{window})"),
+            LayerSpec::Activation { kind, dim } => format!("act({},{dim})", kind.tag()),
+            LayerSpec::Dropout { p, dim } => format!("drop({:08x},{dim})", p.to_bits()),
+            LayerSpec::BatchNorm1d { dim } => format!("bn({dim})"),
+            LayerSpec::ResidualConv { channels, side } => format!("res({channels},{side})"),
+        }
+    }
+
+    /// Parse one [`LayerSpec::encode_compact`] string; `None` on an unknown
+    /// layer name, wrong arity or malformed field.
+    pub fn decode_compact(s: &str) -> Option<LayerSpec> {
+        let (name, rest) = s.split_once('(')?;
+        let args = rest.strip_suffix(')')?;
+        let mut fields = args.split(',');
+        let next = |fields: &mut std::str::Split<'_, char>| -> Option<usize> {
+            fields.next()?.parse().ok()
+        };
+        let spec = match name {
+            "dense" => LayerSpec::Dense {
+                in_dim: next(&mut fields)?,
+                out_dim: next(&mut fields)?,
+            },
+            "conv2d" => LayerSpec::Conv2d {
+                geom: Conv2dGeom {
+                    in_channels: next(&mut fields)?,
+                    in_h: next(&mut fields)?,
+                    in_w: next(&mut fields)?,
+                    k_h: next(&mut fields)?,
+                    k_w: next(&mut fields)?,
+                    stride: next(&mut fields)?,
+                    pad: next(&mut fields)?,
+                },
+                out_channels: next(&mut fields)?,
+            },
+            "maxpool" => LayerSpec::MaxPool2 {
+                channels: next(&mut fields)?,
+                in_h: next(&mut fields)?,
+                in_w: next(&mut fields)?,
+                window: next(&mut fields)?,
+            },
+            "act" => LayerSpec::Activation {
+                kind: ActivationKind::from_tag(u8::try_from(next(&mut fields)?).ok()?)?,
+                dim: next(&mut fields)?,
+            },
+            "drop" => LayerSpec::Dropout {
+                p: f32::from_bits(u32::from_str_radix(fields.next()?, 16).ok()?),
+                dim: next(&mut fields)?,
+            },
+            "bn" => LayerSpec::BatchNorm1d {
+                dim: next(&mut fields)?,
+            },
+            "res" => LayerSpec::ResidualConv {
+                channels: next(&mut fields)?,
+                side: next(&mut fields)?,
+            },
+            _ => return None,
+        };
+        // Trailing fields mean a wrong arity — reject rather than ignore.
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(spec)
+    }
+
     /// Serialisation tag byte.
     pub fn tag(&self) -> u8 {
         match self {

@@ -1,0 +1,479 @@
+//! Tensor-store checkpoints for [`Network`]: the safetensors-style format
+//! from the `tensorstore` crate, wired to the layer stack.
+//!
+//! A network exports one tensor per parameter, named
+//! `{prefix}layer{i}.p{j}` (layer index, then the layer's stable parameter
+//! order), plus a `{prefix}arch` metadata string — the `;`-joined
+//! [`LayerSpec::encode_compact`] list — so a file is self-describing.
+//!
+//! Two load paths with different allocation contracts:
+//!
+//! * [`Network::from_tensor_file`] **builds** a fresh network from the arch
+//!   metadata and parameter tensors (allocates, cold path).
+//! * [`SerializeTensors::import_tensors`] **refills** an existing network's
+//!   parameter storage in place. After the architecture check it performs
+//!   zero allocations on the success path — this is the hot-reload route a
+//!   registry slot uses, proven by `tests/alloc_guard.rs`.
+
+use tensor::conv::Conv2dGeom;
+use tensorstore::{SerializeTensors, StoreError, TensorFile, TensorWriter};
+
+use crate::activation::Activation;
+use crate::batchnorm::BatchNorm1d;
+use crate::conv2d::Conv2d;
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::pool::MaxPool2;
+use crate::residual::ResidualConv;
+use crate::spec::LayerSpec;
+
+/// Split leading decimal digits off `s`; `None` when it starts with none.
+fn split_usize(s: &str) -> Option<(usize, &str)> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    Some((s[..end].parse().ok()?, &s[end..]))
+}
+
+/// Parse `{prefix}layer{i}.p{j}` without allocating; `None` when the name
+/// does not belong to `prefix`'s network.
+fn parse_param_name(name: &str, prefix: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix(prefix)?.strip_prefix("layer")?;
+    let (i, rest) = split_usize(rest)?;
+    let rest = rest.strip_prefix(".p")?;
+    let (j, rest) = split_usize(rest)?;
+    rest.is_empty().then_some((i, j))
+}
+
+/// The `{prefix}arch` metadata value of `file`, found without building the
+/// key string.
+fn arch_metadata<'a>(file: &'a TensorFile<'_>, prefix: &str) -> Option<&'a str> {
+    file.metadata_entries()
+        .find(|(k, _)| k.strip_prefix(prefix) == Some("arch"))
+        .map(|(_, v)| v)
+}
+
+/// Build one layer from its spec and the file's `{prefix}layer{i}.p{j}`
+/// tensors (allocating construction path).
+///
+/// Every constraint a layer constructor would `assert!` is checked here
+/// first and surfaced as a [`StoreError`] naming the layer — a corrupt
+/// checkpoint (fuzzed arch metadata, flipped shape digits) must be a
+/// diagnosable error, never a panic.
+fn build_layer(
+    file: &TensorFile<'_>,
+    prefix: &str,
+    i: usize,
+    spec: &LayerSpec,
+) -> tensorstore::Result<Box<dyn Layer>> {
+    let param = |j: usize| -> tensorstore::Result<tensor::Tensor> {
+        Ok(file.require(&format!("{prefix}layer{i}.p{j}"))?.to_tensor())
+    };
+    let shaped = |j: usize, want: &[usize]| -> tensorstore::Result<tensor::Tensor> {
+        let t = param(j)?;
+        if t.dims() != want {
+            return Err(StoreError::Import(format!(
+                "layer {i} ({}): `{prefix}layer{i}.p{j}` has shape {:?}, spec expects {:?}",
+                spec.describe(),
+                t.dims(),
+                want
+            )));
+        }
+        Ok(t)
+    };
+    let bad_spec =
+        |why: &str| StoreError::Import(format!("layer {i} ({}): {why}", spec.describe()));
+    let no_params = || -> tensorstore::Result<()> {
+        match file.get(&format!("{prefix}layer{i}.p0")) {
+            Some(_) => Err(StoreError::Import(format!(
+                "layer {i} ({}) expects no parameters but the file has some",
+                spec.describe()
+            ))),
+            None => Ok(()),
+        }
+    };
+    Ok(match spec {
+        LayerSpec::Dense { in_dim, out_dim } => {
+            let w = shaped(0, &[*out_dim, *in_dim])?;
+            let b = shaped(1, &[*out_dim])?;
+            Box::new(Dense::from_params(w, b))
+        }
+        LayerSpec::Conv2d { geom, out_channels } => {
+            if geom.stride == 0 || geom.k_h == 0 || geom.k_w == 0 {
+                return Err(bad_spec("conv kernel and stride must be positive"));
+            }
+            let w = shaped(0, &[*out_channels, geom.patch_cols()])?;
+            let b = shaped(1, &[*out_channels])?;
+            Box::new(Conv2d::from_params(*geom, *out_channels, w, b))
+        }
+        LayerSpec::MaxPool2 {
+            channels,
+            in_h,
+            in_w,
+            window,
+        } => {
+            no_params()?;
+            if *window == 0 || window > in_h || window > in_w {
+                return Err(bad_spec("pool window does not fit the input"));
+            }
+            Box::new(MaxPool2::new(*channels, *in_h, *in_w, *window))
+        }
+        LayerSpec::Activation { kind, dim } => {
+            no_params()?;
+            Box::new(Activation::new(*kind, *dim))
+        }
+        LayerSpec::Dropout { p, dim } => {
+            no_params()?;
+            if !(0.0..1.0).contains(p) {
+                return Err(bad_spec("dropout p must be in [0, 1)"));
+            }
+            Box::new(Dropout::new(*p, *dim, 0))
+        }
+        LayerSpec::BatchNorm1d { dim } => {
+            let gamma = shaped(0, &[*dim])?;
+            let beta = shaped(1, &[*dim])?;
+            let mut bn = BatchNorm1d::new(*dim);
+            {
+                let mut pg = bn.params_and_grads();
+                *pg[0].0 = gamma;
+                *pg[1].0 = beta;
+            }
+            Box::new(bn)
+        }
+        LayerSpec::ResidualConv { channels, side } => {
+            if *channels == 0 || *side == 0 {
+                return Err(bad_spec("residual block needs positive channels and side"));
+            }
+            let g = Conv2dGeom {
+                in_channels: *channels,
+                in_h: *side,
+                in_w: *side,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            };
+            let cols = g.patch_cols();
+            let c1 = Conv2d::from_params(
+                g,
+                *channels,
+                shaped(0, &[*channels, cols])?,
+                shaped(1, &[*channels])?,
+            );
+            let c2 = Conv2d::from_params(
+                g,
+                *channels,
+                shaped(2, &[*channels, cols])?,
+                shaped(3, &[*channels])?,
+            );
+            Box::new(ResidualConv::from_convs(c1, c2))
+        }
+    })
+}
+
+impl Network {
+    /// Reconstruct a network from a parsed tensor file's `{prefix}arch`
+    /// metadata and `{prefix}layer{i}.p{j}` tensors — the allocating
+    /// construction path ([`SerializeTensors::import_tensors`] is the
+    /// in-place refill).
+    pub fn from_tensor_file(file: &TensorFile<'_>, prefix: &str) -> tensorstore::Result<Network> {
+        let arch = arch_metadata(file, prefix).ok_or_else(|| {
+            StoreError::Import(format!("file has no `{prefix}arch` metadata entry"))
+        })?;
+        let mut net = Network::new();
+        if arch.is_empty() {
+            return Ok(net);
+        }
+        for (i, seg) in arch.split(';').enumerate() {
+            let spec = LayerSpec::decode_compact(seg).ok_or_else(|| {
+                StoreError::Import(format!(
+                    "`{prefix}arch` segment {i} (`{seg}`) is not a valid layer spec"
+                ))
+            })?;
+            net.push_boxed(build_layer(file, prefix, i, &spec)?);
+        }
+        Ok(net)
+    }
+}
+
+impl SerializeTensors for Network {
+    /// Write `{prefix}arch` metadata and every parameter tensor as
+    /// `{prefix}layer{i}.p{j}`. Cold path (allocates freely).
+    fn export_tensors(&self, out: &mut TensorWriter, prefix: &str) -> tensorstore::Result<()> {
+        let mut arch = String::new();
+        for (i, layer) in self.layers().iter().enumerate() {
+            if i > 0 {
+                arch.push(';');
+            }
+            arch.push_str(&layer.spec().encode_compact());
+        }
+        out.set_metadata(&format!("{prefix}arch"), &arch);
+        for (i, layer) in self.layers().iter().enumerate() {
+            for (j, p) in layer.params().iter().enumerate() {
+                out.add_tensor(&format!("{prefix}layer{i}.p{j}"), p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Refill this network's parameters in place from `file`.
+    ///
+    /// The file's `{prefix}arch` must match this network's architecture
+    /// exactly, and every `{prefix}layer{i}.p{j}` tensor must match the
+    /// corresponding parameter's shape and position. On the success path
+    /// this performs **zero allocations**: tensors are matched positionally
+    /// against the file's entry order and decoded straight into the
+    /// existing parameter buffers (zero-copy reinterpretation when the
+    /// span is aligned, byte-decode fallback otherwise). Errors name the
+    /// offending tensor or arch segment.
+    fn import_tensors(&mut self, file: &TensorFile<'_>, prefix: &str) -> tensorstore::Result<()> {
+        // Architecture gate, allocation-free: decode each `;` segment (a
+        // plain-data LayerSpec) and compare against the live stack.
+        let arch = arch_metadata(file, prefix).ok_or_else(|| {
+            StoreError::Import(format!("file has no `{prefix}arch` metadata entry"))
+        })?;
+        let mut segs = arch.split(';').filter(|s| !s.is_empty());
+        for (i, layer) in self.layers().iter().enumerate() {
+            match segs.next().and_then(LayerSpec::decode_compact) {
+                Some(spec) if spec == layer.spec() => {}
+                _ => {
+                    return Err(StoreError::Import(format!(
+                        "arch mismatch at layer {i}: network has {}, file says otherwise",
+                        layer.spec().describe()
+                    )))
+                }
+            }
+        }
+        if segs.next().is_some() {
+            return Err(StoreError::Import(format!(
+                "file arch has more layers than the network's {}",
+                self.depth()
+            )));
+        }
+
+        // Positional refill: the writer emits parameters in (layer, param)
+        // order, so the prefix-filtered entry stream lines up with the
+        // stack walk; the name check catches foreign files that reordered.
+        let mut views = file
+            .views()
+            .filter(|v| parse_param_name(v.name(), prefix).is_some());
+        let mut failure: Option<StoreError> = None;
+        for (i, layer) in self.layers_mut().iter_mut().enumerate() {
+            let mut j = 0usize;
+            layer.visit_params_and_grads(&mut |p, _| {
+                if failure.is_some() {
+                    return;
+                }
+                let Some(v) = views.next() else {
+                    failure = Some(StoreError::Import(format!(
+                        "file ends before `{prefix}layer{i}.p{j}`"
+                    )));
+                    return;
+                };
+                if parse_param_name(v.name(), prefix) != Some((i, j)) {
+                    failure = Some(StoreError::Import(format!(
+                        "expected `{prefix}layer{i}.p{j}` next, file has `{}`",
+                        v.name()
+                    )));
+                    return;
+                }
+                if v.shape() != p.dims() {
+                    failure = Some(StoreError::Import(format!(
+                        "`{}` has shape {:?}, parameter expects {:?}",
+                        v.name(),
+                        v.shape(),
+                        p.dims()
+                    )));
+                    return;
+                }
+                if let Some(src) = v.as_f32s() {
+                    p.data_mut().copy_from_slice(src);
+                } else if let Err(e) = v.copy_into(p.data_mut()) {
+                    failure = Some(e);
+                }
+                j += 1;
+            });
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        if let Some(extra) = views.next() {
+            return Err(StoreError::Import(format!(
+                "file tensor `{}` has no matching parameter",
+                extra.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ActivationKind;
+    use tensor::random::rng_from_seed;
+    use tensor::Tensor;
+    use tensorstore::AlignedBytes;
+
+    fn sample_net(seed: u64) -> Network {
+        let mut rng = rng_from_seed(seed);
+        Network::new()
+            .push(Conv2d::new(
+                Conv2dGeom {
+                    in_channels: 1,
+                    in_h: 6,
+                    in_w: 6,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 0,
+                },
+                2,
+                &mut rng,
+            ))
+            .push(Activation::new(ActivationKind::Relu, 32))
+            .push(MaxPool2::new(2, 4, 4, 2))
+            .push(Dropout::new(0.2, 8, 9))
+            .push(Dense::new(8, 3, &mut rng))
+    }
+
+    #[test]
+    fn compact_specs_roundtrip() {
+        for spec in sample_net(0).specs() {
+            let s = spec.encode_compact();
+            assert_eq!(LayerSpec::decode_compact(&s), Some(spec), "{s}");
+        }
+        assert_eq!(LayerSpec::decode_compact("warp(1,2)"), None);
+        assert_eq!(LayerSpec::decode_compact("dense(1)"), None);
+        assert_eq!(LayerSpec::decode_compact("dense(1,2,3)"), None);
+        assert_eq!(LayerSpec::decode_compact("dense(1,x)"), None);
+    }
+
+    #[test]
+    fn store_roundtrip_is_bitwise() {
+        let mut net = sample_net(3);
+        let bytes = net.save_tensors().unwrap();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        let mut loaded = Network::from_tensor_file(&file, "").unwrap();
+        assert_eq!(loaded.specs(), net.specs());
+        let mut rng = rng_from_seed(9);
+        let x = Tensor::rand_uniform(&[2, 36], 0.0, 1.0, &mut rng);
+        assert_eq!(net.predict(&x).data(), loaded.predict(&x).data());
+    }
+
+    #[test]
+    fn import_refills_in_place() {
+        let mut a = sample_net(1);
+        let bytes = a.save_tensors().unwrap();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        // Same architecture, different weights.
+        let mut b = sample_net(2);
+        b.import_tensors(&file, "").unwrap();
+        let mut rng = rng_from_seed(4);
+        let x = Tensor::rand_uniform(&[3, 36], 0.0, 1.0, &mut rng);
+        assert_eq!(a.predict(&x).data(), b.predict(&x).data());
+    }
+
+    #[test]
+    fn import_rejects_arch_mismatch_with_context() {
+        let a = sample_net(1);
+        let bytes = a.save_tensors().unwrap();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        let mut rng = rng_from_seed(5);
+        let mut other = Network::new().push(Dense::new(2, 3, &mut rng));
+        let err = other.import_tensors(&file, "").unwrap_err().to_string();
+        assert!(err.contains("arch mismatch at layer 0"), "{err}");
+        assert!(err.contains("Dense(2→3)"), "{err}");
+    }
+
+    #[test]
+    fn prefixes_namespace_two_networks_in_one_file() {
+        let mut a = sample_net(6);
+        let mut rng = rng_from_seed(7);
+        let mut b = Network::new().push(Dense::new(4, 2, &mut rng));
+        let mut w = TensorWriter::new();
+        a.export_tensors(&mut w, "big.").unwrap();
+        b.export_tensors(&mut w, "small.").unwrap();
+        let bytes = w.finish();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        let mut a2 = Network::from_tensor_file(&file, "big.").unwrap();
+        let mut b2 = Network::from_tensor_file(&file, "small.").unwrap();
+        assert_eq!(a2.specs(), a.specs());
+        assert_eq!(b2.specs(), b.specs());
+        let mut rng = rng_from_seed(8);
+        let x = Tensor::rand_uniform(&[2, 36], 0.0, 1.0, &mut rng);
+        assert_eq!(a.predict(&x).data(), a2.predict(&x).data());
+        let y = Tensor::rand_uniform(&[2, 4], 0.0, 1.0, &mut rng);
+        assert_eq!(b.predict(&y).data(), b2.predict(&y).data());
+    }
+
+    #[test]
+    fn corrupt_arch_is_an_error_not_a_panic() {
+        // Tampered arch metadata that disagrees with the stored tensor
+        // shapes (a flipped digit, a pool window that outgrew its input)
+        // must surface as errors naming the layer — the constructors'
+        // assertions are pre-checked on the load path.
+        let a = sample_net(1);
+        let good: String = a
+            .specs()
+            .iter()
+            .map(|s| s.encode_compact())
+            .collect::<Vec<_>>()
+            .join(";");
+        for (tamper, needle) in [
+            ("dense(8,4)", "spec expects"),    // shape digit flipped
+            ("maxpool(2,4,4,5)", "window"),    // window exceeds input
+            ("drop(40a00000,8)", "dropout p"), // p = 5.0, out of range
+        ] {
+            let bad = match tamper.split_once('(').map(|(n, _)| n) {
+                Some("dense") => good.replace("dense(8,3)", tamper),
+                Some("maxpool") => good.replace("maxpool(2,4,4,2)", tamper),
+                _ => good.replace(&format!("drop({:08x},8)", 0.2f32.to_bits()), tamper),
+            };
+            assert_ne!(good, bad, "tamper {tamper} must change the arch");
+            let mut w = TensorWriter::new();
+            a.export_tensors(&mut w, "").unwrap();
+            w.set_metadata("arch", &bad);
+            let bytes = w.finish();
+            let buf = AlignedBytes::from_slice(&bytes);
+            let file = TensorFile::parse(buf.as_slice()).unwrap();
+            let err = match Network::from_tensor_file(&file, "") {
+                Err(e) => e.to_string(),
+                Ok(_) => panic!("tampered arch `{tamper}` must not load"),
+            };
+            assert!(err.contains(needle), "{tamper}: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_tensor_errors_name_the_field() {
+        let a = sample_net(1);
+        let mut w = TensorWriter::new();
+        a.export_tensors(&mut w, "").unwrap();
+        // Claim one more layer than was exported.
+        let mut arch = String::new();
+        for (i, s) in a.specs().iter().enumerate() {
+            if i > 0 {
+                arch.push(';');
+            }
+            arch.push_str(&s.encode_compact());
+        }
+        arch.push_str(";dense(3,4)");
+        w.set_metadata("arch", &arch);
+        let bytes = w.finish();
+        let buf = AlignedBytes::from_slice(&bytes);
+        let file = TensorFile::parse(buf.as_slice()).unwrap();
+        let err = match Network::from_tensor_file(&file, "") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("over-long arch must not load"),
+        };
+        assert!(err.contains("layer5.p0"), "{err}");
+    }
+}

@@ -36,6 +36,10 @@ pub enum SpanKind {
     OffloadHop,
     /// Early-exit depth resolved; `value` is the exit index (0 = earliest).
     ExitDepth,
+    /// A tier's model/cost-profile was hot-swapped; `tier` is the swapped
+    /// tier, `request` carries the swap's index in schedule order, and
+    /// `value` is the new model version.
+    Swap,
 }
 
 impl SpanKind {
@@ -51,6 +55,7 @@ impl SpanKind {
             SpanKind::ServiceEnd => "service_end",
             SpanKind::OffloadHop => "offload_hop",
             SpanKind::ExitDepth => "exit_depth",
+            SpanKind::Swap => "swap",
         }
     }
 }

@@ -1,0 +1,878 @@
+//! # tensorstore — safetensors-compatible zero-copy checkpoints
+//!
+//! The workspace's original `CBR1`/`NNW1` envelopes copy every tensor on
+//! load. This crate replaces them with a [safetensors]-compatible layout
+//! that a loader can *borrow* tensors out of without touching their bytes:
+//!
+//! ```text
+//! ┌────────────────┬──────────────────────────┬──────────────────────────┐
+//! │ u64 LE         │ JSON header (UTF-8),     │ raw little-endian f32    │
+//! │ header length  │ space-padded so the data │ bytes, one span per      │
+//! │ (8 bytes)      │ section starts 64-aligned│ tensor, densely packed   │
+//! └────────────────┴──────────────────────────┴──────────────────────────┘
+//! ```
+//!
+//! The header maps each tensor name to `{"dtype": "F32", "shape": [...],
+//! "data_offsets": [begin, end]}` with offsets relative to the start of the
+//! data section, plus an optional `"__metadata__"` string map (this crate
+//! stores model architecture specs there). [`TensorFile::parse`] validates
+//! the whole index before handing out a single view: offsets must be
+//! sorted, non-overlapping, in-bounds and gap-free from `0` to the end of
+//! the data section (so there is no trailing garbage), and every tensor's
+//! `shape` product × 4 must equal its byte span.
+//!
+//! # Zero-copy contract
+//!
+//! [`TensorView::as_f32s`] reinterprets the borrowed byte span as
+//! `&[f32]` when the span is 4-byte aligned in memory and the host is
+//! little-endian — no copy, no allocation. When either check fails the
+//! caller falls back to [`TensorView::copy_into`] (or the allocating
+//! [`TensorView::to_tensor`]), and the process-wide [`copy_fallbacks`]
+//! counter records that the slow path ran — the zero-copy regression test
+//! asserts it stays flat on aligned buffers. Load files into an
+//! [`AlignedBytes`] buffer to *guarantee* the fast path: the writer aligns
+//! the data section to [`DATA_ALIGN`] bytes relative to the file start, so
+//! an aligned base pointer makes every tensor span aligned.
+//!
+//! Model types participate through [`SerializeTensors`]: `export_tensors`
+//! walks parameters into a [`TensorWriter`], `import_tensors` copies a
+//! parsed file back into already-allocated parameters (the allocation-free
+//! hot-reload path used by the model registry's hot-swap machinery).
+//!
+//! [safetensors]: https://github.com/huggingface/safetensors
+
+// `deny`, not `forbid`: the single sanctioned exception is the
+// alignment-checked `&[u8] -> &[f32]` reinterpretation in `view`, fenced by
+// the analyzer's `unsafe-audit` rule.
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tensor::Tensor;
+
+mod view;
+
+/// Alignment (in bytes, relative to the file start) the writer guarantees
+/// for the data section. 64 covers every SIMD lane width the compute
+/// backends use and is a multiple of `align_of::<f32>()`.
+pub const DATA_ALIGN: usize = 64;
+
+/// Size of the little-endian header-length prefix.
+const PREFIX_LEN: usize = 8;
+
+/// Upper bound on the header size accepted by [`TensorFile::parse`]
+/// (matches the reference safetensors implementation's 100 MB cap), so a
+/// corrupt length prefix cannot drive a huge slice request.
+pub const MAX_HEADER_LEN: usize = 100 * 1024 * 1024;
+
+/// How often the misaligned/big-endian copy fallback ran, process-wide.
+static COPY_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times a [`TensorView`] had to *copy* tensor bytes because the
+/// zero-copy reinterpretation was unavailable (misaligned buffer or
+/// big-endian host). Monotone over the process lifetime; tests take deltas.
+pub fn copy_fallbacks() -> u64 {
+    COPY_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Errors produced while writing or validating a tensor file. Every
+/// variant names the field or tensor that failed, so a corrupt checkpoint
+/// is diagnosable from the message alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The byte buffer ended before a required section.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: String,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The JSON header failed to parse or had an invalid field.
+    Header(String),
+    /// A per-tensor index entry failed validation.
+    Tensor {
+        /// Name of the offending tensor.
+        name: String,
+        /// What about it was invalid.
+        message: String,
+    },
+    /// A lookup or import referenced a tensor the file does not contain,
+    /// or shapes disagreed between the file and the destination model.
+    Import(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { what, needed, have } => {
+                write!(
+                    f,
+                    "truncated while reading {what}: need {needed} bytes, have {have}"
+                )
+            }
+            StoreError::Header(msg) => write!(f, "invalid header: {msg}"),
+            StoreError::Tensor { name, message } => {
+                write!(f, "invalid tensor entry `{name}`: {message}")
+            }
+            StoreError::Import(msg) => write!(f, "import error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+fn tensor_err(name: &str, message: String) -> StoreError {
+    StoreError::Tensor {
+        name: name.to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Accumulates named f32 tensors and metadata, then serializes them into
+/// the safetensors-compatible byte layout described in the [module
+/// docs](self).
+///
+/// Tensors are written densely in insertion order; [`TensorWriter::finish`]
+/// pads the JSON header with trailing spaces so the data section starts at
+/// a [`DATA_ALIGN`]-byte file offset.
+#[derive(Debug, Default)]
+pub struct TensorWriter {
+    names: Vec<String>,
+    shapes: Vec<Vec<usize>>,
+    data: Vec<Vec<f32>>,
+    metadata: Vec<(String, String)>,
+}
+
+impl TensorWriter {
+    /// An empty writer.
+    pub fn new() -> TensorWriter {
+        TensorWriter::default()
+    }
+
+    /// Append tensor `name` with `shape` and row-major `data`.
+    ///
+    /// Fails when the shape product disagrees with `data.len()` or the name
+    /// is a duplicate / the reserved `__metadata__` key.
+    pub fn add(&mut self, name: &str, shape: &[usize], data: &[f32]) -> Result<()> {
+        if name == "__metadata__" {
+            return Err(tensor_err(name, "reserved header key".to_string()));
+        }
+        if self.names.iter().any(|n| n == name) {
+            return Err(tensor_err(name, "duplicate tensor name".to_string()));
+        }
+        let elements: usize = shape.iter().product();
+        if elements != data.len() {
+            return Err(tensor_err(
+                name,
+                format!(
+                    "shape {shape:?} implies {elements} elements but {} were provided",
+                    data.len()
+                ),
+            ));
+        }
+        self.names.push(name.to_string());
+        self.shapes.push(shape.to_vec());
+        self.data.push(data.to_vec());
+        Ok(())
+    }
+
+    /// Append a [`Tensor`] under `name` (shape taken from the tensor).
+    pub fn add_tensor(&mut self, name: &str, t: &Tensor) -> Result<()> {
+        self.add(name, t.dims(), t.data())
+    }
+
+    /// Set a `__metadata__` string entry (insertion order is preserved;
+    /// setting an existing key overwrites its value).
+    pub fn set_metadata(&mut self, key: &str, value: &str) {
+        if let Some(slot) = self.metadata.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.metadata.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Number of tensors added so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no tensors were added.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Serialize everything into the final byte layout.
+    pub fn finish(&self) -> Vec<u8> {
+        // Header JSON: __metadata__ first (if any), then tensors in
+        // insertion order with their packed offsets.
+        let mut header = String::with_capacity(64 + self.names.len() * 96);
+        header.push('{');
+        let mut first = true;
+        if !self.metadata.is_empty() {
+            header.push_str("\"__metadata__\":{");
+            for (i, (k, v)) in self.metadata.iter().enumerate() {
+                if i > 0 {
+                    header.push(',');
+                }
+                header.push_str(&obs::json::escape(k));
+                header.push(':');
+                header.push_str(&obs::json::escape(v));
+            }
+            header.push('}');
+            first = false;
+        }
+        let mut offset = 0usize;
+        for ((name, shape), data) in self.names.iter().zip(&self.shapes).zip(&self.data) {
+            if !first {
+                header.push(',');
+            }
+            first = false;
+            let end = offset + data.len() * 4;
+            header.push_str(&obs::json::escape(name));
+            header.push_str(":{\"dtype\":\"F32\",\"shape\":[");
+            for (i, d) in shape.iter().enumerate() {
+                if i > 0 {
+                    header.push(',');
+                }
+                header.push_str(&d.to_string());
+            }
+            header.push_str(&format!("],\"data_offsets\":[{offset},{end}]}}"));
+            offset = end;
+        }
+        header.push('}');
+
+        // Pad with spaces so the data section starts DATA_ALIGN-aligned
+        // relative to the file start.
+        let unpadded = PREFIX_LEN + header.len();
+        let padding = (DATA_ALIGN - unpadded % DATA_ALIGN) % DATA_ALIGN;
+        let header_len = header.len() + padding;
+
+        let mut out = Vec::with_capacity(PREFIX_LEN + header_len + offset);
+        out.extend_from_slice(&(header_len as u64).to_le_bytes());
+        out.extend_from_slice(header.as_bytes());
+        out.resize(PREFIX_LEN + header_len, b' ');
+        for data in &self.data {
+            for v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsed file + views
+// ---------------------------------------------------------------------------
+
+/// One validated index entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    shape: Vec<usize>,
+    begin: usize,
+    end: usize,
+}
+
+/// A parsed, fully validated tensor file borrowing the caller's buffer.
+///
+/// Parsing builds the (small) name/shape index — the only allocations a
+/// load performs — while tensor *data* stays in `bytes`, borrowed by the
+/// [`TensorView`]s handed out by [`TensorFile::get`].
+#[derive(Debug)]
+pub struct TensorFile<'a> {
+    data: &'a [u8],
+    entries: Vec<Entry>,
+    metadata: Vec<(String, String)>,
+}
+
+impl<'a> TensorFile<'a> {
+    /// Parse and validate `bytes` (see the [module docs](self) for the
+    /// validation rules). The returned file borrows `bytes`; no tensor
+    /// data is copied.
+    pub fn parse(bytes: &'a [u8]) -> Result<TensorFile<'a>> {
+        if bytes.len() < PREFIX_LEN {
+            return Err(StoreError::Truncated {
+                what: "header length prefix".to_string(),
+                needed: PREFIX_LEN,
+                have: bytes.len(),
+            });
+        }
+        let mut prefix = [0u8; PREFIX_LEN];
+        prefix.copy_from_slice(&bytes[..PREFIX_LEN]);
+        let header_len = u64::from_le_bytes(prefix) as usize;
+        if header_len > MAX_HEADER_LEN {
+            return Err(StoreError::Header(format!(
+                "header length {header_len} exceeds the {MAX_HEADER_LEN}-byte cap"
+            )));
+        }
+        if bytes.len() - PREFIX_LEN < header_len {
+            return Err(StoreError::Truncated {
+                what: "JSON header".to_string(),
+                needed: header_len,
+                have: bytes.len() - PREFIX_LEN,
+            });
+        }
+        let header = std::str::from_utf8(&bytes[PREFIX_LEN..PREFIX_LEN + header_len])
+            .map_err(|_| StoreError::Header("header is not valid UTF-8".to_string()))?;
+        let root = obs::json::parse(header.trim_end_matches(' '))
+            .map_err(|e| StoreError::Header(format!("header is not valid JSON: {e}")))?;
+        let Some(fields) = root.as_obj() else {
+            return Err(StoreError::Header(
+                "header root is not an object".to_string(),
+            ));
+        };
+
+        let data = &bytes[PREFIX_LEN + header_len..];
+        let mut entries = Vec::new();
+        let mut metadata = Vec::new();
+        for (key, value) in fields {
+            if key == "__metadata__" {
+                let Some(meta) = value.as_obj() else {
+                    return Err(StoreError::Header(
+                        "__metadata__ is not an object".to_string(),
+                    ));
+                };
+                for (k, v) in meta {
+                    let Some(s) = v.as_str() else {
+                        return Err(StoreError::Header(format!(
+                            "__metadata__ value for `{k}` is not a string"
+                        )));
+                    };
+                    metadata.push((k.clone(), s.to_string()));
+                }
+                continue;
+            }
+            entries.push(parse_entry(key, value, data.len())?);
+        }
+
+        // The spans must tile the data section exactly: sorted, gap-free,
+        // starting at 0 and ending at the section's end (no overlap, no
+        // trailing garbage).
+        let mut expected_begin = 0usize;
+        for e in &entries {
+            if e.begin != expected_begin {
+                return Err(tensor_err(
+                    &e.name,
+                    format!(
+                        "data_offsets begin at {} but the previous span ended at {expected_begin} \
+                         (spans must be sorted, non-overlapping and gap-free)",
+                        e.begin
+                    ),
+                ));
+            }
+            expected_begin = e.end;
+        }
+        if expected_begin != data.len() {
+            return Err(StoreError::Header(format!(
+                "data section holds {} bytes but the index only covers {expected_begin} \
+                 (trailing garbage after the last tensor)",
+                data.len()
+            )));
+        }
+
+        Ok(TensorFile {
+            data,
+            entries,
+            metadata,
+        })
+    }
+
+    /// Number of tensors in the file.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the file holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tensor names in header order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Look up tensor `name`. Allocation-free (linear scan of the index).
+    pub fn get(&self, name: &str) -> Option<TensorView<'_>> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| TensorView {
+                name: &e.name,
+                shape: &e.shape,
+                bytes: &self.data[e.begin..e.end],
+            })
+    }
+
+    /// Like [`TensorFile::get`] but failing with a named [`StoreError`].
+    pub fn require(&self, name: &str) -> Result<TensorView<'_>> {
+        self.get(name)
+            .ok_or_else(|| StoreError::Import(format!("tensor `{name}` not found in file")))
+    }
+
+    /// All tensor views in header order.
+    pub fn views(&self) -> impl Iterator<Item = TensorView<'_>> {
+        self.entries.iter().map(|e| TensorView {
+            name: &e.name,
+            shape: &e.shape,
+            bytes: &self.data[e.begin..e.end],
+        })
+    }
+
+    /// A `__metadata__` value by key.
+    pub fn metadata(&self, key: &str) -> Option<&str> {
+        self.metadata
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All `__metadata__` entries in header order.
+    pub fn metadata_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.metadata.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// Parse and validate one `{"dtype", "shape", "data_offsets"}` entry.
+fn parse_entry(name: &str, value: &obs::json::JsonValue, data_len: usize) -> Result<Entry> {
+    if value.as_obj().is_none() {
+        return Err(tensor_err(name, "entry is not an object".to_string()));
+    }
+    let dtype = value
+        .get("dtype")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| tensor_err(name, "missing or non-string `dtype`".to_string()))?;
+    if dtype != "F32" {
+        return Err(tensor_err(
+            name,
+            format!("unsupported dtype `{dtype}` (only F32 is stored)"),
+        ));
+    }
+    let shape_val = value
+        .get("shape")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| tensor_err(name, "missing or non-array `shape`".to_string()))?;
+    let mut shape = Vec::with_capacity(shape_val.len());
+    for d in shape_val {
+        let Some(n) = d.as_f64() else {
+            return Err(tensor_err(
+                name,
+                "non-numeric `shape` dimension".to_string(),
+            ));
+        };
+        if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+            return Err(tensor_err(
+                name,
+                format!("`shape` dimension {n} is not a valid size"),
+            ));
+        }
+        shape.push(n as usize);
+    }
+    let offsets = value
+        .get("data_offsets")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| tensor_err(name, "missing or non-array `data_offsets`".to_string()))?;
+    if offsets.len() != 2 {
+        return Err(tensor_err(
+            name,
+            format!("`data_offsets` has {} entries, expected 2", offsets.len()),
+        ));
+    }
+    let mut bounds = [0usize; 2];
+    for (slot, v) in bounds.iter_mut().zip(offsets) {
+        let Some(n) = v.as_f64() else {
+            return Err(tensor_err(
+                name,
+                "non-numeric `data_offsets` bound".to_string(),
+            ));
+        };
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(tensor_err(
+                name,
+                format!("`data_offsets` bound {n} is not a valid offset"),
+            ));
+        }
+        *slot = n as usize;
+    }
+    let [begin, end] = bounds;
+    if begin > end {
+        return Err(tensor_err(
+            name,
+            format!("`data_offsets` begin {begin} exceeds end {end}"),
+        ));
+    }
+    if end > data_len {
+        return Err(tensor_err(
+            name,
+            format!(
+                "`data_offsets` end {end} is out of bounds for the {data_len}-byte data section"
+            ),
+        ));
+    }
+    let elements = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| tensor_err(name, "`shape` element count overflows".to_string()))?;
+    let span_bytes = elements
+        .checked_mul(4)
+        .ok_or_else(|| tensor_err(name, "`shape` byte span overflows".to_string()))?;
+    if span_bytes != end - begin {
+        return Err(tensor_err(
+            name,
+            format!(
+                "shape {shape:?} implies {span_bytes} bytes but `data_offsets` span {} bytes",
+                end - begin
+            ),
+        ));
+    }
+    Ok(Entry {
+        name: name.to_string(),
+        shape,
+        begin,
+        end,
+    })
+}
+
+/// A borrowed, validated window onto one tensor's bytes inside a parsed
+/// file. Obtaining a view copies nothing; see the methods for which
+/// accessors stay zero-copy.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorView<'a> {
+    name: &'a str,
+    shape: &'a [usize],
+    bytes: &'a [u8],
+}
+
+impl<'a> TensorView<'a> {
+    /// The tensor's name.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// The tensor's shape (row-major).
+    pub fn shape(&self) -> &'a [usize] {
+        self.shape
+    }
+
+    /// Element count (shape product).
+    pub fn elements(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    /// The raw little-endian bytes backing the tensor.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Zero-copy reinterpretation of the span as `&[f32]`.
+    ///
+    /// Returns `None` (without counting a fallback) when the span's base
+    /// pointer is not 4-byte aligned in memory or the host is big-endian —
+    /// callers then use [`TensorView::copy_into`]. Writer-produced files
+    /// loaded into an [`AlignedBytes`] buffer always take the fast path.
+    pub fn as_f32s(&self) -> Option<&'a [f32]> {
+        view::try_reinterpret(self.bytes)
+    }
+
+    /// Decode the tensor into the caller's preallocated output slice
+    /// `out`, which must hold exactly [`TensorView::elements`] floats.
+    /// Allocation-free; used as the documented copy fallback when
+    /// [`TensorView::as_f32s`] is unavailable, and counted by
+    /// [`copy_fallbacks`] so tests can prove the fast path ran.
+    pub fn copy_into(&self, out: &mut [f32]) -> Result<()> {
+        if out.len() != self.elements() {
+            // lint:allow(hot-path-alloc, reason = "cold error branch: building the diagnostic for a shape mismatch")
+            return Err(StoreError::Import(format!(
+                "destination for `{}` holds {} floats, file tensor has {}",
+                self.name,
+                out.len(),
+                self.elements()
+            )));
+        }
+        COPY_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        if let Some(src) = self.as_f32s() {
+            out.copy_from_slice(src);
+        } else {
+            for (slot, chunk) in out.iter_mut().zip(self.bytes.chunks_exact(4)) {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(chunk);
+                *slot = f32::from_le_bytes(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize an owned [`Tensor`] (allocates and copies — the
+    /// construction path for models built fresh from a file; steady-state
+    /// reload uses [`TensorView::copy_into`] / [`TensorView::as_f32s`]).
+    pub fn to_tensor(&self) -> Tensor {
+        let mut data = vec![0.0f32; self.elements()];
+        if let Some(src) = self.as_f32s() {
+            data.copy_from_slice(src);
+        } else {
+            COPY_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            for (slot, chunk) in data.iter_mut().zip(self.bytes.chunks_exact(4)) {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(chunk);
+                *slot = f32::from_le_bytes(b);
+            }
+        }
+        Tensor::from_vec(data, self.shape)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aligned load buffer
+// ---------------------------------------------------------------------------
+
+/// An owned byte buffer whose base pointer is at least 8-byte aligned, so
+/// every [`DATA_ALIGN`]-aligned tensor span inside a writer-produced file
+/// reinterprets as `&[f32]` without copies.
+///
+/// `Vec<u8>`'s base alignment is only guaranteed to be 1; loading a file
+/// through `AlignedBytes` removes that caveat from the zero-copy contract.
+#[derive(Debug, Clone, Default)]
+pub struct AlignedBytes {
+    storage: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copy `bytes` into a fresh 8-byte-aligned buffer.
+    pub fn from_slice(bytes: &[u8]) -> AlignedBytes {
+        let words = bytes.len().div_ceil(8);
+        let mut storage = vec![0u64; words];
+        // Pack through native-endian words so the backing store's in-memory
+        // byte order matches the input exactly on any host.
+        for (w, chunk) in storage.iter_mut().zip(bytes.chunks(8)) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_ne_bytes(b);
+        }
+        AlignedBytes {
+            storage,
+            len: bytes.len(),
+        }
+    }
+
+    /// The buffer contents as bytes (base pointer 8-byte aligned).
+    pub fn as_slice(&self) -> &[u8] {
+        view::words_as_bytes(&self.storage, self.len)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SerializeTensors
+// ---------------------------------------------------------------------------
+
+/// Save/load through the tensor store: the FlowForge-style trait every
+/// checkpointable model implements once, giving it the whole format for
+/// free.
+///
+/// `prefix` namespaces composite models (`trunk.`, `encoder.`, ...) so one
+/// file can hold several stages without name collisions.
+pub trait SerializeTensors {
+    /// Append every parameter tensor (and any architecture metadata) to
+    /// `out`, with each tensor name prefixed by `prefix`.
+    fn export_tensors(&self, out: &mut TensorWriter, prefix: &str) -> Result<()>;
+
+    /// Copy parameters from a parsed `file` back into `self`'s
+    /// already-allocated parameter storage. Shapes must match exactly;
+    /// implementations perform no per-tensor allocations (this is the
+    /// hot-reload path).
+    fn import_tensors(&mut self, file: &TensorFile<'_>, prefix: &str) -> Result<()>;
+
+    /// Serialize `self` into a standalone tensor-store byte buffer.
+    fn save_tensors(&self) -> Result<Vec<u8>> {
+        let mut w = TensorWriter::new();
+        self.export_tensors(&mut w, "")?;
+        Ok(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut w = TensorWriter::new();
+        w.set_metadata("arch", "dense(2,3)");
+        w.add("a", &[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        w.add("b", &[2], &[-1.0, 0.5]).unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn writer_aligns_data_section() {
+        let bytes = sample_bytes();
+        let header_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        assert_eq!((8 + header_len) % DATA_ALIGN, 0);
+        assert_eq!(bytes.len(), 8 + header_len + 8 * 4);
+    }
+
+    #[test]
+    fn roundtrip_preserves_shapes_and_bits() {
+        let bytes = sample_bytes();
+        let file = TensorFile::parse(&bytes).unwrap();
+        assert_eq!(file.len(), 2);
+        assert_eq!(file.metadata("arch"), Some("dense(2,3)"));
+        let a = file.get("a").unwrap();
+        assert_eq!(a.shape(), &[2, 3]);
+        let b = file.require("b").unwrap();
+        assert_eq!(b.shape(), &[2]);
+        let mut out = [0.0f32; 2];
+        b.copy_into(&mut out).unwrap();
+        assert_eq!(out, [-1.0, 0.5]);
+        let t = a.to_tensor();
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn aligned_bytes_take_the_zero_copy_path() {
+        let bytes = AlignedBytes::from_slice(&sample_bytes());
+        assert_eq!(bytes.as_slice().as_ptr() as usize % 8, 0);
+        let file = TensorFile::parse(bytes.as_slice()).unwrap();
+        let before = copy_fallbacks();
+        let a = file.get("a").unwrap().as_f32s().expect("aligned view");
+        assert_eq!(a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(copy_fallbacks(), before, "no fallback on the aligned path");
+    }
+
+    #[test]
+    fn misaligned_buffer_counts_a_fallback() {
+        let mut shifted = vec![0u8; 1];
+        shifted.extend_from_slice(&sample_bytes());
+        // At least one of the two 1-byte-offset candidates is misaligned
+        // for f32 regardless of the allocator's base alignment.
+        let aligned = AlignedBytes::from_slice(&shifted);
+        let file = TensorFile::parse(&aligned.as_slice()[1..]).unwrap();
+        let view = file.get("a").unwrap();
+        assert!(
+            view.as_f32s().is_none(),
+            "1-byte-shifted span must not reinterpret"
+        );
+        let before = copy_fallbacks();
+        let mut out = [0.0f32; 6];
+        view.copy_into(&mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(copy_fallbacks() > before, "fallback was counted");
+    }
+
+    #[test]
+    fn truncated_prefix_is_reported() {
+        let err = TensorFile::parse(&[1, 2, 3]).unwrap_err();
+        assert!(err.to_string().contains("header length prefix"), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_is_reported() {
+        let mut bytes = sample_bytes();
+        bytes.truncate(12);
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("JSON header"), "{err}");
+    }
+
+    #[test]
+    fn oversized_header_length_is_capped() {
+        let mut bytes = vec![0u8; 16];
+        bytes[..8].copy_from_slice(&(u64::MAX).to_le_bytes());
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn non_json_header_is_reported() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&8u64.to_le_bytes());
+        bytes.extend_from_slice(b"not json");
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("not valid JSON"), "{err}");
+    }
+
+    fn file_with_header(header: &str, data: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(header.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(header.as_bytes());
+        bytes.extend_from_slice(data);
+        bytes
+    }
+
+    #[test]
+    fn out_of_bounds_span_names_the_tensor() {
+        let header = r#"{"w":{"dtype":"F32","shape":[4],"data_offsets":[0,16]}}"#;
+        let bytes = file_with_header(header, &[0u8; 8]);
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("`w`"), "{err}");
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn shape_span_disagreement_names_the_tensor() {
+        let header = r#"{"w":{"dtype":"F32","shape":[3],"data_offsets":[0,16]}}"#;
+        let bytes = file_with_header(header, &[0u8; 16]);
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implies 12 bytes"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_or_gapped_spans_are_rejected() {
+        let header = r#"{"a":{"dtype":"F32","shape":[2],"data_offsets":[0,8]},"b":{"dtype":"F32","shape":[2],"data_offsets":[4,12]}}"#;
+        let bytes = file_with_header(header, &[0u8; 12]);
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("gap-free"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let header = r#"{"a":{"dtype":"F32","shape":[2],"data_offsets":[0,8]}}"#;
+        let bytes = file_with_header(header, &[0u8; 12]);
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing garbage"), "{err}");
+    }
+
+    #[test]
+    fn non_f32_dtype_is_rejected() {
+        let header = r#"{"a":{"dtype":"I64","shape":[1],"data_offsets":[0,8]}}"#;
+        let bytes = file_with_header(header, &[0u8; 8]);
+        let err = TensorFile::parse(&bytes).unwrap_err();
+        assert!(err.to_string().contains("I64"), "{err}");
+    }
+
+    #[test]
+    fn writer_rejects_shape_mismatch_and_duplicates() {
+        let mut w = TensorWriter::new();
+        assert!(w.add("x", &[3], &[0.0; 2]).is_err());
+        w.add("x", &[2], &[0.0; 2]).unwrap();
+        assert!(w.add("x", &[2], &[0.0; 2]).is_err());
+        assert!(w.add("__metadata__", &[1], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let w = TensorWriter::new();
+        let bytes = w.finish();
+        let file = TensorFile::parse(&bytes).unwrap();
+        assert!(file.is_empty());
+    }
+}

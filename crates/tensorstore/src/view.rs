@@ -1,0 +1,73 @@
+//! The crate's one unsafe island: alignment-checked reinterpretation of
+//! raw little-endian byte spans as `&[f32]`, and the `&[u64] -> &[u8]`
+//! widening [`crate::AlignedBytes`] uses to expose its aligned storage.
+//!
+//! Everything else in the crate is `#![deny(unsafe_code)]`; this module is
+//! on the analyzer's `unsafe-audit` sanctioned list, so every `unsafe` use
+//! here must carry a `// SAFETY:` justification.
+#![allow(unsafe_code)]
+
+/// Reinterpret `bytes` as a borrowed `&[f32]` when it is safe to do so:
+/// the length is a multiple of 4, the base pointer is 4-byte aligned, and
+/// the host is little-endian (the on-disk byte order). Returns `None`
+/// otherwise — the caller falls back to an explicit decode.
+pub(crate) fn try_reinterpret(bytes: &[u8]) -> Option<&[f32]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    if !bytes.len().is_multiple_of(std::mem::size_of::<f32>()) {
+        return None;
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f32>()) {
+        return None;
+    }
+    // SAFETY: the pointer is non-null (it comes from a live slice), checked
+    // 4-byte aligned above, and the length in f32s covers exactly the
+    // byte span, which stays borrowed (and thus immutable and live) for the
+    // returned lifetime. Every bit pattern is a valid f32, and the
+    // little-endian check above makes the in-memory bytes match the
+    // on-disk encoding.
+    let floats = unsafe {
+        std::slice::from_raw_parts(
+            bytes.as_ptr().cast::<f32>(),
+            bytes.len() / std::mem::size_of::<f32>(),
+        )
+    };
+    Some(floats)
+}
+
+/// View the first `len` bytes of a `u64` word buffer as `&[u8]`.
+///
+/// # Panics
+/// Panics when `len` exceeds the byte capacity of `words`.
+pub(crate) fn words_as_bytes(words: &[u64], len: usize) -> &[u8] {
+    assert!(len <= std::mem::size_of_val(words));
+    // SAFETY: the pointer comes from a live slice, u8 has alignment 1, and
+    // the assert above bounds `len` by the slice's byte capacity; the
+    // borrow keeps the words immutable and live for the returned lifetime,
+    // and any byte pattern is a valid u8.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), len) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reinterpret_requires_whole_floats() {
+        let buf = [0u8; 7];
+        assert!(try_reinterpret(&buf).is_none());
+    }
+
+    #[test]
+    fn words_view_matches_native_packing() {
+        let words = [
+            u64::from_ne_bytes([0, 1, 2, 3, 4, 5, 6, 7]),
+            u64::from_ne_bytes([8, 9, 10, 11, 0, 0, 0, 0]),
+        ];
+        assert_eq!(
+            words_as_bytes(&words, 12),
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+        );
+    }
+}

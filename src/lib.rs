@@ -69,12 +69,15 @@ pub use tensor;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cbnet::{self, CbnetModel, ModelKind, ModelRegistry, PipelineConfig};
+    pub use cbnet::{
+        self, CbnetModel, ModelKind, ModelRegistry, ModelStore, ModelVersion, PipelineConfig,
+    };
     pub use datasets::{self, Dataset, Family};
     pub use edgesim::{
-        simulate_engine, simulate_fleet, AdmissionPolicy, ArrivalProcess, CostProfile, Device,
-        DeviceModel, EngineConfig, EngineReport, FleetConfig, FleetReport, NetworkLink,
-        OffloadPolicyKind, PowerModel, SchedulerKind, Tier,
+        simulate_engine, simulate_fleet, try_simulate_fleet_with_swaps, AdmissionPolicy,
+        ArrivalProcess, CostProfile, Device, DeviceModel, EngineConfig, EngineReport, FleetConfig,
+        FleetReport, NetworkLink, OffloadPolicyKind, PowerModel, SchedulerKind, SwapPolicy, Tier,
+        TierSwap,
     };
     pub use models::{
         accuracy, build_lenet, AutoencoderConfig, BranchyNet, BranchyNetConfig,

@@ -22,8 +22,10 @@
 
 use std::sync::Arc;
 
+use cbnet::registry::ModelKind;
+use cbnet::ModelStore;
 use edgesim::engine::{AdmissionPolicy, Request, SchedulerKind};
-use edgesim::fleet::{FleetConfig, NetworkLink, SloSojourn, Tier};
+use edgesim::fleet::{FleetConfig, NetworkLink, SloSojourn, SwapPolicy, Tier, TierSwap};
 use edgesim::{
     ArrivalProcess, CostProfile, DeviceModel, EngineSim, FleetSim, RecordMode, SimObserver,
 };
@@ -36,6 +38,7 @@ use nn::{step_with, Adam, ForwardPlan, Momentum, Network, Optimizer, Sgd};
 use obs::{LayerProfile, ObsMode, SpanKind, TraceSink};
 use tensor::random::rng_from_seed;
 use tensor::Tensor;
+use tensorstore::{AlignedBytes, SerializeTensors, TensorFile, TensorWriter};
 
 #[global_allocator]
 static ALLOC: testkit::CountingAlloc = testkit::CountingAlloc::new();
@@ -388,6 +391,161 @@ fn fleet_event_loop_is_alloc_free() {
         lean.end_to_end_ms.count() as usize + sim.report().dropped,
         cfg.requests,
         "conservation: completed + dropped == offered"
+    );
+}
+
+#[test]
+fn registry_slot_import_is_alloc_free_and_zero_copy() {
+    // The rolling-deploy refill route: a checkpoint is published once into
+    // the versioned model store, its header parsed once, and steady-state
+    // serving refills a preallocated same-architecture slot from the active
+    // handle. Reading the handle (`ModelStore::active`) and the in-place
+    // `import_tensors` refill must both be allocation-free, and the
+    // 64-byte-aligned blob must take the zero-copy reinterpretation path —
+    // no per-tensor decode copies, counted by `tensorstore::copy_fallbacks`.
+    pin_single_thread();
+    let mut rng = rng_from_seed(31);
+    let mut src = build_lenet(&mut rng);
+    let mut w = TensorWriter::new();
+    w.set_metadata("kind", "LeNet");
+    src.export_tensors(&mut w, "").expect("LeNet exports");
+    let blob = w.finish();
+
+    let mut store = ModelStore::new(1);
+    let v = store
+        .publish(ModelKind::LeNet, &blob)
+        .expect("checkpoint publishes");
+    store.activate(0, v).expect("tier 0 activates");
+    let active = store.active(0).expect("tier 0 holds a version");
+    // Parse once (cold); every steady-state refill reuses this parse.
+    let file = TensorFile::parse(active.bytes()).expect("published blob parses");
+
+    let mut rng2 = rng_from_seed(32);
+    let mut slot = build_lenet(&mut rng2); // preallocated same-arch slot
+    slot.import_tensors(&file, "").expect("warm-up import");
+
+    let fallbacks_before = tensorstore::copy_fallbacks();
+    let ok = testkit::assert_no_alloc("ModelStore::active + slot import [LeNet]", || {
+        let mut ok = true;
+        for _ in 0..3 {
+            let handle = store.active(0);
+            ok &= handle.is_some();
+            ok &= slot.import_tensors(&file, "").is_ok();
+        }
+        ok
+    });
+    assert!(ok, "steady-state handle reads and slot imports succeed");
+    assert_eq!(
+        tensorstore::copy_fallbacks(),
+        fallbacks_before,
+        "aligned LeNet checkpoint loads zero-copy (no per-tensor decode copies)"
+    );
+    let x = batch_input(784, 8);
+    assert_eq!(
+        slot.predict(&x).data(),
+        src.predict(&x).data(),
+        "refilled slot serves the published weights bit-for-bit"
+    );
+
+    // Same contract for the Table-I dense MLP, straight off a tensor file.
+    let mut mlp = bench::dense_mlp(33);
+    let bytes = mlp.save_tensors().expect("DenseMLP saves");
+    let buf = AlignedBytes::from_slice(&bytes);
+    let file = TensorFile::parse(buf.as_slice()).expect("DenseMLP blob parses");
+    let mut slot = bench::dense_mlp(34);
+    slot.import_tensors(&file, "").expect("warm-up import");
+    let fallbacks_before = tensorstore::copy_fallbacks();
+    let ok = testkit::assert_no_alloc("slot import [DenseMLP]", || {
+        let mut ok = true;
+        for _ in 0..3 {
+            ok &= slot.import_tensors(&file, "").is_ok();
+        }
+        ok
+    });
+    assert!(ok, "steady-state DenseMLP imports succeed");
+    assert_eq!(
+        tensorstore::copy_fallbacks(),
+        fallbacks_before,
+        "aligned DenseMLP checkpoint loads zero-copy"
+    );
+    assert_eq!(
+        slot.predict(&x).data(),
+        mlp.predict(&x).data(),
+        "refilled DenseMLP slot matches the saved weights bit-for-bit"
+    );
+}
+
+#[test]
+fn fleet_hot_swap_steady_state_is_alloc_free() {
+    // A rolling deploy mid-run: one Immediate swap on the edge tier and one
+    // DrainFirst swap on the cloud tier. Scheduling preallocates the swap
+    // events (that is the documented cold path); after the warm-up run,
+    // replaying the whole workload — including dispatching both swaps and
+    // un-applying them on reset — must not allocate.
+    let cfg = FleetConfig {
+        tiers: vec![
+            Tier {
+                name: "edge".into(),
+                device: DeviceModel::raspberry_pi4(),
+                servers: 2,
+                profile: CostProfile::bimodal(4.0, 14.0, 0.7),
+                scheduler: SchedulerKind::Fifo,
+                admission: AdmissionPolicy::Bounded { max_queue: 16 },
+                link: None,
+            },
+            Tier {
+                name: "cloud".into(),
+                device: DeviceModel::gci_cpu(),
+                servers: 4,
+                profile: CostProfile::constant(1.5),
+                scheduler: SchedulerKind::ShortestService,
+                admission: AdmissionPolicy::Unbounded,
+                link: Some(NetworkLink::wifi(16 * 1024)),
+            },
+        ],
+        arrivals: ArrivalProcess::poisson(200.0),
+        requests: 1500,
+        seed: 13,
+        slo_ms: 30.0,
+    };
+    let mut policy = SloSojourn { slo_ms: 20.0 };
+    let mut sim = FleetSim::new(&cfg, RecordMode::Lean).expect("valid fleet config");
+    sim.schedule_swap(TierSwap {
+        tier: 0,
+        at_ms: 1_000.0,
+        profile: CostProfile::bimodal(3.0, 10.0, 0.7),
+        version: 1,
+        policy: SwapPolicy::Immediate,
+    })
+    .expect("edge swap schedules");
+    sim.schedule_swap(TierSwap {
+        tier: 1,
+        at_ms: 2_500.0,
+        profile: CostProfile::constant(1.2),
+        version: 2,
+        policy: SwapPolicy::DrainFirst,
+    })
+    .expect("cloud swap schedules");
+
+    sim.run(&mut policy, None).expect("routing stays in range");
+    let events = sim.events_processed();
+    let applied = sim.swaps_applied();
+    assert!(applied >= 1, "at least the immediate swap applied");
+    assert_eq!(sim.active_version(0), 1, "edge tier rolled to version 1");
+
+    testkit::assert_no_alloc("FleetSim reset+run [2-tier, hot-swaps]", || {
+        for _ in 0..3 {
+            sim.reset();
+            sim.run(&mut policy, None).expect("routing stays in range");
+        }
+    });
+    assert_eq!(sim.events_processed(), events, "replay is deterministic");
+    assert_eq!(sim.swaps_applied(), applied, "swap replay is deterministic");
+    let lean = sim.lean_stats().expect("lean mode carries histograms");
+    assert_eq!(
+        lean.end_to_end_ms.count() as usize + sim.report().dropped,
+        cfg.requests,
+        "conservation across the swap: completed + dropped == offered"
     );
 }
 
